@@ -1,0 +1,216 @@
+// Ablation for Section 6.1 (enhanced monitoring).
+//
+// Two questions from the paper's future-work discussion:
+//   1. Probe rate: "clients could adapt the rate at which they send periodic
+//      probes" - how much utility does a slower prober give up when
+//      conditions change, and how much probe traffic does a faster one cost?
+//      We measure the Figure 13 flapping scenario across probe intervals.
+//   2. High-timestamp prediction: "clients could potentially predict a node's
+//      high timestamp based on the time that it last communicated with the
+//      node" - we compare the paper's conservative estimator against the
+//      predictive one on a bounded-staleness SLA, where conservatism forces
+//      remote reads.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/sla.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/experiments/runner.h"
+#include "src/experiments/tables.h"
+
+using namespace pileus;               // NOLINT
+using namespace pileus::experiments;  // NOLINT
+
+namespace {
+
+// Probe-rate scenario: the US client runs an SLA that is only fully
+// satisfiable at its *local* node (<eventual, 50 ms, 1.0>; fallback
+// <eventual, 1 s, 0.2> at the primary). The local link flaps +300 ms every
+// 60 s. While the local node is degraded the client reads remotely and stops
+// sampling it, so only background probes can discover the recovery - the
+// probe interval directly bounds how much utility is recovered.
+struct ProbeCellResult {
+  RunStats stats;
+  uint64_t probes = 0;
+};
+
+ProbeCellResult RunProbeCell(MicrosecondCount probe_interval_us) {
+  GeoTestbedOptions testbed_options;
+  testbed_options.seed = 61;
+  testbed_options.probe_check_period_us = SecondsToMicroseconds(1);
+  GeoTestbed testbed(testbed_options);
+  PreloadKeys(testbed, 10000);
+  testbed.StartReplication();
+
+  auto* testbed_ptr = &testbed;
+  auto toggle = std::make_shared<bool>(false);
+  testbed.env().SchedulePeriodic(
+      SecondsToMicroseconds(60), SecondsToMicroseconds(60),
+      [testbed_ptr, toggle] {
+        *toggle = !*toggle;
+        testbed_ptr->SetRttDelta(kUs, kUs,
+                                 *toggle ? MillisecondsToMicroseconds(300)
+                                         : 0);
+      });
+
+  core::PileusClient::Options client_options;
+  client_options.monitor.probe_interval_us = probe_interval_us;
+  client_options.monitor.latency_window.window_us = SecondsToMicroseconds(20);
+  client_options.seed = 6;
+  auto client = testbed.MakeClient(kUs, client_options);
+  client->StartProbing();
+
+  RunOptions run;
+  run.sla = core::Sla()
+                .Add(core::Guarantee::Eventual(),
+                     MillisecondsToMicroseconds(50), 1.0)
+                .Add(core::Guarantee::Eventual(), SecondsToMicroseconds(1),
+                     0.2);
+  run.total_ops = 8000;
+  run.warmup_ops = 1000;
+  run.workload.seed = 61;
+  ProbeCellResult result;
+  result.stats = RunYcsb(testbed, *client, run);
+  result.probes = client->probes_sent();
+  return result;
+}
+
+RunStats RunPredictorCell(bool predict) {
+  GeoTestbedOptions testbed_options;
+  testbed_options.seed = 62;
+  GeoTestbed testbed(testbed_options);
+  PreloadKeys(testbed, 10000);
+  testbed.StartReplication();
+
+  core::PileusClient::Options client_options;
+  client_options.monitor.predict_high_timestamp = predict;
+  client_options.seed = 7;
+  auto client = testbed.MakeClient(kUs, client_options);
+  client->StartProbing();
+
+  RunOptions run;
+  // Bounded staleness with a tight latency budget: conservatism about the
+  // local secondary's high timestamp sends reads to the remote primary.
+  run.sla = core::Sla()
+                .Add(core::Guarantee::BoundedSeconds(45),
+                     MillisecondsToMicroseconds(300), 1.0)
+                .Add(core::Guarantee::Eventual(),
+                     MillisecondsToMicroseconds(300), 0.25);
+  run.total_ops = 6000;
+  run.warmup_ops = 1000;
+  run.workload.seed = 62;
+  return RunYcsb(testbed, *client, run);
+}
+
+// Shared-monitor scenario (Section 6.1: "clients could share monitoring
+// information with other clients in the same datacenter"): a veteran client
+// in China has been running for a while; a fresh client then joins at the
+// same site. With a private monitor the newcomer must run its own probe
+// stream; with the shared monitor it inherits the veteran's knowledge (and
+// keeps it fresh through its own piggybacked traffic) at zero extra probe
+// cost.
+struct SharedCellResult {
+  double fresh_utility = 0.0;
+  uint64_t fresh_probes = 0;
+};
+
+SharedCellResult RunColdStartCell(bool share_monitor) {
+  GeoTestbedOptions testbed_options;
+  testbed_options.seed = 68;
+  GeoTestbed testbed(testbed_options);
+  PreloadKeys(testbed, 10000);
+  testbed.StartReplication();
+
+  core::PileusClient::Options veteran_options;
+  veteran_options.seed = 1;
+  auto veteran = testbed.MakeClient(kChina, veteran_options);
+  veteran->StartProbing();
+  {
+    RunOptions warm;
+    warm.sla = core::ShoppingCartSla();
+    warm.total_ops = 2000;
+    warm.warmup_ops = 0;
+    warm.workload.seed = 68;
+    (void)RunYcsb(testbed, *veteran, warm);
+  }
+
+  core::PileusClient::Options fresh_options;
+  fresh_options.seed = 2;
+  if (share_monitor) {
+    fresh_options.shared_monitor = &veteran->client().monitor();
+  }
+  auto fresh = testbed.MakeClient(kChina, fresh_options);
+  if (!share_monitor) {
+    fresh->StartProbing();  // A private monitor needs its own probe stream.
+  }
+  RunOptions run;
+  run.sla = core::ShoppingCartSla();
+  run.total_ops = 2000;
+  run.warmup_ops = 0;  // The cold start is part of the measurement.
+  run.workload.seed = 69;
+  SharedCellResult result;
+  result.fresh_utility = RunYcsb(testbed, *fresh, run).AvgUtility();
+  result.fresh_probes = fresh->probes_sent();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation (Section 6.1): monitoring ===\n\n");
+
+  std::printf("--- Probe interval under a flapping local link "
+              "(local-favoring SLA, US client) ---\n");
+  AsciiTable probe_table(
+      {"Probe interval", "Avg utility", "Probe messages"});
+  for (const int seconds : {1, 5, 10, 30, 120}) {
+    const ProbeCellResult cell = RunProbeCell(SecondsToMicroseconds(seconds));
+    probe_table.AddRow({std::to_string(seconds) + " s",
+                        FormatUtility(cell.stats.AvgUtility()),
+                        std::to_string(cell.probes)});
+  }
+  std::printf("%s\n", probe_table.ToString().c_str());
+
+  std::printf("--- Conservative vs predictive high-timestamp estimation "
+              "(bounded(45s) SLA, US client) ---\n");
+  AsciiTable predictor_table({"Estimator", "Avg utility",
+                              "Avg Get latency (ms)", "SubSLA 1 met"});
+  for (const bool predict : {false, true}) {
+    const RunStats stats = RunPredictorCell(predict);
+    predictor_table.AddRow(
+        {predict ? "predictive (Section 6.1)" : "conservative (paper)",
+         FormatUtility(stats.AvgUtility()),
+         FormatMs(static_cast<MicrosecondCount>(stats.get_latency_us.Mean())),
+         FormatPercent(stats.MetFraction(0))});
+  }
+  std::printf("%s\n", predictor_table.ToString().c_str());
+
+  std::printf("--- Newcomer client: private vs shared monitor "
+              "(shopping cart SLA, China) ---\n");
+  AsciiTable shared_table(
+      {"Monitor", "Newcomer avg utility", "Newcomer probe messages"});
+  {
+    const SharedCellResult priv = RunColdStartCell(false);
+    shared_table.AddRow({"private (own probe stream)",
+                         FormatUtility(priv.fresh_utility),
+                         std::to_string(priv.fresh_probes)});
+    const SharedCellResult shared = RunColdStartCell(true);
+    shared_table.AddRow({"shared with co-located client",
+                         FormatUtility(shared.fresh_utility),
+                         std::to_string(shared.fresh_probes)});
+  }
+  std::printf("%s\n", shared_table.ToString().c_str());
+
+  std::printf(
+      "Findings: faster probes recover more utility after the local link\n"
+      "heals (at a linear probe-message cost). The naive rate-1.0 high-\n"
+      "timestamp predictor is too aggressive under periodic (step-function)\n"
+      "replication: it slashes latency by betting reads on the local node\n"
+      "but misses the staleness bound whenever the bet is wrong - this is\n"
+      "why the paper's conservative estimator (high timestamps only move\n"
+      "when observed) is the right default. Sharing a co-located client's\n"
+      "monitor preserves utility while eliminating the newcomer's probe\n"
+      "traffic entirely.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation for Section 6.4 (multi-site Puts): synchronously replicate Puts to
+// more than one site, making those sites authoritative for strong reads.
+//
+// "If the system synchronously sends Puts to a larger collection of primary
+// nodes ... the expected latency of strong Gets is reduced (and the
+// availability of such operations increases)" - at the cost of slower Puts,
+// since the primary acks only after the slowest synchronous replica.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/core/consistency.h"
+#include "src/core/sla.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/experiments/runner.h"
+#include "src/experiments/tables.h"
+
+using namespace pileus;               // NOLINT
+using namespace pileus::experiments;  // NOLINT
+
+namespace {
+
+struct Cell {
+  double strong_get_ms = 0.0;
+  double put_ms = 0.0;
+  double password_utility = 0.0;
+};
+
+Cell RunCell(const char* site, int sync_replicas) {
+  GeoTestbedOptions testbed_options;
+  testbed_options.seed = 64 + sync_replicas;
+  testbed_options.sync_replica_count = sync_replicas;
+  GeoTestbed testbed(testbed_options);
+  PreloadKeys(testbed, 10000);
+  testbed.StartReplication();
+
+  Cell cell;
+  {
+    core::PileusClient::Options client_options;
+    client_options.seed = 3;
+    auto client = testbed.MakeClient(site, client_options);
+    client->StartProbing();
+    RunOptions run;
+    run.sla = SingleConsistencySla(core::Guarantee::Strong());
+    run.total_ops = 3000;
+    run.warmup_ops = 500;
+    run.workload.seed = 64;
+    const RunStats stats = RunYcsb(testbed, *client, run);
+    cell.strong_get_ms = stats.get_latency_us.Mean() / 1000.0;
+    cell.put_ms = stats.put_latency_us.Mean() / 1000.0;
+  }
+  {
+    core::PileusClient::Options client_options;
+    client_options.seed = 4;
+    auto client = testbed.MakeClient(site, client_options);
+    client->StartProbing();
+    RunOptions run;
+    run.sla = core::PasswordCheckingSla();
+    run.total_ops = 3000;
+    run.warmup_ops = 500;
+    run.workload.seed = 65;
+    cell.password_utility = RunYcsb(testbed, *client, run).AvgUtility();
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation (Section 6.4): multi-site synchronous Puts ===\n");
+  std::printf("Sync replica sets: 1 = {England}, 2 = +{US}, 3 = +{India}\n\n");
+
+  for (const char* site : {kUs, kEngland, kIndia, kChina}) {
+    std::printf("--- Client in %s ---\n", site);
+    AsciiTable table({"Sync replicas", "Strong Get (ms)", "Put (ms)",
+                      "Password SLA utility"});
+    for (int n = 1; n <= 3; ++n) {
+      const Cell cell = RunCell(site, n);
+      char g[32], p[32];
+      std::snprintf(g, sizeof(g), "%.1f", cell.strong_get_ms);
+      std::snprintf(p, sizeof(p), "%.1f", cell.put_ms);
+      table.AddRow({std::to_string(n), g, p,
+                    FormatUtility(cell.password_utility)});
+    }
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf("Expectation: strong Gets become local (US with 2 replicas, "
+              "India with 3) while Puts slow to the farthest sync replica's "
+              "round trip; the password SLA's utility jumps where strong "
+              "reads turn local.\n");
+  return 0;
+}

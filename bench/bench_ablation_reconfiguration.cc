@@ -1,0 +1,86 @@
+// Ablation for Section 6.2 (SLA-driven reconfiguration): "given knowledge of
+// the SLAs being used by various clients, the system could make reasonable
+// re-configuration decisions. For example, Pileus might automatically move
+// the primary to a different datacenter in order to maximize the utility
+// delivered to its clients."
+//
+// We evaluate every candidate primary placement against a fixed client
+// population (one password checking SLA client per site, equally weighted)
+// and show that the utility-maximizing placement depends on where the
+// clients are - exactly the signal an automatic reconfigurator would use.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/sla.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/experiments/runner.h"
+#include "src/experiments/tables.h"
+
+using namespace pileus;               // NOLINT
+using namespace pileus::experiments;  // NOLINT
+
+namespace {
+
+double RunPlacementCell(const std::string& primary_site,
+                        const std::string& client_site) {
+  GeoTestbedOptions testbed_options;
+  testbed_options.seed = 62;
+  GeoTestbed testbed(testbed_options);
+  testbed.MovePrimary(primary_site);
+  PreloadKeys(testbed, 10000);
+  testbed.StartReplication();
+
+  core::PileusClient::Options client_options;
+  client_options.seed = 11;
+  auto client = testbed.MakeClient(client_site, client_options);
+  client->StartProbing();
+
+  RunOptions run;
+  run.sla = core::PasswordCheckingSla();
+  run.total_ops = 3000;
+  run.warmup_ops = 800;
+  run.workload.seed = 62;
+  return RunYcsb(testbed, *client, run).AvgUtility();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation (Section 6.2): SLA-driven primary placement ===\n");
+  std::printf("Password checking SLA; rows = where the primary lives, "
+              "columns = client site.\n\n");
+
+  const std::vector<std::string> placements = {kUs, kEngland, kIndia};
+  const std::vector<std::string> clients = {kUs, kEngland, kIndia, kChina};
+
+  AsciiTable table({"Primary at", "US client", "England client",
+                    "India client", "China client", "Mean (all clients)"});
+  std::string best_placement;
+  double best_mean = -1.0;
+  for (const std::string& placement : placements) {
+    std::vector<std::string> row = {placement};
+    double sum = 0.0;
+    for (const std::string& client : clients) {
+      const double utility = RunPlacementCell(placement, client);
+      sum += utility;
+      row.push_back(FormatUtility(utility));
+    }
+    const double mean = sum / static_cast<double>(clients.size());
+    row.push_back(FormatUtility(mean));
+    table.AddRow(std::move(row));
+    if (mean > best_mean) {
+      best_mean = mean;
+      best_placement = placement;
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("Utility-maximizing placement for this client population: "
+              "%s (mean utility %.2f).\n",
+              best_placement.c_str(), best_mean);
+  std::printf("An automatic reconfigurator (Section 6.2) would pick exactly "
+              "this placement from the same per-placement utility "
+              "estimates.\n");
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Availability under node failures (paper Section 3.3).
+//
+// "Unavailability in Pileus is defined in practical terms as the inability
+// to retrieve the desired data with acceptable consistency and latency as
+// defined by the SLA. If an application wants maximum availability, it need
+// only specify <eventual, unbounded> as the last subSLA. In this case, data
+// will be returned as long as some replica can be reached."
+//
+// Two experiments:
+//   1. The US client's *local* node dies for two minutes under the shopping
+//      cart SLA: with availability retries the client reroutes to the
+//      primary within the same Get; without them, Gets fail until the
+//      monitor routes around the dead node.
+//   2. The *primary* dies under the password checking SLA (strong reads
+//      impossible): the plain SLA goes to zero utility AND zero data, while
+//      the same SLA with an <eventual, unbounded> tail keeps returning data
+//      from secondaries.
+
+#include <cstdio>
+#include <optional>
+
+#include "src/core/sla.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/experiments/runner.h"
+#include "src/experiments/tables.h"
+#include "src/workload/ycsb.h"
+
+using namespace pileus;               // NOLINT
+using namespace pileus::experiments;  // NOLINT
+
+namespace {
+
+struct OutageStats {
+  uint64_t gets = 0;
+  uint64_t data_returned = 0;  // Gets that produced a value.
+  uint64_t sla_met = 0;        // Gets that satisfied some subSLA - the
+                               // paper's definition of "available".
+  double utility_sum = 0.0;
+
+  double DataFraction() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(data_returned) /
+                           static_cast<double>(gets);
+  }
+  double SlaAvailability() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(sla_met) /
+                           static_cast<double>(gets);
+  }
+  double AvgUtility() const {
+    return gets == 0 ? 0.0 : utility_sum / static_cast<double>(gets);
+  }
+};
+
+// Runs the workload for `run_seconds`, killing `down_site` for the middle
+// third. Returns stats from the outage window only.
+OutageStats RunWithOutage(const core::Sla& sla, const char* client_site,
+                          const char* down_site, bool retry_on_failure,
+                          uint64_t seed) {
+  GeoTestbedOptions testbed_options;
+  testbed_options.seed = seed;
+  testbed_options.replication_period_us = SecondsToMicroseconds(15);
+  GeoTestbed testbed(testbed_options);
+  PreloadKeys(testbed, 2000);
+  testbed.StartReplication();
+
+  core::PileusClient::Options client_options;
+  client_options.retry_other_replicas_on_failure = retry_on_failure;
+  client_options.monitor.latency_window.window_us = SecondsToMicroseconds(20);
+  client_options.seed = seed;
+  auto client = testbed.MakeClient(client_site, client_options);
+  client->StartProbing();
+
+  constexpr MicrosecondCount kRun = SecondsToMicroseconds(180);
+  const MicrosecondCount start = testbed.env().NowMicros();
+  const MicrosecondCount outage_start = start + kRun / 3;
+  const MicrosecondCount outage_end = start + 2 * kRun / 3;
+  auto* testbed_ptr = &testbed;
+  std::string down(down_site);
+  testbed.env().ScheduleAt(outage_start, [testbed_ptr, down] {
+    testbed_ptr->SetNodeDown(down, true);
+  });
+  testbed.env().ScheduleAt(outage_end, [testbed_ptr, down] {
+    testbed_ptr->SetNodeDown(down, false);
+  });
+
+  workload::WorkloadOptions workload_options;
+  workload_options.key_count = 2000;
+  workload_options.seed = seed;
+  workload::YcsbWorkload workload(workload_options);
+  std::optional<core::Session> session;
+
+  OutageStats outage;
+  while (testbed.env().NowMicros() - start < kRun) {
+    const workload::Operation op = workload.Next();
+    if (op.starts_new_session || !session.has_value()) {
+      session.emplace(std::move(client->client().BeginSession(sla)).value());
+    }
+    const MicrosecondCount now = testbed.env().NowMicros();
+    const bool in_outage = now >= outage_start && now < outage_end;
+    if (op.is_get) {
+      Result<core::GetResult> result = client->client().Get(*session, op.key);
+      if (in_outage) {
+        ++outage.gets;
+        if (result.ok() && result->found) {
+          ++outage.data_returned;
+        }
+        if (result.ok() && result->outcome.met_rank >= 0) {
+          ++outage.sla_met;
+        }
+        outage.utility_sum += result.ok() ? result->outcome.utility : 0.0;
+      }
+    } else {
+      // Puts fail while the primary is down; that is expected and the
+      // client keeps going.
+      (void)client->client().Put(*session, op.key, op.value);
+    }
+    testbed.env().RunFor(workload_options.think_time_us);
+  }
+  return outage;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Availability under node failures (Section 3.3) ===\n\n");
+
+  std::printf("--- Local (US) node down for 60 s, shopping cart SLA, US "
+              "client ---\n");
+  AsciiTable local_table({"Availability retries", "Data returned", "SLA met",
+                          "Avg utility (outage window)"});
+  for (const bool retry : {false, true}) {
+    const OutageStats stats =
+        RunWithOutage(core::ShoppingCartSla(), kUs, kUs, retry, 71);
+    local_table.AddRow({retry ? "on" : "off",
+                        FormatPercent(stats.DataFraction()),
+                        FormatPercent(stats.SlaAvailability()),
+                        FormatUtility(stats.AvgUtility())});
+  }
+  std::printf("%s\n", local_table.ToString().c_str());
+
+  std::printf("--- Primary (England) down for 60 s, US client ---\n");
+  const core::Sla strong_only =
+      core::Sla().Add(core::Guarantee::Strong(), SecondsToMicroseconds(1),
+                      1.0);
+  core::Sla tailed = strong_only;
+  const core::SubSla tail = core::MaxAvailabilitySubSla();
+  tailed.Add(tail.consistency, tail.latency_us, tail.utility);
+  AsciiTable primary_table(
+      {"SLA", "Data returned", "SLA met", "Avg utility (outage window)"});
+  {
+    const OutageStats plain =
+        RunWithOutage(strong_only, kUs, kEngland, true, 72);
+    primary_table.AddRow({"<strong, 1s> only",
+                          FormatPercent(plain.DataFraction()),
+                          FormatPercent(plain.SlaAvailability()),
+                          FormatUtility(plain.AvgUtility())});
+    const OutageStats with_tail =
+        RunWithOutage(tailed, kUs, kEngland, true, 72);
+    primary_table.AddRow({"<strong, 1s> + <eventual, unbounded> tail",
+                          FormatPercent(with_tail.DataFraction()),
+                          FormatPercent(with_tail.SlaAvailability()),
+                          FormatUtility(with_tail.AvgUtility())});
+  }
+  std::printf("%s\n", primary_table.ToString().c_str());
+  std::printf(
+      "Expectation: retries keep data flowing through a local-node outage.\n"
+      "With the primary down, best-effort data still arrives either way,\n"
+      "but only the SLA with the <eventual, unbounded> tail counts as\n"
+      "*available* in the paper's sense - some subSLA is still met.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks of the storage substrate: tablet Put/Get, replication log
+// scans, multi-version snapshot reads, and the workload generator.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/clock.h"
+#include "src/storage/tablet.h"
+#include "src/workload/ycsb.h"
+#include "src/workload/zipf.h"
+
+namespace {
+
+using namespace pileus;           // NOLINT
+using namespace pileus::storage;  // NOLINT
+
+std::unique_ptr<Tablet> MakePrimaryTablet(ManualClock* clock, int keys) {
+  Tablet::Options options;
+  options.is_primary = true;
+  auto tablet = std::make_unique<Tablet>(options, clock);
+  for (int i = 0; i < keys; ++i) {
+    clock->AdvanceMicros(10);
+    (void)tablet->HandlePut(workload::YcsbWorkload::KeyForIndex(i),
+                            std::string(100, 'v'));
+  }
+  return tablet;
+}
+
+void BM_TabletPut(benchmark::State& state) {
+  ManualClock clock(1);
+  Tablet::Options options;
+  options.is_primary = true;
+  Tablet tablet(options, &clock);
+  int64_t i = 0;
+  const std::string value(100, 'v');
+  for (auto _ : state) {
+    clock.AdvanceMicros(1);
+    benchmark::DoNotOptimize(
+        tablet.HandlePut(workload::YcsbWorkload::KeyForIndex(i++ % 10000),
+                         value));
+  }
+}
+BENCHMARK(BM_TabletPut);
+
+void BM_TabletGet(benchmark::State& state) {
+  ManualClock clock(1);
+  auto tablet = MakePrimaryTablet(&clock, 10000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tablet->HandleGet(workload::YcsbWorkload::KeyForIndex(i++ % 10000)));
+  }
+}
+BENCHMARK(BM_TabletGet);
+
+void BM_TabletGetAt(benchmark::State& state) {
+  ManualClock clock(1);
+  auto tablet = MakePrimaryTablet(&clock, 10000);
+  const Timestamp snapshot{clock.NowMicros() / 2, 0};
+  int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tablet->HandleGetAt(
+        workload::YcsbWorkload::KeyForIndex(i++ % 10000), snapshot));
+  }
+}
+BENCHMARK(BM_TabletGetAt);
+
+void BM_SyncScan(benchmark::State& state) {
+  ManualClock clock(1);
+  auto tablet = MakePrimaryTablet(&clock, 10000);
+  // Scan the last `range(0)` updates, as a replication pull would.
+  const int64_t lag = state.range(0);
+  const Timestamp after{clock.NowMicros() - lag * 10, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tablet->HandleSync(after, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * lag);
+}
+BENCHMARK(BM_SyncScan)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RangeScan(benchmark::State& state) {
+  ManualClock clock(1);
+  auto tablet = MakePrimaryTablet(&clock, 10000);
+  const int64_t span = state.range(0);
+  int64_t start = 0;
+  for (auto _ : state) {
+    const std::string begin =
+        workload::YcsbWorkload::KeyForIndex(start % 9000);
+    benchmark::DoNotOptimize(
+        tablet->HandleRange(begin, "", static_cast<uint32_t>(span)));
+    start += 37;
+  }
+  state.SetItemsProcessed(state.iterations() * span);
+}
+BENCHMARK(BM_RangeScan)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  workload::ScrambledZipfianChooser chooser(10000, 0.7);
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chooser.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_WorkloadNext(benchmark::State& state) {
+  workload::WorkloadOptions options;
+  workload::YcsbWorkload workload(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.Next());
+  }
+}
+BENCHMARK(BM_WorkloadNext);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// The web application SLA (paper Figure 5, Section 2.2): tiered per-read
+// pricing under bounded staleness.
+//
+//   1. bounded(300 s) within 200 ms  -> $0.00001 per read
+//   2. bounded(300 s) within 400 ms  -> $0.000008
+//   3. bounded(300 s) within 600 ms  -> $0.000005
+//   4. bounded(300 s) within 1 s     -> $0
+//
+// The paper declares this SLA but does not evaluate it ("it uses a single
+// consistency and would not provide additional insights into Pileus"); we
+// include it anyway because it exercises the *revenue* interpretation of
+// utility (Section 3.3: the utility "ideally would match the price the
+// storage provider charges"). We report revenue per 10k reads per client
+// site and strategy.
+
+#include <cstdio>
+
+#include "src/core/sla.h"
+#include "src/experiments/comparison.h"
+#include "src/experiments/tables.h"
+
+using namespace pileus;               // NOLINT
+using namespace pileus::experiments;  // NOLINT
+
+int main() {
+  std::printf("=== Web application SLA (Figure 5): revenue per 10k reads "
+              "===\n\n");
+  std::printf("SLA: %s\n\n", core::WebApplicationSla().ToString().c_str());
+
+  const std::vector<std::string> sites = {kUs, kEngland, kIndia, kChina};
+  ComparisonOptions options;
+  options.sla = core::WebApplicationSla();
+  options.total_ops = 6000;
+  options.warmup_ops = 1500;
+  options.seed = 5;
+
+  AsciiTable table({"Strategy", "US", "England", "India", "China"});
+  for (core::ReadStrategy strategy : AllStrategies()) {
+    std::vector<std::string> row = {
+        std::string(core::ReadStrategyName(strategy))};
+    for (const std::string& site : sites) {
+      const RunStats stats = RunStrategyCell(site, strategy, options);
+      char cell[32];
+      // Average utility is $/read; scale to $/10k reads for readability.
+      std::snprintf(cell, sizeof(cell), "$%.3f",
+                    stats.AvgUtility() * 10000.0);
+      row.push_back(cell);
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expectation: the 300 s staleness bound is nearly always satisfiable\n"
+      "(replication every 60 s), so revenue is set by the latency tier each\n"
+      "strategy lands in. Pileus earns the top tier wherever any node is\n"
+      "within 200 ms and never falls below the best fixed scheme.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Minimal leveled logging.
+//
+// The library is quiet by default (kWarning); benches and examples raise the
+// level when narrating runs. Streams-based so call sites read naturally:
+//   PILEUS_LOG(kInfo) << "pulled " << n << " versions";
+
+#ifndef PILEUS_SRC_COMMON_LOGGING_H_
+#define PILEUS_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace pileus {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PILEUS_LOG_ENABLED(level) \
+  (::pileus::LogLevel::level >= ::pileus::GetLogLevel())
+
+#define PILEUS_LOG(level)                                             \
+  if (PILEUS_LOG_ENABLED(level))                                      \
+  ::pileus::internal::LogMessage(::pileus::LogLevel::level, __FILE__, \
+                                 __LINE__)                            \
+      .stream()
+
+}  // namespace pileus
+
+#endif  // PILEUS_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,49 @@
+#include "src/common/status.h"
+
+namespace pileus {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kWrongNode:
+      return "WRONG_NODE";
+    case StatusCode::kNotPrimary:
+      return "NOT_PRIMARY";
+    case StatusCode::kConflict:
+      return "CONFLICT";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace pileus

@@ -1,0 +1,14 @@
+#include "src/common/timestamp.h"
+
+#include <cstdio>
+
+namespace pileus {
+
+std::string Timestamp::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%06u",
+                static_cast<long long>(physical_us), sequence);
+  return buf;
+}
+
+}  // namespace pileus

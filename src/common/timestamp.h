@@ -1,0 +1,50 @@
+// Update timestamps.
+//
+// Every Put is assigned a strictly increasing update timestamp by the primary
+// site of its tablet (paper Section 4.2). A timestamp combines the primary's
+// physical clock (microseconds) with a sequence number that breaks ties when
+// multiple Puts land in the same microsecond. Bounded-staleness consistency
+// compares timestamps against wall-clock time, so the physical component must
+// track real (or simulated) time; the paper notes that clients and storage
+// nodes need only approximately synchronized clocks because staleness bounds
+// tend to be large (Section 4.4).
+
+#ifndef PILEUS_SRC_COMMON_TIMESTAMP_H_
+#define PILEUS_SRC_COMMON_TIMESTAMP_H_
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace pileus {
+
+struct Timestamp {
+  // Microseconds since the epoch of the governing Clock (simulated or real).
+  int64_t physical_us = 0;
+  // Tie-breaker among Puts that share a physical microsecond.
+  uint32_t sequence = 0;
+
+  static Timestamp Zero() { return Timestamp{0, 0}; }
+  static Timestamp Max() {
+    return Timestamp{INT64_MAX, UINT32_MAX};
+  }
+
+  bool IsZero() const { return physical_us == 0 && sequence == 0; }
+
+  auto operator<=>(const Timestamp&) const = default;
+
+  std::string ToString() const;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Timestamp& ts) {
+  return os << ts.ToString();
+}
+
+inline Timestamp MaxTimestamp(const Timestamp& a, const Timestamp& b) {
+  return a < b ? b : a;
+}
+
+}  // namespace pileus
+
+#endif  // PILEUS_SRC_COMMON_TIMESTAMP_H_

@@ -1,0 +1,608 @@
+#include "src/core/client.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace pileus::core {
+
+Status TableView::Validate() const {
+  if (table_name.empty()) {
+    return Status(StatusCode::kInvalidArgument, "table has no name");
+  }
+  if (replicas.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "table '" + table_name + "' has no replicas");
+  }
+  if (primary_index < 0 ||
+      primary_index >= static_cast<int>(replicas.size())) {
+    return Status(StatusCode::kInvalidArgument,
+                  "table '" + table_name + "' has no valid primary index");
+  }
+  if (!replicas[primary_index].authoritative) {
+    return Status(StatusCode::kInvalidArgument,
+                  "primary replica must be authoritative");
+  }
+  for (const Replica& replica : replicas) {
+    if (replica.name.empty() || replica.connection == nullptr) {
+      return Status(StatusCode::kInvalidArgument,
+                    "replica missing name or connection");
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<ReplicaView> TableView::MakeReplicaViews() const {
+  std::vector<ReplicaView> views;
+  views.reserve(replicas.size());
+  for (const Replica& replica : replicas) {
+    views.push_back(ReplicaView{replica.name, replica.authoritative});
+  }
+  return views;
+}
+
+std::string_view ReadStrategyName(ReadStrategy strategy) {
+  switch (strategy) {
+    case ReadStrategy::kPileus:
+      return "Pileus";
+    case ReadStrategy::kPrimary:
+      return "Primary";
+    case ReadStrategy::kRandom:
+      return "Random";
+    case ReadStrategy::kClosest:
+      return "Closest";
+  }
+  return "Unknown";
+}
+
+PileusClient::PileusClient(TableView table, const Clock* clock)
+    : PileusClient(std::move(table), clock, Options{}, nullptr) {}
+
+PileusClient::PileusClient(TableView table, const Clock* clock,
+                           Options options, FanoutCaller* fanout)
+    : table_(std::move(table)),
+      clock_(clock),
+      options_(std::move(options)),
+      fanout_(fanout),
+      own_monitor_(clock, options_.monitor),
+      monitor_(options_.shared_monitor != nullptr ? options_.shared_monitor
+                                                   : &own_monitor_),
+      replica_views_(table_.MakeReplicaViews()),
+      rng_(options_.seed) {
+  assert(table_.Validate().ok() && "invalid TableView");
+  assert((options_.parallel_fanout <= 1 || fanout_ != nullptr) &&
+         "parallel_fanout > 1 requires a FanoutCaller");
+}
+
+Result<Session> PileusClient::BeginSession(const Sla& default_sla) const {
+  Status st = default_sla.Validate();
+  if (!st.ok()) {
+    return st;
+  }
+  return Session(default_sla);
+}
+
+Result<GetResult> PileusClient::Get(Session& session, std::string_view key) {
+  return DoGet(session, key, session.default_sla());
+}
+
+Result<GetResult> PileusClient::Get(Session& session, std::string_view key,
+                                    const Sla& sla) {
+  Status st = sla.Validate();
+  if (!st.ok()) {
+    return st;
+  }
+  return DoGet(session, key, sla);
+}
+
+int PileusClient::PickFixedStrategyNode() {
+  switch (options_.strategy) {
+    case ReadStrategy::kPrimary:
+      return table_.primary_index;
+    case ReadStrategy::kRandom:
+      return static_cast<int>(rng_.NextUint64(table_.replicas.size()));
+    case ReadStrategy::kClosest: {
+      // Lowest mean monitored latency; unmeasured nodes report 0, so they get
+      // tried first and the estimate warms up quickly.
+      int best = 0;
+      MicrosecondCount best_latency =
+          monitor_->MeanLatency(table_.replicas[0].name);
+      for (size_t i = 1; i < table_.replicas.size(); ++i) {
+        const MicrosecondCount lat =
+            monitor_->MeanLatency(table_.replicas[i].name);
+        if (lat < best_latency) {
+          best_latency = lat;
+          best = static_cast<int>(i);
+        }
+      }
+      return best;
+    }
+    case ReadStrategy::kPileus:
+      break;
+  }
+  assert(false && "PickFixedStrategyNode called for Pileus strategy");
+  return table_.primary_index;
+}
+
+void PileusClient::AbsorbReplyEvidence(int node_index, const TimedReply& timed,
+                                       bool record_latency) {
+  const std::string& name = table_.replicas[node_index].name;
+  // Latency evidence is useful even for timeouts (the sample equals the
+  // deadline, pushing PNodeLat down for thresholds below it).
+  if (record_latency) {
+    monitor_->RecordLatency(name, timed.rtt_us);
+  }
+  if (!timed.reply.ok()) {
+    // Transport-level failure (unreachable, reset, deadline with no answer).
+    monitor_->RecordFailure(name);
+    return;
+  }
+  const proto::Message& message = timed.reply.value();
+  if (const auto* err = std::get_if<proto::ErrorReply>(&message)) {
+    // The node answered, so it is up - unless it reported itself unavailable.
+    if (err->code == StatusCode::kUnavailable) {
+      monitor_->RecordFailure(name);
+    } else {
+      monitor_->RecordSuccess(name);
+    }
+    return;
+  }
+  monitor_->RecordSuccess(name);
+  if (const auto* get = std::get_if<proto::GetReply>(&message)) {
+    monitor_->RecordHighTimestamp(name, get->high_timestamp);
+  } else if (const auto* put = std::get_if<proto::PutReply>(&message)) {
+    monitor_->RecordHighTimestamp(name, put->high_timestamp);
+  } else if (const auto* probe = std::get_if<proto::ProbeReply>(&message)) {
+    monitor_->RecordHighTimestamp(name, probe->high_timestamp);
+  } else if (const auto* range = std::get_if<proto::RangeReply>(&message)) {
+    monitor_->RecordHighTimestamp(name, range->high_timestamp);
+  }
+}
+
+int PileusClient::DetermineMetRank(const Sla& sla, const Session& session,
+                                   std::string_view key,
+                                   const proto::GetReply& reply,
+                                   MicrosecondCount total_rtt_us,
+                                   MicrosecondCount now_us) const {
+  for (size_t rank = 0; rank < sla.size(); ++rank) {
+    const SubSla& sub = sla[rank];
+    if (total_rtt_us > sub.latency_us) {
+      continue;
+    }
+    if (sub.consistency.RequiresAuthoritative()) {
+      if (reply.served_by_primary) {
+        return static_cast<int>(rank);
+      }
+      continue;
+    }
+    const Timestamp min_read =
+        session.MinReadTimestamp(sub.consistency, key, now_us);
+    if (reply.high_timestamp >= min_read) {
+      return static_cast<int>(rank);
+    }
+  }
+  return -1;
+}
+
+Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
+                                      const Sla& sla) {
+  ++gets_issued_;
+  const MicrosecondCount deadline_us = sla.MaxLatency();
+  const MicrosecondCount start_us = clock_->NowMicros();
+
+  proto::GetRequest request;
+  request.table = table_.table_name;
+  request.key = std::string(key);
+  const proto::Message request_message = request;
+
+  GetOutcome outcome;
+  outcome.messages_sent = 0;
+
+  // --- Choose target node(s) ---
+  std::vector<int> targets;
+  if (options_.strategy == ReadStrategy::kPileus) {
+    const SelectionResult sel =
+        SelectTarget(sla, replica_views_, session, key, start_us, *monitor_,
+                     options_.selection, &rng_);
+    outcome.target_rank = sel.target_rank;
+    targets.push_back(sel.node_index);
+    // Parallel Gets (Section 6.3): fan out across additional tied candidates.
+    for (int candidate : sel.candidates) {
+      if (static_cast<int>(targets.size()) >= options_.parallel_fanout) {
+        break;
+      }
+      if (candidate != sel.node_index) {
+        targets.push_back(candidate);
+      }
+    }
+  } else {
+    targets.push_back(PickFixedStrategyNode());
+  }
+
+  // --- Issue the read(s) ---
+  std::vector<TimedReply> replies;
+  if (targets.size() == 1) {
+    replies.push_back(
+        table_.replicas[targets[0]].connection->Call(request_message,
+                                                     deadline_us));
+  } else {
+    std::vector<NodeConnection*> connections;
+    connections.reserve(targets.size());
+    for (int t : targets) {
+      connections.push_back(table_.replicas[t].connection.get());
+    }
+    replies = fanout_->CallAll(connections, request_message, deadline_us);
+  }
+  outcome.messages_sent += static_cast<int>(targets.size());
+  messages_sent_ += targets.size();
+
+  for (size_t i = 0; i < targets.size(); ++i) {
+    AbsorbReplyEvidence(targets[i], replies[i]);
+  }
+
+  // --- Pick the winning reply: best met subSLA, then lowest RTT ---
+  const MicrosecondCount eval_now = clock_->NowMicros();
+  int winner = -1;
+  int winner_met = -1;
+  for (size_t i = 0; i < replies.size(); ++i) {
+    if (!replies[i].reply.ok()) {
+      continue;
+    }
+    const auto* get_reply =
+        std::get_if<proto::GetReply>(&replies[i].reply.value());
+    if (get_reply == nullptr) {
+      continue;  // ErrorReply (wrong node, missing table, ...).
+    }
+    const int met = DetermineMetRank(sla, session, key, *get_reply,
+                                     replies[i].rtt_us, eval_now);
+    const bool better =
+        winner < 0 ||
+        (met >= 0 && (winner_met < 0 || met < winner_met)) ||
+        (met == winner_met && replies[i].rtt_us < replies[winner].rtt_us);
+    if (better) {
+      winner = static_cast<int>(i);
+      winner_met = met;
+    }
+  }
+
+  // --- Availability retries (Section 3.3): the targeted node(s) failed
+  // outright; try the remaining replicas while deadline budget remains ---
+  if (winner < 0 && options_.retry_other_replicas_on_failure &&
+      options_.strategy == ReadStrategy::kPileus) {
+    // Untried replicas, most promising (lowest mean monitored latency)
+    // first; unmeasured nodes sort first and get explored.
+    std::vector<int> untried;
+    for (int i = 0; i < static_cast<int>(table_.replicas.size()); ++i) {
+      if (std::find(targets.begin(), targets.end(), i) == targets.end()) {
+        untried.push_back(i);
+      }
+    }
+    std::sort(untried.begin(), untried.end(), [&](int a, int b) {
+      return monitor_->MeanLatency(table_.replicas[a].name) <
+             monitor_->MeanLatency(table_.replicas[b].name);
+    });
+    for (int idx : untried) {
+      const MicrosecondCount elapsed = clock_->NowMicros() - start_us;
+      const MicrosecondCount remaining = deadline_us - elapsed;
+      if (remaining <= 0) {
+        break;
+      }
+      TimedReply attempt =
+          table_.replicas[idx].connection->Call(request_message, remaining);
+      ++outcome.messages_sent;
+      ++messages_sent_;
+      AbsorbReplyEvidence(idx, attempt);
+      if (!attempt.reply.ok()) {
+        continue;
+      }
+      const auto* get_reply =
+          std::get_if<proto::GetReply>(&attempt.reply.value());
+      if (get_reply == nullptr) {
+        continue;
+      }
+      // The app-visible latency of this Get includes the failed attempts.
+      const MicrosecondCount total =
+          std::max(attempt.rtt_us, clock_->NowMicros() - start_us);
+      targets.push_back(idx);
+      replies.emplace_back(std::move(attempt.reply), total);
+      winner = static_cast<int>(replies.size()) - 1;
+      winner_met = DetermineMetRank(sla, session, key, *get_reply, total,
+                                    clock_->NowMicros());
+      outcome.retried = true;
+      break;
+    }
+  }
+
+  // --- Optional fallback retry at the primary (Section 5.4 discussion) ---
+  if (options_.fallback_to_primary_retry && winner_met < 0) {
+    const MicrosecondCount elapsed = clock_->NowMicros() - start_us;
+    const MicrosecondCount remaining = deadline_us - elapsed;
+    const bool primary_already_tried =
+        std::find(targets.begin(), targets.end(), table_.primary_index) !=
+        targets.end();
+    if (remaining > 0 && !primary_already_tried) {
+      TimedReply retry = table_.replicas[table_.primary_index]
+                             .connection->Call(request_message, remaining);
+      ++outcome.messages_sent;
+      ++messages_sent_;
+      AbsorbReplyEvidence(table_.primary_index, retry);
+      if (retry.reply.ok()) {
+        if (const auto* get_reply =
+                std::get_if<proto::GetReply>(&retry.reply.value())) {
+          const MicrosecondCount total = elapsed + retry.rtt_us;
+          const int met = DetermineMetRank(sla, session, key, *get_reply,
+                                           total, clock_->NowMicros());
+          if (met >= 0 || winner < 0) {
+            outcome.retried = true;
+            outcome.met_rank = met;
+            outcome.utility = met >= 0 ? sla[met].utility : 0.0;
+            outcome.rtt_us = total;
+            outcome.node_index = table_.primary_index;
+            outcome.node_name = table_.replicas[table_.primary_index].name;
+            outcome.from_primary = get_reply->served_by_primary;
+
+            GetResult result;
+            result.found = get_reply->found;
+            result.value = get_reply->value;
+            result.timestamp = get_reply->value_timestamp;
+            result.outcome = outcome;
+            if (!result.timestamp.IsZero()) {
+              session.RecordGet(key, result.timestamp);
+            }
+            return result;
+          }
+        }
+      }
+    }
+  }
+
+  if (winner < 0) {
+    // Nothing usable came back inside the SLA's overall deadline.
+    return Status(StatusCode::kUnavailable,
+                  "no replica answered within the SLA deadline");
+  }
+
+  const auto& get_reply =
+      std::get<proto::GetReply>(replies[winner].reply.value());
+  outcome.met_rank = winner_met;
+  outcome.utility = winner_met >= 0 ? sla[winner_met].utility : 0.0;
+  outcome.rtt_us = replies[winner].rtt_us;
+  outcome.node_index = targets[winner];
+  outcome.node_name = table_.replicas[targets[winner]].name;
+  outcome.from_primary = get_reply.served_by_primary;
+
+  GetResult result;
+  result.found = get_reply.found;
+  result.value = get_reply.value;
+  result.timestamp = get_reply.value_timestamp;
+  result.outcome = outcome;
+  // Record the observed version - including a tombstone's timestamp on a
+  // not-found reply - so monotonic reads can never "resurrect" a deleted
+  // value from a staler replica later in the session.
+  if (!result.timestamp.IsZero()) {
+    session.RecordGet(key, result.timestamp);
+  }
+  return result;
+}
+
+Result<RangeResult> PileusClient::GetRange(Session& session,
+                                           std::string_view begin,
+                                           std::string_view end,
+                                           uint32_t limit) {
+  return DoGetRange(session, begin, end, limit, session.default_sla());
+}
+
+Result<RangeResult> PileusClient::GetRange(Session& session,
+                                           std::string_view begin,
+                                           std::string_view end,
+                                           uint32_t limit, const Sla& sla) {
+  Status st = sla.Validate();
+  if (!st.ok()) {
+    return st;
+  }
+  return DoGetRange(session, begin, end, limit, sla);
+}
+
+Result<RangeResult> PileusClient::DoGetRange(Session& session,
+                                             std::string_view begin,
+                                             std::string_view end,
+                                             uint32_t limit, const Sla& sla) {
+  ++gets_issued_;
+  const MicrosecondCount deadline_us = sla.MaxLatency();
+  const MicrosecondCount start_us = clock_->NowMicros();
+
+  proto::RangeRequest request;
+  request.table = table_.table_name;
+  request.begin = std::string(begin);
+  request.end = std::string(end);
+  request.limit = limit;
+  const proto::Message request_message = request;
+
+  const MinReadTimestampFn scan_min = [&session,
+                                       this](const Guarantee& guarantee) {
+    return session.MinReadTimestampForScan(guarantee, clock_->NowMicros());
+  };
+
+  // Attempt order: the utility-maximizing node first (fixed strategies use
+  // their usual pick), then - if the node fails outright and budget remains -
+  // the other replicas.
+  std::vector<int> order;
+  GetOutcome outcome;
+  outcome.messages_sent = 0;
+  if (options_.strategy == ReadStrategy::kPileus) {
+    const SelectionResult sel = SelectTarget(
+        sla, replica_views_, scan_min, *monitor_, options_.selection, &rng_);
+    outcome.target_rank = sel.target_rank;
+    order.push_back(sel.node_index);
+    if (options_.retry_other_replicas_on_failure) {
+      for (int candidate : sel.candidates) {
+        if (std::find(order.begin(), order.end(), candidate) == order.end()) {
+          order.push_back(candidate);
+        }
+      }
+      for (int i = 0; i < static_cast<int>(table_.replicas.size()); ++i) {
+        if (std::find(order.begin(), order.end(), i) == order.end()) {
+          order.push_back(i);
+        }
+      }
+    }
+  } else {
+    order.push_back(PickFixedStrategyNode());
+  }
+
+  for (size_t attempt = 0; attempt < order.size(); ++attempt) {
+    const int node_index = order[attempt];
+    const MicrosecondCount elapsed = clock_->NowMicros() - start_us;
+    const MicrosecondCount remaining = deadline_us - elapsed;
+    if (remaining <= 0) {
+      break;
+    }
+    TimedReply timed = table_.replicas[node_index].connection->Call(
+        request_message, remaining);
+    ++outcome.messages_sent;
+    ++messages_sent_;
+    AbsorbReplyEvidence(node_index, timed);
+    if (!timed.reply.ok()) {
+      continue;
+    }
+    const auto* range_reply =
+        std::get_if<proto::RangeReply>(&timed.reply.value());
+    if (range_reply == nullptr) {
+      continue;  // ErrorReply.
+    }
+    const MicrosecondCount total =
+        std::max(timed.rtt_us, clock_->NowMicros() - start_us);
+
+    // Determine the met subSLA for the whole scan.
+    outcome.met_rank = -1;
+    for (size_t rank = 0; rank < sla.size(); ++rank) {
+      const SubSla& sub = sla[rank];
+      if (total > sub.latency_us) {
+        continue;
+      }
+      if (sub.consistency.RequiresAuthoritative()) {
+        if (range_reply->served_by_primary) {
+          outcome.met_rank = static_cast<int>(rank);
+          break;
+        }
+        continue;
+      }
+      if (range_reply->high_timestamp >= scan_min(sub.consistency)) {
+        outcome.met_rank = static_cast<int>(rank);
+        break;
+      }
+    }
+    outcome.utility =
+        outcome.met_rank >= 0 ? sla[outcome.met_rank].utility : 0.0;
+    outcome.rtt_us = total;
+    outcome.node_index = node_index;
+    outcome.node_name = table_.replicas[node_index].name;
+    outcome.from_primary = range_reply->served_by_primary;
+    outcome.retried = attempt > 0;
+
+    RangeResult result;
+    result.items = range_reply->items;
+    result.truncated = range_reply->truncated;
+    result.outcome = outcome;
+    for (const proto::ObjectVersion& item : result.items) {
+      session.RecordGet(item.key, item.timestamp);
+    }
+    return result;
+  }
+  return Status(StatusCode::kUnavailable,
+                "no replica answered the scan within the SLA deadline");
+}
+
+Result<PutResult> PileusClient::Put(Session& session, std::string_view key,
+                                    std::string_view value) {
+  ++puts_issued_;
+  proto::PutRequest request;
+  request.table = table_.table_name;
+  request.key = std::string(key);
+  request.value = std::string(value);
+
+  TimedReply timed = table_.replicas[table_.primary_index].connection->Call(
+      request, options_.put_timeout_us);
+  ++messages_sent_;
+  AbsorbReplyEvidence(table_.primary_index, timed,
+                      options_.record_put_latency);
+  if (!timed.reply.ok()) {
+    return timed.reply.status();
+  }
+  const proto::Message& message = timed.reply.value();
+  if (const auto* err = std::get_if<proto::ErrorReply>(&message)) {
+    return Status(err->code, err->message);
+  }
+  const auto* put_reply = std::get_if<proto::PutReply>(&message);
+  if (put_reply == nullptr) {
+    return Status(StatusCode::kInternal, "unexpected reply type for Put");
+  }
+  session.RecordPut(key, put_reply->timestamp);
+
+  PutResult result;
+  result.timestamp = put_reply->timestamp;
+  result.rtt_us = timed.rtt_us;
+  return result;
+}
+
+Result<PutResult> PileusClient::Delete(Session& session,
+                                       std::string_view key) {
+  ++puts_issued_;
+  proto::DeleteRequest request;
+  request.table = table_.table_name;
+  request.key = std::string(key);
+
+  TimedReply timed = table_.replicas[table_.primary_index].connection->Call(
+      request, options_.put_timeout_us);
+  ++messages_sent_;
+  AbsorbReplyEvidence(table_.primary_index, timed,
+                      options_.record_put_latency);
+  if (!timed.reply.ok()) {
+    return timed.reply.status();
+  }
+  const proto::Message& message = timed.reply.value();
+  if (const auto* err = std::get_if<proto::ErrorReply>(&message)) {
+    return Status(err->code, err->message);
+  }
+  const auto* put_reply = std::get_if<proto::PutReply>(&message);
+  if (put_reply == nullptr) {
+    return Status(StatusCode::kInternal, "unexpected reply type for Delete");
+  }
+  // The tombstone is this session's write: read-my-writes now requires
+  // nodes to have seen the deletion.
+  session.RecordPut(key, put_reply->timestamp);
+
+  PutResult result;
+  result.timestamp = put_reply->timestamp;
+  result.rtt_us = timed.rtt_us;
+  return result;
+}
+
+Status PileusClient::ProbeNode(int replica_index) {
+  if (replica_index < 0 ||
+      replica_index >= static_cast<int>(table_.replicas.size())) {
+    return Status(StatusCode::kInvalidArgument, "bad replica index");
+  }
+  proto::ProbeRequest request;
+  request.table = table_.table_name;
+  TimedReply timed = table_.replicas[replica_index].connection->Call(
+      request, options_.probe_timeout_us);
+  ++messages_sent_;
+  AbsorbReplyEvidence(replica_index, timed);
+  return timed.reply.status();
+}
+
+void PileusClient::ProbeStaleNodes() {
+  for (size_t i = 0; i < table_.replicas.size(); ++i) {
+    if (monitor_->NeedsProbe(table_.replicas[i].name)) {
+      Status st = ProbeNode(static_cast<int>(i));
+      if (!st.ok()) {
+        PILEUS_LOG(kDebug) << "probe of " << table_.replicas[i].name
+                           << " failed: " << st;
+      }
+    }
+  }
+}
+
+}  // namespace pileus::core

@@ -1,0 +1,231 @@
+// The Pileus client library (paper Sections 3, 4.6).
+//
+// PileusClient implements the application-facing API of Figure 2 for one
+// table: sessions with a default SLA, Get with an optional per-operation SLA,
+// and Put. For every Get it
+//
+//   1. computes each subSLA's minimum acceptable read timestamp from session
+//      state (Section 4.4),
+//   2. selects the target subSLA and storage node that maximize expected
+//      utility using the monitor's latency/staleness estimates (Figure 8),
+//   3. issues the read (optionally fanned out to several tied candidates -
+//      the Section 6.3 parallel-Gets extension),
+//   4. uses the responding node's high timestamp plus the measured round-trip
+//      time to determine which subSLA was *actually* met - possibly a higher
+//      one than targeted (Figure 9) - and reports it in the condition code.
+//
+// The client also implements the paper's three fixed comparison strategies
+// (Primary / Random / Closest, Section 5.1) behind the same API so the
+// benches can measure all four with identical accounting.
+//
+// Thread safety: Get/Put/BeginSession are meant to be driven by one
+// application thread per client (sessions are not synchronized). ProbeNode /
+// ProbeStaleNodes may run concurrently on a background prober thread: the
+// monitor is internally synchronized and the client's counters are atomic.
+
+#ifndef PILEUS_SRC_CORE_CLIENT_H_
+#define PILEUS_SRC_CORE_CLIENT_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/common/status.h"
+#include "src/core/connection.h"
+#include "src/core/monitor.h"
+#include "src/core/selection.h"
+#include "src/core/session.h"
+#include "src/core/sla.h"
+#include "src/proto/messages.h"
+
+namespace pileus::core {
+
+// One replica of a table as seen by a client.
+struct Replica {
+  std::string name;
+  bool authoritative = false;  // Primary-site member or synchronous replica.
+  std::shared_ptr<NodeConnection> connection;
+};
+
+// A client's view of one table's configuration (manually configured, like the
+// paper's prototype - Section 4.2).
+struct TableView {
+  std::string table_name;
+  std::vector<Replica> replicas;
+  int primary_index = -1;  // Where Puts go.
+
+  Status Validate() const;
+  std::vector<ReplicaView> MakeReplicaViews() const;
+};
+
+// Read-side strategies evaluated in Section 5.1.
+enum class ReadStrategy {
+  kPileus = 0,   // Utility-maximizing subSLA/node selection.
+  kPrimary = 1,  // Always read from the primary (strong).
+  kRandom = 2,   // Uniformly random replica (SimpleDB-style eventual).
+  kClosest = 3,  // Lowest mean latency replica (eventual).
+};
+std::string_view ReadStrategyName(ReadStrategy strategy);
+
+// The condition code a Get returns alongside its data (Section 3.3: "the
+// caller is informed of which subSLA was satisfied").
+struct GetOutcome {
+  int target_rank = -1;     // SubSLA the client aimed for (-1: fixed strategy).
+  int met_rank = -1;        // SubSLA actually met; -1 if none.
+  double utility = 0.0;     // Utility of the met subSLA (0 when none met).
+  MicrosecondCount rtt_us = 0;
+  int node_index = -1;      // Replica that served the winning reply.
+  std::string node_name;
+  bool from_primary = false;  // Authoritative data: strong-read quality.
+  int messages_sent = 1;      // 1 + fan-out extras + retry.
+  bool retried = false;       // Fallback retry at the primary happened.
+};
+
+struct GetResult {
+  bool found = false;
+  std::string value;
+  Timestamp timestamp;  // Update timestamp of the returned version.
+  GetOutcome outcome;
+};
+
+struct PutResult {
+  Timestamp timestamp;  // Update timestamp assigned by the primary.
+  MicrosecondCount rtt_us = 0;
+};
+
+struct RangeResult {
+  std::vector<proto::ObjectVersion> items;  // Ascending key order.
+  bool truncated = false;
+  GetOutcome outcome;
+};
+
+class PileusClient {
+ public:
+  struct Options {
+    ReadStrategy strategy = ReadStrategy::kPileus;
+    Monitor::Options monitor;
+    SelectionOptions selection;
+    // Section 6.3: fan a Get out to up to this many tied candidates.
+    int parallel_fanout = 1;
+    // When a reply satisfies no subSLA and deadline budget remains, retry at
+    // the primary (the strategy Section 5.4 says the authors considered).
+    bool fallback_to_primary_retry = false;
+    // Availability (Section 3.3): when the targeted node fails outright
+    // (unreachable / error), try the remaining replicas while deadline
+    // budget remains, so "data will be returned as long as some replica can
+    // be reached". Applies to the Pileus strategy only - the fixed baseline
+    // strategies stay faithful to their single-node behavior.
+    bool retry_other_replicas_on_failure = true;
+    MicrosecondCount put_timeout_us = SecondsToMicroseconds(10);
+    MicrosecondCount probe_timeout_us = SecondsToMicroseconds(5);
+    // Feed Put round-trip times into the latency windows that drive Get
+    // routing. Off by default: with multi-site synchronous Puts (Section
+    // 6.4) a Put's RTT includes the sync fan-out and badly overstates the
+    // node's Get latency. Puts always contribute high-timestamp evidence.
+    bool record_put_latency = false;
+    // Section 6.1 extension: "clients could share monitoring information
+    // with other clients in the same datacenter". When set, this client
+    // reads and feeds the shared monitor (not owned; must outlive the
+    // client; Monitor is internally synchronized) instead of a private one,
+    // so co-located clients skip each other's cold starts.
+    Monitor* shared_monitor = nullptr;
+    uint64_t seed = 42;
+  };
+
+  // `fanout` may be null when parallel_fanout == 1; it is not owned.
+  PileusClient(TableView table, const Clock* clock);
+  PileusClient(TableView table, const Clock* clock, Options options,
+               FanoutCaller* fanout = nullptr);
+
+  // Validates the SLA and opens a session scoped to this table.
+  Result<Session> BeginSession(const Sla& default_sla) const;
+
+  // Get under the session's default SLA.
+  Result<GetResult> Get(Session& session, std::string_view key);
+  // Get under a per-operation SLA override (Section 3.1).
+  Result<GetResult> Get(Session& session, std::string_view key,
+                        const Sla& sla);
+
+  Result<PutResult> Put(Session& session, std::string_view key,
+                        std::string_view value);
+
+  // Deletes a key by writing a tombstone at the primary. A delete is a
+  // write: the session records its timestamp, so a subsequent
+  // read-my-writes Get observes the deletion (not-found) rather than a
+  // stale value.
+  Result<PutResult> Delete(Session& session, std::string_view key);
+
+  // Range scan over [begin, end) (end empty = unbounded), at most `limit`
+  // items (0 = unlimited), under the session's default SLA or an override.
+  // The whole scan carries one consistency outcome: the serving node's high
+  // timestamp bounds the staleness of every returned item, with per-key
+  // guarantees generalized conservatively (see
+  // Session::MinReadTimestampForScan).
+  Result<RangeResult> GetRange(Session& session, std::string_view begin,
+                               std::string_view end, uint32_t limit);
+  Result<RangeResult> GetRange(Session& session, std::string_view begin,
+                               std::string_view end, uint32_t limit,
+                               const Sla& sla);
+
+  // Active monitoring (Section 4.5): probe one replica, or every replica the
+  // monitor considers stale. Deployments call these from a background thread;
+  // the simulation schedules equivalent virtual-time events.
+  Status ProbeNode(int replica_index);
+  void ProbeStaleNodes();
+
+  Monitor& monitor() { return *monitor_; }
+  const Monitor& monitor() const { return *monitor_; }
+  const TableView& table() const { return table_; }
+  const Options& options() const { return options_; }
+
+  uint64_t gets_issued() const {
+    return gets_issued_.load(std::memory_order_relaxed);
+  }
+  uint64_t puts_issued() const {
+    return puts_issued_.load(std::memory_order_relaxed);
+  }
+  uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Result<GetResult> DoGet(Session& session, std::string_view key,
+                          const Sla& sla);
+  Result<RangeResult> DoGetRange(Session& session, std::string_view begin,
+                                 std::string_view end, uint32_t limit,
+                                 const Sla& sla);
+
+  // Node choice for the fixed strategies.
+  int PickFixedStrategyNode();
+
+  // Records latency/high-timestamp evidence from one reply into the monitor.
+  void AbsorbReplyEvidence(int node_index, const TimedReply& timed,
+                           bool record_latency = true);
+
+  // Highest-ranked subSLA satisfied by a reply that took `total_rtt_us`;
+  // -1 when none. `now_us` is the evaluation time for bounded staleness.
+  int DetermineMetRank(const Sla& sla, const Session& session,
+                       std::string_view key, const proto::GetReply& reply,
+                       MicrosecondCount total_rtt_us,
+                       MicrosecondCount now_us) const;
+
+  TableView table_;
+  const Clock* clock_;  // Not owned.
+  Options options_;
+  FanoutCaller* fanout_;  // Not owned; may be null.
+  Monitor own_monitor_;
+  Monitor* monitor_;  // own_monitor_ or Options::shared_monitor.
+  std::vector<ReplicaView> replica_views_;
+  Random rng_;
+  std::atomic<uint64_t> gets_issued_{0};
+  std::atomic<uint64_t> puts_issued_{0};
+  std::atomic<uint64_t> messages_sent_{0};
+};
+
+}  // namespace pileus::core
+
+#endif  // PILEUS_SRC_CORE_CLIENT_H_

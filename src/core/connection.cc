@@ -1,0 +1,36 @@
+#include "src/core/connection.h"
+
+#include <thread>
+
+namespace pileus::core {
+
+TimedReply ChannelConnection::Call(const proto::Message& request,
+                                   MicrosecondCount timeout_us) {
+  const MicrosecondCount start = clock_->NowMicros();
+  Result<proto::Message> reply = channel_->Call(request, timeout_us);
+  const MicrosecondCount rtt = clock_->NowMicros() - start;
+  return TimedReply(std::move(reply), rtt);
+}
+
+std::vector<TimedReply> ThreadFanoutCaller::CallAll(
+    const std::vector<NodeConnection*>& connections,
+    const proto::Message& request, MicrosecondCount timeout_us) {
+  std::vector<TimedReply> replies(connections.size());
+  if (connections.empty()) {
+    return replies;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(connections.size() - 1);
+  for (size_t i = 1; i < connections.size(); ++i) {
+    threads.emplace_back([&, i] {
+      replies[i] = connections[i]->Call(request, timeout_us);
+    });
+  }
+  replies[0] = connections[0]->Call(request, timeout_us);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  return replies;
+}
+
+}  // namespace pileus::core

@@ -1,0 +1,78 @@
+// Node connections: how the client library reaches storage nodes.
+//
+// A NodeConnection is a synchronous, latency-measuring request pipe to one
+// storage node. The client library is written against this interface so the
+// identical SLA logic runs over the deterministic simulation (virtual time),
+// the in-process transport, or TCP. FanoutCaller generalizes a single call to
+// a parallel fan-out for the Section 6.3 "parallel Gets" extension.
+
+#ifndef PILEUS_SRC_CORE_CONNECTION_H_
+#define PILEUS_SRC_CORE_CONNECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/net/channel.h"
+#include "src/proto/messages.h"
+
+namespace pileus::core {
+
+struct TimedReply {
+  Result<proto::Message> reply;
+  // Round-trip time experienced by the caller (also filled for timeouts, in
+  // which case it equals the deadline).
+  MicrosecondCount rtt_us = 0;
+
+  TimedReply() : reply(Status(StatusCode::kInternal, "uninitialized")) {}
+  TimedReply(Result<proto::Message> r, MicrosecondCount rtt)
+      : reply(std::move(r)), rtt_us(rtt) {}
+};
+
+class NodeConnection {
+ public:
+  virtual ~NodeConnection() = default;
+
+  virtual TimedReply Call(const proto::Message& request,
+                          MicrosecondCount timeout_us) = 0;
+};
+
+// NodeConnection over any net::Channel, measuring RTT with the given clock.
+class ChannelConnection : public NodeConnection {
+ public:
+  ChannelConnection(std::shared_ptr<net::Channel> channel, const Clock* clock)
+      : channel_(std::move(channel)), clock_(clock) {}
+
+  TimedReply Call(const proto::Message& request,
+                  MicrosecondCount timeout_us) override;
+
+ private:
+  std::shared_ptr<net::Channel> channel_;
+  const Clock* clock_;  // Not owned.
+};
+
+// Issues the same request to several nodes "at once" and returns all replies
+// in input order.
+class FanoutCaller {
+ public:
+  virtual ~FanoutCaller() = default;
+
+  virtual std::vector<TimedReply> CallAll(
+      const std::vector<NodeConnection*>& connections,
+      const proto::Message& request, MicrosecondCount timeout_us) = 0;
+};
+
+// One thread per extra connection; correct for real transports. (The
+// simulation supplies its own virtual-time fan-out instead.)
+class ThreadFanoutCaller : public FanoutCaller {
+ public:
+  std::vector<TimedReply> CallAll(
+      const std::vector<NodeConnection*>& connections,
+      const proto::Message& request, MicrosecondCount timeout_us) override;
+};
+
+}  // namespace pileus::core
+
+#endif  // PILEUS_SRC_CORE_CONNECTION_H_

@@ -1,0 +1,36 @@
+#include "src/core/consistency.h"
+
+#include <cstdio>
+
+namespace pileus::core {
+
+std::string_view ConsistencyName(Consistency consistency) {
+  switch (consistency) {
+    case Consistency::kStrong:
+      return "strong";
+    case Consistency::kCausal:
+      return "causal";
+    case Consistency::kBounded:
+      return "bounded";
+    case Consistency::kReadMyWrites:
+      return "read-my-writes";
+    case Consistency::kMonotonic:
+      return "monotonic";
+    case Consistency::kEventual:
+      return "eventual";
+  }
+  return "unknown";
+}
+
+std::string Guarantee::ToString() const {
+  if (consistency != Consistency::kBounded) {
+    return std::string(ConsistencyName(consistency));
+  }
+  char buf[64];
+  const double seconds =
+      static_cast<double>(bound_us) / kMicrosecondsPerSecond;
+  std::snprintf(buf, sizeof(buf), "bounded(%.0fs)", seconds);
+  return buf;
+}
+
+}  // namespace pileus::core

@@ -1,0 +1,63 @@
+// Consistency guarantees offered on Get operations (paper Section 3.2).
+//
+// Pileus offers six read guarantees spanning the spectrum between strong and
+// eventual consistency. Each guarantee reduces, on the client, to a *minimum
+// acceptable read timestamp*: any storage node whose high timestamp is at
+// least that value can serve the Get with the requested consistency (paper
+// Section 4.4, Figure 7). Strong consistency is the special case that must be
+// served by an authoritative copy (the primary site, or a synchronous replica
+// with the Section 6.4 extension).
+
+#ifndef PILEUS_SRC_CORE_CONSISTENCY_H_
+#define PILEUS_SRC_CORE_CONSISTENCY_H_
+
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/timestamp.h"
+
+namespace pileus::core {
+
+enum class Consistency : int {
+  kStrong = 0,
+  kCausal = 1,
+  kBounded = 2,       // Parameterized by a staleness bound.
+  kReadMyWrites = 3,
+  kMonotonic = 4,
+  kEventual = 5,
+};
+
+// A consistency choice plus its parameter (only bounded staleness has one).
+struct Guarantee {
+  Consistency consistency = Consistency::kEventual;
+  // Staleness bound for kBounded; ignored otherwise.
+  MicrosecondCount bound_us = 0;
+
+  static Guarantee Strong() { return {Consistency::kStrong, 0}; }
+  static Guarantee Causal() { return {Consistency::kCausal, 0}; }
+  static Guarantee Bounded(MicrosecondCount bound_us) {
+    return {Consistency::kBounded, bound_us};
+  }
+  static Guarantee BoundedSeconds(int64_t seconds) {
+    return Bounded(SecondsToMicroseconds(seconds));
+  }
+  static Guarantee ReadMyWrites() { return {Consistency::kReadMyWrites, 0}; }
+  static Guarantee Monotonic() { return {Consistency::kMonotonic, 0}; }
+  static Guarantee Eventual() { return {Consistency::kEventual, 0}; }
+
+  // Whether only an authoritative (primary-site) copy may serve this.
+  bool RequiresAuthoritative() const {
+    return consistency == Consistency::kStrong;
+  }
+
+  bool operator==(const Guarantee&) const = default;
+
+  // "strong", "bounded(30s)", ...
+  std::string ToString() const;
+};
+
+std::string_view ConsistencyName(Consistency consistency);
+
+}  // namespace pileus::core
+
+#endif  // PILEUS_SRC_CORE_CONSISTENCY_H_

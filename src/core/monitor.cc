@@ -1,0 +1,127 @@
+#include "src/core/monitor.h"
+
+namespace pileus::core {
+
+Monitor::NodeState& Monitor::StateFor(std::string_view node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    it = nodes_.emplace(std::string(node),
+                        NodeState(options_.latency_window))
+             .first;
+  }
+  return it->second;
+}
+
+const Monitor::NodeState* Monitor::FindState(std::string_view node) const {
+  auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+void Monitor::RecordLatency(std::string_view node, MicrosecondCount rtt_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& state = StateFor(node);
+  const MicrosecondCount now = clock_->NowMicros();
+  state.latencies.Record(now, rtt_us);
+  state.last_contact_us = now;
+  ++samples_recorded_;
+}
+
+void Monitor::RecordHighTimestamp(std::string_view node,
+                                  const Timestamp& high) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& state = StateFor(node);
+  const MicrosecondCount now = clock_->NowMicros();
+  // High timestamps only move forward; keep the max ever observed.
+  if (high > state.high_timestamp) {
+    state.high_timestamp = high;
+    state.high_observed_at_us = now;
+  }
+  state.last_contact_us = now;
+}
+
+void Monitor::RecordSuccess(std::string_view node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& state = StateFor(node);
+  state.outcomes.Record(clock_->NowMicros(), 1);
+}
+
+void Monitor::RecordFailure(std::string_view node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& state = StateFor(node);
+  const MicrosecondCount now = clock_->NowMicros();
+  state.outcomes.Record(now, 0);
+  // A failure is still contact for probing purposes: the prober keeps
+  // checking for recovery at its normal cadence, not in a tight loop.
+  state.last_contact_us = now;
+}
+
+double Monitor::PNodeUp(std::string_view node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState* state = FindState(node);
+  if (state == nullptr) {
+    return 1.0;
+  }
+  // Samples are 0 (failure) or 1 (success): the fraction strictly below 1 is
+  // the failure rate. An empty window means no evidence: assume up.
+  return 1.0 -
+         state->outcomes.FractionBelow(clock_->NowMicros(), 1,
+                                       /*empty_estimate=*/0.0);
+}
+
+double Monitor::PNodeLat(std::string_view node,
+                         MicrosecondCount latency_us) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState* state = FindState(node);
+  if (state == nullptr) {
+    return options_.unknown_latency_estimate;
+  }
+  return state->latencies.FractionBelow(clock_->NowMicros(), latency_us,
+                                        options_.unknown_latency_estimate);
+}
+
+double Monitor::PNodeCons(std::string_view node,
+                          const Timestamp& min_read_timestamp) const {
+  return KnownHighTimestamp(node) >= min_read_timestamp ? 1.0 : 0.0;
+}
+
+Timestamp Monitor::KnownHighTimestamp(std::string_view node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState* state = FindState(node);
+  if (state == nullptr) {
+    return Timestamp::Zero();
+  }
+  Timestamp high = state->high_timestamp;
+  if (options_.predict_high_timestamp && state->high_observed_at_us >= 0) {
+    // Extrapolate: the node's high timestamp has (probably) kept advancing
+    // since we last heard from it. Scaled by prediction_rate so deployments
+    // can be more or less aggressive; 1.0 assumes the node keeps perfect pace
+    // with wall time (true for an idle primary's heartbeats).
+    const MicrosecondCount elapsed =
+        clock_->NowMicros() - state->high_observed_at_us;
+    high.physical_us +=
+        static_cast<MicrosecondCount>(options_.prediction_rate *
+                                      static_cast<double>(elapsed));
+  }
+  return high;
+}
+
+MicrosecondCount Monitor::MeanLatency(std::string_view node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState* state = FindState(node);
+  if (state == nullptr) {
+    return 0;
+  }
+  return state->latencies.Mean(clock_->NowMicros());
+}
+
+bool Monitor::NeedsProbe(std::string_view node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState* state = FindState(node);
+  if (state == nullptr) {
+    return true;
+  }
+  return clock_->NowMicros() - state->last_contact_us >=
+         options_.probe_interval_us;
+}
+
+}  // namespace pileus::core

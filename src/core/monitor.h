@@ -1,0 +1,132 @@
+// Client-side monitor of storage nodes (paper Section 4.5).
+//
+// For every replica of a table the monitor records (a) a sliding window of
+// round-trip latencies and (b) the maximum high timestamp it has observed.
+// Both are fed by normal Gets/Puts (piggybacking) and by active probes for
+// nodes that have not been contacted recently. From this state it computes
+// the probability estimates the selection algorithm consumes:
+//
+//   PNodeLat(node, L)  - fraction of windowed RTTs below L;
+//   PNodeCons(node, m) - 1 if the node's last known high timestamp >= the
+//                        minimum acceptable read timestamp m, else 0. High
+//                        timestamps only grow, so stale knowledge is a safe
+//                        underestimate;
+//   PNodeSla           - the product of the two.
+//
+// The optional high-timestamp predictor implements the Section 6.1 extension
+// ("clients could potentially predict a node's high timestamp"): it
+// extrapolates the observed high timestamp forward by the time elapsed since
+// the observation, scaled by a confidence rate.
+//
+// Thread safety: fully synchronized. The monitor is the one piece of client
+// state shared between the application thread and a background prober
+// (core::ThreadedProber), so all reads and updates take an internal lock.
+
+#ifndef PILEUS_SRC_CORE_MONITOR_H_
+#define PILEUS_SRC_CORE_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/common/clock.h"
+#include "src/common/timestamp.h"
+#include "src/util/sliding_window.h"
+
+namespace pileus::core {
+
+class Monitor {
+ public:
+  struct Options {
+    SlidingWindow::Options latency_window;
+    // A node unvisited for this long should be probed.
+    MicrosecondCount probe_interval_us = SecondsToMicroseconds(10);
+    // PNodeLat for a node with no samples: optimistic so new nodes get tried.
+    double unknown_latency_estimate = 1.0;
+    // Section 6.1 extension: extrapolate high timestamps between syncs.
+    bool predict_high_timestamp = false;
+    // Fraction of elapsed wall time credited to the predicted high timestamp.
+    double prediction_rate = 1.0;
+  };
+
+  explicit Monitor(const Clock* clock) : Monitor(clock, Options{}) {}
+  Monitor(const Clock* clock, Options options)
+      : clock_(clock), options_(options) {}
+
+  // --- Feeding the monitor ---
+
+  void RecordLatency(std::string_view node, MicrosecondCount rtt_us);
+  void RecordHighTimestamp(std::string_view node, const Timestamp& high);
+
+  // Reachability evidence: successes are normal replies, failures are
+  // transport errors (unreachable, connection reset, deadline expired with
+  // no answer). Drives PNodeUp so selection routes around dead nodes while
+  // probes keep checking for recovery.
+  void RecordSuccess(std::string_view node);
+  void RecordFailure(std::string_view node);
+
+  // --- Probability estimates (Section 4.5) ---
+
+  double PNodeLat(std::string_view node, MicrosecondCount latency_us) const;
+
+  // min_read_timestamp comes from Session::MinReadTimestamp. Strong reads are
+  // decided by authoritativeness in the selection layer, not here.
+  double PNodeCons(std::string_view node,
+                   const Timestamp& min_read_timestamp) const;
+
+  // Fraction of recent operations against the node that got any answer at
+  // all; 1.0 for nodes with no recorded outcomes.
+  double PNodeUp(std::string_view node) const;
+
+  double PNodeSla(std::string_view node, const Timestamp& min_read_timestamp,
+                  MicrosecondCount latency_us) const {
+    return PNodeCons(node, min_read_timestamp) * PNodeLat(node, latency_us) *
+           PNodeUp(node);
+  }
+
+  // --- Introspection / probing support ---
+
+  // Last known (possibly predicted) high timestamp; Zero when never seen.
+  Timestamp KnownHighTimestamp(std::string_view node) const;
+
+  // Mean windowed RTT; 0 when no samples (treated as "unknown, assume near").
+  MicrosecondCount MeanLatency(std::string_view node) const;
+
+  // True when the node has not been contacted within probe_interval.
+  bool NeedsProbe(std::string_view node) const;
+
+  uint64_t samples_recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_recorded_;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct NodeState {
+    SlidingWindow latencies;
+    // Reachability outcomes as 0/1 samples in the same sliding window shape.
+    SlidingWindow outcomes;
+    Timestamp high_timestamp = Timestamp::Zero();
+    MicrosecondCount high_observed_at_us = -1;
+    MicrosecondCount last_contact_us = -1;
+
+    explicit NodeState(const SlidingWindow::Options& window)
+        : latencies(window), outcomes(window) {}
+  };
+
+  NodeState& StateFor(std::string_view node);
+  const NodeState* FindState(std::string_view node) const;
+
+  const Clock* clock_;  // Not owned.
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, NodeState, std::less<>> nodes_;
+  uint64_t samples_recorded_ = 0;
+};
+
+}  // namespace pileus::core
+
+#endif  // PILEUS_SRC_CORE_MONITOR_H_

@@ -1,0 +1,41 @@
+#include "src/core/prober.h"
+
+#include <chrono>
+
+namespace pileus::core {
+
+ThreadedProber::ThreadedProber(PileusClient* client,
+                               MicrosecondCount check_period_us)
+    : client_(client), check_period_us_(check_period_us) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ThreadedProber::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void ThreadedProber::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::microseconds(check_period_us_),
+                 [this] { return stop_; });
+    if (stop_) {
+      return;
+    }
+    lock.unlock();
+    client_->ProbeStaleNodes();
+    lock.lock();
+  }
+}
+
+}  // namespace pileus::core

@@ -1,0 +1,44 @@
+// Background prober for real-time deployments (paper Section 4.5: "for nodes
+// that have not been accessed recently, the monitor may send active probes").
+//
+// Periodically asks the client to probe every replica its monitor considers
+// stale. The deterministic simulation does not use this class - it schedules
+// virtual-time probe events instead - so the probing *policy* stays in
+// Monitor::NeedsProbe where both paths share it.
+
+#ifndef PILEUS_SRC_CORE_PROBER_H_
+#define PILEUS_SRC_CORE_PROBER_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/core/client.h"
+
+namespace pileus::core {
+
+class ThreadedProber {
+ public:
+  ThreadedProber(PileusClient* client, MicrosecondCount check_period_us);
+  ~ThreadedProber() { Stop(); }
+
+  ThreadedProber(const ThreadedProber&) = delete;
+  ThreadedProber& operator=(const ThreadedProber&) = delete;
+
+  void Stop();
+
+ private:
+  void Loop();
+
+  PileusClient* client_;  // Not owned.
+  const MicrosecondCount check_period_us_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pileus::core
+
+#endif  // PILEUS_SRC_CORE_PROBER_H_

@@ -1,0 +1,157 @@
+#include "src/core/selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pileus::core {
+
+double ExpectedUtility(const SubSla& sub, const ReplicaView& replica,
+                       const MinReadTimestampFn& min_read_timestamp,
+                       const Monitor& monitor) {
+  double p_cons;
+  if (sub.consistency.RequiresAuthoritative()) {
+    // Strong reads: only an authoritative copy qualifies, and it qualifies by
+    // construction (it holds the latest committed data).
+    p_cons = replica.authoritative ? 1.0 : 0.0;
+  } else {
+    // Authoritative copies satisfy every timestamp threshold.
+    p_cons = replica.authoritative
+                 ? 1.0
+                 : monitor.PNodeCons(replica.name,
+                                     min_read_timestamp(sub.consistency));
+  }
+  if (p_cons == 0.0) {
+    return 0.0;
+  }
+  return p_cons * monitor.PNodeLat(replica.name, sub.latency_us) *
+         monitor.PNodeUp(replica.name) * sub.utility;
+}
+
+double ExpectedUtility(const SubSla& sub, const ReplicaView& replica,
+                       const Session& session, std::string_view key,
+                       MicrosecondCount now_us, const Monitor& monitor) {
+  return ExpectedUtility(
+      sub, replica,
+      [&session, key, now_us](const Guarantee& guarantee) {
+        return session.MinReadTimestamp(guarantee, key, now_us);
+      },
+      monitor);
+}
+
+SelectionResult SelectTarget(const Sla& sla,
+                             const std::vector<ReplicaView>& replicas,
+                             const Session& session, std::string_view key,
+                             MicrosecondCount now_us, const Monitor& monitor,
+                             const SelectionOptions& options, Random* rng) {
+  return SelectTarget(
+      sla, replicas,
+      [&session, key, now_us](const Guarantee& guarantee) {
+        return session.MinReadTimestamp(guarantee, key, now_us);
+      },
+      monitor, options, rng);
+}
+
+SelectionResult SelectTarget(const Sla& sla,
+                             const std::vector<ReplicaView>& replicas,
+                             const MinReadTimestampFn& min_read_timestamp,
+                             const Monitor& monitor,
+                             const SelectionOptions& options, Random* rng) {
+  SelectionResult result;
+  if (replicas.empty() || sla.empty()) {
+    return result;
+  }
+
+  // Figure 8: maxutil starts below any achievable utility so the first pair
+  // always becomes the initial candidate.
+  double maxutil = -1.0;
+  std::vector<double> node_best(replicas.size(), -1.0);
+  for (size_t rank = 0; rank < sla.size(); ++rank) {
+    const SubSla& sub = sla[rank];
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      const double util =
+          ExpectedUtility(sub, replicas[i], min_read_timestamp, monitor);
+      node_best[i] = std::max(node_best[i], util);
+      if (util > maxutil) {
+        maxutil = util;
+        result.target_rank = static_cast<int>(rank);
+        result.candidates.clear();
+        result.candidates.push_back(static_cast<int>(i));
+      } else if (util == maxutil) {
+        // Only extend the node set; the target subSLA stays the
+        // highest-ranked one that reached maxutil (Figure 8 semantics).
+        if (std::find(result.candidates.begin(), result.candidates.end(),
+                      static_cast<int>(i)) == result.candidates.end()) {
+          result.candidates.push_back(static_cast<int>(i));
+        }
+      }
+    }
+  }
+  result.expected_utility = std::max(maxutil, 0.0);
+
+  // Tie-break among candidates.
+  assert(!result.candidates.empty());
+  int chosen = result.candidates.front();
+  switch (options.tie_break) {
+    case TieBreak::kClosest: {
+      MicrosecondCount best_latency =
+          monitor.MeanLatency(replicas[chosen].name);
+      for (int candidate : result.candidates) {
+        const MicrosecondCount lat =
+            monitor.MeanLatency(replicas[candidate].name);
+        if (lat < best_latency) {
+          best_latency = lat;
+          chosen = candidate;
+        }
+      }
+      break;
+    }
+    case TieBreak::kRandom: {
+      if (rng != nullptr && result.candidates.size() > 1) {
+        chosen = result.candidates[rng->NextUint64(result.candidates.size())];
+      }
+      break;
+    }
+    case TieBreak::kFreshest: {
+      Timestamp best_high = monitor.KnownHighTimestamp(replicas[chosen].name);
+      for (int candidate : result.candidates) {
+        const Timestamp high =
+            monitor.KnownHighTimestamp(replicas[candidate].name);
+        if (high > best_high) {
+          best_high = high;
+          chosen = candidate;
+        }
+      }
+      break;
+    }
+  }
+  result.node_index = chosen;
+
+  // Section 6.3: widen the candidate set to "roughly the same service" for
+  // parallel-Get fan-out. The single-node choice above used exact ties only.
+  if (options.candidate_epsilon > 0.0) {
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      if (node_best[i] >= maxutil - options.candidate_epsilon &&
+          std::find(result.candidates.begin(), result.candidates.end(),
+                    static_cast<int>(i)) == result.candidates.end()) {
+        result.candidates.push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  // Order candidates best-first for parallel-Get fan-out: the chosen node
+  // first, the rest by the active tie-break policy's metric (mean latency).
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [&](int a, int b) {
+              if (a == chosen) {
+                return b != chosen;
+              }
+              if (b == chosen) {
+                return false;
+              }
+              return monitor.MeanLatency(replicas[a].name) <
+                     monitor.MeanLatency(replicas[b].name);
+            });
+  return result;
+}
+
+}  // namespace pileus::core

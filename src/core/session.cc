@@ -1,0 +1,178 @@
+#include "src/core/session.h"
+
+#include <algorithm>
+
+#include "src/util/codec.h"
+
+namespace pileus::core {
+
+namespace {
+
+// Bumped when the serialized session layout changes.
+constexpr uint8_t kSessionWireVersion = 1;
+
+void EncodeTimestampMap(
+    Encoder& enc, const std::map<std::string, Timestamp, std::less<>>& map) {
+  enc.PutVarint64(map.size());
+  for (const auto& [key, timestamp] : map) {
+    enc.PutLengthPrefixed(key);
+    enc.PutTimestamp(timestamp);
+  }
+}
+
+Status DecodeTimestampMap(Decoder& dec,
+                          std::map<std::string, Timestamp, std::less<>>* map) {
+  uint64_t count = 0;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  if (count > dec.remaining()) {
+    return Status(StatusCode::kCorruption, "session map count too large");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    Timestamp timestamp;
+    PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&key));
+    PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&timestamp));
+    (*map)[std::move(key)] = timestamp;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Timestamp Session::MinReadTimestamp(const Guarantee& guarantee,
+                                    std::string_view key,
+                                    MicrosecondCount now_us) const {
+  switch (guarantee.consistency) {
+    case Consistency::kStrong:
+      // Strong reads go to an authoritative copy; no secondary qualifies
+      // regardless of its high timestamp.
+      return Timestamp::Max();
+    case Consistency::kCausal:
+      // Maximum timestamp of anything read or written in this session.
+      return MaxTimestamp(max_read_, max_write_);
+    case Consistency::kBounded:
+      return Timestamp{std::max<MicrosecondCount>(0, now_us -
+                                                         guarantee.bound_us),
+                       0};
+    case Consistency::kReadMyWrites:
+      return LastPutTimestamp(key);
+    case Consistency::kMonotonic:
+      return LastGetTimestamp(key);
+    case Consistency::kEventual:
+      return Timestamp::Zero();
+  }
+  return Timestamp::Zero();
+}
+
+Timestamp Session::MinReadTimestampForScan(const Guarantee& guarantee,
+                                           MicrosecondCount now_us) const {
+  switch (guarantee.consistency) {
+    case Consistency::kStrong:
+      return Timestamp::Max();
+    case Consistency::kCausal:
+      return MaxTimestamp(max_read_, max_write_);
+    case Consistency::kBounded:
+      return Timestamp{std::max<MicrosecondCount>(0, now_us -
+                                                         guarantee.bound_us),
+                       0};
+    case Consistency::kReadMyWrites:
+      return max_write_;
+    case Consistency::kMonotonic:
+      return max_read_;
+    case Consistency::kEventual:
+      return Timestamp::Zero();
+  }
+  return Timestamp::Zero();
+}
+
+void Session::RecordPut(std::string_view key, const Timestamp& timestamp) {
+  auto [it, inserted] = puts_.try_emplace(std::string(key), timestamp);
+  if (!inserted) {
+    it->second = MaxTimestamp(it->second, timestamp);
+  }
+  max_write_ = MaxTimestamp(max_write_, timestamp);
+}
+
+void Session::RecordGet(std::string_view key,
+                        const Timestamp& version_timestamp) {
+  auto [it, inserted] =
+      gets_.try_emplace(std::string(key), version_timestamp);
+  if (!inserted) {
+    it->second = MaxTimestamp(it->second, version_timestamp);
+  }
+  max_read_ = MaxTimestamp(max_read_, version_timestamp);
+}
+
+std::string Session::Serialize() const {
+  Encoder enc;
+  enc.PutUint8(kSessionWireVersion);
+  // The default SLA travels with the session.
+  enc.PutVarint64(default_sla_.size());
+  for (const SubSla& sub : default_sla_.subslas()) {
+    enc.PutUint8(static_cast<uint8_t>(sub.consistency.consistency));
+    enc.PutVarintSigned64(sub.consistency.bound_us);
+    enc.PutVarintSigned64(sub.latency_us);
+    enc.PutDouble(sub.utility);
+  }
+  EncodeTimestampMap(enc, puts_);
+  EncodeTimestampMap(enc, gets_);
+  enc.PutTimestamp(max_read_);
+  enc.PutTimestamp(max_write_);
+  return enc.Release();
+}
+
+Result<Session> Session::Deserialize(std::string_view bytes) {
+  Decoder dec(bytes);
+  uint8_t version = 0;
+  PILEUS_RETURN_IF_ERROR(dec.GetUint8(&version));
+  if (version != kSessionWireVersion) {
+    return Status(StatusCode::kCorruption,
+                  "unsupported serialized session version");
+  }
+  uint64_t sub_count = 0;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&sub_count));
+  if (sub_count > dec.remaining()) {
+    return Status(StatusCode::kCorruption, "session SLA count too large");
+  }
+  Sla sla;
+  for (uint64_t i = 0; i < sub_count; ++i) {
+    uint8_t consistency = 0;
+    int64_t bound_us = 0;
+    int64_t latency_us = 0;
+    double utility = 0.0;
+    PILEUS_RETURN_IF_ERROR(dec.GetUint8(&consistency));
+    PILEUS_RETURN_IF_ERROR(dec.GetVarintSigned64(&bound_us));
+    PILEUS_RETURN_IF_ERROR(dec.GetVarintSigned64(&latency_us));
+    PILEUS_RETURN_IF_ERROR(dec.GetDouble(&utility));
+    if (consistency > static_cast<uint8_t>(Consistency::kEventual)) {
+      return Status(StatusCode::kCorruption,
+                    "unknown consistency in serialized session");
+    }
+    sla.Add(Guarantee{static_cast<Consistency>(consistency), bound_us},
+            latency_us, utility);
+  }
+  PILEUS_RETURN_IF_ERROR(sla.Validate());
+
+  Session session(std::move(sla));
+  PILEUS_RETURN_IF_ERROR(DecodeTimestampMap(dec, &session.puts_));
+  PILEUS_RETURN_IF_ERROR(DecodeTimestampMap(dec, &session.gets_));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&session.max_read_));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&session.max_write_));
+  if (!dec.AtEnd()) {
+    return Status(StatusCode::kCorruption,
+                  "trailing bytes in serialized session");
+  }
+  return session;
+}
+
+Timestamp Session::LastPutTimestamp(std::string_view key) const {
+  auto it = puts_.find(key);
+  return it == puts_.end() ? Timestamp::Zero() : it->second;
+}
+
+Timestamp Session::LastGetTimestamp(std::string_view key) const {
+  auto it = gets_.find(key);
+  return it == gets_.end() ? Timestamp::Zero() : it->second;
+}
+
+}  // namespace pileus::core

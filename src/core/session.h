@@ -1,0 +1,85 @@
+// Sessions and minimum acceptable read timestamps (paper Sections 3.1, 4.4).
+//
+// All Gets and Puts happen inside a session; the session records exactly the
+// state needed to compute, per consistency guarantee, the minimum acceptable
+// read timestamp for a key:
+//
+//   read-my-writes - timestamps of this session's Puts, per key;
+//   monotonic      - timestamp of the latest version this session has read,
+//                    per key;
+//   causal         - the maximum timestamp of anything read or written in
+//                    this session (Puts are causally ordered at the primary,
+//                    so each node always holds a causally consistent prefix);
+//   bounded(t)     - the current time minus t;
+//   strong         - served only by an authoritative copy (represented as
+//                    Timestamp::Max() plus the RequiresAuthoritative flag);
+//   eventual       - zero.
+//
+// Everything is computed purely client-side; nodes never see session state.
+
+#ifndef PILEUS_SRC_CORE_SESSION_H_
+#define PILEUS_SRC_CORE_SESSION_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/clock.h"
+#include "src/common/timestamp.h"
+#include "src/core/consistency.h"
+#include "src/core/sla.h"
+
+namespace pileus::core {
+
+class Session {
+ public:
+  explicit Session(Sla default_sla) : default_sla_(std::move(default_sla)) {}
+
+  const Sla& default_sla() const { return default_sla_; }
+
+  // The minimum acceptable read timestamp for reading `key` at `now_us` with
+  // the given guarantee. A node qualifies iff its high timestamp is >= this
+  // (and, for strong, it is authoritative).
+  Timestamp MinReadTimestamp(const Guarantee& guarantee, std::string_view key,
+                             MicrosecondCount now_us) const;
+
+  // Minimum acceptable read timestamp for a *range scan*. Per-key state
+  // generalizes conservatively: read-my-writes must cover every key this
+  // session has written (any of them could fall in the range), monotonic
+  // every key it has read.
+  Timestamp MinReadTimestampForScan(const Guarantee& guarantee,
+                                    MicrosecondCount now_us) const;
+
+  // Bookkeeping called by the client library after each operation.
+  void RecordPut(std::string_view key, const Timestamp& timestamp);
+  void RecordGet(std::string_view key, const Timestamp& version_timestamp);
+
+  // Serialization: a session is pure client-side state (per-key put/get
+  // timestamps plus the causal maxima), so it can be handed between
+  // processes - e.g. a web application continuing a user's session on a
+  // different frontend while preserving read-my-writes and monotonic
+  // guarantees. The SLA travels with it.
+  std::string Serialize() const;
+  static Result<Session> Deserialize(std::string_view bytes);
+
+  // Introspection (tests, debugging).
+  Timestamp LastPutTimestamp(std::string_view key) const;
+  Timestamp LastGetTimestamp(std::string_view key) const;
+  const Timestamp& max_read_timestamp() const { return max_read_; }
+  const Timestamp& max_write_timestamp() const { return max_write_; }
+  size_t tracked_put_keys() const { return puts_.size(); }
+  size_t tracked_get_keys() const { return gets_.size(); }
+
+ private:
+  Sla default_sla_;
+  // Update timestamps of this session's Puts, per key.
+  std::map<std::string, Timestamp, std::less<>> puts_;
+  // Timestamps of the latest version returned to this session, per key.
+  std::map<std::string, Timestamp, std::less<>> gets_;
+  Timestamp max_read_ = Timestamp::Zero();
+  Timestamp max_write_ = Timestamp::Zero();
+};
+
+}  // namespace pileus::core
+
+#endif  // PILEUS_SRC_CORE_SESSION_H_

@@ -1,0 +1,144 @@
+#include "src/core/sharded_client.h"
+
+#include <algorithm>
+
+namespace pileus::core {
+
+Result<std::unique_ptr<ShardedClient>> ShardedClient::Create(
+    std::vector<Shard> shards, const Clock* clock,
+    PileusClient::Options options, FanoutCaller* fanout) {
+  if (shards.empty()) {
+    return Status(StatusCode::kInvalidArgument, "no shards given");
+  }
+  std::vector<KeyRange> ranges;
+  ranges.reserve(shards.size());
+  for (const Shard& shard : shards) {
+    ranges.push_back(shard.range);
+    PILEUS_RETURN_IF_ERROR(shard.view.Validate());
+  }
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    for (size_t j = i + 1; j < ranges.size(); ++j) {
+      if (ranges[i].Overlaps(ranges[j])) {
+        return Status(StatusCode::kInvalidArgument,
+                      "shard ranges " + ranges[i].ToString() + " and " +
+                          ranges[j].ToString() + " overlap");
+      }
+    }
+  }
+  if (!RangesCoverKeySpace(ranges)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "shard ranges do not tile the keyspace");
+  }
+
+  std::sort(shards.begin(), shards.end(), [](const Shard& a, const Shard& b) {
+    return a.range.begin < b.range.begin;
+  });
+  std::vector<OwnedShard> owned;
+  owned.reserve(shards.size());
+  for (Shard& shard : shards) {
+    OwnedShard entry;
+    entry.range = shard.range;
+    entry.client = std::make_unique<PileusClient>(std::move(shard.view),
+                                                  clock, options, fanout);
+    owned.push_back(std::move(entry));
+  }
+  return std::unique_ptr<ShardedClient>(new ShardedClient(std::move(owned)));
+}
+
+Result<Session> ShardedClient::BeginSession(const Sla& default_sla) const {
+  return shards_.front().client->BeginSession(default_sla);
+}
+
+PileusClient* ShardedClient::ShardFor(std::string_view key) {
+  // Shards are sorted by begin and tile the keyspace: the owner is the last
+  // shard whose begin <= key.
+  auto it = std::upper_bound(
+      shards_.begin(), shards_.end(), key,
+      [](std::string_view k, const OwnedShard& shard) {
+        return k < shard.range.begin;
+      });
+  // upper_bound returns the first shard with begin > key; step back.
+  --it;
+  return it->client.get();
+}
+
+Result<GetResult> ShardedClient::Get(Session& session, std::string_view key) {
+  return ShardFor(key)->Get(session, key);
+}
+
+Result<GetResult> ShardedClient::Get(Session& session, std::string_view key,
+                                     const Sla& sla) {
+  return ShardFor(key)->Get(session, key, sla);
+}
+
+Result<PutResult> ShardedClient::Put(Session& session, std::string_view key,
+                                     std::string_view value) {
+  return ShardFor(key)->Put(session, key, value);
+}
+
+Result<PutResult> ShardedClient::Delete(Session& session,
+                                        std::string_view key) {
+  return ShardFor(key)->Delete(session, key);
+}
+
+Result<RangeResult> ShardedClient::GetRange(Session& session,
+                                            std::string_view begin,
+                                            std::string_view end,
+                                            uint32_t limit) {
+  RangeResult combined;
+  combined.outcome.messages_sent = 0;
+  int total_messages = 0;
+  bool first = true;
+  for (OwnedShard& shard : shards_) {
+    // Intersect [begin, end) with the shard's range.
+    std::string piece_begin = std::max(std::string(begin), shard.range.begin);
+    std::string piece_end = shard.range.end;
+    if (!end.empty() && (piece_end.empty() || std::string(end) < piece_end)) {
+      piece_end = std::string(end);
+    }
+    if (!piece_end.empty() && piece_begin >= piece_end) {
+      continue;  // Empty intersection.
+    }
+    const uint32_t remaining =
+        limit == 0 ? 0
+                   : limit - static_cast<uint32_t>(combined.items.size());
+    if (limit != 0 && remaining == 0) {
+      combined.truncated = true;
+      break;
+    }
+    Result<RangeResult> piece =
+        shard.client->GetRange(session, piece_begin, piece_end, remaining);
+    if (!piece.ok()) {
+      return piece.status();
+    }
+    for (proto::ObjectVersion& item : piece->items) {
+      combined.items.push_back(std::move(item));
+    }
+    combined.truncated = combined.truncated || piece->truncated;
+    const GetOutcome& outcome = piece->outcome;
+    if (first) {
+      combined.outcome = outcome;
+      first = false;
+    } else {
+      // Weakest-link aggregation.
+      if (outcome.met_rank < 0 || combined.outcome.met_rank < 0) {
+        combined.outcome.met_rank = -1;
+        combined.outcome.utility = 0.0;
+      } else if (outcome.met_rank > combined.outcome.met_rank) {
+        combined.outcome.met_rank = outcome.met_rank;
+        combined.outcome.utility = outcome.utility;
+      }
+      combined.outcome.rtt_us += outcome.rtt_us;
+      combined.outcome.from_primary =
+          combined.outcome.from_primary && outcome.from_primary;
+      combined.outcome.node_name += "+" + outcome.node_name;
+      combined.outcome.retried =
+          combined.outcome.retried || outcome.retried;
+    }
+    total_messages += outcome.messages_sent;
+  }
+  combined.outcome.messages_sent = total_messages;
+  return combined;
+}
+
+}  // namespace pileus::core

@@ -1,0 +1,81 @@
+// Client-side routing for range-partitioned tables.
+//
+// "For scalability, a large table can be sharded into one or more tablets...
+// Tablets are the granularity of replication and are independently
+// replicated on multiple storage nodes. Different tablets may be configured
+// with different primary sites" (paper Section 4.2).
+//
+// ShardedClient routes each Get/Put to the tablet owning the key and runs
+// the normal SLA machinery against that tablet's replica set (one
+// PileusClient per shard, each with its own monitor). A single Session spans
+// all shards: per-key guarantees (read-my-writes, monotonic) compose
+// trivially, and session-wide guarantees (causal) rely on the paper's
+// approximately-synchronized-clocks assumption when tablets have different
+// primary sites (update timestamps from different primaries are compared).
+
+#ifndef PILEUS_SRC_CORE_SHARDED_CLIENT_H_
+#define PILEUS_SRC_CORE_SHARDED_CLIENT_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/util/key_range.h"
+
+namespace pileus::core {
+
+class ShardedClient {
+ public:
+  struct Shard {
+    KeyRange range;
+    TableView view;  // Replica set + primary for this tablet.
+  };
+
+  // `shards` must tile the whole keyspace with non-overlapping ranges and
+  // carry valid views; Create validates and returns the client.
+  static Result<std::unique_ptr<ShardedClient>> Create(
+      std::vector<Shard> shards, const Clock* clock,
+      PileusClient::Options options, FanoutCaller* fanout = nullptr);
+
+  Result<Session> BeginSession(const Sla& default_sla) const;
+
+  Result<GetResult> Get(Session& session, std::string_view key);
+  Result<GetResult> Get(Session& session, std::string_view key,
+                        const Sla& sla);
+  Result<PutResult> Put(Session& session, std::string_view key,
+                        std::string_view value);
+  Result<PutResult> Delete(Session& session, std::string_view key);
+
+  // Range scan across shards: [begin, end) is intersected with each shard's
+  // range in key order and the pieces are concatenated (so results stay
+  // sorted). The returned outcome aggregates the per-shard scans: the met
+  // subSLA is the *weakest* across shards (-1 if any shard met none), the
+  // RTT and message counts are summed.
+  Result<RangeResult> GetRange(Session& session, std::string_view begin,
+                               std::string_view end, uint32_t limit);
+
+  // The per-shard client owning `key` (never null after Create succeeded).
+  PileusClient* ShardFor(std::string_view key);
+
+  size_t shard_count() const { return shards_.size(); }
+  PileusClient& shard_client(size_t index) { return *shards_[index].client; }
+  const KeyRange& shard_range(size_t index) const {
+    return shards_[index].range;
+  }
+
+ private:
+  struct OwnedShard {
+    KeyRange range;
+    std::unique_ptr<PileusClient> client;
+  };
+
+  explicit ShardedClient(std::vector<OwnedShard> shards)
+      : shards_(std::move(shards)) {}
+
+  std::vector<OwnedShard> shards_;  // Sorted by range begin.
+};
+
+}  // namespace pileus::core
+
+#endif  // PILEUS_SRC_CORE_SHARDED_CLIENT_H_

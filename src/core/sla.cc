@@ -1,0 +1,100 @@
+#include "src/core/sla.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pileus::core {
+
+std::string SubSla::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "<%s, %.0f ms, u=%g>",
+                consistency.ToString().c_str(),
+                MicrosecondsToMilliseconds(latency_us), utility);
+  return buf;
+}
+
+MicrosecondCount Sla::MaxLatency() const {
+  MicrosecondCount max_latency = 0;
+  for (const SubSla& sub : subslas_) {
+    max_latency = std::max(max_latency, sub.latency_us);
+  }
+  return max_latency;
+}
+
+Status Sla::Validate() const {
+  if (subslas_.empty()) {
+    return Status(StatusCode::kInvalidArgument, "SLA has no subSLAs");
+  }
+  double previous_utility = 0.0;
+  for (size_t rank = 0; rank < subslas_.size(); ++rank) {
+    const SubSla& sub = subslas_[rank];
+    if (sub.latency_us <= 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "subSLA " + std::to_string(rank + 1) +
+                        " has a non-positive latency target");
+    }
+    if (sub.utility < 0.0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "subSLA " + std::to_string(rank + 1) +
+                        " has a negative utility");
+    }
+    if (sub.consistency.consistency == Consistency::kBounded &&
+        sub.consistency.bound_us <= 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "subSLA " + std::to_string(rank + 1) +
+                        " has a non-positive staleness bound");
+    }
+    if (rank > 0 && sub.utility > previous_utility) {
+      return Status(StatusCode::kInvalidArgument,
+                    "subSLA " + std::to_string(rank + 1) +
+                        " has higher utility than the one above it");
+    }
+    previous_utility = sub.utility;
+  }
+  return Status::Ok();
+}
+
+std::string Sla::ToString() const {
+  std::string out = "SLA[";
+  for (size_t i = 0; i < subslas_.size(); ++i) {
+    if (i > 0) {
+      out += "; ";
+    }
+    out += subslas_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+Sla ShoppingCartSla() {
+  return Sla()
+      .Add(Guarantee::ReadMyWrites(), MillisecondsToMicroseconds(300), 1.0)
+      .Add(Guarantee::Eventual(), MillisecondsToMicroseconds(300), 0.5);
+}
+
+Sla WebApplicationSla() {
+  return Sla()
+      .Add(Guarantee::BoundedSeconds(300), MillisecondsToMicroseconds(200),
+           0.00001)
+      .Add(Guarantee::BoundedSeconds(300), MillisecondsToMicroseconds(400),
+           0.000008)
+      .Add(Guarantee::BoundedSeconds(300), MillisecondsToMicroseconds(600),
+           0.000005)
+      .Add(Guarantee::BoundedSeconds(300), MillisecondsToMicroseconds(1000),
+           0.0);
+}
+
+Sla PasswordCheckingSla() {
+  return Sla()
+      .Add(Guarantee::Strong(), MillisecondsToMicroseconds(150), 1.0)
+      .Add(Guarantee::Eventual(), MillisecondsToMicroseconds(150), 0.5)
+      .Add(Guarantee::Strong(), SecondsToMicroseconds(1), 0.25);
+}
+
+SubSla MaxAvailabilitySubSla() {
+  // "Unbounded" latency, represented as an hour: far beyond any real
+  // operation while keeping deadline arithmetic finite.
+  return SubSla{Guarantee::Eventual(), SecondsToMicroseconds(3600), 0.0};
+}
+
+}  // namespace pileus::core

@@ -1,0 +1,81 @@
+// Consistency-based service level agreements (paper Section 3.3).
+//
+// An SLA is an ordered list of subSLAs, each a <consistency, latency, utility>
+// triple. The first subSLA states the application's ideal service; later ones
+// are acceptable fallbacks with lower utility. The client library targets the
+// subSLA x node combination with the highest expected utility (Section 4.6)
+// and reports back which subSLA each Get actually met.
+
+#ifndef PILEUS_SRC_CORE_SLA_H_
+#define PILEUS_SRC_CORE_SLA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/consistency.h"
+
+namespace pileus::core {
+
+struct SubSla {
+  Guarantee consistency;
+  MicrosecondCount latency_us = 0;  // Target round-trip latency.
+  double utility = 0.0;             // Value delivered when this subSLA is met.
+
+  std::string ToString() const;
+};
+
+class Sla {
+ public:
+  Sla() = default;
+  explicit Sla(std::vector<SubSla> subslas) : subslas_(std::move(subslas)) {}
+
+  // Fluent construction: Sla().Add(guarantee, latency, utility).Add(...).
+  Sla& Add(Guarantee guarantee, MicrosecondCount latency_us, double utility) {
+    subslas_.push_back(SubSla{guarantee, latency_us, utility});
+    return *this;
+  }
+
+  const std::vector<SubSla>& subslas() const { return subslas_; }
+  size_t size() const { return subslas_.size(); }
+  bool empty() const { return subslas_.empty(); }
+  const SubSla& operator[](size_t rank) const { return subslas_[rank]; }
+
+  // Largest latency target across subSLAs: the overall Get deadline (a reply
+  // slower than every subSLA can deliver no utility).
+  MicrosecondCount MaxLatency() const;
+
+  // Checks the well-formedness rules: at least one subSLA, positive latency
+  // targets, non-negative utilities, and utilities non-increasing with rank
+  // ("lower-ranked subSLAs have lower utility than higher-ranked ones").
+  Status Validate() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<SubSla> subslas_;
+};
+
+// The paper's three worked SLAs (Figures 4, 5, 6), reused by examples,
+// benches, and tests.
+
+// Shopping cart (Section 2.1 / Figure 4): read-my-writes within 300 ms at
+// utility 1.0, else eventual within 300 ms at utility 0.5.
+Sla ShoppingCartSla();
+
+// Web application (Section 2.2 / Figure 5): bounded(300 s) staleness at
+// decreasing per-read prices for 200/400/600/1000 ms latency tiers.
+Sla WebApplicationSla();
+
+// Password checking (Section 2.3 / Figure 6): strong within 150 ms at 1.0,
+// eventual within 150 ms at 0.5, strong within 1 s at 0.25.
+Sla PasswordCheckingSla();
+
+// Maximum-availability tail (Section 3.3): <eventual, unbounded> as the final
+// subSLA means data is returned as long as any replica is reachable.
+SubSla MaxAvailabilitySubSla();
+
+}  // namespace pileus::core
+
+#endif  // PILEUS_SRC_CORE_SLA_H_

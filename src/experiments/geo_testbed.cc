@@ -1,0 +1,478 @@
+#include "src/experiments/geo_testbed.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace pileus::experiments {
+
+namespace {
+
+constexpr MicrosecondCount Ms(int64_t ms) {
+  return MillisecondsToMicroseconds(ms);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimConnection: a NodeConnection that advances virtual time by the sampled
+// network transit and runs the node's handler in between.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class SimConnection : public core::NodeConnection {
+ public:
+  SimConnection(GeoTestbed* testbed, sim::SimEnvironment* env,
+                sim::SiteId client_site, sim::SiteId node_site,
+                std::function<proto::Message(const proto::Message&,
+                                             MicrosecondCount*)>
+                    serve)
+      : testbed_(testbed),
+        env_(env),
+        client_site_(client_site),
+        node_site_(node_site),
+        serve_(std::move(serve)) {}
+
+  core::TimedReply Call(const proto::Message& request,
+                        MicrosecondCount timeout_us) override {
+    MicrosecondCount server_delay = 0;
+    MicrosecondCount total = 0;
+    proto::Message reply =
+        Execute(request, timeout_us, &server_delay, &total);
+    if (timeout_us > 0 && total > timeout_us) {
+      return core::TimedReply(
+          Status(StatusCode::kTimeout, "simulated call deadline exceeded"),
+          timeout_us);
+    }
+    return core::TimedReply(std::move(reply), total);
+  }
+
+  // Shared with the fan-out caller: performs the request, advancing virtual
+  // time by min(total RTT, timeout). Returns the reply; *total_rtt_us gets
+  // the full round-trip the reply would take regardless of the deadline.
+  proto::Message Execute(const proto::Message& request,
+                         MicrosecondCount timeout_us,
+                         MicrosecondCount* server_delay_us,
+                         MicrosecondCount* total_rtt_us) {
+    auto& latency = env_->latency_model();
+    const MicrosecondCount ow1 =
+        latency.SampleOneWay(client_site_, node_site_, env_->rng());
+    // Request transit (capped by the deadline; the request still reaches the
+    // node - a timed-out Put may well have committed, as in real systems).
+    env_->RunFor(timeout_us > 0 ? std::min(ow1, timeout_us) : ow1);
+    proto::Message reply = serve_(request, server_delay_us);
+    const MicrosecondCount ow2 =
+        latency.SampleOneWay(node_site_, client_site_, env_->rng());
+    const MicrosecondCount total = ow1 + *server_delay_us + ow2;
+    const MicrosecondCount already =
+        timeout_us > 0 ? std::min(ow1, timeout_us) : ow1;
+    const MicrosecondCount remaining =
+        timeout_us > 0 ? std::min(total, timeout_us) - already
+                       : total - already;
+    if (remaining > 0) {
+      env_->RunFor(remaining);
+    }
+    *total_rtt_us = total;
+    return reply;
+  }
+
+  sim::SiteId node_site() const { return node_site_; }
+  GeoTestbed* testbed() const { return testbed_; }
+
+ private:
+  GeoTestbed* testbed_;
+  sim::SimEnvironment* env_;
+  sim::SiteId client_site_;
+  sim::SiteId node_site_;
+  std::function<proto::Message(const proto::Message&, MicrosecondCount*)>
+      serve_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GeoClient::SimFanout: virtual-time parallel Gets (Section 6.3).
+//
+// Approximation: all targeted nodes process the request at send time; virtual
+// time advances by the fastest round trip (the reply the client acts on).
+// Slower replies report their own RTTs so monitor statistics stay honest.
+// ---------------------------------------------------------------------------
+
+class GeoClient::SimFanout : public core::FanoutCaller {
+ public:
+  explicit SimFanout(sim::SimEnvironment* env) : env_(env) {}
+
+  std::vector<core::TimedReply> CallAll(
+      const std::vector<core::NodeConnection*>& connections,
+      const proto::Message& request, MicrosecondCount timeout_us) override {
+    std::vector<core::TimedReply> replies;
+    replies.reserve(connections.size());
+    if (connections.empty()) {
+      return replies;
+    }
+    if (connections.size() == 1) {
+      replies.push_back(connections[0]->Call(request, timeout_us));
+      return replies;
+    }
+    auto& latency = env_->latency_model();
+    MicrosecondCount fastest = 0;
+    for (core::NodeConnection* connection : connections) {
+      // All connections in a simulation client are SimConnections by
+      // construction (GeoTestbed::MakeClient creates them).
+      auto* sim_conn = static_cast<SimConnection*>(connection);
+      (void)latency;
+      MicrosecondCount server_delay = 0;
+      MicrosecondCount total = 0;
+      // Execute without advancing time for the slower replicas: temporarily
+      // give each call a zero-advance path by running it and compensating is
+      // not possible with a shared clock, so instead we let the *first* call
+      // advance time and sample the rest instantaneously via Execute with
+      // timeout 1 (advancing at most 1 us each).
+      if (replies.empty()) {
+        proto::Message reply =
+            sim_conn->Execute(request, timeout_us, &server_delay, &total);
+        fastest = total;
+        if (timeout_us > 0 && total > timeout_us) {
+          replies.emplace_back(
+              Status(StatusCode::kTimeout, "simulated call deadline exceeded"),
+              timeout_us);
+        } else {
+          replies.emplace_back(std::move(reply), total);
+        }
+      } else {
+        proto::Message reply =
+            sim_conn->Execute(request, 1, &server_delay, &total);
+        if (timeout_us > 0 && total > timeout_us) {
+          replies.emplace_back(
+              Status(StatusCode::kTimeout, "simulated call deadline exceeded"),
+              timeout_us);
+        } else {
+          replies.emplace_back(std::move(reply), total);
+        }
+      }
+    }
+    (void)fastest;
+    return replies;
+  }
+
+ private:
+  sim::SimEnvironment* env_;
+};
+
+void GeoClient::StartProbing() {
+  if (probe_task_.active()) {
+    return;
+  }
+  GeoTestbed* testbed = testbed_;
+  core::PileusClient* client = client_.get();
+  sim::SiteId client_site = site_;
+  std::shared_ptr<uint64_t> probes = probes_sent_;
+  probe_task_ = testbed->env_.SchedulePeriodic(
+      testbed->options_.probe_check_period_us,
+      testbed->options_.probe_check_period_us,
+      [testbed, client, client_site, probes] {
+        auto& env = testbed->env_;
+        const core::TableView& table = client->table();
+        for (size_t i = 0; i < table.replicas.size(); ++i) {
+          const std::string& name = table.replicas[i].name;
+          if (!client->monitor().NeedsProbe(name)) {
+            continue;
+          }
+          GeoTestbed::NodeEntry* entry = testbed->FindEntry(name);
+          if (entry == nullptr) {
+            continue;
+          }
+          // Probe round trip, modelled as events so the client's foreground
+          // workload is never blocked by background probing.
+          auto& latency = env.latency_model();
+          const MicrosecondCount rtt =
+              latency.SampleOneWay(client_site, entry->site_id, env.rng()) +
+              latency.SampleOneWay(entry->site_id, client_site, env.rng());
+          ++*probes;
+          proto::ProbeRequest probe;
+          probe.table = kTableName;
+          // The node processes the probe (approximately) now; the reply's
+          // evidence lands in the monitor when it arrives, one RTT later.
+          MicrosecondCount extra = 0;
+          proto::Message reply = testbed->Serve(*entry, probe, &extra);
+          env.ScheduleAfter(rtt, [client, name, reply, rtt] {
+            client->monitor().RecordLatency(name, rtt);
+            if (const auto* probe_reply =
+                    std::get_if<proto::ProbeReply>(&reply)) {
+              client->monitor().RecordSuccess(name);
+              client->monitor().RecordHighTimestamp(
+                  name, probe_reply->high_timestamp);
+            } else {
+              client->monitor().RecordFailure(name);
+            }
+          });
+        }
+      });
+}
+
+void GeoClient::StopProbing() { probe_task_.Cancel(); }
+
+// ---------------------------------------------------------------------------
+// GeoTestbed
+// ---------------------------------------------------------------------------
+
+GeoTestbed::GeoTestbed(GeoTestbedOptions options)
+    : options_(options), env_(options.seed, options.latency) {
+  auto& latency = env_.latency_model();
+  const sim::SiteId us = latency.AddSite(kUs);
+  const sim::SiteId england = latency.AddSite(kEngland);
+  const sim::SiteId india = latency.AddSite(kIndia);
+  china_site_ = latency.AddSite(kChina);
+
+  // Base RTTs in milliseconds (Figure 10 / Figure 3 derived).
+  latency.SetRtt(us, england, Ms(147));
+  latency.SetRtt(us, india, Ms(300));
+  latency.SetRtt(us, china_site_, Ms(160));
+  latency.SetRtt(england, india, Ms(435));
+  latency.SetRtt(england, china_site_, Ms(307));
+  latency.SetRtt(india, china_site_, Ms(250));
+
+  const struct {
+    const char* site;
+    sim::SiteId id;
+  } kNodeSites[] = {{kUs, us}, {kEngland, england}, {kIndia, india}};
+
+  nodes_.reserve(3);
+  for (const auto& [site, id] : kNodeSites) {
+    NodeEntry entry;
+    entry.site = site;
+    entry.site_id = id;
+    entry.node =
+        std::make_unique<storage::StorageNode>(site, site, env_.clock());
+    storage::Tablet::Options tablet_options;
+    tablet_options.range = KeyRange::All();
+    tablet_options.is_primary = (std::string(site) == kEngland);
+    // Section 6.4: sync replicas in the order England, US, India.
+    tablet_options.is_sync_replica =
+        (options_.sync_replica_count >= 2 && std::string(site) == kUs) ||
+        (options_.sync_replica_count >= 3 && std::string(site) == kIndia);
+    tablet_options.store = options_.store;
+    Status st = entry.node->AddTablet(kTableName, tablet_options);
+    assert(st.ok());
+    (void)st;
+    nodes_.push_back(std::move(entry));
+  }
+  // Replication agents for every node (only non-authoritative ones pull).
+  for (NodeEntry& entry : nodes_) {
+    replication::ReplicationAgent::Options agent_options;
+    agent_options.table = kTableName;
+    entry.agent = std::make_unique<replication::ReplicationAgent>(
+        entry.node->FindTablet(kTableName, ""), agent_options);
+  }
+}
+
+GeoTestbed::~GeoTestbed() {
+  for (NodeEntry& entry : nodes_) {
+    entry.pull_task.Cancel();
+  }
+}
+
+GeoTestbed::NodeEntry* GeoTestbed::FindEntry(const std::string& site) {
+  for (NodeEntry& entry : nodes_) {
+    if (entry.site == site) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+storage::StorageNode* GeoTestbed::node(const std::string& site) {
+  NodeEntry* entry = FindEntry(site);
+  return entry == nullptr ? nullptr : entry->node.get();
+}
+
+sim::SiteId GeoTestbed::SiteIdOf(const std::string& site) const {
+  return env_.latency_model().FindSite(site);
+}
+
+void GeoTestbed::SetRttDelta(const std::string& site_a,
+                             const std::string& site_b,
+                             MicrosecondCount delta_us) {
+  env_.latency_model().SetRttDelta(SiteIdOf(site_a), SiteIdOf(site_b),
+                                   delta_us);
+}
+
+void GeoTestbed::MovePrimary(const std::string& new_primary_site) {
+  NodeEntry* target = FindEntry(new_primary_site);
+  assert(target != nullptr && "cannot move primary to a client-only site");
+  (void)target;
+  for (NodeEntry& entry : nodes_) {
+    entry.node->SetPrimaryForTable(kTableName,
+                                   entry.site == new_primary_site);
+  }
+  primary_site_ = new_primary_site;
+}
+
+void GeoTestbed::StartReplication() {
+  for (NodeEntry& entry : nodes_) {
+    if (entry.pull_task.active()) {
+      continue;
+    }
+    NodeEntry* entry_ptr = &entry;
+    entry.pull_task = env_.SchedulePeriodic(
+        options_.replication_period_us, options_.replication_period_us,
+        [this, entry_ptr] { RunPullRound(*entry_ptr); });
+  }
+}
+
+void GeoTestbed::RunPullRound(NodeEntry& entry) {
+  storage::Tablet* tablet = entry.agent->target();
+  if (tablet->authoritative()) {
+    return;  // The primary (and sync replicas) never pull.
+  }
+  if (entry.down) {
+    return;  // A dead node does not replicate.
+  }
+  NodeEntry* primary = FindEntry(primary_site_);
+  assert(primary != nullptr);
+  if (primary->down) {
+    return;  // Nothing to pull from; try again next period.
+  }
+  const proto::SyncRequest request = entry.agent->NextRequest();
+  auto& latency = env_.latency_model();
+  const MicrosecondCount ow1 =
+      latency.SampleOneWay(entry.site_id, primary->site_id, env_.rng());
+  NodeEntry* entry_ptr = &entry;
+  env_.ScheduleAfter(ow1, [this, entry_ptr, primary, request] {
+    // Request arrives at the primary: capture the reply there.
+    auto* primary_tablet = primary->node->FindTablet(kTableName, "");
+    const proto::SyncReply reply =
+        primary_tablet->HandleSync(request.after, request.max_versions);
+    ++replication_rounds_;
+    auto& lat = env_.latency_model();
+    const MicrosecondCount ow2 =
+        lat.SampleOneWay(primary->site_id, entry_ptr->site_id, env_.rng());
+    env_.ScheduleAfter(ow2, [this, entry_ptr, reply] {
+      const bool more = entry_ptr->agent->OnReply(reply);
+      if (more) {
+        RunPullRound(*entry_ptr);  // Immediately start another round.
+      }
+    });
+  });
+}
+
+void GeoTestbed::SetNodeDown(const std::string& site, bool down) {
+  NodeEntry* entry = FindEntry(site);
+  assert(entry != nullptr);
+  entry->down = down;
+}
+
+bool GeoTestbed::IsNodeDown(const std::string& site) {
+  NodeEntry* entry = FindEntry(site);
+  return entry != nullptr && entry->down;
+}
+
+proto::Message GeoTestbed::Serve(NodeEntry& entry,
+                                 const proto::Message& request,
+                                 MicrosecondCount* extra_delay_us) {
+  *extra_delay_us = 0;
+  if (entry.down) {
+    proto::ErrorReply err;
+    err.code = StatusCode::kUnavailable;
+    err.message = "node " + entry.site + " is down";
+    return err;
+  }
+  proto::Message reply = entry.node->Handle(request);
+
+  // Section 6.4: with multiple sync replicas, a Put (or transactional
+  // commit) at the primary is acked only after every sync replica applied
+  // it. The client-visible extra delay is the slowest replica's round trip.
+  if (options_.sync_replica_count <= 1 || entry.site != primary_site_) {
+    return reply;
+  }
+  std::vector<proto::ObjectVersion> fanout_writes;
+  if (const auto* put = std::get_if<proto::PutRequest>(&request)) {
+    if (const auto* put_reply = std::get_if<proto::PutReply>(&reply)) {
+      proto::ObjectVersion version;
+      version.key = put->key;
+      version.value = put->value;
+      version.timestamp = put_reply->timestamp;
+      fanout_writes.push_back(std::move(version));
+    }
+  } else if (const auto* del = std::get_if<proto::DeleteRequest>(&request)) {
+    if (const auto* put_reply = std::get_if<proto::PutReply>(&reply)) {
+      proto::ObjectVersion tombstone;
+      tombstone.key = del->key;
+      tombstone.timestamp = put_reply->timestamp;
+      tombstone.is_tombstone = true;
+      fanout_writes.push_back(std::move(tombstone));
+    }
+  } else if (const auto* commit = std::get_if<proto::CommitRequest>(&request)) {
+    if (const auto* commit_reply = std::get_if<proto::CommitReply>(&reply);
+        commit_reply != nullptr && commit_reply->committed) {
+      for (const proto::ObjectVersion& w : commit->writes) {
+        proto::ObjectVersion version = w;
+        version.timestamp = commit_reply->commit_timestamp;
+        fanout_writes.push_back(std::move(version));
+      }
+    }
+  }
+  if (fanout_writes.empty()) {
+    return reply;
+  }
+  auto& latency = env_.latency_model();
+  MicrosecondCount slowest = 0;
+  for (NodeEntry& other : nodes_) {
+    if (&other == &entry) {
+      continue;
+    }
+    storage::Tablet* tablet = other.node->FindTablet(kTableName, "");
+    if (tablet == nullptr || !tablet->is_sync_replica()) {
+      continue;
+    }
+    for (const proto::ObjectVersion& version : fanout_writes) {
+      tablet->ApplyReplicatedPut(version);
+    }
+    const MicrosecondCount rtt =
+        latency.SampleOneWay(entry.site_id, other.site_id, env_.rng()) +
+        latency.SampleOneWay(other.site_id, entry.site_id, env_.rng());
+    slowest = std::max(slowest, rtt);
+  }
+  *extra_delay_us = slowest;
+  return reply;
+}
+
+std::unique_ptr<GeoClient> GeoTestbed::MakeClient(
+    const std::string& site, core::PileusClient::Options options) {
+  const sim::SiteId client_site = SiteIdOf(site);
+  assert(client_site >= 0 && "unknown site");
+
+  core::TableView view;
+  view.table_name = kTableName;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    NodeEntry& entry = nodes_[i];
+    NodeEntry* entry_ptr = &entry;
+    core::Replica replica;
+    replica.name = entry.site;
+    replica.authoritative =
+        entry.node->FindTablet(kTableName, "")->authoritative();
+    replica.connection = std::make_shared<SimConnection>(
+        this, &env_, client_site, entry.site_id,
+        [this, entry_ptr](const proto::Message& request,
+                          MicrosecondCount* extra) {
+          return Serve(*entry_ptr, request, extra);
+        });
+    view.replicas.push_back(std::move(replica));
+    if (entry.site == primary_site_) {
+      view.primary_index = static_cast<int>(i);
+    }
+  }
+
+  auto geo_client = std::unique_ptr<GeoClient>(new GeoClient());
+  geo_client->site_name_ = site;
+  geo_client->site_ = client_site;
+  geo_client->testbed_ = this;
+  geo_client->fanout_ = std::make_unique<GeoClient::SimFanout>(&env_);
+  geo_client->client_ = std::make_unique<core::PileusClient>(
+      std::move(view), env_.clock(), options, geo_client->fanout_.get());
+  return geo_client;
+}
+
+}  // namespace pileus::experiments

@@ -1,0 +1,159 @@
+// The paper's worldwide test bed (Section 5.1, Figure 10), reproduced on the
+// deterministic simulator.
+//
+// Topology: the primary storage node in England, secondary nodes on the US
+// West Coast and in India, and clients co-located with any node or standalone
+// in China. Secondaries pull from the primary once per minute. The RTT matrix
+// is derived from the paper's Figure 3 / Table 1 numbers (England-US 147 ms,
+// England-India 435 ms, England-China 307 ms, US-China 160 ms, ...).
+//
+// The testbed wires together every substrate: storage nodes and tablets,
+// replication agents driven by virtual-time events, per-client Pileus
+// monitors fed by piggybacked measurements and scheduled probe events, the
+// multi-site synchronous Put extension (Section 6.4), and scriptable latency
+// steps (Figure 13).
+
+#ifndef PILEUS_SRC_EXPERIMENTS_GEO_TESTBED_H_
+#define PILEUS_SRC_EXPERIMENTS_GEO_TESTBED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/connection.h"
+#include "src/replication/replication_agent.h"
+#include "src/sim/sim_environment.h"
+#include "src/storage/storage_node.h"
+
+namespace pileus::experiments {
+
+// Canonical site names.
+inline constexpr const char* kUs = "US";
+inline constexpr const char* kEngland = "England";
+inline constexpr const char* kIndia = "India";
+inline constexpr const char* kChina = "China";
+inline constexpr const char* kTableName = "ycsb";
+
+struct GeoTestbedOptions {
+  uint64_t seed = 1;
+  // Secondaries pull from the primary this often (paper: once per minute).
+  MicrosecondCount replication_period_us = SecondsToMicroseconds(60);
+  // How often client probe events check Monitor::NeedsProbe.
+  MicrosecondCount probe_check_period_us = SecondsToMicroseconds(2);
+  sim::LatencyModel::Options latency;
+  // Number of authoritative copies (Section 6.4): 1 = England only (the
+  // paper's evaluated prototype); 2 adds the US as a synchronous replica;
+  // 3 adds India too. Puts are acked only after every sync replica applied.
+  int sync_replica_count = 1;
+  storage::VersionedStore::Options store;
+};
+
+// A Pileus client running at some site of the testbed, with its connections,
+// fan-out caller, and background probe events wired up.
+class GeoClient {
+ public:
+  core::PileusClient& client() { return *client_; }
+  const std::string& site() const { return site_name_; }
+
+  // Starts/stops the virtual-time background probing loop.
+  void StartProbing();
+  void StopProbing();
+
+  // Probe messages issued by the background loop (each one round trip).
+  uint64_t probes_sent() const { return *probes_sent_; }
+
+ private:
+  friend class GeoTestbed;
+  GeoClient() = default;
+
+  class SimFanout;
+
+  std::string site_name_;
+  sim::SiteId site_ = -1;
+  class GeoTestbed* testbed_ = nullptr;
+  std::unique_ptr<core::FanoutCaller> fanout_;
+  std::unique_ptr<core::PileusClient> client_;
+  sim::PeriodicHandle probe_task_;
+  // Shared with the probe event lambdas, which outlive rescheduling.
+  std::shared_ptr<uint64_t> probes_sent_ = std::make_shared<uint64_t>(0);
+};
+
+class GeoTestbed {
+ public:
+  explicit GeoTestbed(GeoTestbedOptions options);
+  ~GeoTestbed();
+
+  GeoTestbed(const GeoTestbed&) = delete;
+  GeoTestbed& operator=(const GeoTestbed&) = delete;
+
+  sim::SimEnvironment& env() { return env_; }
+  const GeoTestbedOptions& options() const { return options_; }
+
+  // Storage node at a site; null for China (client-only).
+  storage::StorageNode* node(const std::string& site);
+  storage::StorageNode* primary_node() { return node(kEngland); }
+
+  // Starts the periodic replication pulls (virtual-time events).
+  void StartReplication();
+
+  // Creates a client located at `site` (any of the four site names).
+  std::unique_ptr<GeoClient> MakeClient(const std::string& site,
+                                        core::PileusClient::Options options);
+
+  // Injects/clears an additive RTT delta on the link between two sites
+  // (Figure 13's +300 ms steps). Takes effect immediately.
+  void SetRttDelta(const std::string& site_a, const std::string& site_b,
+                   MicrosecondCount delta_us);
+
+  // Failure injection: a down node answers every request with
+  // kUnavailable (after the normal network transit - like a connection
+  // refused by the dead node's host). Replication to/from it stalls too.
+  void SetNodeDown(const std::string& site, bool down);
+  bool IsNodeDown(const std::string& site);
+
+  // Total replication messages exchanged so far (pull round trips).
+  uint64_t replication_rounds() const { return replication_rounds_; }
+
+  sim::SiteId SiteIdOf(const std::string& site) const;
+
+  // Moves the primary role to another storage-node site (Section 6.2
+  // SLA-driven reconfiguration). Replication directions re-aim at the new
+  // primary on their next pull. The caller is responsible for quiescing Puts
+  // around the switch.
+  void MovePrimary(const std::string& new_primary_site);
+  const std::string& primary_site() const { return primary_site_; }
+
+ private:
+  friend class GeoClient;
+
+  struct NodeEntry {
+    std::string site;
+    sim::SiteId site_id;
+    std::unique_ptr<storage::StorageNode> node;
+    std::unique_ptr<replication::ReplicationAgent> agent;  // Secondaries.
+    sim::PeriodicHandle pull_task;
+    bool down = false;
+  };
+
+  // The server-side of one simulated request: dispatch plus, for Puts with
+  // multi-site sync replication, the synchronous fan-out. Returns the extra
+  // server-side delay (time until the slowest sync replica acked).
+  proto::Message Serve(NodeEntry& entry, const proto::Message& request,
+                       MicrosecondCount* extra_delay_us);
+
+  NodeEntry* FindEntry(const std::string& site);
+  void SchedulePull(NodeEntry& entry);
+  void RunPullRound(NodeEntry& entry);
+
+  GeoTestbedOptions options_;
+  sim::SimEnvironment env_;
+  std::vector<NodeEntry> nodes_;
+  std::string primary_site_ = kEngland;
+  sim::SiteId china_site_ = -1;
+  uint64_t replication_rounds_ = 0;
+};
+
+}  // namespace pileus::experiments
+
+#endif  // PILEUS_SRC_EXPERIMENTS_GEO_TESTBED_H_

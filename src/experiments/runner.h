@@ -1,0 +1,76 @@
+// Workload runner and per-Get accounting for the evaluation benches.
+//
+// Runs the YCSB-style workload (Section 5.1) against a GeoTestbed client and
+// aggregates exactly what the paper reports: average delivered utility, the
+// Table 1 / Table 2 decision breakdown (percentage of Gets per target subSLA
+// and storage node), the fraction of Gets that met each subSLA, and Get
+// latency statistics (Figure 3).
+
+#ifndef PILEUS_SRC_EXPERIMENTS_RUNNER_H_
+#define PILEUS_SRC_EXPERIMENTS_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/client.h"
+#include "src/core/sla.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/util/histogram.h"
+#include "src/workload/ycsb.h"
+
+namespace pileus::experiments {
+
+struct RunOptions {
+  core::Sla sla;
+  workload::WorkloadOptions workload;
+  uint64_t total_ops = 20000;
+  // Ops executed before counting begins (monitor warm-up, store population).
+  uint64_t warmup_ops = 2000;
+};
+
+struct RunStats {
+  uint64_t gets = 0;   // Counted Gets, including failed ones.
+  uint64_t puts = 0;
+  uint64_t get_errors = 0;  // Gets that returned no data (kUnavailable etc.).
+  double utility_sum = 0.0;
+  Histogram get_latency_us;
+  Histogram put_latency_us;
+  // (target subSLA rank, replica index) -> Gets. Rank -1 = fixed strategy.
+  std::map<std::pair<int, int>, uint64_t> target_node_counts;
+  // met subSLA rank -> Gets; rank -1 = no subSLA met.
+  std::map<int, uint64_t> met_counts;
+  uint64_t messages_sent = 0;
+  uint64_t retries = 0;
+
+  double AvgUtility() const {
+    return gets == 0 ? 0.0 : utility_sum / static_cast<double>(gets);
+  }
+  double MetFraction(int rank) const;
+};
+
+// Called after every counted Get with the virtual time and outcome; used by
+// the Figure 13 time-series bench.
+using GetCallback =
+    std::function<void(MicrosecondCount now_us, const core::GetOutcome&)>;
+
+// Runs `options.total_ops` counted operations (plus warm-up) on `client`.
+RunStats RunYcsb(GeoTestbed& testbed, GeoClient& client,
+                 const RunOptions& options, const GetCallback& on_get = {});
+
+// Convenience: an SLA with a single subSLA of the given guarantee, a latency
+// target far beyond any real RTT, and utility 1 - used to measure the raw
+// latency of each consistency choice (Figure 3).
+core::Sla SingleConsistencySla(core::Guarantee guarantee);
+
+// Writes `key_count` objects at the primary and immediately syncs every
+// secondary once, so runs start from a fully-populated, momentarily-fresh
+// store (the paper's nodes held the YCSB data set before measurements began).
+void PreloadKeys(GeoTestbed& testbed, int key_count, int value_size = 100);
+
+}  // namespace pileus::experiments
+
+#endif  // PILEUS_SRC_EXPERIMENTS_RUNNER_H_

@@ -1,0 +1,67 @@
+#include "src/experiments/tables.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pileus::experiments {
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += "| ";
+      line += cell;
+      line.append(widths[c] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += "|";
+    rule.append(widths[c] + 2, '-');
+  }
+  rule += "|\n";
+  out += rule;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string FormatMs(MicrosecondCount us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", MicrosecondsToMilliseconds(us));
+  return buf;
+}
+
+std::string FormatPercent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string FormatUtility(double utility) {
+  char buf[32];
+  if (utility != 0.0 && utility < 0.001) {
+    std::snprintf(buf, sizeof(buf), "%.2e", utility);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", utility);
+  }
+  return buf;
+}
+
+}  // namespace pileus::experiments

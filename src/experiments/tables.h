@@ -1,0 +1,39 @@
+// ASCII table formatting for bench output.
+
+#ifndef PILEUS_SRC_EXPERIMENTS_TABLES_H_
+#define PILEUS_SRC_EXPERIMENTS_TABLES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace pileus::experiments {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  // Column-aligned rendering with a header separator.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "147.3" (milliseconds, one decimal).
+std::string FormatMs(MicrosecondCount us);
+// "95.1%".
+std::string FormatPercent(double fraction);
+// "0.98" (two decimals unless tiny, then scientific-ish precision).
+std::string FormatUtility(double utility);
+
+}  // namespace pileus::experiments
+
+#endif  // PILEUS_SRC_EXPERIMENTS_TABLES_H_

@@ -1,0 +1,37 @@
+// Client-side channel abstraction.
+//
+// The Pileus client library talks to storage nodes through Channels so the
+// same code runs over (a) direct calls inside the deterministic simulation,
+// (b) the threaded in-process transport with injected latency, and (c) real
+// TCP sockets. A Channel is a synchronous request/reply pipe with a deadline;
+// request routing, retries, and node selection all live above this layer.
+
+#ifndef PILEUS_SRC_NET_CHANNEL_H_
+#define PILEUS_SRC_NET_CHANNEL_H_
+
+#include <functional>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/proto/messages.h"
+
+namespace pileus::net {
+
+// Server-side request handler: every transport ultimately feeds decoded
+// requests into one of these (typically StorageNode::Handle).
+using Handler = std::function<proto::Message(const proto::Message&)>;
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  // Sends `request` and waits for the reply up to `timeout_us`
+  // (0 = no deadline). Returns kTimeout when the deadline expires and
+  // kUnavailable when the peer is unreachable.
+  virtual Result<proto::Message> Call(const proto::Message& request,
+                                      MicrosecondCount timeout_us) = 0;
+};
+
+}  // namespace pileus::net
+
+#endif  // PILEUS_SRC_NET_CHANNEL_H_

@@ -1,0 +1,88 @@
+#include "src/net/inproc.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace pileus::net {
+
+namespace {
+
+void SleepMicros(MicrosecondCount us) {
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+}  // namespace
+
+class InProcChannel : public Channel {
+ public:
+  InProcChannel(InProcNetwork* network, std::string endpoint,
+                std::shared_ptr<InProcNetwork::SharedDelay> delay)
+      : network_(network),
+        endpoint_(std::move(endpoint)),
+        delay_(std::move(delay)) {}
+
+  Result<proto::Message> Call(const proto::Message& request,
+                              MicrosecondCount timeout_us) override {
+    const MicrosecondCount one_way = delay_->Get();
+    if (timeout_us > 0 && 2 * one_way > timeout_us) {
+      // The round trip cannot complete inside the deadline; model the caller
+      // waiting out its full timeout.
+      SleepMicros(timeout_us);
+      return Status(StatusCode::kTimeout, "inproc call deadline exceeded");
+    }
+    // Round-trip through the real wire format so encoding bugs surface here.
+    const std::string encoded = proto::EncodeMessage(request);
+    SleepMicros(one_way);
+    Handler handler = network_->LookupHandler(endpoint_);
+    if (!handler) {
+      return Status(StatusCode::kUnavailable,
+                    "no endpoint named '" + endpoint_ + "'");
+    }
+    Result<proto::Message> decoded_request = proto::DecodeMessage(encoded);
+    if (!decoded_request.ok()) {
+      return decoded_request.status();
+    }
+    const proto::Message reply = handler(decoded_request.value());
+    const std::string encoded_reply = proto::EncodeMessage(reply);
+    SleepMicros(one_way);
+    return proto::DecodeMessage(encoded_reply);
+  }
+
+ private:
+  InProcNetwork* network_;
+  std::string endpoint_;
+  std::shared_ptr<InProcNetwork::SharedDelay> delay_;
+};
+
+void InProcNetwork::RegisterEndpoint(const std::string& name,
+                                     Handler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[name] = std::move(handler);
+}
+
+void InProcNetwork::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_.erase(name);
+}
+
+Handler InProcNetwork::LookupHandler(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? Handler() : it->second;
+}
+
+std::unique_ptr<Channel> InProcNetwork::Connect(
+    const std::string& endpoint, MicrosecondCount one_way_delay_us) {
+  return ConnectShared(endpoint,
+                       std::make_shared<SharedDelay>(one_way_delay_us));
+}
+
+std::unique_ptr<Channel> InProcNetwork::ConnectShared(
+    const std::string& endpoint, std::shared_ptr<SharedDelay> delay) {
+  return std::make_unique<InProcChannel>(this, endpoint, std::move(delay));
+}
+
+}  // namespace pileus::net

@@ -1,0 +1,66 @@
+// In-process transport with injected latency.
+//
+// Endpoints register a Handler under a name; channels connect to a name with
+// a configurable one-way delay. Calls serialize/deserialize through the real
+// wire codec (so encoding bugs surface in unit tests, not only over TCP) and
+// sleep the caller's thread to model network transit. This is the middle
+// rung between the virtual-time simulation and real sockets: real threads and
+// real time, no kernel networking.
+
+#ifndef PILEUS_SRC_NET_INPROC_H_
+#define PILEUS_SRC_NET_INPROC_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/net/channel.h"
+
+namespace pileus::net {
+
+class InProcNetwork {
+ public:
+  // Registers (or replaces) an endpoint. The handler must stay valid until
+  // Unregister or network destruction.
+  void RegisterEndpoint(const std::string& name, Handler handler);
+  void Unregister(const std::string& name);
+
+  // Creates a channel to `endpoint` whose calls incur `one_way_delay_us` in
+  // each direction. The channel is valid even if the endpoint registers
+  // later; calls to a missing endpoint fail with kUnavailable.
+  std::unique_ptr<Channel> Connect(const std::string& endpoint,
+                                   MicrosecondCount one_way_delay_us);
+
+  // A mutable delay cell shared between a test/experiment and a channel, so
+  // link latency can change while traffic is in flight.
+  class SharedDelay {
+   public:
+    explicit SharedDelay(MicrosecondCount us) : us_(us) {}
+    void Set(MicrosecondCount us) { us_.store(us, std::memory_order_relaxed); }
+    MicrosecondCount Get() const {
+      return us_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    std::atomic<MicrosecondCount> us_;
+  };
+
+  // Like Connect, but the one-way delay is read from `delay` on every call.
+  std::unique_ptr<Channel> ConnectShared(const std::string& endpoint,
+                                         std::shared_ptr<SharedDelay> delay);
+
+ private:
+  friend class InProcChannel;
+
+  // Looks up a handler; returns nullptr when absent.
+  Handler LookupHandler(const std::string& name);
+
+  std::mutex mu_;
+  std::map<std::string, Handler> endpoints_;
+};
+
+}  // namespace pileus::net
+
+#endif  // PILEUS_SRC_NET_INPROC_H_

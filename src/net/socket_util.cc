@@ -1,0 +1,216 @@
+#include "src/net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace pileus::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status(StatusCode::kUnavailable,
+                std::string(what) + ": " + strerror(errno));
+}
+
+// Waits for readability with an absolute deadline (monotonic clock);
+// deadline_us <= 0 means wait forever.
+Status WaitReadable(int fd, MicrosecondCount deadline_us) {
+  while (true) {
+    int timeout_ms = -1;
+    if (deadline_us > 0) {
+      const MicrosecondCount now = RealClock::Instance()->NowMicros();
+      if (now >= deadline_us) {
+        return Status(StatusCode::kTimeout, "read deadline exceeded");
+      }
+      timeout_ms = static_cast<int>((deadline_us - now) / 1000) + 1;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) {
+      return Status::Ok();
+    }
+    if (rc == 0) {
+      return Status(StatusCode::kTimeout, "read deadline exceeded");
+    }
+    if (errno != EINTR) {
+      return Errno("poll");
+    }
+  }
+}
+
+}  // namespace
+
+void UniqueFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<UniqueFd> ListenTcp(uint16_t port, uint16_t* bound_port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    return Errno("listen");
+  }
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                      &len) != 0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return fd;
+}
+
+Result<UniqueFd> ConnectTcp(uint16_t port, MicrosecondCount timeout_us) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    return Errno("socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  // Non-blocking connect with a poll deadline.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    return Errno("connect");
+  }
+  if (rc != 0) {
+    struct pollfd pfd;
+    pfd.fd = fd.get();
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int timeout_ms =
+        timeout_us > 0 ? static_cast<int>(timeout_us / 1000) + 1 : -1;
+    const int prc = ::poll(&pfd, 1, timeout_ms);
+    if (prc == 0) {
+      return Status(StatusCode::kTimeout, "connect deadline exceeded");
+    }
+    if (prc < 0) {
+      return Errno("poll(connect)");
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      errno = err;
+      return Errno("connect");
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);
+  return fd;
+}
+
+Status ReadFull(int fd, void* buf, size_t len, MicrosecondCount timeout_us) {
+  const MicrosecondCount deadline =
+      timeout_us > 0 ? RealClock::Instance()->NowMicros() + timeout_us : 0;
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    PILEUS_RETURN_IF_ERROR(WaitReadable(fd, deadline));
+    const ssize_t n = ::read(fd, out + done, len - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status(StatusCode::kUnavailable, "connection closed by peer");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      continue;
+    }
+    return Errno("read");
+  }
+  return Status::Ok();
+}
+
+Status WriteFull(int fd, const void* buf, size_t len) {
+  const char* in = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, in + done, len - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return Errno("write");
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char header[4];
+  header[0] = static_cast<char>(len);
+  header[1] = static_cast<char>(len >> 8);
+  header[2] = static_cast<char>(len >> 16);
+  header[3] = static_cast<char>(len >> 24);
+  PILEUS_RETURN_IF_ERROR(WriteFull(fd, header, sizeof(header)));
+  return WriteFull(fd, payload.data(), payload.size());
+}
+
+Result<std::string> ReadFrame(int fd, MicrosecondCount timeout_us,
+                              size_t max_frame,
+                              MicrosecondCount body_timeout_us) {
+  unsigned char header[4];
+  Status st = ReadFull(fd, header, sizeof(header), timeout_us);
+  if (!st.ok()) {
+    return st;
+  }
+  const uint32_t len = static_cast<uint32_t>(header[0]) |
+                       (static_cast<uint32_t>(header[1]) << 8) |
+                       (static_cast<uint32_t>(header[2]) << 16) |
+                       (static_cast<uint32_t>(header[3]) << 24);
+  if (len > max_frame) {
+    return Status(StatusCode::kCorruption, "oversized frame");
+  }
+  std::string payload(len, '\0');
+  st = ReadFull(fd, payload.data(), len,
+                body_timeout_us > 0 ? body_timeout_us : timeout_us);
+  if (!st.ok()) {
+    return st;
+  }
+  return payload;
+}
+
+}  // namespace pileus::net

@@ -1,0 +1,75 @@
+// POSIX socket helpers: EINTR-safe full reads/writes and loopback TCP setup.
+
+#ifndef PILEUS_SRC_NET_SOCKET_UTIL_H_
+#define PILEUS_SRC_NET_SOCKET_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace pileus::net {
+
+// RAII file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a TCP listener bound to 127.0.0.1:port (port 0 = ephemeral).
+// On success stores the bound port in *bound_port.
+Result<UniqueFd> ListenTcp(uint16_t port, uint16_t* bound_port);
+
+// Connects to 127.0.0.1:port with the given timeout.
+Result<UniqueFd> ConnectTcp(uint16_t port, MicrosecondCount timeout_us);
+
+// Reads exactly `len` bytes; kUnavailable on EOF, kTimeout on deadline.
+// timeout_us == 0 means wait forever.
+Status ReadFull(int fd, void* buf, size_t len, MicrosecondCount timeout_us);
+
+// Writes all `len` bytes, retrying on EINTR/short writes.
+Status WriteFull(int fd, const void* buf, size_t len);
+
+// Length-prefixed frame I/O: 4-byte little-endian length + payload.
+// Frames above `max_frame` bytes are rejected as corruption.
+//
+// `timeout_us` bounds the wait for the frame to *start* (the header), so a
+// server can poll an idle connection cheaply. Once a header has arrived the
+// body is read under `body_timeout_us` (0 = inherit timeout_us): a slow
+// sender mid-frame must not be mistaken for an idle connection, or the
+// stream desynchronizes.
+Status WriteFrame(int fd, std::string_view payload);
+Result<std::string> ReadFrame(int fd, MicrosecondCount timeout_us,
+                              size_t max_frame = 64 * 1024 * 1024,
+                              MicrosecondCount body_timeout_us = 0);
+
+}  // namespace pileus::net
+
+#endif  // PILEUS_SRC_NET_SOCKET_UTIL_H_

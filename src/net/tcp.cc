@@ -1,0 +1,194 @@
+#include "src/net/tcp.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pileus::net {
+
+namespace {
+
+constexpr MicrosecondCount kAcceptPollUs = 50 * 1000;
+
+std::string EncodeWithId(uint64_t id, const proto::Message& message) {
+  std::string payload;
+  payload.reserve(8 + 64);
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<char>(id >> (8 * i)));
+  }
+  payload += proto::EncodeMessage(message);
+  return payload;
+}
+
+Status DecodeWithId(std::string_view payload, uint64_t* id,
+                    Result<proto::Message>* message) {
+  if (payload.size() < 8) {
+    return Status(StatusCode::kCorruption, "frame shorter than request id");
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(payload[i]))
+           << (8 * i);
+  }
+  *id = out;
+  *message = proto::DecodeMessage(payload.substr(8));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status TcpServer::Start(uint16_t port, Handler handler) {
+  handler_ = std::move(handler);
+  uint16_t bound = 0;
+  Result<UniqueFd> listen_fd = ListenTcp(port, &bound);
+  if (!listen_fd.ok()) {
+    return listen_fd.status();
+  }
+  listen_fd_ = std::move(listen_fd).value();
+  port_ = bound;
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) {
+      accept_thread_.join();
+    }
+    return;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  listen_fd_.Reset();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_.get();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(kAcceptPollUs / 1000));
+    if (rc <= 0) {
+      continue;  // Timeout or EINTR; re-check the stop flag.
+    }
+    const int conn = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    connection_threads_.emplace_back(
+        [this, fd = UniqueFd(conn)]() mutable { ConnectionLoop(std::move(fd)); });
+  }
+}
+
+void TcpServer::ConnectionLoop(UniqueFd fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Short header timeout = cheap idle polling so Stop() is responsive;
+    // generous body timeout so a large in-flight frame is never abandoned
+    // (which would desynchronize the stream).
+    Result<std::string> frame =
+        ReadFrame(fd.get(), kAcceptPollUs, 64 * 1024 * 1024,
+                  SecondsToMicroseconds(30));
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kTimeout) {
+        continue;  // Idle connection; re-check the stop flag.
+      }
+      return;  // Closed or broken.
+    }
+    uint64_t request_id = 0;
+    Result<proto::Message> request{Status(StatusCode::kInternal, "")};
+    if (!DecodeWithId(frame.value(), &request_id, &request).ok()) {
+      return;
+    }
+    proto::Message reply;
+    if (request.ok()) {
+      reply = handler_(request.value());
+    } else {
+      proto::ErrorReply err;
+      err.code = request.status().code();
+      err.message = request.status().message();
+      reply = err;
+    }
+    requests_handled_.fetch_add(1, std::memory_order_relaxed);
+    const std::string out = EncodeWithId(request_id, reply);
+    if (!WriteFrame(fd.get(), out).ok()) {
+      return;
+    }
+  }
+}
+
+Status TcpChannel::EnsureConnected(MicrosecondCount timeout_us) {
+  if (fd_.valid()) {
+    return Status::Ok();
+  }
+  Result<UniqueFd> fd = ConnectTcp(port_, timeout_us);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  fd_ = std::move(fd).value();
+  return Status::Ok();
+}
+
+Result<proto::Message> TcpChannel::Call(const proto::Message& request,
+                                        MicrosecondCount timeout_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (artificial_delay_us_ > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(artificial_delay_us_));
+  }
+  Status st = EnsureConnected(timeout_us);
+  if (!st.ok()) {
+    return st;
+  }
+  const uint64_t id = next_request_id_++;
+  st = WriteFrame(fd_.get(), EncodeWithId(id, request));
+  if (!st.ok()) {
+    fd_.Reset();
+    return st;
+  }
+  // Read until our id shows up; stale replies from timed-out calls on this
+  // connection are discarded.
+  while (true) {
+    Result<std::string> frame = ReadFrame(fd_.get(), timeout_us);
+    if (!frame.ok()) {
+      fd_.Reset();
+      return frame.status();
+    }
+    uint64_t reply_id = 0;
+    Result<proto::Message> reply{Status(StatusCode::kInternal, "")};
+    st = DecodeWithId(frame.value(), &reply_id, &reply);
+    if (!st.ok()) {
+      fd_.Reset();
+      return st;
+    }
+    if (reply_id != id) {
+      PILEUS_LOG(kDebug) << "discarding stale reply id " << reply_id;
+      continue;
+    }
+    if (artificial_delay_us_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(artificial_delay_us_));
+    }
+    return reply;
+  }
+}
+
+}  // namespace pileus::net

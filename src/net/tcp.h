@@ -1,0 +1,84 @@
+// TCP transport: a framed request/reply server and a matching Channel.
+//
+// Wire format per frame: 4-byte little-endian length, then an 8-byte
+// little-endian request id, then the encoded proto::Message. The server
+// echoes the request id in the reply frame so a client can detect stale
+// replies after a timeout. One accept thread; one thread per connection
+// (connection counts here are tiny: a handful of clients and replication
+// agents per node).
+
+#ifndef PILEUS_SRC_NET_TCP_H_
+#define PILEUS_SRC_NET_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/channel.h"
+#include "src/net/socket_util.h"
+
+namespace pileus::net {
+
+class TcpServer {
+ public:
+  TcpServer() = default;
+  ~TcpServer() { Stop(); }
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts serving `handler` on
+  // background threads.
+  Status Start(uint16_t port, Handler handler);
+
+  // Stops accepting, closes connections, joins all threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t requests_handled() const {
+    return requests_handled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(UniqueFd fd);
+
+  Handler handler_;
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+  std::atomic<uint64_t> requests_handled_{0};
+};
+
+// Channel over one TCP connection. Calls are serialized (one outstanding
+// request); the connection is re-established lazily after errors. An optional
+// artificial one-way delay emulates WAN latency over loopback for the
+// examples.
+class TcpChannel : public Channel {
+ public:
+  explicit TcpChannel(uint16_t port,
+                      MicrosecondCount artificial_one_way_delay_us = 0)
+      : port_(port), artificial_delay_us_(artificial_one_way_delay_us) {}
+
+  Result<proto::Message> Call(const proto::Message& request,
+                              MicrosecondCount timeout_us) override;
+
+ private:
+  Status EnsureConnected(MicrosecondCount timeout_us);
+
+  const uint16_t port_;
+  const MicrosecondCount artificial_delay_us_;
+  std::mutex mu_;
+  UniqueFd fd_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace pileus::net
+
+#endif  // PILEUS_SRC_NET_TCP_H_

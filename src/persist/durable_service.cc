@@ -1,0 +1,102 @@
+#include "src/persist/durable_service.h"
+
+namespace pileus::persist {
+
+namespace {
+
+proto::Message MakeError(StatusCode code, std::string message) {
+  proto::ErrorReply err;
+  err.code = code;
+  err.message = std::move(message);
+  return err;
+}
+
+proto::Message MakeError(const Status& status) {
+  return MakeError(status.code(), status.message());
+}
+
+}  // namespace
+
+proto::Message DurableStorageService::Handle(const proto::Message& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_served_;
+  return HandleLocked(request);
+}
+
+proto::Message DurableStorageService::HandleLocked(
+    const proto::Message& request) {
+  if (const auto* get = std::get_if<proto::GetRequest>(&request)) {
+    if (get->table != table_) {
+      return MakeError(StatusCode::kWrongNode, "unknown table " + get->table);
+    }
+    return tablet_->HandleGet(get->key);
+  }
+  if (const auto* put = std::get_if<proto::PutRequest>(&request)) {
+    if (put->table != table_) {
+      return MakeError(StatusCode::kWrongNode, "unknown table " + put->table);
+    }
+    Result<proto::PutReply> reply = tablet_->HandlePut(put->key, put->value);
+    if (!reply.ok()) {
+      return MakeError(reply.status());
+    }
+    return std::move(reply).value();
+  }
+  if (const auto* del = std::get_if<proto::DeleteRequest>(&request)) {
+    if (del->table != table_) {
+      return MakeError(StatusCode::kWrongNode, "unknown table " + del->table);
+    }
+    Result<proto::PutReply> reply = tablet_->HandleDelete(del->key);
+    if (!reply.ok()) {
+      return MakeError(reply.status());
+    }
+    return std::move(reply).value();
+  }
+  if (const auto* range = std::get_if<proto::RangeRequest>(&request)) {
+    if (range->table != table_) {
+      return MakeError(StatusCode::kWrongNode,
+                       "unknown table " + range->table);
+    }
+    return tablet_->tablet().HandleRange(range->begin, range->end,
+                                         range->limit);
+  }
+  if (const auto* probe = std::get_if<proto::ProbeRequest>(&request)) {
+    if (probe->table != table_) {
+      return MakeError(StatusCode::kNotFound, "unknown table " + probe->table);
+    }
+    proto::ProbeReply reply;
+    const storage::Tablet& tablet = tablet_->tablet();
+    reply.is_primary = tablet.authoritative();
+    // Mirror Tablet::HandleGet's convention: authoritative copies advertise a
+    // clock-fresh high timestamp.
+    reply.high_timestamp = tablet_->HandleGet("").high_timestamp;
+    return reply;
+  }
+  if (const auto* sync = std::get_if<proto::SyncRequest>(&request)) {
+    if (sync->table != table_) {
+      return MakeError(StatusCode::kNotFound, "unknown table " + sync->table);
+    }
+    return tablet_->HandleSync(sync->after, sync->max_versions);
+  }
+  if (const auto* get_at = std::get_if<proto::GetAtRequest>(&request)) {
+    if (get_at->table != table_) {
+      return MakeError(StatusCode::kWrongNode,
+                       "unknown table " + get_at->table);
+    }
+    return tablet_->tablet().HandleGetAt(get_at->key, get_at->snapshot);
+  }
+  if (const auto* commit = std::get_if<proto::CommitRequest>(&request)) {
+    if (commit->table != table_) {
+      return MakeError(StatusCode::kWrongNode,
+                       "unknown table " + commit->table);
+    }
+    Result<proto::CommitReply> reply = tablet_->HandleCommit(*commit);
+    if (!reply.ok()) {
+      return MakeError(reply.status());
+    }
+    return std::move(reply).value();
+  }
+  return MakeError(StatusCode::kInvalidArgument,
+                   "service received a non-request message");
+}
+
+}  // namespace pileus::persist

@@ -1,0 +1,39 @@
+// Request dispatcher for a durable storage node serving one table.
+//
+// Mirrors StorageNode::Handle for a DurableTablet so a daemon can sit a
+// TcpServer (or any transport) directly on top of journaled storage. A
+// single mutex serializes requests, matching StorageNode's threading model.
+
+#ifndef PILEUS_SRC_PERSIST_DURABLE_SERVICE_H_
+#define PILEUS_SRC_PERSIST_DURABLE_SERVICE_H_
+
+#include <mutex>
+#include <string>
+
+#include "src/persist/durable_tablet.h"
+#include "src/proto/messages.h"
+
+namespace pileus::persist {
+
+class DurableStorageService {
+ public:
+  // `tablet` is not owned and must outlive the service.
+  DurableStorageService(std::string table, DurableTablet* tablet)
+      : table_(std::move(table)), tablet_(tablet) {}
+
+  proto::Message Handle(const proto::Message& request);
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  proto::Message HandleLocked(const proto::Message& request);
+
+  std::string table_;
+  DurableTablet* tablet_;
+  std::mutex mu_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace pileus::persist
+
+#endif  // PILEUS_SRC_PERSIST_DURABLE_SERVICE_H_

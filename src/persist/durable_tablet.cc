@@ -1,0 +1,297 @@
+#include "src/persist/durable_tablet.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/util/codec.h"
+#include "src/util/crc32.h"
+
+namespace pileus::persist {
+
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'P', 'L', 'C', 'K'};
+
+Status Errno(const char* what, const std::string& path) {
+  return Status(StatusCode::kUnavailable,
+                std::string(what) + " '" + path + "': " + strerror(errno));
+}
+
+// Checkpoint payload: varint version count, versions, then the tablet's high
+// timestamp. File: magic + fixed32 length + fixed32 crc + payload, written
+// to a temp file and renamed into place.
+std::string EncodeCheckpoint(const storage::Tablet& tablet) {
+  Encoder enc;
+  const std::vector<proto::ObjectVersion> versions =
+      tablet.store().LatestVersionsAfter(Timestamp::Zero());
+  enc.PutVarint64(versions.size());
+  for (const proto::ObjectVersion& v : versions) {
+    enc.PutLengthPrefixed(v.key);
+    enc.PutLengthPrefixed(v.value);
+    enc.PutTimestamp(v.timestamp);
+    enc.PutBool(v.is_tombstone);
+  }
+  enc.PutTimestamp(tablet.high_timestamp());
+  return enc.Release();
+}
+
+Status WriteFileAtomically(const std::string& path,
+                           std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Errno("open", tmp);
+  }
+  size_t done = 0;
+  while (done < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + done,
+                              contents.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status status = Errno("write", tmp);
+      ::close(fd);
+      return status;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = Errno("fsync", tmp);
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  return Status::Ok();
+}
+
+// Loads a checkpoint into `tablet`; missing file is fine (fresh tablet).
+Result<uint64_t> LoadCheckpoint(const std::string& path,
+                                storage::Tablet* tablet) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return uint64_t{0};
+    }
+    return Errno("open", path);
+  }
+  std::string contents;
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) {
+      break;
+    }
+    contents.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  if (contents.size() < sizeof(kCheckpointMagic) + 8 ||
+      memcmp(contents.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+          0) {
+    return Status(StatusCode::kCorruption,
+                  "checkpoint '" + path + "' has a bad header");
+  }
+  Decoder header(std::string_view(contents).substr(4, 8));
+  uint32_t length = 0;
+  uint32_t crc = 0;
+  PILEUS_RETURN_IF_ERROR(header.GetFixed32(&length));
+  PILEUS_RETURN_IF_ERROR(header.GetFixed32(&crc));
+  if (contents.size() != 12 + static_cast<size_t>(length)) {
+    return Status(StatusCode::kCorruption,
+                  "checkpoint '" + path + "' has a truncated body");
+  }
+  const std::string_view payload(contents.data() + 12, length);
+  if (Crc32(payload) != crc) {
+    return Status(StatusCode::kCorruption,
+                  "checkpoint '" + path + "' failed its checksum");
+  }
+
+  Decoder dec(payload);
+  uint64_t count = 0;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    proto::ObjectVersion version;
+    PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&version.key));
+    PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&version.value));
+    PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&version.timestamp));
+    PILEUS_RETURN_IF_ERROR(dec.GetBool(&version.is_tombstone));
+    tablet->ApplyReplicatedPut(version);
+  }
+  Timestamp high;
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&high));
+  proto::SyncReply heartbeat_only;
+  heartbeat_only.heartbeat = high;
+  tablet->ApplySync(heartbeat_only);
+  return count;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableTablet>> DurableTablet::Open(Options options,
+                                                           Clock* clock) {
+  // Recover into a *secondary* tablet so replay never allocates timestamps;
+  // promotion afterwards seeds the allocator above everything recovered.
+  storage::Tablet::Options recovery_options = options.tablet;
+  recovery_options.is_primary = false;
+  auto tablet =
+      std::make_unique<storage::Tablet>(recovery_options, clock);
+
+  RecoveryInfo recovery;
+  const std::string checkpoint_path = options.directory + "/checkpoint.db";
+  const std::string wal_path = options.directory + "/wal.log";
+
+  Result<uint64_t> loaded = LoadCheckpoint(checkpoint_path, tablet.get());
+  if (!loaded.ok()) {
+    return loaded.status();
+  }
+  recovery.checkpoint_versions = loaded.value();
+
+  Result<WriteAheadLog::ReplayStats> replayed = WriteAheadLog::Replay(
+      wal_path,
+      [&tablet](const proto::ObjectVersion& version) {
+        tablet->ApplyReplicatedPut(version);
+      },
+      [&tablet](const Timestamp& heartbeat) {
+        proto::SyncReply heartbeat_only;
+        heartbeat_only.heartbeat = heartbeat;
+        tablet->ApplySync(heartbeat_only);
+      });
+  if (!replayed.ok()) {
+    return replayed.status();
+  }
+  recovery.wal_versions = replayed->versions;
+  recovery.wal_heartbeats = replayed->heartbeats;
+  recovery.wal_tail_torn = replayed->tail_torn;
+
+  if (options.tablet.is_primary) {
+    tablet->SetPrimary(true);
+  }
+
+  Result<WriteAheadLog> wal = WriteAheadLog::Open(wal_path);
+  if (!wal.ok()) {
+    return wal.status();
+  }
+  return std::unique_ptr<DurableTablet>(
+      new DurableTablet(std::move(options), std::move(tablet),
+                        std::move(wal).value(), recovery));
+}
+
+Result<proto::PutReply> DurableTablet::HandlePut(std::string_view key,
+                                                 std::string_view value) {
+  Result<proto::PutReply> reply = tablet_->HandlePut(key, value);
+  if (!reply.ok()) {
+    return reply;
+  }
+  proto::ObjectVersion version;
+  version.key = std::string(key);
+  version.value = std::string(value);
+  version.timestamp = reply->timestamp;
+  PILEUS_RETURN_IF_ERROR(wal_.AppendVersion(version));
+  if (options_.sync_every_append) {
+    PILEUS_RETURN_IF_ERROR(wal_.Sync());
+  }
+  PILEUS_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  return reply;
+}
+
+Result<proto::PutReply> DurableTablet::HandleDelete(std::string_view key) {
+  Result<proto::PutReply> reply = tablet_->HandleDelete(key);
+  if (!reply.ok()) {
+    return reply;
+  }
+  proto::ObjectVersion tombstone;
+  tombstone.key = std::string(key);
+  tombstone.timestamp = reply->timestamp;
+  tombstone.is_tombstone = true;
+  PILEUS_RETURN_IF_ERROR(wal_.AppendVersion(tombstone));
+  if (options_.sync_every_append) {
+    PILEUS_RETURN_IF_ERROR(wal_.Sync());
+  }
+  PILEUS_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  return reply;
+}
+
+Status DurableTablet::ApplySync(const proto::SyncReply& reply) {
+  tablet_->ApplySync(reply);
+  for (const proto::ObjectVersion& version : reply.versions) {
+    PILEUS_RETURN_IF_ERROR(wal_.AppendVersion(version));
+  }
+  PILEUS_RETURN_IF_ERROR(wal_.AppendHeartbeat(tablet_->high_timestamp()));
+  if (options_.sync_every_append) {
+    PILEUS_RETURN_IF_ERROR(wal_.Sync());
+  }
+  return MaybeAutoCheckpoint();
+}
+
+Result<proto::CommitReply> DurableTablet::HandleCommit(
+    const proto::CommitRequest& request) {
+  Result<proto::CommitReply> reply = tablet_->HandleCommit(request);
+  if (!reply.ok() || !reply->committed) {
+    return reply;
+  }
+  for (const proto::ObjectVersion& w : request.writes) {
+    proto::ObjectVersion version = w;
+    version.timestamp = reply->commit_timestamp;
+    PILEUS_RETURN_IF_ERROR(wal_.AppendVersion(version));
+  }
+  if (options_.sync_every_append) {
+    PILEUS_RETURN_IF_ERROR(wal_.Sync());
+  }
+  PILEUS_RETURN_IF_ERROR(MaybeAutoCheckpoint());
+  return reply;
+}
+
+Status DurableTablet::Checkpoint() {
+  if (options_.tombstone_gc_horizon_us > 0) {
+    // Safe because the horizon (Options comment) exceeds replication lag:
+    // every replica has long since synced past these tombstones.
+    const Timestamp horizon{
+        tablet_->high_timestamp().physical_us -
+            options_.tombstone_gc_horizon_us,
+        0};
+    (void)tablet_->CollectTombstones(horizon);
+  }
+  const std::string payload = EncodeCheckpoint(*tablet_);
+  std::string file;
+  file.reserve(12 + payload.size());
+  file.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  Encoder header;
+  header.PutFixed32(static_cast<uint32_t>(payload.size()));
+  header.PutFixed32(Crc32(payload));
+  file.append(header.buffer());
+  file.append(payload);
+  PILEUS_RETURN_IF_ERROR(WriteFileAtomically(CheckpointPath(), file));
+  PILEUS_RETURN_IF_ERROR(wal_.Reset());
+  // Everything up to the checkpointed high timestamp is durable in the
+  // snapshot; the in-memory replication log no longer needs it (laggards
+  // fall back to a full-state transfer).
+  tablet_->CompactLog(tablet_->high_timestamp());
+  return Status::Ok();
+}
+
+Status DurableTablet::MaybeAutoCheckpoint() {
+  if (options_.checkpoint_threshold_bytes == 0 ||
+      wal_.bytes_written() < options_.checkpoint_threshold_bytes) {
+    return Status::Ok();
+  }
+  return Checkpoint();
+}
+
+}  // namespace pileus::persist

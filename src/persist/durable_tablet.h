@@ -1,0 +1,104 @@
+// A tablet with crash recovery: WAL + checkpoints.
+//
+// DurableTablet wraps storage::Tablet so that every state change (accepted
+// Put, replicated version, replication heartbeat) is journaled to a
+// write-ahead log before it is acknowledged, and the whole store is
+// periodically checkpointed so the log stays short. Reopening the same
+// directory reconstructs the tablet exactly: contents, high timestamp, and a
+// timestamp allocator that never re-issues an update timestamp.
+//
+// Layout inside the tablet directory:
+//   checkpoint.db - latest durable snapshot (atomic rename on update)
+//   wal.log       - records since that snapshot
+
+#ifndef PILEUS_SRC_PERSIST_DURABLE_TABLET_H_
+#define PILEUS_SRC_PERSIST_DURABLE_TABLET_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/persist/wal.h"
+#include "src/storage/tablet.h"
+
+namespace pileus::persist {
+
+class DurableTablet {
+ public:
+  struct Options {
+    std::string directory;  // Must exist.
+    storage::Tablet::Options tablet;
+    // fdatasync after every append (true = no acked write is ever lost;
+    // false = group commit via periodic Checkpoint()/Sync()).
+    bool sync_every_append = false;
+    // Auto-checkpoint once the WAL exceeds this many bytes (0 = never).
+    uint64_t checkpoint_threshold_bytes = 8 * 1024 * 1024;
+    // Tombstones older than this are garbage-collected at checkpoint time
+    // (0 = never). Must exceed the deployment's maximum replication lag; a
+    // replica that has not synced past a collected tombstone would keep the
+    // stale live value forever.
+    MicrosecondCount tombstone_gc_horizon_us = SecondsToMicroseconds(86400);
+  };
+
+  struct RecoveryInfo {
+    uint64_t checkpoint_versions = 0;
+    uint64_t wal_versions = 0;
+    uint64_t wal_heartbeats = 0;
+    bool wal_tail_torn = false;
+  };
+
+  // Opens (or creates) the durable tablet, replaying any existing state.
+  static Result<std::unique_ptr<DurableTablet>> Open(Options options,
+                                                     Clock* clock);
+
+  // --- Journaled request handlers (mirror storage::Tablet's) ---
+
+  Result<proto::PutReply> HandlePut(std::string_view key,
+                                    std::string_view value);
+  Result<proto::PutReply> HandleDelete(std::string_view key);
+  proto::GetReply HandleGet(std::string_view key) const {
+    return tablet_->HandleGet(key);
+  }
+  proto::SyncReply HandleSync(const Timestamp& after,
+                              uint32_t max_versions) const {
+    return tablet_->HandleSync(after, max_versions);
+  }
+  Status ApplySync(const proto::SyncReply& reply);
+  Result<proto::CommitReply> HandleCommit(const proto::CommitRequest& request);
+
+  // Writes a fresh snapshot (atomically) and truncates the WAL.
+  Status Checkpoint();
+
+  // Forces the WAL to stable storage.
+  Status Sync() { return wal_.Sync(); }
+
+  storage::Tablet& tablet() { return *tablet_; }
+  const storage::Tablet& tablet() const { return *tablet_; }
+  const WriteAheadLog& wal() const { return wal_; }
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+
+ private:
+  DurableTablet(Options options, std::unique_ptr<storage::Tablet> tablet,
+                WriteAheadLog wal, RecoveryInfo recovery)
+      : options_(std::move(options)),
+        tablet_(std::move(tablet)),
+        wal_(std::move(wal)),
+        recovery_(recovery) {}
+
+  Status MaybeAutoCheckpoint();
+
+  std::string CheckpointPath() const {
+    return options_.directory + "/checkpoint.db";
+  }
+  std::string WalPath() const { return options_.directory + "/wal.log"; }
+
+  Options options_;
+  std::unique_ptr<storage::Tablet> tablet_;
+  WriteAheadLog wal_;
+  RecoveryInfo recovery_;
+};
+
+}  // namespace pileus::persist
+
+#endif  // PILEUS_SRC_PERSIST_DURABLE_TABLET_H_

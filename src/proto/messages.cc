@@ -1,0 +1,434 @@
+#include "src/proto/messages.h"
+
+#include "src/util/codec.h"
+
+namespace pileus::proto {
+
+namespace {
+
+// Bumped when any message body layout changes.
+constexpr uint8_t kWireVersion = 1;
+
+void EncodeObjectVersion(Encoder& enc, const ObjectVersion& v) {
+  enc.PutLengthPrefixed(v.key);
+  enc.PutLengthPrefixed(v.value);
+  enc.PutTimestamp(v.timestamp);
+  enc.PutBool(v.is_tombstone);
+}
+
+Status DecodeObjectVersion(Decoder& dec, ObjectVersion* v) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&v->key));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&v->value));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&v->timestamp));
+  return dec.GetBool(&v->is_tombstone);
+}
+
+void EncodeBody(Encoder& enc, const GetRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutLengthPrefixed(m.key);
+}
+
+void EncodeBody(Encoder& enc, const GetReply& m) {
+  enc.PutBool(m.found);
+  enc.PutLengthPrefixed(m.value);
+  enc.PutTimestamp(m.value_timestamp);
+  enc.PutTimestamp(m.high_timestamp);
+  enc.PutBool(m.served_by_primary);
+}
+
+void EncodeBody(Encoder& enc, const PutRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutLengthPrefixed(m.key);
+  enc.PutLengthPrefixed(m.value);
+}
+
+void EncodeBody(Encoder& enc, const PutReply& m) {
+  enc.PutTimestamp(m.timestamp);
+  enc.PutTimestamp(m.high_timestamp);
+}
+
+void EncodeBody(Encoder& enc, const ProbeRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+}
+
+void EncodeBody(Encoder& enc, const ProbeReply& m) {
+  enc.PutTimestamp(m.high_timestamp);
+  enc.PutBool(m.is_primary);
+}
+
+void EncodeBody(Encoder& enc, const SyncRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutTimestamp(m.after);
+  enc.PutVarint64(m.max_versions);
+}
+
+void EncodeBody(Encoder& enc, const SyncReply& m) {
+  enc.PutVarint64(m.versions.size());
+  for (const ObjectVersion& v : m.versions) {
+    EncodeObjectVersion(enc, v);
+  }
+  enc.PutTimestamp(m.heartbeat);
+  enc.PutBool(m.has_more);
+}
+
+void EncodeBody(Encoder& enc, const GetAtRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutLengthPrefixed(m.key);
+  enc.PutTimestamp(m.snapshot);
+}
+
+void EncodeBody(Encoder& enc, const GetAtReply& m) {
+  enc.PutBool(m.found);
+  enc.PutLengthPrefixed(m.value);
+  enc.PutTimestamp(m.value_timestamp);
+  enc.PutBool(m.snapshot_available);
+}
+
+void EncodeBody(Encoder& enc, const CommitRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutTimestamp(m.snapshot);
+  enc.PutVarint64(m.read_keys.size());
+  for (const std::string& k : m.read_keys) {
+    enc.PutLengthPrefixed(k);
+  }
+  enc.PutVarint64(m.writes.size());
+  for (const ObjectVersion& v : m.writes) {
+    EncodeObjectVersion(enc, v);
+  }
+  enc.PutBool(m.validate_reads);
+}
+
+void EncodeBody(Encoder& enc, const CommitReply& m) {
+  enc.PutBool(m.committed);
+  enc.PutTimestamp(m.commit_timestamp);
+  enc.PutLengthPrefixed(m.conflict_key);
+}
+
+void EncodeBody(Encoder& enc, const RangeRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutLengthPrefixed(m.begin);
+  enc.PutLengthPrefixed(m.end);
+  enc.PutVarint64(m.limit);
+}
+
+void EncodeBody(Encoder& enc, const RangeReply& m) {
+  enc.PutVarint64(m.items.size());
+  for (const ObjectVersion& v : m.items) {
+    EncodeObjectVersion(enc, v);
+  }
+  enc.PutBool(m.truncated);
+  enc.PutTimestamp(m.high_timestamp);
+  enc.PutBool(m.served_by_primary);
+}
+
+void EncodeBody(Encoder& enc, const DeleteRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutLengthPrefixed(m.key);
+}
+
+void EncodeBody(Encoder& enc, const ErrorReply& m) {
+  enc.PutVarint64(static_cast<uint64_t>(m.code));
+  enc.PutLengthPrefixed(m.message);
+}
+
+Status DecodeBody(Decoder& dec, GetRequest* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  return dec.GetLengthPrefixedString(&m->key);
+}
+
+Status DecodeBody(Decoder& dec, GetReply* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->found));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->value));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->value_timestamp));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
+  return dec.GetBool(&m->served_by_primary);
+}
+
+Status DecodeBody(Decoder& dec, PutRequest* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->key));
+  return dec.GetLengthPrefixedString(&m->value);
+}
+
+Status DecodeBody(Decoder& dec, PutReply* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->timestamp));
+  return dec.GetTimestamp(&m->high_timestamp);
+}
+
+Status DecodeBody(Decoder& dec, ProbeRequest* m) {
+  return dec.GetLengthPrefixedString(&m->table);
+}
+
+Status DecodeBody(Decoder& dec, ProbeReply* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
+  return dec.GetBool(&m->is_primary);
+}
+
+Status DecodeBody(Decoder& dec, SyncRequest* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->after));
+  uint64_t max_versions;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&max_versions));
+  if (max_versions > UINT32_MAX) {
+    return Status(StatusCode::kCorruption, "max_versions overflow");
+  }
+  m->max_versions = static_cast<uint32_t>(max_versions);
+  return Status::Ok();
+}
+
+Status DecodeBody(Decoder& dec, SyncReply* m) {
+  uint64_t count;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  // Sanity cap: a version entry needs at least 4 bytes on the wire.
+  if (count > dec.remaining()) {
+    return Status(StatusCode::kCorruption, "sync reply version count too big");
+  }
+  m->versions.resize(count);
+  for (ObjectVersion& v : m->versions) {
+    PILEUS_RETURN_IF_ERROR(DecodeObjectVersion(dec, &v));
+  }
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->heartbeat));
+  return dec.GetBool(&m->has_more);
+}
+
+Status DecodeBody(Decoder& dec, GetAtRequest* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->key));
+  return dec.GetTimestamp(&m->snapshot);
+}
+
+Status DecodeBody(Decoder& dec, GetAtReply* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->found));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->value));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->value_timestamp));
+  return dec.GetBool(&m->snapshot_available);
+}
+
+Status DecodeBody(Decoder& dec, CommitRequest* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->snapshot));
+  uint64_t reads;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&reads));
+  if (reads > dec.remaining()) {
+    return Status(StatusCode::kCorruption, "commit read count too big");
+  }
+  m->read_keys.resize(reads);
+  for (std::string& k : m->read_keys) {
+    PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&k));
+  }
+  uint64_t writes;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&writes));
+  if (writes > dec.remaining()) {
+    return Status(StatusCode::kCorruption, "commit write count too big");
+  }
+  m->writes.resize(writes);
+  for (ObjectVersion& v : m->writes) {
+    PILEUS_RETURN_IF_ERROR(DecodeObjectVersion(dec, &v));
+  }
+  return dec.GetBool(&m->validate_reads);
+}
+
+Status DecodeBody(Decoder& dec, CommitReply* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->committed));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->commit_timestamp));
+  return dec.GetLengthPrefixedString(&m->conflict_key);
+}
+
+Status DecodeBody(Decoder& dec, RangeRequest* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->begin));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->end));
+  uint64_t limit;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&limit));
+  if (limit > UINT32_MAX) {
+    return Status(StatusCode::kCorruption, "range limit overflow");
+  }
+  m->limit = static_cast<uint32_t>(limit);
+  return Status::Ok();
+}
+
+Status DecodeBody(Decoder& dec, RangeReply* m) {
+  uint64_t count;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  if (count > dec.remaining()) {
+    return Status(StatusCode::kCorruption, "range reply count too big");
+  }
+  m->items.resize(count);
+  for (ObjectVersion& v : m->items) {
+    PILEUS_RETURN_IF_ERROR(DecodeObjectVersion(dec, &v));
+  }
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->truncated));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
+  return dec.GetBool(&m->served_by_primary);
+}
+
+Status DecodeBody(Decoder& dec, DeleteRequest* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  return dec.GetLengthPrefixedString(&m->key);
+}
+
+Status DecodeBody(Decoder& dec, ErrorReply* m) {
+  uint64_t code;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&code));
+  if (code > static_cast<uint64_t>(StatusCode::kOutOfRange)) {
+    return Status(StatusCode::kCorruption, "unknown status code");
+  }
+  m->code = static_cast<StatusCode>(code);
+  return dec.GetLengthPrefixedString(&m->message);
+}
+
+template <typename T>
+Result<Message> DecodeInto(Decoder& dec) {
+  T m;
+  Status st = DecodeBody(dec, &m);
+  if (!st.ok()) {
+    return st;
+  }
+  if (!dec.AtEnd()) {
+    return Status(StatusCode::kCorruption, "trailing bytes after message");
+  }
+  return Message(std::move(m));
+}
+
+}  // namespace
+
+MessageType TypeOf(const Message& message) {
+  return std::visit(
+      [](const auto& m) -> MessageType {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, GetRequest>) {
+          return MessageType::kGetRequest;
+        } else if constexpr (std::is_same_v<T, GetReply>) {
+          return MessageType::kGetReply;
+        } else if constexpr (std::is_same_v<T, PutRequest>) {
+          return MessageType::kPutRequest;
+        } else if constexpr (std::is_same_v<T, PutReply>) {
+          return MessageType::kPutReply;
+        } else if constexpr (std::is_same_v<T, ProbeRequest>) {
+          return MessageType::kProbeRequest;
+        } else if constexpr (std::is_same_v<T, ProbeReply>) {
+          return MessageType::kProbeReply;
+        } else if constexpr (std::is_same_v<T, SyncRequest>) {
+          return MessageType::kSyncRequest;
+        } else if constexpr (std::is_same_v<T, SyncReply>) {
+          return MessageType::kSyncReply;
+        } else if constexpr (std::is_same_v<T, GetAtRequest>) {
+          return MessageType::kGetAtRequest;
+        } else if constexpr (std::is_same_v<T, GetAtReply>) {
+          return MessageType::kGetAtReply;
+        } else if constexpr (std::is_same_v<T, CommitRequest>) {
+          return MessageType::kCommitRequest;
+        } else if constexpr (std::is_same_v<T, CommitReply>) {
+          return MessageType::kCommitReply;
+        } else if constexpr (std::is_same_v<T, RangeRequest>) {
+          return MessageType::kRangeRequest;
+        } else if constexpr (std::is_same_v<T, RangeReply>) {
+          return MessageType::kRangeReply;
+        } else if constexpr (std::is_same_v<T, DeleteRequest>) {
+          return MessageType::kDeleteRequest;
+        } else {
+          return MessageType::kErrorReply;
+        }
+      },
+      message);
+}
+
+std::string_view MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kGetRequest:
+      return "GetRequest";
+    case MessageType::kGetReply:
+      return "GetReply";
+    case MessageType::kPutRequest:
+      return "PutRequest";
+    case MessageType::kPutReply:
+      return "PutReply";
+    case MessageType::kProbeRequest:
+      return "ProbeRequest";
+    case MessageType::kProbeReply:
+      return "ProbeReply";
+    case MessageType::kSyncRequest:
+      return "SyncRequest";
+    case MessageType::kSyncReply:
+      return "SyncReply";
+    case MessageType::kGetAtRequest:
+      return "GetAtRequest";
+    case MessageType::kGetAtReply:
+      return "GetAtReply";
+    case MessageType::kCommitRequest:
+      return "CommitRequest";
+    case MessageType::kCommitReply:
+      return "CommitReply";
+    case MessageType::kErrorReply:
+      return "ErrorReply";
+    case MessageType::kRangeRequest:
+      return "RangeRequest";
+    case MessageType::kRangeReply:
+      return "RangeReply";
+    case MessageType::kDeleteRequest:
+      return "DeleteRequest";
+  }
+  return "Unknown";
+}
+
+std::string EncodeMessage(const Message& message) {
+  Encoder enc;
+  enc.PutUint8(static_cast<uint8_t>(TypeOf(message)));
+  enc.PutUint8(kWireVersion);
+  std::visit([&enc](const auto& m) { EncodeBody(enc, m); }, message);
+  return enc.Release();
+}
+
+Result<Message> DecodeMessage(std::string_view bytes) {
+  Decoder dec(bytes);
+  uint8_t type_byte;
+  Status st = dec.GetUint8(&type_byte);
+  if (!st.ok()) {
+    return st;
+  }
+  uint8_t version;
+  st = dec.GetUint8(&version);
+  if (!st.ok()) {
+    return st;
+  }
+  if (version != kWireVersion) {
+    return Status(StatusCode::kCorruption, "unsupported wire version");
+  }
+  switch (static_cast<MessageType>(type_byte)) {
+    case MessageType::kGetRequest:
+      return DecodeInto<GetRequest>(dec);
+    case MessageType::kGetReply:
+      return DecodeInto<GetReply>(dec);
+    case MessageType::kPutRequest:
+      return DecodeInto<PutRequest>(dec);
+    case MessageType::kPutReply:
+      return DecodeInto<PutReply>(dec);
+    case MessageType::kProbeRequest:
+      return DecodeInto<ProbeRequest>(dec);
+    case MessageType::kProbeReply:
+      return DecodeInto<ProbeReply>(dec);
+    case MessageType::kSyncRequest:
+      return DecodeInto<SyncRequest>(dec);
+    case MessageType::kSyncReply:
+      return DecodeInto<SyncReply>(dec);
+    case MessageType::kGetAtRequest:
+      return DecodeInto<GetAtRequest>(dec);
+    case MessageType::kGetAtReply:
+      return DecodeInto<GetAtReply>(dec);
+    case MessageType::kCommitRequest:
+      return DecodeInto<CommitRequest>(dec);
+    case MessageType::kCommitReply:
+      return DecodeInto<CommitReply>(dec);
+    case MessageType::kErrorReply:
+      return DecodeInto<ErrorReply>(dec);
+    case MessageType::kRangeRequest:
+      return DecodeInto<RangeRequest>(dec);
+    case MessageType::kRangeReply:
+      return DecodeInto<RangeReply>(dec);
+    case MessageType::kDeleteRequest:
+      return DecodeInto<DeleteRequest>(dec);
+  }
+  return Status(StatusCode::kCorruption, "unknown message type");
+}
+
+}  // namespace pileus::proto

@@ -1,0 +1,193 @@
+// Storage protocol messages.
+//
+// Every interaction between the client library, the replication agents, and
+// storage nodes uses these request/reply pairs:
+//
+//   Get    - read a key; the reply carries the node's high timestamp, which
+//            the client needs to decide which consistency (and hence which
+//            subSLA) was actually delivered (paper Section 4.3, 4.6.2).
+//   Put    - write a key; only the tablet's primary accepts it and assigns
+//            the update timestamp (Section 4.2).
+//   Probe  - monitor ping; returns the node's high timestamp and measures RTT
+//            (Section 4.5).
+//   Sync   - replication pull: "send versions with timestamps above X, in
+//            timestamp order"; an empty reply still advances the secondary's
+//            high timestamp via the heartbeat field (Section 4.3).
+//   GetAt  - snapshot read at a given timestamp (transactions, tech report
+//            [38]); served from the node's bounded version history.
+//   Commit - atomic multi-key transactional commit with write-write conflict
+//            validation against the snapshot timestamp.
+//
+// Messages are encoded with src/util/codec.h; every message starts with a
+// format version byte so the wire format can evolve.
+
+#ifndef PILEUS_SRC_PROTO_MESSAGES_H_
+#define PILEUS_SRC_PROTO_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+
+namespace pileus::proto {
+
+enum class MessageType : uint8_t {
+  kGetRequest = 1,
+  kGetReply = 2,
+  kPutRequest = 3,
+  kPutReply = 4,
+  kProbeRequest = 5,
+  kProbeReply = 6,
+  kSyncRequest = 7,
+  kSyncReply = 8,
+  kGetAtRequest = 9,
+  kGetAtReply = 10,
+  kCommitRequest = 11,
+  kCommitReply = 12,
+  kErrorReply = 13,
+  kRangeRequest = 14,
+  kRangeReply = 15,
+  kDeleteRequest = 16,  // Replied to with a PutReply (a delete is a write).
+};
+
+// One version of one object: the tablet-store tuple of Section 4.3.
+// A tombstone records a deletion: it occupies a position in the timestamp
+// order (so replication and session guarantees treat deletes like any other
+// write) but carries no value.
+struct ObjectVersion {
+  std::string key;
+  std::string value;
+  Timestamp timestamp;
+  bool is_tombstone = false;
+
+  bool operator==(const ObjectVersion&) const = default;
+};
+
+struct GetRequest {
+  std::string table;
+  std::string key;
+};
+
+struct GetReply {
+  bool found = false;
+  std::string value;
+  Timestamp value_timestamp;       // Update timestamp of the returned version.
+  Timestamp high_timestamp;        // Node's high timestamp (Section 4.3).
+  bool served_by_primary = false;  // Lets clients skip redundant strong reads
+                                   // (Section 2.3 speculative pattern).
+};
+
+struct PutRequest {
+  std::string table;
+  std::string key;
+  std::string value;
+};
+
+struct PutReply {
+  Timestamp timestamp;       // Update timestamp assigned by the primary.
+  Timestamp high_timestamp;  // Primary's high timestamp after the Put.
+};
+
+struct ProbeRequest {
+  std::string table;
+};
+
+struct ProbeReply {
+  Timestamp high_timestamp;
+  bool is_primary = false;
+};
+
+struct SyncRequest {
+  std::string table;
+  Timestamp after;          // Send versions with timestamp > after.
+  uint32_t max_versions = 0;  // 0 = unlimited.
+};
+
+struct SyncReply {
+  std::vector<ObjectVersion> versions;  // In ascending timestamp order.
+  // Everything with timestamp <= heartbeat has been included (or was sent
+  // earlier); the receiver may advance its high timestamp to this value even
+  // when `versions` is empty (idle-primary heartbeat, Section 4.3).
+  Timestamp heartbeat;
+  bool has_more = false;
+};
+
+struct GetAtRequest {
+  std::string table;
+  std::string key;
+  Timestamp snapshot;  // Return the latest version with timestamp <= snapshot.
+};
+
+struct GetAtReply {
+  bool found = false;
+  std::string value;
+  Timestamp value_timestamp;
+  // False when the node's history no longer reaches back to the snapshot.
+  bool snapshot_available = true;
+};
+
+struct CommitRequest {
+  std::string table;
+  Timestamp snapshot;                   // Transaction snapshot timestamp.
+  std::vector<std::string> read_keys;   // For optional read validation.
+  std::vector<ObjectVersion> writes;    // Timestamps ignored on input.
+  bool validate_reads = false;
+};
+
+struct CommitReply {
+  bool committed = false;
+  Timestamp commit_timestamp;           // Timestamp of all writes if committed.
+  std::string conflict_key;             // First conflicting key if aborted.
+};
+
+struct ErrorReply {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+// Deletes a key by writing a tombstone at the primary. Answered with a
+// PutReply carrying the tombstone's update timestamp.
+struct DeleteRequest {
+  std::string table;
+  std::string key;
+};
+
+// Range scan over [begin, end) in key order; `end` empty = unbounded.
+struct RangeRequest {
+  std::string table;
+  std::string begin;
+  std::string end;
+  uint32_t limit = 0;  // 0 = unlimited.
+};
+
+struct RangeReply {
+  std::vector<ObjectVersion> items;  // Latest versions, ascending key order.
+  bool truncated = false;            // The limit cut the scan short.
+  // Staleness bound for the *whole* scan: the minimum high timestamp across
+  // the tablets that served it.
+  Timestamp high_timestamp;
+  bool served_by_primary = false;
+};
+
+using Message =
+    std::variant<GetRequest, GetReply, PutRequest, PutReply, ProbeRequest,
+                 ProbeReply, SyncRequest, SyncReply, GetAtRequest, GetAtReply,
+                 CommitRequest, CommitReply, ErrorReply, RangeRequest,
+                 RangeReply, DeleteRequest>;
+
+MessageType TypeOf(const Message& message);
+std::string_view MessageTypeName(MessageType type);
+
+// Serializes `message` (type tag + version + body) into a byte string.
+std::string EncodeMessage(const Message& message);
+
+// Parses a byte string produced by EncodeMessage.
+Result<Message> DecodeMessage(std::string_view bytes);
+
+}  // namespace pileus::proto
+
+#endif  // PILEUS_SRC_PROTO_MESSAGES_H_

@@ -1,0 +1,90 @@
+#include "src/replication/replication_agent.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace pileus::replication {
+
+proto::SyncRequest ReplicationAgent::NextRequest() const {
+  proto::SyncRequest request;
+  request.table = options_.table;
+  request.after = target_->high_timestamp();
+  request.max_versions = options_.max_versions_per_pull;
+  return request;
+}
+
+bool ReplicationAgent::OnReply(const proto::SyncReply& reply) {
+  target_->ApplySync(reply);
+  versions_applied_ += reply.versions.size();
+  if (!reply.has_more) {
+    ++pulls_completed_;
+  }
+  return reply.has_more;
+}
+
+Result<int> BlockingPuller::PullOnce() {
+  int applied = 0;
+  bool more = true;
+  while (more) {
+    Result<proto::SyncReply> reply = sync_(agent_->NextRequest());
+    if (!reply.ok()) {
+      return reply.status();
+    }
+    applied += static_cast<int>(reply.value().versions.size());
+    more = agent_->OnReply(reply.value());
+  }
+  return applied;
+}
+
+ThreadedPuller::ThreadedPuller(ReplicationAgent* agent,
+                               BlockingPuller::SyncFn sync,
+                               MicrosecondCount period_us)
+    : agent_(agent), puller_(agent, std::move(sync)), period_us_(period_us) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ThreadedPuller::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void ThreadedPuller::PullNow() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pull_requested_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ThreadedPuller::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::microseconds(period_us_), [this] {
+      return stop_ || pull_requested_;
+    });
+    if (stop_) {
+      return;
+    }
+    pull_requested_ = false;
+    lock.unlock();
+    Result<int> pulled = puller_.PullOnce();
+    if (!pulled.ok()) {
+      PILEUS_LOG(kWarning) << "replication pull for table '"
+                           << agent_->options().table
+                           << "' failed: " << pulled.status();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace pileus::replication

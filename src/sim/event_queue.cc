@@ -1,0 +1,53 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace pileus::sim {
+
+uint64_t EventQueue::ScheduleAt(MicrosecondCount at_us, Callback fn) {
+  const uint64_t id = next_id_++;
+  heap_.push(Event{at_us, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::Cancel(uint64_t id) {
+  if (id == 0 || id >= next_id_) {
+    return;
+  }
+  if (cancelled_.insert(id).second && live_count_ > 0) {
+    --live_count_;
+  }
+}
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+MicrosecondCount EventQueue::NextEventTime() const {
+  SkipCancelled();
+  return heap_.empty() ? -1 : heap_.top().at_us;
+}
+
+EventQueue::Callback EventQueue::PopNext(MicrosecondCount* at_us) {
+  SkipCancelled();
+  assert(!heap_.empty() && "PopNext on empty EventQueue");
+  // priority_queue::top() is const; the event is moved out via const_cast,
+  // which is safe because we pop immediately and never re-heapify first.
+  Event& top = const_cast<Event&>(heap_.top());
+  *at_us = top.at_us;
+  Callback fn = std::move(top.fn);
+  heap_.pop();
+  --live_count_;
+  return fn;
+}
+
+}  // namespace pileus::sim

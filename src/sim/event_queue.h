@@ -1,0 +1,64 @@
+// Discrete-event queue: (time, insertion-sequence)-ordered callbacks.
+//
+// Insertion sequence breaks ties so simultaneous events run in schedule
+// order, which keeps simulations deterministic across runs and platforms.
+
+#ifndef PILEUS_SRC_SIM_EVENT_QUEUE_H_
+#define PILEUS_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace pileus::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute time `at_us`; returns an id usable to Cancel.
+  uint64_t ScheduleAt(MicrosecondCount at_us, Callback fn);
+
+  // Lazily cancels a pending event; its callback will not run.
+  void Cancel(uint64_t id);
+
+  bool Empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event; -1 if none.
+  MicrosecondCount NextEventTime() const;
+
+  // Pops the earliest event (skipping cancelled ones). Caller must check
+  // !Empty() first. Sets *at_us to the event's scheduled time.
+  Callback PopNext(MicrosecondCount* at_us);
+
+ private:
+  struct Event {
+    MicrosecondCount at_us;
+    uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at_us != b.at_us) {
+        return a.at_us > b.at_us;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  mutable std::unordered_set<uint64_t> cancelled_;
+  size_t live_count_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace pileus::sim
+
+#endif  // PILEUS_SRC_SIM_EVENT_QUEUE_H_

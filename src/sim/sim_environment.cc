@@ -1,0 +1,55 @@
+#include "src/sim/sim_environment.h"
+
+namespace pileus::sim {
+
+PeriodicHandle SimEnvironment::SchedulePeriodic(
+    MicrosecondCount first_delay_us, MicrosecondCount period_us,
+    std::function<void()> fn) {
+  PeriodicHandle handle;
+  handle.alive_ = std::make_shared<bool>(true);
+
+  // The tick reschedules itself while the handle is alive. It captures this
+  // environment by raw pointer; the environment must outlive its periodic
+  // tasks (true by construction: experiments own the environment for their
+  // whole lifetime). A recursive lambda needs an explicit fixpoint, hence the
+  // shared holder.
+  auto alive = handle.alive_;
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  auto holder = std::make_shared<std::function<void()>>();
+  *holder = [this, alive, shared_fn, period_us, holder]() {
+    if (!*alive) {
+      return;
+    }
+    (*shared_fn)();
+    if (*alive) {
+      ScheduleAfter(period_us, *holder);
+    }
+  };
+  ScheduleAfter(first_delay_us, *holder);
+  return handle;
+}
+
+void SimEnvironment::RunUntil(MicrosecondCount until_us) {
+  assert(!running_ && "SimEnvironment::RunUntil is not reentrant");
+  running_ = true;
+  while (!events_.Empty()) {
+    const MicrosecondCount next = events_.NextEventTime();
+    if (next < 0 || next > until_us) {
+      break;
+    }
+    MicrosecondCount at;
+    EventQueue::Callback fn = events_.PopNext(&at);
+    if (at > clock_.NowMicros()) {
+      clock_.SetMicros(at);
+    }
+    running_ = false;  // Allow the callback itself to schedule, not to run.
+    fn();
+    running_ = true;
+  }
+  if (until_us > clock_.NowMicros()) {
+    clock_.SetMicros(until_us);
+  }
+  running_ = false;
+}
+
+}  // namespace pileus::sim

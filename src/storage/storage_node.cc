@@ -1,0 +1,258 @@
+#include "src/storage/storage_node.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pileus::storage {
+
+namespace {
+
+proto::Message MakeError(StatusCode code, std::string message) {
+  proto::ErrorReply err;
+  err.code = code;
+  err.message = std::move(message);
+  return err;
+}
+
+proto::Message MakeError(const Status& status) {
+  return MakeError(status.code(), status.message());
+}
+
+}  // namespace
+
+StorageNode::StorageNode(std::string name, std::string site, Clock* clock)
+    : name_(std::move(name)), site_(std::move(site)), clock_(clock) {}
+
+Status StorageNode::AddTablet(std::string_view table,
+                              Tablet::Options options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& list = tablets_[std::string(table)];
+  for (const auto& existing : list) {
+    if (existing->range().Overlaps(options.range)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "tablet range " + options.range.ToString() +
+                        " overlaps existing " +
+                        existing->range().ToString());
+    }
+  }
+  list.push_back(std::make_unique<Tablet>(std::move(options), clock_));
+  std::sort(list.begin(), list.end(),
+            [](const std::unique_ptr<Tablet>& a,
+               const std::unique_ptr<Tablet>& b) {
+              return a->range().begin < b->range().begin;
+            });
+  return Status::Ok();
+}
+
+void StorageNode::SetPrimaryForTable(std::string_view table, bool is_primary) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tablets_.find(table);
+  if (it == tablets_.end()) {
+    return;
+  }
+  for (auto& tablet : it->second) {
+    tablet->SetPrimary(is_primary);
+  }
+}
+
+void StorageNode::SetSyncReplicaForTable(std::string_view table,
+                                         bool is_sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tablets_.find(table);
+  if (it == tablets_.end()) {
+    return;
+  }
+  for (auto& tablet : it->second) {
+    tablet->SetSyncReplica(is_sync);
+  }
+}
+
+Tablet* StorageNode::FindTablet(std::string_view table, std::string_view key) {
+  auto it = tablets_.find(table);
+  if (it == tablets_.end()) {
+    return nullptr;
+  }
+  for (auto& tablet : it->second) {
+    if (tablet->range().Contains(key)) {
+      return tablet.get();
+    }
+  }
+  return nullptr;
+}
+
+const Tablet* StorageNode::FindTablet(std::string_view table,
+                                      std::string_view key) const {
+  return const_cast<StorageNode*>(this)->FindTablet(table, key);
+}
+
+std::vector<Tablet*> StorageNode::TabletsForTable(std::string_view table) {
+  std::vector<Tablet*> out;
+  auto it = tablets_.find(table);
+  if (it == tablets_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (auto& tablet : it->second) {
+    out.push_back(tablet.get());
+  }
+  return out;
+}
+
+Timestamp StorageNode::HighTimestamp(std::string_view table,
+                                     std::string_view key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Tablet* tablet = FindTablet(table, key);
+  return tablet == nullptr ? Timestamp::Zero() : tablet->high_timestamp();
+}
+
+proto::Message StorageNode::Handle(const proto::Message& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++requests_served_;
+  return HandleLocked(request);
+}
+
+proto::Message StorageNode::HandleLocked(const proto::Message& request) {
+  if (const auto* get = std::get_if<proto::GetRequest>(&request)) {
+    const Tablet* tablet = FindTablet(get->table, get->key);
+    if (tablet == nullptr) {
+      return MakeError(StatusCode::kWrongNode,
+                       "node " + name_ + " has no tablet for key");
+    }
+    return tablet->HandleGet(get->key);
+  }
+  if (const auto* put = std::get_if<proto::PutRequest>(&request)) {
+    Tablet* tablet = FindTablet(put->table, put->key);
+    if (tablet == nullptr) {
+      return MakeError(StatusCode::kWrongNode,
+                       "node " + name_ + " has no tablet for key");
+    }
+    Result<proto::PutReply> reply = tablet->HandlePut(put->key, put->value);
+    if (!reply.ok()) {
+      return MakeError(reply.status());
+    }
+    return std::move(reply).value();
+  }
+  if (const auto* del = std::get_if<proto::DeleteRequest>(&request)) {
+    Tablet* tablet = FindTablet(del->table, del->key);
+    if (tablet == nullptr) {
+      return MakeError(StatusCode::kWrongNode,
+                       "node " + name_ + " has no tablet for key");
+    }
+    Result<proto::PutReply> reply = tablet->HandleDelete(del->key);
+    if (!reply.ok()) {
+      return MakeError(reply.status());
+    }
+    return std::move(reply).value();
+  }
+  if (const auto* range = std::get_if<proto::RangeRequest>(&request)) {
+    auto it = tablets_.find(range->table);
+    if (it == tablets_.end() || it->second.empty()) {
+      return MakeError(StatusCode::kWrongNode,
+                       "node " + name_ + " has no tablets of table");
+    }
+    // Tablets are sorted by range begin, so concatenating their per-tablet
+    // scans yields global key order. The reply's high timestamp is the
+    // minimum across the tablets that contributed (conservative bound).
+    proto::RangeReply reply;
+    reply.high_timestamp = Timestamp::Max();
+    reply.served_by_primary = true;
+    const KeyRange wanted{range->begin, range->end};
+    for (const auto& tablet : it->second) {
+      if (!tablet->range().Overlaps(wanted) && !wanted.IsEmpty()) {
+        continue;
+      }
+      const uint32_t remaining =
+          range->limit == 0
+              ? 0
+              : range->limit - static_cast<uint32_t>(reply.items.size());
+      if (range->limit != 0 && remaining == 0) {
+        reply.truncated = true;
+        break;
+      }
+      proto::RangeReply part =
+          tablet->HandleRange(range->begin, range->end, remaining);
+      reply.high_timestamp =
+          std::min(reply.high_timestamp, part.high_timestamp);
+      reply.served_by_primary =
+          reply.served_by_primary && part.served_by_primary;
+      reply.truncated = reply.truncated || part.truncated;
+      for (proto::ObjectVersion& item : part.items) {
+        reply.items.push_back(std::move(item));
+      }
+    }
+    if (reply.high_timestamp == Timestamp::Max()) {
+      reply.high_timestamp = Timestamp::Zero();  // No tablet contributed.
+    }
+    return reply;
+  }
+  if (const auto* probe = std::get_if<proto::ProbeRequest>(&request)) {
+    auto it = tablets_.find(probe->table);
+    if (it == tablets_.end() || it->second.empty()) {
+      return MakeError(StatusCode::kNotFound,
+                       "node " + name_ + " hosts no tablets of table");
+    }
+    // Report the minimum high timestamp across the table's tablets: the
+    // conservative bound a monitor can rely on for any key.
+    proto::ProbeReply reply;
+    reply.high_timestamp = Timestamp::Max();
+    reply.is_primary = true;
+    for (const auto& tablet : it->second) {
+      const Timestamp high = tablet->authoritative()
+                                 ? MaxTimestamp(tablet->high_timestamp(),
+                                                Timestamp{clock_->NowMicros() - 1,
+                                                          UINT32_MAX})
+                                 : tablet->high_timestamp();
+      reply.high_timestamp = std::min(reply.high_timestamp, high);
+      reply.is_primary = reply.is_primary && tablet->authoritative();
+    }
+    return reply;
+  }
+  if (const auto* sync = std::get_if<proto::SyncRequest>(&request)) {
+    // Sync requests address a whole table; with multiple tablets the reply
+    // covers the tablet owning the lowest range (agents sync per tablet via
+    // direct tablet access; the RPC path supports single-tablet tables).
+    auto it = tablets_.find(sync->table);
+    if (it == tablets_.end() || it->second.empty()) {
+      return MakeError(StatusCode::kNotFound,
+                       "node " + name_ + " hosts no tablets of table");
+    }
+    return it->second.front()->HandleSync(sync->after, sync->max_versions);
+  }
+  if (const auto* get_at = std::get_if<proto::GetAtRequest>(&request)) {
+    const Tablet* tablet = FindTablet(get_at->table, get_at->key);
+    if (tablet == nullptr) {
+      return MakeError(StatusCode::kWrongNode,
+                       "node " + name_ + " has no tablet for key");
+    }
+    return tablet->HandleGetAt(get_at->key, get_at->snapshot);
+  }
+  if (const auto* commit = std::get_if<proto::CommitRequest>(&request)) {
+    if (commit->writes.empty()) {
+      proto::CommitReply reply;
+      reply.committed = true;
+      return reply;  // Read-only transactions commit trivially.
+    }
+    // All writes must land in one tablet for atomic commit; multi-tablet
+    // transactions are out of scope (as in the paper's prototype).
+    Tablet* tablet = FindTablet(commit->table, commit->writes.front().key);
+    if (tablet == nullptr) {
+      return MakeError(StatusCode::kWrongNode,
+                       "node " + name_ + " has no tablet for commit");
+    }
+    for (const proto::ObjectVersion& w : commit->writes) {
+      if (!tablet->range().Contains(w.key)) {
+        return MakeError(StatusCode::kInvalidArgument,
+                         "transaction writes span tablets");
+      }
+    }
+    Result<proto::CommitReply> reply = tablet->HandleCommit(*commit);
+    if (!reply.ok()) {
+      return MakeError(reply.status());
+    }
+    return std::move(reply).value();
+  }
+  return MakeError(StatusCode::kInvalidArgument,
+                   "node received a non-request message");
+}
+
+}  // namespace pileus::storage

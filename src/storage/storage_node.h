@@ -1,0 +1,84 @@
+// A storage node: hosts tablets for any number of tables and serves the
+// storage protocol. Nodes know nothing about consistency guarantees or SLAs
+// (paper Section 4.1) — all of that lives in the client library.
+//
+// Thread safety: a single mutex serializes request handling, so the same node
+// object can sit behind the threaded in-process transport, the TCP server, or
+// be called directly from the single-threaded simulation.
+
+#ifndef PILEUS_SRC_STORAGE_STORAGE_NODE_H_
+#define PILEUS_SRC_STORAGE_STORAGE_NODE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/proto/messages.h"
+#include "src/storage/tablet.h"
+#include "src/util/key_range.h"
+
+namespace pileus::storage {
+
+class StorageNode {
+ public:
+  // `name` identifies the node in monitor state and logs; `site` names its
+  // datacenter in the latency model.
+  StorageNode(std::string name, std::string site, Clock* clock);
+
+  const std::string& name() const { return name_; }
+  const std::string& site() const { return site_; }
+
+  // Registers a tablet. Ranges of one table must not overlap on one node.
+  Status AddTablet(std::string_view table, Tablet::Options options);
+
+  // Role changes for the whole table on this node (Section 6.2
+  // reconfiguration and Section 6.4 sync replicas).
+  void SetPrimaryForTable(std::string_view table, bool is_primary);
+  void SetSyncReplicaForTable(std::string_view table, bool is_sync);
+
+  // Generic dispatch: takes any request message, returns the matching reply
+  // (or ErrorReply). This is what transports invoke.
+  proto::Message Handle(const proto::Message& request);
+
+  // Direct accessors used by replication agents and tests. The returned
+  // tablet pointer is stable for the node's lifetime but callers must
+  // synchronize through Handle()/WithTablet() in threaded settings.
+  Tablet* FindTablet(std::string_view table, std::string_view key);
+  const Tablet* FindTablet(std::string_view table, std::string_view key) const;
+  std::vector<Tablet*> TabletsForTable(std::string_view table);
+
+  // Runs `fn` under the node's request lock (threaded deployments).
+  template <typename Fn>
+  auto WithLock(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fn();
+  }
+
+  // High timestamp of the tablet owning `key` (Zero if absent); convenience
+  // for tests and monitors.
+  Timestamp HighTimestamp(std::string_view table, std::string_view key) const;
+
+  // Total Gets/Puts served; used by benches to report message costs.
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  proto::Message HandleLocked(const proto::Message& request);
+
+  std::string name_;
+  std::string site_;
+  Clock* clock_;  // Not owned.
+  mutable std::mutex mu_;
+  // table name -> tablets sorted by range begin.
+  std::map<std::string, std::vector<std::unique_ptr<Tablet>>, std::less<>>
+      tablets_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace pileus::storage
+
+#endif  // PILEUS_SRC_STORAGE_STORAGE_NODE_H_

@@ -1,0 +1,60 @@
+// Ordered log of committed updates for one tablet.
+//
+// The replication protocol "reliably transmits objects in timestamp order"
+// (paper Section 4.2), which gives every node a prefix of the Put sequence.
+// The log is the source of those ordered transfers: secondaries pull every
+// version with a timestamp above their high timestamp. The log can be
+// truncated (checkpointing); scans that reach below the truncation point
+// report it so the node can fall back to a full-state transfer from the
+// versioned store.
+
+#ifndef PILEUS_SRC_STORAGE_UPDATE_LOG_H_
+#define PILEUS_SRC_STORAGE_UPDATE_LOG_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "src/common/timestamp.h"
+#include "src/proto/messages.h"
+
+namespace pileus::storage {
+
+class UpdateLog {
+ public:
+  // Appends a version; timestamps must be non-decreasing (transactional
+  // commits append several entries with one timestamp).
+  void Append(proto::ObjectVersion version);
+
+  struct ScanResult {
+    std::vector<proto::ObjectVersion> versions;
+    bool has_more = false;
+    // False when `after` precedes the truncation point, i.e. the log can no
+    // longer produce a contiguous sequence from `after`.
+    bool contiguous = true;
+  };
+
+  // Versions with timestamp > after, ascending, at most `max_versions`
+  // (0 = unlimited). Never splits a run of equal timestamps across the
+  // `has_more` boundary — a transactional batch is delivered atomically.
+  ScanResult Scan(const Timestamp& after, uint32_t max_versions) const;
+
+  // Drops entries with timestamp <= up_to. Subsequent scans starting below
+  // `up_to` report contiguous=false.
+  void TruncateThrough(const Timestamp& up_to);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  // Timestamp of the newest entry (Zero when empty).
+  Timestamp LastTimestamp() const;
+  // Everything at or below this timestamp has been truncated away.
+  const Timestamp& truncation_point() const { return truncated_through_; }
+
+ private:
+  std::deque<proto::ObjectVersion> entries_;
+  Timestamp truncated_through_ = Timestamp::Zero();
+};
+
+}  // namespace pileus::storage
+
+#endif  // PILEUS_SRC_STORAGE_UPDATE_LOG_H_

@@ -1,0 +1,123 @@
+#include "src/storage/versioned_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pileus::storage {
+
+VersionedStore::VersionedStore(Options options) : options_(options) {
+  assert(options_.history_limit >= 1);
+}
+
+bool VersionedStore::Apply(const proto::ObjectVersion& version) {
+  auto it = chains_.find(version.key);
+  if (it == chains_.end()) {
+    Chain chain;
+    chain.versions.push_back(version);
+    chains_.emplace(version.key, std::move(chain));
+    return true;
+  }
+  Chain& chain = it->second;
+  const Timestamp& latest = chain.versions.front().timestamp;
+  if (version.timestamp < latest) {
+    return false;  // Duplicate or stale delivery.
+  }
+  if (version.timestamp == latest) {
+    return true;  // Exact duplicate; idempotent.
+  }
+  chain.versions.insert(chain.versions.begin(), version);
+  if (chain.versions.size() > options_.history_limit) {
+    chain.versions.pop_back();
+    chain.pruned = true;
+  }
+  return true;
+}
+
+std::optional<proto::ObjectVersion> VersionedStore::GetLatest(
+    std::string_view key) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end()) {
+    return std::nullopt;
+  }
+  return it->second.versions.front();
+}
+
+VersionedStore::SnapshotResult VersionedStore::GetAt(
+    std::string_view key, const Timestamp& snapshot) const {
+  SnapshotResult result;
+  auto it = chains_.find(key);
+  if (it == chains_.end()) {
+    // Key never written (as far as this node knows): found=false but the
+    // snapshot is answerable.
+    return result;
+  }
+  const Chain& chain = it->second;
+  for (const proto::ObjectVersion& v : chain.versions) {
+    if (v.timestamp <= snapshot) {
+      result.found = true;
+      result.version = v;
+      return result;
+    }
+  }
+  // Every retained version is newer than the snapshot. If versions were
+  // pruned, an older one might have matched; otherwise the key simply did not
+  // exist at the snapshot.
+  result.snapshot_available = !chain.pruned;
+  return result;
+}
+
+std::vector<proto::ObjectVersion> VersionedStore::LatestVersionsAfter(
+    const Timestamp& after) const {
+  std::vector<proto::ObjectVersion> out;
+  for (const auto& [key, chain] : chains_) {
+    const proto::ObjectVersion& latest = chain.versions.front();
+    if (latest.timestamp > after) {
+      out.push_back(latest);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const proto::ObjectVersion& a, const proto::ObjectVersion& b) {
+              if (a.timestamp != b.timestamp) {
+                return a.timestamp < b.timestamp;
+              }
+              return a.key < b.key;
+            });
+  return out;
+}
+
+size_t VersionedStore::CollectTombstones(const Timestamp& horizon) {
+  size_t collected = 0;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    const proto::ObjectVersion& latest = it->second.versions.front();
+    if (latest.is_tombstone && latest.timestamp < horizon) {
+      it = chains_.erase(it);
+      ++collected;
+    } else {
+      ++it;
+    }
+  }
+  return collected;
+}
+
+std::vector<proto::ObjectVersion> VersionedStore::ScanRange(
+    std::string_view begin, std::string_view end, uint32_t limit,
+    bool* truncated) const {
+  std::vector<proto::ObjectVersion> out;
+  *truncated = false;
+  for (auto it = chains_.lower_bound(begin); it != chains_.end(); ++it) {
+    if (!end.empty() && it->first >= end) {
+      break;
+    }
+    if (it->second.versions.front().is_tombstone) {
+      continue;  // Deleted keys do not appear in scans.
+    }
+    if (limit != 0 && out.size() >= limit) {
+      *truncated = true;
+      break;
+    }
+    out.push_back(it->second.versions.front());
+  }
+  return out;
+}
+
+}  // namespace pileus::storage

@@ -1,0 +1,93 @@
+// In-memory multi-version object store for one tablet.
+//
+// The paper's prototype keeps a single version per object (Section 4.3); this
+// store generalizes that to a short bounded version chain per key so the
+// transactional extension (snapshot reads at a timestamp, tech report [38])
+// can be served. With history_limit = 1 it degenerates to exactly the paper's
+// design. Versions arrive in non-decreasing timestamp order (primary ordering
+// + in-order replication), and re-applying an already-known version is a
+// harmless no-op so replication retries stay idempotent.
+
+#ifndef PILEUS_SRC_STORAGE_VERSIONED_STORE_H_
+#define PILEUS_SRC_STORAGE_VERSIONED_STORE_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/timestamp.h"
+#include "src/proto/messages.h"
+
+namespace pileus::storage {
+
+class VersionedStore {
+ public:
+  struct Options {
+    // Number of versions retained per key (>= 1).
+    size_t history_limit = 8;
+  };
+
+  VersionedStore() : VersionedStore(Options{}) {}
+  explicit VersionedStore(Options options);
+
+  // Inserts a version. Returns false (and ignores the write) if a strictly
+  // newer version of the key is already present — replication delivers in
+  // timestamp order, so this only happens on duplicate delivery.
+  bool Apply(const proto::ObjectVersion& version);
+
+  // Latest version of `key`, if any.
+  std::optional<proto::ObjectVersion> GetLatest(std::string_view key) const;
+
+  struct SnapshotResult {
+    bool found = false;             // A version <= snapshot exists.
+    bool snapshot_available = true; // History still reaches the snapshot.
+    proto::ObjectVersion version;
+  };
+
+  // Latest version with timestamp <= snapshot. snapshot_available is false
+  // when older versions of the key were pruned past the snapshot, in which
+  // case the result must not be trusted.
+  SnapshotResult GetAt(std::string_view key, const Timestamp& snapshot) const;
+
+  // All latest versions with timestamp > after, in ascending timestamp order
+  // (ties broken by key). Used as the replication fallback when the update
+  // log has been truncated.
+  std::vector<proto::ObjectVersion> LatestVersionsAfter(
+      const Timestamp& after) const;
+
+  // Latest versions with keys in [begin, end) in ascending key order, at
+  // most `limit` (0 = unlimited). Sets *truncated when the limit cut the
+  // scan short.
+  std::vector<proto::ObjectVersion> ScanRange(std::string_view begin,
+                                              std::string_view end,
+                                              uint32_t limit,
+                                              bool* truncated) const;
+
+  // Drops keys whose latest version is a tombstone older than `horizon`.
+  // Returns the number of keys collected. SAFETY: the horizon must exceed
+  // the maximum replication lag - a replica that has not synced past the
+  // tombstone when it is collected would keep (and serve) the stale live
+  // value forever. Deployments tie this to the checkpoint cadence with a
+  // generous margin (see DurableTablet::Options::tombstone_gc_horizon_us).
+  size_t CollectTombstones(const Timestamp& horizon);
+
+  size_t key_count() const { return chains_.size(); }
+
+ private:
+  struct Chain {
+    // Newest first.
+    std::vector<proto::ObjectVersion> versions;
+    // True once any version has been dropped due to the history limit.
+    bool pruned = false;
+  };
+
+  Options options_;
+  std::map<std::string, Chain, std::less<>> chains_;
+};
+
+}  // namespace pileus::storage
+
+#endif  // PILEUS_SRC_STORAGE_VERSIONED_STORE_H_

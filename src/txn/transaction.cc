@@ -1,0 +1,187 @@
+#include "src/txn/transaction.h"
+
+#include <limits>
+
+namespace pileus::txn {
+
+namespace {
+
+Result<proto::Message> UnwrapError(core::TimedReply timed) {
+  if (!timed.reply.ok()) {
+    return timed.reply.status();
+  }
+  if (const auto* err =
+          std::get_if<proto::ErrorReply>(&timed.reply.value())) {
+    return Status(err->code, err->message);
+  }
+  return std::move(timed.reply);
+}
+
+}  // namespace
+
+Result<Transaction> TransactionFactory::Begin(core::Session& session,
+                                              TxnOptions options) {
+  const core::TableView& table = client_->table();
+  proto::ProbeRequest probe;
+  probe.table = table.table_name;
+  core::TimedReply timed =
+      table.replicas[table.primary_index].connection->Call(
+          probe, options.rpc_timeout_us);
+  Result<proto::Message> reply = UnwrapError(std::move(timed));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  const auto* probe_reply = std::get_if<proto::ProbeReply>(&reply.value());
+  if (probe_reply == nullptr) {
+    return Status(StatusCode::kInternal, "unexpected reply type for probe");
+  }
+  // The snapshot must also cover everything this session has already seen or
+  // written, so transactions compose with session guarantees.
+  Timestamp snapshot = probe_reply->high_timestamp;
+  snapshot = MaxTimestamp(snapshot, session.max_read_timestamp());
+  snapshot = MaxTimestamp(snapshot, session.max_write_timestamp());
+  return Transaction(client_, &session, snapshot, options);
+}
+
+int Transaction::PickSnapshotReadNode() const {
+  const core::TableView& table = client_->table();
+  const core::Monitor& monitor = client_->monitor();
+  int best = table.primary_index;
+  MicrosecondCount best_latency = std::numeric_limits<MicrosecondCount>::max();
+  for (size_t i = 0; i < table.replicas.size(); ++i) {
+    const core::Replica& replica = table.replicas[i];
+    const bool fresh_enough =
+        replica.authoritative ||
+        monitor.KnownHighTimestamp(replica.name) >= snapshot_;
+    if (!fresh_enough) {
+      continue;
+    }
+    const MicrosecondCount lat = monitor.MeanLatency(replica.name);
+    if (lat < best_latency) {
+      best_latency = lat;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+Result<TxnGetResult> Transaction::Get(std::string_view key) {
+  if (!active_) {
+    return Status(StatusCode::kCancelled, "transaction already finished");
+  }
+  // Read-your-own-writes inside the transaction.
+  if (auto it = writes_.find(key); it != writes_.end()) {
+    TxnGetResult result;
+    result.found = true;
+    result.value = it->second;
+    result.timestamp = snapshot_;
+    return result;
+  }
+
+  const core::TableView& table = client_->table();
+  proto::GetAtRequest request;
+  request.table = table.table_name;
+  request.key = std::string(key);
+  request.snapshot = snapshot_;
+
+  // Try the nearest sufficiently-fresh replica first, then the primary.
+  int node = PickSnapshotReadNode();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Result<proto::Message> reply = UnwrapError(
+        table.replicas[node].connection->Call(request,
+                                              options_.rpc_timeout_us));
+    if (reply.ok()) {
+      const auto* at = std::get_if<proto::GetAtReply>(&reply.value());
+      if (at == nullptr) {
+        return Status(StatusCode::kInternal,
+                      "unexpected reply type for GetAt");
+      }
+      if (at->snapshot_available) {
+        TxnGetResult result;
+        result.found = at->found;
+        result.value = at->value;
+        result.timestamp = at->value_timestamp;
+        reads_[std::string(key)] = at->value_timestamp;
+        return result;
+      }
+    }
+    if (node == table.primary_index) {
+      return Status(StatusCode::kUnavailable,
+                    "snapshot no longer available at any replica");
+    }
+    node = table.primary_index;
+  }
+  return Status(StatusCode::kUnavailable, "snapshot read failed");
+}
+
+Status Transaction::Put(std::string_view key, std::string_view value) {
+  if (!active_) {
+    return Status(StatusCode::kCancelled, "transaction already finished");
+  }
+  writes_[std::string(key)] = std::string(value);
+  return Status::Ok();
+}
+
+Result<CommitInfo> Transaction::Commit() {
+  if (!active_) {
+    return Status(StatusCode::kCancelled, "transaction already finished");
+  }
+  active_ = false;
+
+  CommitInfo info;
+  if (writes_.empty()) {
+    // Read-only snapshot transactions commit without any server round trip.
+    info.commit_timestamp = snapshot_;
+    return info;
+  }
+
+  const core::TableView& table = client_->table();
+  proto::CommitRequest request;
+  request.table = table.table_name;
+  request.snapshot = snapshot_;
+  request.validate_reads = options_.validate_reads;
+  for (const auto& [key, timestamp] : reads_) {
+    request.read_keys.push_back(key);
+  }
+  for (const auto& [key, value] : writes_) {
+    proto::ObjectVersion version;
+    version.key = key;
+    version.value = value;
+    request.writes.push_back(std::move(version));
+  }
+
+  Result<proto::Message> reply = UnwrapError(
+      table.replicas[table.primary_index].connection->Call(
+          request, options_.rpc_timeout_us));
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  const auto* commit = std::get_if<proto::CommitReply>(&reply.value());
+  if (commit == nullptr) {
+    return Status(StatusCode::kInternal, "unexpected reply type for Commit");
+  }
+  if (!commit->committed) {
+    return Status(StatusCode::kConflict,
+                  "write-write conflict on key '" + commit->conflict_key +
+                      "'");
+  }
+  // Fold the transaction into the session's guarantees: its writes behave
+  // like session Puts, its reads like session Gets.
+  for (const auto& [key, value] : writes_) {
+    session_->RecordPut(key, commit->commit_timestamp);
+  }
+  for (const auto& [key, timestamp] : reads_) {
+    session_->RecordGet(key, timestamp);
+  }
+  info.commit_timestamp = commit->commit_timestamp;
+  info.writes_applied = static_cast<int>(writes_.size());
+  return info;
+}
+
+void Transaction::Abort() {
+  active_ = false;
+  writes_.clear();
+  reads_.clear();
+}
+
+}  // namespace pileus::txn

@@ -1,0 +1,109 @@
+// Client-side transactions with snapshot isolation.
+//
+// The paper supports BeginTx / Get / Put / EndTx with snapshot isolation and
+// atomic commit (Section 3.1; details in the companion tech report [38]).
+// This module implements that companion design on top of the same storage
+// protocol:
+//
+//   Begin  - fixes the snapshot timestamp (the primary's high timestamp,
+//            fetched with one probe);
+//   Get    - served at the snapshot via GetAt. Reads prefer a nearby replica
+//            the monitor believes has passed the snapshot and fall back to
+//            the primary; a transaction always sees its own buffered writes;
+//   Put    - buffered locally (write intentions never block other clients);
+//   Commit - one CommitRequest to the primary, which validates first-
+//            committer-wins write-write conflicts against the snapshot and
+//            applies all writes atomically under a single update timestamp.
+//
+// All writes of a transaction must land in one tablet (as in the paper's
+// prototype); cross-tablet transactions are rejected by the storage node.
+
+#ifndef PILEUS_SRC_TXN_TRANSACTION_H_
+#define PILEUS_SRC_TXN_TRANSACTION_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/core/client.h"
+#include "src/core/session.h"
+
+namespace pileus::txn {
+
+struct TxnOptions {
+  // Also abort when a *read* key was overwritten after the snapshot
+  // (upgrades snapshot isolation towards serializability for the keys read).
+  bool validate_reads = false;
+  MicrosecondCount rpc_timeout_us = SecondsToMicroseconds(10);
+};
+
+struct TxnGetResult {
+  bool found = false;
+  std::string value;
+  Timestamp timestamp;
+};
+
+struct CommitInfo {
+  Timestamp commit_timestamp;
+  // Number of buffered writes applied.
+  int writes_applied = 0;
+};
+
+class Transaction {
+ public:
+  // Never constructed directly; see TransactionFactory::Begin.
+  const Timestamp& snapshot() const { return snapshot_; }
+  bool active() const { return active_; }
+
+  // Snapshot read (sees this transaction's own writes first).
+  Result<TxnGetResult> Get(std::string_view key);
+
+  // Buffers a write; last Put to a key wins.
+  Status Put(std::string_view key, std::string_view value);
+
+  // Atomically commits all buffered writes. On conflict returns kConflict
+  // with the conflicting key in the message. The transaction is finished
+  // either way.
+  Result<CommitInfo> Commit();
+
+  // Discards buffered writes.
+  void Abort();
+
+ private:
+  friend class TransactionFactory;
+  Transaction(core::PileusClient* client, core::Session* session,
+              Timestamp snapshot, TxnOptions options)
+      : client_(client),
+        session_(session),
+        snapshot_(snapshot),
+        options_(options) {}
+
+  // Chooses a replica for a snapshot read: nearest replica whose known high
+  // timestamp covers the snapshot, else the primary.
+  int PickSnapshotReadNode() const;
+
+  core::PileusClient* client_;  // Not owned.
+  core::Session* session_;      // Not owned; updated on commit.
+  Timestamp snapshot_;
+  TxnOptions options_;
+  bool active_ = true;
+  std::map<std::string, std::string, std::less<>> writes_;
+  std::map<std::string, Timestamp, std::less<>> reads_;
+};
+
+class TransactionFactory {
+ public:
+  explicit TransactionFactory(core::PileusClient* client) : client_(client) {}
+
+  // BeginTx: probes the primary to fix the snapshot timestamp.
+  Result<Transaction> Begin(core::Session& session, TxnOptions options = {});
+
+ private:
+  core::PileusClient* client_;  // Not owned.
+};
+
+}  // namespace pileus::txn
+
+#endif  // PILEUS_SRC_TXN_TRANSACTION_H_

@@ -1,0 +1,156 @@
+#include "src/util/codec.h"
+
+namespace pileus {
+
+void Encoder::PutFixed32(uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v);
+  b[1] = static_cast<char>(v >> 8);
+  b[2] = static_cast<char>(v >> 16);
+  b[3] = static_cast<char>(v >> 24);
+  buf_.append(b, 4);
+}
+
+void Encoder::PutFixed64(uint64_t v) {
+  PutFixed32(static_cast<uint32_t>(v));
+  PutFixed32(static_cast<uint32_t>(v >> 32));
+}
+
+void Encoder::PutVarint64(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void Encoder::PutVarintSigned64(int64_t v) {
+  const uint64_t zz =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  PutVarint64(zz);
+}
+
+void Encoder::PutLengthPrefixed(std::string_view bytes) {
+  PutVarint64(bytes.size());
+  buf_.append(bytes.data(), bytes.size());
+}
+
+void Encoder::PutTimestamp(const Timestamp& ts) {
+  PutVarintSigned64(ts.physical_us);
+  PutVarint64(ts.sequence);
+}
+
+void Encoder::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(bits);
+}
+
+Status Decoder::Truncated(const char* what) {
+  return Status(StatusCode::kCorruption,
+                std::string("truncated input decoding ") + what);
+}
+
+Status Decoder::GetUint8(uint8_t* out) {
+  if (data_.size() < 1) {
+    return Truncated("uint8");
+  }
+  *out = static_cast<uint8_t>(data_[0]);
+  data_.remove_prefix(1);
+  return Status::Ok();
+}
+
+Status Decoder::GetFixed32(uint32_t* out) {
+  if (data_.size() < 4) {
+    return Truncated("fixed32");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(data_.data());
+  *out = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+  data_.remove_prefix(4);
+  return Status::Ok();
+}
+
+Status Decoder::GetFixed64(uint64_t* out) {
+  uint32_t lo, hi;
+  PILEUS_RETURN_IF_ERROR(GetFixed32(&lo));
+  PILEUS_RETURN_IF_ERROR(GetFixed32(&hi));
+  *out = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return Status::Ok();
+}
+
+Status Decoder::GetVarint64(uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (!data_.empty()) {
+    const uint8_t byte = static_cast<uint8_t>(data_[0]);
+    data_.remove_prefix(1);
+    if (shift >= 63 && byte > 1) {
+      return Status(StatusCode::kCorruption, "varint64 overflow");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return Status::Ok();
+    }
+    shift += 7;
+    if (shift > 63) {
+      return Status(StatusCode::kCorruption, "varint64 too long");
+    }
+  }
+  return Truncated("varint64");
+}
+
+Status Decoder::GetVarintSigned64(int64_t* out) {
+  uint64_t zz;
+  PILEUS_RETURN_IF_ERROR(GetVarint64(&zz));
+  *out = static_cast<int64_t>(zz >> 1) ^ -static_cast<int64_t>(zz & 1);
+  return Status::Ok();
+}
+
+Status Decoder::GetLengthPrefixed(std::string_view* out) {
+  uint64_t len;
+  PILEUS_RETURN_IF_ERROR(GetVarint64(&len));
+  if (data_.size() < len) {
+    return Truncated("length-prefixed bytes");
+  }
+  *out = data_.substr(0, len);
+  data_.remove_prefix(len);
+  return Status::Ok();
+}
+
+Status Decoder::GetLengthPrefixedString(std::string* out) {
+  std::string_view view;
+  PILEUS_RETURN_IF_ERROR(GetLengthPrefixed(&view));
+  out->assign(view.data(), view.size());
+  return Status::Ok();
+}
+
+Status Decoder::GetTimestamp(Timestamp* out) {
+  PILEUS_RETURN_IF_ERROR(GetVarintSigned64(&out->physical_us));
+  uint64_t seq;
+  PILEUS_RETURN_IF_ERROR(GetVarint64(&seq));
+  if (seq > UINT32_MAX) {
+    return Status(StatusCode::kCorruption, "timestamp sequence overflow");
+  }
+  out->sequence = static_cast<uint32_t>(seq);
+  return Status::Ok();
+}
+
+Status Decoder::GetBool(bool* out) {
+  uint8_t v;
+  PILEUS_RETURN_IF_ERROR(GetUint8(&v));
+  *out = (v != 0);
+  return Status::Ok();
+}
+
+Status Decoder::GetDouble(double* out) {
+  uint64_t bits;
+  PILEUS_RETURN_IF_ERROR(GetFixed64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::Ok();
+}
+
+}  // namespace pileus

@@ -1,0 +1,124 @@
+#include "src/util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pileus {
+
+namespace {
+// Geometric growth factor chosen so 512 buckets cover [1, ~6e9].
+constexpr double kGrowth = 1.045;
+}  // namespace
+
+int Histogram::BucketFor(int64_t value) {
+  if (value <= 0) {
+    return 0;
+  }
+  const int idx =
+      static_cast<int>(std::log(static_cast<double>(value)) /
+                       std::log(kGrowth)) +
+      1;
+  return std::clamp(idx, 0, kBucketCount - 1);
+}
+
+int64_t Histogram::BucketLowerBound(int index) {
+  if (index <= 0) {
+    return 0;
+  }
+  return static_cast<int64_t>(std::pow(kGrowth, index - 1));
+}
+
+void Histogram::Record(int64_t value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; bucket interpolation would clamp
+  // negative minima to the first bucket's lower bound of zero.
+  if (q == 0.0) {
+    return min_;
+  }
+  if (q == 1.0) {
+    return max_;
+  }
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const double next = seen + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const int64_t lo = std::max<int64_t>(BucketLowerBound(i), min_);
+      const int64_t hi =
+          std::min<int64_t>(BucketLowerBound(i + 1), max_ == 0 ? lo : max_);
+      if (hi <= lo) {
+        return lo;
+      }
+      const double frac =
+          buckets_[i] == 0
+              ? 0.0
+              : (target - seen) / static_cast<double>(buckets_[i]);
+      return lo + static_cast<int64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%lld p95=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<long long>(Quantile(0.50)),
+                static_cast<long long>(Quantile(0.95)),
+                static_cast<long long>(Quantile(0.99)),
+                static_cast<long long>(max()));
+  return buf;
+}
+
+}  // namespace pileus

@@ -1,0 +1,49 @@
+// Log-bucketed latency histogram for bench reporting.
+//
+// Buckets grow geometrically (~4.6% relative width), giving HDR-style
+// accuracy over the microsecond..minutes range the geo experiments span with
+// a small fixed footprint.
+
+#ifndef PILEUS_SRC_UTIL_HISTOGRAM_H_
+#define PILEUS_SRC_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pileus {
+
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+  // q in [0,1]; interpolated within the owning bucket.
+  int64_t Quantile(double q) const;
+
+  // "n=... mean=... p50=... p99=... max=..." one-liner.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBucketCount = 512;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketLowerBound(int index);
+
+  std::array<uint64_t, kBucketCount> buckets_{};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace pileus
+
+#endif  // PILEUS_SRC_UTIL_HISTOGRAM_H_

@@ -1,0 +1,56 @@
+#include "src/workload/zipf.h"
+
+#include <cmath>
+
+namespace pileus::workload {
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t Mix64(uint64_t x) {
+  // Full SplitMix64 finalizer (with the increment, so Mix64(0) != 0).
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ZipfianChooser::ZipfianChooser(uint64_t item_count, double theta)
+    : item_count_(item_count),
+      theta_(theta),
+      zetan_(Zeta(item_count, theta)),
+      zeta2_(Zeta(2, theta)) {
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(item_count_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianChooser::Next(Random& rng) {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(item_count_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= item_count_ ? item_count_ - 1 : rank;
+}
+
+uint64_t ScrambledZipfianChooser::Next(Random& rng) {
+  return Mix64(inner_.Next(rng)) % item_count_;
+}
+
+}  // namespace pileus::workload

@@ -1,0 +1,68 @@
+// Key-choice distributions for the YCSB-style workload.
+//
+// ZipfianGenerator follows the YCSB/Gray et al. construction: item ranks are
+// drawn with probability proportional to 1/rank^theta, with the zeta
+// normalization precomputed. ScrambledZipfian hashes the rank so the hot keys
+// are spread across the keyspace (as YCSB does); Uniform is the control.
+
+#ifndef PILEUS_SRC_WORKLOAD_ZIPF_H_
+#define PILEUS_SRC_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace pileus::workload {
+
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+  // Returns an item index in [0, item_count).
+  virtual uint64_t Next(Random& rng) = 0;
+  virtual uint64_t item_count() const = 0;
+};
+
+class UniformChooser : public KeyChooser {
+ public:
+  explicit UniformChooser(uint64_t item_count) : item_count_(item_count) {}
+  uint64_t Next(Random& rng) override { return rng.NextUint64(item_count_); }
+  uint64_t item_count() const override { return item_count_; }
+
+ private:
+  uint64_t item_count_;
+};
+
+class ZipfianChooser : public KeyChooser {
+ public:
+  ZipfianChooser(uint64_t item_count, double theta = 0.99);
+
+  uint64_t Next(Random& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+
+ private:
+  uint64_t item_count_;
+  double theta_;
+  double zetan_;   // zeta(n, theta)
+  double zeta2_;   // zeta(2, theta)
+  double alpha_;
+  double eta_;
+};
+
+// Zipfian rank scrambled with a 64-bit mix so popularity is spread across the
+// key space instead of clustering at low indices.
+class ScrambledZipfianChooser : public KeyChooser {
+ public:
+  ScrambledZipfianChooser(uint64_t item_count, double theta = 0.99)
+      : inner_(item_count, theta), item_count_(item_count) {}
+
+  uint64_t Next(Random& rng) override;
+  uint64_t item_count() const override { return item_count_; }
+
+ private:
+  ZipfianChooser inner_;
+  uint64_t item_count_;
+};
+
+}  // namespace pileus::workload
+
+#endif  // PILEUS_SRC_WORKLOAD_ZIPF_H_

@@ -1,0 +1,231 @@
+// Tests for the wire codec: round trips, edge values, and corruption
+// handling. Decoding must never trust its input, so every truncation and
+// overflow path is exercised.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "src/util/codec.h"
+
+namespace pileus {
+namespace {
+
+TEST(CodecTest, Fixed32RoundTrip) {
+  Encoder enc;
+  enc.PutFixed32(0);
+  enc.PutFixed32(1);
+  enc.PutFixed32(0xdeadbeef);
+  enc.PutFixed32(UINT32_MAX);
+
+  Decoder dec(enc.buffer());
+  uint32_t v;
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, 0xdeadbeefu);
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(v, UINT32_MAX);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(CodecTest, Fixed64RoundTrip) {
+  Encoder enc;
+  enc.PutFixed64(0x0123456789abcdefULL);
+  Decoder dec(enc.buffer());
+  uint64_t v;
+  ASSERT_TRUE(dec.GetFixed64(&v).ok());
+  EXPECT_EQ(v, 0x0123456789abcdefULL);
+}
+
+// Parameterized sweep over varint edge values (bucket boundaries of the
+// LEB128 encoding).
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodesAndDecodes) {
+  Encoder enc;
+  enc.PutVarint64(GetParam());
+  Decoder dec(enc.buffer());
+  uint64_t v;
+  ASSERT_TRUE(dec.GetVarint64(&v).ok());
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeValues, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL, 16383ULL, 16384ULL,
+                      (1ULL << 21) - 1, 1ULL << 21, (1ULL << 28) - 1,
+                      1ULL << 35, 1ULL << 42, 1ULL << 49, 1ULL << 56,
+                      1ULL << 63, UINT64_MAX));
+
+class SignedVarintRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SignedVarintRoundTrip, EncodesAndDecodes) {
+  Encoder enc;
+  enc.PutVarintSigned64(GetParam());
+  Decoder dec(enc.buffer());
+  int64_t v;
+  ASSERT_TRUE(dec.GetVarintSigned64(&v).ok());
+  EXPECT_EQ(v, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EdgeValues, SignedVarintRoundTrip,
+    ::testing::Values(0LL, 1LL, -1LL, 63LL, 64LL, -64LL, -65LL, 123456789LL,
+                      -123456789LL, std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(CodecTest, SmallValuesEncodeCompactly) {
+  Encoder enc;
+  enc.PutVarint64(5);
+  EXPECT_EQ(enc.size(), 1u);
+  Encoder enc2;
+  enc2.PutVarint64(300);
+  EXPECT_EQ(enc2.size(), 2u);
+}
+
+TEST(CodecTest, LengthPrefixedRoundTrip) {
+  Encoder enc;
+  enc.PutLengthPrefixed("hello");
+  enc.PutLengthPrefixed("");
+  enc.PutLengthPrefixed(std::string("\0binary\xff", 8));
+
+  Decoder dec(enc.buffer());
+  std::string s;
+  ASSERT_TRUE(dec.GetLengthPrefixedString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(dec.GetLengthPrefixedString(&s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(dec.GetLengthPrefixedString(&s).ok());
+  EXPECT_EQ(s, std::string("\0binary\xff", 8));
+}
+
+TEST(CodecTest, LengthPrefixedViewAliasesBuffer) {
+  Encoder enc;
+  enc.PutLengthPrefixed("world");
+  const std::string buffer = enc.buffer();
+  Decoder dec(buffer);
+  std::string_view view;
+  ASSERT_TRUE(dec.GetLengthPrefixed(&view).ok());
+  EXPECT_EQ(view, "world");
+  EXPECT_GE(view.data(), buffer.data());
+  EXPECT_LT(view.data(), buffer.data() + buffer.size());
+}
+
+TEST(CodecTest, TimestampRoundTrip) {
+  Encoder enc;
+  enc.PutTimestamp(Timestamp{1234567890123LL, 42});
+  enc.PutTimestamp(Timestamp::Zero());
+  enc.PutTimestamp(Timestamp{-5, 1});  // Negative physical (pre-epoch).
+
+  Decoder dec(enc.buffer());
+  Timestamp ts;
+  ASSERT_TRUE(dec.GetTimestamp(&ts).ok());
+  EXPECT_EQ(ts, (Timestamp{1234567890123LL, 42}));
+  ASSERT_TRUE(dec.GetTimestamp(&ts).ok());
+  EXPECT_EQ(ts, Timestamp::Zero());
+  ASSERT_TRUE(dec.GetTimestamp(&ts).ok());
+  EXPECT_EQ(ts, (Timestamp{-5, 1}));
+}
+
+TEST(CodecTest, BoolAndDoubleRoundTrip) {
+  Encoder enc;
+  enc.PutBool(true);
+  enc.PutBool(false);
+  enc.PutDouble(3.14159);
+  enc.PutDouble(-0.0);
+
+  Decoder dec(enc.buffer());
+  bool b;
+  double d;
+  ASSERT_TRUE(dec.GetBool(&b).ok());
+  EXPECT_TRUE(b);
+  ASSERT_TRUE(dec.GetBool(&b).ok());
+  EXPECT_FALSE(b);
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  EXPECT_DOUBLE_EQ(d, -0.0);
+}
+
+// --- Corruption and truncation ---
+
+TEST(CodecTest, TruncatedFixed32Fails) {
+  Decoder dec(std::string_view("\x01\x02", 2));
+  uint32_t v;
+  EXPECT_EQ(dec.GetFixed32(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, TruncatedVarintFails) {
+  // Continuation bit set on the last byte with nothing following.
+  Decoder dec(std::string_view("\xff\xff", 2));
+  uint64_t v;
+  EXPECT_EQ(dec.GetVarint64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, OverlongVarintFails) {
+  // 11 bytes of continuation: more than a uint64 can hold.
+  const std::string bytes(11, '\xff');
+  Decoder dec(bytes);
+  uint64_t v;
+  EXPECT_EQ(dec.GetVarint64(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, LengthPrefixLongerThanBufferFails) {
+  Encoder enc;
+  enc.PutVarint64(100);  // Claims 100 bytes follow.
+  enc.PutUint8('x');     // Only one does.
+  Decoder dec(enc.buffer());
+  std::string s;
+  EXPECT_EQ(dec.GetLengthPrefixedString(&s).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, EmptyBufferFailsEverything) {
+  Decoder dec{std::string_view()};
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64;
+  Timestamp ts;
+  bool b;
+  double d;
+  EXPECT_FALSE(dec.GetUint8(&u8).ok());
+  EXPECT_FALSE(dec.GetFixed32(&u32).ok());
+  EXPECT_FALSE(dec.GetVarint64(&u64).ok());
+  EXPECT_FALSE(dec.GetTimestamp(&ts).ok());
+  EXPECT_FALSE(dec.GetBool(&b).ok());
+  EXPECT_FALSE(dec.GetDouble(&d).ok());
+}
+
+TEST(CodecTest, TimestampSequenceOverflowFails) {
+  Encoder enc;
+  enc.PutVarintSigned64(100);
+  enc.PutVarint64(static_cast<uint64_t>(UINT32_MAX) + 1);
+  Decoder dec(enc.buffer());
+  Timestamp ts;
+  EXPECT_EQ(dec.GetTimestamp(&ts).code(), StatusCode::kCorruption);
+}
+
+TEST(CodecTest, RemainingTracksConsumption) {
+  Encoder enc;
+  enc.PutFixed32(1);
+  enc.PutFixed32(2);
+  Decoder dec(enc.buffer());
+  EXPECT_EQ(dec.remaining(), 8u);
+  uint32_t v;
+  ASSERT_TRUE(dec.GetFixed32(&v).ok());
+  EXPECT_EQ(dec.remaining(), 4u);
+}
+
+TEST(CodecTest, ReleaseMovesBuffer) {
+  Encoder enc;
+  enc.PutLengthPrefixed("data");
+  const std::string released = enc.Release();
+  EXPECT_FALSE(released.empty());
+}
+
+}  // namespace
+}  // namespace pileus

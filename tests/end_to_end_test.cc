@@ -1,0 +1,245 @@
+// End-to-end tests over the *real* transports (threads, sockets, wall-clock
+// time): a miniature geo deployment with in-process WAN emulation, and a TCP
+// cluster, both driven through the public client API.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/client.h"
+#include "src/core/prober.h"
+#include "src/net/inproc.h"
+#include "src/net/tcp.h"
+#include "src/replication/replication_agent.h"
+#include "src/storage/storage_node.h"
+#include "src/txn/transaction.h"
+
+namespace pileus {
+namespace {
+
+using core::ChannelConnection;
+using core::PileusClient;
+using core::Replica;
+using core::Session;
+using core::TableView;
+using replication::ReplicationAgent;
+using replication::ThreadedPuller;
+using storage::StorageNode;
+using storage::Tablet;
+
+constexpr MicrosecondCount kMs = kMicrosecondsPerMillisecond;
+
+// A two-node deployment over the in-process transport: "England" primary
+// (20 ms away) and a "local" secondary (1 ms away), replicating every 50 ms.
+class InProcCluster {
+ public:
+  InProcCluster()
+      : primary_("England", "England", RealClock::Instance()),
+        local_("Local", "Local", RealClock::Instance()) {
+    Tablet::Options primary_options;
+    primary_options.is_primary = true;
+    EXPECT_TRUE(primary_.AddTablet("t", primary_options).ok());
+    EXPECT_TRUE(local_.AddTablet("t", Tablet::Options{}).ok());
+
+    network_.RegisterEndpoint("England", [this](const proto::Message& m) {
+      return primary_.Handle(m);
+    });
+    network_.RegisterEndpoint("Local", [this](const proto::Message& m) {
+      return local_.Handle(m);
+    });
+
+    agent_ = std::make_unique<ReplicationAgent>(
+        local_.FindTablet("t", ""),
+        ReplicationAgent::Options{.table = "t"});
+    // The replication agent pulls over its own channel to the primary.
+    auto sync_channel = std::shared_ptr<net::Channel>(
+        network_.Connect("England", 10 * kMs));
+    puller_ = std::make_unique<ThreadedPuller>(
+        agent_.get(),
+        [this, sync_channel](const proto::SyncRequest& request)
+            -> Result<proto::SyncReply> {
+          // Serialize through the node's lock via Handle().
+          Result<proto::Message> reply =
+              sync_channel->Call(request, SecondsToMicroseconds(5));
+          if (!reply.ok()) {
+            return reply.status();
+          }
+          if (auto* sync = std::get_if<proto::SyncReply>(&reply.value())) {
+            return std::move(*sync);
+          }
+          return Status(StatusCode::kInternal, "unexpected sync reply");
+        },
+        50 * kMs);
+  }
+
+  std::unique_ptr<PileusClient> MakeClient(PileusClient::Options options) {
+    TableView view;
+    view.table_name = "t";
+    view.replicas = {
+        Replica{"England", true,
+                std::make_shared<ChannelConnection>(
+                    network_.Connect("England", 10 * kMs),
+                    RealClock::Instance())},
+        Replica{"Local", false,
+                std::make_shared<ChannelConnection>(
+                    network_.Connect("Local", 500),
+                    RealClock::Instance())}};
+    view.primary_index = 0;
+    return std::make_unique<PileusClient>(std::move(view),
+                                          RealClock::Instance(), options,
+                                          nullptr);
+  }
+
+  void PullNow() { puller_->PullNow(); }
+  StorageNode& local() { return local_; }
+
+ private:
+  StorageNode primary_;
+  StorageNode local_;
+  net::InProcNetwork network_;
+  std::unique_ptr<ReplicationAgent> agent_;
+  std::unique_ptr<ThreadedPuller> puller_;
+};
+
+TEST(EndToEndInProcTest, PutThenStrongAndEventualReads) {
+  InProcCluster cluster;
+  auto client = cluster.MakeClient(PileusClient::Options{});
+  Session session =
+      client->BeginSession(core::PasswordCheckingSla()).value();
+
+  ASSERT_TRUE(client->Put(session, "pw:alice", "hunter2").ok());
+
+  Result<core::GetResult> strong = client->Get(session, "pw:alice");
+  ASSERT_TRUE(strong.ok());
+  EXPECT_EQ(strong->value, "hunter2");
+  EXPECT_TRUE(strong->outcome.from_primary);
+  EXPECT_EQ(strong->outcome.met_rank, 0);  // ~20 ms RTT < 150 ms.
+}
+
+TEST(EndToEndInProcTest, ReplicationMakesDataLocal) {
+  InProcCluster cluster;
+  auto client = cluster.MakeClient(PileusClient::Options{});
+  Session session = client->BeginSession(core::ShoppingCartSla()).value();
+
+  ASSERT_TRUE(client->Put(session, "cart", "3 items").ok());
+  EXPECT_FALSE(cluster.local().FindTablet("t", "")->HandleGet("cart").found);
+
+  cluster.PullNow();
+  for (int i = 0; i < 100; ++i) {
+    if (cluster.local().FindTablet("t", "")->HandleGet("cart").found) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(cluster.local().FindTablet("t", "")->HandleGet("cart").found);
+
+  // Tell the monitor (as probes would) and watch the read turn local. Both
+  // nodes need latency samples: an unmeasured node reports mean 0 and would
+  // win the closest tie-break.
+  ASSERT_TRUE(client->ProbeNode(0).ok());
+  ASSERT_TRUE(client->ProbeNode(1).ok());
+  Result<core::GetResult> result = client->Get(session, "cart");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, "3 items");
+  EXPECT_EQ(result->outcome.node_name, "Local");
+  EXPECT_EQ(result->outcome.met_rank, 0);  // Read-my-writes, locally.
+}
+
+TEST(EndToEndInProcTest, ProberKeepsMonitorFresh) {
+  InProcCluster cluster;
+  PileusClient::Options options;
+  options.monitor.probe_interval_us = 20 * kMs;
+  auto client = cluster.MakeClient(options);
+  {
+    core::ThreadedProber prober(client.get(), 10 * kMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }
+  EXPECT_GT(client->monitor().MeanLatency("England"), 0);
+  EXPECT_GT(client->monitor().MeanLatency("Local"), 0);
+}
+
+TEST(EndToEndTcpTest, FullStackOverSockets) {
+  // One primary storage node served over TCP; client + transactions on top.
+  StorageNode node("primary", "dc1", RealClock::Instance());
+  Tablet::Options tablet_options;
+  tablet_options.is_primary = true;
+  ASSERT_TRUE(node.AddTablet("t", tablet_options).ok());
+
+  net::TcpServer server;
+  ASSERT_TRUE(
+      server.Start(0, [&](const proto::Message& m) { return node.Handle(m); })
+          .ok());
+
+  TableView view;
+  view.table_name = "t";
+  view.replicas = {
+      Replica{"primary", true,
+              std::make_shared<ChannelConnection>(
+                  std::make_shared<net::TcpChannel>(server.port()),
+                  RealClock::Instance())}};
+  view.primary_index = 0;
+  PileusClient client(std::move(view), RealClock::Instance());
+
+  Session session = client.BeginSession(core::ShoppingCartSla()).value();
+  ASSERT_TRUE(client.Put(session, "k", "v-over-tcp").ok());
+  Result<core::GetResult> got = client.Get(session, "k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->value, "v-over-tcp");
+  EXPECT_EQ(got->outcome.met_rank, 0);
+
+  // Transactions across the same socket.
+  txn::TransactionFactory factory(&client);
+  txn::Transaction txn = std::move(factory.Begin(session)).value();
+  ASSERT_TRUE(txn.Put("a", "1").ok());
+  ASSERT_TRUE(txn.Put("b", "2").ok());
+  Result<txn::CommitInfo> commit = txn.Commit();
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->writes_applied, 2);
+
+  Result<core::GetResult> a = client.Get(session, "a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->value, "1");
+  EXPECT_EQ(a->timestamp, commit->commit_timestamp);
+  server.Stop();
+}
+
+TEST(EndToEndTcpTest, SessionGuaranteesAcrossRestart) {
+  // Monotonic reads hold even when the client reconnects mid-session.
+  StorageNode node("primary", "dc1", RealClock::Instance());
+  Tablet::Options tablet_options;
+  tablet_options.is_primary = true;
+  ASSERT_TRUE(node.AddTablet("t", tablet_options).ok());
+
+  net::TcpServer server;
+  ASSERT_TRUE(
+      server.Start(0, [&](const proto::Message& m) { return node.Handle(m); })
+          .ok());
+
+  TableView view;
+  view.table_name = "t";
+  auto channel = std::make_shared<net::TcpChannel>(server.port());
+  view.replicas = {Replica{
+      "primary", true,
+      std::make_shared<ChannelConnection>(channel, RealClock::Instance())}};
+  view.primary_index = 0;
+  PileusClient client(std::move(view), RealClock::Instance());
+
+  Session session =
+      client
+          .BeginSession(core::Sla().Add(core::Guarantee::Monotonic(),
+                                        SecondsToMicroseconds(5), 1.0))
+          .value();
+  ASSERT_TRUE(client.Put(session, "k", "v1").ok());
+  Result<core::GetResult> first = client.Get(session, "k");
+  ASSERT_TRUE(first.ok());
+
+  ASSERT_TRUE(client.Put(session, "k", "v2").ok());
+  Result<core::GetResult> second = client.Get(session, "k");
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(second->timestamp, first->timestamp);
+  EXPECT_EQ(second->value, "v2");
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace pileus

@@ -1,0 +1,105 @@
+// Tests for the discrete-event queue.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace pileus::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.Empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.NextEventTime(), -1);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.ScheduleAt(300, [&] { order.push_back(3); });
+  queue.ScheduleAt(100, [&] { order.push_back(1); });
+  queue.ScheduleAt(200, [&] { order.push_back(2); });
+
+  while (!queue.Empty()) {
+    MicrosecondCount at;
+    queue.PopNext(&at)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.ScheduleAt(42, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.Empty()) {
+    MicrosecondCount at;
+    queue.PopNext(&at)();
+    EXPECT_EQ(at, 42);
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, NextEventTimeReportsEarliest) {
+  EventQueue queue;
+  queue.ScheduleAt(500, [] {});
+  queue.ScheduleAt(100, [] {});
+  EXPECT_EQ(queue.NextEventTime(), 100);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  const uint64_t id = queue.ScheduleAt(100, [&] { ran = true; });
+  queue.ScheduleAt(200, [] {});
+  queue.Cancel(id);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.NextEventTime(), 200);
+
+  MicrosecondCount at;
+  queue.PopNext(&at)();
+  EXPECT_EQ(at, 200);
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoop) {
+  EventQueue queue;
+  queue.ScheduleAt(100, [] {});
+  queue.Cancel(0);
+  queue.Cancel(999);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, DoubleCancelCountsOnce) {
+  EventQueue queue;
+  const uint64_t id = queue.ScheduleAt(100, [] {});
+  queue.ScheduleAt(200, [] {});
+  queue.Cancel(id);
+  queue.Cancel(id);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue queue;
+  for (int i = 999; i >= 0; --i) {
+    queue.ScheduleAt(i, [] {});
+  }
+  MicrosecondCount last = -1;
+  while (!queue.Empty()) {
+    MicrosecondCount at;
+    queue.PopNext(&at);
+    EXPECT_GT(at, last);
+    last = at;
+  }
+  EXPECT_EQ(last, 999);
+}
+
+}  // namespace
+}  // namespace pileus::sim

@@ -1,0 +1,419 @@
+// Integration tests on the simulated Figure 10 test bed: replication flow,
+// SLA-driven routing, latency injection, reconfiguration, and determinism.
+
+#include <gtest/gtest.h>
+
+#include "src/core/sla.h"
+#include "src/experiments/comparison.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/experiments/runner.h"
+
+namespace pileus::experiments {
+namespace {
+
+using core::Guarantee;
+
+GeoTestbedOptions FastOptions() {
+  GeoTestbedOptions options;
+  options.seed = 7;
+  options.replication_period_us = SecondsToMicroseconds(10);
+  return options;
+}
+
+TEST(GeoTestbedTest, TopologyIsBuilt) {
+  GeoTestbed testbed(FastOptions());
+  EXPECT_NE(testbed.node(kUs), nullptr);
+  EXPECT_NE(testbed.node(kEngland), nullptr);
+  EXPECT_NE(testbed.node(kIndia), nullptr);
+  EXPECT_EQ(testbed.node(kChina), nullptr);  // Client-only site.
+  EXPECT_EQ(testbed.primary_site(), kEngland);
+  EXPECT_TRUE(
+      testbed.node(kEngland)->FindTablet(kTableName, "k")->is_primary());
+  EXPECT_FALSE(testbed.node(kUs)->FindTablet(kTableName, "k")->is_primary());
+}
+
+TEST(GeoTestbedTest, ReplicationPropagatesWithinOnePeriod) {
+  GeoTestbed testbed(FastOptions());
+  testbed.StartReplication();
+
+  auto* primary = testbed.node(kEngland)->FindTablet(kTableName, "");
+  ASSERT_TRUE(primary->HandlePut("k", "v").ok());
+
+  auto* us = testbed.node(kUs)->FindTablet(kTableName, "");
+  EXPECT_FALSE(us->HandleGet("k").found);
+
+  // One period + one WAN round trip is plenty.
+  testbed.env().RunFor(SecondsToMicroseconds(11));
+  EXPECT_TRUE(us->HandleGet("k").found);
+  EXPECT_TRUE(
+      testbed.node(kIndia)->FindTablet(kTableName, "")->HandleGet("k").found);
+  EXPECT_GE(testbed.replication_rounds(), 2u);
+}
+
+TEST(GeoTestbedTest, IdleHeartbeatsAdvanceSecondaries) {
+  GeoTestbed testbed(FastOptions());
+  testbed.StartReplication();
+  auto* us = testbed.node(kUs)->FindTablet(kTableName, "");
+  testbed.env().RunFor(SecondsToMicroseconds(11));
+  const Timestamp first = us->high_timestamp();
+  EXPECT_GT(first, Timestamp::Zero());
+  testbed.env().RunFor(SecondsToMicroseconds(10));
+  EXPECT_GT(us->high_timestamp(), first);  // No Puts, yet it advances.
+}
+
+TEST(GeoTestbedTest, ClientGetLatencyTracksRttMatrix) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+
+  core::PileusClient::Options options;
+  auto client = testbed.MakeClient(kUs, options);
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::Strong()))
+          .value();
+  Result<core::GetResult> result =
+      client->client().Get(session, workload::YcsbWorkload::KeyForIndex(1));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome.node_name, kEngland);
+  EXPECT_TRUE(result->outcome.from_primary);
+  // US <-> England is ~147 ms.
+  EXPECT_NEAR(static_cast<double>(result->outcome.rtt_us),
+              MillisecondsToMicroseconds(147), 20000.0);
+}
+
+TEST(GeoTestbedTest, EventualReadsStayLocal) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::Eventual()))
+          .value();
+  // Warm up the monitor, then check routing.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        client->client()
+            .Get(session, workload::YcsbWorkload::KeyForIndex(i))
+            .ok());
+  }
+  Result<core::GetResult> result =
+      client->client().Get(session, workload::YcsbWorkload::KeyForIndex(50));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome.node_name, kUs);
+  EXPECT_LT(result->outcome.rtt_us, MillisecondsToMicroseconds(5));
+}
+
+TEST(GeoTestbedTest, ReadMyWritesVisibleThroughLocalNodeAfterSync) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::ReadMyWrites()))
+          .value();
+  ASSERT_TRUE(client->client().Put(session, "mine", "my-value").ok());
+
+  // Immediately after the Put only the primary can satisfy RMW.
+  Result<core::GetResult> before = client->client().Get(session, "mine");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->value, "my-value");
+  EXPECT_EQ(before->outcome.node_name, kEngland);
+
+  // After a replication period the local secondary catches up; piggybacked
+  // evidence or probes tell the client.
+  testbed.env().RunFor(SecondsToMicroseconds(25));
+  client->client().monitor().RecordHighTimestamp(
+      kUs, testbed.node(kUs)->FindTablet(kTableName, "")->high_timestamp());
+  Result<core::GetResult> after = client->client().Get(session, "mine");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->value, "my-value");
+  EXPECT_EQ(after->outcome.node_name, kUs);
+}
+
+TEST(GeoTestbedTest, LatencyInjectionIsVisibleToClients) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::Strong()))
+          .value();
+  Result<core::GetResult> before = client->client().Get(session, "k");
+  ASSERT_TRUE(before.ok());
+
+  testbed.SetRttDelta(kUs, kEngland, MillisecondsToMicroseconds(300));
+  Result<core::GetResult> during = client->client().Get(session, "k");
+  ASSERT_TRUE(during.ok());
+  EXPECT_GT(during->outcome.rtt_us,
+            before->outcome.rtt_us + MillisecondsToMicroseconds(250));
+
+  testbed.SetRttDelta(kUs, kEngland, 0);
+  Result<core::GetResult> after = client->client().Get(session, "k");
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after->outcome.rtt_us, MillisecondsToMicroseconds(200));
+}
+
+TEST(GeoTestbedTest, ProbesPopulateMonitorWithoutForegroundTraffic) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 10);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kChina, core::PileusClient::Options{});
+  client->StartProbing();
+  testbed.env().RunFor(SecondsToMicroseconds(30));
+  // All three nodes have been probed: latency and staleness known.
+  for (const char* node : {kUs, kEngland, kIndia}) {
+    EXPECT_GT(client->client().monitor().MeanLatency(node), 0) << node;
+    EXPECT_GT(client->client().monitor().KnownHighTimestamp(node),
+              Timestamp::Zero())
+        << node;
+  }
+  EXPECT_GT(client->probes_sent(), 0u);
+  client->StopProbing();
+}
+
+TEST(GeoTestbedTest, MovePrimaryRetargetsReplicationAndClients) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 10);
+  testbed.MovePrimary(kUs);
+  EXPECT_EQ(testbed.primary_site(), kUs);
+  testbed.StartReplication();
+
+  EXPECT_TRUE(testbed.node(kUs)->FindTablet(kTableName, "")->is_primary());
+  EXPECT_FALSE(
+      testbed.node(kEngland)->FindTablet(kTableName, "")->is_primary());
+
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::Strong()))
+          .value();
+  ASSERT_TRUE(client->client().Put(session, "k", "v").ok());
+  Result<core::GetResult> result = client->client().Get(session, "k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome.node_name, kUs);
+  EXPECT_LT(result->outcome.rtt_us, MillisecondsToMicroseconds(5));
+
+  // The old primary receives the new data via replication.
+  testbed.env().RunFor(SecondsToMicroseconds(11));
+  EXPECT_TRUE(testbed.node(kEngland)
+                  ->FindTablet(kTableName, "")
+                  ->HandleGet("k")
+                  .found);
+}
+
+TEST(GeoTestbedTest, SyncReplicasServeLocalStrongReads) {
+  GeoTestbedOptions options = FastOptions();
+  options.sync_replica_count = 2;  // England + US.
+  GeoTestbed testbed(options);
+  PreloadKeys(testbed, 10);
+  testbed.StartReplication();
+
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::Strong()))
+          .value();
+  // The Put pays the sync fan-out...
+  Result<core::PutResult> put = client->client().Put(session, "k", "v");
+  ASSERT_TRUE(put.ok());
+  EXPECT_GT(put->rtt_us, MillisecondsToMicroseconds(250));
+
+  // ...and the strong read is then served by the local sync replica.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client->client().Get(session, "k").ok());
+  }
+  Result<core::GetResult> result = client->client().Get(session, "k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome.node_name, kUs);
+  EXPECT_TRUE(result->outcome.from_primary);
+  EXPECT_EQ(result->value, "v");
+}
+
+TEST(GeoTestbedTest, DeleteReplicatesAndHonorsReadMyWrites) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  client->StartProbing();
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::ReadMyWrites()))
+          .value();
+
+  const std::string key = workload::YcsbWorkload::KeyForIndex(7);
+  // The preloaded key exists, then this session deletes it. Read-my-writes
+  // must observe the deletion immediately, even though the local secondary
+  // still holds the old value.
+  Result<core::GetResult> before = client->client().Get(session, key);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->found);
+
+  ASSERT_TRUE(client->client().Delete(session, key).ok());
+  Result<core::GetResult> after = client->client().Get(session, key);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->found);
+  EXPECT_EQ(after->outcome.met_rank, 0);  // RMW satisfied (via the primary).
+
+  // Replication spreads the tombstone to secondaries.
+  testbed.env().RunFor(SecondsToMicroseconds(11));
+  EXPECT_FALSE(
+      testbed.node(kUs)->FindTablet(kTableName, "")->HandleGet(key).found);
+  EXPECT_FALSE(
+      testbed.node(kIndia)->FindTablet(kTableName, "")->HandleGet(key).found);
+}
+
+TEST(GeoTestbedTest, MonotonicNeverResurrectsDeletedValues) {
+  // After observing a deletion (not-found with a tombstone timestamp), a
+  // monotonic session must never see the old live value again, even from a
+  // stale secondary.
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  client->StartProbing();
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::Monotonic()))
+          .value();
+
+  const std::string key = workload::YcsbWorkload::KeyForIndex(3);
+  // Delete at the primary, then observe the deletion via a strong read.
+  ASSERT_TRUE(client->client().Delete(session, key).ok());
+  Result<core::GetResult> observed = client->client().Get(
+      session, key, SingleConsistencySla(Guarantee::Strong()));
+  ASSERT_TRUE(observed.ok());
+  EXPECT_FALSE(observed->found);
+
+  // Monotonic reads for the rest of the session (the local secondary still
+  // holds the live value until replication catches up) must stay not-found.
+  for (int i = 0; i < 20; ++i) {
+    Result<core::GetResult> result = client->client().Get(session, key);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->found) << "resurrected deleted value on read " << i;
+    testbed.env().RunFor(MillisecondsToMicroseconds(200));
+  }
+}
+
+TEST(GeoTestbedTest, RangeScanOverSimTestbed) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  client->StartProbing();
+  testbed.env().RunFor(SecondsToMicroseconds(12));  // One replication round.
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::Eventual()))
+          .value();
+  Result<core::RangeResult> result = client->client().GetRange(
+      session, workload::YcsbWorkload::KeyForIndex(10),
+      workload::YcsbWorkload::KeyForIndex(20), 0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->items.size(), 10u);
+  EXPECT_EQ(result->outcome.met_rank, 0);
+  EXPECT_EQ(result->items.front().key,
+            workload::YcsbWorkload::KeyForIndex(10));
+}
+
+TEST(GeoTestbedTest, NodeFailureIsRoutedAround) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  client->StartProbing();
+  core::Session session =
+      client->client()
+          .BeginSession(SingleConsistencySla(Guarantee::Eventual()))
+          .value();
+  // Warm up: reads go to the local US node.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        client->client()
+            .Get(session, workload::YcsbWorkload::KeyForIndex(i))
+            .ok());
+  }
+
+  testbed.SetNodeDown(kUs, true);
+  // Every Get during the outage still returns data (availability retries +
+  // PNodeUp-driven selection route around the dead node).
+  for (int i = 0; i < 20; ++i) {
+    Result<core::GetResult> result =
+        client->client().Get(session, workload::YcsbWorkload::KeyForIndex(i));
+    ASSERT_TRUE(result.ok()) << i << ": " << result.status();
+    EXPECT_TRUE(result->found);
+    EXPECT_NE(result->outcome.node_name, kUs);
+  }
+
+  // After recovery, probes rediscover the local node and reads return home.
+  testbed.SetNodeDown(kUs, false);
+  testbed.env().RunFor(SecondsToMicroseconds(120));
+  bool back_home = false;
+  for (int i = 0; i < 30 && !back_home; ++i) {
+    Result<core::GetResult> result =
+        client->client().Get(session, workload::YcsbWorkload::KeyForIndex(i));
+    ASSERT_TRUE(result.ok());
+    back_home = result->outcome.node_name == kUs;
+    testbed.env().RunFor(SecondsToMicroseconds(5));
+  }
+  EXPECT_TRUE(back_home);
+}
+
+TEST(GeoTestbedTest, PrimaryFailureKillsPutsButNotWeakReads) {
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  core::Session session =
+      client->client().BeginSession(core::ShoppingCartSla()).value();
+
+  testbed.SetNodeDown(kEngland, true);
+  EXPECT_FALSE(client->client().Put(session, "k", "v").ok());
+  Result<core::GetResult> result =
+      client->client().Get(session, workload::YcsbWorkload::KeyForIndex(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->found);
+}
+
+TEST(GeoTestbedTest, RunsAreDeterministic) {
+  auto run = [] {
+    ComparisonOptions options;
+    options.sla = core::ShoppingCartSla();
+    options.total_ops = 500;
+    options.warmup_ops = 100;
+    options.seed = 5;
+    return RunStrategyCell(kIndia, core::ReadStrategy::kPileus, options)
+        .AvgUtility();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(GeoTestbedTest, PileusMatchesOrBeatsFixedSchemes) {
+  // The paper's headline (Section 5.6): at every site, Pileus delivers at
+  // least the utility of the best fixed scheme. Mini version of Fig 11/12.
+  for (const char* site : {kUs, kIndia, kChina}) {
+    ComparisonOptions options;
+    options.sla = core::PasswordCheckingSla();
+    options.total_ops = 1500;
+    options.warmup_ops = 500;
+    options.seed = 21;
+    double best_fixed = 0.0;
+    for (core::ReadStrategy strategy :
+         {core::ReadStrategy::kPrimary, core::ReadStrategy::kRandom,
+          core::ReadStrategy::kClosest}) {
+      best_fixed = std::max(best_fixed,
+                            RunStrategyCell(site, strategy, options)
+                                .AvgUtility());
+    }
+    const double pileus =
+        RunStrategyCell(site, core::ReadStrategy::kPileus, options)
+            .AvgUtility();
+    EXPECT_GE(pileus + 0.02, best_fixed) << "site " << site;
+  }
+}
+
+}  // namespace
+}  // namespace pileus::experiments

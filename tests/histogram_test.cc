@@ -1,0 +1,105 @@
+// Tests for the log-bucketed latency histogram.
+
+#include <gtest/gtest.h>
+
+#include "src/util/histogram.h"
+
+namespace pileus {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1234.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(HistogramTest, QuantilesApproximateWithinBucketError) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) {
+    h.Record(i);
+  }
+  // Buckets are ~4.5% wide, so allow 10% relative error.
+  EXPECT_NEAR(h.Quantile(0.5), 5000, 500);
+  EXPECT_NEAR(h.Quantile(0.9), 9000, 900);
+  EXPECT_NEAR(h.Quantile(0.99), 9900, 990);
+}
+
+TEST(HistogramTest, ZeroAndNegativeValuesLandInFirstBucket) {
+  Histogram h;
+  h.Record(0);
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.Quantile(0.0), -5);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(INT64_MAX / 2);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), INT64_MAX / 2);
+  EXPECT_GE(h.Quantile(1.0), 1);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(30);
+  b.Record(40);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 40);
+  EXPECT_DOUBLE_EQ(a.Mean(), 25.0);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsNoop) {
+  Histogram a, empty;
+  a.Record(10);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 10);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(HistogramTest, SummaryContainsKeyFields) {
+  Histogram h;
+  h.Record(100);
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("n=1"), std::string::npos);
+  EXPECT_NE(summary.find("mean=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pileus

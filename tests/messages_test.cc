@@ -1,0 +1,257 @@
+// Tests for the storage protocol messages: round trips for every message
+// type and rejection of malformed input.
+
+#include <gtest/gtest.h>
+
+#include "src/proto/messages.h"
+
+namespace pileus::proto {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& in) {
+  const std::string bytes = EncodeMessage(Message(in));
+  Result<Message> decoded = DecodeMessage(bytes);
+  EXPECT_TRUE(decoded.ok()) << decoded.status();
+  const T* out = std::get_if<T>(&decoded.value());
+  EXPECT_NE(out, nullptr) << "decoded to wrong alternative";
+  return out != nullptr ? *out : T{};
+}
+
+TEST(MessagesTest, GetRequestRoundTrip) {
+  GetRequest in;
+  in.table = "orders";
+  in.key = "user42";
+  const GetRequest out = RoundTrip(in);
+  EXPECT_EQ(out.table, "orders");
+  EXPECT_EQ(out.key, "user42");
+}
+
+TEST(MessagesTest, GetReplyRoundTrip) {
+  GetReply in;
+  in.found = true;
+  in.value = std::string("\x00\x01\xffx", 4);
+  in.value_timestamp = Timestamp{123, 4};
+  in.high_timestamp = Timestamp{456, 7};
+  in.served_by_primary = true;
+  const GetReply out = RoundTrip(in);
+  EXPECT_TRUE(out.found);
+  EXPECT_EQ(out.value, in.value);
+  EXPECT_EQ(out.value_timestamp, in.value_timestamp);
+  EXPECT_EQ(out.high_timestamp, in.high_timestamp);
+  EXPECT_TRUE(out.served_by_primary);
+}
+
+TEST(MessagesTest, GetReplyNotFoundRoundTrip) {
+  GetReply in;
+  in.found = false;
+  in.high_timestamp = Timestamp{99, 0};
+  const GetReply out = RoundTrip(in);
+  EXPECT_FALSE(out.found);
+  EXPECT_TRUE(out.value.empty());
+}
+
+TEST(MessagesTest, PutRequestReplyRoundTrip) {
+  PutRequest req;
+  req.table = "t";
+  req.key = "k";
+  req.value = std::string(1000, 'v');
+  EXPECT_EQ(RoundTrip(req).value, req.value);
+
+  PutReply reply;
+  reply.timestamp = Timestamp{5, 1};
+  reply.high_timestamp = Timestamp{6, 0};
+  const PutReply out = RoundTrip(reply);
+  EXPECT_EQ(out.timestamp, reply.timestamp);
+  EXPECT_EQ(out.high_timestamp, reply.high_timestamp);
+}
+
+TEST(MessagesTest, ProbeRoundTrip) {
+  ProbeRequest req;
+  req.table = "t";
+  EXPECT_EQ(RoundTrip(req).table, "t");
+
+  ProbeReply reply;
+  reply.high_timestamp = Timestamp{1234, 0};
+  reply.is_primary = true;
+  const ProbeReply out = RoundTrip(reply);
+  EXPECT_EQ(out.high_timestamp, reply.high_timestamp);
+  EXPECT_TRUE(out.is_primary);
+}
+
+TEST(MessagesTest, SyncRequestRoundTrip) {
+  SyncRequest req;
+  req.table = "t";
+  req.after = Timestamp{777, 3};
+  req.max_versions = 1000;
+  const SyncRequest out = RoundTrip(req);
+  EXPECT_EQ(out.after, req.after);
+  EXPECT_EQ(out.max_versions, 1000u);
+}
+
+TEST(MessagesTest, SyncReplyRoundTrip) {
+  SyncReply reply;
+  for (int i = 0; i < 50; ++i) {
+    ObjectVersion version;
+    version.key = "key" + std::to_string(i);
+    version.value = std::string(i, 'x');
+    version.timestamp = Timestamp{1000 + i, static_cast<uint32_t>(i)};
+    reply.versions.push_back(version);
+  }
+  reply.heartbeat = Timestamp{2000, 0};
+  reply.has_more = true;
+  const SyncReply out = RoundTrip(reply);
+  ASSERT_EQ(out.versions.size(), 50u);
+  EXPECT_EQ(out.versions[49], reply.versions[49]);
+  EXPECT_EQ(out.heartbeat, reply.heartbeat);
+  EXPECT_TRUE(out.has_more);
+}
+
+TEST(MessagesTest, EmptySyncReplyRoundTrip) {
+  SyncReply reply;
+  reply.heartbeat = Timestamp{1, 0};
+  const SyncReply out = RoundTrip(reply);
+  EXPECT_TRUE(out.versions.empty());
+  EXPECT_FALSE(out.has_more);
+}
+
+TEST(MessagesTest, GetAtRoundTrip) {
+  GetAtRequest req;
+  req.table = "t";
+  req.key = "k";
+  req.snapshot = Timestamp{42, 0};
+  EXPECT_EQ(RoundTrip(req).snapshot, req.snapshot);
+
+  GetAtReply reply;
+  reply.found = true;
+  reply.value = "v";
+  reply.value_timestamp = Timestamp{41, 0};
+  reply.snapshot_available = false;
+  const GetAtReply out = RoundTrip(reply);
+  EXPECT_TRUE(out.found);
+  EXPECT_FALSE(out.snapshot_available);
+}
+
+TEST(MessagesTest, CommitRoundTrip) {
+  CommitRequest req;
+  req.table = "t";
+  req.snapshot = Timestamp{10, 0};
+  req.read_keys = {"a", "b"};
+  ObjectVersion w;
+  w.key = "c";
+  w.value = "v";
+  req.writes.push_back(w);
+  req.validate_reads = true;
+  const CommitRequest out = RoundTrip(req);
+  EXPECT_EQ(out.read_keys, req.read_keys);
+  ASSERT_EQ(out.writes.size(), 1u);
+  EXPECT_EQ(out.writes[0].key, "c");
+  EXPECT_TRUE(out.validate_reads);
+
+  CommitReply reply;
+  reply.committed = false;
+  reply.conflict_key = "c";
+  const CommitReply out_reply = RoundTrip(reply);
+  EXPECT_FALSE(out_reply.committed);
+  EXPECT_EQ(out_reply.conflict_key, "c");
+}
+
+TEST(MessagesTest, RangeRoundTrip) {
+  RangeRequest req;
+  req.table = "t";
+  req.begin = "a";
+  req.end = "m";
+  req.limit = 100;
+  const RangeRequest out_req = RoundTrip(req);
+  EXPECT_EQ(out_req.begin, "a");
+  EXPECT_EQ(out_req.end, "m");
+  EXPECT_EQ(out_req.limit, 100u);
+
+  RangeReply reply;
+  for (int i = 0; i < 3; ++i) {
+    ObjectVersion v;
+    v.key = "k" + std::to_string(i);
+    v.value = "v";
+    v.timestamp = Timestamp{100 + i, 0};
+    reply.items.push_back(v);
+  }
+  reply.truncated = true;
+  reply.high_timestamp = Timestamp{200, 0};
+  reply.served_by_primary = true;
+  const RangeReply out = RoundTrip(reply);
+  ASSERT_EQ(out.items.size(), 3u);
+  EXPECT_TRUE(out.truncated);
+  EXPECT_EQ(out.high_timestamp, reply.high_timestamp);
+  EXPECT_TRUE(out.served_by_primary);
+}
+
+TEST(MessagesTest, ErrorReplyRoundTrip) {
+  ErrorReply err;
+  err.code = StatusCode::kNotPrimary;
+  err.message = "try the primary";
+  const ErrorReply out = RoundTrip(err);
+  EXPECT_EQ(out.code, StatusCode::kNotPrimary);
+  EXPECT_EQ(out.message, "try the primary");
+}
+
+TEST(MessagesTest, TypeOfMatchesAlternative) {
+  EXPECT_EQ(TypeOf(Message(GetRequest{})), MessageType::kGetRequest);
+  EXPECT_EQ(TypeOf(Message(SyncReply{})), MessageType::kSyncReply);
+  EXPECT_EQ(TypeOf(Message(ErrorReply{})), MessageType::kErrorReply);
+}
+
+TEST(MessagesTest, MessageTypeNamesAreDistinct) {
+  EXPECT_EQ(MessageTypeName(MessageType::kGetRequest), "GetRequest");
+  EXPECT_EQ(MessageTypeName(MessageType::kCommitReply), "CommitReply");
+}
+
+// --- Malformed input ---
+
+TEST(MessagesTest, EmptyBufferRejected) {
+  EXPECT_FALSE(DecodeMessage("").ok());
+}
+
+TEST(MessagesTest, UnknownTypeRejected) {
+  std::string bytes = EncodeMessage(Message(GetRequest{}));
+  bytes[0] = '\x7f';
+  EXPECT_EQ(DecodeMessage(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(MessagesTest, WrongWireVersionRejected) {
+  std::string bytes = EncodeMessage(Message(GetRequest{}));
+  bytes[1] = '\x09';
+  EXPECT_EQ(DecodeMessage(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(MessagesTest, TruncatedBodyRejected) {
+  GetReply reply;
+  reply.found = true;
+  reply.value = "some value bytes";
+  const std::string bytes = EncodeMessage(Message(reply));
+  for (size_t cut = 2; cut < bytes.size(); cut += 3) {
+    EXPECT_FALSE(DecodeMessage(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(MessagesTest, TrailingBytesRejected) {
+  std::string bytes = EncodeMessage(Message(ProbeRequest{}));
+  bytes += "junk";
+  EXPECT_EQ(DecodeMessage(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(MessagesTest, AbsurdSyncCountRejected) {
+  // Hand-craft a SyncReply header claiming 2^40 versions.
+  std::string bytes;
+  bytes.push_back(static_cast<char>(MessageType::kSyncReply));
+  bytes.push_back('\x01');  // Wire version.
+  // Varint for 2^40.
+  for (int i = 0; i < 5; ++i) {
+    bytes.push_back('\x80');
+  }
+  bytes.push_back('\x10');
+  EXPECT_FALSE(DecodeMessage(bytes).ok());
+}
+
+}  // namespace
+}  // namespace pileus::proto

@@ -1,0 +1,203 @@
+// Tests for the client-side monitor (paper Section 4.5).
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/core/monitor.h"
+
+namespace pileus::core {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() : clock_(SecondsToMicroseconds(1000)), monitor_(&clock_) {}
+
+  ManualClock clock_;
+  Monitor monitor_;
+};
+
+TEST_F(MonitorTest, UnknownNodeIsOptimisticOnLatency) {
+  EXPECT_DOUBLE_EQ(monitor_.PNodeLat("ghost", 1000), 1.0);
+}
+
+TEST_F(MonitorTest, UnknownNodeEstimateConfigurable) {
+  Monitor::Options options;
+  options.unknown_latency_estimate = 0.5;
+  Monitor monitor(&clock_, options);
+  EXPECT_DOUBLE_EQ(monitor.PNodeLat("ghost", 1000), 0.5);
+}
+
+TEST_F(MonitorTest, PNodeLatIsWindowFraction) {
+  for (int i = 0; i < 8; ++i) {
+    monitor_.RecordLatency("n", 1000);
+  }
+  for (int i = 0; i < 2; ++i) {
+    monitor_.RecordLatency("n", 100000);
+  }
+  EXPECT_DOUBLE_EQ(monitor_.PNodeLat("n", 2000), 0.8);
+  EXPECT_DOUBLE_EQ(monitor_.PNodeLat("n", 200000), 1.0);
+  EXPECT_DOUBLE_EQ(monitor_.PNodeLat("n", 100), 0.0);
+}
+
+TEST_F(MonitorTest, UnknownNodeHasZeroHighTimestamp) {
+  EXPECT_EQ(monitor_.KnownHighTimestamp("ghost"), Timestamp::Zero());
+  // PNodeCons for a zero threshold is still satisfied.
+  EXPECT_DOUBLE_EQ(monitor_.PNodeCons("ghost", Timestamp::Zero()), 1.0);
+  EXPECT_DOUBLE_EQ(monitor_.PNodeCons("ghost", Timestamp{1, 0}), 0.0);
+}
+
+TEST_F(MonitorTest, HighTimestampOnlyMovesForward) {
+  monitor_.RecordHighTimestamp("n", Timestamp{500, 0});
+  monitor_.RecordHighTimestamp("n", Timestamp{300, 0});  // Stale report.
+  EXPECT_EQ(monitor_.KnownHighTimestamp("n"), (Timestamp{500, 0}));
+  monitor_.RecordHighTimestamp("n", Timestamp{800, 0});
+  EXPECT_EQ(monitor_.KnownHighTimestamp("n"), (Timestamp{800, 0}));
+}
+
+TEST_F(MonitorTest, PNodeConsIsBinaryAndConservative) {
+  monitor_.RecordHighTimestamp("n", Timestamp{500, 0});
+  EXPECT_DOUBLE_EQ(monitor_.PNodeCons("n", Timestamp{500, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(monitor_.PNodeCons("n", Timestamp{500, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(monitor_.PNodeCons("n", Timestamp{100, 0}), 1.0);
+}
+
+TEST_F(MonitorTest, PNodeSlaIsProduct) {
+  monitor_.RecordHighTimestamp("n", Timestamp{500, 0});
+  monitor_.RecordLatency("n", 1000);
+  monitor_.RecordLatency("n", 3000);
+  // PNodeLat(2000) = 0.5; PNodeCons({400,0}) = 1.
+  EXPECT_DOUBLE_EQ(monitor_.PNodeSla("n", Timestamp{400, 0}, 2000), 0.5);
+  // Consistency unsatisfied -> 0 regardless of latency.
+  EXPECT_DOUBLE_EQ(monitor_.PNodeSla("n", Timestamp{600, 0}, 2000), 0.0);
+}
+
+TEST_F(MonitorTest, OldLatencySamplesAgeOut) {
+  Monitor::Options options;
+  options.latency_window.window_us = SecondsToMicroseconds(10);
+  Monitor monitor(&clock_, options);
+  monitor.RecordLatency("n", 100000);
+  clock_.AdvanceMicros(SecondsToMicroseconds(60));
+  // The slow sample expired; the node is unknown again (optimistic).
+  EXPECT_DOUBLE_EQ(monitor.PNodeLat("n", 1000), 1.0);
+}
+
+TEST_F(MonitorTest, NeedsProbeForUnknownAndStaleNodes) {
+  EXPECT_TRUE(monitor_.NeedsProbe("ghost"));
+  monitor_.RecordLatency("n", 1000);
+  EXPECT_FALSE(monitor_.NeedsProbe("n"));
+  clock_.AdvanceMicros(monitor_.options().probe_interval_us + 1);
+  EXPECT_TRUE(monitor_.NeedsProbe("n"));
+}
+
+TEST_F(MonitorTest, HighTimestampReportRefreshesContact) {
+  monitor_.RecordHighTimestamp("n", Timestamp{1, 0});
+  EXPECT_FALSE(monitor_.NeedsProbe("n"));
+}
+
+TEST_F(MonitorTest, MeanLatency) {
+  EXPECT_EQ(monitor_.MeanLatency("ghost"), 0);
+  monitor_.RecordLatency("n", 100);
+  monitor_.RecordLatency("n", 300);
+  EXPECT_EQ(monitor_.MeanLatency("n"), 200);
+}
+
+TEST_F(MonitorTest, SamplesRecordedCounter) {
+  EXPECT_EQ(monitor_.samples_recorded(), 0u);
+  monitor_.RecordLatency("a", 1);
+  monitor_.RecordLatency("b", 2);
+  EXPECT_EQ(monitor_.samples_recorded(), 2u);
+}
+
+TEST_F(MonitorTest, PredictorExtrapolatesHighTimestamp) {
+  Monitor::Options options;
+  options.predict_high_timestamp = true;
+  options.prediction_rate = 1.0;
+  Monitor monitor(&clock_, options);
+  monitor.RecordHighTimestamp("n", Timestamp{clock_.NowMicros(), 0});
+  const Timestamp observed = monitor.KnownHighTimestamp("n");
+
+  clock_.AdvanceMicros(SecondsToMicroseconds(10));
+  const Timestamp predicted = monitor.KnownHighTimestamp("n");
+  EXPECT_EQ(predicted.physical_us - observed.physical_us,
+            SecondsToMicroseconds(10));
+}
+
+TEST_F(MonitorTest, PredictorRateScalesExtrapolation) {
+  Monitor::Options options;
+  options.predict_high_timestamp = true;
+  options.prediction_rate = 0.5;
+  Monitor monitor(&clock_, options);
+  monitor.RecordHighTimestamp("n", Timestamp{clock_.NowMicros(), 0});
+  clock_.AdvanceMicros(SecondsToMicroseconds(10));
+  const Timestamp predicted = monitor.KnownHighTimestamp("n");
+  EXPECT_EQ(predicted.physical_us - SecondsToMicroseconds(1000),
+            SecondsToMicroseconds(5));
+}
+
+TEST_F(MonitorTest, ConservativeModeNeverExtrapolates) {
+  monitor_.RecordHighTimestamp("n", Timestamp{123, 0});
+  clock_.AdvanceMicros(SecondsToMicroseconds(100));
+  EXPECT_EQ(monitor_.KnownHighTimestamp("n"), (Timestamp{123, 0}));
+}
+
+TEST_F(MonitorTest, PNodeUpDefaultsToOne) {
+  EXPECT_DOUBLE_EQ(monitor_.PNodeUp("ghost"), 1.0);
+  monitor_.RecordLatency("n", 100);  // Latency alone is not an outcome.
+  EXPECT_DOUBLE_EQ(monitor_.PNodeUp("n"), 1.0);
+}
+
+TEST_F(MonitorTest, FailuresLowerPNodeUp) {
+  monitor_.RecordSuccess("n");
+  monitor_.RecordFailure("n");
+  monitor_.RecordFailure("n");
+  monitor_.RecordFailure("n");
+  EXPECT_DOUBLE_EQ(monitor_.PNodeUp("n"), 0.25);
+}
+
+TEST_F(MonitorTest, RecoverySuccessesRestorePNodeUp) {
+  for (int i = 0; i < 4; ++i) {
+    monitor_.RecordFailure("n");
+  }
+  EXPECT_DOUBLE_EQ(monitor_.PNodeUp("n"), 0.0);
+  for (int i = 0; i < 12; ++i) {
+    monitor_.RecordSuccess("n");
+  }
+  EXPECT_DOUBLE_EQ(monitor_.PNodeUp("n"), 0.75);
+}
+
+TEST_F(MonitorTest, OldFailuresAgeOut) {
+  Monitor::Options options;
+  options.latency_window.window_us = SecondsToMicroseconds(10);
+  Monitor monitor(&clock_, options);
+  monitor.RecordFailure("n");
+  clock_.AdvanceMicros(SecondsToMicroseconds(60));
+  EXPECT_DOUBLE_EQ(monitor.PNodeUp("n"), 1.0);
+}
+
+TEST_F(MonitorTest, PNodeSlaIncludesUpFactor) {
+  monitor_.RecordHighTimestamp("n", Timestamp{500, 0});
+  monitor_.RecordLatency("n", 1000);
+  monitor_.RecordSuccess("n");
+  monitor_.RecordFailure("n");
+  // PCons 1 * PLat 1 * PUp 0.5.
+  EXPECT_DOUBLE_EQ(monitor_.PNodeSla("n", Timestamp{400, 0}, 2000), 0.5);
+}
+
+TEST_F(MonitorTest, FailureCountsAsContactForProbing) {
+  monitor_.RecordFailure("n");
+  EXPECT_FALSE(monitor_.NeedsProbe("n"));
+  clock_.AdvanceMicros(monitor_.options().probe_interval_us + 1);
+  EXPECT_TRUE(monitor_.NeedsProbe("n"));
+}
+
+TEST_F(MonitorTest, NodesAreIndependent) {
+  monitor_.RecordLatency("a", 100);
+  monitor_.RecordLatency("b", 100000);
+  monitor_.RecordHighTimestamp("a", Timestamp{999, 0});
+  EXPECT_DOUBLE_EQ(monitor_.PNodeLat("a", 1000), 1.0);
+  EXPECT_DOUBLE_EQ(monitor_.PNodeLat("b", 1000), 0.0);
+  EXPECT_EQ(monitor_.KnownHighTimestamp("b"), Timestamp::Zero());
+}
+
+}  // namespace
+}  // namespace pileus::core

@@ -1,0 +1,205 @@
+// Tests for the TCP transport: framed request/reply over real loopback
+// sockets.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/net/tcp.h"
+#include "src/storage/storage_node.h"
+
+namespace pileus::net {
+namespace {
+
+proto::Message Echo(const proto::Message& request) {
+  if (const auto* get = std::get_if<proto::GetRequest>(&request)) {
+    proto::GetReply reply;
+    reply.found = true;
+    reply.value = "echo:" + get->key;
+    return reply;
+  }
+  if (std::holds_alternative<proto::PutRequest>(request)) {
+    return proto::PutReply{};
+  }
+  proto::ErrorReply err;
+  err.code = StatusCode::kInvalidArgument;
+  return err;
+}
+
+TEST(TcpTest, StartStopLifecycle) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(0, Echo).ok());
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+  server.Stop();  // Idempotent.
+}
+
+TEST(TcpTest, CallRoundTrip) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(0, Echo).ok());
+  TcpChannel channel(server.port());
+
+  proto::GetRequest request;
+  request.table = "t";
+  request.key = "hello";
+  Result<proto::Message> reply =
+      channel.Call(request, SecondsToMicroseconds(5));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(std::get<proto::GetReply>(reply.value()).value, "echo:hello");
+  EXPECT_EQ(server.requests_handled(), 1u);
+}
+
+TEST(TcpTest, ManySequentialCallsOnOneConnection) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(0, Echo).ok());
+  TcpChannel channel(server.port());
+  for (int i = 0; i < 200; ++i) {
+    proto::GetRequest request;
+    request.key = "k" + std::to_string(i);
+    Result<proto::Message> reply =
+        channel.Call(request, SecondsToMicroseconds(5));
+    ASSERT_TRUE(reply.ok()) << i;
+    EXPECT_EQ(std::get<proto::GetReply>(reply.value()).value,
+              "echo:k" + std::to_string(i));
+  }
+  EXPECT_EQ(server.requests_handled(), 200u);
+}
+
+TEST(TcpTest, ConcurrentClients) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(0, Echo).ok());
+  constexpr int kThreads = 8;
+  constexpr int kCallsEach = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      TcpChannel channel(server.port());
+      for (int i = 0; i < kCallsEach; ++i) {
+        proto::GetRequest request;
+        request.key = std::to_string(t) + ":" + std::to_string(i);
+        Result<proto::Message> reply =
+            channel.Call(request, SecondsToMicroseconds(5));
+        if (!reply.ok() ||
+            std::get<proto::GetReply>(reply.value()).value !=
+                "echo:" + request.key) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_handled(),
+            static_cast<uint64_t>(kThreads * kCallsEach));
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, then close it.
+  uint16_t dead_port;
+  {
+    TcpServer server;
+    ASSERT_TRUE(server.Start(0, Echo).ok());
+    dead_port = server.port();
+  }
+  TcpChannel channel(dead_port);
+  Result<proto::Message> reply =
+      channel.Call(proto::GetRequest{}, MillisecondsToMicroseconds(500));
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST(TcpTest, LargeValuesCrossIntact) {
+  TcpServer server;
+  std::string received;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [&](const proto::Message& request) {
+                           received =
+                               std::get<proto::PutRequest>(request).value;
+                           return proto::Message(proto::PutReply{});
+                         })
+                  .ok());
+  TcpChannel channel(server.port());
+
+  proto::PutRequest put;
+  put.table = "t";
+  put.key = "big";
+  put.value.resize(4 * 1024 * 1024);
+  for (size_t i = 0; i < put.value.size(); ++i) {
+    put.value[i] = static_cast<char>(i * 2654435761u);
+  }
+  Result<proto::Message> reply = channel.Call(put, SecondsToMicroseconds(10));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(received, put.value);
+}
+
+TEST(TcpTest, SlowHandlerHitsClientDeadline) {
+  TcpServer server;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [](const proto::Message&) {
+                           std::this_thread::sleep_for(
+                               std::chrono::milliseconds(300));
+                           return proto::Message(proto::PutReply{});
+                         })
+                  .ok());
+  TcpChannel channel(server.port());
+  Result<proto::Message> reply =
+      channel.Call(proto::PutRequest{}, MillisecondsToMicroseconds(50));
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+}
+
+TEST(TcpTest, ArtificialDelayEmulatesWan) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(0, Echo).ok());
+  TcpChannel channel(server.port(), MillisecondsToMicroseconds(20));
+  const MicrosecondCount start = RealClock::Instance()->NowMicros();
+  ASSERT_TRUE(channel.Call(proto::GetRequest{}, 0).ok());
+  EXPECT_GE(RealClock::Instance()->NowMicros() - start,
+            MillisecondsToMicroseconds(40));
+}
+
+TEST(TcpTest, ServesRealStorageNode) {
+  ManualClock clock(1000);
+  storage::StorageNode node("n", "s", &clock);
+  storage::Tablet::Options options;
+  options.is_primary = true;
+  ASSERT_TRUE(node.AddTablet("t", options).ok());
+
+  TcpServer server;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [&](const proto::Message& request) {
+                           return node.Handle(request);
+                         })
+                  .ok());
+  TcpChannel channel(server.port());
+
+  proto::PutRequest put;
+  put.table = "t";
+  put.key = "k";
+  put.value = "v";
+  Result<proto::Message> put_reply =
+      channel.Call(put, SecondsToMicroseconds(5));
+  ASSERT_TRUE(put_reply.ok());
+  const Timestamp ts = std::get<proto::PutReply>(put_reply.value()).timestamp;
+  EXPECT_GT(ts, Timestamp::Zero());
+
+  proto::GetRequest get;
+  get.table = "t";
+  get.key = "k";
+  Result<proto::Message> get_reply =
+      channel.Call(get, SecondsToMicroseconds(5));
+  ASSERT_TRUE(get_reply.ok());
+  const auto& reply = std::get<proto::GetReply>(get_reply.value());
+  EXPECT_TRUE(reply.found);
+  EXPECT_EQ(reply.value, "v");
+  EXPECT_EQ(reply.value_timestamp, ts);
+}
+
+}  // namespace
+}  // namespace pileus::net

@@ -1,0 +1,457 @@
+// Tests for durability: CRC32, the write-ahead log (including crash-shaped
+// torn tails and corruption), checkpoints, and full tablet recovery.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/persist/durable_tablet.h"
+#include "src/persist/wal.h"
+#include "src/util/crc32.h"
+
+namespace pileus::persist {
+namespace {
+
+// Unique temp directory per test, removed on teardown.
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/pileus_persist_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    // Best-effort cleanup of the flat directory.
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    (void)::system(cmd.c_str());
+  }
+
+  std::string WalPath() const { return dir_ + "/wal.log"; }
+
+  // Truncates a file to `bytes` (simulating a crash mid-write).
+  void TruncateFile(const std::string& path, off_t bytes) {
+    ASSERT_EQ(::truncate(path.c_str(), bytes), 0);
+  }
+
+  off_t FileSize(const std::string& path) {
+    struct stat st;
+    EXPECT_EQ(::stat(path.c_str(), &st), 0);
+    return st.st_size;
+  }
+
+  // Flips one byte at `offset`.
+  void CorruptByte(const std::string& path, off_t offset) {
+    const int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    char b;
+    ASSERT_EQ(::pread(fd, &b, 1, offset), 1);
+    b = static_cast<char>(b ^ 0xff);
+    ASSERT_EQ(::pwrite(fd, &b, 1, offset), 1);
+    ::close(fd);
+  }
+
+  proto::ObjectVersion V(const std::string& key, const std::string& value,
+                         int64_t ts) {
+    proto::ObjectVersion version;
+    version.key = key;
+    version.value = value;
+    version.timestamp = Timestamp{ts, 0};
+    return version;
+  }
+
+  std::string dir_;
+};
+
+// --- CRC32 ---
+
+TEST(Crc32Test, KnownVectors) {
+  // "123456789" -> 0xCBF43926 is the canonical CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlips) {
+  const std::string data = "the quick brown fox";
+  const uint32_t original = Crc32(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string mutated = data;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    EXPECT_NE(Crc32(mutated), original) << "flip at " << i;
+  }
+}
+
+TEST(Crc32Test, SeedContinuation) {
+  const uint32_t whole = Crc32("hello world");
+  const uint32_t split = Crc32(" world", Crc32("hello"));
+  EXPECT_EQ(split, whole);
+}
+
+// --- WriteAheadLog ---
+
+TEST_F(PersistTest, ReplayOfMissingFileIsEmpty) {
+  auto stats = WriteAheadLog::Replay(WalPath(), nullptr, nullptr);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->versions, 0u);
+  EXPECT_FALSE(stats->tail_torn);
+}
+
+TEST_F(PersistTest, AppendReplayRoundTrip) {
+  {
+    auto wal = WriteAheadLog::Open(WalPath());
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(wal->AppendVersion(V("key" + std::to_string(i),
+                                       "value" + std::to_string(i),
+                                       1000 + i))
+                      .ok());
+    }
+    ASSERT_TRUE(wal->AppendHeartbeat(Timestamp{5000, 0}).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+
+  std::vector<proto::ObjectVersion> versions;
+  std::vector<Timestamp> heartbeats;
+  auto stats = WriteAheadLog::Replay(
+      WalPath(),
+      [&](const proto::ObjectVersion& v) { versions.push_back(v); },
+      [&](const Timestamp& hb) { heartbeats.push_back(hb); });
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->versions, 100u);
+  EXPECT_EQ(stats->heartbeats, 1u);
+  EXPECT_FALSE(stats->tail_torn);
+  ASSERT_EQ(versions.size(), 100u);
+  EXPECT_EQ(versions[42].key, "key42");
+  EXPECT_EQ(versions[42].value, "value42");
+  EXPECT_EQ(versions[42].timestamp, (Timestamp{1042, 0}));
+  ASSERT_EQ(heartbeats.size(), 1u);
+  EXPECT_EQ(heartbeats[0], (Timestamp{5000, 0}));
+}
+
+TEST_F(PersistTest, ReopenAppends) {
+  {
+    auto wal = WriteAheadLog::Open(WalPath());
+    ASSERT_TRUE(wal->AppendVersion(V("a", "1", 1)).ok());
+  }
+  {
+    auto wal = WriteAheadLog::Open(WalPath());
+    ASSERT_TRUE(wal->AppendVersion(V("b", "2", 2)).ok());
+  }
+  auto stats = WriteAheadLog::Replay(WalPath(), nullptr, nullptr);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->versions, 2u);
+}
+
+TEST_F(PersistTest, TornTailIsDiscardedNotFatal) {
+  {
+    auto wal = WriteAheadLog::Open(WalPath());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(wal->AppendVersion(V("k" + std::to_string(i), "v", i)).ok());
+    }
+  }
+  // Chop a few bytes off the end: a crash mid-append.
+  TruncateFile(WalPath(), FileSize(WalPath()) - 3);
+
+  std::vector<proto::ObjectVersion> versions;
+  auto stats = WriteAheadLog::Replay(
+      WalPath(),
+      [&](const proto::ObjectVersion& v) { versions.push_back(v); }, nullptr);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->tail_torn);
+  EXPECT_EQ(stats->versions, 9u);  // The last record was torn.
+  EXPECT_EQ(versions.back().key, "k8");
+}
+
+TEST_F(PersistTest, EverySuffixTruncationRecoversAPrefix) {
+  {
+    auto wal = WriteAheadLog::Open(WalPath());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal->AppendVersion(V("k" + std::to_string(i), "v", i)).ok());
+    }
+  }
+  const off_t full = FileSize(WalPath());
+  uint64_t last_count = 5;
+  for (off_t cut = full - 1; cut >= 0; cut -= 7) {
+    TruncateFile(WalPath(), cut);
+    auto stats = WriteAheadLog::Replay(WalPath(), nullptr, nullptr);
+    ASSERT_TRUE(stats.ok()) << "cut at " << cut << ": " << stats.status();
+    EXPECT_LE(stats->versions, last_count);
+    last_count = stats->versions;
+  }
+}
+
+TEST_F(PersistTest, MidLogCorruptionIsReported) {
+  {
+    auto wal = WriteAheadLog::Open(WalPath());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(
+          wal->AppendVersion(V("k" + std::to_string(i), "vvvv", i)).ok());
+    }
+  }
+  // Flip a payload byte in the middle of the file.
+  CorruptByte(WalPath(), FileSize(WalPath()) / 2);
+  auto stats = WriteAheadLog::Replay(WalPath(), nullptr, nullptr);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistTest, ResetEmptiesTheLog) {
+  auto wal = WriteAheadLog::Open(WalPath());
+  ASSERT_TRUE(wal->AppendVersion(V("a", "1", 1)).ok());
+  ASSERT_GT(wal->bytes_written(), 0u);
+  ASSERT_TRUE(wal->Reset().ok());
+  EXPECT_EQ(wal->bytes_written(), 0u);
+  auto stats = WriteAheadLog::Replay(WalPath(), nullptr, nullptr);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->versions, 0u);
+}
+
+// --- DurableTablet ---
+
+TEST_F(PersistTest, DurableTabletSurvivesReopen) {
+  ManualClock clock(1000);
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = true;
+
+  Timestamp last_put;
+  {
+    auto tablet = DurableTablet::Open(options, &clock);
+    ASSERT_TRUE(tablet.ok()) << tablet.status();
+    for (int i = 0; i < 50; ++i) {
+      clock.AdvanceMicros(5);
+      auto reply = (*tablet)->HandlePut("k" + std::to_string(i),
+                                        "v" + std::to_string(i));
+      ASSERT_TRUE(reply.ok());
+      last_put = reply->timestamp;
+    }
+  }  // "Crash": the tablet object is destroyed.
+
+  auto reopened = DurableTablet::Open(options, &clock);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->recovery_info().wal_versions, 50u);
+  for (int i = 0; i < 50; ++i) {
+    const auto reply = (*reopened)->HandleGet("k" + std::to_string(i));
+    ASSERT_TRUE(reply.found) << i;
+    EXPECT_EQ(reply.value, "v" + std::to_string(i));
+  }
+  EXPECT_GE((*reopened)->tablet().high_timestamp(), last_put);
+
+  // The recovered primary never re-issues an old update timestamp, even if
+  // the clock regressed across the restart.
+  clock.SetMicros(500);
+  auto fresh = (*reopened)->HandlePut("k0", "post-recovery");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->timestamp, last_put);
+}
+
+TEST_F(PersistTest, CheckpointPlusWalRecovery) {
+  ManualClock clock(1000);
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = true;
+
+  {
+    auto tablet = DurableTablet::Open(options, &clock);
+    ASSERT_TRUE(tablet.ok());
+    for (int i = 0; i < 20; ++i) {
+      clock.AdvanceMicros(5);
+      ASSERT_TRUE((*tablet)->HandlePut("pre" + std::to_string(i), "x").ok());
+    }
+    ASSERT_TRUE((*tablet)->Checkpoint().ok());
+    EXPECT_EQ((*tablet)->wal().bytes_written(), 0u);
+    for (int i = 0; i < 10; ++i) {
+      clock.AdvanceMicros(5);
+      ASSERT_TRUE((*tablet)->HandlePut("post" + std::to_string(i), "y").ok());
+    }
+  }
+
+  auto reopened = DurableTablet::Open(options, &clock);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->recovery_info().checkpoint_versions, 20u);
+  EXPECT_EQ((*reopened)->recovery_info().wal_versions, 10u);
+  EXPECT_TRUE((*reopened)->HandleGet("pre5").found);
+  EXPECT_TRUE((*reopened)->HandleGet("post5").found);
+}
+
+TEST_F(PersistTest, TornWalTailAfterCrashStillRecovers) {
+  ManualClock clock(1000);
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = true;
+  {
+    auto tablet = DurableTablet::Open(options, &clock);
+    for (int i = 0; i < 10; ++i) {
+      clock.AdvanceMicros(5);
+      ASSERT_TRUE((*tablet)->HandlePut("k" + std::to_string(i), "v").ok());
+    }
+  }
+  TruncateFile(dir_ + "/wal.log", FileSize(dir_ + "/wal.log") - 2);
+
+  auto reopened = DurableTablet::Open(options, &clock);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->recovery_info().wal_tail_torn);
+  EXPECT_EQ((*reopened)->recovery_info().wal_versions, 9u);
+  EXPECT_TRUE((*reopened)->HandleGet("k8").found);
+  EXPECT_FALSE((*reopened)->HandleGet("k9").found);  // The torn write.
+}
+
+TEST_F(PersistTest, ReplicatedStateIsJournaled) {
+  ManualClock clock(1000);
+  // A durable *secondary* applying a sync batch.
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = false;
+
+  storage::Tablet::Options primary_options;
+  primary_options.is_primary = true;
+  storage::Tablet primary(primary_options, &clock);
+  for (int i = 0; i < 15; ++i) {
+    clock.AdvanceMicros(5);
+    (void)primary.HandlePut("k" + std::to_string(i), "v");
+  }
+
+  Timestamp high_after_sync;
+  {
+    auto secondary = DurableTablet::Open(options, &clock);
+    ASSERT_TRUE(secondary.ok());
+    const proto::SyncReply reply =
+        primary.HandleSync(Timestamp::Zero(), 0);
+    ASSERT_TRUE((*secondary)->ApplySync(reply).ok());
+    high_after_sync = (*secondary)->tablet().high_timestamp();
+  }
+
+  auto reopened = DurableTablet::Open(options, &clock);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->HandleGet("k14").found);
+  // The heartbeat survived too: staleness knowledge is durable.
+  EXPECT_EQ((*reopened)->tablet().high_timestamp(), high_after_sync);
+}
+
+TEST_F(PersistTest, AutoCheckpointTriggersOnThreshold) {
+  ManualClock clock(1000);
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = true;
+  options.checkpoint_threshold_bytes = 2048;
+
+  auto tablet = DurableTablet::Open(options, &clock);
+  ASSERT_TRUE(tablet.ok());
+  const std::string value(128, 'v');
+  for (int i = 0; i < 100; ++i) {
+    clock.AdvanceMicros(5);
+    ASSERT_TRUE((*tablet)->HandlePut("k" + std::to_string(i), value).ok());
+  }
+  // The WAL was truncated at least once.
+  EXPECT_LT((*tablet)->wal().bytes_written(), 100 * (128 + 32));
+  EXPECT_EQ(FileSize(dir_ + "/checkpoint.db") > 0, true);
+}
+
+TEST_F(PersistTest, CommitIsJournaled) {
+  ManualClock clock(1000);
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = true;
+  {
+    auto tablet = DurableTablet::Open(options, &clock);
+    proto::CommitRequest request;
+    request.snapshot = Timestamp::Zero();
+    for (const char* key : {"a", "b"}) {
+      proto::ObjectVersion w;
+      w.key = key;
+      w.value = "tx";
+      request.writes.push_back(w);
+    }
+    auto reply = (*tablet)->HandleCommit(request);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->committed);
+  }
+  auto reopened = DurableTablet::Open(options, &clock);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->HandleGet("a").found);
+  EXPECT_TRUE((*reopened)->HandleGet("b").found);
+  EXPECT_EQ((*reopened)->HandleGet("a").value_timestamp,
+            (*reopened)->HandleGet("b").value_timestamp);
+}
+
+TEST_F(PersistTest, DeletesSurviveRecovery) {
+  ManualClock clock(1000);
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = true;
+  {
+    auto tablet = DurableTablet::Open(options, &clock);
+    ASSERT_TRUE((*tablet)->HandlePut("keep", "v").ok());
+    clock.AdvanceMicros(10);
+    ASSERT_TRUE((*tablet)->HandlePut("drop", "v").ok());
+    clock.AdvanceMicros(10);
+    ASSERT_TRUE((*tablet)->HandleDelete("drop").ok());
+  }
+  auto reopened = DurableTablet::Open(options, &clock);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->HandleGet("keep").found);
+  EXPECT_FALSE((*reopened)->HandleGet("drop").found);
+}
+
+TEST_F(PersistTest, DeletesSurviveCheckpointedRecovery) {
+  ManualClock clock(1000);
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = true;
+  {
+    auto tablet = DurableTablet::Open(options, &clock);
+    ASSERT_TRUE((*tablet)->HandlePut("drop", "v").ok());
+    clock.AdvanceMicros(10);
+    ASSERT_TRUE((*tablet)->HandleDelete("drop").ok());
+    ASSERT_TRUE((*tablet)->Checkpoint().ok());  // Tombstone in the snapshot.
+  }
+  auto reopened = DurableTablet::Open(options, &clock);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE((*reopened)->HandleGet("drop").found);
+  // A re-put after recovery must get a timestamp above the tombstone's.
+  clock.SetMicros(500);  // Clock regression across restart.
+  auto reput = (*reopened)->HandlePut("drop", "back");
+  ASSERT_TRUE(reput.ok());
+  EXPECT_TRUE((*reopened)->HandleGet("drop").found);
+}
+
+TEST_F(PersistTest, SyncEveryAppendMode) {
+  ManualClock clock(1000);
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = true;
+  options.sync_every_append = true;
+  auto tablet = DurableTablet::Open(options, &clock);
+  ASSERT_TRUE(tablet.ok());
+  ASSERT_TRUE((*tablet)->HandlePut("k", "v").ok());
+  EXPECT_TRUE((*tablet)->HandleGet("k").found);
+}
+
+TEST_F(PersistTest, CorruptCheckpointIsRejected) {
+  ManualClock clock(1000);
+  DurableTablet::Options options;
+  options.directory = dir_;
+  options.tablet.is_primary = true;
+  {
+    auto tablet = DurableTablet::Open(options, &clock);
+    for (int i = 0; i < 5; ++i) {
+      clock.AdvanceMicros(5);
+      ASSERT_TRUE((*tablet)->HandlePut("k" + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE((*tablet)->Checkpoint().ok());
+  }
+  CorruptByte(dir_ + "/checkpoint.db", FileSize(dir_ + "/checkpoint.db") / 2);
+  auto reopened = DurableTablet::Open(options, &clock);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace pileus::persist

@@ -1,0 +1,335 @@
+// Tests for SelectTarget (paper Figure 8): expected-utility maximization,
+// the tie semantics, tie-break policies, and the parallel-Get candidate set.
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/core/selection.h"
+
+namespace pileus::core {
+namespace {
+
+constexpr MicrosecondCount kNow = SecondsToMicroseconds(1000);
+
+class SelectionTest : public ::testing::Test {
+ protected:
+  SelectionTest()
+      : clock_(kNow), monitor_(&clock_), session_(ShoppingCartSla()) {
+    replicas_ = {
+        ReplicaView{"primary", /*authoritative=*/true},
+        ReplicaView{"near", false},
+        ReplicaView{"far", false},
+    };
+  }
+
+  // Fills the monitor so `node` has the given mean RTT (all samples equal)
+  // and high timestamp.
+  void Teach(const std::string& node, MicrosecondCount rtt,
+             Timestamp high) {
+    for (int i = 0; i < 10; ++i) {
+      monitor_.RecordLatency(node, rtt);
+    }
+    monitor_.RecordHighTimestamp(node, high);
+  }
+
+  SelectionResult Select(const Sla& sla, std::string_view key = "k") {
+    return SelectTarget(sla, replicas_, session_, key, clock_.NowMicros(),
+                        monitor_, options_, &rng_);
+  }
+
+  ManualClock clock_;
+  Monitor monitor_;
+  Session session_;
+  std::vector<ReplicaView> replicas_;
+  SelectionOptions options_;
+  Random rng_{1};
+};
+
+TEST_F(SelectionTest, EmptyReplicasYieldsInvalidResult) {
+  const SelectionResult result =
+      SelectTarget(ShoppingCartSla(), {}, session_, "k", kNow, monitor_,
+                   options_, &rng_);
+  EXPECT_EQ(result.target_rank, -1);
+  EXPECT_EQ(result.node_index, -1);
+}
+
+TEST_F(SelectionTest, StrongGoesOnlyToAuthoritative) {
+  Teach("primary", MillisecondsToMicroseconds(150), Timestamp{1, 0});
+  Teach("near", MillisecondsToMicroseconds(1), Timestamp{999999, 0});
+  const Sla sla = Sla().Add(Guarantee::Strong(), SecondsToMicroseconds(10),
+                            1.0);
+  const SelectionResult result = Select(sla);
+  EXPECT_EQ(result.target_rank, 0);
+  EXPECT_EQ(result.node_index, 0);  // The primary despite being slower.
+}
+
+TEST_F(SelectionTest, EventualPrefersClosestOnTies) {
+  Teach("primary", MillisecondsToMicroseconds(150), Timestamp{100, 0});
+  Teach("near", MillisecondsToMicroseconds(1), Timestamp{100, 0});
+  Teach("far", MillisecondsToMicroseconds(300), Timestamp{100, 0});
+  const Sla sla =
+      Sla().Add(Guarantee::Eventual(), SecondsToMicroseconds(10), 1.0);
+  const SelectionResult result = Select(sla);
+  EXPECT_EQ(result.node_index, 1);
+  EXPECT_EQ(result.candidates.size(), 3u);  // All tied at utility 1.
+}
+
+TEST_F(SelectionTest, StaleNodeLosesOnConsistency) {
+  session_.RecordPut("k", Timestamp{500, 0});
+  Teach("primary", MillisecondsToMicroseconds(150), Timestamp{600, 0});
+  Teach("near", MillisecondsToMicroseconds(1), Timestamp{400, 0});  // Stale.
+  const Sla sla =
+      Sla().Add(Guarantee::ReadMyWrites(), SecondsToMicroseconds(10), 1.0);
+  const SelectionResult result = Select(sla);
+  EXPECT_EQ(result.node_index, 0);  // Primary: near can't provide RMW.
+}
+
+TEST_F(SelectionTest, AuthoritativeSatisfiesAnyThreshold) {
+  // Even with no recorded high timestamp, the primary qualifies for
+  // timestamp-based guarantees.
+  session_.RecordPut("k", Timestamp{500, 0});
+  Teach("primary", MillisecondsToMicroseconds(150), Timestamp::Zero());
+  const Sla sla =
+      Sla().Add(Guarantee::ReadMyWrites(), SecondsToMicroseconds(10), 1.0);
+  EXPECT_EQ(Select(sla).node_index, 0);
+}
+
+TEST_F(SelectionTest, FallsToSecondSubSlaWhenFirstUnattainable) {
+  // Password-checking shape: strong@150ms impossible (primary too far),
+  // eventual@150ms possible locally.
+  Teach("primary", MillisecondsToMicroseconds(400), Timestamp{100, 0});
+  Teach("near", MillisecondsToMicroseconds(1), Timestamp{100, 0});
+  Teach("far", MillisecondsToMicroseconds(300), Timestamp{100, 0});
+  const Sla sla = Sla()
+                      .Add(Guarantee::Strong(),
+                           MillisecondsToMicroseconds(150), 1.0)
+                      .Add(Guarantee::Eventual(),
+                           MillisecondsToMicroseconds(150), 0.5);
+  const SelectionResult result = Select(sla);
+  EXPECT_EQ(result.target_rank, 1);
+  EXPECT_EQ(result.node_index, 1);
+  EXPECT_DOUBLE_EQ(result.expected_utility, 0.5);
+}
+
+TEST_F(SelectionTest, HigherRankWinsEqualExpectedUtility) {
+  // Figure 8 semantics: when a later subSLA pair merely equals maxutil, the
+  // target stays with the earlier subSLA.
+  Teach("primary", MillisecondsToMicroseconds(1), Timestamp{100, 0});
+  const Sla sla = Sla()
+                      .Add(Guarantee::Strong(), SecondsToMicroseconds(10), 1.0)
+                      .Add(Guarantee::Eventual(), SecondsToMicroseconds(10),
+                           1.0);
+  const SelectionResult result = Select(sla);
+  EXPECT_EQ(result.target_rank, 0);
+}
+
+TEST_F(SelectionTest, SecondSubSlaCanBeatFirstOnProbability) {
+  // The paper's example (Section 4.6.1): if subSLA 2 is nearly as valuable
+  // and far more likely, it becomes the target.
+  session_.RecordPut("k", Timestamp{500, 0});
+  // Primary is slow: only 20% of samples under 300 ms.
+  for (int i = 0; i < 2; ++i) {
+    monitor_.RecordLatency("primary", MillisecondsToMicroseconds(100));
+  }
+  for (int i = 0; i < 8; ++i) {
+    monitor_.RecordLatency("primary", MillisecondsToMicroseconds(500));
+  }
+  Teach("near", MillisecondsToMicroseconds(1), Timestamp{400, 0});
+  Teach("far", MillisecondsToMicroseconds(400), Timestamp{400, 0});
+  const Sla sla = Sla()
+                      .Add(Guarantee::ReadMyWrites(),
+                           MillisecondsToMicroseconds(300), 1.0)
+                      .Add(Guarantee::Eventual(),
+                           MillisecondsToMicroseconds(300), 0.9);
+  const SelectionResult result = Select(sla);
+  // SubSLA1 via primary: 0.2 * 1.0 = 0.2. SubSLA2 via near: 1.0 * 0.9.
+  EXPECT_EQ(result.target_rank, 1);
+  EXPECT_EQ(result.node_index, 1);
+}
+
+TEST_F(SelectionTest, RandomTieBreakUsesAllCandidates) {
+  Teach("primary", MillisecondsToMicroseconds(10), Timestamp{100, 0});
+  Teach("near", MillisecondsToMicroseconds(10), Timestamp{100, 0});
+  Teach("far", MillisecondsToMicroseconds(10), Timestamp{100, 0});
+  options_.tie_break = TieBreak::kRandom;
+  const Sla sla =
+      Sla().Add(Guarantee::Eventual(), SecondsToMicroseconds(10), 1.0);
+  std::set<int> chosen;
+  for (int i = 0; i < 100; ++i) {
+    chosen.insert(Select(sla).node_index);
+  }
+  EXPECT_EQ(chosen.size(), 3u);
+}
+
+TEST_F(SelectionTest, FreshestTieBreakPicksHighestTimestamp) {
+  Teach("primary", MillisecondsToMicroseconds(10), Timestamp{100, 0});
+  Teach("near", MillisecondsToMicroseconds(10), Timestamp{300, 0});
+  Teach("far", MillisecondsToMicroseconds(10), Timestamp{200, 0});
+  options_.tie_break = TieBreak::kFreshest;
+  const Sla sla =
+      Sla().Add(Guarantee::Eventual(), SecondsToMicroseconds(10), 1.0);
+  EXPECT_EQ(Select(sla).node_index, 1);
+}
+
+TEST_F(SelectionTest, CandidateEpsilonWidensFanoutSet) {
+  session_.RecordPut("k", Timestamp{500, 0});
+  Teach("primary", MillisecondsToMicroseconds(100), Timestamp{600, 0});
+  Teach("near", MillisecondsToMicroseconds(1), Timestamp{400, 0});
+  Teach("far", MillisecondsToMicroseconds(5), Timestamp{400, 0});
+  const Sla sla = Sla()
+                      .Add(Guarantee::ReadMyWrites(),
+                           MillisecondsToMicroseconds(300), 1.0)
+                      .Add(Guarantee::Eventual(),
+                           MillisecondsToMicroseconds(300), 0.8);
+
+  // Exact ties only: the primary (1.0) is the sole candidate.
+  const SelectionResult tight = Select(sla);
+  EXPECT_EQ(tight.node_index, 0);
+  EXPECT_EQ(tight.candidates.size(), 1u);
+
+  // With epsilon 0.3 the eventual nodes (best 0.8) join the fan-out set, but
+  // the chosen node is unchanged.
+  options_.candidate_epsilon = 0.3;
+  const SelectionResult wide = Select(sla);
+  EXPECT_EQ(wide.node_index, 0);
+  EXPECT_EQ(wide.candidates.size(), 3u);
+  EXPECT_EQ(wide.candidates[0], 0);  // Chosen node first.
+}
+
+TEST_F(SelectionTest, ExpectedUtilityHelperMatchesManualProduct) {
+  session_.RecordPut("k", Timestamp{500, 0});
+  Teach("near", MillisecondsToMicroseconds(1), Timestamp{600, 0});
+  const SubSla sub{Guarantee::ReadMyWrites(), MillisecondsToMicroseconds(300),
+                   0.7};
+  EXPECT_DOUBLE_EQ(
+      ExpectedUtility(sub, replicas_[1], session_, "k", kNow, monitor_),
+      0.7);  // PCons 1 * PLat 1 * utility.
+  const SubSla slow{Guarantee::ReadMyWrites(), 500, 0.7};  // 0.5 ms target.
+  EXPECT_DOUBLE_EQ(
+      ExpectedUtility(slow, replicas_[1], session_, "k", kNow, monitor_),
+      0.0);  // No sample under 0.5 ms.
+}
+
+TEST_F(SelectionTest, DownNodeIsAvoided) {
+  Teach("primary", MillisecondsToMicroseconds(150), Timestamp{100, 0});
+  Teach("near", MillisecondsToMicroseconds(1), Timestamp{100, 0});
+  Teach("far", MillisecondsToMicroseconds(50), Timestamp{100, 0});
+  // The near node is dead: every recent outcome is a failure.
+  for (int i = 0; i < 10; ++i) {
+    monitor_.RecordFailure("near");
+  }
+  const Sla sla =
+      Sla().Add(Guarantee::Eventual(), SecondsToMicroseconds(10), 1.0);
+  const SelectionResult result = Select(sla);
+  EXPECT_NE(result.node_index, 1);
+  EXPECT_EQ(result.node_index, 2);  // Next closest live node.
+}
+
+TEST_F(SelectionTest, DegradedNodeLosesToHealthyOne) {
+  Teach("near", MillisecondsToMicroseconds(1), Timestamp{100, 0});
+  Teach("far", MillisecondsToMicroseconds(50), Timestamp{100, 0});
+  // near answers only half the time.
+  for (int i = 0; i < 5; ++i) {
+    monitor_.RecordSuccess("near");
+    monitor_.RecordFailure("near");
+    monitor_.RecordSuccess("far");
+  }
+  Teach("primary", MillisecondsToMicroseconds(400), Timestamp{100, 0});
+  const Sla sla =
+      Sla().Add(Guarantee::Eventual(), SecondsToMicroseconds(10), 1.0);
+  // far: 1.0 expected; near: 0.5 expected.
+  EXPECT_EQ(Select(sla).node_index, 2);
+}
+
+TEST_F(SelectionTest, BoundedUsesNow) {
+  Teach("near", MillisecondsToMicroseconds(1),
+        Timestamp{kNow - SecondsToMicroseconds(10), 0});
+  const Sla sla = Sla().Add(Guarantee::BoundedSeconds(30),
+                            SecondsToMicroseconds(10), 1.0);
+  // Within the bound now...
+  EXPECT_EQ(Select(sla).expected_utility, 1.0);
+  // ...but not after 25 more seconds without fresh evidence.
+  clock_.AdvanceMicros(SecondsToMicroseconds(25));
+  const SelectionResult result = Select(sla);
+  // Only the (authoritative) primary can still promise the bound.
+  EXPECT_EQ(result.node_index, 0);
+}
+
+// Property test: against an oracle. For randomized monitor/session states,
+// SelectTarget's expected_utility must equal the brute-force maximum over
+// every (subSLA, replica) pair, and the chosen node must achieve it.
+TEST_F(SelectionTest, MatchesBruteForceOracleOnRandomStates) {
+  Random rng(2026);
+  const Sla slas[] = {ShoppingCartSla(), PasswordCheckingSla(),
+                      WebApplicationSla()};
+  for (int trial = 0; trial < 500; ++trial) {
+    Monitor monitor(&clock_);
+    Session session(ShoppingCartSla());
+    // Random evidence for each node.
+    for (const ReplicaView& replica : replicas_) {
+      const int samples = static_cast<int>(rng.NextUint64(12));
+      for (int s = 0; s < samples; ++s) {
+        monitor.RecordLatency(
+            replica.name,
+            MillisecondsToMicroseconds(1 + rng.NextUint64(600)));
+      }
+      if (rng.NextBool(0.8)) {
+        monitor.RecordHighTimestamp(
+            replica.name,
+            Timestamp{clock_.NowMicros() -
+                          static_cast<MicrosecondCount>(
+                              rng.NextUint64(SecondsToMicroseconds(120))),
+                      0});
+      }
+      if (rng.NextBool(0.2)) {
+        monitor.RecordFailure(replica.name);
+      }
+    }
+    // Random session history.
+    if (rng.NextBool(0.5)) {
+      session.RecordPut("k", Timestamp{clock_.NowMicros() -
+                                           static_cast<MicrosecondCount>(
+                                               rng.NextUint64(1000000)),
+                                       0});
+    }
+    if (rng.NextBool(0.5)) {
+      session.RecordGet("k", Timestamp{clock_.NowMicros() -
+                                           static_cast<MicrosecondCount>(
+                                               rng.NextUint64(1000000)),
+                                       0});
+    }
+
+    const Sla& sla = slas[trial % 3];
+    const SelectionResult result =
+        SelectTarget(sla, replicas_, session, "k", clock_.NowMicros(),
+                     monitor, options_, &rng_);
+
+    double oracle_max = 0.0;
+    for (size_t rank = 0; rank < sla.size(); ++rank) {
+      for (const ReplicaView& replica : replicas_) {
+        oracle_max = std::max(
+            oracle_max, ExpectedUtility(sla[rank], replica, session, "k",
+                                        clock_.NowMicros(), monitor));
+      }
+    }
+    ASSERT_DOUBLE_EQ(result.expected_utility, oracle_max) << "trial " << trial;
+
+    // The chosen node achieves the maximum through some subSLA.
+    double chosen_best = 0.0;
+    for (size_t rank = 0; rank < sla.size(); ++rank) {
+      chosen_best = std::max(
+          chosen_best,
+          ExpectedUtility(sla[rank], replicas_[result.node_index], session,
+                          "k", clock_.NowMicros(), monitor));
+    }
+    ASSERT_DOUBLE_EQ(chosen_best, oracle_max) << "trial " << trial;
+
+    // A target subSLA was always selected. (Note: Figure 8 ties are pooled
+    // across subSLAs, so the *chosen node* may reach maxutil through a
+    // different subSLA than the target - that is the paper's semantics.)
+    ASSERT_GE(result.target_rank, 0);
+  }
+}
+
+}  // namespace
+}  // namespace pileus::core

@@ -1,0 +1,239 @@
+// Property tests: every consistency guarantee's defining invariant (paper
+// Section 3.2) is checked against the values actually returned by the full
+// system - client library, storage nodes, and replication running on the
+// simulated geo test bed. The single-client setup means we know the complete
+// write history, so the invariants are exactly checkable.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/sla.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/experiments/runner.h"
+#include "src/workload/ycsb.h"
+
+namespace pileus::experiments {
+namespace {
+
+using core::Consistency;
+using core::Guarantee;
+
+struct WriteRecord {
+  Timestamp timestamp;
+  std::string value;
+};
+
+class GuaranteeProperty
+    : public ::testing::TestWithParam<Consistency> {};
+
+TEST_P(GuaranteeProperty, HoldsOverRandomWorkload) {
+  const Consistency consistency = GetParam();
+  const Guarantee guarantee =
+      consistency == Consistency::kBounded
+          ? Guarantee::BoundedSeconds(30)
+          : Guarantee{consistency, 0};
+
+  GeoTestbedOptions testbed_options;
+  testbed_options.seed = 100 + static_cast<int>(consistency);
+  testbed_options.replication_period_us = SecondsToMicroseconds(20);
+  GeoTestbed testbed(testbed_options);
+  PreloadKeys(testbed, 200);
+  testbed.StartReplication();
+
+  auto client = testbed.MakeClient(kIndia, core::PileusClient::Options{});
+  client->StartProbing();
+
+  // Complete write history per key (this client is the only writer; the
+  // preloaded values count as timestamp-zero-ish history we also track).
+  std::map<std::string, std::vector<WriteRecord>> history;
+  for (int i = 0; i < 200; ++i) {
+    auto* tablet = testbed.node(kEngland)->FindTablet(kTableName, "");
+    const auto preloaded =
+        tablet->HandleGet(workload::YcsbWorkload::KeyForIndex(i));
+    history[workload::YcsbWorkload::KeyForIndex(i)].push_back(
+        WriteRecord{preloaded.value_timestamp, preloaded.value});
+  }
+
+  workload::WorkloadOptions workload_options;
+  workload_options.key_count = 200;
+  workload_options.ops_per_session = 100;
+  workload_options.seed = 17 + static_cast<int>(consistency);
+  workload::YcsbWorkload workload(workload_options);
+
+  const core::Sla sla = SingleConsistencySla(guarantee);
+  std::optional<core::Session> session;
+
+  // Per-session state for invariant checking.
+  std::map<std::string, Timestamp> session_last_put;
+  std::map<std::string, Timestamp> session_last_read;
+  Timestamp session_max_seen = Timestamp::Zero();
+
+  int checked_gets = 0;
+  for (int op_index = 0; op_index < 2000; ++op_index) {
+    const workload::Operation op = workload.Next();
+    if (op.starts_new_session || !session.has_value()) {
+      session.emplace(
+          std::move(client->client().BeginSession(sla)).value());
+      session_last_put.clear();
+      session_last_read.clear();
+      session_max_seen = Timestamp::Zero();
+    }
+    if (!op.is_get) {
+      Result<core::PutResult> put =
+          client->client().Put(*session, op.key, op.value);
+      ASSERT_TRUE(put.ok()) << put.status();
+      history[op.key].push_back(WriteRecord{put->timestamp, op.value});
+      session_last_put[op.key] =
+          MaxTimestamp(session_last_put[op.key], put->timestamp);
+      session_max_seen = MaxTimestamp(session_max_seen, put->timestamp);
+      continue;
+    }
+
+    const MicrosecondCount get_start = testbed.env().NowMicros();
+    Result<core::GetResult> result = client->client().Get(*session, op.key);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(result->found) << "preloaded key must exist";
+    ++checked_gets;
+
+    const std::vector<WriteRecord>& writes = history[op.key];
+
+    // Universal: the returned (value, timestamp) is a real version we wrote.
+    bool known_version = false;
+    for (const WriteRecord& record : writes) {
+      if (record.timestamp == result->timestamp) {
+        EXPECT_EQ(record.value, result->value);
+        known_version = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(known_version) << "phantom version for " << op.key;
+
+    switch (consistency) {
+      case Consistency::kStrong:
+        // The latest version, full stop.
+        EXPECT_EQ(result->timestamp, writes.back().timestamp)
+            << "strong read returned a stale version";
+        break;
+      case Consistency::kCausal: {
+        // Must reflect this session's own writes of the key (they causally
+        // precede the read)...
+        auto it = session_last_put.find(op.key);
+        if (it != session_last_put.end()) {
+          EXPECT_GE(result->timestamp, it->second);
+        }
+        // ...and never regress below a version of the key read earlier in
+        // the session (reading it established causal precedence).
+        auto read_it = session_last_read.find(op.key);
+        if (read_it != session_last_read.end()) {
+          EXPECT_GE(result->timestamp, read_it->second);
+        }
+        break;
+      }
+      case Consistency::kBounded: {
+        // No version older than (get start - bound) may be returned if a
+        // newer one existed by then.
+        const MicrosecondCount boundary =
+            get_start - guarantee.bound_us;
+        Timestamp newest_before_boundary = Timestamp::Zero();
+        for (const WriteRecord& record : writes) {
+          if (record.timestamp.physical_us <= boundary) {
+            newest_before_boundary =
+                MaxTimestamp(newest_before_boundary, record.timestamp);
+          }
+        }
+        EXPECT_GE(result->timestamp, newest_before_boundary)
+            << "bounded(30s) returned data staler than the bound";
+        break;
+      }
+      case Consistency::kReadMyWrites: {
+        auto it = session_last_put.find(op.key);
+        if (it != session_last_put.end()) {
+          EXPECT_GE(result->timestamp, it->second)
+              << "read-my-writes missed this session's own Put";
+        }
+        break;
+      }
+      case Consistency::kMonotonic: {
+        auto it = session_last_read.find(op.key);
+        if (it != session_last_read.end()) {
+          EXPECT_GE(result->timestamp, it->second)
+              << "monotonic reads went backwards";
+        }
+        break;
+      }
+      case Consistency::kEventual:
+        break;  // Only the universal check applies.
+    }
+
+    session_last_read[op.key] =
+        MaxTimestamp(session_last_read[op.key], result->timestamp);
+    session_max_seen = MaxTimestamp(session_max_seen, result->timestamp);
+    testbed.env().RunFor(MillisecondsToMicroseconds(5));
+  }
+  EXPECT_GT(checked_gets, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGuarantees, GuaranteeProperty,
+    ::testing::Values(Consistency::kStrong, Consistency::kCausal,
+                      Consistency::kBounded, Consistency::kReadMyWrites,
+                      Consistency::kMonotonic, Consistency::kEventual),
+    [](const ::testing::TestParamInfo<Consistency>& param_info) {
+      return std::string(core::ConsistencyName(param_info.param)) ==
+                     "read-my-writes"
+                 ? "read_my_writes"
+                 : std::string(core::ConsistencyName(param_info.param));
+    });
+
+// The prefix-consistency property (Section 4.2): any node's store is always
+// a prefix of the primary's update sequence. Checked by sampling secondaries
+// mid-replication.
+TEST(PrefixConsistencyProperty, SecondariesAlwaysHoldAPrefix) {
+  GeoTestbedOptions options;
+  options.seed = 33;
+  options.replication_period_us = SecondsToMicroseconds(5);
+  GeoTestbed testbed(options);
+  testbed.StartReplication();
+
+  auto* primary = testbed.node(kEngland)->FindTablet(kTableName, "");
+  std::vector<std::pair<std::string, Timestamp>> put_order;
+  Random rng(1);
+
+  for (int round = 0; round < 50; ++round) {
+    // A burst of writes...
+    for (int i = 0; i < 20; ++i) {
+      const std::string key = "k" + std::to_string(rng.NextUint64(30));
+      auto reply = primary->HandlePut(key, "v" + std::to_string(round));
+      ASSERT_TRUE(reply.ok());
+      put_order.emplace_back(key, reply->timestamp);
+    }
+    // ...then time passes (replication fires at some rounds).
+    testbed.env().RunFor(SecondsToMicroseconds(2));
+
+    for (const char* site : {kUs, kIndia}) {
+      auto* secondary = testbed.node(site)->FindTablet(kTableName, "");
+      const Timestamp high = secondary->high_timestamp();
+      // Prefix property: every key whose latest-put-at-or-below-high exists
+      // must be present with exactly that version or newer-but-<=high.
+      std::map<std::string, Timestamp> expected;
+      for (const auto& [key, ts] : put_order) {
+        if (ts <= high) {
+          expected[key] = MaxTimestamp(expected[key], ts);
+        }
+      }
+      for (const auto& [key, ts] : expected) {
+        const auto reply = secondary->HandleGet(key);
+        ASSERT_TRUE(reply.found) << site << " missing " << key;
+        EXPECT_GE(reply.value_timestamp, ts)
+            << site << " violates prefix consistency for " << key;
+        EXPECT_LE(reply.value_timestamp, high);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pileus::experiments

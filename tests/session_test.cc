@@ -1,0 +1,203 @@
+// Tests for session state and minimum acceptable read timestamps (paper
+// Section 4.4, Figure 7).
+
+#include <gtest/gtest.h>
+
+#include "src/core/session.h"
+
+namespace pileus::core {
+namespace {
+
+constexpr MicrosecondCount kNow = SecondsToMicroseconds(1000);
+
+class SessionTest : public ::testing::Test {
+ protected:
+  Session session_{ShoppingCartSla()};
+};
+
+TEST_F(SessionTest, DefaultSlaIsStored) {
+  EXPECT_EQ(session_.default_sla().size(), 2u);
+}
+
+TEST_F(SessionTest, StrongAlwaysRequiresMax) {
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::Strong(), "k", kNow),
+            Timestamp::Max());
+  session_.RecordPut("k", Timestamp{500, 0});
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::Strong(), "k", kNow),
+            Timestamp::Max());
+}
+
+TEST_F(SessionTest, EventualIsAlwaysZero) {
+  session_.RecordPut("k", Timestamp{500, 0});
+  session_.RecordGet("k", Timestamp{600, 0});
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::Eventual(), "k", kNow),
+            Timestamp::Zero());
+}
+
+TEST_F(SessionTest, ReadMyWritesTracksPutsPerKey) {
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::ReadMyWrites(), "k", kNow),
+            Timestamp::Zero());
+  session_.RecordPut("k", Timestamp{500, 0});
+  session_.RecordPut("other", Timestamp{900, 0});
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::ReadMyWrites(), "k", kNow),
+            (Timestamp{500, 0}));
+  // Unwritten keys still require nothing.
+  EXPECT_EQ(
+      session_.MinReadTimestamp(Guarantee::ReadMyWrites(), "unput", kNow),
+      Timestamp::Zero());
+}
+
+TEST_F(SessionTest, ReadMyWritesKeepsMaxPut) {
+  session_.RecordPut("k", Timestamp{500, 0});
+  session_.RecordPut("k", Timestamp{700, 0});
+  session_.RecordPut("k", Timestamp{600, 0});  // Stale echo; ignored.
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::ReadMyWrites(), "k", kNow),
+            (Timestamp{700, 0}));
+}
+
+TEST_F(SessionTest, MonotonicTracksGetsPerKey) {
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::Monotonic(), "k", kNow),
+            Timestamp::Zero());
+  session_.RecordGet("k", Timestamp{400, 0});
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::Monotonic(), "k", kNow),
+            (Timestamp{400, 0}));
+  session_.RecordGet("k", Timestamp{450, 0});
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::Monotonic(), "k", kNow),
+            (Timestamp{450, 0}));
+  // Other keys are independent.
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::Monotonic(), "j", kNow),
+            Timestamp::Zero());
+}
+
+TEST_F(SessionTest, CausalIsMaxOfAllReadsAndWrites) {
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::Causal(), "k", kNow),
+            Timestamp::Zero());
+  session_.RecordGet("a", Timestamp{300, 0});
+  session_.RecordPut("b", Timestamp{500, 0});
+  session_.RecordGet("c", Timestamp{400, 0});
+  // Causal min covers every key, even ones never touched.
+  EXPECT_EQ(session_.MinReadTimestamp(Guarantee::Causal(), "zzz", kNow),
+            (Timestamp{500, 0}));
+}
+
+TEST_F(SessionTest, BoundedSubtractsFromNow) {
+  const Guarantee bounded = Guarantee::BoundedSeconds(30);
+  EXPECT_EQ(session_.MinReadTimestamp(bounded, "k", kNow),
+            (Timestamp{kNow - SecondsToMicroseconds(30), 0}));
+}
+
+TEST_F(SessionTest, BoundedClampsAtZero) {
+  const Guarantee bounded = Guarantee::BoundedSeconds(30);
+  EXPECT_EQ(session_.MinReadTimestamp(bounded, "k", 5),
+            (Timestamp{0, 0}));
+}
+
+TEST_F(SessionTest, SessionScopeBoundaries) {
+  // A fresh session has no memory of a previous one: the paper's YCSB
+  // adaptation starts a new session every 400 operations.
+  session_.RecordPut("k", Timestamp{500, 0});
+  Session fresh(ShoppingCartSla());
+  EXPECT_EQ(fresh.MinReadTimestamp(Guarantee::ReadMyWrites(), "k", kNow),
+            Timestamp::Zero());
+  EXPECT_EQ(fresh.MinReadTimestamp(Guarantee::Causal(), "k", kNow),
+            Timestamp::Zero());
+}
+
+TEST_F(SessionTest, IntrospectionAccessors) {
+  session_.RecordPut("a", Timestamp{100, 0});
+  session_.RecordGet("b", Timestamp{200, 0});
+  EXPECT_EQ(session_.LastPutTimestamp("a"), (Timestamp{100, 0}));
+  EXPECT_EQ(session_.LastGetTimestamp("b"), (Timestamp{200, 0}));
+  EXPECT_EQ(session_.max_write_timestamp(), (Timestamp{100, 0}));
+  EXPECT_EQ(session_.max_read_timestamp(), (Timestamp{200, 0}));
+  EXPECT_EQ(session_.tracked_put_keys(), 1u);
+  EXPECT_EQ(session_.tracked_get_keys(), 1u);
+}
+
+TEST_F(SessionTest, SerializeRoundTripPreservesGuaranteeState) {
+  session_.RecordPut("cart", Timestamp{500, 3});
+  session_.RecordPut("profile", Timestamp{600, 0});
+  session_.RecordGet("cart", Timestamp{450, 0});
+  session_.RecordGet("news", Timestamp{700, 1});
+
+  const std::string bytes = session_.Serialize();
+  Result<Session> restored = Session::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  // The guarantee-relevant state is identical: min read timestamps match
+  // for every guarantee and key.
+  for (const Guarantee& guarantee :
+       {Guarantee::Strong(), Guarantee::Causal(), Guarantee::BoundedSeconds(30),
+        Guarantee::ReadMyWrites(), Guarantee::Monotonic(),
+        Guarantee::Eventual()}) {
+    for (const char* key : {"cart", "profile", "news", "untouched"}) {
+      EXPECT_EQ(restored->MinReadTimestamp(guarantee, key, kNow),
+                session_.MinReadTimestamp(guarantee, key, kNow))
+          << guarantee.ToString() << " / " << key;
+    }
+  }
+  // The default SLA travelled with the session.
+  EXPECT_EQ(restored->default_sla().size(), session_.default_sla().size());
+  EXPECT_EQ(restored->default_sla()[0].consistency,
+            session_.default_sla()[0].consistency);
+}
+
+TEST_F(SessionTest, SerializeEmptySession) {
+  Result<Session> restored = Session::Deserialize(session_.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->tracked_put_keys(), 0u);
+  EXPECT_EQ(restored->tracked_get_keys(), 0u);
+}
+
+TEST_F(SessionTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Session::Deserialize("").ok());
+  EXPECT_FALSE(Session::Deserialize("not a session").ok());
+  std::string bytes = session_.Serialize();
+  bytes[0] = '\x7f';  // Bad version.
+  EXPECT_FALSE(Session::Deserialize(bytes).ok());
+  // Truncations never crash and are rejected.
+  const std::string full = session_.Serialize();
+  for (size_t cut = 1; cut + 1 < full.size(); cut += 2) {
+    EXPECT_FALSE(Session::Deserialize(full.substr(0, cut)).ok()) << cut;
+  }
+  // Trailing junk is rejected.
+  EXPECT_FALSE(Session::Deserialize(full + "x").ok());
+}
+
+TEST_F(SessionTest, BoundedSlaSurvivesSerialization) {
+  Session session(WebApplicationSla());
+  Result<Session> restored = Session::Deserialize(session.Serialize());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->default_sla().size(), 4u);
+  EXPECT_EQ(restored->default_sla()[0].consistency.bound_us,
+            SecondsToMicroseconds(300));
+  EXPECT_DOUBLE_EQ(restored->default_sla()[1].utility, 0.000008);
+}
+
+// Ordering property across all guarantees: strong >= causal >= {rmw,
+// monotonic} >= eventual for any session state (Figure 7's nesting).
+TEST_F(SessionTest, GuaranteeStrengthOrdering) {
+  session_.RecordPut("k", Timestamp{500, 0});
+  session_.RecordGet("k", Timestamp{450, 0});
+  session_.RecordGet("j", Timestamp{480, 0});
+
+  const Timestamp strong =
+      session_.MinReadTimestamp(Guarantee::Strong(), "k", kNow);
+  const Timestamp causal =
+      session_.MinReadTimestamp(Guarantee::Causal(), "k", kNow);
+  const Timestamp rmw =
+      session_.MinReadTimestamp(Guarantee::ReadMyWrites(), "k", kNow);
+  const Timestamp monotonic =
+      session_.MinReadTimestamp(Guarantee::Monotonic(), "k", kNow);
+  const Timestamp eventual =
+      session_.MinReadTimestamp(Guarantee::Eventual(), "k", kNow);
+
+  EXPECT_GE(strong, causal);
+  EXPECT_GE(causal, rmw);
+  EXPECT_GE(causal, monotonic);
+  EXPECT_GE(rmw, eventual);
+  EXPECT_GE(monotonic, eventual);
+}
+
+}  // namespace
+}  // namespace pileus::core

@@ -1,0 +1,269 @@
+// Tests for ShardedClient: routing across range-partitioned tablets with
+// independent primaries, validation, and cross-shard session guarantees.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/clock.h"
+#include "src/core/sharded_client.h"
+#include "src/storage/storage_node.h"
+
+namespace pileus::core {
+namespace {
+
+constexpr MicrosecondCount kMs = kMicrosecondsPerMillisecond;
+
+// Direct call into a StorageNode, advancing a shared manual clock by the
+// configured RTT.
+class DirectConnection : public NodeConnection {
+ public:
+  DirectConnection(storage::StorageNode* node, ManualClock* clock,
+                   MicrosecondCount rtt_us)
+      : node_(node), clock_(clock), rtt_us_(rtt_us) {}
+
+  TimedReply Call(const proto::Message& request,
+                  MicrosecondCount /*timeout*/) override {
+    clock_->AdvanceMicros(rtt_us_);
+    return TimedReply(node_->Handle(request), rtt_us_);
+  }
+
+ private:
+  storage::StorageNode* node_;
+  ManualClock* clock_;
+  MicrosecondCount rtt_us_;
+};
+
+class ShardedClientTest : public ::testing::Test {
+ protected:
+  ShardedClientTest() : clock_(SecondsToMicroseconds(1000)) {}
+
+  // Two shards split at "m": the low shard's primary is node A, the high
+  // shard's primary is node B (different primary sites per tablet, as the
+  // paper allows).
+  void Build() {
+    node_a_ = std::make_unique<storage::StorageNode>("A", "site-a", &clock_);
+    node_b_ = std::make_unique<storage::StorageNode>("B", "site-b", &clock_);
+    storage::Tablet::Options low;
+    low.range = KeyRange{"", "m"};
+    low.is_primary = true;
+    ASSERT_TRUE(node_a_->AddTablet("t", low).ok());
+    storage::Tablet::Options low_secondary;
+    low_secondary.range = KeyRange{"", "m"};
+    ASSERT_TRUE(node_b_->AddTablet("t", low_secondary).ok());
+
+    storage::Tablet::Options high;
+    high.range = KeyRange{"m", ""};
+    high.is_primary = true;
+    ASSERT_TRUE(node_b_->AddTablet("t2", high).ok());
+    storage::Tablet::Options high_secondary;
+    high_secondary.range = KeyRange{"m", ""};
+    ASSERT_TRUE(node_a_->AddTablet("t2", high_secondary).ok());
+
+    std::vector<ShardedClient::Shard> shards;
+    shards.push_back(ShardedClient::Shard{
+        KeyRange{"", "m"}, MakeView("t", node_a_.get(), node_b_.get())});
+    shards.push_back(ShardedClient::Shard{
+        KeyRange{"m", ""}, MakeView("t2", node_b_.get(), node_a_.get())});
+    Result<std::unique_ptr<ShardedClient>> created = ShardedClient::Create(
+        std::move(shards), &clock_, PileusClient::Options{});
+    ASSERT_TRUE(created.ok()) << created.status();
+    client_ = std::move(created).value();
+  }
+
+  TableView MakeView(const std::string& table, storage::StorageNode* primary,
+                     storage::StorageNode* secondary) {
+    TableView view;
+    view.table_name = table;
+    view.replicas = {
+        Replica{primary->name(), true,
+                std::make_shared<DirectConnection>(primary, &clock_,
+                                                   5 * kMs)},
+        Replica{secondary->name(), false,
+                std::make_shared<DirectConnection>(secondary, &clock_,
+                                                   1 * kMs)}};
+    view.primary_index = 0;
+    return view;
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<storage::StorageNode> node_a_;
+  std::unique_ptr<storage::StorageNode> node_b_;
+  std::unique_ptr<ShardedClient> client_;
+};
+
+TEST_F(ShardedClientTest, CreateRejectsGappyRanges) {
+  Build();  // Just to have nodes for views.
+  std::vector<ShardedClient::Shard> shards;
+  shards.push_back(ShardedClient::Shard{
+      KeyRange{"", "m"}, MakeView("t", node_a_.get(), node_b_.get())});
+  shards.push_back(ShardedClient::Shard{
+      KeyRange{"n", ""}, MakeView("t2", node_b_.get(), node_a_.get())});
+  EXPECT_FALSE(
+      ShardedClient::Create(std::move(shards), &clock_,
+                            PileusClient::Options{})
+          .ok());
+}
+
+TEST_F(ShardedClientTest, CreateRejectsOverlaps) {
+  Build();
+  std::vector<ShardedClient::Shard> shards;
+  shards.push_back(ShardedClient::Shard{
+      KeyRange{"", "n"}, MakeView("t", node_a_.get(), node_b_.get())});
+  shards.push_back(ShardedClient::Shard{
+      KeyRange{"m", ""}, MakeView("t2", node_b_.get(), node_a_.get())});
+  EXPECT_FALSE(
+      ShardedClient::Create(std::move(shards), &clock_,
+                            PileusClient::Options{})
+          .ok());
+}
+
+TEST_F(ShardedClientTest, CreateRejectsEmpty) {
+  EXPECT_FALSE(ShardedClient::Create({}, &clock_, PileusClient::Options{})
+                   .ok());
+}
+
+TEST_F(ShardedClientTest, RoutesByKeyRange) {
+  Build();
+  EXPECT_EQ(&client_->shard_client(0), client_->ShardFor("apple"));
+  EXPECT_EQ(&client_->shard_client(0), client_->ShardFor(""));
+  EXPECT_EQ(&client_->shard_client(1), client_->ShardFor("m"));
+  EXPECT_EQ(&client_->shard_client(1), client_->ShardFor("zebra"));
+}
+
+TEST_F(ShardedClientTest, PutsLandAtTheRightPrimary) {
+  Build();
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "apple", "low").ok());
+  ASSERT_TRUE(client_->Put(session, "zebra", "high").ok());
+
+  // Data lives on the shard's own primary, not the other one.
+  EXPECT_TRUE(node_a_->FindTablet("t", "apple")->HandleGet("apple").found);
+  EXPECT_FALSE(node_b_->FindTablet("t", "apple")->HandleGet("apple").found);
+  EXPECT_TRUE(node_b_->FindTablet("t2", "zebra")->HandleGet("zebra").found);
+  EXPECT_FALSE(node_a_->FindTablet("t2", "zebra")->HandleGet("zebra").found);
+}
+
+TEST_F(ShardedClientTest, GetsRouteAndHonorSession) {
+  Build();
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "apple", "low").ok());
+  ASSERT_TRUE(client_->Put(session, "zebra", "high").ok());
+
+  Result<GetResult> low = client_->Get(session, "apple");
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low->value, "low");
+  EXPECT_EQ(low->outcome.met_rank, 0);  // Read-my-writes across the shard.
+
+  Result<GetResult> high = client_->Get(session, "zebra");
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(high->value, "high");
+  EXPECT_EQ(high->outcome.met_rank, 0);
+}
+
+TEST_F(ShardedClientTest, SessionStateSpansShards) {
+  Build();
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "apple", "low").ok());
+  ASSERT_TRUE(client_->Put(session, "zebra", "high").ok());
+  // One session accumulated puts from both shards.
+  EXPECT_GT(session.LastPutTimestamp("apple"), Timestamp::Zero());
+  EXPECT_GT(session.LastPutTimestamp("zebra"), Timestamp::Zero());
+  EXPECT_EQ(session.tracked_put_keys(), 2u);
+}
+
+TEST_F(ShardedClientTest, PerShardMonitorsAreIndependent) {
+  Build();
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "apple", "v").ok());
+  // Shard 0's monitor knows its primary A; shard 1's knows nothing yet.
+  EXPECT_GT(client_->shard_client(0).monitor().KnownHighTimestamp("A"),
+            Timestamp::Zero());
+  EXPECT_EQ(client_->shard_client(1).monitor().KnownHighTimestamp("B"),
+            Timestamp::Zero());
+}
+
+TEST_F(ShardedClientTest, RangeScanSpansShards) {
+  Build();
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  for (const char* key : {"apple", "kiwi", "mango", "zebra"}) {
+    ASSERT_TRUE(client_->Put(session, key, std::string("v-") + key).ok());
+  }
+  Result<RangeResult> result = client_->GetRange(session, "", "", 0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->items.size(), 4u);
+  EXPECT_EQ(result->items[0].key, "apple");
+  EXPECT_EQ(result->items[1].key, "kiwi");
+  EXPECT_EQ(result->items[2].key, "mango");  // Crossed the "m" boundary.
+  EXPECT_EQ(result->items[3].key, "zebra");
+  EXPECT_EQ(result->outcome.met_rank, 0);  // RMW on both shards' primaries.
+  EXPECT_GE(result->outcome.messages_sent, 2);
+}
+
+TEST_F(ShardedClientTest, RangeScanRespectsBoundsAndLimit) {
+  Build();
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  for (const char* key : {"a", "b", "n", "p", "z"}) {
+    ASSERT_TRUE(client_->Put(session, key, "v").ok());
+  }
+  Result<RangeResult> bounded = client_->GetRange(session, "b", "p", 0);
+  ASSERT_TRUE(bounded.ok());
+  ASSERT_EQ(bounded->items.size(), 2u);  // b, n.
+  EXPECT_EQ(bounded->items[0].key, "b");
+  EXPECT_EQ(bounded->items[1].key, "n");
+
+  Result<RangeResult> limited = client_->GetRange(session, "", "", 3);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->items.size(), 3u);
+  EXPECT_TRUE(limited->truncated);
+}
+
+TEST_F(ShardedClientTest, RangeScanWithinOneShard) {
+  Build();
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "apple", "v").ok());
+  ASSERT_TRUE(client_->Put(session, "zebra", "v").ok());
+  Result<RangeResult> result = client_->GetRange(session, "a", "c", 0);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->items.size(), 1u);
+  EXPECT_EQ(result->items[0].key, "apple");
+  // Only the low shard was consulted.
+  EXPECT_EQ(result->outcome.messages_sent, 1);
+}
+
+TEST_F(ShardedClientTest, ManyShards) {
+  // 8-way split with a single node hosting all primaries.
+  node_a_ = std::make_unique<storage::StorageNode>("A", "site-a", &clock_);
+  std::vector<ShardedClient::Shard> shards;
+  int table_index = 0;
+  for (const KeyRange& range : SplitKeySpaceEvenly(8)) {
+    const std::string table = "t" + std::to_string(table_index++);
+    storage::Tablet::Options options;
+    options.range = range;
+    options.is_primary = true;
+    ASSERT_TRUE(node_a_->AddTablet(table, options).ok());
+    TableView view;
+    view.table_name = table;
+    view.replicas = {Replica{"A", true,
+                             std::make_shared<DirectConnection>(
+                                 node_a_.get(), &clock_, 1 * kMs)}};
+    view.primary_index = 0;
+    shards.push_back(ShardedClient::Shard{range, std::move(view)});
+  }
+  auto created = ShardedClient::Create(std::move(shards), &clock_,
+                                       PileusClient::Options{});
+  ASSERT_TRUE(created.ok()) << created.status();
+  auto client = std::move(created).value();
+
+  Session session = client->BeginSession(ShoppingCartSla()).value();
+  for (int c = 0; c < 256; c += 5) {
+    const std::string key(1, static_cast<char>(c));
+    ASSERT_TRUE(client->Put(session, key, "v").ok()) << c;
+    Result<GetResult> result = client->Get(session, key);
+    ASSERT_TRUE(result.ok()) << c;
+    EXPECT_EQ(result->value, "v");
+  }
+}
+
+}  // namespace
+}  // namespace pileus::core

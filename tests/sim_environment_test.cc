@@ -1,0 +1,145 @@
+// Tests for the virtual-time environment: clock advancement, event
+// execution, periodic tasks, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/sim_environment.h"
+
+namespace pileus::sim {
+namespace {
+
+TEST(SimEnvironmentTest, ClockStartsAtZero) {
+  SimEnvironment env;
+  EXPECT_EQ(env.NowMicros(), 0);
+}
+
+TEST(SimEnvironmentTest, RunForAdvancesClock) {
+  SimEnvironment env;
+  env.RunFor(1000);
+  EXPECT_EQ(env.NowMicros(), 1000);
+  env.RunFor(500);
+  EXPECT_EQ(env.NowMicros(), 1500);
+}
+
+TEST(SimEnvironmentTest, EventsRunAtTheirScheduledTime) {
+  SimEnvironment env;
+  MicrosecondCount observed = -1;
+  env.ScheduleAt(700, [&] { observed = env.NowMicros(); });
+  env.RunFor(1000);
+  EXPECT_EQ(observed, 700);
+  EXPECT_EQ(env.NowMicros(), 1000);
+}
+
+TEST(SimEnvironmentTest, EventsBeyondHorizonDoNotRun) {
+  SimEnvironment env;
+  bool ran = false;
+  env.ScheduleAfter(2000, [&] { ran = true; });
+  env.RunFor(1000);
+  EXPECT_FALSE(ran);
+  env.RunFor(1000);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimEnvironmentTest, NestedSchedulingInsideEvents) {
+  SimEnvironment env;
+  std::vector<MicrosecondCount> times;
+  env.ScheduleAt(100, [&] {
+    times.push_back(env.NowMicros());
+    env.ScheduleAfter(50, [&] { times.push_back(env.NowMicros()); });
+  });
+  env.RunFor(1000);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 100);
+  EXPECT_EQ(times[1], 150);
+}
+
+TEST(SimEnvironmentTest, CancelledEventNeverRuns) {
+  SimEnvironment env;
+  bool ran = false;
+  const uint64_t id = env.ScheduleAfter(100, [&] { ran = true; });
+  env.CancelEvent(id);
+  env.RunFor(1000);
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimEnvironmentTest, PeriodicTaskFiresAtPeriod) {
+  SimEnvironment env;
+  std::vector<MicrosecondCount> fires;
+  PeriodicHandle handle = env.SchedulePeriodic(
+      100, 250, [&] { fires.push_back(env.NowMicros()); });
+  env.RunFor(1000);
+  EXPECT_EQ(fires, (std::vector<MicrosecondCount>{100, 350, 600, 850}));
+  handle.Cancel();
+}
+
+TEST(SimEnvironmentTest, CancelledPeriodicStopsFiring) {
+  SimEnvironment env;
+  int fires = 0;
+  PeriodicHandle handle = env.SchedulePeriodic(100, 100, [&] { ++fires; });
+  env.RunFor(350);
+  EXPECT_EQ(fires, 3);
+  handle.Cancel();
+  EXPECT_FALSE(handle.active());
+  env.RunFor(1000);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(SimEnvironmentTest, PeriodicCancelFromInsideCallback) {
+  SimEnvironment env;
+  int fires = 0;
+  PeriodicHandle handle;
+  handle = env.SchedulePeriodic(100, 100, [&] {
+    if (++fires == 2) {
+      handle.Cancel();
+    }
+  });
+  env.RunFor(1000);
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SimEnvironmentTest, TransitMessageAdvancesBySampledLatency) {
+  SimEnvironment env(1);
+  auto& latency = env.latency_model();
+  const SiteId a = latency.AddSite("A");
+  const SiteId b = latency.AddSite("B");
+  latency.SetRtt(a, b, 10000);
+  const MicrosecondCount before = env.NowMicros();
+  env.TransitMessage(a, b);
+  const MicrosecondCount elapsed = env.NowMicros() - before;
+  // One way = 5 ms +- small jitter.
+  EXPECT_GT(elapsed, 4000);
+  EXPECT_LT(elapsed, 6000);
+}
+
+TEST(SimEnvironmentTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    SimEnvironment env(seed);
+    auto& latency = env.latency_model();
+    const SiteId a = latency.AddSite("A");
+    const SiteId b = latency.AddSite("B");
+    latency.SetRtt(a, b, 100000);
+    std::vector<MicrosecondCount> times;
+    for (int i = 0; i < 20; ++i) {
+      env.TransitMessage(a, b);
+      times.push_back(env.NowMicros());
+    }
+    return times;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(SimEnvironmentTest, PendingEventCount) {
+  SimEnvironment env;
+  EXPECT_EQ(env.pending_events(), 0u);
+  env.ScheduleAfter(100, [] {});
+  env.ScheduleAfter(200, [] {});
+  EXPECT_EQ(env.pending_events(), 2u);
+  env.RunFor(150);
+  EXPECT_EQ(env.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace pileus::sim

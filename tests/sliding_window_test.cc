@@ -1,0 +1,116 @@
+// Tests for the monitor's sliding latency window.
+
+#include <gtest/gtest.h>
+
+#include "src/util/sliding_window.h"
+
+namespace pileus {
+namespace {
+
+constexpr MicrosecondCount kSec = kMicrosecondsPerSecond;
+
+TEST(SlidingWindowTest, EmptyWindowUsesEmptyEstimate) {
+  SlidingWindow window;
+  EXPECT_DOUBLE_EQ(window.FractionBelow(0, 100), 1.0);
+  EXPECT_DOUBLE_EQ(window.FractionBelow(0, 100, 0.25), 0.25);
+  EXPECT_EQ(window.Mean(0), 0);
+  EXPECT_EQ(window.Quantile(0, 0.5), 0);
+  EXPECT_TRUE(window.Empty(0));
+}
+
+TEST(SlidingWindowTest, FractionBelowCountsStrictly) {
+  SlidingWindow window;
+  window.Record(0, 10);
+  window.Record(0, 20);
+  window.Record(0, 30);
+  window.Record(0, 40);
+  EXPECT_DOUBLE_EQ(window.FractionBelow(0, 25), 0.5);
+  EXPECT_DOUBLE_EQ(window.FractionBelow(0, 10), 0.0);  // Strictly below.
+  EXPECT_DOUBLE_EQ(window.FractionBelow(0, 41), 1.0);
+}
+
+TEST(SlidingWindowTest, OldSamplesExpire) {
+  SlidingWindow::Options options;
+  options.window_us = 10 * kSec;
+  SlidingWindow window(options);
+  window.Record(0, 1000);            // Will expire.
+  window.Record(9 * kSec, 5000);     // Still alive at t=15s.
+  EXPECT_EQ(window.SampleCount(15 * kSec), 1u);
+  EXPECT_EQ(window.Mean(15 * kSec), 5000);
+}
+
+TEST(SlidingWindowTest, AllSamplesExpireBackToEmptyEstimate) {
+  SlidingWindow::Options options;
+  options.window_us = kSec;
+  SlidingWindow window(options);
+  window.Record(0, 1000);
+  EXPECT_DOUBLE_EQ(window.FractionBelow(10 * kSec, 100, 0.7), 0.7);
+}
+
+TEST(SlidingWindowTest, MaxSamplesCapEvictsOldest) {
+  SlidingWindow::Options options;
+  options.max_samples = 3;
+  SlidingWindow window(options);
+  for (int i = 0; i < 10; ++i) {
+    window.Record(i, 100 + i);
+  }
+  EXPECT_EQ(window.SampleCount(10), 3u);
+  // Only the last three (107, 108, 109) remain.
+  EXPECT_EQ(window.Mean(10), 108);
+}
+
+TEST(SlidingWindowTest, MeanIsArithmetic) {
+  SlidingWindow window;
+  window.Record(0, 100);
+  window.Record(0, 200);
+  window.Record(0, 600);
+  EXPECT_EQ(window.Mean(0), 300);
+}
+
+TEST(SlidingWindowTest, QuantileNearestRank) {
+  SlidingWindow window;
+  for (int i = 1; i <= 100; ++i) {
+    window.Record(0, i * 10);
+  }
+  EXPECT_EQ(window.Quantile(0, 0.0), 10);
+  EXPECT_NEAR(window.Quantile(0, 0.5), 500, 10);
+  EXPECT_NEAR(window.Quantile(0, 0.99), 990, 10);
+  EXPECT_EQ(window.Quantile(0, 1.0), 1000);
+}
+
+TEST(SlidingWindowTest, RecencyWeightingFavorsNewSamples) {
+  SlidingWindow::Options options;
+  options.window_us = 100 * kSec;
+  options.recency_tau_us = 5 * kSec;
+  SlidingWindow window(options);
+  // Old samples all fast, recent samples all slow.
+  for (int i = 0; i < 50; ++i) {
+    window.Record(i * 1000, 10);
+  }
+  for (int i = 0; i < 50; ++i) {
+    window.Record(60 * kSec + i * 1000, 10000);
+  }
+  const MicrosecondCount now = 60 * kSec + 50 * 1000;
+  // Unweighted fraction below 100 would be 0.5; with recency weighting the
+  // slow recent samples dominate.
+  EXPECT_LT(window.FractionBelow(now, 100), 0.1);
+}
+
+TEST(SlidingWindowTest, LastSampleTime) {
+  SlidingWindow window;
+  EXPECT_EQ(window.LastSampleTime(), -1);
+  window.Record(1234, 1);
+  EXPECT_EQ(window.LastSampleTime(), 1234);
+  window.Record(5678, 1);
+  EXPECT_EQ(window.LastSampleTime(), 5678);
+}
+
+TEST(SlidingWindowTest, ClearEmptiesWindow) {
+  SlidingWindow window;
+  window.Record(0, 1);
+  window.Clear();
+  EXPECT_TRUE(window.Empty(0));
+}
+
+}  // namespace
+}  // namespace pileus

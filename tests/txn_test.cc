@@ -1,0 +1,266 @@
+// Tests for snapshot-isolation transactions against real storage nodes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/clock.h"
+#include "src/core/client.h"
+#include "src/storage/storage_node.h"
+#include "src/txn/transaction.h"
+
+namespace pileus::txn {
+namespace {
+
+using core::NodeConnection;
+using core::PileusClient;
+using core::Replica;
+using core::Session;
+using core::TableView;
+using core::TimedReply;
+using storage::StorageNode;
+using storage::Tablet;
+
+constexpr MicrosecondCount kMs = kMicrosecondsPerMillisecond;
+
+// Calls straight into a StorageNode, advancing a shared manual clock by the
+// configured round-trip so time passes like it would over a network.
+class DirectConnection : public NodeConnection {
+ public:
+  DirectConnection(StorageNode* node, ManualClock* clock,
+                   MicrosecondCount rtt_us)
+      : node_(node), clock_(clock), rtt_us_(rtt_us) {}
+
+  TimedReply Call(const proto::Message& request,
+                  MicrosecondCount /*timeout_us*/) override {
+    ++calls_;
+    clock_->AdvanceMicros(rtt_us_);
+    return TimedReply(node_->Handle(request), rtt_us_);
+  }
+
+  int calls() const { return calls_; }
+
+ private:
+  StorageNode* node_;
+  ManualClock* clock_;
+  MicrosecondCount rtt_us_;
+  int calls_ = 0;
+};
+
+class TxnTest : public ::testing::Test {
+ protected:
+  TxnTest()
+      : clock_(SecondsToMicroseconds(1000)),
+        primary_("primary", "England", &clock_),
+        secondary_("secondary", "US", &clock_) {
+    Tablet::Options primary_options;
+    primary_options.is_primary = true;
+    EXPECT_TRUE(primary_.AddTablet("t", primary_options).ok());
+    EXPECT_TRUE(secondary_.AddTablet("t", Tablet::Options{}).ok());
+
+    auto primary_conn =
+        std::make_shared<DirectConnection>(&primary_, &clock_, 100 * kMs);
+    auto secondary_conn =
+        std::make_shared<DirectConnection>(&secondary_, &clock_, 1 * kMs);
+    primary_conn_ = primary_conn.get();
+    secondary_conn_ = secondary_conn.get();
+
+    TableView view;
+    view.table_name = "t";
+    view.replicas = {Replica{"primary", true, primary_conn},
+                     Replica{"secondary", false, secondary_conn}};
+    view.primary_index = 0;
+    client_ = std::make_unique<PileusClient>(std::move(view), &clock_);
+    factory_ = std::make_unique<TransactionFactory>(client_.get());
+  }
+
+  // Copies everything the primary has onto the secondary.
+  void Sync() {
+    auto* src = primary_.FindTablet("t", "");
+    auto* dst = secondary_.FindTablet("t", "");
+    dst->ApplySync(src->HandleSync(dst->high_timestamp(), 0));
+  }
+
+  Session NewSession() {
+    return client_->BeginSession(core::ShoppingCartSla()).value();
+  }
+
+  ManualClock clock_;
+  StorageNode primary_;
+  StorageNode secondary_;
+  DirectConnection* primary_conn_ = nullptr;
+  DirectConnection* secondary_conn_ = nullptr;
+  std::unique_ptr<PileusClient> client_;
+  std::unique_ptr<TransactionFactory> factory_;
+};
+
+TEST_F(TxnTest, BeginFixesSnapshotFromPrimary) {
+  Session session = NewSession();
+  ASSERT_TRUE(client_->Put(session, "k", "v").ok());
+  Result<Transaction> txn = factory_->Begin(session);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_TRUE(txn->active());
+  EXPECT_GE(txn->snapshot(), session.LastPutTimestamp("k"));
+}
+
+TEST_F(TxnTest, ReadsOwnBufferedWrites) {
+  Session session = NewSession();
+  Transaction txn = std::move(factory_->Begin(session)).value();
+  ASSERT_TRUE(txn.Put("k", "buffered").ok());
+  Result<TxnGetResult> result = txn.Get("k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->found);
+  EXPECT_EQ(result->value, "buffered");
+}
+
+TEST_F(TxnTest, SnapshotReadIgnoresLaterWrites) {
+  Session session = NewSession();
+  ASSERT_TRUE(client_->Put(session, "k", "old").ok());
+  Transaction txn = std::move(factory_->Begin(session)).value();
+  // A write after the snapshot was taken.
+  clock_.AdvanceMicros(10 * kMs);
+  ASSERT_TRUE(client_->Put(session, "k", "new").ok());
+
+  Result<TxnGetResult> result = txn.Get("k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, "old");
+}
+
+TEST_F(TxnTest, CommitAppliesAllWritesWithOneTimestamp) {
+  Session session = NewSession();
+  Transaction txn = std::move(factory_->Begin(session)).value();
+  ASSERT_TRUE(txn.Put("a", "1").ok());
+  ASSERT_TRUE(txn.Put("b", "2").ok());
+  ASSERT_TRUE(txn.Put("a", "3").ok());  // Last write to a key wins.
+
+  Result<CommitInfo> info = txn.Commit();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->writes_applied, 2);
+
+  auto* tablet = primary_.FindTablet("t", "");
+  const auto a = tablet->HandleGet("a");
+  const auto b = tablet->HandleGet("b");
+  EXPECT_EQ(a.value, "3");
+  EXPECT_EQ(b.value, "2");
+  EXPECT_EQ(a.value_timestamp, info->commit_timestamp);
+  EXPECT_EQ(b.value_timestamp, info->commit_timestamp);
+  // The session sees the transaction's writes for read-my-writes purposes.
+  EXPECT_EQ(session.LastPutTimestamp("a"), info->commit_timestamp);
+}
+
+TEST_F(TxnTest, FirstCommitterWinsOnWriteConflict) {
+  Session session = NewSession();
+  ASSERT_TRUE(client_->Put(session, "k", "base").ok());
+
+  Transaction txn = std::move(factory_->Begin(session)).value();
+  ASSERT_TRUE(txn.Put("k", "txn-value").ok());
+
+  // A concurrent writer commits first.
+  clock_.AdvanceMicros(5 * kMs);
+  ASSERT_TRUE(client_->Put(session, "k", "sneaky").ok());
+
+  Result<CommitInfo> info = txn.Commit();
+  EXPECT_EQ(info.status().code(), StatusCode::kConflict);
+  EXPECT_EQ(primary_.FindTablet("t", "")->HandleGet("k").value, "sneaky");
+  EXPECT_FALSE(txn.active());
+}
+
+TEST_F(TxnTest, ReadValidationCatchesReadWriteConflicts) {
+  Session session = NewSession();
+  ASSERT_TRUE(client_->Put(session, "r", "base").ok());
+
+  TxnOptions options;
+  options.validate_reads = true;
+  Transaction txn = std::move(factory_->Begin(session, options)).value();
+  ASSERT_TRUE(txn.Get("r").ok());
+  ASSERT_TRUE(txn.Put("w", "out").ok());
+
+  clock_.AdvanceMicros(5 * kMs);
+  ASSERT_TRUE(client_->Put(session, "r", "changed").ok());
+
+  EXPECT_EQ(txn.Commit().status().code(), StatusCode::kConflict);
+}
+
+TEST_F(TxnTest, SnapshotIsolationAllowsReadWriteOverlapByDefault) {
+  Session session = NewSession();
+  ASSERT_TRUE(client_->Put(session, "r", "base").ok());
+  Transaction txn = std::move(factory_->Begin(session)).value();
+  ASSERT_TRUE(txn.Get("r").ok());
+  ASSERT_TRUE(txn.Put("w", "out").ok());
+  clock_.AdvanceMicros(5 * kMs);
+  ASSERT_TRUE(client_->Put(session, "r", "changed").ok());
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+TEST_F(TxnTest, ReadOnlyCommitNeedsNoExtraRpc) {
+  Session session = NewSession();
+  Transaction txn = std::move(factory_->Begin(session)).value();
+  const int calls_before = primary_conn_->calls() + secondary_conn_->calls();
+  Result<CommitInfo> info = txn.Commit();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(primary_conn_->calls() + secondary_conn_->calls(), calls_before);
+}
+
+TEST_F(TxnTest, AbortDiscardsWrites) {
+  Session session = NewSession();
+  Transaction txn = std::move(factory_->Begin(session)).value();
+  ASSERT_TRUE(txn.Put("k", "never").ok());
+  txn.Abort();
+  EXPECT_FALSE(txn.active());
+  EXPECT_FALSE(primary_.FindTablet("t", "")->HandleGet("k").found);
+}
+
+TEST_F(TxnTest, OperationsAfterFinishRejected) {
+  Session session = NewSession();
+  Transaction txn = std::move(factory_->Begin(session)).value();
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(txn.Put("k", "v").code(), StatusCode::kCancelled);
+  EXPECT_EQ(txn.Get("k").status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(txn.Commit().status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(TxnTest, SnapshotReadsPreferFreshNearbyReplica) {
+  Session session = NewSession();
+  ASSERT_TRUE(client_->Put(session, "k", "v").ok());
+  Sync();  // Secondary now covers the snapshot.
+  // Teach the monitor: the secondary is near and fresh.
+  for (int i = 0; i < 5; ++i) {
+    client_->monitor().RecordLatency("secondary", 1 * kMs);
+    client_->monitor().RecordLatency("primary", 100 * kMs);
+  }
+  client_->monitor().RecordHighTimestamp(
+      "secondary", secondary_.FindTablet("t", "")->high_timestamp());
+
+  Transaction txn = std::move(factory_->Begin(session)).value();
+  // Begin probed the primary; snapshot may now exceed the secondary's high
+  // timestamp that we recorded... refresh the monitor to the actual value.
+  client_->monitor().RecordHighTimestamp(
+      "secondary", secondary_.FindTablet("t", "")->high_timestamp());
+
+  const int secondary_calls = secondary_conn_->calls();
+  Result<TxnGetResult> result = txn.Get("k");
+  ASSERT_TRUE(result.ok());
+  if (secondary_.FindTablet("t", "")->high_timestamp() >= txn.snapshot()) {
+    EXPECT_GT(secondary_conn_->calls(), secondary_calls);
+  }
+  EXPECT_EQ(result->value, "v");
+}
+
+TEST_F(TxnTest, PrunedSnapshotFallsBackToPrimary) {
+  // A secondary that keeps only one version cannot answer old snapshots; the
+  // transaction must retry at the primary.
+  Session session = NewSession();
+  ASSERT_TRUE(client_->Put(session, "k", "v1").ok());
+  Transaction txn = std::move(factory_->Begin(session)).value();
+
+  clock_.AdvanceMicros(10 * kMs);
+  ASSERT_TRUE(client_->Put(session, "k", "v2").ok());
+  ASSERT_TRUE(client_->Put(session, "k", "v3").ok());
+
+  Result<TxnGetResult> result = txn.Get("k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, "v1");  // The primary retains history.
+}
+
+}  // namespace
+}  // namespace pileus::txn

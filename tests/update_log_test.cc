@@ -1,0 +1,133 @@
+// Tests for the replication update log.
+
+#include <gtest/gtest.h>
+
+#include "src/storage/update_log.h"
+
+namespace pileus::storage {
+namespace {
+
+proto::ObjectVersion V(const std::string& key, int64_t ts,
+                       uint32_t seq = 0) {
+  proto::ObjectVersion version;
+  version.key = key;
+  version.value = "v@" + std::to_string(ts);
+  version.timestamp = Timestamp{ts, seq};
+  return version;
+}
+
+TEST(UpdateLogTest, EmptyLog) {
+  UpdateLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.LastTimestamp(), Timestamp::Zero());
+  auto scan = log.Scan(Timestamp::Zero(), 0);
+  EXPECT_TRUE(scan.versions.empty());
+  EXPECT_FALSE(scan.has_more);
+  EXPECT_TRUE(scan.contiguous);
+}
+
+TEST(UpdateLogTest, ScanReturnsStrictlyAfter) {
+  UpdateLog log;
+  log.Append(V("a", 10));
+  log.Append(V("b", 20));
+  log.Append(V("c", 30));
+
+  auto scan = log.Scan(Timestamp{10, 0}, 0);
+  ASSERT_EQ(scan.versions.size(), 2u);
+  EXPECT_EQ(scan.versions[0].key, "b");
+  EXPECT_EQ(scan.versions[1].key, "c");
+  EXPECT_FALSE(scan.has_more);
+}
+
+TEST(UpdateLogTest, ScanFromZeroReturnsEverything) {
+  UpdateLog log;
+  for (int i = 1; i <= 100; ++i) {
+    log.Append(V("k" + std::to_string(i), i * 10));
+  }
+  auto scan = log.Scan(Timestamp::Zero(), 0);
+  EXPECT_EQ(scan.versions.size(), 100u);
+}
+
+TEST(UpdateLogTest, MaxVersionsSetsHasMore) {
+  UpdateLog log;
+  for (int i = 1; i <= 10; ++i) {
+    log.Append(V("k", i * 10));
+  }
+  auto scan = log.Scan(Timestamp::Zero(), 4);
+  EXPECT_EQ(scan.versions.size(), 4u);
+  EXPECT_TRUE(scan.has_more);
+
+  // Resuming from the last returned timestamp yields the rest.
+  auto rest = log.Scan(scan.versions.back().timestamp, 0);
+  EXPECT_EQ(rest.versions.size(), 6u);
+  EXPECT_FALSE(rest.has_more);
+}
+
+TEST(UpdateLogTest, SameTimestampBatchNeverSplit) {
+  UpdateLog log;
+  log.Append(V("a", 10));
+  // A transactional commit: three writes at one timestamp.
+  log.Append(V("x", 20));
+  log.Append(V("y", 20));
+  log.Append(V("z", 20));
+  log.Append(V("b", 30));
+
+  // max_versions = 2 would cut inside the batch; the scan must extend it.
+  auto scan = log.Scan(Timestamp::Zero(), 2);
+  ASSERT_EQ(scan.versions.size(), 4u);  // a + whole batch.
+  EXPECT_EQ(scan.versions.back().timestamp, (Timestamp{20, 0}));
+  EXPECT_TRUE(scan.has_more);
+
+  auto rest = log.Scan(scan.versions.back().timestamp, 2);
+  ASSERT_EQ(rest.versions.size(), 1u);
+  EXPECT_EQ(rest.versions[0].key, "b");
+}
+
+TEST(UpdateLogTest, TruncationDropsEntries) {
+  UpdateLog log;
+  log.Append(V("a", 10));
+  log.Append(V("b", 20));
+  log.Append(V("c", 30));
+  log.TruncateThrough(Timestamp{20, 0});
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.truncation_point(), (Timestamp{20, 0}));
+}
+
+TEST(UpdateLogTest, ScanBelowTruncationReportsNonContiguous) {
+  UpdateLog log;
+  log.Append(V("a", 10));
+  log.Append(V("b", 20));
+  log.Append(V("c", 30));
+  log.TruncateThrough(Timestamp{20, 0});
+
+  // A reader at 10 can no longer get a contiguous stream.
+  auto scan = log.Scan(Timestamp{10, 0}, 0);
+  EXPECT_FALSE(scan.contiguous);
+  EXPECT_TRUE(scan.versions.empty());
+
+  // A reader exactly at the truncation point is fine.
+  auto ok_scan = log.Scan(Timestamp{20, 0}, 0);
+  EXPECT_TRUE(ok_scan.contiguous);
+  ASSERT_EQ(ok_scan.versions.size(), 1u);
+  EXPECT_EQ(ok_scan.versions[0].key, "c");
+}
+
+TEST(UpdateLogTest, LastTimestampTracksAppends) {
+  UpdateLog log;
+  log.Append(V("a", 10));
+  log.Append(V("b", 20, 5));
+  EXPECT_EQ(log.LastTimestamp(), (Timestamp{20, 5}));
+}
+
+TEST(UpdateLogTest, SequenceNumbersOrderWithinMicrosecond) {
+  UpdateLog log;
+  log.Append(V("a", 10, 0));
+  log.Append(V("b", 10, 1));
+  log.Append(V("c", 10, 2));
+  auto scan = log.Scan(Timestamp{10, 1}, 0);
+  ASSERT_EQ(scan.versions.size(), 1u);
+  EXPECT_EQ(scan.versions[0].key, "c");
+}
+
+}  // namespace
+}  // namespace pileus::storage

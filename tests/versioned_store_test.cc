@@ -1,0 +1,242 @@
+// Tests for the multi-version tablet store.
+
+#include <gtest/gtest.h>
+
+#include "src/storage/versioned_store.h"
+
+namespace pileus::storage {
+namespace {
+
+proto::ObjectVersion V(const std::string& key, const std::string& value,
+                       int64_t ts, uint32_t seq = 0) {
+  proto::ObjectVersion version;
+  version.key = key;
+  version.value = value;
+  version.timestamp = Timestamp{ts, seq};
+  return version;
+}
+
+TEST(VersionedStoreTest, GetLatestOnEmptyStore) {
+  VersionedStore store;
+  EXPECT_FALSE(store.GetLatest("missing").has_value());
+  EXPECT_EQ(store.key_count(), 0u);
+}
+
+TEST(VersionedStoreTest, ApplyAndGetLatest) {
+  VersionedStore store;
+  EXPECT_TRUE(store.Apply(V("k", "v1", 10)));
+  auto latest = store.GetLatest("k");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->value, "v1");
+  EXPECT_EQ(latest->timestamp, (Timestamp{10, 0}));
+}
+
+TEST(VersionedStoreTest, NewerVersionReplacesLatest) {
+  VersionedStore store;
+  store.Apply(V("k", "v1", 10));
+  store.Apply(V("k", "v2", 20));
+  EXPECT_EQ(store.GetLatest("k")->value, "v2");
+}
+
+TEST(VersionedStoreTest, StaleApplyIsIgnored) {
+  VersionedStore store;
+  store.Apply(V("k", "v2", 20));
+  EXPECT_FALSE(store.Apply(V("k", "v1", 10)));
+  EXPECT_EQ(store.GetLatest("k")->value, "v2");
+}
+
+TEST(VersionedStoreTest, DuplicateApplyIsIdempotent) {
+  VersionedStore store;
+  store.Apply(V("k", "v1", 10));
+  EXPECT_TRUE(store.Apply(V("k", "v1", 10)));
+  EXPECT_EQ(store.GetLatest("k")->value, "v1");
+}
+
+TEST(VersionedStoreTest, GetAtFindsHistoricalVersion) {
+  VersionedStore store;
+  store.Apply(V("k", "v1", 10));
+  store.Apply(V("k", "v2", 20));
+  store.Apply(V("k", "v3", 30));
+
+  auto result = store.GetAt("k", Timestamp{25, 0});
+  EXPECT_TRUE(result.found);
+  EXPECT_TRUE(result.snapshot_available);
+  EXPECT_EQ(result.version.value, "v2");
+
+  result = store.GetAt("k", Timestamp{30, 0});  // Inclusive.
+  EXPECT_EQ(result.version.value, "v3");
+}
+
+TEST(VersionedStoreTest, GetAtBeforeFirstVersion) {
+  VersionedStore store;
+  store.Apply(V("k", "v1", 10));
+  auto result = store.GetAt("k", Timestamp{5, 0});
+  EXPECT_FALSE(result.found);
+  // Nothing was pruned, so the snapshot is still answerable: the key simply
+  // did not exist then.
+  EXPECT_TRUE(result.snapshot_available);
+}
+
+TEST(VersionedStoreTest, GetAtUnknownKey) {
+  VersionedStore store;
+  auto result = store.GetAt("missing", Timestamp{100, 0});
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.snapshot_available);
+}
+
+TEST(VersionedStoreTest, HistoryLimitPrunesAndMarksUnavailable) {
+  VersionedStore::Options options;
+  options.history_limit = 2;
+  VersionedStore store(options);
+  store.Apply(V("k", "v1", 10));
+  store.Apply(V("k", "v2", 20));
+  store.Apply(V("k", "v3", 30));  // Prunes v1.
+
+  EXPECT_EQ(store.GetLatest("k")->value, "v3");
+  // v2 still reachable.
+  EXPECT_EQ(store.GetAt("k", Timestamp{20, 0}).version.value, "v2");
+  // Snapshot at 15 needed v1, which was pruned.
+  auto result = store.GetAt("k", Timestamp{15, 0});
+  EXPECT_FALSE(result.found);
+  EXPECT_FALSE(result.snapshot_available);
+}
+
+TEST(VersionedStoreTest, HistoryLimitOneMatchesPaperPrototype) {
+  VersionedStore::Options options;
+  options.history_limit = 1;
+  VersionedStore store(options);
+  store.Apply(V("k", "v1", 10));
+  store.Apply(V("k", "v2", 20));
+  EXPECT_EQ(store.GetLatest("k")->value, "v2");
+  auto result = store.GetAt("k", Timestamp{15, 0});
+  EXPECT_FALSE(result.snapshot_available);
+}
+
+TEST(VersionedStoreTest, LatestVersionsAfterSortsByTimestamp) {
+  VersionedStore store;
+  store.Apply(V("b", "vb", 30));
+  store.Apply(V("a", "va", 10));
+  store.Apply(V("c", "vc", 20));
+
+  auto versions = store.LatestVersionsAfter(Timestamp{5, 0});
+  ASSERT_EQ(versions.size(), 3u);
+  EXPECT_EQ(versions[0].key, "a");
+  EXPECT_EQ(versions[1].key, "c");
+  EXPECT_EQ(versions[2].key, "b");
+}
+
+TEST(VersionedStoreTest, LatestVersionsAfterFiltersByTimestamp) {
+  VersionedStore store;
+  store.Apply(V("a", "va", 10));
+  store.Apply(V("b", "vb", 30));
+  auto versions = store.LatestVersionsAfter(Timestamp{10, 0});
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].key, "b");
+}
+
+TEST(VersionedStoreTest, LatestVersionsAfterTieBreaksByKey) {
+  VersionedStore store;
+  store.Apply(V("z", "v", 10));
+  store.Apply(V("a", "v", 10));
+  auto versions = store.LatestVersionsAfter(Timestamp::Zero());
+  ASSERT_EQ(versions.size(), 2u);
+  EXPECT_EQ(versions[0].key, "a");
+  EXPECT_EQ(versions[1].key, "z");
+}
+
+TEST(VersionedStoreTest, ScanRangeReturnsKeyOrder) {
+  VersionedStore store;
+  store.Apply(V("delta", "4", 40));
+  store.Apply(V("alpha", "1", 10));
+  store.Apply(V("charlie", "3", 30));
+  store.Apply(V("bravo", "2", 20));
+
+  bool truncated = true;
+  auto items = store.ScanRange("", "", 0, &truncated);
+  ASSERT_EQ(items.size(), 4u);
+  EXPECT_FALSE(truncated);
+  EXPECT_EQ(items[0].key, "alpha");
+  EXPECT_EQ(items[3].key, "delta");
+}
+
+TEST(VersionedStoreTest, ScanRangeHonorsBounds) {
+  VersionedStore store;
+  for (const char* key : {"a", "b", "c", "d", "e"}) {
+    store.Apply(V(key, "v", 10));
+  }
+  bool truncated = false;
+  auto items = store.ScanRange("b", "d", 0, &truncated);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].key, "b");  // Inclusive begin.
+  EXPECT_EQ(items[1].key, "c");  // Exclusive end.
+
+  items = store.ScanRange("c", "", 0, &truncated);
+  ASSERT_EQ(items.size(), 3u);  // c, d, e: unbounded end.
+}
+
+TEST(VersionedStoreTest, ScanRangeLimitTruncates) {
+  VersionedStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.Apply(V("k" + std::to_string(i), "v", 10 + i));
+  }
+  bool truncated = false;
+  auto items = store.ScanRange("", "", 3, &truncated);
+  EXPECT_EQ(items.size(), 3u);
+  EXPECT_TRUE(truncated);
+
+  items = store.ScanRange("", "", 10, &truncated);
+  EXPECT_EQ(items.size(), 10u);
+  EXPECT_FALSE(truncated);
+}
+
+TEST(VersionedStoreTest, ScanRangeReturnsLatestVersions) {
+  VersionedStore store;
+  store.Apply(V("k", "old", 10));
+  store.Apply(V("k", "new", 20));
+  bool truncated = false;
+  auto items = store.ScanRange("", "", 0, &truncated);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].value, "new");
+}
+
+TEST(VersionedStoreTest, CollectTombstonesDropsOnlyOldDeletes) {
+  VersionedStore store;
+  store.Apply(V("live", "v", 10));
+  proto::ObjectVersion old_tombstone = V("old-dead", "", 20);
+  old_tombstone.is_tombstone = true;
+  store.Apply(old_tombstone);
+  proto::ObjectVersion fresh_tombstone = V("fresh-dead", "", 90);
+  fresh_tombstone.is_tombstone = true;
+  store.Apply(fresh_tombstone);
+
+  EXPECT_EQ(store.CollectTombstones(Timestamp{50, 0}), 1u);
+  EXPECT_EQ(store.key_count(), 2u);
+  EXPECT_FALSE(store.GetLatest("old-dead").has_value());  // Collected.
+  ASSERT_TRUE(store.GetLatest("fresh-dead").has_value());  // Kept.
+  EXPECT_TRUE(store.GetLatest("fresh-dead")->is_tombstone);
+  EXPECT_TRUE(store.GetLatest("live").has_value());
+}
+
+TEST(VersionedStoreTest, CollectedTombstoneStillReadsNotFound) {
+  VersionedStore store;
+  store.Apply(V("k", "v", 10));
+  proto::ObjectVersion tombstone = V("k", "", 20);
+  tombstone.is_tombstone = true;
+  store.Apply(tombstone);
+  store.CollectTombstones(Timestamp{100, 0});
+  EXPECT_FALSE(store.GetLatest("k").has_value());
+  bool truncated = false;
+  EXPECT_TRUE(store.ScanRange("", "", 0, &truncated).empty());
+}
+
+TEST(VersionedStoreTest, ManyKeysIndependentChains) {
+  VersionedStore store;
+  for (int i = 0; i < 1000; ++i) {
+    store.Apply(V("key" + std::to_string(i), "v", 100 + i));
+  }
+  EXPECT_EQ(store.key_count(), 1000u);
+  EXPECT_EQ(store.GetLatest("key500")->timestamp, (Timestamp{600, 0}));
+}
+
+}  // namespace
+}  // namespace pileus::storage

@@ -1,0 +1,209 @@
+// Tests for the YCSB-style workload generator and key distributions.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/workload/ycsb.h"
+#include "src/workload/zipf.h"
+
+namespace pileus::workload {
+namespace {
+
+TEST(ZipfTest, UniformCoversRange) {
+  UniformChooser chooser(100);
+  Random rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = chooser.Next(rng);
+    EXPECT_LT(v, 100u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(ZipfTest, ZipfianStaysInRange) {
+  ZipfianChooser chooser(1000, 0.99);
+  Random rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(chooser.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, ZipfianIsSkewedTowardLowRanks) {
+  ZipfianChooser chooser(10000, 0.99);
+  Random rng(3);
+  int rank0 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (chooser.Next(rng) == 0) {
+      ++rank0;
+    }
+  }
+  // The top item of a 10k-item 0.99-zipfian draws ~10% of requests; uniform
+  // would be 0.01%.
+  EXPECT_GT(rank0, 5000);
+}
+
+TEST(ZipfTest, LowerThetaIsLessSkewed) {
+  Random rng_a(4), rng_b(4);
+  ZipfianChooser hot(10000, 0.99);
+  ZipfianChooser mild(10000, 0.5);
+  int hot0 = 0, mild0 = 0;
+  for (int i = 0; i < 100000; ++i) {
+    hot0 += hot.Next(rng_a) == 0 ? 1 : 0;
+    mild0 += mild.Next(rng_b) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(hot0, 5 * mild0);
+}
+
+TEST(ZipfTest, ScramblingSpreadsHotKeysAcrossKeyspace) {
+  ScrambledZipfianChooser chooser(10000, 0.99);
+  Random rng(5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[chooser.Next(rng)];
+  }
+  // Find the hottest item: it should NOT be item 0 (scrambled) but should
+  // still absorb a large share of requests.
+  uint64_t hottest = 0;
+  int hottest_count = 0;
+  for (const auto& [item, count] : counts) {
+    if (count > hottest_count) {
+      hottest_count = count;
+      hottest = item;
+    }
+  }
+  EXPECT_GT(hottest_count, 5000);
+  EXPECT_NE(hottest, 0u);
+}
+
+TEST(YcsbTest, KeyFormatIsStable) {
+  EXPECT_EQ(YcsbWorkload::KeyForIndex(0), "user0000000000");
+  EXPECT_EQ(YcsbWorkload::KeyForIndex(42), "user0000000042");
+  EXPECT_EQ(YcsbWorkload::KeyForIndex(9999), "user0000009999");
+}
+
+TEST(YcsbTest, ReadFractionRoughlyHonored) {
+  WorkloadOptions options;
+  options.read_fraction = 0.5;
+  YcsbWorkload workload(options);
+  int gets = 0;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    gets += workload.Next().is_get ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(gets) / kOps, 0.5, 0.02);
+}
+
+TEST(YcsbTest, ReadOnlyWorkload) {
+  WorkloadOptions options;
+  options.read_fraction = 1.0;
+  YcsbWorkload workload(options);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(workload.Next().is_get);
+  }
+}
+
+TEST(YcsbTest, SessionBoundariesEveryN) {
+  WorkloadOptions options;
+  options.ops_per_session = 400;
+  YcsbWorkload workload(options);
+  for (int i = 0; i < 1200; ++i) {
+    const Operation op = workload.Next();
+    EXPECT_EQ(op.starts_new_session, i % 400 == 0) << "op " << i;
+  }
+}
+
+TEST(YcsbTest, KeysStayWithinKeyCount) {
+  WorkloadOptions options;
+  options.key_count = 50;
+  YcsbWorkload workload(options);
+  for (int i = 0; i < 5000; ++i) {
+    const Operation op = workload.Next();
+    EXPECT_GE(op.key, YcsbWorkload::KeyForIndex(0));
+    EXPECT_LE(op.key, YcsbWorkload::KeyForIndex(49));
+  }
+}
+
+TEST(YcsbTest, PutValuesAreDistinctAndSized) {
+  WorkloadOptions options;
+  options.value_size = 64;
+  YcsbWorkload workload(options);
+  std::set<std::string> values;
+  int puts = 0;
+  for (int i = 0; i < 2000 && puts < 100; ++i) {
+    const Operation op = workload.Next();
+    if (!op.is_get) {
+      ++puts;
+      EXPECT_EQ(op.value.size(), 64u);
+      values.insert(op.value);
+    }
+  }
+  EXPECT_EQ(values.size(), static_cast<size_t>(puts));
+}
+
+TEST(YcsbTest, GetsCarryNoValue) {
+  YcsbWorkload workload(WorkloadOptions{});
+  for (int i = 0; i < 1000; ++i) {
+    const Operation op = workload.Next();
+    if (op.is_get) {
+      EXPECT_TRUE(op.value.empty());
+    }
+  }
+}
+
+TEST(YcsbTest, DeterministicForSameSeed) {
+  WorkloadOptions options;
+  options.seed = 99;
+  YcsbWorkload a(options), b(options);
+  for (int i = 0; i < 1000; ++i) {
+    const Operation op_a = a.Next();
+    const Operation op_b = b.Next();
+    EXPECT_EQ(op_a.is_get, op_b.is_get);
+    EXPECT_EQ(op_a.key, op_b.key);
+    EXPECT_EQ(op_a.value, op_b.value);
+  }
+}
+
+TEST(YcsbTest, DifferentSeedsDiffer) {
+  WorkloadOptions a_options, b_options;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  YcsbWorkload a(a_options), b(b_options);
+  int same_keys = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next().key == b.Next().key) {
+      ++same_keys;
+    }
+  }
+  EXPECT_LT(same_keys, 300);  // Hot keys collide sometimes; streams differ.
+}
+
+TEST(YcsbTest, UniformDistributionOption) {
+  WorkloadOptions options;
+  options.distribution = KeyDistribution::kUniform;
+  options.key_count = 100;
+  YcsbWorkload workload(options);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[workload.Next().key];
+  }
+  // Uniform: the hottest key should be within ~3x of the expected 500.
+  int max_count = 0;
+  for (const auto& [key, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_LT(max_count, 1500);
+}
+
+TEST(YcsbTest, OpsGeneratedCounter) {
+  YcsbWorkload workload(WorkloadOptions{});
+  EXPECT_EQ(workload.ops_generated(), 0u);
+  workload.Next();
+  workload.Next();
+  EXPECT_EQ(workload.ops_generated(), 2u);
+}
+
+}  // namespace
+}  // namespace pileus::workload

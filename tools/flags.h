@@ -1,0 +1,110 @@
+// Minimal command-line flag parsing for the Pileus tools.
+//
+// Supports --name=value, --name value, and bare --name for booleans, plus
+// positional arguments. Header-only; no global state.
+
+#ifndef PILEUS_TOOLS_FLAGS_H_
+#define PILEUS_TOOLS_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pileus::tools {
+
+class FlagSet {
+ public:
+  // Registration: defaults define the flag's type for help text.
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help) {
+    flags_[name] = Flag{default_value, help, false};
+  }
+  void DefineInt(const std::string& name, int64_t default_value,
+                 const std::string& help) {
+    flags_[name] = Flag{std::to_string(default_value), help, false};
+  }
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help) {
+    flags_[name] = Flag{default_value ? "true" : "false", help, true};
+  }
+
+  // Parses argv; returns false (after printing an error/usage) on problems
+  // or --help.
+  bool Parse(int argc, char** argv) {
+    program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        PrintUsage();
+        return false;
+      }
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      std::string name = arg.substr(2);
+      std::string value;
+      bool has_value = false;
+      if (const size_t eq = name.find('='); eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_value = true;
+      }
+      auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+        PrintUsage();
+        return false;
+      }
+      if (!has_value) {
+        if (it->second.is_bool) {
+          value = "true";
+        } else if (i + 1 < argc) {
+          value = argv[++i];
+        } else {
+          std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+          return false;
+        }
+      }
+      it->second.value = std::move(value);
+    }
+    return true;
+  }
+
+  std::string GetString(const std::string& name) const {
+    return flags_.at(name).value;
+  }
+  int64_t GetInt(const std::string& name) const {
+    return std::strtoll(flags_.at(name).value.c_str(), nullptr, 10);
+  }
+  bool GetBool(const std::string& name) const {
+    const std::string& v = flags_.at(name).value;
+    return v == "true" || v == "1" || v == "yes";
+  }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  void PrintUsage() const {
+    std::fprintf(stderr, "usage: %s [flags] [args]\n", program_.c_str());
+    for (const auto& [name, flag] : flags_) {
+      std::fprintf(stderr, "  --%-20s %s (default: %s)\n", name.c_str(),
+                   flag.help.c_str(), flag.value.c_str());
+    }
+  }
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+    bool is_bool = false;
+  };
+
+  std::string program_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pileus::tools
+
+#endif  // PILEUS_TOOLS_FLAGS_H_

@@ -1,0 +1,205 @@
+// pileus_cli: command-line client for a pileus_server node.
+//
+//   pileus_cli --port 7000 put mykey myvalue
+//   pileus_cli --port 7000 get mykey
+//   pileus_cli --port 7000 probe
+//   pileus_cli --port 7000 sync            # dump versions above --after
+//   pileus_cli --port 7000 bench 1000      # tiny put/get latency check
+//
+// Talks the raw storage protocol over TCP and pretty-prints replies,
+// including the node's high timestamp so operators can eyeball staleness.
+
+#include <cstdio>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/net/tcp.h"
+#include "src/proto/messages.h"
+#include "src/util/histogram.h"
+#include "tools/flags.h"
+
+using namespace pileus;  // NOLINT
+
+namespace {
+
+Result<proto::Message> Call(net::TcpChannel& channel,
+                            const proto::Message& request) {
+  Result<proto::Message> reply =
+      channel.Call(request, SecondsToMicroseconds(10));
+  if (!reply.ok()) {
+    return reply;
+  }
+  if (const auto* err = std::get_if<proto::ErrorReply>(&reply.value())) {
+    return Status(err->code, err->message);
+  }
+  return reply;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::FlagSet flags;
+  flags.DefineInt("port", 7000, "server port on 127.0.0.1");
+  flags.DefineString("table", "default", "table name");
+  flags.DefineString("after", "0",
+                     "sync: dump versions after this physical timestamp (us)");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
+  }
+  const auto& args = flags.positional();
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: pileus_cli [flags] put KEY VALUE | get KEY | del KEY | "
+                 "range BEGIN [END] | probe | sync | bench N\n");
+    return 2;
+  }
+  net::TcpChannel channel(static_cast<uint16_t>(flags.GetInt("port")));
+  const std::string table = flags.GetString("table");
+  const std::string& command = args[0];
+
+  if (command == "put" && args.size() == 3) {
+    proto::PutRequest request;
+    request.table = table;
+    request.key = args[1];
+    request.value = args[2];
+    Result<proto::Message> reply = Call(channel, request);
+    if (!reply.ok()) {
+      return Fail(reply.status());
+    }
+    const auto& put = std::get<proto::PutReply>(reply.value());
+    std::printf("ok: timestamp=%s\n", put.timestamp.ToString().c_str());
+    return 0;
+  }
+
+  if (command == "get" && args.size() == 2) {
+    proto::GetRequest request;
+    request.table = table;
+    request.key = args[1];
+    Result<proto::Message> reply = Call(channel, request);
+    if (!reply.ok()) {
+      return Fail(reply.status());
+    }
+    const auto& get = std::get<proto::GetReply>(reply.value());
+    if (!get.found) {
+      std::printf("(not found)  node high=%s%s\n",
+                  get.high_timestamp.ToString().c_str(),
+                  get.served_by_primary ? " [primary]" : "");
+      return 1;
+    }
+    std::printf("%s\n  version=%s  node high=%s%s\n", get.value.c_str(),
+                get.value_timestamp.ToString().c_str(),
+                get.high_timestamp.ToString().c_str(),
+                get.served_by_primary ? " [primary]" : "");
+    return 0;
+  }
+
+  if (command == "probe" && args.size() == 1) {
+    proto::ProbeRequest request;
+    request.table = table;
+    const MicrosecondCount start = RealClock::Instance()->NowMicros();
+    Result<proto::Message> reply = Call(channel, request);
+    const MicrosecondCount rtt = RealClock::Instance()->NowMicros() - start;
+    if (!reply.ok()) {
+      return Fail(reply.status());
+    }
+    const auto& probe = std::get<proto::ProbeReply>(reply.value());
+    std::printf("high=%s  primary=%s  rtt=%.2f ms\n",
+                probe.high_timestamp.ToString().c_str(),
+                probe.is_primary ? "yes" : "no",
+                MicrosecondsToMilliseconds(rtt));
+    return 0;
+  }
+
+  if (command == "sync" && args.size() == 1) {
+    proto::SyncRequest request;
+    request.table = table;
+    request.after =
+        Timestamp{std::strtoll(flags.GetString("after").c_str(), nullptr, 10),
+                  0};
+    Result<proto::Message> reply = Call(channel, request);
+    if (!reply.ok()) {
+      return Fail(reply.status());
+    }
+    const auto& sync = std::get<proto::SyncReply>(reply.value());
+    for (const proto::ObjectVersion& v : sync.versions) {
+      std::printf("%s  %s  (%zu bytes)\n", v.timestamp.ToString().c_str(),
+                  v.key.c_str(), v.value.size());
+    }
+    std::printf("-- %zu versions, heartbeat=%s%s\n", sync.versions.size(),
+                sync.heartbeat.ToString().c_str(),
+                sync.has_more ? ", more pending" : "");
+    return 0;
+  }
+
+  if (command == "del" && args.size() == 2) {
+    proto::DeleteRequest request;
+    request.table = table;
+    request.key = args[1];
+    Result<proto::Message> reply = Call(channel, request);
+    if (!reply.ok()) {
+      return Fail(reply.status());
+    }
+    const auto& put = std::get<proto::PutReply>(reply.value());
+    std::printf("deleted: tombstone timestamp=%s\n",
+                put.timestamp.ToString().c_str());
+    return 0;
+  }
+
+  if (command == "range" && (args.size() == 2 || args.size() == 3)) {
+    proto::RangeRequest request;
+    request.table = table;
+    request.begin = args[1];
+    request.end = args.size() == 3 ? args[2] : "";
+    request.limit = 100;
+    Result<proto::Message> reply = Call(channel, request);
+    if (!reply.ok()) {
+      return Fail(reply.status());
+    }
+    const auto& range = std::get<proto::RangeReply>(reply.value());
+    for (const proto::ObjectVersion& v : range.items) {
+      std::printf("%-24s %s  (ts %s)\n", v.key.c_str(), v.value.c_str(),
+                  v.timestamp.ToString().c_str());
+    }
+    std::printf("-- %zu items%s, node high=%s%s\n", range.items.size(),
+                range.truncated ? " (truncated at 100)" : "",
+                range.high_timestamp.ToString().c_str(),
+                range.served_by_primary ? " [primary]" : "");
+    return 0;
+  }
+
+  if (command == "bench" && args.size() == 2) {
+    const long n = std::strtol(args[1].c_str(), nullptr, 10);
+    Histogram put_latency, get_latency;
+    for (long i = 0; i < n; ++i) {
+      proto::PutRequest put;
+      put.table = table;
+      put.key = "bench:" + std::to_string(i % 1000);
+      put.value = "v" + std::to_string(i);
+      MicrosecondCount start = RealClock::Instance()->NowMicros();
+      if (Result<proto::Message> reply = Call(channel, put); !reply.ok()) {
+        return Fail(reply.status());
+      }
+      put_latency.Record(RealClock::Instance()->NowMicros() - start);
+
+      proto::GetRequest get;
+      get.table = table;
+      get.key = put.key;
+      start = RealClock::Instance()->NowMicros();
+      if (Result<proto::Message> reply = Call(channel, get); !reply.ok()) {
+        return Fail(reply.status());
+      }
+      get_latency.Record(RealClock::Instance()->NowMicros() - start);
+    }
+    std::printf("put us: %s\nget us: %s\n", put_latency.Summary().c_str(),
+                get_latency.Summary().c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  return 2;
+}
