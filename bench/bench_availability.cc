@@ -15,6 +15,12 @@
 //      impossible): the plain SLA goes to zero utility AND zero data, while
 //      the same SLA with an <eventual, unbounded> tail keeps returning data
 //      from secondaries.
+//   3. A sweep over *fault classes* hitting the China client's best node
+//      (the US): fail-fast unavailability, silent drops, gray slowness,
+//      an asymmetric partition, payload corruption, and a crash with
+//      restart. The SLA carries an availability tail, so in every class the
+//      client keeps meeting some subSLA once the monitor has routed around
+//      the sick node.
 
 #include <cstdio>
 #include <optional>
@@ -120,6 +126,79 @@ OutageStats RunWithOutage(const core::Sla& sla, const char* client_site,
   return outage;
 }
 
+// One entry in the fault-class sweep: how to inflict and lift the fault.
+struct FaultClass {
+  const char* name;
+  void (*apply)(GeoTestbed&, const std::string& site);
+  void (*lift)(GeoTestbed&, const std::string& site);
+};
+
+// Like RunWithOutage, but the middle-third outage is an arbitrary fault
+// class applied to `sick_site`, and the client sits in China (a client-only
+// site, so node faults never silence the client itself).
+OutageStats RunWithFault(const core::Sla& sla, const FaultClass& fault,
+                         const char* sick_site, uint64_t seed) {
+  GeoTestbedOptions testbed_options;
+  testbed_options.seed = seed;
+  testbed_options.replication_period_us = SecondsToMicroseconds(15);
+  GeoTestbed testbed(testbed_options);
+  PreloadKeys(testbed, 2000);
+  testbed.StartReplication();
+
+  core::PileusClient::Options client_options;
+  client_options.monitor.latency_window.window_us = SecondsToMicroseconds(20);
+  client_options.seed = seed;
+  auto client = testbed.MakeClient(kChina, client_options);
+  client->StartProbing();
+
+  constexpr MicrosecondCount kRun = SecondsToMicroseconds(180);
+  const MicrosecondCount start = testbed.env().NowMicros();
+  const MicrosecondCount outage_start = start + kRun / 3;
+  const MicrosecondCount outage_end = start + 2 * kRun / 3;
+  auto* testbed_ptr = &testbed;
+  const FaultClass* fault_ptr = &fault;
+  std::string sick(sick_site);
+  testbed.env().ScheduleAt(outage_start, [testbed_ptr, fault_ptr, sick] {
+    fault_ptr->apply(*testbed_ptr, sick);
+  });
+  testbed.env().ScheduleAt(outage_end, [testbed_ptr, fault_ptr, sick] {
+    fault_ptr->lift(*testbed_ptr, sick);
+  });
+
+  workload::WorkloadOptions workload_options;
+  workload_options.key_count = 2000;
+  workload_options.seed = seed;
+  workload::YcsbWorkload workload(workload_options);
+  std::optional<core::Session> session;
+
+  OutageStats outage;
+  while (testbed.env().NowMicros() - start < kRun) {
+    const workload::Operation op = workload.Next();
+    if (op.starts_new_session || !session.has_value()) {
+      session.emplace(std::move(client->client().BeginSession(sla)).value());
+    }
+    const MicrosecondCount now = testbed.env().NowMicros();
+    const bool in_outage = now >= outage_start && now < outage_end;
+    if (op.is_get) {
+      Result<core::GetResult> result = client->client().Get(*session, op.key);
+      if (in_outage) {
+        ++outage.gets;
+        if (result.ok() && result->found) {
+          ++outage.data_returned;
+        }
+        if (result.ok() && result->outcome.met_rank >= 0) {
+          ++outage.sla_met;
+        }
+        outage.utility_sum += result.ok() ? result->outcome.utility : 0.0;
+      }
+    } else {
+      (void)client->client().Put(*session, op.key, op.value);
+    }
+    testbed.env().RunFor(workload_options.think_time_us);
+  }
+  return outage;
+}
+
 }  // namespace
 
 int main() {
@@ -167,6 +246,68 @@ int main() {
       "Expectation: retries keep data flowing through a local-node outage.\n"
       "With the primary down, best-effort data still arrives either way,\n"
       "but only the SLA with the <eventual, unbounded> tail counts as\n"
-      "*available* in the paper's sense - some subSLA is still met.\n");
+      "*available* in the paper's sense - some subSLA is still met.\n\n");
+
+  std::printf("--- Fault-class sweep: China client, its best node (US) sick "
+              "for 60 s ---\n");
+  // Shopping cart plus an availability tail. The tail's deadline is capped
+  // at 2 s rather than the paper's "unbounded" hour: silent faults make the
+  // client wait out the *full* tail deadline before giving up on a node, so
+  // an unbounded tail would let a single dropped request swallow the whole
+  // outage window.
+  const core::Sla swept_sla =
+      core::Sla()
+          .Add(core::Guarantee::ReadMyWrites(), MillisecondsToMicroseconds(300),
+               1.0)
+          .Add(core::Guarantee::Eventual(), MillisecondsToMicroseconds(300),
+               0.5)
+          .Add(core::Guarantee::Eventual(), SecondsToMicroseconds(2), 0.001);
+  const FaultClass kFaultClasses[] = {
+      {"fail-fast (SetNodeDown)",
+       [](GeoTestbed& t, const std::string& s) { t.SetNodeDown(s, true); },
+       [](GeoTestbed& t, const std::string& s) { t.SetNodeDown(s, false); }},
+      {"silent drop (100%)",
+       [](GeoTestbed& t, const std::string& s) {
+         t.faults().SetSilentDrop(s, 1.0);
+       },
+       [](GeoTestbed& t, const std::string& s) { t.faults().RecoverNode(s); }},
+      {"gray failure (10x slower)",
+       [](GeoTestbed& t, const std::string& s) {
+         t.faults().SetGrayNode(s, 10.0);
+       },
+       [](GeoTestbed& t, const std::string& s) { t.faults().RecoverNode(s); }},
+      {"asymmetric partition (client->node)",
+       [](GeoTestbed& t, const std::string& s) {
+         t.faults().SetPartition(kChina, s, true);
+       },
+       [](GeoTestbed& t, const std::string& s) {
+         t.faults().SetPartition(kChina, s, false);
+       }},
+      {"payload corruption (100%)",
+       [](GeoTestbed& t, const std::string& s) {
+         t.faults().SetCorruption(s, 1.0);
+       },
+       [](GeoTestbed& t, const std::string& s) { t.faults().RecoverNode(s); }},
+      {"crash + restart",
+       [](GeoTestbed& t, const std::string& s) { t.CrashNode(s); },
+       [](GeoTestbed& t, const std::string& s) { (void)t.RestartNode(s); }},
+  };
+  AsciiTable sweep_table({"Fault class", "Data returned", "SLA met",
+                          "Avg utility (outage window)"});
+  for (const FaultClass& fault : kFaultClasses) {
+    const OutageStats stats = RunWithFault(swept_sla, fault, kUs, 73);
+    sweep_table.AddRow({fault.name, FormatPercent(stats.DataFraction()),
+                        FormatPercent(stats.SlaAvailability()),
+                        FormatUtility(stats.AvgUtility())});
+  }
+  std::printf("%s\n", sweep_table.ToString().c_str());
+  std::printf(
+      "Expectation: every class stays near-fully available thanks to the\n"
+      "availability tail. Silent classes (drop, partition, crash) pay a few\n"
+      "burned deadlines before the circuit breaker and PNodeUp evidence\n"
+      "route around the node; fail-fast and corruption fail quickly enough\n"
+      "that the same Get usually retries another replica in time; gray\n"
+      "slowness keeps the node answering inside the tail until routing\n"
+      "shifts to a faster replica.\n");
   return 0;
 }

@@ -514,6 +514,65 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
                 "no replica answered the scan within the SLA deadline");
 }
 
+Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
+                                        Session& session,
+                                        std::string_view key,
+                                        std::string_view op_name) {
+  const int max_attempts = std::max(1, options_.put_max_attempts);
+  MicrosecondCount backoff = options_.put_backoff_initial_us;
+  Status last(StatusCode::kUnavailable, "write never attempted");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      // Jittered exponential backoff: full waits from synchronized clients
+      // would re-stampede a recovering primary, so each waits a uniformly
+      // random 50-100% of the nominal backoff.
+      const MicrosecondCount wait = static_cast<MicrosecondCount>(
+          static_cast<double>(backoff) * (0.5 + 0.5 * rng_.NextDouble()));
+      if (options_.sleep_fn) {
+        options_.sleep_fn(wait);
+      }
+      backoff = std::min(
+          options_.put_backoff_max_us,
+          static_cast<MicrosecondCount>(static_cast<double>(backoff) *
+                                        options_.put_backoff_multiplier));
+    }
+    TimedReply timed = table_.replicas[table_.primary_index].connection->Call(
+        request, options_.put_timeout_us);
+    ++messages_sent_;
+    // Every attempt feeds the monitor: transport failures count against the
+    // primary's PNodeUp / circuit breaker, successes repair them.
+    AbsorbReplyEvidence(table_.primary_index, timed,
+                        options_.record_put_latency);
+    if (!timed.reply.ok()) {
+      last = timed.reply.status();
+      PILEUS_LOG(kDebug) << op_name << " attempt " << attempt << "/"
+                         << max_attempts << " failed: " << last;
+      continue;  // Transport failure: retriable.
+    }
+    const proto::Message& message = timed.reply.value();
+    if (const auto* err = std::get_if<proto::ErrorReply>(&message)) {
+      last = Status(err->code, err->message);
+      if (err->code == StatusCode::kUnavailable) {
+        continue;  // Node answered but cannot serve right now: retriable.
+      }
+      return last;  // Semantic error (bad table, not primary, ...): final.
+    }
+    const auto* put_reply = std::get_if<proto::PutReply>(&message);
+    if (put_reply == nullptr) {
+      return Status(StatusCode::kInternal,
+                    std::string("unexpected reply type for ") +
+                        std::string(op_name));
+    }
+    session.RecordPut(key, put_reply->timestamp);
+
+    PutResult result;
+    result.timestamp = put_reply->timestamp;
+    result.rtt_us = timed.rtt_us;
+    return result;
+  }
+  return last;
+}
+
 Result<PutResult> PileusClient::Put(Session& session, std::string_view key,
                                     std::string_view value) {
   ++puts_issued_;
@@ -521,29 +580,7 @@ Result<PutResult> PileusClient::Put(Session& session, std::string_view key,
   request.table = table_.table_name;
   request.key = std::string(key);
   request.value = std::string(value);
-
-  TimedReply timed = table_.replicas[table_.primary_index].connection->Call(
-      request, options_.put_timeout_us);
-  ++messages_sent_;
-  AbsorbReplyEvidence(table_.primary_index, timed,
-                      options_.record_put_latency);
-  if (!timed.reply.ok()) {
-    return timed.reply.status();
-  }
-  const proto::Message& message = timed.reply.value();
-  if (const auto* err = std::get_if<proto::ErrorReply>(&message)) {
-    return Status(err->code, err->message);
-  }
-  const auto* put_reply = std::get_if<proto::PutReply>(&message);
-  if (put_reply == nullptr) {
-    return Status(StatusCode::kInternal, "unexpected reply type for Put");
-  }
-  session.RecordPut(key, put_reply->timestamp);
-
-  PutResult result;
-  result.timestamp = put_reply->timestamp;
-  result.rtt_us = timed.rtt_us;
-  return result;
+  return DoWrite(request, session, key, "Put");
 }
 
 Result<PutResult> PileusClient::Delete(Session& session,
@@ -552,31 +589,9 @@ Result<PutResult> PileusClient::Delete(Session& session,
   proto::DeleteRequest request;
   request.table = table_.table_name;
   request.key = std::string(key);
-
-  TimedReply timed = table_.replicas[table_.primary_index].connection->Call(
-      request, options_.put_timeout_us);
-  ++messages_sent_;
-  AbsorbReplyEvidence(table_.primary_index, timed,
-                      options_.record_put_latency);
-  if (!timed.reply.ok()) {
-    return timed.reply.status();
-  }
-  const proto::Message& message = timed.reply.value();
-  if (const auto* err = std::get_if<proto::ErrorReply>(&message)) {
-    return Status(err->code, err->message);
-  }
-  const auto* put_reply = std::get_if<proto::PutReply>(&message);
-  if (put_reply == nullptr) {
-    return Status(StatusCode::kInternal, "unexpected reply type for Delete");
-  }
-  // The tombstone is this session's write: read-my-writes now requires
-  // nodes to have seen the deletion.
-  session.RecordPut(key, put_reply->timestamp);
-
-  PutResult result;
-  result.timestamp = put_reply->timestamp;
-  result.rtt_us = timed.rtt_us;
-  return result;
+  // The tombstone is this session's write: read-my-writes subsequently
+  // requires nodes to have seen the deletion.
+  return DoWrite(request, session, key, "Delete");
 }
 
 Status PileusClient::ProbeNode(int replica_index) {

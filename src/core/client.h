@@ -27,6 +27,7 @@
 #define PILEUS_SRC_CORE_CLIENT_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -122,6 +123,23 @@ class PileusClient {
     bool retry_other_replicas_on_failure = true;
     MicrosecondCount put_timeout_us = SecondsToMicroseconds(10);
     MicrosecondCount probe_timeout_us = SecondsToMicroseconds(5);
+    // Write-path resilience: a Put/Delete whose attempt fails at the
+    // transport level (unreachable, reset, timeout, corrupt reply) or is
+    // answered with an ErrorReply carrying kUnavailable is retried against
+    // the primary, up to this many attempts total. Writes are idempotent at
+    // the storage layer only in the last-writer-wins sense, so retries are
+    // bounded and semantic errors (bad table, internal faults) never retry.
+    int put_max_attempts = 3;
+    // Exponential backoff between attempts: the n-th wait is
+    //   min(max, initial * multiplier^(n-1)) * jitter, jitter ~ U[0.5, 1.0].
+    MicrosecondCount put_backoff_initial_us = 50'000;
+    double put_backoff_multiplier = 2.0;
+    MicrosecondCount put_backoff_max_us = SecondsToMicroseconds(2);
+    // How the client waits out a backoff. Wall-clock deployments pass a real
+    // sleep; the simulation passes a SimEnvironment::RunFor adapter so
+    // virtual time (and with it replication / recovery) advances between
+    // attempts. nullptr = no wait, retry immediately.
+    std::function<void(MicrosecondCount)> sleep_fn;
     // Feed Put round-trip times into the latency windows that drive Get
     // routing. Off by default: with multi-site synchronous Puts (Section
     // 6.4) a Put's RTT includes the sync fan-out and badly overstates the
@@ -195,6 +213,10 @@ class PileusClient {
  private:
   Result<GetResult> DoGet(Session& session, std::string_view key,
                           const Sla& sla);
+  // Shared Put/Delete path: bounded retries with jittered exponential
+  // backoff against the primary, feeding the monitor on every attempt.
+  Result<PutResult> DoWrite(const proto::Message& request, Session& session,
+                            std::string_view key, std::string_view op_name);
   Result<RangeResult> DoGetRange(Session& session, std::string_view begin,
                                  std::string_view end, uint32_t limit,
                                  const Sla& sla);

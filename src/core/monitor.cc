@@ -43,6 +43,10 @@ void Monitor::RecordSuccess(std::string_view node) {
   std::lock_guard<std::mutex> lock(mu_);
   NodeState& state = StateFor(node);
   state.outcomes.Record(clock_->NowMicros(), 1);
+  // Any answer closes the breaker: a half-open probation probe succeeded, or
+  // the node recovered on its own before the cooldown ended.
+  state.consecutive_failures = 0;
+  state.breaker_open_until_us = 0;
 }
 
 void Monitor::RecordFailure(std::string_view node) {
@@ -53,6 +57,32 @@ void Monitor::RecordFailure(std::string_view node) {
   // A failure is still contact for probing purposes: the prober keeps
   // checking for recovery at its normal cadence, not in a tight loop.
   state.last_contact_us = now;
+  if (options_.breaker_failure_threshold > 0) {
+    ++state.consecutive_failures;
+    const bool was_open = state.breaker_open_until_us != 0;
+    // Trip on reaching the threshold, and re-arm the full cooldown when a
+    // half-open probation probe fails again.
+    if (state.consecutive_failures >= options_.breaker_failure_threshold) {
+      if (!was_open) {
+        ++breaker_trips_;
+      }
+      state.breaker_open_until_us = now + options_.breaker_cooldown_us;
+    }
+  }
+}
+
+Monitor::BreakerState Monitor::BreakerLocked(const NodeState* state,
+                                             MicrosecondCount now_us) const {
+  if (state == nullptr || state->breaker_open_until_us == 0) {
+    return BreakerState::kClosed;
+  }
+  return now_us < state->breaker_open_until_us ? BreakerState::kOpen
+                                               : BreakerState::kHalfOpen;
+}
+
+Monitor::BreakerState Monitor::Breaker(std::string_view node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return BreakerLocked(FindState(node), clock_->NowMicros());
 }
 
 double Monitor::PNodeUp(std::string_view node) const {
@@ -61,11 +91,16 @@ double Monitor::PNodeUp(std::string_view node) const {
   if (state == nullptr) {
     return 1.0;
   }
+  const MicrosecondCount now = clock_->NowMicros();
+  // An open breaker overrides the windowed estimate: the node is known-bad
+  // until the cooldown expires, however good its older samples look.
+  if (BreakerLocked(state, now) == BreakerState::kOpen) {
+    return 0.0;
+  }
   // Samples are 0 (failure) or 1 (success): the fraction strictly below 1 is
   // the failure rate. An empty window means no evidence: assume up.
-  return 1.0 -
-         state->outcomes.FractionBelow(clock_->NowMicros(), 1,
-                                       /*empty_estimate=*/0.0);
+  return 1.0 - state->outcomes.FractionBelow(now, 1,
+                                             /*empty_estimate=*/0.0);
 }
 
 double Monitor::PNodeLat(std::string_view node,
@@ -119,6 +154,14 @@ bool Monitor::NeedsProbe(std::string_view node) const {
   const NodeState* state = FindState(node);
   if (state == nullptr) {
     return true;
+  }
+  switch (BreakerLocked(state, clock_->NowMicros())) {
+    case BreakerState::kOpen:
+      return false;  // Pointless during the cooldown.
+    case BreakerState::kHalfOpen:
+      return true;  // Probation probe decides recovery.
+    case BreakerState::kClosed:
+      break;
   }
   return clock_->NowMicros() - state->last_contact_us >=
          options_.probe_interval_us;

@@ -49,6 +49,21 @@ class Monitor {
     bool predict_high_timestamp = false;
     // Fraction of elapsed wall time credited to the predicted high timestamp.
     double prediction_rate = 1.0;
+    // Per-replica circuit breaker: this many *consecutive* transport
+    // failures open the breaker (0 disables it). While open, PNodeUp reports
+    // 0 and NeedsProbe stays false, so selection deprioritizes the replica
+    // and probes stop hammering it. After the cooldown the breaker is
+    // half-open: exactly the probation probes run (NeedsProbe true again)
+    // and the next success closes it; the next failure re-opens it for
+    // another full cooldown.
+    int breaker_failure_threshold = 3;
+    MicrosecondCount breaker_cooldown_us = SecondsToMicroseconds(5);
+  };
+
+  enum class BreakerState {
+    kClosed = 0,    // Healthy: requests flow normally.
+    kOpen = 1,      // Tripped: selection avoids the node until the cooldown.
+    kHalfOpen = 2,  // Cooldown over: probation probes decide open vs closed.
   };
 
   explicit Monitor(const Clock* clock) : Monitor(clock, Options{}) {}
@@ -94,8 +109,21 @@ class Monitor {
   // Mean windowed RTT; 0 when no samples (treated as "unknown, assume near").
   MicrosecondCount MeanLatency(std::string_view node) const;
 
-  // True when the node has not been contacted within probe_interval.
+  // True when the node has not been contacted within probe_interval, or the
+  // node's breaker is half-open (probation probe wanted). False while the
+  // breaker is open: during the cooldown probing the node is pointless.
   bool NeedsProbe(std::string_view node) const;
+
+  // Circuit-breaker state for the node (kClosed for unknown nodes).
+  BreakerState Breaker(std::string_view node) const;
+  bool BreakerOpen(std::string_view node) const {
+    return Breaker(node) == BreakerState::kOpen;
+  }
+
+  uint64_t breaker_trips() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return breaker_trips_;
+  }
 
   uint64_t samples_recorded() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -112,10 +140,18 @@ class Monitor {
     Timestamp high_timestamp = Timestamp::Zero();
     MicrosecondCount high_observed_at_us = -1;
     MicrosecondCount last_contact_us = -1;
+    // Circuit breaker: consecutive transport failures and the cooldown end.
+    // breaker_open_until_us semantics: 0 = closed; now < t = open;
+    // now >= t = half-open (awaiting a probation success).
+    int consecutive_failures = 0;
+    MicrosecondCount breaker_open_until_us = 0;
 
     explicit NodeState(const SlidingWindow::Options& window)
         : latencies(window), outcomes(window) {}
   };
+
+  BreakerState BreakerLocked(const NodeState* state,
+                             MicrosecondCount now_us) const;
 
   NodeState& StateFor(std::string_view node);
   const NodeState* FindState(std::string_view node) const;
@@ -125,6 +161,7 @@ class Monitor {
   mutable std::mutex mu_;
   std::map<std::string, NodeState, std::less<>> nodes_;
   uint64_t samples_recorded_ = 0;
+  uint64_t breaker_trips_ = 0;
 };
 
 }  // namespace pileus::core

@@ -61,6 +61,22 @@ SelectionResult SelectTarget(const Sla& sla,
     return result;
   }
 
+  // Replicas behind an open circuit breaker are excluded up front: their
+  // PNodeUp is 0, so they can only ever tie at utility 0, and a zero-utility
+  // retry should go to a replica that might answer. If *every* breaker is
+  // open there is no better option, so the filter is waived.
+  std::vector<char> eligible(replicas.size(), 1);
+  if (options.avoid_open_breaker) {
+    bool any_eligible = false;
+    for (size_t i = 0; i < replicas.size(); ++i) {
+      eligible[i] = monitor.BreakerOpen(replicas[i].name) ? 0 : 1;
+      any_eligible = any_eligible || eligible[i] != 0;
+    }
+    if (!any_eligible) {
+      std::fill(eligible.begin(), eligible.end(), 1);
+    }
+  }
+
   // Figure 8: maxutil starts below any achievable utility so the first pair
   // always becomes the initial candidate.
   double maxutil = -1.0;
@@ -68,6 +84,9 @@ SelectionResult SelectTarget(const Sla& sla,
   for (size_t rank = 0; rank < sla.size(); ++rank) {
     const SubSla& sub = sla[rank];
     for (size_t i = 0; i < replicas.size(); ++i) {
+      if (eligible[i] == 0) {
+        continue;
+      }
       const double util =
           ExpectedUtility(sub, replicas[i], min_read_timestamp, monitor);
       node_best[i] = std::max(node_best[i], util);
@@ -130,7 +149,8 @@ SelectionResult SelectTarget(const Sla& sla,
   // parallel-Get fan-out. The single-node choice above used exact ties only.
   if (options.candidate_epsilon > 0.0) {
     for (size_t i = 0; i < replicas.size(); ++i) {
-      if (node_best[i] >= maxutil - options.candidate_epsilon &&
+      if (eligible[i] != 0 &&
+          node_best[i] >= maxutil - options.candidate_epsilon &&
           std::find(result.candidates.begin(), result.candidates.end(),
                     static_cast<int>(i)) == result.candidates.end()) {
         result.candidates.push_back(static_cast<int>(i));

@@ -1,5 +1,7 @@
 #include "src/experiments/geo_testbed.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cassert>
 
@@ -22,25 +24,43 @@ constexpr MicrosecondCount Ms(int64_t ms) {
 
 namespace {
 
+// Silent faults on a deadline-free call still have to resolve eventually;
+// model the caller giving up after this long.
+constexpr MicrosecondCount kSilentDropWaitUs = SecondsToMicroseconds(1);
+
+MicrosecondCount ScaleLatency(MicrosecondCount us, double multiplier) {
+  return multiplier == 1.0 ? us
+                           : static_cast<MicrosecondCount>(
+                                 static_cast<double>(us) * multiplier);
+}
+
 class SimConnection : public core::NodeConnection {
  public:
   SimConnection(GeoTestbed* testbed, sim::SimEnvironment* env,
-                sim::SiteId client_site, sim::SiteId node_site,
+                sim::SiteId client_site, std::string client_name,
+                sim::SiteId node_site, std::string node_name,
                 std::function<proto::Message(const proto::Message&,
                                              MicrosecondCount*)>
                     serve)
       : testbed_(testbed),
         env_(env),
         client_site_(client_site),
+        client_name_(std::move(client_name)),
         node_site_(node_site),
+        node_name_(std::move(node_name)),
         serve_(std::move(serve)) {}
 
   core::TimedReply Call(const proto::Message& request,
                         MicrosecondCount timeout_us) override {
     MicrosecondCount server_delay = 0;
     MicrosecondCount total = 0;
+    Status transport = Status::Ok();
     proto::Message reply =
-        Execute(request, timeout_us, &server_delay, &total);
+        Execute(request, timeout_us, &server_delay, &total, &transport);
+    if (!transport.ok()) {
+      return core::TimedReply(
+          transport, timeout_us > 0 ? std::min(total, timeout_us) : total);
+    }
     if (timeout_us > 0 && total > timeout_us) {
       return core::TimedReply(
           Status(StatusCode::kTimeout, "simulated call deadline exceeded"),
@@ -52,22 +72,73 @@ class SimConnection : public core::NodeConnection {
   // Shared with the fan-out caller: performs the request, advancing virtual
   // time by min(total RTT, timeout). Returns the reply; *total_rtt_us gets
   // the full round-trip the reply would take regardless of the deadline.
+  // *transport_status reports injected transport faults: kTimeout for silent
+  // drops (the caller learns nothing else), kCorruption when the codec
+  // rejected a damaged reply frame.
   proto::Message Execute(const proto::Message& request,
                          MicrosecondCount timeout_us,
                          MicrosecondCount* server_delay_us,
-                         MicrosecondCount* total_rtt_us) {
+                         MicrosecondCount* total_rtt_us,
+                         Status* transport_status) {
+    *server_delay_us = 0;
+    *transport_status = Status::Ok();
+    sim::FaultInjector& faults = testbed_->faults();
+    sim::FaultDecision to_server;
+    sim::FaultDecision to_client;
+    // Both legs are consulted: a link rule on the reply direction alone
+    // (e.g. an asymmetric partition of England -> China) must still fire.
+    if (faults.Affects(client_name_, node_name_) ||
+        faults.Affects(node_name_, client_name_)) {
+      to_server = faults.OnMessage(client_name_, node_name_, env_->rng());
+      to_client = faults.OnMessage(node_name_, client_name_, env_->rng());
+    }
     auto& latency = env_->latency_model();
     const MicrosecondCount ow1 =
-        latency.SampleOneWay(client_site_, node_site_, env_->rng());
+        ScaleLatency(latency.SampleOneWay(client_site_, node_site_,
+                                          env_->rng()),
+                     to_server.latency_multiplier);
+    // A dropped request never reaches the node; a corrupted one dies at the
+    // node's codec (CRC mismatch) and is discarded without a reply. Either
+    // way the client hears nothing until its deadline expires.
+    bool request_lost = to_server.drop;
+    if (!request_lost && to_server.corrupt) {
+      std::string frame = proto::EncodeMessage(request);
+      sim::FaultInjector::CorruptFrame(frame, env_->rng());
+      request_lost = !proto::DecodeMessage(frame).ok();
+    }
+    if (request_lost) {
+      const MicrosecondCount wait =
+          timeout_us > 0 ? timeout_us : kSilentDropWaitUs;
+      env_->RunFor(wait);
+      *total_rtt_us = wait + 1;
+      *transport_status =
+          Status(StatusCode::kTimeout, "simulated call deadline exceeded");
+      return proto::Message{};
+    }
     // Request transit (capped by the deadline; the request still reaches the
     // node - a timed-out Put may well have committed, as in real systems).
     env_->RunFor(timeout_us > 0 ? std::min(ow1, timeout_us) : ow1);
     proto::Message reply = serve_(request, server_delay_us);
     const MicrosecondCount ow2 =
-        latency.SampleOneWay(node_site_, client_site_, env_->rng());
-    const MicrosecondCount total = ow1 + *server_delay_us + ow2;
+        ScaleLatency(latency.SampleOneWay(node_site_, client_site_,
+                                          env_->rng()),
+                     to_client.latency_multiplier);
     const MicrosecondCount already =
         timeout_us > 0 ? std::min(ow1, timeout_us) : ow1;
+    if (to_client.drop) {
+      // Reply lost: server-side effects (a committed Put!) stand, but the
+      // client waits out its full deadline.
+      const MicrosecondCount wait =
+          timeout_us > 0 ? timeout_us - already : kSilentDropWaitUs;
+      if (wait > 0) {
+        env_->RunFor(wait);
+      }
+      *total_rtt_us = (timeout_us > 0 ? timeout_us : already + wait) + 1;
+      *transport_status =
+          Status(StatusCode::kTimeout, "simulated call deadline exceeded");
+      return proto::Message{};
+    }
+    const MicrosecondCount total = ow1 + *server_delay_us + ow2;
     const MicrosecondCount remaining =
         timeout_us > 0 ? std::min(total, timeout_us) - already
                        : total - already;
@@ -75,6 +146,18 @@ class SimConnection : public core::NodeConnection {
       env_->RunFor(remaining);
     }
     *total_rtt_us = total;
+    if (to_client.corrupt) {
+      // Round-trip the reply through the real codec with flipped bytes: the
+      // CRC trailer must reject it cleanly, surfacing as kCorruption.
+      std::string frame = proto::EncodeMessage(reply);
+      sim::FaultInjector::CorruptFrame(frame, env_->rng());
+      Result<proto::Message> decoded = proto::DecodeMessage(frame);
+      if (!decoded.ok()) {
+        *transport_status = decoded.status();
+        return proto::Message{};
+      }
+      reply = std::move(decoded).value();
+    }
     return reply;
   }
 
@@ -85,7 +168,9 @@ class SimConnection : public core::NodeConnection {
   GeoTestbed* testbed_;
   sim::SimEnvironment* env_;
   sim::SiteId client_site_;
+  std::string client_name_;
   sim::SiteId node_site_;
+  std::string node_name_;
   std::function<proto::Message(const proto::Message&, MicrosecondCount*)>
       serve_;
 };
@@ -125,32 +210,28 @@ class GeoClient::SimFanout : public core::FanoutCaller {
       (void)latency;
       MicrosecondCount server_delay = 0;
       MicrosecondCount total = 0;
+      Status transport = Status::Ok();
       // Execute without advancing time for the slower replicas: temporarily
       // give each call a zero-advance path by running it and compensating is
       // not possible with a shared clock, so instead we let the *first* call
       // advance time and sample the rest instantaneously via Execute with
       // timeout 1 (advancing at most 1 us each).
+      const MicrosecondCount call_timeout = replies.empty() ? timeout_us : 1;
+      proto::Message reply = sim_conn->Execute(request, call_timeout,
+                                               &server_delay, &total,
+                                               &transport);
       if (replies.empty()) {
-        proto::Message reply =
-            sim_conn->Execute(request, timeout_us, &server_delay, &total);
         fastest = total;
-        if (timeout_us > 0 && total > timeout_us) {
-          replies.emplace_back(
-              Status(StatusCode::kTimeout, "simulated call deadline exceeded"),
-              timeout_us);
-        } else {
-          replies.emplace_back(std::move(reply), total);
-        }
+      }
+      if (!transport.ok()) {
+        replies.emplace_back(
+            transport, timeout_us > 0 ? std::min(total, timeout_us) : total);
+      } else if (timeout_us > 0 && total > timeout_us) {
+        replies.emplace_back(
+            Status(StatusCode::kTimeout, "simulated call deadline exceeded"),
+            timeout_us);
       } else {
-        proto::Message reply =
-            sim_conn->Execute(request, 1, &server_delay, &total);
-        if (timeout_us > 0 && total > timeout_us) {
-          replies.emplace_back(
-              Status(StatusCode::kTimeout, "simulated call deadline exceeded"),
-              timeout_us);
-        } else {
-          replies.emplace_back(std::move(reply), total);
-        }
+        replies.emplace_back(std::move(reply), total);
       }
     }
     (void)fastest;
@@ -168,11 +249,12 @@ void GeoClient::StartProbing() {
   GeoTestbed* testbed = testbed_;
   core::PileusClient* client = client_.get();
   sim::SiteId client_site = site_;
+  std::string client_name = site_name_;
   std::shared_ptr<uint64_t> probes = probes_sent_;
   probe_task_ = testbed->env_.SchedulePeriodic(
       testbed->options_.probe_check_period_us,
       testbed->options_.probe_check_period_us,
-      [testbed, client, client_site, probes] {
+      [testbed, client, client_site, client_name, probes] {
         auto& env = testbed->env_;
         const core::TableView& table = client->table();
         for (size_t i = 0; i < table.replicas.size(); ++i) {
@@ -184,23 +266,49 @@ void GeoClient::StartProbing() {
           if (entry == nullptr) {
             continue;
           }
+          sim::FaultInjector& faults = testbed->faults();
+          sim::FaultDecision to_server;
+          sim::FaultDecision to_client;
+          if (faults.Affects(client_name, name) ||
+              faults.Affects(name, client_name)) {
+            to_server = faults.OnMessage(client_name, name, env.rng());
+            to_client = faults.OnMessage(name, client_name, env.rng());
+          }
+          ++*probes;
+          // A dropped or request-corrupted probe is pure silence: the
+          // failure evidence lands only when the probe deadline expires.
+          if (to_server.drop || to_server.corrupt || to_client.drop) {
+            const MicrosecondCount wait = client->options().probe_timeout_us;
+            env.ScheduleAfter(wait, [client, name, wait] {
+              client->monitor().RecordLatency(name, wait);
+              client->monitor().RecordFailure(name);
+            });
+            continue;
+          }
           // Probe round trip, modelled as events so the client's foreground
           // workload is never blocked by background probing.
           auto& latency = env.latency_model();
           const MicrosecondCount rtt =
-              latency.SampleOneWay(client_site, entry->site_id, env.rng()) +
-              latency.SampleOneWay(entry->site_id, client_site, env.rng());
-          ++*probes;
+              ScaleLatency(
+                  latency.SampleOneWay(client_site, entry->site_id, env.rng()),
+                  to_server.latency_multiplier) +
+              ScaleLatency(
+                  latency.SampleOneWay(entry->site_id, client_site, env.rng()),
+                  to_client.latency_multiplier);
           proto::ProbeRequest probe;
           probe.table = kTableName;
           // The node processes the probe (approximately) now; the reply's
           // evidence lands in the monitor when it arrives, one RTT later.
           MicrosecondCount extra = 0;
           proto::Message reply = testbed->Serve(*entry, probe, &extra);
-          env.ScheduleAfter(rtt, [client, name, reply, rtt] {
+          // A corrupted reply frame fails the client codec's CRC check:
+          // clean kCorruption, counted as a failure.
+          const bool reply_corrupted = to_client.corrupt;
+          env.ScheduleAfter(rtt, [client, name, reply, rtt,
+                                  reply_corrupted] {
             client->monitor().RecordLatency(name, rtt);
-            if (const auto* probe_reply =
-                    std::get_if<proto::ProbeReply>(&reply)) {
+            const auto* probe_reply = std::get_if<proto::ProbeReply>(&reply);
+            if (probe_reply != nullptr && !reply_corrupted) {
               client->monitor().RecordSuccess(name);
               client->monitor().RecordHighTimestamp(
                   name, probe_reply->high_timestamp);
@@ -266,6 +374,30 @@ GeoTestbed::GeoTestbed(GeoTestbedOptions options)
     entry.agent = std::make_unique<replication::ReplicationAgent>(
         entry.node->FindTablet(kTableName, ""), agent_options);
   }
+  // Durability: one WAL per node so CrashNode/RestartNode can model real
+  // crash-recovery instead of pretending volatile state survives.
+  if (!options_.durable_root.empty()) {
+    ::mkdir(options_.durable_root.c_str(), 0755);  // Best effort; may exist.
+    for (NodeEntry& entry : nodes_) {
+      Result<persist::WriteAheadLog> wal =
+          persist::WriteAheadLog::Open(WalPath(entry.site));
+      assert(wal.ok() && "failed to open node WAL");
+      entry.wal = std::move(wal).value();
+    }
+  }
+}
+
+std::string GeoTestbed::WalPath(const std::string& site) const {
+  return options_.durable_root + "/" + site + ".wal";
+}
+
+void GeoTestbed::JournalVersion(NodeEntry& entry,
+                                const proto::ObjectVersion& version) {
+  if (entry.wal.is_open()) {
+    Status st = entry.wal.AppendVersion(version);
+    assert(st.ok());
+    (void)st;
+  }
 }
 
 GeoTestbed::~GeoTestbed() {
@@ -323,33 +455,63 @@ void GeoTestbed::StartReplication() {
 }
 
 void GeoTestbed::RunPullRound(NodeEntry& entry) {
+  if (entry.down || entry.crashed) {
+    return;  // A dead node does not replicate.
+  }
   storage::Tablet* tablet = entry.agent->target();
   if (tablet->authoritative()) {
     return;  // The primary (and sync replicas) never pull.
   }
-  if (entry.down) {
-    return;  // A dead node does not replicate.
-  }
   NodeEntry* primary = FindEntry(primary_site_);
   assert(primary != nullptr);
-  if (primary->down) {
+  if (primary->down || primary->crashed) {
     return;  // Nothing to pull from; try again next period.
+  }
+  // Replication traffic obeys the same fault rules as client traffic: a
+  // dropped or corrupted leg wastes the round (retried next period), gray
+  // slowness stretches it.
+  sim::FaultDecision to_primary;
+  sim::FaultDecision to_secondary;
+  if (faults_.Affects(entry.site, primary->site) ||
+      faults_.Affects(primary->site, entry.site)) {
+    to_primary = faults_.OnMessage(entry.site, primary->site, env_.rng());
+    to_secondary = faults_.OnMessage(primary->site, entry.site, env_.rng());
+  }
+  if (to_primary.drop || to_primary.corrupt || to_secondary.drop ||
+      to_secondary.corrupt) {
+    return;
   }
   const proto::SyncRequest request = entry.agent->NextRequest();
   auto& latency = env_.latency_model();
   const MicrosecondCount ow1 =
-      latency.SampleOneWay(entry.site_id, primary->site_id, env_.rng());
+      ScaleLatency(latency.SampleOneWay(entry.site_id, primary->site_id,
+                                        env_.rng()),
+                   to_primary.latency_multiplier);
+  const double reply_multiplier = to_secondary.latency_multiplier;
   NodeEntry* entry_ptr = &entry;
-  env_.ScheduleAfter(ow1, [this, entry_ptr, primary, request] {
+  env_.ScheduleAfter(ow1, [this, entry_ptr, primary, request,
+                           reply_multiplier] {
+    if (primary->down || primary->crashed) {
+      return;  // Died while the request was in flight.
+    }
     // Request arrives at the primary: capture the reply there.
     auto* primary_tablet = primary->node->FindTablet(kTableName, "");
     const proto::SyncReply reply =
         primary_tablet->HandleSync(request.after, request.max_versions);
     ++replication_rounds_;
     auto& lat = env_.latency_model();
-    const MicrosecondCount ow2 =
-        lat.SampleOneWay(primary->site_id, entry_ptr->site_id, env_.rng());
+    const MicrosecondCount ow2 = ScaleLatency(
+        lat.SampleOneWay(primary->site_id, entry_ptr->site_id, env_.rng()),
+        reply_multiplier);
     env_.ScheduleAfter(ow2, [this, entry_ptr, reply] {
+      if (entry_ptr->down || entry_ptr->crashed) {
+        return;  // Crashed while the reply was in flight.
+      }
+      // Journal before applying: pulled versions must survive a crash just
+      // like primary writes.
+      for (const proto::ObjectVersion& version : reply.versions) {
+        JournalVersion(*entry_ptr, version);
+      }
       const bool more = entry_ptr->agent->OnReply(reply);
       if (more) {
         RunPullRound(*entry_ptr);  // Immediately start another round.
@@ -369,11 +531,90 @@ bool GeoTestbed::IsNodeDown(const std::string& site) {
   return entry != nullptr && entry->down;
 }
 
+void GeoTestbed::CrashNode(const std::string& site) {
+  NodeEntry* entry = FindEntry(site);
+  assert(entry != nullptr && "cannot crash a client-only site");
+  if (entry->crashed) {
+    return;
+  }
+  // The node goes silent: every message touching it now drops, so clients
+  // see only deadline expiries (contrast SetNodeDown's fast kUnavailable).
+  faults_.CrashNode(site);
+  entry->crashed = true;
+  // Volatile state dies with the process. The WAL (entry->wal, when open)
+  // is the disk: it survives.
+  entry->agent.reset();
+  entry->node.reset();
+}
+
+bool GeoTestbed::IsNodeCrashed(const std::string& site) {
+  NodeEntry* entry = FindEntry(site);
+  return entry != nullptr && entry->crashed;
+}
+
+Status GeoTestbed::RestartNode(const std::string& site) {
+  NodeEntry* entry = FindEntry(site);
+  if (entry == nullptr) {
+    return Status(StatusCode::kInvalidArgument, "no storage node at " + site);
+  }
+  if (!entry->crashed) {
+    return Status(StatusCode::kInvalidArgument,
+                  "node " + site + " is not crashed");
+  }
+  // Rebuild the node empty, as a restarted process would.
+  entry->node =
+      std::make_unique<storage::StorageNode>(site, site, env_.clock());
+  storage::Tablet::Options tablet_options;
+  tablet_options.range = KeyRange::All();
+  // Recover as a plain secondary first; promotion happens after replay so
+  // SetPrimary can seed the timestamp allocator above everything replayed.
+  tablet_options.is_primary = false;
+  tablet_options.is_sync_replica =
+      (options_.sync_replica_count >= 2 && site == kUs) ||
+      (options_.sync_replica_count >= 3 && site == kIndia);
+  tablet_options.store = options_.store;
+  Status st = entry->node->AddTablet(kTableName, tablet_options);
+  if (!st.ok()) {
+    return st;
+  }
+  storage::Tablet* tablet = entry->node->FindTablet(kTableName, "");
+  if (entry->wal.is_open()) {
+    Result<persist::WriteAheadLog::ReplayStats> stats =
+        persist::WriteAheadLog::Replay(
+            WalPath(site),
+            [tablet](const proto::ObjectVersion& version) {
+              tablet->ApplyReplicatedPut(version);
+            },
+            [tablet](const Timestamp& heartbeat) {
+              proto::SyncReply hb;
+              hb.heartbeat = heartbeat;
+              tablet->ApplySync(hb);
+            });
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    PILEUS_LOG(kInfo) << "restarted " << site << ": replayed "
+                      << stats.value().versions << " versions from WAL"
+                      << (stats.value().tail_torn ? " (torn tail discarded)"
+                                                  : "");
+  }
+  entry->node->SetPrimaryForTable(kTableName, site == primary_site_);
+  replication::ReplicationAgent::Options agent_options;
+  agent_options.table = kTableName;
+  entry->agent = std::make_unique<replication::ReplicationAgent>(
+      tablet, agent_options);
+  entry->crashed = false;
+  faults_.RecoverNode(site);
+  return Status::Ok();
+}
+
 proto::Message GeoTestbed::Serve(NodeEntry& entry,
                                  const proto::Message& request,
                                  MicrosecondCount* extra_delay_us) {
   *extra_delay_us = 0;
-  if (entry.down) {
+  if (entry.down || entry.crashed) {
+    // `crashed` is normally unreachable (the injector drops the message
+    // first) but guards direct Serve callers against a destroyed node.
     proto::ErrorReply err;
     err.code = StatusCode::kUnavailable;
     err.message = "node " + entry.site + " is down";
@@ -381,20 +622,16 @@ proto::Message GeoTestbed::Serve(NodeEntry& entry,
   }
   proto::Message reply = entry.node->Handle(request);
 
-  // Section 6.4: with multiple sync replicas, a Put (or transactional
-  // commit) at the primary is acked only after every sync replica applied
-  // it. The client-visible extra delay is the slowest replica's round trip.
-  if (options_.sync_replica_count <= 1 || entry.site != primary_site_) {
-    return reply;
-  }
-  std::vector<proto::ObjectVersion> fanout_writes;
+  // Durability: journal every write this node just accepted, before the
+  // reply (the ack) leaves. Extracted below for the sync fan-out as well.
+  std::vector<proto::ObjectVersion> accepted_writes;
   if (const auto* put = std::get_if<proto::PutRequest>(&request)) {
     if (const auto* put_reply = std::get_if<proto::PutReply>(&reply)) {
       proto::ObjectVersion version;
       version.key = put->key;
       version.value = put->value;
       version.timestamp = put_reply->timestamp;
-      fanout_writes.push_back(std::move(version));
+      accepted_writes.push_back(std::move(version));
     }
   } else if (const auto* del = std::get_if<proto::DeleteRequest>(&request)) {
     if (const auto* put_reply = std::get_if<proto::PutReply>(&reply)) {
@@ -402,7 +639,7 @@ proto::Message GeoTestbed::Serve(NodeEntry& entry,
       tombstone.key = del->key;
       tombstone.timestamp = put_reply->timestamp;
       tombstone.is_tombstone = true;
-      fanout_writes.push_back(std::move(tombstone));
+      accepted_writes.push_back(std::move(tombstone));
     }
   } else if (const auto* commit = std::get_if<proto::CommitRequest>(&request)) {
     if (const auto* commit_reply = std::get_if<proto::CommitReply>(&reply);
@@ -410,17 +647,28 @@ proto::Message GeoTestbed::Serve(NodeEntry& entry,
       for (const proto::ObjectVersion& w : commit->writes) {
         proto::ObjectVersion version = w;
         version.timestamp = commit_reply->commit_timestamp;
-        fanout_writes.push_back(std::move(version));
+        accepted_writes.push_back(std::move(version));
       }
     }
   }
+  for (const proto::ObjectVersion& version : accepted_writes) {
+    JournalVersion(entry, version);
+  }
+
+  // Section 6.4: with multiple sync replicas, a Put (or transactional
+  // commit) at the primary is acked only after every sync replica applied
+  // it. The client-visible extra delay is the slowest replica's round trip.
+  if (options_.sync_replica_count <= 1 || entry.site != primary_site_) {
+    return reply;
+  }
+  const std::vector<proto::ObjectVersion>& fanout_writes = accepted_writes;
   if (fanout_writes.empty()) {
     return reply;
   }
   auto& latency = env_.latency_model();
   MicrosecondCount slowest = 0;
   for (NodeEntry& other : nodes_) {
-    if (&other == &entry) {
+    if (&other == &entry || other.down || other.crashed) {
       continue;
     }
     storage::Tablet* tablet = other.node->FindTablet(kTableName, "");
@@ -429,6 +677,7 @@ proto::Message GeoTestbed::Serve(NodeEntry& entry,
     }
     for (const proto::ObjectVersion& version : fanout_writes) {
       tablet->ApplyReplicatedPut(version);
+      JournalVersion(other, version);
     }
     const MicrosecondCount rtt =
         latency.SampleOneWay(entry.site_id, other.site_id, env_.rng()) +
@@ -444,6 +693,12 @@ std::unique_ptr<GeoClient> GeoTestbed::MakeClient(
   const sim::SiteId client_site = SiteIdOf(site);
   assert(client_site >= 0 && "unknown site");
 
+  // Put-retry backoffs advance virtual time (and with it replication,
+  // probes, and recovery) instead of busy-looping at one instant.
+  if (!options.sleep_fn) {
+    options.sleep_fn = [this](MicrosecondCount us) { env_.RunFor(us); };
+  }
+
   core::TableView view;
   view.table_name = kTableName;
   for (size_t i = 0; i < nodes_.size(); ++i) {
@@ -454,7 +709,7 @@ std::unique_ptr<GeoClient> GeoTestbed::MakeClient(
     replica.authoritative =
         entry.node->FindTablet(kTableName, "")->authoritative();
     replica.connection = std::make_shared<SimConnection>(
-        this, &env_, client_site, entry.site_id,
+        this, &env_, client_site, site, entry.site_id, entry.site,
         [this, entry_ptr](const proto::Message& request,
                           MicrosecondCount* extra) {
           return Serve(*entry_ptr, request, extra);

@@ -22,7 +22,9 @@
 
 #include "src/core/client.h"
 #include "src/core/connection.h"
+#include "src/persist/wal.h"
 #include "src/replication/replication_agent.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/sim_environment.h"
 #include "src/storage/storage_node.h"
 
@@ -47,6 +49,11 @@ struct GeoTestbedOptions {
   // 3 adds India too. Puts are acked only after every sync replica applied.
   int sync_replica_count = 1;
   storage::VersionedStore::Options store;
+  // When non-empty, every storage node journals its applied writes to
+  // `<durable_root>/<site>.wal` (created on demand), and CrashNode /
+  // RestartNode model a real process crash: volatile state is lost and the
+  // restarted node recovers from its WAL before replication catches it up.
+  std::string durable_root;
 };
 
 // A Pileus client running at some site of the testbed, with its connections,
@@ -112,6 +119,21 @@ class GeoTestbed {
   void SetNodeDown(const std::string& site, bool down);
   bool IsNodeDown(const std::string& site);
 
+  // Scriptable fault injection (drops, gray slowness, partitions,
+  // corruption). Every simulated message leg - client requests, replies,
+  // probes, replication pulls - consults these rules. Endpoints are site
+  // names; clients share their site's name.
+  sim::FaultInjector& faults() { return faults_; }
+
+  // Crash: the node goes silent (messages drop; the client sees only
+  // deadline expiries) and its volatile state is destroyed, unlike the
+  // polite SetNodeDown. RestartNode brings it back empty, replays its WAL
+  // (when GeoTestbedOptions::durable_root is set), restores its configured
+  // role, and lets replication catch it up from there.
+  void CrashNode(const std::string& site);
+  Status RestartNode(const std::string& site);
+  bool IsNodeCrashed(const std::string& site);
+
   // Total replication messages exchanged so far (pull round trips).
   uint64_t replication_rounds() const { return replication_rounds_; }
 
@@ -134,6 +156,10 @@ class GeoTestbed {
     std::unique_ptr<replication::ReplicationAgent> agent;  // Secondaries.
     sim::PeriodicHandle pull_task;
     bool down = false;
+    // Crashed: node/agent are destroyed (volatile state lost) until
+    // RestartNode; the WAL below is the only thing that survives.
+    bool crashed = false;
+    persist::WriteAheadLog wal;  // Open only when durable_root is set.
   };
 
   // The server-side of one simulated request: dispatch plus, for Puts with
@@ -146,8 +172,13 @@ class GeoTestbed {
   void SchedulePull(NodeEntry& entry);
   void RunPullRound(NodeEntry& entry);
 
+  std::string WalPath(const std::string& site) const;
+  // Journals one applied write into the entry's WAL (no-op when closed).
+  void JournalVersion(NodeEntry& entry, const proto::ObjectVersion& version);
+
   GeoTestbedOptions options_;
   sim::SimEnvironment env_;
+  sim::FaultInjector faults_;
   std::vector<NodeEntry> nodes_;
   std::string primary_site_ = kEngland;
   sim::SiteId china_site_ = -1;

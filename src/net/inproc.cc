@@ -18,24 +18,50 @@ void SleepMicros(MicrosecondCount us) {
 
 class InProcChannel : public Channel {
  public:
-  InProcChannel(InProcNetwork* network, std::string endpoint,
+  InProcChannel(InProcNetwork* network, std::string endpoint, std::string from,
                 std::shared_ptr<InProcNetwork::SharedDelay> delay)
       : network_(network),
         endpoint_(std::move(endpoint)),
-        delay_(std::move(delay)) {}
+        from_(std::move(from)),
+        delay_(std::move(delay)),
+        rng_(std::hash<std::string>{}(endpoint_) ^ 0x9e3779b97f4a7c15ULL) {}
 
   Result<proto::Message> Call(const proto::Message& request,
                               MicrosecondCount timeout_us) override {
-    const MicrosecondCount one_way = delay_->Get();
-    if (timeout_us > 0 && 2 * one_way > timeout_us) {
+    sim::FaultInjector* faults = network_->Faults();
+    // Each message leg gets its own fault decision so asymmetric rules
+    // (A->B blocked, B->A fine) behave asymmetrically.
+    sim::FaultDecision to_server;
+    sim::FaultDecision to_client;
+    if (faults != nullptr) {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      to_server = faults->OnMessage(from_, endpoint_, rng_);
+      to_client = faults->OnMessage(endpoint_, from_, rng_);
+    }
+
+    MicrosecondCount one_way = delay_->Get();
+    const MicrosecondCount request_leg = static_cast<MicrosecondCount>(
+        static_cast<double>(one_way) * to_server.latency_multiplier);
+    const MicrosecondCount reply_leg = static_cast<MicrosecondCount>(
+        static_cast<double>(one_way) * to_client.latency_multiplier);
+    if (timeout_us > 0 && request_leg + reply_leg > timeout_us) {
       // The round trip cannot complete inside the deadline; model the caller
       // waiting out its full timeout.
       SleepMicros(timeout_us);
       return Status(StatusCode::kTimeout, "inproc call deadline exceeded");
     }
     // Round-trip through the real wire format so encoding bugs surface here.
-    const std::string encoded = proto::EncodeMessage(request);
-    SleepMicros(one_way);
+    std::string encoded = proto::EncodeMessage(request);
+    if (to_server.drop) {
+      // Silent loss: the caller learns nothing until its deadline expires.
+      SleepMicros(timeout_us);
+      return Status(StatusCode::kTimeout, "inproc call deadline exceeded");
+    }
+    if (to_server.corrupt) {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      sim::FaultInjector::CorruptFrame(encoded, rng_);
+    }
+    SleepMicros(request_leg);
     Handler handler = network_->LookupHandler(endpoint_);
     if (!handler) {
       return Status(StatusCode::kUnavailable,
@@ -43,18 +69,33 @@ class InProcChannel : public Channel {
     }
     Result<proto::Message> decoded_request = proto::DecodeMessage(encoded);
     if (!decoded_request.ok()) {
-      return decoded_request.status();
+      // A corrupt request dies at the server's codec; the client sees only
+      // its deadline expire, exactly like a drop.
+      SleepMicros(timeout_us > request_leg ? timeout_us - request_leg : 0);
+      return Status(StatusCode::kTimeout, "inproc call deadline exceeded");
     }
     const proto::Message reply = handler(decoded_request.value());
-    const std::string encoded_reply = proto::EncodeMessage(reply);
-    SleepMicros(one_way);
+    std::string encoded_reply = proto::EncodeMessage(reply);
+    if (to_client.drop) {
+      SleepMicros(timeout_us > request_leg ? timeout_us - request_leg : 0);
+      return Status(StatusCode::kTimeout, "inproc call deadline exceeded");
+    }
+    if (to_client.corrupt) {
+      std::lock_guard<std::mutex> lock(rng_mu_);
+      sim::FaultInjector::CorruptFrame(encoded_reply, rng_);
+    }
+    SleepMicros(reply_leg);
+    // A corrupt reply surfaces as the codec's kCorruption status.
     return proto::DecodeMessage(encoded_reply);
   }
 
  private:
   InProcNetwork* network_;
   std::string endpoint_;
+  std::string from_;
   std::shared_ptr<InProcNetwork::SharedDelay> delay_;
+  std::mutex rng_mu_;
+  Random rng_;
 };
 
 void InProcNetwork::RegisterEndpoint(const std::string& name,
@@ -74,15 +115,22 @@ Handler InProcNetwork::LookupHandler(const std::string& name) {
   return it == endpoints_.end() ? Handler() : it->second;
 }
 
+void InProcNetwork::SetFaultInjector(sim::FaultInjector* faults) {
+  faults_.store(faults, std::memory_order_release);
+}
+
 std::unique_ptr<Channel> InProcNetwork::Connect(
-    const std::string& endpoint, MicrosecondCount one_way_delay_us) {
+    const std::string& endpoint, MicrosecondCount one_way_delay_us,
+    const std::string& from) {
   return ConnectShared(endpoint,
-                       std::make_shared<SharedDelay>(one_way_delay_us));
+                       std::make_shared<SharedDelay>(one_way_delay_us), from);
 }
 
 std::unique_ptr<Channel> InProcNetwork::ConnectShared(
-    const std::string& endpoint, std::shared_ptr<SharedDelay> delay) {
-  return std::make_unique<InProcChannel>(this, endpoint, std::move(delay));
+    const std::string& endpoint, std::shared_ptr<SharedDelay> delay,
+    const std::string& from) {
+  return std::make_unique<InProcChannel>(this, endpoint, from,
+                                         std::move(delay));
 }
 
 }  // namespace pileus::net

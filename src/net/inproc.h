@@ -17,6 +17,7 @@
 #include <string>
 
 #include "src/net/channel.h"
+#include "src/sim/fault_injector.h"
 
 namespace pileus::net {
 
@@ -27,11 +28,20 @@ class InProcNetwork {
   void RegisterEndpoint(const std::string& name, Handler handler);
   void Unregister(const std::string& name);
 
+  // Installs a fault injector consulted on every message leg (request and
+  // reply separately, so asymmetric rules behave asymmetrically). Not owned;
+  // must outlive the network's channels. nullptr restores fault-free
+  // operation. Channels name their client side via Connect's `from`
+  // parameter ("client" by default).
+  void SetFaultInjector(sim::FaultInjector* faults);
+
   // Creates a channel to `endpoint` whose calls incur `one_way_delay_us` in
   // each direction. The channel is valid even if the endpoint registers
-  // later; calls to a missing endpoint fail with kUnavailable.
+  // later; calls to a missing endpoint fail with kUnavailable. `from` names
+  // the calling side for fault-injection rules.
   std::unique_ptr<Channel> Connect(const std::string& endpoint,
-                                   MicrosecondCount one_way_delay_us);
+                                   MicrosecondCount one_way_delay_us,
+                                   const std::string& from = "client");
 
   // A mutable delay cell shared between a test/experiment and a channel, so
   // link latency can change while traffic is in flight.
@@ -49,7 +59,8 @@ class InProcNetwork {
 
   // Like Connect, but the one-way delay is read from `delay` on every call.
   std::unique_ptr<Channel> ConnectShared(const std::string& endpoint,
-                                         std::shared_ptr<SharedDelay> delay);
+                                         std::shared_ptr<SharedDelay> delay,
+                                         const std::string& from = "client");
 
  private:
   friend class InProcChannel;
@@ -57,8 +68,13 @@ class InProcNetwork {
   // Looks up a handler; returns nullptr when absent.
   Handler LookupHandler(const std::string& name);
 
+  sim::FaultInjector* Faults() const {
+    return faults_.load(std::memory_order_acquire);
+  }
+
   std::mutex mu_;
   std::map<std::string, Handler> endpoints_;
+  std::atomic<sim::FaultInjector*> faults_{nullptr};
 };
 
 }  // namespace pileus::net

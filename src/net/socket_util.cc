@@ -165,7 +165,9 @@ Status WriteFull(int fd, const void* buf, size_t len) {
   const char* in = static_cast<const char*>(buf);
   size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::write(fd, in + done, len - done);
+    // MSG_NOSIGNAL: writing to a peer-closed socket must surface as EPIPE
+    // (mapped to kUnavailable below), not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd, in + done, len - done, MSG_NOSIGNAL);
     if (n > 0) {
       done += static_cast<size_t>(n);
       continue;

@@ -154,41 +154,79 @@ Result<proto::Message> TcpChannel::Call(const proto::Message& request,
     std::this_thread::sleep_for(
         std::chrono::microseconds(artificial_delay_us_));
   }
-  Status st = EnsureConnected(timeout_us);
-  if (!st.ok()) {
-    return st;
-  }
-  const uint64_t id = next_request_id_++;
-  st = WriteFrame(fd_.get(), EncodeWithId(id, request));
-  if (!st.ok()) {
-    fd_.Reset();
-    return st;
-  }
-  // Read until our id shows up; stale replies from timed-out calls on this
-  // connection are discarded.
-  while (true) {
-    Result<std::string> frame = ReadFrame(fd_.get(), timeout_us);
-    if (!frame.ok()) {
-      fd_.Reset();
-      return frame.status();
+  // Auto-reconnect: a server restart leaves this channel holding a dead
+  // socket, which surfaces as kUnavailable (ECONNRESET/EPIPE on write, EOF
+  // on read). One reconnect-and-resend attempt recovers transparently while
+  // deadline budget remains. Timeouts are NOT resent: after silence the
+  // budget is gone and the request may still be in flight.
+  const MicrosecondCount start_us = RealClock::Instance()->NowMicros();
+  Status last(StatusCode::kUnavailable, "tcp call never attempted");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    MicrosecondCount remaining = timeout_us;
+    if (timeout_us > 0) {
+      remaining = timeout_us - (RealClock::Instance()->NowMicros() - start_us);
+      if (remaining <= 0) {
+        return attempt == 0
+                   ? Status(StatusCode::kTimeout, "call deadline exceeded")
+                   : last;
+      }
     }
-    uint64_t reply_id = 0;
-    Result<proto::Message> reply{Status(StatusCode::kInternal, "")};
-    st = DecodeWithId(frame.value(), &reply_id, &reply);
+    Status st = EnsureConnected(remaining);
     if (!st.ok()) {
-      fd_.Reset();
-      return st;
-    }
-    if (reply_id != id) {
-      PILEUS_LOG(kDebug) << "discarding stale reply id " << reply_id;
+      if (st.code() == StatusCode::kTimeout) {
+        return st;
+      }
+      last = st;
       continue;
     }
-    if (artificial_delay_us_ > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(artificial_delay_us_));
+    const uint64_t id = next_request_id_++;
+    st = WriteFrame(fd_.get(), EncodeWithId(id, request));
+    if (!st.ok()) {
+      fd_.Reset();
+      last = st;
+      continue;  // The peer never got the frame; safe to resend.
     }
-    return reply;
+    // Read until our id shows up; stale replies from timed-out calls on this
+    // connection are discarded.
+    while (true) {
+      if (timeout_us > 0) {
+        remaining =
+            timeout_us - (RealClock::Instance()->NowMicros() - start_us);
+        if (remaining <= 0) {
+          fd_.Reset();
+          return Status(StatusCode::kTimeout, "call deadline exceeded");
+        }
+      }
+      Result<std::string> frame = ReadFrame(fd_.get(), remaining);
+      if (!frame.ok()) {
+        fd_.Reset();
+        if (frame.status().code() == StatusCode::kTimeout) {
+          return frame.status();
+        }
+        last = frame.status();
+        break;  // Connection died mid-call; retry once on a fresh socket.
+      }
+      uint64_t reply_id = 0;
+      Result<proto::Message> reply{Status(StatusCode::kInternal, "")};
+      st = DecodeWithId(frame.value(), &reply_id, &reply);
+      if (!st.ok()) {
+        // Framing is unrecoverable after a bad frame; fail the call rather
+        // than resend into a desynchronized stream.
+        fd_.Reset();
+        return st;
+      }
+      if (reply_id != id) {
+        PILEUS_LOG(kDebug) << "discarding stale reply id " << reply_id;
+        continue;
+      }
+      if (artificial_delay_us_ > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(artificial_delay_us_));
+      }
+      return reply;
+    }
   }
+  return last;
 }
 
 }  // namespace pileus::net

@@ -1,13 +1,16 @@
 #include "src/proto/messages.h"
 
 #include "src/util/codec.h"
+#include "src/util/crc32.h"
 
 namespace pileus::proto {
 
 namespace {
 
-// Bumped when any message body layout changes.
-constexpr uint8_t kWireVersion = 1;
+// Bumped when any message body layout changes. Version 2 added the CRC-32
+// trailer so corrupted frames are rejected deterministically instead of
+// decoding into garbage field values.
+constexpr uint8_t kWireVersion = 2;
 
 void EncodeObjectVersion(Encoder& enc, const ObjectVersion& v) {
   enc.PutLengthPrefixed(v.key);
@@ -376,11 +379,30 @@ std::string EncodeMessage(const Message& message) {
   enc.PutUint8(static_cast<uint8_t>(TypeOf(message)));
   enc.PutUint8(kWireVersion);
   std::visit([&enc](const auto& m) { EncodeBody(enc, m); }, message);
-  return enc.Release();
+  // CRC-32 trailer over everything above; a flipped byte anywhere in the
+  // frame (type, version, or body) fails the check on decode.
+  std::string out = enc.Release();
+  const uint32_t crc = Crc32(out);
+  Encoder trailer;
+  trailer.PutFixed32(crc);
+  out += trailer.buffer();
+  return out;
 }
 
 Result<Message> DecodeMessage(std::string_view bytes) {
-  Decoder dec(bytes);
+  if (bytes.size() < 4) {
+    return Status(StatusCode::kCorruption, "frame shorter than its checksum");
+  }
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  {
+    Decoder crc_dec(bytes.substr(bytes.size() - 4));
+    uint32_t stored_crc = 0;
+    PILEUS_RETURN_IF_ERROR(crc_dec.GetFixed32(&stored_crc));
+    if (Crc32(body) != stored_crc) {
+      return Status(StatusCode::kCorruption, "message checksum mismatch");
+    }
+  }
+  Decoder dec(body);
   uint8_t type_byte;
   Status st = dec.GetUint8(&type_byte);
   if (!st.ok()) {

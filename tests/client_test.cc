@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/core/client.h"
@@ -175,6 +176,92 @@ TEST_F(ClientTest, PutErrorPropagates) {
   Session session = client_->BeginSession(ShoppingCartSla()).value();
   EXPECT_EQ(client_->Put(session, "k", "v").status().code(),
             StatusCode::kNotPrimary);
+  // Semantic errors are final: no blind retry against a node that answered.
+  EXPECT_EQ(primary_->calls(), 1);
+}
+
+TEST_F(ClientTest, PutRetriesTransportFailureWithJitteredBackoff) {
+  const Timestamp put_ts{clock_.NowMicros(), 1};
+  std::vector<MicrosecondCount> sleeps;
+  PileusClient::Options options;
+  options.put_max_attempts = 3;
+  options.put_backoff_initial_us = 100 * kMs;
+  options.put_backoff_multiplier = 2.0;
+  options.put_backoff_max_us = 150 * kMs;
+  options.sleep_fn = [&sleeps](MicrosecondCount us) { sleeps.push_back(us); };
+  int attempt = 0;
+  Build(options,
+        [&](const proto::Message&, MicrosecondCount) {
+          if (++attempt < 3) {
+            return TimedReply(
+                Status(StatusCode::kUnavailable, "connection reset"), kMs);
+          }
+          return PutReplyWith(2 * kMs, put_ts);
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  Result<PutResult> result = client_->Put(session, "k", "v");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->timestamp, put_ts);
+  EXPECT_EQ(primary_->calls(), 3);
+  EXPECT_EQ(session.LastPutTimestamp("k"), put_ts);
+  // One jittered wait before each retry: 50-100% of the nominal backoff,
+  // with the second nominal capped by put_backoff_max_us.
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_GE(sleeps[0], 50 * kMs);
+  EXPECT_LE(sleeps[0], 100 * kMs);
+  EXPECT_GE(sleeps[1], 75 * kMs);
+  EXPECT_LE(sleeps[1], 150 * kMs);
+  // Failed attempts fed the monitor; the final success repaired the streak
+  // before the breaker (threshold 3) could trip.
+  EXPECT_LT(client_->monitor().PNodeUp("primary"), 1.0);
+  EXPECT_EQ(client_->monitor().breaker_trips(), 0u);
+}
+
+TEST_F(ClientTest, PutGivesUpAfterBoundedAttempts) {
+  PileusClient::Options options;
+  options.put_max_attempts = 4;
+  options.sleep_fn = [](MicrosecondCount) {};
+  Build(options,
+        [](const proto::Message&, MicrosecondCount) {
+          return TimedReply(Status(StatusCode::kTimeout, "silent drop"),
+                            10 * kMs);
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  Result<PutResult> result = client_->Put(session, "k", "v");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(primary_->calls(), 4);  // Bounded: never an infinite retry loop.
+  // Four consecutive transport failures tripped the primary's breaker.
+  EXPECT_EQ(client_->monitor().breaker_trips(), 1u);
+  EXPECT_DOUBLE_EQ(client_->monitor().PNodeUp("primary"), 0.0);
+}
+
+TEST_F(ClientTest, PutRetriesUnavailableErrorReply) {
+  // A node that answers with kUnavailable (e.g. mid-restart) is retried just
+  // like a transport failure; any other ErrorReply is final.
+  const Timestamp put_ts{clock_.NowMicros(), 2};
+  int attempt = 0;
+  PileusClient::Options options;
+  options.sleep_fn = [](MicrosecondCount) {};
+  Build(options,
+        [&](const proto::Message&, MicrosecondCount) {
+          if (++attempt == 1) {
+            proto::ErrorReply err;
+            err.code = StatusCode::kUnavailable;
+            return TimedReply(proto::Message(err), kMs);
+          }
+          return PutReplyWith(kMs, put_ts);
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "k", "v").ok());
+  EXPECT_EQ(primary_->calls(), 2);
 }
 
 TEST_F(ClientTest, GetDeliversValueAndTopSubSla) {

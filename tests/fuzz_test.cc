@@ -15,6 +15,7 @@
 #include "src/common/random.h"
 #include "src/persist/wal.h"
 #include "src/proto/messages.h"
+#include "src/sim/fault_injector.h"
 #include "src/util/codec.h"
 
 namespace pileus {
@@ -102,6 +103,55 @@ TEST(FuzzTest, DecodeMessageSurvivesMutatedValidMessages) {
       (void)proto::EncodeMessage(result.value());
     }
   }
+}
+
+TEST(FuzzTest, ByteFlippedFramesFailWithCleanStatus) {
+  // The fault injector's corruption model: 1-3 flipped bytes anywhere in an
+  // otherwise valid frame. The wire CRC must reject every such frame with a
+  // clean Status - no crash, no hang, and (with this seed) no false accept.
+  Random rng(0x51AB);
+  std::vector<std::string> corpus;
+  {
+    proto::PutRequest put;
+    put.table = "t";
+    put.key = "key";
+    put.value = std::string(300, 'x');
+    corpus.push_back(proto::EncodeMessage(put));
+    proto::GetReply reply;
+    reply.found = true;
+    reply.value = std::string(64, 'v');
+    reply.value_timestamp = Timestamp{77, 1};
+    corpus.push_back(proto::EncodeMessage(reply));
+    proto::ErrorReply err;
+    err.code = StatusCode::kUnavailable;
+    err.message = "node down";
+    corpus.push_back(proto::EncodeMessage(err));
+    proto::SyncReply sync;
+    for (int i = 0; i < 8; ++i) {
+      proto::ObjectVersion v;
+      v.key = "k" + std::to_string(i);
+      v.value = std::string(16, 'd');
+      v.timestamp = Timestamp{500 + i, 0};
+      sync.versions.push_back(v);
+    }
+    corpus.push_back(proto::EncodeMessage(sync));
+  }
+  int accepted = 0;
+  for (int round = 0; round < 20000; ++round) {
+    const std::string& original = corpus[rng.NextUint64(corpus.size())];
+    std::string frame = original;
+    sim::FaultInjector::CorruptFrame(frame, rng);
+    if (frame == original) {
+      continue;  // Multiple flips on one byte can cancel out (rare).
+    }
+    Result<proto::Message> result = proto::DecodeMessage(frame);
+    if (result.ok()) {
+      ++accepted;
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+  EXPECT_EQ(accepted, 0);
 }
 
 TEST(FuzzTest, DecoderPrimitivesNeverOverread) {

@@ -362,6 +362,76 @@ TEST(GeoTestbedTest, NodeFailureIsRoutedAround) {
   EXPECT_TRUE(back_home);
 }
 
+TEST(GeoTestbedTest, CrashedNodeRecoversStalenessAndLocalRouting) {
+  // Crash (silent, volatile state lost) instead of SetNodeDown (fast, clean
+  // kUnavailable): the client must survive the outage window, and after
+  // RestartNode the node must catch up on staleness via replication before
+  // probes route reads back to it.
+  GeoTestbed testbed(FastOptions());
+  PreloadKeys(testbed, 100);
+  testbed.StartReplication();
+  auto client = testbed.MakeClient(kChina, core::PileusClient::Options{});
+  client->StartProbing();
+  core::Session session =
+      client->client()
+          .BeginSession(core::Sla()
+                            .Add(Guarantee::Eventual(),
+                                 MillisecondsToMicroseconds(400), 1.0)
+                            .Add(Guarantee::Eventual(),
+                                 SecondsToMicroseconds(2), 0.1))
+          .value();
+  // Warm up: China's reads settle on the US node (its closest replica).
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        client->client()
+            .Get(session, workload::YcsbWorkload::KeyForIndex(i))
+            .ok());
+  }
+
+  testbed.CrashNode(kUs);
+  // The outage is silent, so the first Get burns its whole deadline before
+  // the monitor learns anything; after that reads are served elsewhere.
+  int failures = 0;
+  for (int i = 0; i < 15; ++i) {
+    Result<core::GetResult> result =
+        client->client().Get(session, workload::YcsbWorkload::KeyForIndex(i));
+    if (!result.ok()) {
+      ++failures;
+      continue;
+    }
+    EXPECT_TRUE(result->found);
+    EXPECT_NE(result->outcome.node_name, kUs);
+  }
+  EXPECT_GE(failures, 1);
+  EXPECT_LE(failures, 6);
+
+  // A write lands at the primary while the node is dead: the restarted node
+  // comes back both empty and stale.
+  ASSERT_TRUE(client->client().Put(session, "fresh-key", "fresh").ok());
+  const Timestamp fresh_high =
+      testbed.primary_node()->FindTablet(kTableName, "")->high_timestamp();
+
+  ASSERT_TRUE(testbed.RestartNode(kUs).ok());
+  testbed.env().RunFor(SecondsToMicroseconds(120));
+  // Replication caught the node up past the crash-window write...
+  auto* us = testbed.node(kUs)->FindTablet(kTableName, "");
+  EXPECT_TRUE(us->HandleGet("fresh-key").found);
+  EXPECT_GE(us->high_timestamp(), fresh_high);
+  // ...probes re-learned its staleness, and routing returned to the nearest
+  // node.
+  bool back_home = false;
+  for (int i = 0; i < 30 && !back_home; ++i) {
+    Result<core::GetResult> result =
+        client->client().Get(session, workload::YcsbWorkload::KeyForIndex(i));
+    ASSERT_TRUE(result.ok());
+    back_home = result->outcome.node_name == kUs;
+    testbed.env().RunFor(SecondsToMicroseconds(5));
+  }
+  EXPECT_TRUE(back_home);
+  EXPECT_GT(client->client().monitor().KnownHighTimestamp(kUs),
+            Timestamp::Zero());
+}
+
 TEST(GeoTestbedTest, PrimaryFailureKillsPutsButNotWeakReads) {
   GeoTestbed testbed(FastOptions());
   PreloadKeys(testbed, 100);

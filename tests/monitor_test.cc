@@ -147,11 +147,78 @@ TEST_F(MonitorTest, PNodeUpDefaultsToOne) {
 }
 
 TEST_F(MonitorTest, FailuresLowerPNodeUp) {
+  // Breaker disabled: this test checks the pure windowed estimate (three
+  // consecutive failures would otherwise trip the breaker and force 0).
+  Monitor::Options options;
+  options.breaker_failure_threshold = 0;
+  Monitor monitor(&clock_, options);
+  monitor.RecordSuccess("n");
+  monitor.RecordFailure("n");
+  monitor.RecordFailure("n");
+  monitor.RecordFailure("n");
+  EXPECT_DOUBLE_EQ(monitor.PNodeUp("n"), 0.25);
+}
+
+TEST_F(MonitorTest, BreakerTripsAfterConsecutiveFailures) {
+  EXPECT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kClosed);
+  monitor_.RecordFailure("n");
+  monitor_.RecordFailure("n");
+  EXPECT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kClosed);
+  monitor_.RecordFailure("n");  // Third consecutive failure: trip.
+  EXPECT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kOpen);
+  EXPECT_TRUE(monitor_.BreakerOpen("n"));
+  EXPECT_EQ(monitor_.breaker_trips(), 1u);
+  // While open: PNodeUp forced to 0 and probing is pointless.
+  EXPECT_DOUBLE_EQ(monitor_.PNodeUp("n"), 0.0);
+  EXPECT_FALSE(monitor_.NeedsProbe("n"));
+}
+
+TEST_F(MonitorTest, InterleavedSuccessNeverTripsBreaker) {
+  for (int i = 0; i < 10; ++i) {
+    monitor_.RecordFailure("n");
+    monitor_.RecordFailure("n");
+    monitor_.RecordSuccess("n");  // Resets the consecutive count.
+  }
+  EXPECT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kClosed);
+  EXPECT_EQ(monitor_.breaker_trips(), 0u);
+}
+
+TEST_F(MonitorTest, BreakerHalfOpensAfterCooldownAndClosesOnSuccess) {
+  for (int i = 0; i < 3; ++i) {
+    monitor_.RecordFailure("n");
+  }
+  ASSERT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kOpen);
+  clock_.AdvanceMicros(monitor_.options().breaker_cooldown_us + 1);
+  EXPECT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kHalfOpen);
+  // Half-open: exactly the probation probes run again.
+  EXPECT_TRUE(monitor_.NeedsProbe("n"));
+  // PNodeUp is no longer forced to 0 (the windowed estimate returns).
   monitor_.RecordSuccess("n");
+  EXPECT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kClosed);
+}
+
+TEST_F(MonitorTest, HalfOpenFailureRearmsFullCooldown) {
+  for (int i = 0; i < 3; ++i) {
+    monitor_.RecordFailure("n");
+  }
+  clock_.AdvanceMicros(monitor_.options().breaker_cooldown_us + 1);
+  ASSERT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kHalfOpen);
+  monitor_.RecordFailure("n");  // Probation probe failed.
+  EXPECT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kOpen);
+  // Re-opening an already-tripped breaker is not a new trip.
+  EXPECT_EQ(monitor_.breaker_trips(), 1u);
+  clock_.AdvanceMicros(monitor_.options().breaker_cooldown_us / 2);
+  EXPECT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kOpen);
+}
+
+TEST_F(MonitorTest, SuccessFullyResetsBreakerHistory) {
   monitor_.RecordFailure("n");
   monitor_.RecordFailure("n");
+  monitor_.RecordSuccess("n");
+  // The count restarted: two more failures must not trip a threshold of 3.
   monitor_.RecordFailure("n");
-  EXPECT_DOUBLE_EQ(monitor_.PNodeUp("n"), 0.25);
+  monitor_.RecordFailure("n");
+  EXPECT_EQ(monitor_.Breaker("n"), Monitor::BreakerState::kClosed);
 }
 
 TEST_F(MonitorTest, RecoverySuccessesRestorePNodeUp) {

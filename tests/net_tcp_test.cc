@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -109,7 +110,43 @@ TEST(TcpTest, ConnectToClosedPortFails) {
   TcpChannel channel(dead_port);
   Result<proto::Message> reply =
       channel.Call(proto::GetRequest{}, MillisecondsToMicroseconds(500));
-  EXPECT_FALSE(reply.ok());
+  ASSERT_FALSE(reply.ok());
+  // Connection refused is a fast, clean kUnavailable - never a timeout and
+  // never a crash.
+  EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(TcpTest, ServerKilledMidStreamThenRestartedOnSamePort) {
+  auto server = std::make_unique<TcpServer>();
+  ASSERT_TRUE(server->Start(0, Echo).ok());
+  const uint16_t port = server->port();
+  TcpChannel channel(port);
+
+  proto::GetRequest request;
+  request.table = "t";
+  request.key = "before";
+  ASSERT_TRUE(channel.Call(request, SecondsToMicroseconds(5)).ok());
+
+  // Kill the server: the channel is left holding a dead socket mid-stream.
+  server->Stop();
+  server.reset();
+  request.key = "down";
+  Result<proto::Message> down =
+      channel.Call(request, SecondsToMicroseconds(2));
+  ASSERT_FALSE(down.ok());
+  // The dead socket surfaces as kUnavailable (reset/refused), distinct from
+  // kTimeout: the caller can safely retry because the frame never landed.
+  EXPECT_EQ(down.status().code(), StatusCode::kUnavailable);
+
+  // Restart on the same port: the same channel object reconnects lazily and
+  // the next call goes through without any explicit reset.
+  TcpServer revived;
+  ASSERT_TRUE(revived.Start(port, Echo).ok());
+  request.key = "after";
+  Result<proto::Message> after =
+      channel.Call(request, SecondsToMicroseconds(5));
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(std::get<proto::GetReply>(after.value()).value, "echo:after");
 }
 
 TEST(TcpTest, LargeValuesCrossIntact) {
