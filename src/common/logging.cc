@@ -1,15 +1,30 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cinttypes>
 #include <cstdio>
 #include <mutex>
 #include <string>
+
+#include "src/common/clock.h"
 
 namespace pileus {
 
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+// nullptr = wall clock; the simulation swaps in its virtual clock.
+std::atomic<const Clock*> g_log_clock{nullptr};
+
+// Small sequential per-thread ids so interleaved lines are attributable
+// without printing full pthread handles.
+unsigned ThisThreadLogId() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 // Serializes whole lines so concurrent threads do not interleave output.
 std::mutex& OutputMutex() {
@@ -54,12 +69,26 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
 }
 
+void SetLogClock(const Clock* clock) {
+  g_log_clock.store(clock, std::memory_order_release);
+}
+
+const Clock* GetLogClock() {
+  return g_log_clock.load(std::memory_order_acquire);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelTag(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  const Clock* clock = GetLogClock();
+  const MicrosecondCount now_us =
+      (clock != nullptr ? clock : RealClock::Instance())->NowMicros();
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%s %" PRId64 ".%06" PRId64 " t%02u ",
+                LevelTag(level), static_cast<int64_t>(now_us / 1000000),
+                static_cast<int64_t>(now_us % 1000000), ThisThreadLogId());
+  stream_ << prefix << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -12,6 +12,8 @@
 
 namespace pileus {
 
+class Clock;
+
 enum class LogLevel : int {
   kDebug = 0,
   kInfo = 1,
@@ -23,6 +25,13 @@ enum class LogLevel : int {
 // Process-wide minimum level; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Clock used for the timestamp in every log line. Defaults to the wall clock;
+// the deterministic simulation registers its virtual clock so log output lines
+// up with simulated time. Pass nullptr to restore the wall clock. The clock is
+// not owned and must outlive all logging that uses it.
+void SetLogClock(const Clock* clock);
+const Clock* GetLogClock();
 
 namespace internal {
 

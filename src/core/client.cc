@@ -73,6 +73,120 @@ PileusClient::PileusClient(TableView table, const Clock* clock,
   assert(table_.Validate().ok() && "invalid TableView");
   assert((options_.parallel_fanout <= 1 || fanout_ != nullptr) &&
          "parallel_fanout > 1 requires a FanoutCaller");
+  InitInstruments();
+}
+
+void PileusClient::InitInstruments() {
+  telemetry::MetricsRegistry* registry = options_.metrics;
+  if (registry == nullptr) {
+    return;
+  }
+  const std::string_view table = table_.table_name;
+  const auto counter = [&](std::string_view base) {
+    return registry->GetCounter(
+        telemetry::WithLabels(base, {{"table", table}}));
+  };
+  const auto rank_counter = [&](std::string_view base, std::string_view rank) {
+    return registry->GetCounter(
+        telemetry::WithLabels(base, {{"table", table}, {"rank", rank}}));
+  };
+  instruments_.gets = counter("pileus_client_gets_total");
+  instruments_.ranges = counter("pileus_client_ranges_total");
+  instruments_.puts = counter("pileus_client_puts_total");
+  instruments_.deletes = counter("pileus_client_deletes_total");
+  instruments_.probes = counter("pileus_client_probes_total");
+  instruments_.get_errors = counter("pileus_client_get_errors_total");
+  instruments_.put_errors = counter("pileus_client_put_errors_total");
+  instruments_.retries = counter("pileus_client_retries_total");
+  instruments_.messages = counter("pileus_client_messages_total");
+  instruments_.utility_micros = counter("pileus_client_utility_micros_total");
+  for (int rank = 0; rank < Instruments::kTrackedRanks; ++rank) {
+    const std::string label = std::to_string(rank);
+    instruments_.met_by_rank[rank] =
+        rank_counter("pileus_client_sla_met_total", label);
+    instruments_.target_by_rank[rank] =
+        rank_counter("pileus_client_sla_target_total", label);
+  }
+  instruments_.met_none = rank_counter("pileus_client_sla_met_total", "none");
+  instruments_.met_overflow =
+      rank_counter("pileus_client_sla_met_total", "8plus");
+  instruments_.target_overflow =
+      rank_counter("pileus_client_sla_target_total", "8plus");
+  instruments_.get_latency_us = registry->GetHistogram(
+      telemetry::WithLabels("pileus_client_get_latency_us", {{"table", table}}));
+  instruments_.put_latency_us = registry->GetHistogram(
+      telemetry::WithLabels("pileus_client_put_latency_us", {{"table", table}}));
+}
+
+void PileusClient::CountReadOutcome(const GetOutcome& outcome) {
+  if (options_.metrics == nullptr) {
+    return;
+  }
+  if (outcome.target_rank >= 0) {
+    (outcome.target_rank < Instruments::kTrackedRanks
+         ? instruments_.target_by_rank[outcome.target_rank]
+         : instruments_.target_overflow)
+        ->Increment();
+  }
+  if (outcome.met_rank >= 0) {
+    (outcome.met_rank < Instruments::kTrackedRanks
+         ? instruments_.met_by_rank[outcome.met_rank]
+         : instruments_.met_overflow)
+        ->Increment();
+    if (outcome.utility > 0.0) {
+      instruments_.utility_micros->Increment(
+          static_cast<uint64_t>(outcome.utility * 1e6 + 0.5));
+    }
+  } else {
+    instruments_.met_none->Increment();
+  }
+  if (outcome.messages_sent > 0) {
+    instruments_.messages->Increment(
+        static_cast<uint64_t>(outcome.messages_sent));
+  }
+  if (outcome.retried) {
+    instruments_.retries->Increment();
+  }
+  instruments_.get_latency_us->Record(outcome.rtt_us);
+}
+
+void PileusClient::EmitReadTrace(telemetry::TraceOp op, const Session& session,
+                                 std::string_view key, const Sla& sla,
+                                 const GetOutcome& outcome,
+                                 const Timestamp& read_ts, bool ok) {
+  if (options_.trace_sink == nullptr) {
+    return;
+  }
+  telemetry::TraceEvent event;
+  event.op = op;
+  event.time_us = clock_->NowMicros();
+  event.table = table_.table_name;
+  event.key = std::string(key);
+  event.node = outcome.node_name;
+  event.node_index = outcome.node_index;
+  event.target_rank = outcome.target_rank;
+  event.met_rank = outcome.met_rank;
+  // The guarantee whose minimum acceptable timestamp the reply is judged
+  // against: the met subSLA when one was met, otherwise the top-ranked one
+  // the caller most wanted.
+  const int judged_rank = outcome.met_rank >= 0 ? outcome.met_rank : 0;
+  if (judged_rank < static_cast<int>(sla.size())) {
+    const Guarantee& guarantee = sla[judged_rank].consistency;
+    if (outcome.met_rank >= 0) {
+      event.consistency = guarantee.ToString();
+    }
+    event.min_acceptable =
+        op == telemetry::TraceOp::kRange
+            ? session.MinReadTimestampForScan(guarantee, event.time_us)
+            : session.MinReadTimestamp(guarantee, key, event.time_us);
+  }
+  event.utility = outcome.utility;
+  event.rtt_us = outcome.rtt_us;
+  event.read_timestamp = read_ts;
+  event.from_primary = outcome.from_primary;
+  event.retried = outcome.retried;
+  event.ok = ok;
+  options_.trace_sink->OnTrace(event);
 }
 
 Result<Session> PileusClient::BeginSession(const Sla& default_sla) const {
@@ -188,6 +302,9 @@ int PileusClient::DetermineMetRank(const Sla& sla, const Session& session,
 Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
                                       const Sla& sla) {
   ++gets_issued_;
+  if (instruments_.gets != nullptr) {
+    instruments_.gets->Increment();
+  }
   const MicrosecondCount deadline_us = sla.MaxLatency();
   const MicrosecondCount start_us = clock_->NowMicros();
 
@@ -350,6 +467,9 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
             if (!result.timestamp.IsZero()) {
               session.RecordGet(key, result.timestamp);
             }
+            CountReadOutcome(outcome);
+            EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla,
+                          outcome, get_reply->high_timestamp, /*ok=*/true);
             return result;
           }
         }
@@ -359,6 +479,16 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
 
   if (winner < 0) {
     // Nothing usable came back inside the SLA's overall deadline.
+    if (instruments_.get_errors != nullptr) {
+      instruments_.get_errors->Increment();
+      if (outcome.messages_sent > 0) {
+        instruments_.messages->Increment(
+            static_cast<uint64_t>(outcome.messages_sent));
+      }
+    }
+    outcome.rtt_us = clock_->NowMicros() - start_us;
+    EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla, outcome,
+                  Timestamp::Zero(), /*ok=*/false);
     return Status(StatusCode::kUnavailable,
                   "no replica answered within the SLA deadline");
   }
@@ -383,6 +513,9 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
   if (!result.timestamp.IsZero()) {
     session.RecordGet(key, result.timestamp);
   }
+  CountReadOutcome(outcome);
+  EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla, outcome,
+                get_reply.high_timestamp, /*ok=*/true);
   return result;
 }
 
@@ -409,6 +542,9 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
                                              std::string_view end,
                                              uint32_t limit, const Sla& sla) {
   ++gets_issued_;
+  if (instruments_.ranges != nullptr) {
+    instruments_.ranges->Increment();
+  }
   const MicrosecondCount deadline_us = sla.MaxLatency();
   const MicrosecondCount start_us = clock_->NowMicros();
 
@@ -508,8 +644,21 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
     for (const proto::ObjectVersion& item : result.items) {
       session.RecordGet(item.key, item.timestamp);
     }
+    CountReadOutcome(outcome);
+    EmitReadTrace(telemetry::TraceOp::kRange, session, begin, sla, outcome,
+                  range_reply->high_timestamp, /*ok=*/true);
     return result;
   }
+  if (instruments_.get_errors != nullptr) {
+    instruments_.get_errors->Increment();
+    if (outcome.messages_sent > 0) {
+      instruments_.messages->Increment(
+          static_cast<uint64_t>(outcome.messages_sent));
+    }
+  }
+  outcome.rtt_us = clock_->NowMicros() - start_us;
+  EmitReadTrace(telemetry::TraceOp::kRange, session, begin, sla, outcome,
+                Timestamp::Zero(), /*ok=*/false);
   return Status(StatusCode::kUnavailable,
                 "no replica answered the scan within the SLA deadline");
 }
@@ -517,7 +666,28 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
 Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
                                         Session& session,
                                         std::string_view key,
-                                        std::string_view op_name) {
+                                        std::string_view op_name,
+                                        telemetry::TraceOp trace_op) {
+  const MicrosecondCount start_us = clock_->NowMicros();
+  const auto emit_trace = [&](const Timestamp& assigned, int attempts,
+                              MicrosecondCount rtt_us, bool ok) {
+    if (options_.trace_sink == nullptr) {
+      return;
+    }
+    telemetry::TraceEvent event;
+    event.op = trace_op;
+    event.time_us = clock_->NowMicros();
+    event.table = table_.table_name;
+    event.key = std::string(key);
+    event.node = table_.replicas[table_.primary_index].name;
+    event.node_index = table_.primary_index;
+    event.rtt_us = rtt_us;
+    event.read_timestamp = assigned;  // Update timestamp the primary assigned.
+    event.from_primary = true;
+    event.retried = attempts > 1;
+    event.ok = ok;
+    options_.trace_sink->OnTrace(event);
+  };
   const int max_attempts = std::max(1, options_.put_max_attempts);
   MicrosecondCount backoff = options_.put_backoff_initial_us;
   Status last(StatusCode::kUnavailable, "write never attempted");
@@ -539,6 +709,9 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
     TimedReply timed = table_.replicas[table_.primary_index].connection->Call(
         request, options_.put_timeout_us);
     ++messages_sent_;
+    if (instruments_.messages != nullptr) {
+      instruments_.messages->Increment();
+    }
     // Every attempt feeds the monitor: transport failures count against the
     // primary's PNodeUp / circuit breaker, successes repair them.
     AbsorbReplyEvidence(table_.primary_index, timed,
@@ -555,21 +728,45 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
       if (err->code == StatusCode::kUnavailable) {
         continue;  // Node answered but cannot serve right now: retriable.
       }
-      return last;  // Semantic error (bad table, not primary, ...): final.
+      // Semantic error (bad table, not primary, ...): final.
+      if (instruments_.put_errors != nullptr) {
+        instruments_.put_errors->Increment();
+      }
+      emit_trace(Timestamp::Zero(), attempt, clock_->NowMicros() - start_us,
+                 /*ok=*/false);
+      return last;
     }
     const auto* put_reply = std::get_if<proto::PutReply>(&message);
     if (put_reply == nullptr) {
+      if (instruments_.put_errors != nullptr) {
+        instruments_.put_errors->Increment();
+      }
+      emit_trace(Timestamp::Zero(), attempt, clock_->NowMicros() - start_us,
+                 /*ok=*/false);
       return Status(StatusCode::kInternal,
                     std::string("unexpected reply type for ") +
                         std::string(op_name));
     }
     session.RecordPut(key, put_reply->timestamp);
 
+    if (instruments_.put_latency_us != nullptr) {
+      instruments_.put_latency_us->Record(timed.rtt_us);
+      if (attempt > 1) {
+        instruments_.retries->Increment();
+      }
+    }
+    emit_trace(put_reply->timestamp, attempt, timed.rtt_us, /*ok=*/true);
+
     PutResult result;
     result.timestamp = put_reply->timestamp;
     result.rtt_us = timed.rtt_us;
     return result;
   }
+  if (instruments_.put_errors != nullptr) {
+    instruments_.put_errors->Increment();
+  }
+  emit_trace(Timestamp::Zero(), max_attempts,
+             clock_->NowMicros() - start_us, /*ok=*/false);
   return last;
 }
 
@@ -580,7 +777,10 @@ Result<PutResult> PileusClient::Put(Session& session, std::string_view key,
   request.table = table_.table_name;
   request.key = std::string(key);
   request.value = std::string(value);
-  return DoWrite(request, session, key, "Put");
+  if (instruments_.puts != nullptr) {
+    instruments_.puts->Increment();
+  }
+  return DoWrite(request, session, key, "Put", telemetry::TraceOp::kPut);
 }
 
 Result<PutResult> PileusClient::Delete(Session& session,
@@ -591,7 +791,10 @@ Result<PutResult> PileusClient::Delete(Session& session,
   request.key = std::string(key);
   // The tombstone is this session's write: read-my-writes subsequently
   // requires nodes to have seen the deletion.
-  return DoWrite(request, session, key, "Delete");
+  if (instruments_.deletes != nullptr) {
+    instruments_.deletes->Increment();
+  }
+  return DoWrite(request, session, key, "Delete", telemetry::TraceOp::kDelete);
 }
 
 Status PileusClient::ProbeNode(int replica_index) {
@@ -605,6 +808,27 @@ Status PileusClient::ProbeNode(int replica_index) {
       request, options_.probe_timeout_us);
   ++messages_sent_;
   AbsorbReplyEvidence(replica_index, timed);
+  if (instruments_.probes != nullptr) {
+    instruments_.probes->Increment();
+    instruments_.messages->Increment();
+  }
+  if (options_.trace_sink != nullptr) {
+    telemetry::TraceEvent event;
+    event.op = telemetry::TraceOp::kProbe;
+    event.time_us = clock_->NowMicros();
+    event.table = table_.table_name;
+    event.node = table_.replicas[replica_index].name;
+    event.node_index = replica_index;
+    event.rtt_us = timed.rtt_us;
+    event.ok = timed.reply.ok();
+    if (event.ok) {
+      if (const auto* probe =
+              std::get_if<proto::ProbeReply>(&timed.reply.value())) {
+        event.read_timestamp = probe->high_timestamp;
+      }
+    }
+    options_.trace_sink->OnTrace(event);
+  }
   return timed.reply.status();
 }
 

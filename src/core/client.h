@@ -26,6 +26,7 @@
 #ifndef PILEUS_SRC_CORE_CLIENT_H_
 #define PILEUS_SRC_CORE_CLIENT_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -42,6 +43,8 @@
 #include "src/core/session.h"
 #include "src/core/sla.h"
 #include "src/proto/messages.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace pileus::core {
 
@@ -151,6 +154,15 @@ class PileusClient {
     // client; Monitor is internally synchronized) instead of a private one,
     // so co-located clients skip each other's cold starts.
     Monitor* shared_monitor = nullptr;
+    // Telemetry (DESIGN.md "Telemetry"). When `metrics` is set the client
+    // registers pileus_client_* metrics labeled with the table name and
+    // feeds them on every operation; counter handles are resolved once at
+    // construction, so the per-op cost is a few relaxed atomics. When
+    // `trace_sink` is set every Get/Put/Delete/Range/Probe emits one
+    // telemetry::TraceEvent. Neither is owned; both must outlive the client.
+    // nullptr (the default) skips all accounting.
+    telemetry::MetricsRegistry* metrics = nullptr;
+    telemetry::TraceSink* trace_sink = nullptr;
     uint64_t seed = 42;
   };
 
@@ -216,7 +228,8 @@ class PileusClient {
   // Shared Put/Delete path: bounded retries with jittered exponential
   // backoff against the primary, feeding the monitor on every attempt.
   Result<PutResult> DoWrite(const proto::Message& request, Session& session,
-                            std::string_view key, std::string_view op_name);
+                            std::string_view key, std::string_view op_name,
+                            telemetry::TraceOp trace_op);
   Result<RangeResult> DoGetRange(Session& session, std::string_view begin,
                                  std::string_view end, uint32_t limit,
                                  const Sla& sla);
@@ -235,6 +248,37 @@ class PileusClient {
                        MicrosecondCount total_rtt_us,
                        MicrosecondCount now_us) const;
 
+  // Telemetry handles, resolved once at construction when Options::metrics
+  // is set. SubSLA ranks above kTrackedRanks-1 share the "8plus" series.
+  struct Instruments {
+    static constexpr int kTrackedRanks = 8;
+    telemetry::Counter* gets = nullptr;
+    telemetry::Counter* ranges = nullptr;
+    telemetry::Counter* puts = nullptr;
+    telemetry::Counter* deletes = nullptr;
+    telemetry::Counter* probes = nullptr;
+    telemetry::Counter* get_errors = nullptr;
+    telemetry::Counter* put_errors = nullptr;
+    telemetry::Counter* retries = nullptr;
+    telemetry::Counter* messages = nullptr;
+    // Delivered utility accumulated in micro-units (utility 1.0 adds 1e6).
+    telemetry::Counter* utility_micros = nullptr;
+    telemetry::Counter* met_none = nullptr;
+    std::array<telemetry::Counter*, kTrackedRanks> met_by_rank{};
+    telemetry::Counter* met_overflow = nullptr;
+    std::array<telemetry::Counter*, kTrackedRanks> target_by_rank{};
+    telemetry::Counter* target_overflow = nullptr;
+    telemetry::HistogramMetric* get_latency_us = nullptr;
+    telemetry::HistogramMetric* put_latency_us = nullptr;
+  };
+  void InitInstruments();
+  void CountReadOutcome(const GetOutcome& outcome);
+  // Builds and emits the TraceEvent for a completed (or failed) SLA read.
+  void EmitReadTrace(telemetry::TraceOp op, const Session& session,
+                     std::string_view key, const Sla& sla,
+                     const GetOutcome& outcome, const Timestamp& read_ts,
+                     bool ok);
+
   TableView table_;
   const Clock* clock_;  // Not owned.
   Options options_;
@@ -243,6 +287,7 @@ class PileusClient {
   Monitor* monitor_;  // own_monitor_ or Options::shared_monitor.
   std::vector<ReplicaView> replica_views_;
   Random rng_;
+  Instruments instruments_;
   std::atomic<uint64_t> gets_issued_{0};
   std::atomic<uint64_t> puts_issued_{0};
   std::atomic<uint64_t> messages_sent_{0};

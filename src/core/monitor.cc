@@ -149,6 +149,34 @@ MicrosecondCount Monitor::MeanLatency(std::string_view node) const {
   return state->latencies.Mean(clock_->NowMicros());
 }
 
+std::vector<Monitor::NodeSnapshot> Monitor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const MicrosecondCount now = clock_->NowMicros();
+  std::vector<NodeSnapshot> out;
+  out.reserve(nodes_.size());
+  // nodes_ is an ordered map, so the result is sorted by name already.
+  for (const auto& [name, state] : nodes_) {
+    NodeSnapshot snap;
+    snap.node = name;
+    snap.latency_samples = state.latencies.SampleCount(now);
+    snap.mean_latency_us = state.latencies.Mean(now);
+    snap.p50_latency_us = state.latencies.Quantile(now, 0.50);
+    snap.p95_latency_us = state.latencies.Quantile(now, 0.95);
+    snap.p99_latency_us = state.latencies.Quantile(now, 0.99);
+    snap.high_timestamp = state.high_timestamp;
+    snap.high_observed_at_us = state.high_observed_at_us;
+    snap.last_contact_us = state.last_contact_us;
+    snap.breaker = BreakerLocked(&state, now);
+    snap.p_up = snap.breaker == BreakerState::kOpen
+                    ? 0.0
+                    : 1.0 - state.outcomes.FractionBelow(
+                                now, 1, /*empty_estimate=*/0.0);
+    snap.consecutive_failures = state.consecutive_failures;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
 bool Monitor::NeedsProbe(std::string_view node) const {
   std::lock_guard<std::mutex> lock(mu_);
   const NodeState* state = FindState(node);
@@ -165,6 +193,18 @@ bool Monitor::NeedsProbe(std::string_view node) const {
   }
   return clock_->NowMicros() - state->last_contact_us >=
          options_.probe_interval_us;
+}
+
+std::string_view BreakerStateName(Monitor::BreakerState state) {
+  switch (state) {
+    case Monitor::BreakerState::kClosed:
+      return "closed";
+    case Monitor::BreakerState::kOpen:
+      return "open";
+    case Monitor::BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
 }
 
 }  // namespace pileus::core

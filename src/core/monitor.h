@@ -30,6 +30,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/timestamp.h"
@@ -120,6 +121,29 @@ class Monitor {
     return Breaker(node) == BreakerState::kOpen;
   }
 
+  // Point-in-time view of everything the monitor knows about one node:
+  // windowed latency quantiles, the last-known high timestamp, reachability,
+  // and circuit-breaker state. Consumed by the CLI `stats` command and the
+  // telemetry exporters.
+  struct NodeSnapshot {
+    std::string node;
+    size_t latency_samples = 0;
+    MicrosecondCount mean_latency_us = 0;
+    MicrosecondCount p50_latency_us = 0;
+    MicrosecondCount p95_latency_us = 0;
+    MicrosecondCount p99_latency_us = 0;
+    // As observed (never extrapolated, even with predict_high_timestamp).
+    Timestamp high_timestamp = Timestamp::Zero();
+    MicrosecondCount high_observed_at_us = -1;
+    MicrosecondCount last_contact_us = -1;
+    double p_up = 1.0;
+    BreakerState breaker = BreakerState::kClosed;
+    int consecutive_failures = 0;
+  };
+
+  // One NodeSnapshot per known node, sorted by node name.
+  std::vector<NodeSnapshot> Snapshot() const;
+
   uint64_t breaker_trips() const {
     std::lock_guard<std::mutex> lock(mu_);
     return breaker_trips_;
@@ -163,6 +187,9 @@ class Monitor {
   uint64_t samples_recorded_ = 0;
   uint64_t breaker_trips_ = 0;
 };
+
+// "closed" / "open" / "half-open", for stats output and logs.
+std::string_view BreakerStateName(Monitor::BreakerState state);
 
 }  // namespace pileus::core
 

@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/telemetry/metrics.h"
+
 namespace pileus::net {
 
 namespace {
@@ -12,6 +14,24 @@ void SleepMicros(MicrosecondCount us) {
   if (us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
+}
+
+// Process-wide in-process transport counters, mirroring the TCP layer's so
+// benches report message costs uniformly across transports.
+struct InProcMetrics {
+  telemetry::Counter* calls;
+  telemetry::Counter* call_errors;
+
+  InProcMetrics() {
+    telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Default();
+    calls = registry.GetCounter("pileus_net_inproc_calls_total");
+    call_errors = registry.GetCounter("pileus_net_inproc_call_errors_total");
+  }
+};
+
+InProcMetrics& InProc() {
+  static InProcMetrics* metrics = new InProcMetrics();
+  return *metrics;
 }
 
 }  // namespace
@@ -28,6 +48,17 @@ class InProcChannel : public Channel {
 
   Result<proto::Message> Call(const proto::Message& request,
                               MicrosecondCount timeout_us) override {
+    InProc().calls->Increment();
+    Result<proto::Message> reply = CallInternal(request, timeout_us);
+    if (!reply.ok()) {
+      InProc().call_errors->Increment();
+    }
+    return reply;
+  }
+
+ private:
+  Result<proto::Message> CallInternal(const proto::Message& request,
+                                      MicrosecondCount timeout_us) {
     sim::FaultInjector* faults = network_->Faults();
     // Each message leg gets its own fault decision so asymmetric rules
     // (A->B blocked, B->A fine) behave asymmetrically.

@@ -12,9 +12,34 @@
 
 #include <algorithm>
 
+#include "src/telemetry/metrics.h"
+
 namespace pileus::net {
 
 namespace {
+
+// Transport-level accounting in the process-wide registry: sockets have no
+// natural injection point, so the bytes/frames moved by every TCP channel
+// and server in the process aggregate here.
+struct FrameMetrics {
+  telemetry::Counter* bytes_sent;
+  telemetry::Counter* bytes_received;
+  telemetry::Counter* frames_sent;
+  telemetry::Counter* frames_received;
+
+  FrameMetrics() {
+    telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Default();
+    bytes_sent = registry.GetCounter("pileus_net_bytes_sent_total");
+    bytes_received = registry.GetCounter("pileus_net_bytes_received_total");
+    frames_sent = registry.GetCounter("pileus_net_frames_sent_total");
+    frames_received = registry.GetCounter("pileus_net_frames_received_total");
+  }
+};
+
+FrameMetrics& Frames() {
+  static FrameMetrics* metrics = new FrameMetrics();
+  return *metrics;
+}
 
 Status Errno(const char* what) {
   return Status(StatusCode::kUnavailable,
@@ -188,7 +213,10 @@ Status WriteFrame(int fd, std::string_view payload) {
   header[2] = static_cast<char>(len >> 16);
   header[3] = static_cast<char>(len >> 24);
   PILEUS_RETURN_IF_ERROR(WriteFull(fd, header, sizeof(header)));
-  return WriteFull(fd, payload.data(), payload.size());
+  PILEUS_RETURN_IF_ERROR(WriteFull(fd, payload.data(), payload.size()));
+  Frames().frames_sent->Increment();
+  Frames().bytes_sent->Increment(sizeof(header) + payload.size());
+  return Status::Ok();
 }
 
 Result<std::string> ReadFrame(int fd, MicrosecondCount timeout_us,
@@ -212,6 +240,8 @@ Result<std::string> ReadFrame(int fd, MicrosecondCount timeout_us,
   if (!st.ok()) {
     return st;
   }
+  Frames().frames_received->Increment();
+  Frames().bytes_received->Increment(sizeof(header) + payload.size());
   return payload;
 }
 

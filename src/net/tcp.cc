@@ -9,11 +9,38 @@
 
 #include "src/common/logging.h"
 
+#include "src/telemetry/metrics.h"
+
 namespace pileus::net {
 
 namespace {
 
 constexpr MicrosecondCount kAcceptPollUs = 50 * 1000;
+
+// Process-wide TCP transport counters (connection churn and failed calls;
+// bytes/frames are counted at the framing layer in socket_util.cc).
+struct TcpMetrics {
+  telemetry::Counter* connects;
+  telemetry::Counter* reconnects;
+  telemetry::Counter* connect_errors;
+  telemetry::Counter* call_errors;
+  telemetry::Counter* server_requests;
+
+  TcpMetrics() {
+    telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Default();
+    connects = registry.GetCounter("pileus_net_tcp_connects_total");
+    reconnects = registry.GetCounter("pileus_net_tcp_reconnects_total");
+    connect_errors = registry.GetCounter("pileus_net_tcp_connect_errors_total");
+    call_errors = registry.GetCounter("pileus_net_tcp_call_errors_total");
+    server_requests =
+        registry.GetCounter("pileus_net_tcp_server_requests_total");
+  }
+};
+
+TcpMetrics& Tcp() {
+  static TcpMetrics* metrics = new TcpMetrics();
+  return *metrics;
+}
 
 std::string EncodeWithId(uint64_t id, const proto::Message& message) {
   std::string payload;
@@ -128,6 +155,7 @@ void TcpServer::ConnectionLoop(UniqueFd fd) {
       reply = err;
     }
     requests_handled_.fetch_add(1, std::memory_order_relaxed);
+    Tcp().server_requests->Increment();
     const std::string out = EncodeWithId(request_id, reply);
     if (!WriteFrame(fd.get(), out).ok()) {
       return;
@@ -141,14 +169,26 @@ Status TcpChannel::EnsureConnected(MicrosecondCount timeout_us) {
   }
   Result<UniqueFd> fd = ConnectTcp(port_, timeout_us);
   if (!fd.ok()) {
+    Tcp().connect_errors->Increment();
     return fd.status();
   }
   fd_ = std::move(fd).value();
+  (ever_connected_ ? Tcp().reconnects : Tcp().connects)->Increment();
+  ever_connected_ = true;
   return Status::Ok();
 }
 
 Result<proto::Message> TcpChannel::Call(const proto::Message& request,
                                         MicrosecondCount timeout_us) {
+  Result<proto::Message> reply = CallLocked(request, timeout_us);
+  if (!reply.ok()) {
+    Tcp().call_errors->Increment();
+  }
+  return reply;
+}
+
+Result<proto::Message> TcpChannel::CallLocked(const proto::Message& request,
+                                              MicrosecondCount timeout_us) {
   std::lock_guard<std::mutex> lock(mu_);
   if (artificial_delay_us_ > 0) {
     std::this_thread::sleep_for(

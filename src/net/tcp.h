@@ -70,6 +70,8 @@ class TcpChannel : public Channel {
                               MicrosecondCount timeout_us) override;
 
  private:
+  Result<proto::Message> CallLocked(const proto::Message& request,
+                                    MicrosecondCount timeout_us);
   Status EnsureConnected(MicrosecondCount timeout_us);
 
   const uint16_t port_;
@@ -77,6 +79,8 @@ class TcpChannel : public Channel {
   std::mutex mu_;
   UniqueFd fd_;
   uint64_t next_request_id_ = 1;
+  // Telemetry: distinguishes first connects from reconnects after a reset.
+  bool ever_connected_ = false;
 };
 
 }  // namespace pileus::net

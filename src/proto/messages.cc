@@ -129,6 +129,14 @@ void EncodeBody(Encoder& enc, const DeleteRequest& m) {
   enc.PutLengthPrefixed(m.key);
 }
 
+void EncodeBody(Encoder& enc, const StatsRequest& m) {
+  enc.PutLengthPrefixed(m.format);
+}
+
+void EncodeBody(Encoder& enc, const StatsReply& m) {
+  enc.PutLengthPrefixed(m.text);
+}
+
 void EncodeBody(Encoder& enc, const ErrorReply& m) {
   enc.PutVarint64(static_cast<uint64_t>(m.code));
   enc.PutLengthPrefixed(m.message);
@@ -270,6 +278,14 @@ Status DecodeBody(Decoder& dec, DeleteRequest* m) {
   return dec.GetLengthPrefixedString(&m->key);
 }
 
+Status DecodeBody(Decoder& dec, StatsRequest* m) {
+  return dec.GetLengthPrefixedString(&m->format);
+}
+
+Status DecodeBody(Decoder& dec, StatsReply* m) {
+  return dec.GetLengthPrefixedString(&m->text);
+}
+
 Status DecodeBody(Decoder& dec, ErrorReply* m) {
   uint64_t code;
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&code));
@@ -329,6 +345,10 @@ MessageType TypeOf(const Message& message) {
           return MessageType::kRangeReply;
         } else if constexpr (std::is_same_v<T, DeleteRequest>) {
           return MessageType::kDeleteRequest;
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          return MessageType::kStatsRequest;
+        } else if constexpr (std::is_same_v<T, StatsReply>) {
+          return MessageType::kStatsReply;
         } else {
           return MessageType::kErrorReply;
         }
@@ -370,6 +390,10 @@ std::string_view MessageTypeName(MessageType type) {
       return "RangeReply";
     case MessageType::kDeleteRequest:
       return "DeleteRequest";
+    case MessageType::kStatsRequest:
+      return "StatsRequest";
+    case MessageType::kStatsReply:
+      return "StatsReply";
   }
   return "Unknown";
 }
@@ -449,6 +473,10 @@ Result<Message> DecodeMessage(std::string_view bytes) {
       return DecodeInto<RangeReply>(dec);
     case MessageType::kDeleteRequest:
       return DecodeInto<DeleteRequest>(dec);
+    case MessageType::kStatsRequest:
+      return DecodeInto<StatsRequest>(dec);
+    case MessageType::kStatsReply:
+      return DecodeInto<StatsReply>(dec);
   }
   return Status(StatusCode::kCorruption, "unknown message type");
 }

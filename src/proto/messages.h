@@ -52,6 +52,8 @@ enum class MessageType : uint8_t {
   kRangeRequest = 14,
   kRangeReply = 15,
   kDeleteRequest = 16,  // Replied to with a PutReply (a delete is a write).
+  kStatsRequest = 17,
+  kStatsReply = 18,
 };
 
 // One version of one object: the tablet-store tuple of Section 4.3.
@@ -173,11 +175,23 @@ struct RangeReply {
   bool served_by_primary = false;
 };
 
+// Asks a server process for its telemetry in the given export format
+// ("summary", "prometheus", or "json"; unknown values fall back to summary).
+// Served by the pileus_server daemon wrapper, not by StorageNode itself —
+// a bare node answers with an ErrorReply.
+struct StatsRequest {
+  std::string format;
+};
+
+struct StatsReply {
+  std::string text;  // Rendered export in the requested format.
+};
+
 using Message =
     std::variant<GetRequest, GetReply, PutRequest, PutReply, ProbeRequest,
                  ProbeReply, SyncRequest, SyncReply, GetAtRequest, GetAtReply,
                  CommitRequest, CommitReply, ErrorReply, RangeRequest,
-                 RangeReply, DeleteRequest>;
+                 RangeReply, DeleteRequest, StatsRequest, StatsReply>;
 
 MessageType TypeOf(const Message& message);
 std::string_view MessageTypeName(MessageType type);

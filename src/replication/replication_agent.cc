@@ -14,11 +14,42 @@ proto::SyncRequest ReplicationAgent::NextRequest() const {
   return request;
 }
 
+void ReplicationAgent::EnableTelemetry(telemetry::MetricsRegistry* registry,
+                                       std::string_view node_label) {
+  if (registry == nullptr) {
+    instruments_ = Instruments{};
+    return;
+  }
+  const auto counter = [&](std::string_view base) {
+    return registry->GetCounter(telemetry::WithLabels(
+        base, {{"table", options_.table}, {"node", node_label}}));
+  };
+  instruments_.syncs = counter("pileus_replication_syncs_total");
+  instruments_.versions = counter("pileus_replication_versions_applied_total");
+  instruments_.heartbeats = counter("pileus_replication_heartbeats_total");
+  instruments_.pulls = counter("pileus_replication_pulls_total");
+  instruments_.high_timestamp_us = registry->GetGauge(telemetry::WithLabels(
+      "pileus_replication_high_timestamp_us",
+      {{"table", options_.table}, {"node", node_label}}));
+}
+
 bool ReplicationAgent::OnReply(const proto::SyncReply& reply) {
   target_->ApplySync(reply);
   versions_applied_ += reply.versions.size();
   if (!reply.has_more) {
     ++pulls_completed_;
+  }
+  if (instruments_.syncs != nullptr) {
+    instruments_.syncs->Increment();
+    if (reply.versions.empty()) {
+      instruments_.heartbeats->Increment();
+    } else {
+      instruments_.versions->Increment(reply.versions.size());
+    }
+    if (!reply.has_more) {
+      instruments_.pulls->Increment();
+    }
+    instruments_.high_timestamp_us->Set(target_->high_timestamp().physical_us);
   }
   return reply.has_more;
 }

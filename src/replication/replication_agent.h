@@ -26,6 +26,7 @@
 #include "src/common/status.h"
 #include "src/proto/messages.h"
 #include "src/storage/tablet.h"
+#include "src/telemetry/metrics.h"
 
 namespace pileus::replication {
 
@@ -56,11 +57,28 @@ class ReplicationAgent {
   uint64_t pulls_completed() const { return pulls_completed_; }
   uint64_t versions_applied() const { return versions_applied_; }
 
+  // Registers pileus_replication_* metrics labeled with the table and the
+  // given node label and feeds them on every OnReply: sync round trips,
+  // versions applied, idle heartbeats, completed pulls, and a gauge holding
+  // the target's high timestamp (its replication lag is the scrape time
+  // minus this value). The registry is not owned and must outlive the agent.
+  void EnableTelemetry(telemetry::MetricsRegistry* registry,
+                       std::string_view node_label);
+
  private:
+  struct Instruments {
+    telemetry::Counter* syncs = nullptr;
+    telemetry::Counter* versions = nullptr;
+    telemetry::Counter* heartbeats = nullptr;
+    telemetry::Counter* pulls = nullptr;
+    telemetry::Gauge* high_timestamp_us = nullptr;
+  };
+
   storage::Tablet* target_;  // Not owned.
   Options options_;
   uint64_t pulls_completed_ = 0;
   uint64_t versions_applied_ = 0;
+  Instruments instruments_;
 };
 
 // Runs complete pull cycles (looping while the source reports has_more) over

@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "src/common/clock.h"
+#include "src/common/logging.h"
 #include "src/common/random.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/latency_model.h"
@@ -47,9 +48,20 @@ class PeriodicHandle {
 class SimEnvironment {
  public:
   explicit SimEnvironment(uint64_t seed = 1)
-      : latency_(LatencyModel::Options{}), rng_(seed) {}
+      : latency_(LatencyModel::Options{}), rng_(seed) {
+    SetLogClock(&clock_);
+  }
   SimEnvironment(uint64_t seed, LatencyModel::Options latency_options)
-      : latency_(latency_options), rng_(seed) {}
+      : latency_(latency_options), rng_(seed) {
+    SetLogClock(&clock_);
+  }
+  // Restore wall-clock log timestamps, unless a newer environment (nested or
+  // successor) already registered its own clock.
+  ~SimEnvironment() {
+    if (GetLogClock() == &clock_) {
+      SetLogClock(nullptr);
+    }
+  }
 
   SimEnvironment(const SimEnvironment&) = delete;
   SimEnvironment& operator=(const SimEnvironment&) = delete;

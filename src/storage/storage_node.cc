@@ -105,10 +105,91 @@ Timestamp StorageNode::HighTimestamp(std::string_view table,
   return tablet == nullptr ? Timestamp::Zero() : tablet->high_timestamp();
 }
 
+void StorageNode::EnableTelemetry(telemetry::MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    instruments_ = Instruments{};
+    return;
+  }
+  const auto counter = [&](std::string_view base) {
+    return registry->GetCounter(
+        telemetry::WithLabels(base, {{"node", name_}}));
+  };
+  instruments_.gets = counter("pileus_storage_gets_total");
+  instruments_.puts = counter("pileus_storage_puts_total");
+  instruments_.deletes = counter("pileus_storage_deletes_total");
+  instruments_.ranges = counter("pileus_storage_ranges_total");
+  instruments_.probes = counter("pileus_storage_probes_total");
+  instruments_.syncs = counter("pileus_storage_syncs_total");
+  instruments_.snapshot_gets = counter("pileus_storage_snapshot_gets_total");
+  instruments_.commits = counter("pileus_storage_commits_total");
+  instruments_.other = counter("pileus_storage_other_requests_total");
+  instruments_.errors = counter("pileus_storage_errors_total");
+  instruments_.high_timestamp_us = registry->GetGauge(
+      telemetry::WithLabels("pileus_storage_high_timestamp_us",
+                            {{"node", name_}}));
+  instruments_.log_size = registry->GetGauge(
+      telemetry::WithLabels("pileus_storage_update_log_size", {{"node", name_}}));
+}
+
+void StorageNode::CountRequestLocked(const proto::Message& request,
+                                     const proto::Message& reply) {
+  if (instruments_.gets == nullptr) {
+    return;
+  }
+  bool write_path = false;
+  if (std::holds_alternative<proto::GetRequest>(request)) {
+    instruments_.gets->Increment();
+  } else if (std::holds_alternative<proto::PutRequest>(request)) {
+    instruments_.puts->Increment();
+    write_path = true;
+  } else if (std::holds_alternative<proto::DeleteRequest>(request)) {
+    instruments_.deletes->Increment();
+    write_path = true;
+  } else if (std::holds_alternative<proto::RangeRequest>(request)) {
+    instruments_.ranges->Increment();
+  } else if (std::holds_alternative<proto::ProbeRequest>(request)) {
+    instruments_.probes->Increment();
+  } else if (std::holds_alternative<proto::SyncRequest>(request)) {
+    instruments_.syncs->Increment();
+    write_path = true;
+  } else if (std::holds_alternative<proto::GetAtRequest>(request)) {
+    instruments_.snapshot_gets->Increment();
+  } else if (std::holds_alternative<proto::CommitRequest>(request)) {
+    instruments_.commits->Increment();
+    write_path = true;
+  } else {
+    instruments_.other->Increment();
+  }
+  if (std::holds_alternative<proto::ErrorReply>(reply)) {
+    instruments_.errors->Increment();
+  }
+  if (!write_path) {
+    return;
+  }
+  // Refresh the gauges only after requests that can move them: the minimum
+  // high timestamp across all tablets (the node's staleness bound) and the
+  // total retained update-log entries.
+  Timestamp high = Timestamp::Max();
+  int64_t log_entries = 0;
+  bool any = false;
+  for (const auto& [table, list] : tablets_) {
+    for (const auto& tablet : list) {
+      any = true;
+      high = std::min(high, tablet->high_timestamp());
+      log_entries += static_cast<int64_t>(tablet->update_log().size());
+    }
+  }
+  instruments_.high_timestamp_us->Set(any ? high.physical_us : 0);
+  instruments_.log_size->Set(log_entries);
+}
+
 proto::Message StorageNode::Handle(const proto::Message& request) {
   std::lock_guard<std::mutex> lock(mu_);
   ++requests_served_;
-  return HandleLocked(request);
+  proto::Message reply = HandleLocked(request);
+  CountRequestLocked(request, reply);
+  return reply;
 }
 
 proto::Message StorageNode::HandleLocked(const proto::Message& request) {

@@ -20,6 +20,7 @@
 #include "src/common/status.h"
 #include "src/proto/messages.h"
 #include "src/storage/tablet.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/key_range.h"
 
 namespace pileus::storage {
@@ -66,8 +67,34 @@ class StorageNode {
   // Total Gets/Puts served; used by benches to report message costs.
   uint64_t requests_served() const { return requests_served_; }
 
+  // Registers pileus_storage_* metrics labeled with this node's name and
+  // feeds them on every Handle(): per-op served counters, an error counter,
+  // and gauges for the node's minimum high timestamp and total update-log
+  // size (refreshed after write-path requests). The registry is not owned
+  // and must outlive the node.
+  void EnableTelemetry(telemetry::MetricsRegistry* registry);
+
  private:
   proto::Message HandleLocked(const proto::Message& request);
+  // Counts `request`/`reply` into the telemetry counters; no-op when
+  // EnableTelemetry was never called. Called with mu_ held.
+  void CountRequestLocked(const proto::Message& request,
+                          const proto::Message& reply);
+
+  struct Instruments {
+    telemetry::Counter* gets = nullptr;
+    telemetry::Counter* puts = nullptr;
+    telemetry::Counter* deletes = nullptr;
+    telemetry::Counter* ranges = nullptr;
+    telemetry::Counter* probes = nullptr;
+    telemetry::Counter* syncs = nullptr;
+    telemetry::Counter* snapshot_gets = nullptr;
+    telemetry::Counter* commits = nullptr;
+    telemetry::Counter* other = nullptr;
+    telemetry::Counter* errors = nullptr;
+    telemetry::Gauge* high_timestamp_us = nullptr;
+    telemetry::Gauge* log_size = nullptr;
+  };
 
   std::string name_;
   std::string site_;
@@ -77,6 +104,7 @@ class StorageNode {
   std::map<std::string, std::vector<std::unique_ptr<Tablet>>, std::less<>>
       tablets_;
   uint64_t requests_served_ = 0;
+  Instruments instruments_;
 };
 
 }  // namespace pileus::storage

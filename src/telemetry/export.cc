@@ -1,0 +1,226 @@
+#include "src/telemetry/export.h"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace pileus::telemetry {
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+    }
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+// Prometheus groups all series of one metric under a single # TYPE line, so
+// bucket by base name first ("pileus_x{a="1"}" and "pileus_x{a="2"}" share
+// base "pileus_x").
+template <typename Value>
+std::map<std::string, std::vector<std::pair<std::string, Value>>> GroupByBase(
+    const std::vector<Value>& values) {
+  std::map<std::string, std::vector<std::pair<std::string, Value>>> grouped;
+  std::string base;
+  std::string labels;
+  for (const Value& value : values) {
+    SplitLabels(value.name, &base, &labels);
+    grouped[base].emplace_back(labels, value);
+  }
+  return grouped;
+}
+
+void AppendSeriesName(std::string* out, const std::string& base,
+                      const std::string& suffix, const std::string& labels,
+                      const std::string& extra_label = "") {
+  out->append(base);
+  out->append(suffix);
+  if (!labels.empty() || !extra_label.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    if (!labels.empty() && !extra_label.empty()) {
+      out->push_back(',');
+    }
+    out->append(extra_label);
+    out->push_back('}');
+  }
+}
+
+}  // namespace
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snapshot = registry.Collect();
+  std::string out;
+  char buf[128];
+
+  for (const auto& [base, series] : GroupByBase(snapshot.counters)) {
+    out.append("# TYPE ").append(base).append(" counter\n");
+    for (const auto& [labels, value] : series) {
+      AppendSeriesName(&out, base, "", labels);
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(value.value));
+      out.append(buf);
+    }
+  }
+  for (const auto& [base, series] : GroupByBase(snapshot.gauges)) {
+    out.append("# TYPE ").append(base).append(" gauge\n");
+    for (const auto& [labels, value] : series) {
+      AppendSeriesName(&out, base, "", labels);
+      std::snprintf(buf, sizeof(buf), " %lld\n",
+                    static_cast<long long>(value.value));
+      out.append(buf);
+    }
+  }
+  for (const auto& [base, series] : GroupByBase(snapshot.histograms)) {
+    out.append("# TYPE ").append(base).append(" histogram\n");
+    for (const auto& [labels, value] : series) {
+      uint64_t cumulative = 0;
+      value.histogram.ForEachNonEmptyBucket(
+          [&](int64_t /*lo*/, int64_t hi, uint64_t count) {
+            cumulative += count;
+            std::snprintf(buf, sizeof(buf), "le=\"%lld\"",
+                          static_cast<long long>(hi));
+            AppendSeriesName(&out, base, "_bucket", labels, buf);
+            std::snprintf(buf, sizeof(buf), " %llu\n",
+                          static_cast<unsigned long long>(cumulative));
+            out.append(buf);
+          });
+      AppendSeriesName(&out, base, "_bucket", labels, "le=\"+Inf\"");
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(value.histogram.count()));
+      out.append(buf);
+      AppendSeriesName(&out, base, "_sum", labels);
+      std::snprintf(buf, sizeof(buf), " %.0f\n",
+                    value.histogram.Mean() *
+                        static_cast<double>(value.histogram.count()));
+      out.append(buf);
+      AppendSeriesName(&out, base, "_count", labels);
+      std::snprintf(buf, sizeof(buf), " %llu\n",
+                    static_cast<unsigned long long>(value.histogram.count()));
+      out.append(buf);
+    }
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snapshot = registry.Collect();
+  std::string out = "{\"counters\":{";
+  char buf[160];
+  bool first = true;
+  for (const auto& counter : snapshot.counters) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendJsonString(&out, counter.name);
+    std::snprintf(buf, sizeof(buf), ":%llu",
+                  static_cast<unsigned long long>(counter.value));
+    out.append(buf);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& gauge : snapshot.gauges) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendJsonString(&out, gauge.name);
+    std::snprintf(buf, sizeof(buf), ":%lld",
+                  static_cast<long long>(gauge.value));
+    out.append(buf);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& histogram : snapshot.histograms) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendJsonString(&out, histogram.name);
+    const Histogram& h = histogram.histogram;
+    std::snprintf(buf, sizeof(buf),
+                  ":{\"count\":%llu,\"mean\":%.3f,\"min\":%lld,\"max\":%lld,"
+                  "\"p50\":%lld,\"p95\":%lld,\"p99\":%lld,\"buckets\":",
+                  static_cast<unsigned long long>(h.count()), h.Mean(),
+                  static_cast<long long>(h.min()),
+                  static_cast<long long>(h.max()),
+                  static_cast<long long>(h.Quantile(0.50)),
+                  static_cast<long long>(h.Quantile(0.95)),
+                  static_cast<long long>(h.Quantile(0.99)));
+    out.append(buf);
+    out.append(h.BucketsJson());
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string ExportSummary(const MetricsRegistry& registry) {
+  const MetricsRegistry::Snapshot snapshot = registry.Collect();
+  std::string out;
+  char buf[256];
+  if (!snapshot.counters.empty()) {
+    out.append("counters:\n");
+    for (const auto& counter : snapshot.counters) {
+      std::snprintf(buf, sizeof(buf), "  %-58s %llu\n", counter.name.c_str(),
+                    static_cast<unsigned long long>(counter.value));
+      out.append(buf);
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out.append("gauges:\n");
+    for (const auto& gauge : snapshot.gauges) {
+      std::snprintf(buf, sizeof(buf), "  %-58s %lld\n", gauge.name.c_str(),
+                    static_cast<long long>(gauge.value));
+      out.append(buf);
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out.append("histograms:\n");
+    for (const auto& histogram : snapshot.histograms) {
+      std::snprintf(buf, sizeof(buf), "  %-58s %s\n", histogram.name.c_str(),
+                    histogram.histogram.Summary().c_str());
+      out.append(buf);
+    }
+  }
+  if (out.empty()) {
+    out = "(no metrics recorded)\n";
+  }
+  return out;
+}
+
+std::string ExportTracesJson(const TraceBuffer& buffer, size_t max_events) {
+  std::vector<TraceEvent> events = buffer.Snapshot();
+  size_t start = 0;
+  if (max_events != 0 && events.size() > max_events) {
+    start = events.size() - max_events;
+  }
+  std::string out = "[";
+  for (size_t i = start; i < events.size(); ++i) {
+    if (i != start) {
+      out.push_back(',');
+    }
+    out.append(events[i].ToJson());
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string ExportAs(const MetricsRegistry& registry, std::string_view format) {
+  if (format == "prometheus") {
+    return ExportPrometheus(registry);
+  }
+  if (format == "json") {
+    return ExportJson(registry);
+  }
+  return ExportSummary(registry);
+}
+
+}  // namespace pileus::telemetry

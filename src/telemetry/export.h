@@ -1,0 +1,35 @@
+// Exporters: render a MetricsRegistry (and traces) in standard formats.
+//
+//  - ExportPrometheus: text exposition format v0.0.4. Histograms become
+//    classic Prometheus histograms (cumulative _bucket{le=...} series plus
+//    _sum and _count).
+//  - ExportJson: one JSON object with "counters"/"gauges"/"histograms" maps;
+//    histograms include summary stats and the full non-empty bucket list.
+//  - ExportSummary: human-readable table for terminals and periodic dumps.
+//  - ExportTracesJson: JSON array of buffered TraceEvents, oldest first.
+
+#ifndef PILEUS_SRC_TELEMETRY_EXPORT_H_
+#define PILEUS_SRC_TELEMETRY_EXPORT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace pileus::telemetry {
+
+std::string ExportPrometheus(const MetricsRegistry& registry);
+std::string ExportJson(const MetricsRegistry& registry);
+std::string ExportSummary(const MetricsRegistry& registry);
+
+// Renders up to max_events buffered events (0 = all), oldest first.
+std::string ExportTracesJson(const TraceBuffer& buffer, size_t max_events = 0);
+
+// Renders a registry in the named format: "prometheus", "json", or anything
+// else (including "") for the human-readable summary.
+std::string ExportAs(const MetricsRegistry& registry, std::string_view format);
+
+}  // namespace pileus::telemetry
+
+#endif  // PILEUS_SRC_TELEMETRY_EXPORT_H_

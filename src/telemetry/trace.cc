@@ -1,0 +1,165 @@
+#include "src/telemetry/trace.h"
+
+#include <cstdio>
+
+namespace pileus::telemetry {
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string_view TraceOpName(TraceOp op) {
+  switch (op) {
+    case TraceOp::kGet:
+      return "get";
+    case TraceOp::kPut:
+      return "put";
+    case TraceOp::kDelete:
+      return "delete";
+    case TraceOp::kRange:
+      return "range";
+    case TraceOp::kProbe:
+      return "probe";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToJson() const {
+  std::string out;
+  out.reserve(256);
+  char buf[96];
+  out.append("{\"op\":");
+  AppendJsonString(&out, TraceOpName(op));
+  std::snprintf(buf, sizeof(buf), ",\"time_us\":%lld",
+                static_cast<long long>(time_us));
+  out.append(buf);
+  out.append(",\"table\":");
+  AppendJsonString(&out, table);
+  out.append(",\"key\":");
+  AppendJsonString(&out, key);
+  out.append(",\"node\":");
+  AppendJsonString(&out, node);
+  std::snprintf(buf, sizeof(buf),
+                ",\"node_index\":%d,\"target_rank\":%d,\"met_rank\":%d",
+                node_index, target_rank, met_rank);
+  out.append(buf);
+  out.append(",\"consistency\":");
+  AppendJsonString(&out, consistency);
+  std::snprintf(buf, sizeof(buf), ",\"utility\":%.6g,\"rtt_us\":%lld",
+                utility, static_cast<long long>(rtt_us));
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                ",\"read_ts\":{\"physical_us\":%lld,\"sequence\":%u}",
+                static_cast<long long>(read_timestamp.physical_us),
+                read_timestamp.sequence);
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                ",\"min_acceptable\":{\"physical_us\":%lld,\"sequence\":%u}",
+                static_cast<long long>(min_acceptable.physical_us),
+                min_acceptable.sequence);
+  out.append(buf);
+  std::snprintf(buf, sizeof(buf),
+                ",\"from_primary\":%s,\"retried\":%s,\"ok\":%s}",
+                from_primary ? "true" : "false", retried ? "true" : "false",
+                ok ? "true" : "false");
+  out.append(buf);
+  return out;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceBuffer::OnTrace(const TraceEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+    } else {
+      ring_[next_ % capacity_] = event;
+    }
+    ++next_;
+    ++recorded_;
+  }
+  TraceSink* forward;
+  {
+    std::lock_guard<std::mutex> lock(forward_mu_);
+    forward = forward_;
+  }
+  if (forward != nullptr) {
+    forward->OnTrace(event);
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // The ring is full: next_ % capacity_ is the oldest slot.
+    for (size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceBuffer::Drain() {
+  std::vector<TraceEvent> out = Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  return out;
+}
+
+uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void TraceBuffer::set_forward_sink(TraceSink* sink) {
+  std::lock_guard<std::mutex> lock(forward_mu_);
+  forward_ = sink;
+}
+
+}  // namespace pileus::telemetry

@@ -1,0 +1,107 @@
+// Per-operation trace layer.
+//
+// Every client Get/Put (and Delete/Range/Probe) emits one TraceEvent into a
+// TraceSink. The standard sink is TraceBuffer: a bounded ring that keeps the
+// most recent events, counts drops, and can forward every event to a
+// pluggable downstream sink (a file writer, a test probe, ...).
+//
+// The event captures the paper's per-operation SLA story end to end: which
+// subSLA was targeted, which was actually met, the consistency delivered,
+// the utility earned, the measured RTT, and the read timestamp the reply
+// carried versus the minimum acceptable timestamp the guarantee demanded
+// (Figure 7 / Figure 9).
+
+#ifndef PILEUS_SRC_TELEMETRY_TRACE_H_
+#define PILEUS_SRC_TELEMETRY_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/timestamp.h"
+
+namespace pileus::telemetry {
+
+enum class TraceOp : uint8_t {
+  kGet = 0,
+  kPut = 1,
+  kDelete = 2,
+  kRange = 3,
+  kProbe = 4,
+};
+
+std::string_view TraceOpName(TraceOp op);
+
+struct TraceEvent {
+  TraceOp op = TraceOp::kGet;
+  // Completion time on the emitter's clock (virtual under simulation).
+  MicrosecondCount time_us = 0;
+  std::string table;
+  std::string key;  // Key, or range start for kRange; empty for kProbe.
+  // Replica that served the winning reply ("" when no replica answered).
+  std::string node;
+  int node_index = -1;
+  // SubSLA the selection targeted and the one actually met (-1 = none).
+  int target_rank = -1;
+  int met_rank = -1;
+  // Consistency guarantee delivered, e.g. "read-my-writes" ("" = none).
+  std::string consistency;
+  double utility = 0.0;
+  MicrosecondCount rtt_us = 0;
+  // High timestamp the winning reply carried vs. the minimum acceptable
+  // read timestamp of the met (or targeted) guarantee.
+  Timestamp read_timestamp;
+  Timestamp min_acceptable;
+  bool from_primary = false;
+  bool retried = false;
+  bool ok = true;  // False when the operation failed outright.
+
+  // Single-line JSON object; stable field order for golden tests.
+  std::string ToJson() const;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnTrace(const TraceEvent& event) = 0;
+};
+
+// Bounded ring of the most recent events. Thread-safe; OnTrace is one mutex
+// acquisition plus a slot assignment. Overwrites count as drops.
+class TraceBuffer : public TraceSink {
+ public:
+  explicit TraceBuffer(size_t capacity = 4096);
+
+  void OnTrace(const TraceEvent& event) override;
+
+  // Buffered events, oldest first. Snapshot copies; Drain empties the ring.
+  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Drain();
+
+  uint64_t total_recorded() const;
+  uint64_t dropped() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  // Forward every event (including ones later overwritten here) to a
+  // downstream sink. Not owned; pass nullptr to detach. The forward call
+  // happens outside the buffer lock.
+  void set_forward_sink(TraceSink* sink);
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;       // Slot the next event lands in.
+  uint64_t recorded_ = 0; // Total OnTrace calls.
+  std::mutex forward_mu_;
+  TraceSink* forward_ = nullptr;
+};
+
+}  // namespace pileus::telemetry
+
+#endif  // PILEUS_SRC_TELEMETRY_TRACE_H_

@@ -109,6 +109,36 @@ int64_t Histogram::Quantile(double q) const {
   return max_;
 }
 
+void Histogram::ForEachNonEmptyBucket(
+    const std::function<void(int64_t lo, int64_t hi, uint64_t count)>& fn)
+    const {
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const int64_t lo = BucketLowerBound(i);
+    const int64_t hi =
+        i == kBucketCount - 1 ? max() : BucketLowerBound(i + 1);
+    fn(lo, hi, buckets_[i]);
+  }
+}
+
+std::string Histogram::BucketsJson() const {
+  std::string out = "[";
+  ForEachNonEmptyBucket([&out](int64_t lo, int64_t hi, uint64_t count) {
+    if (out.size() > 1) {
+      out.push_back(',');
+    }
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "{\"lo\":%lld,\"hi\":%lld,\"count\":%llu}",
+                  static_cast<long long>(lo), static_cast<long long>(hi),
+                  static_cast<unsigned long long>(count));
+    out.append(buf);
+  });
+  out.push_back(']');
+  return out;
+}
+
 std::string Histogram::Summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace pileus {
@@ -30,6 +31,18 @@ class Histogram {
 
   // "n=... mean=... p50=... p99=... max=..." one-liner.
   std::string Summary() const;
+
+  // Visits the non-empty buckets in ascending value order. `lo` is the
+  // bucket's inclusive lower bound, `hi` its exclusive upper bound (the next
+  // bucket's lower bound; the last bucket is open-ended and reports max()).
+  void ForEachNonEmptyBucket(
+      const std::function<void(int64_t lo, int64_t hi, uint64_t count)>& fn)
+      const;
+
+  // JSON array of the non-empty buckets, e.g.
+  //   [{"lo":0,"hi":1,"count":3},{"lo":22,"hi":23,"count":1}]
+  // so exporters can emit full distributions, not just summary quantiles.
+  std::string BucketsJson() const;
 
  private:
   static constexpr int kBucketCount = 512;

@@ -101,5 +101,39 @@ TEST(HistogramTest, SummaryContainsKeyFields) {
   EXPECT_NE(summary.find("mean=100"), std::string::npos);
 }
 
+TEST(HistogramTest, ForEachNonEmptyBucketCoversAllSamples) {
+  Histogram h;
+  h.Record(0);
+  h.Record(5);
+  h.Record(5);
+  h.Record(1000000);
+  uint64_t total = 0;
+  int64_t last_hi = -1;
+  h.ForEachNonEmptyBucket([&](int64_t lo, int64_t hi, uint64_t count) {
+    EXPECT_GT(lo, last_hi - 1);  // Ascending, non-overlapping.
+    EXPECT_GE(hi, lo);
+    total += count;
+    last_hi = hi;
+  });
+  EXPECT_EQ(total, 4u);
+  // The final visited bucket's exclusive upper bound covers the max sample.
+  EXPECT_GT(last_hi, h.max() - 1);
+}
+
+TEST(HistogramTest, BucketsJsonListsNonEmptyBuckets) {
+  Histogram empty;
+  EXPECT_EQ(empty.BucketsJson(), "[]");
+
+  Histogram h;
+  h.Record(0);
+  h.Record(0);
+  EXPECT_EQ(h.BucketsJson(), "[{\"lo\":0,\"hi\":1,\"count\":2}]");
+
+  h.Record(500);
+  const std::string json = h.BucketsJson();
+  EXPECT_EQ(json.find("[{\"lo\":0,\"hi\":1,\"count\":2},{\"lo\":"), 0u);
+  EXPECT_NE(json.find("\"count\":1}]"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pileus

@@ -211,6 +211,18 @@ TEST(MessagesTest, EmptyBufferRejected) {
   EXPECT_FALSE(DecodeMessage("").ok());
 }
 
+TEST(MessagesTest, StatsRoundTrip) {
+  StatsRequest request;
+  request.format = "prometheus";
+  EXPECT_EQ(RoundTrip(request).format, "prometheus");
+
+  StatsReply reply;
+  reply.text = "# TYPE x counter\nx 1\n";
+  EXPECT_EQ(RoundTrip(reply).text, reply.text);
+  EXPECT_EQ(TypeOf(Message(request)), MessageType::kStatsRequest);
+  EXPECT_EQ(MessageTypeName(MessageType::kStatsReply), "StatsReply");
+}
+
 TEST(MessagesTest, UnknownTypeRejected) {
   std::string bytes = EncodeMessage(Message(GetRequest{}));
   bytes[0] = '\x7f';

@@ -257,6 +257,42 @@ TEST_F(MonitorTest, FailureCountsAsContactForProbing) {
   EXPECT_TRUE(monitor_.NeedsProbe("n"));
 }
 
+TEST_F(MonitorTest, SnapshotReportsPerNodeState) {
+  monitor_.RecordLatency("a", 100);
+  monitor_.RecordLatency("a", 300);
+  monitor_.RecordHighTimestamp("a", Timestamp{999, 0});
+  monitor_.RecordSuccess("a");
+  monitor_.RecordLatency("b", 5000);
+  monitor_.RecordSuccess("b");
+  monitor_.RecordFailure("b");
+
+  const std::vector<Monitor::NodeSnapshot> snapshot = monitor_.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].node, "a");  // Sorted by name.
+  EXPECT_EQ(snapshot[1].node, "b");
+  EXPECT_EQ(snapshot[0].latency_samples, 2u);
+  EXPECT_EQ(snapshot[0].mean_latency_us, 200);
+  EXPECT_EQ(snapshot[0].high_timestamp, (Timestamp{999, 0}));
+  EXPECT_EQ(snapshot[0].last_contact_us, clock_.NowMicros());
+  EXPECT_DOUBLE_EQ(snapshot[0].p_up, 1.0);
+  EXPECT_EQ(snapshot[0].breaker, Monitor::BreakerState::kClosed);
+  EXPECT_DOUBLE_EQ(snapshot[1].p_up, 0.5);
+  EXPECT_EQ(snapshot[1].consecutive_failures, 1);
+}
+
+TEST_F(MonitorTest, SnapshotReflectsOpenBreaker) {
+  for (int i = 0; i < monitor_.options().breaker_failure_threshold; ++i) {
+    monitor_.RecordFailure("n");
+  }
+  const std::vector<Monitor::NodeSnapshot> snapshot = monitor_.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].breaker, Monitor::BreakerState::kOpen);
+  EXPECT_DOUBLE_EQ(snapshot[0].p_up, 0.0);
+  EXPECT_EQ(BreakerStateName(snapshot[0].breaker), "open");
+  EXPECT_EQ(BreakerStateName(Monitor::BreakerState::kClosed), "closed");
+  EXPECT_EQ(BreakerStateName(Monitor::BreakerState::kHalfOpen), "half-open");
+}
+
 TEST_F(MonitorTest, NodesAreIndependent) {
   monitor_.RecordLatency("a", 100);
   monitor_.RecordLatency("b", 100000);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/common/clock.h"
+#include "src/core/monitor.h"
 #include "src/net/tcp.h"
 #include "src/proto/messages.h"
 #include "src/util/histogram.h"
@@ -48,6 +49,9 @@ int main(int argc, char** argv) {
   flags.DefineString("table", "default", "table name");
   flags.DefineString("after", "0",
                      "sync: dump versions after this physical timestamp (us)");
+  flags.DefineString("format", "summary",
+                     "stats: server export format (summary | prometheus | json)");
+  flags.DefineInt("probes", 5, "stats: probes used for the local node view");
   if (!flags.Parse(argc, argv)) {
     return 2;
   }
@@ -55,7 +59,7 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: pileus_cli [flags] put KEY VALUE | get KEY | del KEY | "
-                 "range BEGIN [END] | probe | sync | bench N\n");
+                 "range BEGIN [END] | probe | sync | stats | bench N\n");
     return 2;
   }
   net::TcpChannel channel(static_cast<uint16_t>(flags.GetInt("port")));
@@ -169,6 +173,55 @@ int main(int argc, char** argv) {
                 range.truncated ? " (truncated at 100)" : "",
                 range.high_timestamp.ToString().c_str(),
                 range.served_by_primary ? " [primary]" : "");
+    return 0;
+  }
+
+  if (command == "stats" && args.size() == 1) {
+    // Local view first: probe the node a few times and summarize what a
+    // client-side monitor would conclude about it (latency quantiles,
+    // staleness, breaker state).
+    const std::string node_name =
+        "127.0.0.1:" + std::to_string(flags.GetInt("port"));
+    core::Monitor monitor(RealClock::Instance());
+    const long long probes = flags.GetInt("probes");
+    for (long long i = 0; i < probes; ++i) {
+      proto::ProbeRequest request;
+      request.table = table;
+      const MicrosecondCount start = RealClock::Instance()->NowMicros();
+      Result<proto::Message> reply = Call(channel, request);
+      const MicrosecondCount rtt = RealClock::Instance()->NowMicros() - start;
+      if (reply.ok()) {
+        const auto& probe = std::get<proto::ProbeReply>(reply.value());
+        monitor.RecordLatency(node_name, rtt);
+        monitor.RecordHighTimestamp(node_name, probe.high_timestamp);
+        monitor.RecordSuccess(node_name);
+      } else {
+        monitor.RecordFailure(node_name);
+      }
+    }
+    const MicrosecondCount now = RealClock::Instance()->NowMicros();
+    std::printf("node view (%lld probes):\n", probes);
+    for (const core::Monitor::NodeSnapshot& s : monitor.Snapshot()) {
+      std::printf(
+          "  %-22s rtt p50=%lld us p95=%lld us p99=%lld us (n=%zu)\n"
+          "  %-22s high=%s (staleness %.1f ms)  p_up=%.2f  breaker=%s\n",
+          s.node.c_str(), static_cast<long long>(s.p50_latency_us),
+          static_cast<long long>(s.p95_latency_us),
+          static_cast<long long>(s.p99_latency_us), s.latency_samples, "",
+          s.high_timestamp.ToString().c_str(),
+          MicrosecondsToMilliseconds(now - s.high_timestamp.physical_us),
+          s.p_up, std::string(core::BreakerStateName(s.breaker)).c_str());
+    }
+    // Then the server's own registry in the requested format.
+    proto::StatsRequest request;
+    request.format = flags.GetString("format");
+    Result<proto::Message> reply = Call(channel, request);
+    if (!reply.ok()) {
+      return Fail(reply.status());
+    }
+    const auto& stats = std::get<proto::StatsReply>(reply.value());
+    std::printf("server telemetry (%s):\n%s", request.format.c_str(),
+                stats.text.c_str());
     return 0;
   }
 

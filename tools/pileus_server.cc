@@ -28,6 +28,8 @@
 #include "src/persist/durable_tablet.h"
 #include "src/replication/replication_agent.h"
 #include "src/storage/storage_node.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/metrics.h"
 #include "tools/flags.h"
 
 using namespace pileus;  // NOLINT
@@ -70,6 +72,8 @@ int main(int argc, char** argv) {
   flags.DefineBool("fsync_every_write", false,
                    "fdatasync the WAL after every write");
   flags.DefineBool("verbose", false, "log at INFO level");
+  flags.DefineInt("stats_period_s", 0,
+                  "print a telemetry summary every N seconds (0 = off)");
   if (!flags.Parse(argc, argv)) {
     return 2;
   }
@@ -123,6 +127,7 @@ int main(int argc, char** argv) {
   } else {
     node = std::make_unique<storage::StorageNode>(
         flags.GetString("name"), "local", RealClock::Instance());
+    node->EnableTelemetry(&telemetry::MetricsRegistry::Default());
     storage::Tablet::Options options;
     options.is_primary = is_primary;
     if (Status st = node->AddTablet(table, options); !st.ok()) {
@@ -134,6 +139,21 @@ int main(int argc, char** argv) {
       return raw->Handle(m);
     };
   }
+
+  // Scrape endpoint: a StatsRequest on the regular port answers with this
+  // process's metrics registry rendered in the requested format, so
+  // `pileus_cli stats` (or any codec-speaking scraper) works against both the
+  // durable and in-memory paths without a second listener.
+  handler = [inner = std::move(handler)](const proto::Message& m) {
+    if (const auto* stats = std::get_if<proto::StatsRequest>(&m)) {
+      proto::StatsReply reply;
+      reply.text =
+          telemetry::ExportAs(telemetry::MetricsRegistry::Default(),
+                              stats->format);
+      return proto::Message(std::move(reply));
+    }
+    return inner(m);
+  };
 
   // --- Transport ---
   net::TcpServer server;
@@ -155,6 +175,8 @@ int main(int argc, char** argv) {
   if (!is_primary && flags.GetInt("primary_port") > 0) {
     agent = std::make_unique<replication::ReplicationAgent>(
         tablet, replication::ReplicationAgent::Options{.table = table});
+    agent->EnableTelemetry(&telemetry::MetricsRegistry::Default(),
+                           flags.GetString("name"));
     sync_channel = std::make_unique<net::TcpChannel>(
         static_cast<uint16_t>(flags.GetInt("primary_port")));
     auto* channel = sync_channel.get();
@@ -187,8 +209,23 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  const long long stats_period_s = flags.GetInt("stats_period_s");
+  MicrosecondCount next_stats_us =
+      stats_period_s > 0
+          ? RealClock::Instance()->NowMicros() +
+                SecondsToMicroseconds(stats_period_s)
+          : 0;
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (stats_period_s > 0 &&
+        RealClock::Instance()->NowMicros() >= next_stats_us) {
+      next_stats_us += SecondsToMicroseconds(stats_period_s);
+      std::printf(
+          "--- telemetry ---\n%s",
+          telemetry::ExportSummary(telemetry::MetricsRegistry::Default())
+              .c_str());
+      std::fflush(stdout);
+    }
   }
   std::printf("shutting down (%llu requests served)\n",
               static_cast<unsigned long long>(
