@@ -1,0 +1,84 @@
+#include "src/audit/history.h"
+
+#include <sstream>
+#include <utility>
+
+namespace pileus::audit {
+
+std::string DescribeOp(const core::OpRecord& op) {
+  std::ostringstream os;
+  os << core::AuditOpName(op.op) << " '" << op.key << "'";
+  if (op.op == core::AuditOp::kRange) {
+    os << "..'" << op.end_key << "' (" << op.items.size() << " items)";
+  }
+  os << " sess=" << op.session_id << " [" << op.begin_us << "us+"
+     << (op.end_us - op.begin_us) << "us]";
+  if (!op.ok) {
+    os << " FAILED";
+    return os.str();
+  }
+  os << " node=" << op.node;
+  if (op.op == core::AuditOp::kPut || op.op == core::AuditOp::kDelete) {
+    os << " wrote ts=" << op.write_timestamp.ToString();
+    return os.str();
+  }
+  if (op.op == core::AuditOp::kGet) {
+    os << (op.found ? " found" : " not-found")
+       << " ts=" << op.value_timestamp.ToString();
+  }
+  os << " high=" << op.high_timestamp.ToString();
+  if (op.claimed_met_rank >= 0) {
+    os << " claim=" << op.claimed_guarantee.ToString() << "(rank "
+       << op.claimed_met_rank << ")";
+  } else {
+    os << " claim=none";
+  }
+  if (op.from_primary) {
+    os << " primary";
+  }
+  if (op.retried) {
+    os << " retried";
+  }
+  return os.str();
+}
+
+void HistoryRecorder::OnOp(const core::OpRecord& record) {
+  core::OpObserver* forward = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    history_.ops.push_back(record);
+    forward = forward_;
+  }
+  if (forward != nullptr) {
+    forward->OnOp(record);
+  }
+}
+
+void HistoryRecorder::SetGroundTruth(
+    std::vector<proto::ObjectVersion> versions, bool complete) {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.ground_truth = std::move(versions);
+  history_.ground_truth_complete = complete;
+}
+
+void HistoryRecorder::set_forward_observer(core::OpObserver* next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  forward_ = next;
+}
+
+History HistoryRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+size_t HistoryRecorder::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.ops.size();
+}
+
+void HistoryRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_ = History{};
+}
+
+}  // namespace pileus::audit

@@ -1,0 +1,70 @@
+// Recorded operation histories for offline consistency auditing
+// (DESIGN.md "Consistency auditing").
+//
+// A History pairs the client-visible op stream (what applications were told)
+// with the primary's committed-write order (what actually happened). The
+// HistoryRecorder is the pluggable sink that accumulates op records - it
+// mirrors the telemetry::TraceBuffer pattern: attach it to any number of
+// clients via PileusClient::Options::op_observer, optionally chain another
+// observer behind it, snapshot when the run ends.
+
+#ifndef PILEUS_SRC_AUDIT_HISTORY_H_
+#define PILEUS_SRC_AUDIT_HISTORY_H_
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "src/core/audit_hook.h"
+#include "src/proto/messages.h"
+
+namespace pileus::audit {
+
+// Everything the offline checker needs.
+struct History {
+  // Client-visible operations in completion order (the recorder appends as
+  // ops finish; in the simulator this is virtual-time order).
+  std::vector<core::OpRecord> ops;
+  // The committed writes in primary commit order (ascending timestamps),
+  // typically StorageNode::ExportTableLog of the primary after the run.
+  // This - not the clients' view - is the ground truth: a timed-out Put may
+  // still have committed server-side.
+  std::vector<proto::ObjectVersion> ground_truth;
+  // False when the exporting update log was compacted, i.e. `ground_truth`
+  // is missing old committed writes; the checker then skips the checks that
+  // need the complete history.
+  bool ground_truth_complete = true;
+};
+
+// One line per op for violation reports and debugging, e.g.
+// "Get user42 sess=3 [64.70s+147ms] node=US found ts=49.76s high=60.00s
+//  claim=monotonic(rank 4)".
+std::string DescribeOp(const core::OpRecord& op);
+
+// Thread-safe accumulating OpObserver. All methods may race with OnOp from
+// client threads; the simulator drives everything from one thread.
+class HistoryRecorder : public core::OpObserver {
+ public:
+  void OnOp(const core::OpRecord& record) override;
+
+  // Installs the ground-truth commit order (replacing any previous one).
+  void SetGroundTruth(std::vector<proto::ObjectVersion> versions,
+                      bool complete = true);
+
+  // Forward every record to `next` as well (observer chaining). Not owned;
+  // null detaches.
+  void set_forward_observer(core::OpObserver* next);
+
+  History Snapshot() const;
+  size_t op_count() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  History history_;
+  core::OpObserver* forward_ = nullptr;
+};
+
+}  // namespace pileus::audit
+
+#endif  // PILEUS_SRC_AUDIT_HISTORY_H_

@@ -1,0 +1,101 @@
+// Audit hook: client-visible operation records for the consistency-audit
+// harness (DESIGN.md "Consistency auditing").
+//
+// When PileusClient::Options::op_observer is set, the client emits one
+// OpRecord per completed (or failed) Get/Put/Delete/Range, capturing exactly
+// what the application could observe: begin/end times, the returned version,
+// the serving node's high timestamp, and the subSLA the client *claims* it
+// met. An offline checker (src/audit) later replays these records against the
+// primary's committed-write order and verifies every claim independently, so
+// the interface lives here in core while the verification logic stays out of
+// the client's dependency graph.
+
+#ifndef PILEUS_SRC_CORE_AUDIT_HOOK_H_
+#define PILEUS_SRC_CORE_AUDIT_HOOK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/timestamp.h"
+#include "src/core/consistency.h"
+#include "src/proto/messages.h"
+
+namespace pileus::core {
+
+enum class AuditOp : uint8_t {
+  kGet = 0,
+  kPut = 1,
+  kDelete = 2,
+  kRange = 3,
+};
+
+inline std::string_view AuditOpName(AuditOp op) {
+  switch (op) {
+    case AuditOp::kGet:
+      return "Get";
+    case AuditOp::kPut:
+      return "Put";
+    case AuditOp::kDelete:
+      return "Delete";
+    case AuditOp::kRange:
+      return "Range";
+  }
+  return "Unknown";
+}
+
+// Everything the audit checker needs to know about one client operation.
+struct OpRecord {
+  AuditOp op = AuditOp::kGet;
+  // Process-unique session identity (Session::id()); survives serialized
+  // hand-off between frontends, so a moved session keeps its history.
+  uint64_t session_id = 0;
+  std::string table;
+  std::string key;      // Scan begin key for kRange.
+  std::string end_key;  // kRange only; empty = unbounded.
+  MicrosecondCount begin_us = 0;
+  MicrosecondCount end_us = 0;
+  // False when the op returned an error (no reply fields are meaningful,
+  // except that a failed write may still have committed server-side).
+  bool ok = false;
+  std::string node;  // Replica that served the winning reply / the primary.
+
+  // --- Reads (kGet) ---
+  bool found = false;
+  std::string value;
+  // Update timestamp of the returned version; a not-found reply carries the
+  // tombstone's timestamp (Zero when the node held nothing at all).
+  Timestamp value_timestamp;
+  // The serving node's high timestamp; for kRange the one timestamp that
+  // bounds the whole scan.
+  Timestamp high_timestamp;
+  int target_rank = -1;       // SubSLA the client aimed for.
+  int claimed_met_rank = -1;  // SubSLA the client reported as met; -1 = none.
+  // The met subSLA's guarantee and latency bound (valid iff
+  // claimed_met_rank >= 0) - recorded explicitly so the checker needs no
+  // access to the SLA object.
+  Guarantee claimed_guarantee;
+  MicrosecondCount claimed_latency_bound_us = 0;
+  bool from_primary = false;
+  bool retried = false;
+
+  // --- Range scans (kRange) ---
+  std::vector<proto::ObjectVersion> items;
+
+  // --- Writes (kPut / kDelete) ---
+  Timestamp write_timestamp;  // Assigned by the primary (ok writes only).
+};
+
+// Receives every OpRecord a client emits. Implementations must be
+// thread-safe when clients run on multiple application threads; the
+// simulator drives everything from one thread.
+class OpObserver {
+ public:
+  virtual ~OpObserver() = default;
+  virtual void OnOp(const OpRecord& record) = 0;
+};
+
+}  // namespace pileus::core
+
+#endif  // PILEUS_SRC_CORE_AUDIT_HOOK_H_

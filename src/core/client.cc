@@ -189,6 +189,69 @@ void PileusClient::EmitReadTrace(telemetry::TraceOp op, const Session& session,
   options_.trace_sink->OnTrace(event);
 }
 
+void PileusClient::EmitReadRecord(AuditOp op, const Session& session,
+                                  std::string_view key,
+                                  std::string_view end_key,
+                                  MicrosecondCount begin_us, const Sla& sla,
+                                  const GetOutcome& outcome, bool ok,
+                                  const proto::GetReply* reply,
+                                  const proto::RangeReply* range) {
+  if (options_.op_observer == nullptr) {
+    return;
+  }
+  OpRecord record;
+  record.op = op;
+  record.session_id = session.id();
+  record.table = table_.table_name;
+  record.key = std::string(key);
+  record.end_key = std::string(end_key);
+  record.begin_us = begin_us;
+  record.end_us = clock_->NowMicros();
+  record.ok = ok;
+  record.node = outcome.node_name;
+  record.target_rank = outcome.target_rank;
+  record.claimed_met_rank = outcome.met_rank;
+  if (outcome.met_rank >= 0 &&
+      outcome.met_rank < static_cast<int>(sla.size())) {
+    record.claimed_guarantee = sla[outcome.met_rank].consistency;
+    record.claimed_latency_bound_us = sla[outcome.met_rank].latency_us;
+  }
+  record.from_primary = outcome.from_primary;
+  record.retried = outcome.retried;
+  if (reply != nullptr) {
+    record.found = reply->found;
+    record.value = reply->value;
+    record.value_timestamp = reply->value_timestamp;
+    record.high_timestamp = reply->high_timestamp;
+  }
+  if (range != nullptr) {
+    record.items = range->items;
+    record.high_timestamp = range->high_timestamp;
+  }
+  options_.op_observer->OnOp(record);
+}
+
+void PileusClient::EmitWriteRecord(AuditOp op, const Session& session,
+                                   std::string_view key,
+                                   MicrosecondCount begin_us, bool ok,
+                                   const Timestamp& assigned) {
+  if (options_.op_observer == nullptr) {
+    return;
+  }
+  OpRecord record;
+  record.op = op;
+  record.session_id = session.id();
+  record.table = table_.table_name;
+  record.key = std::string(key);
+  record.begin_us = begin_us;
+  record.end_us = clock_->NowMicros();
+  record.ok = ok;
+  record.node = table_.replicas[table_.primary_index].name;
+  record.from_primary = true;
+  record.write_timestamp = assigned;
+  options_.op_observer->OnOp(record);
+}
+
 Result<Session> PileusClient::BeginSession(const Sla& default_sla) const {
   Status st = default_sla.Validate();
   if (!st.ok()) {
@@ -470,6 +533,8 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
             CountReadOutcome(outcome);
             EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla,
                           outcome, get_reply->high_timestamp, /*ok=*/true);
+            EmitReadRecord(AuditOp::kGet, session, key, {}, start_us, sla,
+                           outcome, /*ok=*/true, get_reply, nullptr);
             return result;
           }
         }
@@ -489,6 +554,8 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
     outcome.rtt_us = clock_->NowMicros() - start_us;
     EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla, outcome,
                   Timestamp::Zero(), /*ok=*/false);
+    EmitReadRecord(AuditOp::kGet, session, key, {}, start_us, sla, outcome,
+                   /*ok=*/false, nullptr, nullptr);
     return Status(StatusCode::kUnavailable,
                   "no replica answered within the SLA deadline");
   }
@@ -516,6 +583,8 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
   CountReadOutcome(outcome);
   EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla, outcome,
                 get_reply.high_timestamp, /*ok=*/true);
+  EmitReadRecord(AuditOp::kGet, session, key, {}, start_us, sla, outcome,
+                 /*ok=*/true, &get_reply, nullptr);
   return result;
 }
 
@@ -647,6 +716,8 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
     CountReadOutcome(outcome);
     EmitReadTrace(telemetry::TraceOp::kRange, session, begin, sla, outcome,
                   range_reply->high_timestamp, /*ok=*/true);
+    EmitReadRecord(AuditOp::kRange, session, begin, end, start_us, sla,
+                   outcome, /*ok=*/true, nullptr, range_reply);
     return result;
   }
   if (instruments_.get_errors != nullptr) {
@@ -659,6 +730,8 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
   outcome.rtt_us = clock_->NowMicros() - start_us;
   EmitReadTrace(telemetry::TraceOp::kRange, session, begin, sla, outcome,
                 Timestamp::Zero(), /*ok=*/false);
+  EmitReadRecord(AuditOp::kRange, session, begin, end, start_us, sla,
+                 outcome, /*ok=*/false, nullptr, nullptr);
   return Status(StatusCode::kUnavailable,
                 "no replica answered the scan within the SLA deadline");
 }
@@ -669,8 +742,12 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
                                         std::string_view op_name,
                                         telemetry::TraceOp trace_op) {
   const MicrosecondCount start_us = clock_->NowMicros();
+  const AuditOp audit_op = trace_op == telemetry::TraceOp::kDelete
+                               ? AuditOp::kDelete
+                               : AuditOp::kPut;
   const auto emit_trace = [&](const Timestamp& assigned, int attempts,
                               MicrosecondCount rtt_us, bool ok) {
+    EmitWriteRecord(audit_op, session, key, start_us, ok, assigned);
     if (options_.trace_sink == nullptr) {
       return;
     }

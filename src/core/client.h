@@ -37,6 +37,7 @@
 #include "src/common/clock.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
+#include "src/core/audit_hook.h"
 #include "src/core/connection.h"
 #include "src/core/monitor.h"
 #include "src/core/selection.h"
@@ -163,6 +164,12 @@ class PileusClient {
     // nullptr (the default) skips all accounting.
     telemetry::MetricsRegistry* metrics = nullptr;
     telemetry::TraceSink* trace_sink = nullptr;
+    // Consistency auditing (DESIGN.md "Consistency auditing"): when set,
+    // every Get/Put/Delete/Range emits one OpRecord capturing the
+    // client-visible outcome and the claimed subSLA, for offline
+    // verification against the primary's commit order. Not owned; must
+    // outlive the client.
+    OpObserver* op_observer = nullptr;
     uint64_t seed = 42;
   };
 
@@ -278,6 +285,17 @@ class PileusClient {
                      std::string_view key, const Sla& sla,
                      const GetOutcome& outcome, const Timestamp& read_ts,
                      bool ok);
+  // Audit records (Options::op_observer). Exactly one of `reply` / `range`
+  // is set on success; both null on failure.
+  void EmitReadRecord(AuditOp op, const Session& session,
+                      std::string_view key, std::string_view end_key,
+                      MicrosecondCount begin_us, const Sla& sla,
+                      const GetOutcome& outcome, bool ok,
+                      const proto::GetReply* reply,
+                      const proto::RangeReply* range);
+  void EmitWriteRecord(AuditOp op, const Session& session,
+                       std::string_view key, MicrosecondCount begin_us,
+                       bool ok, const Timestamp& assigned);
 
   TableView table_;
   const Clock* clock_;  // Not owned.

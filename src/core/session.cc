@@ -1,6 +1,7 @@
 #include "src/core/session.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/util/codec.h"
 
@@ -8,8 +9,9 @@ namespace pileus::core {
 
 namespace {
 
-// Bumped when the serialized session layout changes.
-constexpr uint8_t kSessionWireVersion = 1;
+// Bumped when the serialized session layout changes. Version 2 added the
+// session id right after the version byte.
+constexpr uint8_t kSessionWireVersion = 2;
 
 void EncodeTimestampMap(
     Encoder& enc, const std::map<std::string, Timestamp, std::less<>>& map) {
@@ -38,6 +40,11 @@ Status DecodeTimestampMap(Decoder& dec,
 }
 
 }  // namespace
+
+uint64_t Session::NextId() {
+  static std::atomic<uint64_t> next_id{1};
+  return next_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 Timestamp Session::MinReadTimestamp(const Guarantee& guarantee,
                                     std::string_view key,
@@ -106,6 +113,7 @@ void Session::RecordGet(std::string_view key,
 std::string Session::Serialize() const {
   Encoder enc;
   enc.PutUint8(kSessionWireVersion);
+  enc.PutVarint64(id_);
   // The default SLA travels with the session.
   enc.PutVarint64(default_sla_.size());
   for (const SubSla& sub : default_sla_.subslas()) {
@@ -129,6 +137,8 @@ Result<Session> Session::Deserialize(std::string_view bytes) {
     return Status(StatusCode::kCorruption,
                   "unsupported serialized session version");
   }
+  uint64_t id = 0;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&id));
   uint64_t sub_count = 0;
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&sub_count));
   if (sub_count > dec.remaining()) {
@@ -154,6 +164,7 @@ Result<Session> Session::Deserialize(std::string_view bytes) {
   PILEUS_RETURN_IF_ERROR(sla.Validate());
 
   Session session(std::move(sla));
+  session.id_ = id;
   PILEUS_RETURN_IF_ERROR(DecodeTimestampMap(dec, &session.puts_));
   PILEUS_RETURN_IF_ERROR(DecodeTimestampMap(dec, &session.gets_));
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&session.max_read_));

@@ -20,6 +20,7 @@
 #ifndef PILEUS_SRC_CORE_SESSION_H_
 #define PILEUS_SRC_CORE_SESSION_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -36,6 +37,12 @@ class Session {
   explicit Session(Sla default_sla) : default_sla_(std::move(default_sla)) {}
 
   const Sla& default_sla() const { return default_sla_; }
+
+  // Process-unique session identity, used by the audit harness to attribute
+  // operations to sessions. It travels with Serialize/Deserialize, so a
+  // session handed off to another frontend keeps its identity (and its
+  // recorded history stays one per-session stream).
+  uint64_t id() const { return id_; }
 
   // The minimum acceptable read timestamp for reading `key` at `now_us` with
   // the given guarantee. A node qualifies iff its high timestamp is >= this
@@ -71,7 +78,10 @@ class Session {
   size_t tracked_get_keys() const { return gets_.size(); }
 
  private:
+  static uint64_t NextId();
+
   Sla default_sla_;
+  uint64_t id_ = NextId();
   // Update timestamps of this session's Puts, per key.
   std::map<std::string, Timestamp, std::less<>> puts_;
   // Timestamps of the latest version returned to this session, per key.

@@ -1,0 +1,86 @@
+// Audit scenarios: seeded random workloads under seeded random faults, with
+// every client-visible op recorded and checked offline (ISSUE: Jepsen-in-a-box
+// for the deterministic simulator; DESIGN.md "Consistency auditing").
+//
+// A scenario drives a YCSB-shaped op mix (Gets, Puts, Deletes, small Range
+// scans, session turnover) from two frontends of the Fig-10 GeoTestbed while
+// a randomized-but-reproducible fault schedule runs underneath: partitions,
+// silent drops, gray slowness, crash + WAL-restart of a secondary, and
+// serialized session hand-off between frontends. Afterwards the primary's
+// committed-write order becomes the ground truth and the ConsistencyChecker
+// audits the whole history. Everything derives from one seed; a failing run
+// is reproduced bit-for-bit by re-running with the printed seed.
+
+#ifndef PILEUS_SRC_EXPERIMENTS_SCENARIO_H_
+#define PILEUS_SRC_EXPERIMENTS_SCENARIO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/audit/checker.h"
+#include "src/audit/history.h"
+#include "src/common/clock.h"
+#include "src/core/sla.h"
+
+namespace pileus::experiments {
+
+enum class FaultScenario {
+  kNone = 0,       // Healthy network: any violation is a logic bug.
+  kPartition,      // Timed two-way partitions between random site pairs.
+  kDrops,          // Silent packet loss on a random site.
+  kGray,           // Gray slowness episodes on random sites.
+  kCrashRestart,   // Crash a secondary mid-run, restart it from its WAL.
+  kHandoff,        // Serialize sessions and resume them on the other frontend.
+};
+
+std::string_view FaultScenarioName(FaultScenario scenario);
+// Parses the names FaultScenarioName produces ("none", "partition", "drops",
+// "gray", "crash-restart", "handoff"); nullopt for anything else.
+std::optional<FaultScenario> ParseFaultScenario(std::string_view name);
+std::vector<FaultScenario> AllFaultScenarios();
+
+struct ScenarioOptions {
+  uint64_t seed = 1;
+  FaultScenario scenario = FaultScenario::kNone;
+  // Client operations across both frontends (excluding the preload).
+  uint64_t total_ops = 600;
+  int key_count = 100;
+  int ops_per_session = 40;
+  // Fast pulls so staleness stays small relative to virtual run time.
+  MicrosecondCount replication_period_us = SecondsToMicroseconds(10);
+  // Required for kCrashRestart (the restarted node recovers from its WAL);
+  // optional otherwise. When set, the run also cross-checks the primary's
+  // WAL against its in-memory update log.
+  std::string durable_root;
+  // Defaults to AuditSla().
+  std::optional<core::Sla> sla;
+};
+
+// The audit SLA: one subSLA per guarantee, strongest first, so every claim
+// path through DetermineMetRank gets exercised.
+core::Sla AuditSla();
+
+struct ScenarioResult {
+  uint64_t seed = 0;
+  FaultScenario scenario = FaultScenario::kNone;
+  audit::AuditReport report;
+  // The audited history (kept so violation reports can cite full op records).
+  audit::History history;
+  uint64_t ops_attempted = 0;
+  uint64_t ops_failed = 0;   // Op returned an error (fine under faults).
+  uint64_t sessions = 0;
+  uint64_t handoffs = 0;
+
+  bool ok() const { return report.ok(); }
+  // One line: verdict, scenario, seed (the repro handle), op counts.
+  std::string Summary() const;
+};
+
+ScenarioResult RunAuditScenario(const ScenarioOptions& options);
+
+}  // namespace pileus::experiments
+
+#endif  // PILEUS_SRC_EXPERIMENTS_SCENARIO_H_

@@ -257,4 +257,19 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
   return stats;
 }
 
+Result<std::vector<proto::ObjectVersion>> WriteAheadLog::ReadVersions(
+    const std::string& path) {
+  std::vector<proto::ObjectVersion> versions;
+  Result<ReplayStats> stats = Replay(
+      path,
+      [&versions](const proto::ObjectVersion& version) {
+        versions.push_back(version);
+      },
+      nullptr);
+  if (!stats.ok()) {
+    return stats.status();
+  }
+  return versions;
+}
+
 }  // namespace pileus::persist

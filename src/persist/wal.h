@@ -76,6 +76,12 @@ class WriteAheadLog {
       const std::function<void(const proto::ObjectVersion&)>& on_version,
       const std::function<void(const Timestamp&)>& on_heartbeat);
 
+  // Collects every intact version record in `path`, in log order
+  // (heartbeats skipped). The audit harness uses this to cross-check a
+  // node's journaled writes against the in-memory commit order.
+  static Result<std::vector<proto::ObjectVersion>> ReadVersions(
+      const std::string& path);
+
  private:
   Status AppendRecord(uint8_t kind, std::string_view payload);
 

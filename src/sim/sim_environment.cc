@@ -8,24 +8,30 @@ PeriodicHandle SimEnvironment::SchedulePeriodic(
   PeriodicHandle handle;
   handle.alive_ = std::make_shared<bool>(true);
 
-  // The tick reschedules itself while the handle is alive. It captures this
-  // environment by raw pointer; the environment must outlive its periodic
-  // tasks (true by construction: experiments own the environment for their
-  // whole lifetime). A recursive lambda needs an explicit fixpoint, hence the
-  // shared holder.
-  auto alive = handle.alive_;
-  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
-  auto holder = std::make_shared<std::function<void()>>();
-  *holder = [this, alive, shared_fn, period_us, holder]() {
-    if (!*alive) {
-      return;
-    }
-    (*shared_fn)();
-    if (*alive) {
-      ScheduleAfter(period_us, *holder);
+  // The tick reschedules a copy of itself while the handle is alive (a
+  // self-referencing std::function would be a shared_ptr cycle and leak). It
+  // captures this environment by raw pointer; the environment must outlive
+  // its periodic tasks (true by construction: experiments own the
+  // environment for their whole lifetime).
+  struct Tick {
+    SimEnvironment* env;
+    std::shared_ptr<bool> alive;
+    std::shared_ptr<std::function<void()>> fn;
+    MicrosecondCount period_us;
+    void operator()() const {
+      if (!*alive) {
+        return;
+      }
+      (*fn)();
+      if (*alive) {
+        env->ScheduleAfter(period_us, Tick{*this});
+      }
     }
   };
-  ScheduleAfter(first_delay_us, *holder);
+  ScheduleAfter(first_delay_us,
+                Tick{this, handle.alive_,
+                     std::make_shared<std::function<void()>>(std::move(fn)),
+                     period_us});
   return handle;
 }
 

@@ -1,6 +1,7 @@
 #include "src/storage/storage_node.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 namespace pileus::storage {
@@ -103,6 +104,38 @@ Timestamp StorageNode::HighTimestamp(std::string_view table,
   std::lock_guard<std::mutex> lock(mu_);
   const Tablet* tablet = FindTablet(table, key);
   return tablet == nullptr ? Timestamp::Zero() : tablet->high_timestamp();
+}
+
+std::vector<proto::ObjectVersion> StorageNode::ExportTableLog(
+    std::string_view table, bool* contiguous) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool all_contiguous = true;
+  std::vector<proto::ObjectVersion> merged;
+  if (auto it = tablets_.find(table); it != tablets_.end()) {
+    for (const auto& tablet : it->second) {
+      bool tablet_contiguous = true;
+      std::vector<proto::ObjectVersion> part =
+          tablet->ExportCommittedVersions(&tablet_contiguous);
+      all_contiguous = all_contiguous && tablet_contiguous;
+      if (merged.empty()) {
+        merged = std::move(part);
+        continue;
+      }
+      std::vector<proto::ObjectVersion> combined;
+      combined.reserve(merged.size() + part.size());
+      std::merge(merged.begin(), merged.end(), part.begin(), part.end(),
+                 std::back_inserter(combined),
+                 [](const proto::ObjectVersion& a,
+                    const proto::ObjectVersion& b) {
+                   return a.timestamp < b.timestamp;
+                 });
+      merged = std::move(combined);
+    }
+  }
+  if (contiguous != nullptr) {
+    *contiguous = all_contiguous;
+  }
+  return merged;
 }
 
 void StorageNode::EnableTelemetry(telemetry::MetricsRegistry* registry) {

@@ -64,6 +64,15 @@ class StorageNode {
   // for tests and monitors.
   Timestamp HighTimestamp(std::string_view table, std::string_view key) const;
 
+  // Audit ground truth (DESIGN.md "Consistency auditing"): the committed
+  // versions across `table`'s tablets, merged into one ascending-timestamp
+  // sequence. Taken from the primary, this is the authoritative commit order
+  // histories are checked against. `contiguous` (when non-null) is set to
+  // false when any tablet's log was compacted, i.e. old committed writes are
+  // missing from the export.
+  std::vector<proto::ObjectVersion> ExportTableLog(
+      std::string_view table, bool* contiguous = nullptr) const;
+
   // Total Gets/Puts served; used by benches to report message costs.
   uint64_t requests_served() const { return requests_served_; }
 

@@ -91,6 +91,14 @@ class Tablet {
     update_log_.TruncateThrough(up_to);
   }
 
+  // Audit ground truth: every committed version still in this tablet's
+  // update log, ascending. `contiguous` (when non-null) is set to false if
+  // CompactLog dropped older entries.
+  std::vector<proto::ObjectVersion> ExportCommittedVersions(
+      bool* contiguous = nullptr) const {
+    return update_log_.Export(contiguous);
+  }
+
   // Garbage-collects tombstones older than `horizon`; see
   // VersionedStore::CollectTombstones for the safety requirement.
   size_t CollectTombstones(const Timestamp& horizon) {

@@ -45,6 +45,13 @@ void UpdateLog::TruncateThrough(const Timestamp& up_to) {
   truncated_through_ = MaxTimestamp(truncated_through_, up_to);
 }
 
+std::vector<proto::ObjectVersion> UpdateLog::Export(bool* contiguous) const {
+  if (contiguous != nullptr) {
+    *contiguous = truncated_through_.IsZero();
+  }
+  return {entries_.begin(), entries_.end()};
+}
+
 Timestamp UpdateLog::LastTimestamp() const {
   return entries_.empty() ? Timestamp::Zero() : entries_.back().timestamp;
 }

@@ -43,6 +43,12 @@ class UpdateLog {
   // `up_to` report contiguous=false.
   void TruncateThrough(const Timestamp& up_to);
 
+  // Copies the whole log (ascending timestamps) - the audit harness's
+  // ground-truth commit order. When `contiguous` is non-null it is set to
+  // false if truncation removed older entries, i.e. the copy is not the
+  // complete committed history.
+  std::vector<proto::ObjectVersion> Export(bool* contiguous = nullptr) const;
+
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   // Timestamp of the newest entry (Zero when empty).

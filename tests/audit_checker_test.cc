@@ -1,0 +1,546 @@
+// Checker self-tests: hand-crafted histories with one planted inconsistency
+// each, verifying the offline checker flags exactly the planted violation
+// (with the offending op pair), plus matching clean histories that must pass.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/audit/checker.h"
+#include "src/audit/history.h"
+
+namespace pileus::audit {
+namespace {
+
+using core::AuditOp;
+using core::Guarantee;
+using core::OpRecord;
+
+proto::ObjectVersion V(const std::string& key, const std::string& value,
+                       int64_t us, uint32_t seq = 1, bool tombstone = false) {
+  proto::ObjectVersion v;
+  v.key = key;
+  v.value = value;
+  v.timestamp = Timestamp{us, seq};
+  v.is_tombstone = tombstone;
+  return v;
+}
+
+proto::ObjectVersion Tomb(const std::string& key, int64_t us,
+                          uint32_t seq = 1) {
+  return V(key, "", us, seq, /*tombstone=*/true);
+}
+
+OpRecord Put(uint64_t session, const std::string& key, const Timestamp& ts) {
+  OpRecord r;
+  r.op = AuditOp::kPut;
+  r.session_id = session;
+  r.key = key;
+  r.ok = true;
+  r.write_timestamp = ts;
+  return r;
+}
+
+OpRecord Del(uint64_t session, const std::string& key, const Timestamp& ts) {
+  OpRecord r = Put(session, key, ts);
+  r.op = AuditOp::kDelete;
+  return r;
+}
+
+OpRecord Read(uint64_t session, const std::string& key, bool found,
+              const std::string& value, const Timestamp& ts,
+              const Timestamp& high) {
+  OpRecord r;
+  r.op = AuditOp::kGet;
+  r.session_id = session;
+  r.key = key;
+  r.ok = true;
+  r.found = found;
+  r.value = value;
+  r.value_timestamp = ts;
+  r.high_timestamp = high;
+  return r;
+}
+
+OpRecord Claiming(OpRecord r, Guarantee guarantee, int rank = 0,
+                  MicrosecondCount latency_bound_us = 0) {
+  r.claimed_met_rank = rank;
+  r.claimed_guarantee = guarantee;
+  r.claimed_latency_bound_us = latency_bound_us;
+  return r;
+}
+
+bool Has(const AuditReport& report, ViolationType type) {
+  for (const Violation& v : report.violations) {
+    if (v.type == type) {
+      return true;
+    }
+  }
+  return false;
+}
+
+AuditReport Check(const History& history) {
+  return ConsistencyChecker().Check(history);
+}
+
+// --- Planted violation 1: stale strong read ---
+
+TEST(AuditCheckerTest, StaleStrongReadFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("a", "v2", 2000)};
+  OpRecord read = Claiming(
+      Read(1, "a", true, "v1", Timestamp{1000, 1}, Timestamp{1000, 1}),
+      Guarantee::Strong());
+  read.from_primary = true;
+  read.begin_us = 5000;  // Both commits finished before the read began.
+  read.end_us = 5100;
+  h.ops = {read};
+  const AuditReport report = Check(h);
+  ASSERT_EQ(report.violations.size(), 1u) << report.ToString();
+  EXPECT_EQ(report.violations[0].type, ViolationType::kStaleStrongRead);
+  EXPECT_EQ(report.violations[0].op_index, 0u);
+}
+
+TEST(AuditCheckerTest, StrongClaimFromNonAuthoritativeNodeFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000)};
+  OpRecord read = Claiming(
+      Read(1, "a", true, "v1", Timestamp{1000, 1}, Timestamp{1000, 1}),
+      Guarantee::Strong());
+  read.from_primary = false;  // Correct value, wrong kind of node.
+  read.begin_us = 5000;
+  h.ops = {read};
+  EXPECT_TRUE(Has(Check(h), ViolationType::kStaleStrongRead));
+}
+
+TEST(AuditCheckerTest, FreshStrongReadPasses) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("a", "v2", 2000)};
+  OpRecord read = Claiming(
+      Read(1, "a", true, "v2", Timestamp{2000, 1}, Timestamp{5000, 0}),
+      Guarantee::Strong());
+  read.from_primary = true;
+  read.begin_us = 5000;
+  read.end_us = 5100;
+  h.ops = {read};
+  const AuditReport report = Check(h);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.claims_checked, 1u);
+}
+
+// --- Planted violation 2: read-my-writes miss ---
+
+TEST(AuditCheckerTest, ReadMyWritesMissFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("a", "v2", 2000)};
+  h.ops = {
+      Put(1, "a", Timestamp{2000, 1}),
+      Claiming(Read(1, "a", true, "v1", Timestamp{1000, 1},
+                    Timestamp{1000, 1}),
+               Guarantee::ReadMyWrites()),
+  };
+  const AuditReport report = Check(h);
+  ASSERT_TRUE(Has(report, ViolationType::kReadMyWritesMiss))
+      << report.ToString();
+  for (const Violation& v : report.violations) {
+    if (v.type == ViolationType::kReadMyWritesMiss) {
+      EXPECT_EQ(v.op_index, 1u);
+      EXPECT_EQ(v.related_op_index, 0u);  // The write it failed to see.
+    }
+  }
+}
+
+TEST(AuditCheckerTest, ReadMyWritesSeesOwnWritePasses) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("a", "v2", 2000)};
+  h.ops = {
+      Put(1, "a", Timestamp{2000, 1}),
+      Claiming(Read(1, "a", true, "v2", Timestamp{2000, 1},
+                    Timestamp{2000, 1}),
+               Guarantee::ReadMyWrites()),
+  };
+  EXPECT_TRUE(Check(h).ok());
+}
+
+TEST(AuditCheckerTest, OtherSessionsWritesDoNotBindReadMyWrites) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("a", "v2", 2000)};
+  h.ops = {
+      Put(2, "a", Timestamp{2000, 1}),  // A *different* session's write.
+      Claiming(Read(1, "a", true, "v1", Timestamp{1000, 1},
+                    Timestamp{1000, 1}),
+               Guarantee::ReadMyWrites()),
+  };
+  EXPECT_TRUE(Check(h).ok());
+}
+
+// --- Planted violation 3: monotonic regression ---
+
+TEST(AuditCheckerTest, MonotonicRegressionFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("a", "v2", 2000)};
+  h.ops = {
+      Claiming(Read(1, "a", true, "v2", Timestamp{2000, 1},
+                    Timestamp{2000, 1}),
+               Guarantee::Eventual()),
+      Claiming(Read(1, "a", true, "v1", Timestamp{1000, 1},
+                    Timestamp{1000, 1}),
+               Guarantee::Monotonic()),
+  };
+  const AuditReport report = Check(h);
+  ASSERT_TRUE(Has(report, ViolationType::kMonotonicRegression))
+      << report.ToString();
+  EXPECT_EQ(report.violations[0].op_index, 1u);
+  EXPECT_EQ(report.violations[0].related_op_index, 0u);
+}
+
+TEST(AuditCheckerTest, MonotonicRereadOfSameVersionPasses) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("a", "v2", 2000)};
+  h.ops = {
+      Claiming(Read(1, "a", true, "v2", Timestamp{2000, 1},
+                    Timestamp{2000, 1}),
+               Guarantee::Eventual()),
+      Claiming(Read(1, "a", true, "v2", Timestamp{2000, 1},
+                    Timestamp{2000, 1}),
+               Guarantee::Monotonic()),
+  };
+  EXPECT_TRUE(Check(h).ok());
+}
+
+TEST(AuditCheckerTest, MonotonicIsPerSession) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("a", "v2", 2000)};
+  h.ops = {
+      Claiming(Read(1, "a", true, "v2", Timestamp{2000, 1},
+                    Timestamp{2000, 1}),
+               Guarantee::Eventual()),
+      // Session 2 never read v2, so the older version is fine for it.
+      Claiming(Read(2, "a", true, "v1", Timestamp{1000, 1},
+                    Timestamp{1000, 1}),
+               Guarantee::Monotonic()),
+  };
+  EXPECT_TRUE(Check(h).ok());
+}
+
+// --- Planted violation 4: bounded-staleness overshoot ---
+
+TEST(AuditCheckerTest, BoundedStalenessOvershootFlagged) {
+  History h;
+  h.ground_truth = {V("a", "old", 100'000), V("a", "mid", 1'400'000)};
+  // Floor = begin - bound = 1.5 s: the read must reflect "mid" (1.4 s) but
+  // returned "old" (0.1 s).
+  OpRecord read = Claiming(
+      Read(1, "a", true, "old", Timestamp{100'000, 1},
+           Timestamp{1'450'000, 0}),
+      Guarantee::Bounded(500'000));
+  read.begin_us = 2'000'000;
+  read.end_us = 2'000'100;
+  h.ops = {read};
+  const AuditReport report = Check(h);
+  ASSERT_TRUE(Has(report, ViolationType::kBoundedStalenessOverrun))
+      << report.ToString();
+}
+
+TEST(AuditCheckerTest, BoundedWithinBoundPasses) {
+  History h;
+  h.ground_truth = {V("a", "old", 100'000), V("a", "mid", 1'400'000)};
+  OpRecord read = Claiming(
+      Read(1, "a", true, "mid", Timestamp{1'400'000, 1},
+           Timestamp{1'600'000, 0}),
+      Guarantee::Bounded(500'000));
+  read.begin_us = 2'000'000;
+  read.end_us = 2'000'100;
+  h.ops = {read};
+  EXPECT_TRUE(Check(h).ok());
+}
+
+TEST(AuditCheckerTest, BoundedHighTimestampBelowFloorFlagged) {
+  History h;
+  h.ground_truth = {V("a", "old", 100'000)};
+  // The node's applied prefix ends before the staleness floor: even though
+  // no newer committed version exists, the node could not have known that.
+  OpRecord read = Claiming(
+      Read(1, "a", true, "old", Timestamp{100'000, 1},
+           Timestamp{1'000'000, 0}),
+      Guarantee::Bounded(500'000));
+  read.begin_us = 2'000'000;
+  h.ops = {read};
+  EXPECT_TRUE(Has(Check(h), ViolationType::kBoundedStalenessOverrun));
+}
+
+// --- Planted violation 5: resurrected tombstone ---
+
+TEST(AuditCheckerTest, TombstoneResurrectionFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), Tomb("a", 3000)};
+  h.ops = {
+      // The session observed the deletion (not-found carrying the
+      // tombstone's timestamp) ...
+      Claiming(Read(1, "a", false, "", Timestamp{3000, 1},
+                    Timestamp{3500, 0}),
+               Guarantee::Eventual()),
+      // ... then a monotonic read brought the deleted value back.
+      Claiming(Read(1, "a", true, "v1", Timestamp{1000, 1},
+                    Timestamp{1000, 1}),
+               Guarantee::Monotonic()),
+  };
+  const AuditReport report = Check(h);
+  ASSERT_TRUE(Has(report, ViolationType::kTombstoneResurrection))
+      << report.ToString();
+}
+
+TEST(AuditCheckerTest, OwnDeleteThenStaleValueUnderRmwFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), Tomb("a", 3000)};
+  h.ops = {
+      Del(1, "a", Timestamp{3000, 1}),
+      Claiming(Read(1, "a", true, "v1", Timestamp{1000, 1},
+                    Timestamp{1000, 1}),
+               Guarantee::ReadMyWrites()),
+  };
+  const AuditReport report = Check(h);
+  EXPECT_TRUE(Has(report, ViolationType::kTombstoneResurrection))
+      << report.ToString();
+}
+
+TEST(AuditCheckerTest, OwnDeleteDoesNotBindMonotonicReads) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), Tomb("a", 3000)};
+  h.ops = {
+      Del(1, "a", Timestamp{3000, 1}),
+      // Monotonic only promises no regression versus previous *reads*;
+      // seeing the pre-delete value again is allowed under it.
+      Claiming(Read(1, "a", true, "v1", Timestamp{1000, 1},
+                    Timestamp{1000, 1}),
+               Guarantee::Monotonic()),
+  };
+  EXPECT_TRUE(Check(h).ok()) << Check(h).ToString();
+}
+
+TEST(AuditCheckerTest, NotFoundAfterDeletePasses) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), Tomb("a", 3000)};
+  h.ops = {
+      Del(1, "a", Timestamp{3000, 1}),
+      // "Gone" is the correct strong answer for a deleted key.
+      Claiming(Read(1, "a", false, "", Timestamp{3000, 1},
+                    Timestamp{3500, 0}),
+               Guarantee::ReadMyWrites()),
+  };
+  EXPECT_TRUE(Check(h).ok()) << Check(h).ToString();
+}
+
+// --- Universal properties ---
+
+TEST(AuditCheckerTest, PhantomReadFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000)};
+  h.ops = {Read(1, "a", true, "ghost", Timestamp{9999, 9},
+                Timestamp{9999, 9})};
+  EXPECT_TRUE(Has(Check(h), ViolationType::kPhantomRead));
+}
+
+TEST(AuditCheckerTest, PhantomSkippedWhenGroundTruthIncomplete) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000)};
+  h.ground_truth_complete = false;  // Compacted log: the version may be old.
+  h.ops = {Read(1, "a", true, "ghost", Timestamp{9999, 9},
+                Timestamp{9999, 9})};
+  EXPECT_TRUE(Check(h).ok());
+}
+
+TEST(AuditCheckerTest, ValueMismatchFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000)};
+  h.ops = {Read(1, "a", true, "not-v1", Timestamp{1000, 1},
+                Timestamp{1000, 1})};
+  EXPECT_TRUE(Has(Check(h), ViolationType::kPhantomRead));
+}
+
+TEST(AuditCheckerTest, LostWriteFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000)};
+  h.ops = {Put(1, "a", Timestamp{4000, 1})};  // Acked but never committed.
+  EXPECT_TRUE(Has(Check(h), ViolationType::kLostWrite));
+}
+
+TEST(AuditCheckerTest, FailedWriteMayBeAbsentFromCommitOrder) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000)};
+  OpRecord put = Put(1, "a", Timestamp{4000, 1});
+  put.ok = false;  // Timed out: may or may not have committed.
+  h.ops = {put};
+  EXPECT_TRUE(Check(h).ok());
+}
+
+TEST(AuditCheckerTest, PrefixViolationFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("a", "v2", 2000)};
+  // The node advertises a prefix through 2.5 ms yet served the 1 ms version:
+  // its "prefix" has a hole.
+  h.ops = {Read(1, "a", true, "v1", Timestamp{1000, 1}, Timestamp{2500, 0})};
+  EXPECT_TRUE(Has(Check(h), ViolationType::kPrefixViolation));
+}
+
+TEST(AuditCheckerTest, ReadAboveAdvertisedHighFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v2", 2000)};
+  h.ops = {Read(1, "a", true, "v2", Timestamp{2000, 1}, Timestamp{1500, 0})};
+  EXPECT_TRUE(Has(Check(h), ViolationType::kPrefixViolation));
+}
+
+TEST(AuditCheckerTest, CausalRegressionFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000), V("b", "w1", 1500)};
+  h.ops = {
+      // Seeing "b"@1500 pulls "a"@1000 into the session's causal past.
+      Claiming(Read(1, "b", true, "w1", Timestamp{1500, 1},
+                    Timestamp{1500, 1}),
+               Guarantee::Eventual()),
+      Claiming(Read(1, "a", false, "", Timestamp::Zero(), Timestamp::Zero()),
+               Guarantee::Causal()),
+  };
+  const AuditReport report = Check(h);
+  ASSERT_TRUE(Has(report, ViolationType::kCausalRegression))
+      << report.ToString();
+}
+
+// --- Range scans ---
+
+TEST(AuditCheckerTest, RangeItemAboveScanHighFlagged) {
+  History h;
+  h.ground_truth = {V("b", "w1", 3000)};
+  OpRecord range;
+  range.op = AuditOp::kRange;
+  range.session_id = 1;
+  range.key = "a";
+  range.ok = true;
+  range.high_timestamp = Timestamp{2500, 0};
+  range.items = {V("b", "w1", 3000)};  // Newer than the scan's one bound.
+  h.ops = {range};
+  EXPECT_TRUE(Has(Check(h), ViolationType::kRangeBoundExceeded));
+}
+
+TEST(AuditCheckerTest, RangeListingDeletedKeyFlagged) {
+  History h;
+  h.ground_truth = {V("b", "w1", 1000), Tomb("b", 2000)};
+  OpRecord range;
+  range.op = AuditOp::kRange;
+  range.session_id = 1;
+  range.key = "a";
+  range.ok = true;
+  range.high_timestamp = Timestamp{2500, 0};
+  range.items = {Tomb("b", 2000)};  // Scans must skip tombstones entirely.
+  h.ops = {range};
+  EXPECT_TRUE(Has(Check(h), ViolationType::kTombstoneResurrection));
+}
+
+TEST(AuditCheckerTest, StaleRangeScanUnderReadMyWritesFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 2000)};
+  OpRecord range;
+  range.op = AuditOp::kRange;
+  range.session_id = 1;
+  range.key = "a";
+  range.ok = true;
+  range.high_timestamp = Timestamp{1500, 0};  // Below the session's write.
+  h.ops = {
+      Put(1, "a", Timestamp{2000, 1}),
+      Claiming(range, Guarantee::ReadMyWrites()),
+  };
+  const AuditReport report = Check(h);
+  ASSERT_TRUE(Has(report, ViolationType::kStaleRangeScan))
+      << report.ToString();
+  for (const Violation& v : report.violations) {
+    if (v.type == ViolationType::kStaleRangeScan) {
+      EXPECT_EQ(v.related_op_index, 0u);
+    }
+  }
+}
+
+TEST(AuditCheckerTest, FreshRangeScanPasses) {
+  History h;
+  h.ground_truth = {V("a", "v1", 2000), V("b", "w1", 1000)};
+  OpRecord range;
+  range.op = AuditOp::kRange;
+  range.session_id = 1;
+  range.key = "a";
+  range.ok = true;
+  range.high_timestamp = Timestamp{2500, 0};
+  range.items = {V("a", "v1", 2000), V("b", "w1", 1000)};
+  h.ops = {
+      Put(1, "a", Timestamp{2000, 1}),
+      Claiming(range, Guarantee::ReadMyWrites()),
+  };
+  const AuditReport report = Check(h);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.ranges_checked, 1u);
+}
+
+// --- Latency claims ---
+
+TEST(AuditCheckerTest, LatencyOverclaimFlagged) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000)};
+  OpRecord read = Claiming(
+      Read(1, "a", true, "v1", Timestamp{1000, 1}, Timestamp{1000, 1}),
+      Guarantee::Eventual(), /*rank=*/0, /*latency_bound_us=*/100);
+  read.begin_us = 10'000;
+  read.end_us = 10'300;  // Took 300 us against a claimed 100 us bound.
+  h.ops = {read};
+  EXPECT_TRUE(Has(Check(h), ViolationType::kLatencyOverclaim));
+}
+
+// --- Report plumbing ---
+
+TEST(AuditCheckerTest, CountersAndReportFormat) {
+  History h;
+  h.ground_truth = {V("a", "v1", 1000)};
+  h.ops = {
+      Put(1, "a", Timestamp{1000, 1}),
+      Claiming(Read(1, "a", true, "v1", Timestamp{1000, 1},
+                    Timestamp{1000, 1}),
+               Guarantee::Eventual()),
+  };
+  const AuditReport report = Check(h);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.writes_checked, 1u);
+  EXPECT_EQ(report.reads_checked, 1u);
+  EXPECT_EQ(report.claims_checked, 1u);
+  EXPECT_NE(report.ToString().find("0 violations"), std::string::npos);
+}
+
+TEST(AuditCheckerTest, ViolationToStringNamesTheOpPair) {
+  Violation v;
+  v.type = ViolationType::kMonotonicRegression;
+  v.op_index = 7;
+  v.related_op_index = 3;
+  v.message = "went backwards";
+  const std::string s = v.ToString();
+  EXPECT_NE(s.find("op #7"), std::string::npos);
+  EXPECT_NE(s.find("monotonic-regression"), std::string::npos);
+  EXPECT_NE(s.find("op #3"), std::string::npos);
+}
+
+TEST(AuditCheckerTest, RecorderAccumulatesAndForwards) {
+  HistoryRecorder recorder;
+  HistoryRecorder downstream;
+  recorder.set_forward_observer(&downstream);
+  recorder.OnOp(Put(1, "a", Timestamp{1000, 1}));
+  recorder.OnOp(Read(1, "a", true, "v1", Timestamp{1000, 1},
+                     Timestamp{1000, 1}));
+  EXPECT_EQ(recorder.op_count(), 2u);
+  EXPECT_EQ(downstream.op_count(), 2u);
+  recorder.SetGroundTruth({V("a", "v1", 1000)});
+  const History h = recorder.Snapshot();
+  EXPECT_EQ(h.ops.size(), 2u);
+  EXPECT_EQ(h.ground_truth.size(), 1u);
+  EXPECT_TRUE(ConsistencyChecker().Check(h).ok());
+  recorder.Clear();
+  EXPECT_EQ(recorder.op_count(), 0u);
+}
+
+}  // namespace
+}  // namespace pileus::audit

@@ -13,6 +13,7 @@
 #include "src/replication/replication_agent.h"
 #include "src/storage/storage_node.h"
 #include "src/txn/transaction.h"
+#include "tests/testbed_fixture.h"
 
 namespace pileus {
 namespace {
@@ -22,84 +23,11 @@ using core::PileusClient;
 using core::Replica;
 using core::Session;
 using core::TableView;
-using replication::ReplicationAgent;
-using replication::ThreadedPuller;
 using storage::StorageNode;
 using storage::Tablet;
+using testbed::InProcCluster;
 
 constexpr MicrosecondCount kMs = kMicrosecondsPerMillisecond;
-
-// A two-node deployment over the in-process transport: "England" primary
-// (20 ms away) and a "local" secondary (1 ms away), replicating every 50 ms.
-class InProcCluster {
- public:
-  InProcCluster()
-      : primary_("England", "England", RealClock::Instance()),
-        local_("Local", "Local", RealClock::Instance()) {
-    Tablet::Options primary_options;
-    primary_options.is_primary = true;
-    EXPECT_TRUE(primary_.AddTablet("t", primary_options).ok());
-    EXPECT_TRUE(local_.AddTablet("t", Tablet::Options{}).ok());
-
-    network_.RegisterEndpoint("England", [this](const proto::Message& m) {
-      return primary_.Handle(m);
-    });
-    network_.RegisterEndpoint("Local", [this](const proto::Message& m) {
-      return local_.Handle(m);
-    });
-
-    agent_ = std::make_unique<ReplicationAgent>(
-        local_.FindTablet("t", ""),
-        ReplicationAgent::Options{.table = "t"});
-    // The replication agent pulls over its own channel to the primary.
-    auto sync_channel = std::shared_ptr<net::Channel>(
-        network_.Connect("England", 10 * kMs));
-    puller_ = std::make_unique<ThreadedPuller>(
-        agent_.get(),
-        [this, sync_channel](const proto::SyncRequest& request)
-            -> Result<proto::SyncReply> {
-          // Serialize through the node's lock via Handle().
-          Result<proto::Message> reply =
-              sync_channel->Call(request, SecondsToMicroseconds(5));
-          if (!reply.ok()) {
-            return reply.status();
-          }
-          if (auto* sync = std::get_if<proto::SyncReply>(&reply.value())) {
-            return std::move(*sync);
-          }
-          return Status(StatusCode::kInternal, "unexpected sync reply");
-        },
-        50 * kMs);
-  }
-
-  std::unique_ptr<PileusClient> MakeClient(PileusClient::Options options) {
-    TableView view;
-    view.table_name = "t";
-    view.replicas = {
-        Replica{"England", true,
-                std::make_shared<ChannelConnection>(
-                    network_.Connect("England", 10 * kMs),
-                    RealClock::Instance())},
-        Replica{"Local", false,
-                std::make_shared<ChannelConnection>(
-                    network_.Connect("Local", 500),
-                    RealClock::Instance())}};
-    view.primary_index = 0;
-    return std::make_unique<PileusClient>(std::move(view),
-                                          RealClock::Instance(), options,
-                                          nullptr);
-  }
-
-  void PullNow() { puller_->PullNow(); }
-  StorageNode& local() { return local_; }
-
- private:
-  StorageNode primary_;
-  StorageNode local_;
-  net::InProcNetwork network_;
-  std::unique_ptr<ReplicationAgent> agent_;
-  std::unique_ptr<ThreadedPuller> puller_;
-};
 
 TEST(EndToEndInProcTest, PutThenStrongAndEventualReads) {
   InProcCluster cluster;

@@ -7,9 +7,12 @@
 #include "src/experiments/geo_testbed.h"
 #include "src/experiments/runner.h"
 #include "src/experiments/tables.h"
+#include "tests/testbed_fixture.h"
 
 namespace pileus::experiments {
 namespace {
+
+using pileus::testbed::FastGeoOptions;
 
 TEST(AsciiTableTest, AlignsColumns) {
   AsciiTable table({"Name", "Value"});
@@ -69,9 +72,7 @@ TEST(RunnerTest, SingleConsistencySlaShape) {
 }
 
 TEST(RunnerTest, PreloadPopulatesEveryNode) {
-  GeoTestbedOptions options;
-  options.seed = 3;
-  GeoTestbed testbed(options);
+  GeoTestbed testbed(FastGeoOptions(3));
   PreloadKeys(testbed, 100);
   for (const char* site : {kUs, kEngland, kIndia}) {
     auto* tablet = testbed.node(site)->FindTablet(kTableName, "");
@@ -86,11 +87,8 @@ TEST(RunnerTest, PreloadPopulatesEveryNode) {
 }
 
 TEST(RunnerTest, RunYcsbAccountsEveryCountedOp) {
-  GeoTestbedOptions options;
-  options.seed = 4;
-  GeoTestbed testbed(options);
-  PreloadKeys(testbed, 1000);
-  testbed.StartReplication();
+  GeoTestbed testbed(FastGeoOptions(4));
+  pileus::testbed::PreloadAndReplicate(testbed, 1000);
   auto client = testbed.MakeClient(kEngland, core::PileusClient::Options{});
 
   RunOptions run;

@@ -7,21 +7,16 @@
 #include "src/experiments/comparison.h"
 #include "src/experiments/geo_testbed.h"
 #include "src/experiments/runner.h"
+#include "tests/testbed_fixture.h"
 
 namespace pileus::experiments {
 namespace {
 
 using core::Guarantee;
-
-GeoTestbedOptions FastOptions() {
-  GeoTestbedOptions options;
-  options.seed = 7;
-  options.replication_period_us = SecondsToMicroseconds(10);
-  return options;
-}
+using pileus::testbed::FastGeoOptions;
 
 TEST(GeoTestbedTest, TopologyIsBuilt) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   EXPECT_NE(testbed.node(kUs), nullptr);
   EXPECT_NE(testbed.node(kEngland), nullptr);
   EXPECT_NE(testbed.node(kIndia), nullptr);
@@ -33,7 +28,7 @@ TEST(GeoTestbedTest, TopologyIsBuilt) {
 }
 
 TEST(GeoTestbedTest, ReplicationPropagatesWithinOnePeriod) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   testbed.StartReplication();
 
   auto* primary = testbed.node(kEngland)->FindTablet(kTableName, "");
@@ -51,7 +46,7 @@ TEST(GeoTestbedTest, ReplicationPropagatesWithinOnePeriod) {
 }
 
 TEST(GeoTestbedTest, IdleHeartbeatsAdvanceSecondaries) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   testbed.StartReplication();
   auto* us = testbed.node(kUs)->FindTablet(kTableName, "");
   testbed.env().RunFor(SecondsToMicroseconds(11));
@@ -62,7 +57,7 @@ TEST(GeoTestbedTest, IdleHeartbeatsAdvanceSecondaries) {
 }
 
 TEST(GeoTestbedTest, ClientGetLatencyTracksRttMatrix) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
 
@@ -83,7 +78,7 @@ TEST(GeoTestbedTest, ClientGetLatencyTracksRttMatrix) {
 }
 
 TEST(GeoTestbedTest, EventualReadsStayLocal) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
@@ -106,7 +101,7 @@ TEST(GeoTestbedTest, EventualReadsStayLocal) {
 }
 
 TEST(GeoTestbedTest, ReadMyWritesVisibleThroughLocalNodeAfterSync) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
@@ -134,7 +129,7 @@ TEST(GeoTestbedTest, ReadMyWritesVisibleThroughLocalNodeAfterSync) {
 }
 
 TEST(GeoTestbedTest, LatencyInjectionIsVisibleToClients) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
@@ -158,7 +153,7 @@ TEST(GeoTestbedTest, LatencyInjectionIsVisibleToClients) {
 }
 
 TEST(GeoTestbedTest, ProbesPopulateMonitorWithoutForegroundTraffic) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 10);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kChina, core::PileusClient::Options{});
@@ -176,7 +171,7 @@ TEST(GeoTestbedTest, ProbesPopulateMonitorWithoutForegroundTraffic) {
 }
 
 TEST(GeoTestbedTest, MovePrimaryRetargetsReplicationAndClients) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 10);
   testbed.MovePrimary(kUs);
   EXPECT_EQ(testbed.primary_site(), kUs);
@@ -206,7 +201,7 @@ TEST(GeoTestbedTest, MovePrimaryRetargetsReplicationAndClients) {
 }
 
 TEST(GeoTestbedTest, SyncReplicasServeLocalStrongReads) {
-  GeoTestbedOptions options = FastOptions();
+  GeoTestbedOptions options = FastGeoOptions();
   options.sync_replica_count = 2;  // England + US.
   GeoTestbed testbed(options);
   PreloadKeys(testbed, 10);
@@ -234,7 +229,7 @@ TEST(GeoTestbedTest, SyncReplicasServeLocalStrongReads) {
 }
 
 TEST(GeoTestbedTest, DeleteReplicatesAndHonorsReadMyWrites) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
@@ -270,7 +265,7 @@ TEST(GeoTestbedTest, MonotonicNeverResurrectsDeletedValues) {
   // After observing a deletion (not-found with a tombstone timestamp), a
   // monotonic session must never see the old live value again, even from a
   // stale secondary.
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
@@ -299,7 +294,7 @@ TEST(GeoTestbedTest, MonotonicNeverResurrectsDeletedValues) {
 }
 
 TEST(GeoTestbedTest, RangeScanOverSimTestbed) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
@@ -320,7 +315,7 @@ TEST(GeoTestbedTest, RangeScanOverSimTestbed) {
 }
 
 TEST(GeoTestbedTest, NodeFailureIsRoutedAround) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
@@ -367,7 +362,7 @@ TEST(GeoTestbedTest, CrashedNodeRecoversStalenessAndLocalRouting) {
   // kUnavailable): the client must survive the outage window, and after
   // RestartNode the node must catch up on staleness via replication before
   // probes route reads back to it.
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kChina, core::PileusClient::Options{});
@@ -433,7 +428,7 @@ TEST(GeoTestbedTest, CrashedNodeRecoversStalenessAndLocalRouting) {
 }
 
 TEST(GeoTestbedTest, PrimaryFailureKillsPutsButNotWeakReads) {
-  GeoTestbed testbed(FastOptions());
+  GeoTestbed testbed(FastGeoOptions());
   PreloadKeys(testbed, 100);
   testbed.StartReplication();
   auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});

@@ -1,0 +1,119 @@
+// Shared test harnesses: the fast simulated GeoTestbed configuration used by
+// the integration tests, and the two-node real-transport InProcCluster from
+// the end-to-end tests. Header-only so each test binary only pulls in (and
+// links against) what it actually uses.
+
+#ifndef PILEUS_TESTS_TESTBED_FIXTURE_H_
+#define PILEUS_TESTS_TESTBED_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/core/client.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/experiments/runner.h"
+#include "src/net/inproc.h"
+#include "src/replication/replication_agent.h"
+#include "src/storage/storage_node.h"
+
+namespace pileus::testbed {
+
+// The Figure-10 testbed, sped up for tests: deterministic seed and 10 s
+// replication pulls instead of the paper's one minute.
+inline experiments::GeoTestbedOptions FastGeoOptions(
+    uint64_t seed = 7,
+    MicrosecondCount replication_period_us = SecondsToMicroseconds(10)) {
+  experiments::GeoTestbedOptions options;
+  options.seed = seed;
+  options.replication_period_us = replication_period_us;
+  return options;
+}
+
+// The usual run-up: populate the store and start the replication pulls.
+inline void PreloadAndReplicate(experiments::GeoTestbed& testbed,
+                                int key_count) {
+  experiments::PreloadKeys(testbed, key_count);
+  testbed.StartReplication();
+}
+
+// A two-node deployment over the real in-process transport (threads and
+// wall-clock time): "England" primary (20 ms away) and a "Local" secondary
+// (1 ms away), replicating every 50 ms.
+class InProcCluster {
+ public:
+  InProcCluster()
+      : primary_("England", "England", RealClock::Instance()),
+        local_("Local", "Local", RealClock::Instance()) {
+    storage::Tablet::Options primary_options;
+    primary_options.is_primary = true;
+    EXPECT_TRUE(primary_.AddTablet("t", primary_options).ok());
+    EXPECT_TRUE(local_.AddTablet("t", storage::Tablet::Options{}).ok());
+
+    network_.RegisterEndpoint("England", [this](const proto::Message& m) {
+      return primary_.Handle(m);
+    });
+    network_.RegisterEndpoint("Local", [this](const proto::Message& m) {
+      return local_.Handle(m);
+    });
+
+    agent_ = std::make_unique<replication::ReplicationAgent>(
+        local_.FindTablet("t", ""),
+        replication::ReplicationAgent::Options{.table = "t"});
+    // The replication agent pulls over its own channel to the primary.
+    auto sync_channel = std::shared_ptr<net::Channel>(
+        network_.Connect("England", 10 * kMicrosecondsPerMillisecond));
+    puller_ = std::make_unique<replication::ThreadedPuller>(
+        agent_.get(),
+        [sync_channel](const proto::SyncRequest& request)
+            -> Result<proto::SyncReply> {
+          // Serialize through the node's lock via Handle().
+          Result<proto::Message> reply =
+              sync_channel->Call(request, SecondsToMicroseconds(5));
+          if (!reply.ok()) {
+            return reply.status();
+          }
+          if (auto* sync = std::get_if<proto::SyncReply>(&reply.value())) {
+            return std::move(*sync);
+          }
+          return Status(StatusCode::kInternal, "unexpected sync reply");
+        },
+        50 * kMicrosecondsPerMillisecond);
+  }
+
+  std::unique_ptr<core::PileusClient> MakeClient(
+      core::PileusClient::Options options) {
+    core::TableView view;
+    view.table_name = "t";
+    view.replicas = {
+        core::Replica{"England", true,
+                      std::make_shared<core::ChannelConnection>(
+                          network_.Connect("England",
+                                           10 * kMicrosecondsPerMillisecond),
+                          RealClock::Instance())},
+        core::Replica{"Local", false,
+                      std::make_shared<core::ChannelConnection>(
+                          network_.Connect("Local", 500),
+                          RealClock::Instance())}};
+    view.primary_index = 0;
+    return std::make_unique<core::PileusClient>(std::move(view),
+                                                RealClock::Instance(), options,
+                                                nullptr);
+  }
+
+  void PullNow() { puller_->PullNow(); }
+  storage::StorageNode& local() { return local_; }
+
+ private:
+  storage::StorageNode primary_;
+  storage::StorageNode local_;
+  net::InProcNetwork network_;
+  std::unique_ptr<replication::ReplicationAgent> agent_;
+  std::unique_ptr<replication::ThreadedPuller> puller_;
+};
+
+}  // namespace pileus::testbed
+
+#endif  // PILEUS_TESTS_TESTBED_FIXTURE_H_
