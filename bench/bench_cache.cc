@@ -1,0 +1,182 @@
+// Client-cache bench: the cache as a zero-RTT pseudo-replica in SLA
+// selection (DESIGN.md "Client cache").
+//
+// A China-site client (no local replica; every node is >= 150 ms away) runs
+// the YCSB mix under a bounded(5s)/100ms >> eventual SLA. Without a cache
+// the 100 ms subSLA is unreachable, so every Get pays a WAN round trip at
+// utility 0.1. With a cache, entries admitted within the staleness bound
+// serve the top subSLA locally: the table sweeps key distribution (zipfian
+// vs uniform) and cache capacity against the no-cache baseline, reporting
+// hit rate, mean Get latency, and mean delivered utility. Zipfian re-reads
+// inside the 5 s window are where the cache pays off; uniform traffic and a
+// tiny capacity show the effect shrinking.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/cache/client_cache.h"
+#include "src/core/consistency.h"
+#include "src/core/sla.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/experiments/runner.h"
+#include "src/experiments/tables.h"
+#include "src/telemetry/metrics.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+using namespace pileus::experiments;  // NOLINT
+
+constexpr uint64_t kOpsPerCell = 4000;
+constexpr uint64_t kWarmupOps = 500;
+
+// PILEUS_BENCH_SMOKE=1 shrinks the run so CI can execute the bench end to
+// end in seconds; the table is printed either way, just from fewer samples.
+bool SmokeMode() {
+  const char* value = std::getenv("PILEUS_BENCH_SMOKE");
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+pileus::core::Sla CacheSla() {
+  return pileus::core::Sla()
+      .Add(pileus::core::Guarantee::BoundedSeconds(5),
+           pileus::MillisecondsToMicroseconds(100), 1.0)
+      .Add(pileus::core::Guarantee::Eventual(),
+           pileus::SecondsToMicroseconds(2), 0.1);
+}
+
+struct Cell {
+  double hit_pct = 0.0;
+  double mean_ms = 0.0;
+  double utility = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  const uint64_t ops_per_cell = smoke ? 400 : kOpsPerCell;
+  const uint64_t warmup_ops = smoke ? 100 : kWarmupOps;
+  const int preload_keys = smoke ? 500 : 2000;
+  std::printf(
+      "=== Client cache: hit rate / latency / utility vs capacity and key "
+      "distribution ===%s\n"
+      "China client, SLA bounded(5s)/100ms (u=1.0) >> eventual/2s "
+      "(u=0.1)\n\n",
+      smoke ? " [smoke]" : "");
+
+  const std::vector<std::pair<const char*, pileus::workload::KeyDistribution>>
+      kDistributions = {
+          {"zipfian", pileus::workload::KeyDistribution::kZipfian},
+          {"uniform", pileus::workload::KeyDistribution::kUniform},
+      };
+  const std::vector<std::pair<const char*, size_t>> kCapacities = {
+      {"none", 0},
+      {"64KiB", size_t{64} << 10},
+      {"4MiB", size_t{4} << 20},
+  };
+
+  std::vector<std::vector<Cell>> cells(
+      kDistributions.size(), std::vector<Cell>(kCapacities.size()));
+  double zipf_best_hit = 0.0;
+  double zipf_best_ms = 0.0;
+  double zipf_none_ms = 0.0;
+
+  for (size_t d = 0; d < kDistributions.size(); ++d) {
+    GeoTestbedOptions testbed_options;
+    testbed_options.seed = 2000 + d;
+    // Pull faster than the 5 s staleness bound, so read-through fills (whose
+    // valid_through is a secondary's replicated-prefix high timestamp) can
+    // clear the bounded(5s) floor, not just this client's own write-throughs.
+    testbed_options.replication_period_us =
+        pileus::SecondsToMicroseconds(2);
+    GeoTestbed testbed(testbed_options);
+    PreloadKeys(testbed, preload_keys);
+    testbed.StartReplication();
+
+    for (size_t c = 0; c < kCapacities.size(); ++c) {
+      pileus::telemetry::MetricsRegistry registry;
+      pileus::cache::ClientCache::Options cache_options;
+      cache_options.capacity_bytes = kCapacities[c].second;
+      cache_options.metrics = &registry;
+      pileus::cache::ClientCache cache(cache_options);
+
+      pileus::core::PileusClient::Options client_options;
+      client_options.seed = 31 * (c + 1);
+      client_options.metrics = &registry;
+      if (kCapacities[c].second > 0) {
+        client_options.cache = &cache;
+      }
+      auto client = testbed.MakeClient(kChina, client_options);
+      client->StartProbing();
+
+      RunOptions run;
+      run.sla = CacheSla();
+      run.total_ops = ops_per_cell;
+      run.warmup_ops = warmup_ops;
+      run.workload.key_count = preload_keys;
+      run.workload.distribution = kDistributions[d].second;
+      run.workload.seed = 13 + c;
+      const RunStats stats = RunYcsb(testbed, *client, run);
+      client->StopProbing();
+
+      Cell& cell = cells[d][c];
+      // Telemetry-side counters include warm-up; both numerator and
+      // denominator do, so the ratio is consistent.
+      const uint64_t served =
+          registry
+              .GetCounter(pileus::telemetry::WithLabels(
+                  "pileus_client_cache_served_total", {{"table", kTableName}}))
+              ->Value();
+      const uint64_t gets =
+          registry
+              .GetCounter(pileus::telemetry::WithLabels(
+                  "pileus_client_gets_total", {{"table", kTableName}}))
+              ->Value();
+      cell.hit_pct = gets == 0 ? 0.0
+                               : 100.0 * static_cast<double>(served) /
+                                     static_cast<double>(gets);
+      cell.mean_ms = stats.get_latency_us.Mean() / 1000.0;
+      cell.utility = stats.AvgUtility();
+      if (d == 0 && c == 0) {
+        zipf_none_ms = cell.mean_ms;
+      }
+      if (d == 0 && c + 1 == kCapacities.size()) {
+        zipf_best_hit = cell.hit_pct;
+        zipf_best_ms = cell.mean_ms;
+      }
+    }
+  }
+
+  AsciiTable table({"Distribution", "Cache", "Hit %", "Mean Get (ms)",
+                    "Mean utility"});
+  for (size_t d = 0; d < kDistributions.size(); ++d) {
+    for (size_t c = 0; c < kCapacities.size(); ++c) {
+      char hit[32];
+      char ms[32];
+      char util[32];
+      std::snprintf(hit, sizeof(hit), "%.1f", cells[d][c].hit_pct);
+      std::snprintf(ms, sizeof(ms), "%.1f", cells[d][c].mean_ms);
+      std::snprintf(util, sizeof(util), "%.3f", cells[d][c].utility);
+      table.AddRow({kDistributions[d].first, kCapacities[c].first, hit, ms,
+                    util});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "zipfian, 4MiB cache: %.1f%% of Gets served locally, mean Get %.1f ms "
+      "vs %.1f ms without a cache\n",
+      zipf_best_hit, zipf_best_ms, zipf_none_ms);
+  // Acceptance (ISSUE 4): on the zipfian workload with a bounded(5s) top
+  // subSLA, at least 30% of Gets come from the cache and the mean latency
+  // measurably beats the no-cache baseline.
+  if (zipf_best_hit < 30.0 || zipf_best_ms >= zipf_none_ms) {
+    std::printf("FAIL: cache benefit below the acceptance threshold\n");
+    return 1;
+  }
+  return 0;
+}

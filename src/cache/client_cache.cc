@@ -1,0 +1,218 @@
+#include "src/cache/client_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace pileus::cache {
+namespace {
+
+std::string NamespacedKey(std::string_view table, std::string_view key) {
+  std::string namespaced;
+  namespaced.reserve(table.size() + 1 + key.size());
+  namespaced.append(table);
+  namespaced.push_back('\0');
+  namespaced.append(key);
+  return namespaced;
+}
+
+}  // namespace
+
+ClientCache::ClientCache() : ClientCache(Options()) {}
+
+ClientCache::ClientCache(Options options) : options_(options) {
+  const int shard_count = std::max(1, options_.shard_count);
+  options_.shard_count = shard_count;
+  shards_.reserve(static_cast<size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Per-shard budget; the total can overshoot capacity_bytes by at most the
+  // rounding of the division, never by an unbounded amount.
+  shard_capacity_bytes_ =
+      options_.capacity_bytes / static_cast<size_t>(shard_count);
+  if (options_.metrics != nullptr) {
+    telemetry::MetricsRegistry& registry = *options_.metrics;
+    hits_metric_ = registry.GetCounter("pileus_cache_hits_total");
+    misses_metric_ = registry.GetCounter("pileus_cache_misses_total");
+    admissions_metric_ = registry.GetCounter("pileus_cache_admissions_total");
+    evictions_metric_ = registry.GetCounter("pileus_cache_evictions_total");
+    invalidations_metric_ =
+        registry.GetCounter("pileus_cache_invalidations_total");
+    bytes_metric_ = registry.GetGauge("pileus_cache_bytes");
+    entries_metric_ = registry.GetGauge("pileus_cache_entries");
+  }
+}
+
+ClientCache::Shard& ClientCache::ShardFor(std::string_view namespaced) {
+  const size_t hash = std::hash<std::string_view>{}(namespaced);
+  return *shards_[hash % shards_.size()];
+}
+
+size_t ClientCache::EntryCost(std::string_view namespaced,
+                              const Entry& entry) {
+  // Fixed overhead approximates the list node, map slot, and Entry headers.
+  constexpr size_t kPerEntryOverhead = 64;
+  return namespaced.size() + entry.value.size() + kPerEntryOverhead;
+}
+
+std::optional<ClientCache::Entry> ClientCache::Lookup(std::string_view table,
+                                                      std::string_view key) {
+  const std::string namespaced = NamespacedKey(table, key);
+  Shard& shard = ShardFor(namespaced);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(std::string_view(namespaced));
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (misses_metric_ != nullptr) {
+      misses_metric_->Increment();
+    }
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (hits_metric_ != nullptr) {
+    hits_metric_->Increment();
+  }
+  return it->second->second;
+}
+
+void ClientCache::Admit(std::string_view table, std::string_view key,
+                        std::string_view value, Timestamp timestamp,
+                        bool is_tombstone, Timestamp valid_through) {
+  if (shard_capacity_bytes_ == 0) {
+    return;
+  }
+  valid_through = MaxTimestamp(valid_through, timestamp);
+  const std::string namespaced = NamespacedKey(table, key);
+  Shard& shard = ShardFor(namespaced);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(std::string_view(namespaced));
+  if (it != shard.index.end()) {
+    Entry& existing = it->second->second;
+    if (timestamp < existing.timestamp) {
+      // Older evidence cannot extend what the newer version already bounds.
+      return;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (timestamp == existing.timestamp) {
+      existing.valid_through =
+          MaxTimestamp(existing.valid_through, valid_through);
+      return;
+    }
+    const size_t old_cost = EntryCost(namespaced, existing);
+    existing.value.assign(value);
+    existing.timestamp = timestamp;
+    existing.is_tombstone = is_tombstone;
+    existing.valid_through = MaxTimestamp(existing.valid_through, valid_through);
+    const size_t new_cost = EntryCost(namespaced, existing);
+    shard.bytes += new_cost;
+    shard.bytes -= old_cost;
+    bytes_.fetch_add(new_cost, std::memory_order_relaxed);
+    bytes_.fetch_sub(old_cost, std::memory_order_relaxed);
+  } else {
+    Entry entry;
+    entry.value.assign(value);
+    entry.timestamp = timestamp;
+    entry.is_tombstone = is_tombstone;
+    entry.valid_through = valid_through;
+    const size_t cost = EntryCost(namespaced, entry);
+    shard.lru.emplace_front(namespaced, std::move(entry));
+    shard.index.emplace(std::string_view(shard.lru.front().first),
+                        shard.lru.begin());
+    shard.bytes += cost;
+    bytes_.fetch_add(cost, std::memory_order_relaxed);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  admissions_.fetch_add(1, std::memory_order_relaxed);
+  if (admissions_metric_ != nullptr) {
+    admissions_metric_->Increment();
+  }
+  EvictOverBudgetLocked(shard);
+  if (bytes_metric_ != nullptr) {
+    bytes_metric_->Set(
+        static_cast<int64_t>(bytes_.load(std::memory_order_relaxed)));
+    entries_metric_->Set(
+        static_cast<int64_t>(entries_.load(std::memory_order_relaxed)));
+  }
+}
+
+void ClientCache::EvictOverBudgetLocked(Shard& shard) {
+  // Strict budget: an object larger than the shard budget is admitted and
+  // immediately evicted, so capacity_bytes is a hard bound, not a hint.
+  while (shard.bytes > shard_capacity_bytes_ && !shard.lru.empty()) {
+    const auto victim = std::prev(shard.lru.end());
+    const size_t cost = EntryCost(victim->first, victim->second);
+    shard.index.erase(std::string_view(victim->first));
+    shard.lru.erase(victim);
+    shard.bytes -= cost;
+    bytes_.fetch_sub(cost, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (evictions_metric_ != nullptr) {
+      evictions_metric_->Increment();
+    }
+  }
+}
+
+void ClientCache::Invalidate(std::string_view table, std::string_view key) {
+  const std::string namespaced = NamespacedKey(table, key);
+  Shard& shard = ShardFor(namespaced);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(std::string_view(namespaced));
+  if (it == shard.index.end()) {
+    return;
+  }
+  const size_t cost = EntryCost(namespaced, it->second->second);
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+  shard.bytes -= cost;
+  bytes_.fetch_sub(cost, std::memory_order_relaxed);
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  if (invalidations_metric_ != nullptr) {
+    invalidations_metric_->Increment();
+  }
+  if (bytes_metric_ != nullptr) {
+    bytes_metric_->Set(
+        static_cast<int64_t>(bytes_.load(std::memory_order_relaxed)));
+    entries_metric_->Set(
+        static_cast<int64_t>(entries_.load(std::memory_order_relaxed)));
+  }
+}
+
+void ClientCache::Clear() {
+  uint64_t dropped = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += shard->lru.size();
+    bytes_.fetch_sub(shard->bytes, std::memory_order_relaxed);
+    entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
+    shard->index.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+  invalidations_.fetch_add(dropped, std::memory_order_relaxed);
+  if (invalidations_metric_ != nullptr) {
+    invalidations_metric_->Increment(dropped);
+  }
+  if (bytes_metric_ != nullptr) {
+    bytes_metric_->Set(
+        static_cast<int64_t>(bytes_.load(std::memory_order_relaxed)));
+    entries_metric_->Set(
+        static_cast<int64_t>(entries_.load(std::memory_order_relaxed)));
+  }
+}
+
+CacheStats ClientCache::Stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.admissions = admissions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.entries = entries_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace pileus::cache

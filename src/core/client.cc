@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "src/common/logging.h"
 
@@ -112,6 +113,13 @@ void PileusClient::InitInstruments() {
       rank_counter("pileus_client_sla_met_total", "8plus");
   instruments_.target_overflow =
       rank_counter("pileus_client_sla_target_total", "8plus");
+  instruments_.cache_served = counter("pileus_client_cache_served_total");
+  for (int rank = 0; rank < Instruments::kTrackedRanks; ++rank) {
+    instruments_.cache_served_by_rank[rank] = rank_counter(
+        "pileus_client_sla_cache_served_total", std::to_string(rank));
+  }
+  instruments_.cache_served_overflow =
+      rank_counter("pileus_client_sla_cache_served_total", "8plus");
   instruments_.get_latency_us = registry->GetHistogram(
       telemetry::WithLabels("pileus_client_get_latency_us", {{"table", table}}));
   instruments_.put_latency_us = registry->GetHistogram(
@@ -337,6 +345,22 @@ void PileusClient::AbsorbReplyEvidence(int node_index, const TimedReply& timed,
   }
 }
 
+void PileusClient::AdmitToCache(std::string_view key,
+                                const proto::GetReply& reply) {
+  if (options_.cache == nullptr) {
+    return;
+  }
+  // A not-found reply is positive evidence of absence: the node's prefix
+  // holds nothing live for the key at or below its high timestamp. The
+  // value timestamp carries the tombstone's update timestamp when the key
+  // was deleted (Zero when it never existed).
+  options_.cache->Admit(table_.table_name, key,
+                        reply.found ? std::string_view(reply.value)
+                                    : std::string_view(),
+                        reply.value_timestamp, /*is_tombstone=*/!reply.found,
+                        reply.high_timestamp);
+}
+
 int PileusClient::DetermineMetRank(const Sla& sla, const Session& session,
                                    std::string_view key,
                                    const proto::GetReply& reply,
@@ -379,13 +403,86 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
   GetOutcome outcome;
   outcome.messages_sent = 0;
 
+  // --- Cache pseudo-replica (DESIGN.md "Client cache") ---
+  // An entry is eligible only past the session's hand-off floor: a session
+  // resumed on this frontend must not trust cache state older than
+  // everything it had already observed elsewhere.
+  std::optional<cache::ClientCache::Entry> cached;
+  if (options_.cache != nullptr &&
+      options_.strategy == ReadStrategy::kPileus) {
+    cached = options_.cache->Lookup(table_.table_name, key);
+    if (cached.has_value() &&
+        cached->valid_through < session.cache_floor()) {
+      cached.reset();
+    }
+  }
+
   // --- Choose target node(s) ---
   std::vector<int> targets;
   if (options_.strategy == ReadStrategy::kPileus) {
+    CacheView cache_view;
+    const CacheView* cache_view_ptr = nullptr;
+    if (cached.has_value()) {
+      cache_view.high_timestamp = cached->valid_through;
+      cache_view.latency_us = options_.cache->options().serve_latency_us;
+      cache_view_ptr = &cache_view;
+    }
     const SelectionResult sel =
-        SelectTarget(sla, replica_views_, session, key, start_us, *monitor_,
-                     options_.selection, &rng_);
+        SelectTarget(sla, replica_views_, cache_view_ptr, session, key,
+                     start_us, *monitor_, options_.selection, &rng_);
     outcome.target_rank = sel.target_rank;
+
+    if (sel.cache_selected) {
+      // Serve locally. Synthesize the reply the entry invariant asserts and
+      // re-verify the claim with the same DetermineMetRank as a network
+      // reply, at execution time; the audit checker later re-verifies it
+      // against the committed history like any other read.
+      proto::GetReply reply;
+      reply.found = !cached->is_tombstone;
+      reply.value = cached->value;
+      reply.value_timestamp = cached->timestamp;
+      reply.high_timestamp = cached->valid_through;
+      reply.served_by_primary = false;
+      const MicrosecondCount now_us = clock_->NowMicros();
+      const int met =
+          DetermineMetRank(sla, session, key, reply, now_us - start_us,
+                           now_us);
+      if (met >= 0) {
+        outcome.met_rank = met;
+        outcome.utility = sla[met].utility;
+        outcome.rtt_us = now_us - start_us;
+        outcome.node_index = -1;
+        outcome.node_name = std::string(kCacheNodeName);
+        outcome.from_cache = true;
+        outcome.messages_sent = 0;
+
+        GetResult result;
+        result.found = reply.found;
+        result.value = reply.value;
+        result.timestamp = reply.value_timestamp;
+        result.outcome = outcome;
+        if (!result.timestamp.IsZero()) {
+          session.RecordGet(key, result.timestamp);
+        }
+        cache_serves_.fetch_add(1, std::memory_order_relaxed);
+        if (instruments_.cache_served != nullptr) {
+          instruments_.cache_served->Increment();
+          (met < Instruments::kTrackedRanks
+               ? instruments_.cache_served_by_rank[met]
+               : instruments_.cache_served_overflow)
+              ->Increment();
+        }
+        CountReadOutcome(outcome);
+        EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla, outcome,
+                      reply.high_timestamp, /*ok=*/true);
+        EmitReadRecord(AuditOp::kGet, session, key, {}, start_us, sla,
+                       outcome, /*ok=*/true, &reply, nullptr);
+        return result;
+      }
+      // The claim selection promised no longer holds at execution time
+      // (e.g. a bounded floor advanced past valid_through between the two
+      // clock reads); fall through to the network choice.
+    }
     targets.push_back(sel.node_index);
     // Parallel Gets (Section 6.3): fan out across additional tied candidates.
     for (int candidate : sel.candidates) {
@@ -434,6 +531,8 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
     if (get_reply == nullptr) {
       continue;  // ErrorReply (wrong node, missing table, ...).
     }
+    // Every well-formed reply is key-covering evidence, not just the winner.
+    AdmitToCache(key, *get_reply);
     const int met = DetermineMetRank(sla, session, key, *get_reply,
                                      replies[i].rtt_us, eval_now);
     const bool better =
@@ -481,6 +580,7 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
       if (get_reply == nullptr) {
         continue;
       }
+      AdmitToCache(key, *get_reply);
       // The app-visible latency of this Get includes the failed attempts.
       const MicrosecondCount total =
           std::max(attempt.rtt_us, clock_->NowMicros() - start_us);
@@ -510,6 +610,7 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
       if (retry.reply.ok()) {
         if (const auto* get_reply =
                 std::get_if<proto::GetReply>(&retry.reply.value())) {
+          AdmitToCache(key, *get_reply);
           const MicrosecondCount total = elapsed + retry.rtt_us;
           const int met = DetermineMetRank(sla, session, key, *get_reply,
                                            total, clock_->NowMicros());
@@ -712,6 +813,13 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
     result.outcome = outcome;
     for (const proto::ObjectVersion& item : result.items) {
       session.RecordGet(item.key, item.timestamp);
+      if (options_.cache != nullptr) {
+        // Each returned item is key-covering evidence bounded by the scan's
+        // high timestamp (scans exclude tombstones, so items are live).
+        options_.cache->Admit(table_.table_name, item.key, item.value,
+                              item.timestamp, item.is_tombstone,
+                              range_reply->high_timestamp);
+      }
     }
     CountReadOutcome(outcome);
     EmitReadTrace(telemetry::TraceOp::kRange, session, begin, sla, outcome,
@@ -825,6 +933,20 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
                         std::string(op_name));
     }
     session.RecordPut(key, put_reply->timestamp);
+    if (options_.cache != nullptr) {
+      // Write-through with the assigned timestamp as its own bound. The
+      // ack's heartbeat high timestamp must NOT serve as valid_through:
+      // another client's write may commit between this assignment and the
+      // heartbeat read, and the ack says nothing about this key past the
+      // assignment itself.
+      const auto* put_request = std::get_if<proto::PutRequest>(&request);
+      options_.cache->Admit(
+          table_.table_name, key,
+          put_request != nullptr ? std::string_view(put_request->value)
+                                 : std::string_view(),
+          put_reply->timestamp,
+          /*is_tombstone=*/put_request == nullptr, put_reply->timestamp);
+    }
 
     if (instruments_.put_latency_us != nullptr) {
       instruments_.put_latency_us->Record(timed.rtt_us);

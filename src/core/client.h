@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/cache/client_cache.h"
 #include "src/common/clock.h"
 #include "src/common/random.h"
 #include "src/common/status.h"
@@ -76,6 +77,11 @@ enum class ReadStrategy {
 };
 std::string_view ReadStrategyName(ReadStrategy strategy);
 
+// Node name reported by Gets served from the client cache; no replica may
+// use it. The audit checker treats it like any other serving node (the
+// claims must still verify against the committed history).
+inline constexpr std::string_view kCacheNodeName = "client-cache";
+
 // The condition code a Get returns alongside its data (Section 3.3: "the
 // caller is informed of which subSLA was satisfied").
 struct GetOutcome {
@@ -83,10 +89,12 @@ struct GetOutcome {
   int met_rank = -1;        // SubSLA actually met; -1 if none.
   double utility = 0.0;     // Utility of the met subSLA (0 when none met).
   MicrosecondCount rtt_us = 0;
-  int node_index = -1;      // Replica that served the winning reply.
-  std::string node_name;
+  int node_index = -1;      // Replica that served the winning reply (-1 when
+                            // the cache did).
+  std::string node_name;    // kCacheNodeName when from_cache.
   bool from_primary = false;  // Authoritative data: strong-read quality.
-  int messages_sent = 1;      // 1 + fan-out extras + retry.
+  bool from_cache = false;    // Served locally by the client cache.
+  int messages_sent = 1;      // 1 + fan-out extras + retry; 0 on cache serve.
   bool retried = false;       // Fallback retry at the primary happened.
 };
 
@@ -170,6 +178,13 @@ class PileusClient {
     // verification against the primary's commit order. Not owned; must
     // outlive the client.
     OpObserver* op_observer = nullptr;
+    // Consistency-aware client cache (DESIGN.md "Client cache"): when set,
+    // the cache joins SelectTarget as a zero-RTT pseudo-replica for Pileus
+    // Gets and is filled read-through from every Get/GetRange reply and
+    // write-through from every acked Put/Delete. Not owned; must outlive
+    // the client. One cache may be shared by many clients and shards - the
+    // entries are table-scoped and the cache is internally synchronized.
+    cache::ClientCache* cache = nullptr;
     uint64_t seed = 42;
   };
 
@@ -228,6 +243,10 @@ class PileusClient {
   uint64_t messages_sent() const {
     return messages_sent_.load(std::memory_order_relaxed);
   }
+  // Gets answered locally by the client cache (a subset of gets_issued).
+  uint64_t cache_serves() const {
+    return cache_serves_.load(std::memory_order_relaxed);
+  }
 
  private:
   Result<GetResult> DoGet(Session& session, std::string_view key,
@@ -247,6 +266,12 @@ class PileusClient {
   // Records latency/high-timestamp evidence from one reply into the monitor.
   void AbsorbReplyEvidence(int node_index, const TimedReply& timed,
                            bool record_latency = true);
+
+  // Read-through cache fill from a key-covering Get reply: the serving
+  // node's prefix proves its value (or absence) is the newest committed
+  // state of the key at or below the reply's high timestamp. No-op when
+  // Options::cache is unset.
+  void AdmitToCache(std::string_view key, const proto::GetReply& reply);
 
   // Highest-ranked subSLA satisfied by a reply that took `total_rtt_us`;
   // -1 when none. `now_us` is the evaluation time for bounded staleness.
@@ -275,6 +300,10 @@ class PileusClient {
     telemetry::Counter* met_overflow = nullptr;
     std::array<telemetry::Counter*, kTrackedRanks> target_by_rank{};
     telemetry::Counter* target_overflow = nullptr;
+    // Per-rank "served-from-cache" SLA accounting.
+    telemetry::Counter* cache_served = nullptr;
+    std::array<telemetry::Counter*, kTrackedRanks> cache_served_by_rank{};
+    telemetry::Counter* cache_served_overflow = nullptr;
     telemetry::HistogramMetric* get_latency_us = nullptr;
     telemetry::HistogramMetric* put_latency_us = nullptr;
   };
@@ -309,6 +338,7 @@ class PileusClient {
   std::atomic<uint64_t> gets_issued_{0};
   std::atomic<uint64_t> puts_issued_{0};
   std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> cache_serves_{0};
 };
 
 }  // namespace pileus::core

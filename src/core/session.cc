@@ -10,8 +10,9 @@ namespace pileus::core {
 namespace {
 
 // Bumped when the serialized session layout changes. Version 2 added the
-// session id right after the version byte.
-constexpr uint8_t kSessionWireVersion = 2;
+// session id right after the version byte; version 3 added the cache floor
+// after the causal maxima.
+constexpr uint8_t kSessionWireVersion = 3;
 
 void EncodeTimestampMap(
     Encoder& enc, const std::map<std::string, Timestamp, std::less<>>& map) {
@@ -126,6 +127,7 @@ std::string Session::Serialize() const {
   EncodeTimestampMap(enc, gets_);
   enc.PutTimestamp(max_read_);
   enc.PutTimestamp(max_write_);
+  enc.PutTimestamp(cache_floor_);
   return enc.Release();
 }
 
@@ -169,10 +171,17 @@ Result<Session> Session::Deserialize(std::string_view bytes) {
   PILEUS_RETURN_IF_ERROR(DecodeTimestampMap(dec, &session.gets_));
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&session.max_read_));
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&session.max_write_));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&session.cache_floor_));
   if (!dec.AtEnd()) {
     return Status(StatusCode::kCorruption,
                   "trailing bytes in serialized session");
   }
+  // Hand-off: the resuming frontend's cache was filled under other sessions'
+  // evidence, so only entries at least as fresh as everything this session
+  // has already observed may serve it (conservative; per-guarantee floors
+  // still apply on top).
+  session.RaiseCacheFloor(
+      MaxTimestamp(session.max_read_, session.max_write_));
   return session;
 }
 

@@ -49,6 +49,14 @@ Result<Session> ShardedClient::BeginSession(const Sla& default_sla) const {
   return shards_.front().client->BeginSession(default_sla);
 }
 
+uint64_t ShardedClient::cache_serves() const {
+  uint64_t total = 0;
+  for (const OwnedShard& shard : shards_) {
+    total += shard.client->cache_serves();
+  }
+  return total;
+}
+
 PileusClient* ShardedClient::ShardFor(std::string_view key) {
   // Shards are sorted by begin and tile the keyspace: the owner is the last
   // shard whose begin <= key.

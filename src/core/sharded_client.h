@@ -33,7 +33,10 @@ class ShardedClient {
   };
 
   // `shards` must tile the whole keyspace with non-overlapping ranges and
-  // carry valid views; Create validates and returns the client.
+  // carry valid views; Create validates and returns the client. The options
+  // (including any Options::cache pointer) are handed to every per-shard
+  // PileusClient, so one client cache naturally spans all tablets: entries
+  // are table-scoped and shard ranges are disjoint.
   static Result<std::unique_ptr<ShardedClient>> Create(
       std::vector<Shard> shards, const Clock* clock,
       PileusClient::Options options, FanoutCaller* fanout = nullptr);
@@ -60,6 +63,8 @@ class ShardedClient {
 
   size_t shard_count() const { return shards_.size(); }
   PileusClient& shard_client(size_t index) { return *shards_[index].client; }
+  // Gets answered by the client cache, summed across shards.
+  uint64_t cache_serves() const;
   const KeyRange& shard_range(size_t index) const {
     return shards_[index].range;
   }

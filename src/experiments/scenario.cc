@@ -9,6 +9,7 @@
 #include <tuple>
 #include <utility>
 
+#include "src/cache/client_cache.h"
 #include "src/common/random.h"
 #include "src/core/client.h"
 #include "src/experiments/geo_testbed.h"
@@ -70,6 +71,9 @@ std::string ScenarioResult::Summary() const {
      << " sessions";
   if (handoffs > 0) {
     os << ", " << handoffs << " handoffs";
+  }
+  if (cache_served > 0) {
+    os << ", " << cache_served << " cache-served";
   }
   os << "; " << report.reads_checked << " reads, " << report.writes_checked
      << " writes, " << report.ranges_checked << " ranges, "
@@ -223,9 +227,22 @@ ScenarioResult RunAuditScenario(const ScenarioOptions& options) {
   audit::HistoryRecorder recorder;
   core::PileusClient::Options client_options;
   client_options.op_observer = &recorder;
-  std::unique_ptr<GeoClient> us = testbed.MakeClient(kUs, client_options);
+  // One cache per frontend, as in a real deployment: hand-off between
+  // frontends then genuinely crosses cache domains and exercises the
+  // session's hand-off floor.
+  cache::ClientCache::Options cache_options;
+  cache_options.capacity_bytes = options.cache_capacity_bytes;
+  cache::ClientCache us_cache(cache_options);
+  cache::ClientCache india_cache(cache_options);
+  core::PileusClient::Options us_options = client_options;
+  core::PileusClient::Options india_options = client_options;
+  if (options.client_cache) {
+    us_options.cache = &us_cache;
+    india_options.cache = &india_cache;
+  }
+  std::unique_ptr<GeoClient> us = testbed.MakeClient(kUs, us_options);
   std::unique_ptr<GeoClient> india =
-      testbed.MakeClient(kIndia, client_options);
+      testbed.MakeClient(kIndia, india_options);
   const std::array<GeoClient*, 2> frontends = {us.get(), india.get()};
 
   // Preload through a client rather than PreloadKeys: that writes straight
@@ -321,6 +338,8 @@ ScenarioResult RunAuditScenario(const ScenarioOptions& options) {
   us->StopProbing();
   india->StopProbing();
   testbed.faults().ClearAll();
+  result.cache_served =
+      us->client().cache_serves() + india->client().cache_serves();
 
   bool contiguous = true;
   recorder.SetGroundTruth(

@@ -55,6 +55,11 @@ struct ScenarioOptions {
   // optional otherwise. When set, the run also cross-checks the primary's
   // WAL against its in-memory update log.
   std::string durable_root;
+  // Give each frontend its own consistency-aware client cache, so
+  // cache-served reads enter the audited history and the checker verifies
+  // their claims like any network read (DESIGN.md "Client cache").
+  bool client_cache = false;
+  uint64_t cache_capacity_bytes = uint64_t{4} << 20;
   // Defaults to AuditSla().
   std::optional<core::Sla> sla;
 };
@@ -73,6 +78,7 @@ struct ScenarioResult {
   uint64_t ops_failed = 0;   // Op returned an error (fine under faults).
   uint64_t sessions = 0;
   uint64_t handoffs = 0;
+  uint64_t cache_served = 0;  // Gets answered by the frontends' caches.
 
   bool ok() const { return report.ok(); }
   // One line: verdict, scenario, seed (the repro handle), op counts.

@@ -786,5 +786,229 @@ TEST_F(ClientTest, MessageAccounting) {
   EXPECT_EQ(client_->messages_sent(), 2u);
 }
 
+// --- The consistency-aware client cache (DESIGN.md "Client cache") ---
+
+class ClientCacheTest : public ClientTest {
+ protected:
+  Sla EventualSla() {
+    return Sla().Add(Guarantee::Eventual(), SecondsToMicroseconds(10), 1.0);
+  }
+  Sla RmwSla() {
+    return Sla().Add(Guarantee::ReadMyWrites(), SecondsToMicroseconds(10),
+                     1.0);
+  }
+
+  cache::ClientCache cache_;
+};
+
+TEST_F(ClientCacheTest, ReadThroughFillThenLocalServe) {
+  PileusClient::Options options;
+  options.cache = &cache_;
+  Build(options,
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); },
+        [&](const proto::Message&, MicrosecondCount) {
+          return GetReplyWith(1 * kMs, Now(), Now());
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+  Teach("primary", 150 * kMs, Now());
+  Teach("near", 1 * kMs, Now());
+  Teach("far", 300 * kMs, Now());
+  Session session = client_->BeginSession(EventualSla()).value();
+
+  // First Get fills the cache over the network.
+  Result<GetResult> first = client_->Get(session, "k");
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->outcome.from_cache);
+  EXPECT_EQ(near_->calls(), 1);
+
+  // Second Get of the same key serves locally: no network traffic.
+  Result<GetResult> second = client_->Get(session, "k");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->outcome.from_cache);
+  EXPECT_EQ(second->value, "value");
+  EXPECT_EQ(second->timestamp, first->timestamp);
+  EXPECT_EQ(second->outcome.node_name, kCacheNodeName);
+  EXPECT_EQ(second->outcome.node_index, -1);
+  EXPECT_EQ(second->outcome.messages_sent, 0);
+  EXPECT_EQ(second->outcome.met_rank, 0);
+  EXPECT_DOUBLE_EQ(second->outcome.utility, 1.0);
+  EXPECT_EQ(near_->calls(), 1);
+  EXPECT_EQ(client_->cache_serves(), 1u);
+}
+
+TEST_F(ClientCacheTest, WriteThroughServesOwnWriteUnderReadMyWrites) {
+  const Timestamp put_ts{clock_.NowMicros(), 3};
+  PileusClient::Options options;
+  options.cache = &cache_;
+  Build(options,
+        [&](const proto::Message&, MicrosecondCount) {
+          return PutReplyWith(2 * kMs, put_ts);
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+  Session session = client_->BeginSession(RmwSla()).value();
+  ASSERT_TRUE(client_->Put(session, "k", "v").ok());
+
+  // The acked Put filled the cache with timestamp == valid_through == the
+  // assigned timestamp, which exactly meets the read-my-writes floor: the
+  // Get never touches the network (the fakes would error if asked).
+  Result<GetResult> result = client_->Get(session, "k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->outcome.from_cache);
+  EXPECT_EQ(result->value, "v");
+  EXPECT_EQ(result->timestamp, put_ts);
+  EXPECT_EQ(result->outcome.met_rank, 0);
+  EXPECT_EQ(primary_->calls(), 1);  // Just the Put.
+}
+
+TEST_F(ClientCacheTest, NotFoundReplyIsCachedAsTombstone) {
+  PileusClient::Options options;
+  options.cache = &cache_;
+  Build(options,
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); },
+        [&](const proto::Message&, MicrosecondCount) {
+          proto::GetReply reply;
+          reply.found = false;
+          reply.value_timestamp = Timestamp::Zero();
+          reply.high_timestamp = Now();
+          return TimedReply(proto::Message(reply), 1 * kMs);
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+  Teach("primary", 150 * kMs, Now());
+  Teach("near", 1 * kMs, Now());
+  Teach("far", 300 * kMs, Now());
+  Session session = client_->BeginSession(EventualSla()).value();
+
+  ASSERT_TRUE(client_->Get(session, "ghost").ok());
+  EXPECT_EQ(near_->calls(), 1);
+  // The negative entry answers the repeat locally.
+  Result<GetResult> again = client_->Get(session, "ghost");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->found);
+  EXPECT_TRUE(again->outcome.from_cache);
+  EXPECT_EQ(near_->calls(), 1);
+}
+
+TEST_F(ClientCacheTest, CacheServedGetEmitsAuditableOpRecord) {
+  struct Capture : OpObserver {
+    std::vector<OpRecord> records;
+    void OnOp(const OpRecord& record) override { records.push_back(record); }
+  } capture;
+  PileusClient::Options options;
+  options.cache = &cache_;
+  options.op_observer = &capture;
+  Build(options,
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); },
+        [&](const proto::Message&, MicrosecondCount) {
+          return GetReplyWith(1 * kMs, Now(), Now());
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+  Teach("primary", 150 * kMs, Now());
+  Teach("near", 1 * kMs, Now());
+  Teach("far", 300 * kMs, Now());
+  Session session = client_->BeginSession(EventualSla()).value();
+  ASSERT_TRUE(client_->Get(session, "k").ok());
+  ASSERT_TRUE(client_->Get(session, "k").ok());
+
+  ASSERT_EQ(capture.records.size(), 2u);
+  const OpRecord& cached = capture.records[1];
+  EXPECT_EQ(cached.op, AuditOp::kGet);
+  EXPECT_TRUE(cached.ok);
+  EXPECT_EQ(cached.node, kCacheNodeName);
+  EXPECT_TRUE(cached.found);
+  EXPECT_EQ(cached.value, "value");
+  // The claim is fully auditable: the cached version plus its
+  // valid_through bound, and the subSLA the local serve met.
+  EXPECT_EQ(cached.value_timestamp, capture.records[0].value_timestamp);
+  EXPECT_EQ(cached.high_timestamp, capture.records[0].high_timestamp);
+  EXPECT_GE(cached.claimed_met_rank, 0);
+  EXPECT_FALSE(cached.from_primary);
+}
+
+TEST_F(ClientCacheTest, SessionFloorAboveEntrySendsGetBackToNetwork) {
+  PileusClient::Options options;
+  options.cache = &cache_;
+  Build(options,
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); },
+        [&](const proto::Message&, MicrosecondCount) {
+          return GetReplyWith(1 * kMs, Now(), Now());
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+  Teach("primary", 150 * kMs, Now());
+  Teach("near", 1 * kMs, Now());
+  Teach("far", 300 * kMs, Now());
+  Session session = client_->BeginSession(RmwSla()).value();
+  ASSERT_TRUE(client_->Get(session, "k").ok());  // Fill (floor still Zero).
+  EXPECT_EQ(near_->calls(), 1);
+
+  // A newer write to the key raises the read-my-writes floor above the
+  // cached entry's valid_through: the cache cannot honor the guarantee, so
+  // the Get pays the round trip again (and refreshes the entry).
+  session.RecordPut("k", Timestamp{clock_.NowMicros() + 100, 0});
+  clock_.AdvanceMicros(200);
+  Result<GetResult> result = client_->Get(session, "k");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->outcome.from_cache);
+  EXPECT_EQ(near_->calls(), 2);
+}
+
+TEST_F(ClientCacheTest, HandoffFloorDropsEntriesFromBeforeTheMove) {
+  const Timestamp put_ts{clock_.NowMicros() + 500, 1};
+  PileusClient::Options options;
+  options.cache = &cache_;
+  Build(options,
+        [&](const proto::Message&, MicrosecondCount) {
+          return PutReplyWith(2 * kMs, put_ts);
+        },
+        [&](const proto::Message&, MicrosecondCount) {
+          return GetReplyWith(1 * kMs, Now(), Now());
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+  Teach("primary", 150 * kMs, Now());
+  Teach("near", 1 * kMs, Now());
+  Teach("far", 300 * kMs, Now());
+  Session session = client_->BeginSession(EventualSla()).value();
+
+  // Fill "a" read-through: its valid_through is the secondary's high
+  // timestamp, which predates the upcoming write.
+  ASSERT_TRUE(client_->Get(session, "a").ok());
+  clock_.AdvanceMicros(400);
+  ASSERT_TRUE(client_->Put(session, "b", "v").ok());
+
+  // Without a hand-off the entry still serves (eventual floor is Zero).
+  ASSERT_TRUE(client_->Get(session, "a")->outcome.from_cache);
+
+  // Serialized hand-off: Deserialize conservatively floors the cache at
+  // everything this session has seen or written, so the pre-move entry is
+  // no longer trusted and the Get goes back to the network.
+  Session moved = Session::Deserialize(session.Serialize()).value();
+  EXPECT_EQ(moved.cache_floor(), put_ts);
+  const int fills_before = near_->calls();
+  Result<GetResult> result = client_->Get(moved, "a");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->outcome.from_cache);
+  EXPECT_EQ(near_->calls(), fills_before + 1);
+}
+
+TEST_F(ClientCacheTest, StrongSlaBypassesCache) {
+  PileusClient::Options options;
+  options.cache = &cache_;
+  Build(options,
+        [&](const proto::Message&, MicrosecondCount) {
+          return GetReplyWith(2 * kMs, Now(), Now(), true);
+        },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); },
+        [](const proto::Message&, MicrosecondCount) { return TimedReply(); });
+  Teach("primary", 2 * kMs, Now());
+  const Sla strong =
+      Sla().Add(Guarantee::Strong(), SecondsToMicroseconds(10), 1.0);
+  Session session = client_->BeginSession(strong).value();
+  ASSERT_TRUE(client_->Get(session, "k").ok());
+  Result<GetResult> again = client_->Get(session, "k");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->outcome.from_cache);
+  EXPECT_EQ(primary_->calls(), 2);  // Both reads hit the primary.
+}
+
 }  // namespace
 }  // namespace pileus::core

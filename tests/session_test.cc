@@ -164,6 +164,34 @@ TEST_F(SessionTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(Session::Deserialize(full + "x").ok());
 }
 
+TEST_F(SessionTest, CacheFloorStartsAtZeroAndOnlyRises) {
+  EXPECT_EQ(session_.cache_floor(), Timestamp::Zero());
+  session_.RaiseCacheFloor(Timestamp{500, 0});
+  EXPECT_EQ(session_.cache_floor(), (Timestamp{500, 0}));
+  // Raising to something lower is a no-op: the floor is monotonic.
+  session_.RaiseCacheFloor(Timestamp{100, 0});
+  EXPECT_EQ(session_.cache_floor(), (Timestamp{500, 0}));
+}
+
+TEST_F(SessionTest, DeserializeRaisesCacheFloorToHandoffPoint) {
+  // A serialized hand-off moves the session to a frontend whose cache never
+  // saw this session's history: Deserialize must conservatively distrust
+  // any cached entry whose validity predates what the session has already
+  // read or written (DESIGN.md "Client cache").
+  session_.RecordPut("cart", Timestamp{500, 3});
+  session_.RecordGet("news", Timestamp{700, 1});
+  Result<Session> restored = Session::Deserialize(session_.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->cache_floor(), (Timestamp{700, 1}));
+
+  // The floor itself survives a second hop even if it exceeds the
+  // guarantee state (e.g. it was raised explicitly on the first frontend).
+  restored->RaiseCacheFloor(Timestamp{900, 0});
+  Result<Session> second_hop = Session::Deserialize(restored->Serialize());
+  ASSERT_TRUE(second_hop.ok());
+  EXPECT_EQ(second_hop->cache_floor(), (Timestamp{900, 0}));
+}
+
 TEST_F(SessionTest, BoundedSlaSurvivesSerialization) {
   Session session(WebApplicationSla());
   Result<Session> restored = Session::Deserialize(session.Serialize());

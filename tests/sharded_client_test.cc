@@ -41,7 +41,7 @@ class ShardedClientTest : public ::testing::Test {
   // Two shards split at "m": the low shard's primary is node A, the high
   // shard's primary is node B (different primary sites per tablet, as the
   // paper allows).
-  void Build() {
+  void Build(PileusClient::Options options = PileusClient::Options{}) {
     node_a_ = std::make_unique<storage::StorageNode>("A", "site-a", &clock_);
     node_b_ = std::make_unique<storage::StorageNode>("B", "site-b", &clock_);
     storage::Tablet::Options low;
@@ -65,8 +65,8 @@ class ShardedClientTest : public ::testing::Test {
         KeyRange{"", "m"}, MakeView("t", node_a_.get(), node_b_.get())});
     shards.push_back(ShardedClient::Shard{
         KeyRange{"m", ""}, MakeView("t2", node_b_.get(), node_a_.get())});
-    Result<std::unique_ptr<ShardedClient>> created = ShardedClient::Create(
-        std::move(shards), &clock_, PileusClient::Options{});
+    Result<std::unique_ptr<ShardedClient>> created =
+        ShardedClient::Create(std::move(shards), &clock_, options);
     ASSERT_TRUE(created.ok()) << created.status();
     client_ = std::move(created).value();
   }
@@ -263,6 +263,31 @@ TEST_F(ShardedClientTest, ManyShards) {
     ASSERT_TRUE(result.ok()) << c;
     EXPECT_EQ(result->value, "v");
   }
+}
+
+TEST_F(ShardedClientTest, OneCacheSpansAllShards) {
+  // A single ClientCache handed to Create covers every per-range client:
+  // entries are table-scoped and the ranges are disjoint, so both shards'
+  // write-throughs land in (and serve from) the same cache.
+  cache::ClientCache cache;
+  PileusClient::Options options;
+  options.cache = &cache;
+  Build(options);
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "apple", "low").ok());
+  ASSERT_TRUE(client_->Put(session, "zebra", "high").ok());
+
+  Result<GetResult> low = client_->Get(session, "apple");
+  ASSERT_TRUE(low.ok());
+  EXPECT_TRUE(low->outcome.from_cache);
+  EXPECT_EQ(low->value, "low");
+  Result<GetResult> high = client_->Get(session, "zebra");
+  ASSERT_TRUE(high.ok());
+  EXPECT_TRUE(high->outcome.from_cache);
+  EXPECT_EQ(high->value, "high");
+
+  EXPECT_EQ(client_->cache_serves(), 2u);
+  EXPECT_EQ(cache.Stats().entries, 2u);
 }
 
 }  // namespace

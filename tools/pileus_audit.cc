@@ -56,6 +56,11 @@ int Run(int argc, char** argv) {
   flags.DefineInt("keys", 100, "distinct keys in the workload");
   flags.DefineString("durable_root", "",
                      "directory for per-run WALs (default: a fresh temp dir)");
+  flags.DefineBool("cache", false,
+                   "give each frontend a consistency-aware client cache so "
+                   "the checker audits cache-served reads");
+  flags.DefineInt("cache_bytes", 4 << 20,
+                  "per-frontend cache capacity in bytes (with --cache)");
   if (!flags.Parse(argc, argv)) {
     return 2;
   }
@@ -102,6 +107,9 @@ int Run(int argc, char** argv) {
       options.scenario = scenario;
       options.total_ops = static_cast<uint64_t>(flags.GetInt("ops"));
       options.key_count = static_cast<int>(flags.GetInt("keys"));
+      options.client_cache = flags.GetBool("cache");
+      options.cache_capacity_bytes =
+          static_cast<uint64_t>(flags.GetInt("cache_bytes"));
       // One subdirectory per run: WALs append, so runs must not share files.
       options.durable_root =
           durable_root + "/" +
