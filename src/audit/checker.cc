@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <sstream>
+#include <tuple>
 #include <utility>
 
 namespace pileus::audit {
@@ -142,6 +144,8 @@ std::string_view ViolationTypeName(ViolationType type) {
       return "stale-range-scan";
     case ViolationType::kLatencyOverclaim:
       return "latency-overclaim";
+    case ViolationType::kCommitOrderRegression:
+      return "commit-order-regression";
   }
   return "unknown";
 }
@@ -191,6 +195,32 @@ AuditReport ConsistencyChecker::Check(const History& history) const {
     }
     return required->is_tombstone && !op.found;
   };
+
+  // Commit-order continuity (reconfiguration safety, Section 6.2): the
+  // committed history is each epoch's primary log concatenated in commit
+  // order, so update timestamps must never move backwards - a promoted
+  // primary assigning a timestamp at or below an earlier epoch's commits
+  // would rewrite history - and no two commits may share a key@timestamp
+  // (same-timestamp entries are legal only within a transactional batch,
+  // which touches each key once).
+  if (complete) {
+    std::set<std::tuple<std::string_view, int64_t, uint32_t>> seen;
+    for (size_t i = 0; i < history.ground_truth.size(); ++i) {
+      const proto::ObjectVersion& v = history.ground_truth[i];
+      if (i > 0 && v.timestamp < history.ground_truth[i - 1].timestamp) {
+        add(ViolationType::kCommitOrderRegression, 0, kNoRelatedOp,
+            "committed history regresses at entry " + std::to_string(i) +
+                ": '" + v.key + "' at " + v.timestamp.ToString() +
+                " follows " + history.ground_truth[i - 1].timestamp.ToString());
+      }
+      if (!seen.emplace(v.key, v.timestamp.physical_us, v.timestamp.sequence)
+               .second) {
+        add(ViolationType::kCommitOrderRegression, 0, kNoRelatedOp,
+            "committed history holds '" + v.key + "' twice at " +
+                v.timestamp.ToString());
+      }
+    }
+  }
 
   for (size_t i = 0; i < history.ops.size(); ++i) {
     const OpRecord& op = history.ops[i];

@@ -31,7 +31,10 @@
 //     the deletion (tombstone non-resurrection);
 //   - a Range's items all sit at or below the scan's single high timestamp,
 //     and that one timestamp satisfies the claimed guarantee's scan floor;
-//   - the claimed subSLA's latency bound covers the op's wall time.
+//   - the claimed subSLA's latency bound covers the op's wall time;
+//   - the committed history itself is continuous across reconfigurations:
+//     commit timestamps never regress and no key@timestamp repeats (a
+//     promoted primary must seed its allocator above the old epoch).
 //
 // Assumptions (documented limits): one authoritative copy (the checker's
 // prefix rules are exact only with sync_replica_count == 1 - a synchronous
@@ -65,6 +68,9 @@ enum class ViolationType {
   kRangeBoundExceeded,       // Scan item above the scan's high timestamp.
   kStaleRangeScan,           // Scan high below the claimed guarantee's floor.
   kLatencyOverclaim,         // Claimed subSLA latency bound exceeded.
+  kCommitOrderRegression,    // Committed history's timestamps went backwards
+                             // (or duplicated a key@timestamp) - a promoted
+                             // primary rewrote an earlier epoch's history.
 };
 
 std::string_view ViolationTypeName(ViolationType type);

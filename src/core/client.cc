@@ -70,7 +70,8 @@ PileusClient::PileusClient(TableView table, const Clock* clock,
       monitor_(options_.shared_monitor != nullptr ? options_.shared_monitor
                                                    : &own_monitor_),
       replica_views_(table_.MakeReplicaViews()),
-      rng_(options_.seed) {
+      rng_(options_.seed),
+      current_primary_index_(table_.primary_index) {
   assert(table_.Validate().ok() && "invalid TableView");
   assert((options_.parallel_fanout <= 1 || fanout_ != nullptr) &&
          "parallel_fanout > 1 requires a FanoutCaller");
@@ -99,6 +100,7 @@ void PileusClient::InitInstruments() {
   instruments_.get_errors = counter("pileus_client_get_errors_total");
   instruments_.put_errors = counter("pileus_client_put_errors_total");
   instruments_.retries = counter("pileus_client_retries_total");
+  instruments_.put_redirects = counter("pileus_client_put_redirects_total");
   instruments_.messages = counter("pileus_client_messages_total");
   instruments_.utility_micros = counter("pileus_client_utility_micros_total");
   for (int rank = 0; rank < Instruments::kTrackedRanks; ++rank) {
@@ -254,7 +256,7 @@ void PileusClient::EmitWriteRecord(AuditOp op, const Session& session,
   record.begin_us = begin_us;
   record.end_us = clock_->NowMicros();
   record.ok = ok;
-  record.node = table_.replicas[table_.primary_index].name;
+  record.node = table_.replicas[current_primary_index_].name;
   record.from_primary = true;
   record.write_timestamp = assigned;
   options_.op_observer->OnOp(record);
@@ -284,7 +286,7 @@ Result<GetResult> PileusClient::Get(Session& session, std::string_view key,
 int PileusClient::PickFixedStrategyNode() {
   switch (options_.strategy) {
     case ReadStrategy::kPrimary:
-      return table_.primary_index;
+      return current_primary_index_;
     case ReadStrategy::kRandom:
       return static_cast<int>(rng_.NextUint64(table_.replicas.size()));
     case ReadStrategy::kClosest: {
@@ -307,7 +309,47 @@ int PileusClient::PickFixedStrategyNode() {
       break;
   }
   assert(false && "PickFixedStrategyNode called for Pileus strategy");
-  return table_.primary_index;
+  return current_primary_index_;
+}
+
+void PileusClient::NoteReplyConfig(const proto::Message& message) {
+  std::visit(
+      [this](const auto& m) {
+        if constexpr (requires { m.config_epoch; m.primary_hint; }) {
+          monitor_->RecordConfig(m.config_epoch, m.primary_hint);
+        }
+      },
+      message);
+}
+
+int PileusClient::FindReplicaIndex(std::string_view name) const {
+  for (size_t i = 0; i < table_.replicas.size(); ++i) {
+    if (table_.replicas[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void PileusClient::MaybeAdoptConfig() {
+  const Monitor::ConfigView config = monitor_->CurrentConfig();
+  if (config.epoch <= applied_config_epoch_) {
+    return;
+  }
+  const int index = FindReplicaIndex(config.primary);
+  if (index < 0) {
+    // The new primary is outside this client's replica set (partial view);
+    // leave the epoch unapplied so a later, resolvable config still takes.
+    return;
+  }
+  applied_config_epoch_ = config.epoch;
+  if (index == current_primary_index_) {
+    return;
+  }
+  current_primary_index_ = index;
+  for (size_t i = 0; i < replica_views_.size(); ++i) {
+    replica_views_[i].authoritative = static_cast<int>(i) == index;
+  }
 }
 
 void PileusClient::AbsorbReplyEvidence(int node_index, const TimedReply& timed,
@@ -324,6 +366,7 @@ void PileusClient::AbsorbReplyEvidence(int node_index, const TimedReply& timed,
     return;
   }
   const proto::Message& message = timed.reply.value();
+  NoteReplyConfig(message);
   if (const auto* err = std::get_if<proto::ErrorReply>(&message)) {
     // The node answered, so it is up - unless it reported itself unavailable.
     if (err->code == StatusCode::kUnavailable) {
@@ -388,6 +431,7 @@ int PileusClient::DetermineMetRank(const Sla& sla, const Session& session,
 
 Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
                                       const Sla& sla) {
+  MaybeAdoptConfig();
   ++gets_issued_;
   if (instruments_.gets != nullptr) {
     instruments_.gets->Increment();
@@ -599,14 +643,14 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
     const MicrosecondCount elapsed = clock_->NowMicros() - start_us;
     const MicrosecondCount remaining = deadline_us - elapsed;
     const bool primary_already_tried =
-        std::find(targets.begin(), targets.end(), table_.primary_index) !=
+        std::find(targets.begin(), targets.end(), current_primary_index_) !=
         targets.end();
     if (remaining > 0 && !primary_already_tried) {
-      TimedReply retry = table_.replicas[table_.primary_index]
+      TimedReply retry = table_.replicas[current_primary_index_]
                              .connection->Call(request_message, remaining);
       ++outcome.messages_sent;
       ++messages_sent_;
-      AbsorbReplyEvidence(table_.primary_index, retry);
+      AbsorbReplyEvidence(current_primary_index_, retry);
       if (retry.reply.ok()) {
         if (const auto* get_reply =
                 std::get_if<proto::GetReply>(&retry.reply.value())) {
@@ -619,8 +663,8 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
             outcome.met_rank = met;
             outcome.utility = met >= 0 ? sla[met].utility : 0.0;
             outcome.rtt_us = total;
-            outcome.node_index = table_.primary_index;
-            outcome.node_name = table_.replicas[table_.primary_index].name;
+            outcome.node_index = current_primary_index_;
+            outcome.node_name = table_.replicas[current_primary_index_].name;
             outcome.from_primary = get_reply->served_by_primary;
 
             GetResult result;
@@ -711,6 +755,7 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
                                              std::string_view begin,
                                              std::string_view end,
                                              uint32_t limit, const Sla& sla) {
+  MaybeAdoptConfig();
   ++gets_issued_;
   if (instruments_.ranges != nullptr) {
     instruments_.ranges->Increment();
@@ -864,8 +909,8 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
     event.time_us = clock_->NowMicros();
     event.table = table_.table_name;
     event.key = std::string(key);
-    event.node = table_.replicas[table_.primary_index].name;
-    event.node_index = table_.primary_index;
+    event.node = table_.replicas[current_primary_index_].name;
+    event.node_index = current_primary_index_;
     event.rtt_us = rtt_us;
     event.read_timestamp = assigned;  // Update timestamp the primary assigned.
     event.from_primary = true;
@@ -876,8 +921,9 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
   const int max_attempts = std::max(1, options_.put_max_attempts);
   MicrosecondCount backoff = options_.put_backoff_initial_us;
   Status last(StatusCode::kUnavailable, "write never attempted");
+  bool skip_backoff = false;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    if (attempt > 1) {
+    if (attempt > 1 && !skip_backoff) {
       // Jittered exponential backoff: full waits from synchronized clients
       // would re-stampede a recovering primary, so each waits a uniformly
       // random 50-100% of the nominal backoff.
@@ -891,15 +937,22 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
           static_cast<MicrosecondCount>(static_cast<double>(backoff) *
                                         options_.put_backoff_multiplier));
     }
-    TimedReply timed = table_.replicas[table_.primary_index].connection->Call(
-        request, options_.put_timeout_us);
+    skip_backoff = false;
+    // Re-resolve the primary before every attempt: while this write was
+    // backing off, probes or other traffic may have delivered a newer config
+    // (the normal way a client discovers a failover when the old primary is
+    // no longer answering at all).
+    MaybeAdoptConfig();
+    TimedReply timed =
+        table_.replicas[current_primary_index_].connection->Call(
+            request, options_.put_timeout_us);
     ++messages_sent_;
     if (instruments_.messages != nullptr) {
       instruments_.messages->Increment();
     }
     // Every attempt feeds the monitor: transport failures count against the
     // primary's PNodeUp / circuit breaker, successes repair them.
-    AbsorbReplyEvidence(table_.primary_index, timed,
+    AbsorbReplyEvidence(current_primary_index_, timed,
                         options_.record_put_latency);
     if (!timed.reply.ok()) {
       last = timed.reply.status();
@@ -913,7 +966,26 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
       if (err->code == StatusCode::kUnavailable) {
         continue;  // Node answered but cannot serve right now: retriable.
       }
-      // Semantic error (bad table, not primary, ...): final.
+      if (err->code == StatusCode::kNotPrimary) {
+        // The role moved (Section 6.2). The rejection carries the installed
+        // epoch and primary; AbsorbReplyEvidence already fed it to the
+        // monitor, so adopting re-routes this same attempt budget. A
+        // successful redirect needs no backoff - the new primary is healthy,
+        // only our routing was stale. When the bounce teaches us nothing
+        // (no config piggyback, or a primary we are already routing to) the
+        // error is as final as any other semantic rejection: a blind retry
+        // against the same node cannot succeed.
+        const int before = current_primary_index_;
+        MaybeAdoptConfig();
+        if (current_primary_index_ != before) {
+          skip_backoff = true;
+          if (instruments_.put_redirects != nullptr) {
+            instruments_.put_redirects->Increment();
+          }
+          continue;
+        }
+      }
+      // Semantic error (bad table, missing tablet, ...): final.
       if (instruments_.put_errors != nullptr) {
         instruments_.put_errors->Increment();
       }

@@ -234,6 +234,14 @@ class PileusClient {
   const TableView& table() const { return table_; }
   const Options& options() const { return options_; }
 
+  // Where writes currently go. Starts at TableView::primary_index and moves
+  // when a reply piggybacks a newer config epoch naming another replica as
+  // primary (Section 6.2); kNotPrimary rejections redirect the same way.
+  int current_primary_index() const { return current_primary_index_; }
+  // Newest config epoch this client has acted on (0 until the first
+  // configured reply).
+  uint64_t applied_config_epoch() const { return applied_config_epoch_; }
+
   uint64_t gets_issued() const {
     return gets_issued_.load(std::memory_order_relaxed);
   }
@@ -267,6 +275,17 @@ class PileusClient {
   void AbsorbReplyEvidence(int node_index, const TimedReply& timed,
                            bool record_latency = true);
 
+  // Feeds a reply's config piggyback (epoch + primary hint) to the monitor.
+  void NoteReplyConfig(const proto::Message& message);
+  // Re-resolves the primary from the monitor's config view when a newer
+  // epoch has been learned: writes and strong reads move to the new primary,
+  // and the replica authoritative flags collapse to primary-only (the
+  // piggyback says nothing about sync members, so the client stays
+  // conservative until told otherwise). No-op when nothing new was learned
+  // or the named primary is not in this client's replica set.
+  void MaybeAdoptConfig();
+  int FindReplicaIndex(std::string_view name) const;
+
   // Read-through cache fill from a key-covering Get reply: the serving
   // node's prefix proves its value (or absence) is the newest committed
   // state of the key at or below the reply's high timestamp. No-op when
@@ -292,6 +311,9 @@ class PileusClient {
     telemetry::Counter* get_errors = nullptr;
     telemetry::Counter* put_errors = nullptr;
     telemetry::Counter* retries = nullptr;
+    // Writes re-routed after a kNotPrimary rejection or a config change
+    // (failovers show up here, not in put_errors).
+    telemetry::Counter* put_redirects = nullptr;
     telemetry::Counter* messages = nullptr;
     // Delivered utility accumulated in micro-units (utility 1.0 adds 1e6).
     telemetry::Counter* utility_micros = nullptr;
@@ -334,6 +356,9 @@ class PileusClient {
   Monitor* monitor_;  // own_monitor_ or Options::shared_monitor.
   std::vector<ReplicaView> replica_views_;
   Random rng_;
+  // Epoch-aware primary tracking (Section 6.2); see current_primary_index().
+  int current_primary_index_ = -1;
+  uint64_t applied_config_epoch_ = 0;
   Instruments instruments_;
   std::atomic<uint64_t> gets_issued_{0};
   std::atomic<uint64_t> puts_issued_{0};

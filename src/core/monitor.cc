@@ -39,6 +39,23 @@ void Monitor::RecordHighTimestamp(std::string_view node,
   state.last_contact_us = now;
 }
 
+void Monitor::RecordConfig(uint64_t epoch, std::string_view primary) {
+  if (epoch == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch <= config_epoch_) {
+    return;  // Stale or already-known epoch.
+  }
+  config_epoch_ = epoch;
+  config_primary_ = std::string(primary);
+}
+
+Monitor::ConfigView Monitor::CurrentConfig() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ConfigView{config_epoch_, config_primary_};
+}
+
 void Monitor::RecordSuccess(std::string_view node) {
   std::lock_guard<std::mutex> lock(mu_);
   NodeState& state = StateFor(node);

@@ -76,6 +76,12 @@ class Monitor {
   void RecordLatency(std::string_view node, MicrosecondCount rtt_us);
   void RecordHighTimestamp(std::string_view node, const Timestamp& high);
 
+  // Configuration evidence (Section 6.2): replies piggyback the serving
+  // node's installed config epoch and its primary. Monotonic - a stale epoch
+  // (delayed reply from a demoted node) never rolls the view back. Epoch 0
+  // (unconfigured) is ignored.
+  void RecordConfig(uint64_t epoch, std::string_view primary);
+
   // Reachability evidence: successes are normal replies, failures are
   // transport errors (unreachable, connection reset, deadline expired with
   // no answer). Drives PNodeUp so selection routes around dead nodes while
@@ -114,6 +120,14 @@ class Monitor {
   // node's breaker is half-open (probation probe wanted). False while the
   // breaker is open: during the cooldown probing the node is pointless.
   bool NeedsProbe(std::string_view node) const;
+
+  // Newest table configuration learned from reply piggybacks; epoch 0 until
+  // the first configured reply arrives.
+  struct ConfigView {
+    uint64_t epoch = 0;
+    std::string primary;
+  };
+  ConfigView CurrentConfig() const;
 
   // Circuit-breaker state for the node (kClosed for unknown nodes).
   BreakerState Breaker(std::string_view node) const;
@@ -186,6 +200,9 @@ class Monitor {
   std::map<std::string, NodeState, std::less<>> nodes_;
   uint64_t samples_recorded_ = 0;
   uint64_t breaker_trips_ = 0;
+  // Newest config epoch/primary seen on any reply (0/empty = never).
+  uint64_t config_epoch_ = 0;
+  std::string config_primary_;
 };
 
 // "closed" / "open" / "half-open", for stats output and logs.

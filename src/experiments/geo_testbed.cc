@@ -312,6 +312,10 @@ void GeoClient::StartProbing() {
               client->monitor().RecordSuccess(name);
               client->monitor().RecordHighTimestamp(
                   name, probe_reply->high_timestamp);
+              // Config piggyback: probes are how an idle client learns a
+              // failover happened (its next Put then routes correctly).
+              client->monitor().RecordConfig(probe_reply->config_epoch,
+                                             probe_reply->primary_hint);
             } else {
               client->monitor().RecordFailure(name);
             }
@@ -401,6 +405,7 @@ void GeoTestbed::JournalVersion(NodeEntry& entry,
 }
 
 GeoTestbed::~GeoTestbed() {
+  heartbeat_task_.Cancel();
   for (NodeEntry& entry : nodes_) {
     entry.pull_task.Cancel();
   }
@@ -432,14 +437,242 @@ void GeoTestbed::SetRttDelta(const std::string& site_a,
 }
 
 void GeoTestbed::MovePrimary(const std::string& new_primary_site) {
-  NodeEntry* target = FindEntry(new_primary_site);
-  assert(target != nullptr && "cannot move primary to a client-only site");
-  (void)target;
-  for (NodeEntry& entry : nodes_) {
-    entry.node->SetPrimaryForTable(kTableName,
-                                   entry.site == new_primary_site);
+  // Deprecated shim: the old in-place role flip is now a live epoch bump so
+  // every path (benches included) exercises the real reconfiguration code.
+  Status st = TriggerFailover(new_primary_site);
+  assert(st.ok() && "MovePrimary: live reconfiguration failed");
+  (void)st;
+}
+
+void GeoTestbed::JournalConfig(NodeEntry& entry,
+                               const reconfig::ConfigEpoch& config) {
+  if (entry.wal.is_open()) {
+    Status st = entry.wal.AppendConfig(config);
+    assert(st.ok());
+    (void)st;
   }
-  primary_site_ = new_primary_site;
+}
+
+bool GeoTestbed::IsLive(const std::string& site) {
+  NodeEntry* entry = FindEntry(site);
+  return entry != nullptr && !entry->crashed && !entry->down;
+}
+
+void GeoTestbed::InstallOnNode(NodeEntry& entry,
+                               const reconfig::ConfigEpoch& config,
+                               MicrosecondCount lease_duration_us) {
+  if (entry.crashed || entry.down || entry.node == nullptr) {
+    return;  // Unreachable; it learns the epoch on recovery or via gossip.
+  }
+  proto::ConfigRequest request;
+  request.table = kTableName;
+  request.install = true;
+  request.config = config;
+  request.lease_duration_us = lease_duration_us;
+  entry.node->Handle(request);
+  JournalConfig(entry, config);
+}
+
+void GeoTestbed::StartReconfiguration() {
+  if (coordinator_ == nullptr) {
+    current_config_.epoch = 1;
+    current_config_.primary = primary_site_;
+    current_config_.members.clear();
+    current_config_.sync_members.clear();
+    for (const NodeEntry& entry : nodes_) {
+      current_config_.members.push_back(entry.site);
+    }
+    // Section 6.4 sync-replica order: England (primary), then US, then
+    // India — mirrors the tablet roles the constructor set up.
+    if (options_.sync_replica_count >= 2) {
+      current_config_.sync_members.push_back(kUs);
+    }
+    if (options_.sync_replica_count >= 3) {
+      current_config_.sync_members.push_back(kIndia);
+    }
+    reconfig::FailoverCoordinator::Options copts;
+    copts.heartbeat_period_us = options_.failover_heartbeat_period_us;
+    copts.missed_heartbeats_to_fail = options_.missed_heartbeats_to_fail;
+    copts.sync_member_target =
+        static_cast<int>(current_config_.sync_members.size());
+    coordinator_ = std::make_unique<reconfig::FailoverCoordinator>(
+        current_config_, copts);
+    const MicrosecondCount lease =
+        options_.enable_failover ? copts.lease_duration_us() : 0;
+    for (NodeEntry& entry : nodes_) {
+      InstallOnNode(entry, current_config_, lease);
+    }
+    if (options_.metrics != nullptr) {
+      epoch_gauge_ = options_.metrics->GetGauge("pileus_reconfig_epoch");
+      failover_counter_ =
+          options_.metrics->GetCounter("pileus_reconfig_failovers_total");
+      unavailability_histogram_ = options_.metrics->GetHistogram(
+          "pileus_reconfig_crash_to_promotion_us");
+      epoch_gauge_->Set(static_cast<int64_t>(current_config_.epoch));
+    }
+  }
+  if (options_.enable_failover && !heartbeat_task_.active()) {
+    heartbeat_task_ = env_.SchedulePeriodic(
+        options_.failover_heartbeat_period_us,
+        options_.failover_heartbeat_period_us, [this] { RunHeartbeatRound(); });
+  }
+}
+
+void GeoTestbed::RunHeartbeatRound() {
+  const MicrosecondCount now = env_.clock()->NowMicros();
+  const MicrosecondCount lease = coordinator_->options().lease_duration_us();
+  for (NodeEntry& entry : nodes_) {
+    if (!current_config_.IsMember(entry.site)) {
+      continue;
+    }
+    // The coordinator's heartbeat doubles as the lease renewal: a same-epoch
+    // re-install extends the primary's write lease, and the reply reports
+    // the member's durable WAL tail for promotion ranking.
+    if (entry.crashed || entry.down || entry.node == nullptr) {
+      coordinator_->OnHeartbeatMiss(entry.site, now);
+      continue;
+    }
+    proto::ConfigRequest heartbeat;
+    heartbeat.table = kTableName;
+    heartbeat.install = true;
+    heartbeat.config = current_config_;
+    heartbeat.lease_duration_us = lease;
+    proto::Message reply = entry.node->Handle(heartbeat);
+    const auto* config_reply = std::get_if<proto::ConfigReply>(&reply);
+    if (config_reply == nullptr) {
+      coordinator_->OnHeartbeatMiss(entry.site, now);
+      continue;
+    }
+    coordinator_->OnHeartbeatAck(entry.site, now,
+                                 config_reply->durable_timestamp);
+  }
+  std::optional<reconfig::FailoverCoordinator::Plan> plan =
+      coordinator_->MaybePlanFailover(now);
+  if (plan.has_value()) {
+    Status st = ExecuteFailover(*plan);
+    if (!st.ok()) {
+      PILEUS_LOG(kWarning) << "failover to " << plan->next.primary
+                           << " failed: " << st << "; will retry";
+    }
+  }
+}
+
+reconfig::ConfigEpoch GeoTestbed::NextConfigFor(
+    const std::string& new_primary) {
+  reconfig::ConfigEpoch next;
+  next.epoch = current_config_.epoch + 1;
+  next.primary = new_primary;
+  next.members = current_config_.members;
+  // Keep the sync-set size: surviving sync members stay, the promoted node
+  // leaves the set (it now holds the stronger role), and the demoted
+  // primary — which holds the complete prefix — backfills first.
+  const size_t want = current_config_.sync_members.size();
+  for (const std::string& member : current_config_.sync_members) {
+    if (member != new_primary && IsLive(member)) {
+      next.sync_members.push_back(member);
+    }
+  }
+  auto try_add = [&](const std::string& member) {
+    if (next.sync_members.size() >= want || member == new_primary ||
+        !IsLive(member) || next.IsSyncMember(member)) {
+      return;
+    }
+    next.sync_members.push_back(member);
+  };
+  try_add(current_config_.primary);
+  for (const std::string& member : next.members) {
+    try_add(member);
+  }
+  return next;
+}
+
+Status GeoTestbed::TriggerFailover(const std::string& new_primary_site) {
+  NodeEntry* target = FindEntry(new_primary_site);
+  if (target == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "no storage node at " + new_primary_site);
+  }
+  if (target->crashed || target->down) {
+    return Status(StatusCode::kUnavailable,
+                  "cannot promote dead node " + new_primary_site);
+  }
+  StartReconfiguration();
+  if (new_primary_site == primary_site_) {
+    return Status::Ok();  // Already holds the role.
+  }
+  reconfig::FailoverCoordinator::Plan plan;
+  plan.next = NextConfigFor(new_primary_site);
+  plan.old_primary = current_config_.primary;
+  return ExecuteFailover(plan);
+}
+
+Status GeoTestbed::ExecuteFailover(
+    const reconfig::FailoverCoordinator::Plan& plan) {
+  NodeEntry* target = FindEntry(plan.next.primary);
+  if (target == nullptr || target->crashed || target->down) {
+    return Status(StatusCode::kUnavailable,
+                  "planned primary " + plan.next.primary + " is unreachable");
+  }
+  const MicrosecondCount lease =
+      options_.enable_failover ? coordinator_->options().lease_duration_us()
+                               : 0;
+  // 1. Promote: the new primary installs the epoch first, so it assigns
+  //    timestamps above everything it has applied before anyone can route a
+  //    Put at it.
+  InstallOnNode(*target, plan.next, lease);
+  // 2. Catch up members that are newly designated sync replicas BEFORE the
+  //    install flips their role: a sync replica must hold the complete
+  //    committed prefix or strong reads against it would miss writes.
+  storage::Tablet* primary_tablet = target->node->FindTablet(kTableName, "");
+  for (const std::string& member : plan.next.sync_members) {
+    if (current_config_.IsSyncMember(member) ||
+        member == current_config_.primary) {
+      continue;  // Already complete (old sync member or demoted primary).
+    }
+    NodeEntry* entry = FindEntry(member);
+    if (entry == nullptr || entry->crashed || entry->down) {
+      continue;
+    }
+    storage::Tablet* tablet = entry->node->FindTablet(kTableName, "");
+    bool more = true;
+    while (more) {
+      const proto::SyncReply delta =
+          primary_tablet->HandleSync(tablet->high_timestamp(), 0);
+      for (const proto::ObjectVersion& version : delta.versions) {
+        JournalVersion(*entry, version);
+      }
+      tablet->ApplySync(delta);
+      more = delta.has_more;
+    }
+  }
+  // 3. Install on the remaining live members. This demotes — and thereby
+  //    fences — the old primary when it is still alive (a deliberate move);
+  //    a crashed one is re-fenced from its journaled config on restart.
+  for (NodeEntry& entry : nodes_) {
+    if (&entry == target) {
+      continue;
+    }
+    InstallOnNode(entry, plan.next, lease);
+  }
+  // 4. Commit.
+  NodeEntry* old_primary = FindEntry(plan.old_primary);
+  primary_site_ = plan.next.primary;
+  current_config_ = plan.next;
+  coordinator_->AdoptPlan(plan);
+  ++failovers_;
+  if (failover_counter_ != nullptr) {
+    failover_counter_->Increment();
+  }
+  if (epoch_gauge_ != nullptr) {
+    epoch_gauge_->Set(static_cast<int64_t>(current_config_.epoch));
+  }
+  if (unavailability_histogram_ != nullptr && old_primary != nullptr &&
+      old_primary->crashed && old_primary->crashed_at_us >= 0) {
+    unavailability_histogram_->Record(env_.clock()->NowMicros() -
+                                      old_primary->crashed_at_us);
+  }
+  PILEUS_LOG(kInfo) << "reconfigured: " << current_config_.ToString();
+  return Status::Ok();
 }
 
 void GeoTestbed::StartReplication() {
@@ -541,6 +774,7 @@ void GeoTestbed::CrashNode(const std::string& site) {
   // see only deadline expiries (contrast SetNodeDown's fast kUnavailable).
   faults_.CrashNode(site);
   entry->crashed = true;
+  entry->crashed_at_us = env_.clock()->NowMicros();
   // Volatile state dies with the process. The WAL (entry->wal, when open)
   // is the disk: it survives.
   entry->agent.reset();
@@ -578,6 +812,7 @@ Status GeoTestbed::RestartNode(const std::string& site) {
     return st;
   }
   storage::Tablet* tablet = entry->node->FindTablet(kTableName, "");
+  std::optional<reconfig::ConfigEpoch> recovered_config;
   if (entry->wal.is_open()) {
     Result<persist::WriteAheadLog::ReplayStats> stats =
         persist::WriteAheadLog::Replay(
@@ -589,6 +824,9 @@ Status GeoTestbed::RestartNode(const std::string& site) {
               proto::SyncReply hb;
               hb.heartbeat = heartbeat;
               tablet->ApplySync(hb);
+            },
+            [&recovered_config](const reconfig::ConfigEpoch& config) {
+              recovered_config = config;
             });
     if (!stats.ok()) {
       return stats.status();
@@ -598,12 +836,28 @@ Status GeoTestbed::RestartNode(const std::string& site) {
                       << (stats.value().tail_torn ? " (torn tail discarded)"
                                                   : "");
   }
-  entry->node->SetPrimaryForTable(kTableName, site == primary_site_);
+  if (coordinator_ != nullptr) {
+    // Config-epoch recovery: re-install the last journaled config with an
+    // already-expired lease, so a restarted ex-primary comes back fenced
+    // (it rejects Puts with kNotPrimary) until the coordinator speaks.
+    if (recovered_config.has_value()) {
+      entry->node->InstallConfig(*recovered_config, kTableName,
+                                 /*lease_expiry_us=*/1);
+    }
+    // Then adopt the live config (a newer epoch demotes a stale ex-primary
+    // to secondary; the same epoch just clears the expired lease).
+    entry->node->InstallConfig(current_config_, kTableName,
+                               /*lease_expiry_us=*/0);
+    JournalConfig(*entry, current_config_);
+  } else {
+    entry->node->SetPrimaryForTable(kTableName, site == primary_site_);
+  }
   replication::ReplicationAgent::Options agent_options;
   agent_options.table = kTableName;
   entry->agent = std::make_unique<replication::ReplicationAgent>(
       tablet, agent_options);
   entry->crashed = false;
+  entry->crashed_at_us = -1;
   faults_.RecoverNode(site);
   return Status::Ok();
 }

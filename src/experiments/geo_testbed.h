@@ -23,10 +23,12 @@
 #include "src/core/client.h"
 #include "src/core/connection.h"
 #include "src/persist/wal.h"
+#include "src/reconfig/coordinator.h"
 #include "src/replication/replication_agent.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/sim_environment.h"
 #include "src/storage/storage_node.h"
+#include "src/telemetry/metrics.h"
 
 namespace pileus::experiments {
 
@@ -54,6 +56,18 @@ struct GeoTestbedOptions {
   // RestartNode model a real process crash: volatile state is lost and the
   // restarted node recovers from its WAL before replication catches it up.
   std::string durable_root;
+  // Live failover (Section 6.2). When true, StartReconfiguration also runs a
+  // lease-based coordinator as virtual-time heartbeat events: a primary that
+  // misses missed_heartbeats_to_fail consecutive heartbeats is declared dead
+  // (by which point its write lease has expired) and the reachable member
+  // with the highest durable timestamp is promoted in a new config epoch.
+  bool enable_failover = false;
+  MicrosecondCount failover_heartbeat_period_us =
+      MillisecondsToMicroseconds(500);
+  int missed_heartbeats_to_fail = 3;
+  // Optional: exports pileus_reconfig_* metrics (epoch gauge, failover
+  // counter, crash-to-promotion latency histogram). Not owned.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 // A Pileus client running at some site of the testbed, with its connections,
@@ -99,7 +113,8 @@ class GeoTestbed {
 
   // Storage node at a site; null for China (client-only).
   storage::StorageNode* node(const std::string& site);
-  storage::StorageNode* primary_node() { return node(kEngland); }
+  // The node currently holding the primary role — follows live failovers.
+  storage::StorageNode* primary_node() { return node(primary_site_); }
 
   // Starts the periodic replication pulls (virtual-time events).
   void StartReplication();
@@ -139,10 +154,33 @@ class GeoTestbed {
 
   sim::SiteId SiteIdOf(const std::string& site) const;
 
-  // Moves the primary role to another storage-node site (Section 6.2
-  // SLA-driven reconfiguration). Replication directions re-aim at the new
-  // primary on their next pull. The caller is responsible for quiescing Puts
-  // around the switch.
+  // --- Live reconfiguration (Section 6.2) ---
+
+  // Installs the initial configuration (epoch 1: the current primary,
+  // members, and sync roles) on every live storage node and, when
+  // GeoTestbedOptions::enable_failover is set, starts the coordinator's
+  // virtual-time heartbeat loop. Idempotent; TriggerFailover calls it
+  // lazily.
+  void StartReconfiguration();
+
+  // Live primary move / manual failover: builds the next config epoch with
+  // `new_primary_site` in the role, promotes it, catches up any newly
+  // designated sync members, and installs the epoch on every reachable
+  // member (fencing the old primary when it is still alive). Works with or
+  // without the heartbeat loop. Fails when the target is crashed or down.
+  Status TriggerFailover(const std::string& new_primary_site);
+
+  // The installed configuration (epoch 0 until StartReconfiguration runs).
+  const reconfig::ConfigEpoch& current_config() const {
+    return current_config_;
+  }
+  // Completed failovers/moves (auto-detected and triggered).
+  uint64_t failovers() const { return failovers_; }
+
+  // Deprecated: pre-live-reconfiguration role flip, kept as a thin wrapper
+  // over TriggerFailover so existing benches and ablations keep working.
+  // Unlike the old in-place flip this bumps the config epoch, so clients
+  // discover the move from reply piggybacks instead of needing a rebuild.
   void MovePrimary(const std::string& new_primary_site);
   const std::string& primary_site() const { return primary_site_; }
 
@@ -159,6 +197,9 @@ class GeoTestbed {
     // Crashed: node/agent are destroyed (volatile state lost) until
     // RestartNode; the WAL below is the only thing that survives.
     bool crashed = false;
+    // Virtual time of the crash (-1 when not crashed); feeds the
+    // crash-to-promotion latency histogram.
+    MicrosecondCount crashed_at_us = -1;
     persist::WriteAheadLog wal;  // Open only when durable_root is set.
   };
 
@@ -175,6 +216,24 @@ class GeoTestbed {
   std::string WalPath(const std::string& site) const;
   // Journals one applied write into the entry's WAL (no-op when closed).
   void JournalVersion(NodeEntry& entry, const proto::ObjectVersion& version);
+  // Journals a config epoch so recovery re-fences a restarted ex-primary.
+  void JournalConfig(NodeEntry& entry, const reconfig::ConfigEpoch& config);
+
+  // --- Reconfiguration internals ---
+  bool IsLive(const std::string& site);
+  // Sends the config (as a ConfigRequest install) to a live node and
+  // journals it. Skips crashed/down nodes.
+  void InstallOnNode(NodeEntry& entry, const reconfig::ConfigEpoch& config,
+                     MicrosecondCount lease_duration_us);
+  // The epoch+1 config for a deliberate move: `new_primary` takes the role,
+  // the demoted primary backfills the sync set when a slot frees up.
+  reconfig::ConfigEpoch NextConfigFor(const std::string& new_primary);
+  // One coordinator heartbeat round: renew leases on live members, feed the
+  // detector, and execute any promotion plan it produces.
+  void RunHeartbeatRound();
+  // Fences, promotes, catches up new sync members, installs everywhere,
+  // and commits the plan (shared by auto-detection and TriggerFailover).
+  Status ExecuteFailover(const reconfig::FailoverCoordinator::Plan& plan);
 
   GeoTestbedOptions options_;
   sim::SimEnvironment env_;
@@ -183,6 +242,15 @@ class GeoTestbed {
   std::string primary_site_ = kEngland;
   sim::SiteId china_site_ = -1;
   uint64_t replication_rounds_ = 0;
+
+  // Live reconfiguration state (set up by StartReconfiguration).
+  reconfig::ConfigEpoch current_config_;
+  std::unique_ptr<reconfig::FailoverCoordinator> coordinator_;
+  sim::PeriodicHandle heartbeat_task_;
+  uint64_t failovers_ = 0;
+  telemetry::Gauge* epoch_gauge_ = nullptr;
+  telemetry::Counter* failover_counter_ = nullptr;
+  telemetry::HistogramMetric* unavailability_histogram_ = nullptr;
 };
 
 }  // namespace pileus::experiments

@@ -1,0 +1,74 @@
+#include "src/experiments/placement.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/timestamp.h"
+#include "src/core/selection.h"
+
+namespace pileus::experiments {
+namespace {
+
+// Best expected utility one client would get under the given replica layout:
+// Figure 8's maxutil, computed from the client's own monitored evidence. The
+// fresh-session floor (Timestamp::Zero for every guarantee) models a new
+// reader's first Get, which keeps the score a property of the placement and
+// the measured network rather than of any one session's history.
+double ClientUtility(const PlacementClient& client,
+                     const std::vector<core::ReplicaView>& replicas) {
+  const core::MinReadTimestampFn fresh_session =
+      [](const core::Guarantee&) { return Timestamp::Zero(); };
+  double best = 0.0;
+  for (const core::SubSla& sub : client.sla.subslas()) {
+    for (const core::ReplicaView& replica : replicas) {
+      best = std::max(best, core::ExpectedUtility(sub, replica, fresh_session,
+                                                  *client.monitor));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<PlacementScore> RankPrimaryPlacements(
+    const std::vector<std::string>& candidate_sites,
+    const std::vector<std::string>& member_sites,
+    const std::vector<PlacementClient>& clients) {
+  std::vector<PlacementScore> scores;
+  scores.reserve(candidate_sites.size());
+  for (const std::string& candidate : candidate_sites) {
+    std::vector<core::ReplicaView> replicas;
+    replicas.reserve(member_sites.size());
+    for (const std::string& site : member_sites) {
+      replicas.push_back(
+          core::ReplicaView{.name = site, .authoritative = site == candidate});
+    }
+    double weighted_utility = 0.0;
+    double total_weight = 0.0;
+    for (const PlacementClient& client : clients) {
+      if (client.monitor == nullptr || client.weight <= 0.0) continue;
+      weighted_utility += client.weight * ClientUtility(client, replicas);
+      total_weight += client.weight;
+    }
+    scores.push_back(PlacementScore{
+        .site = candidate,
+        .utility = total_weight > 0.0 ? weighted_utility / total_weight : 0.0,
+    });
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const PlacementScore& a, const PlacementScore& b) {
+                     return a.utility > b.utility;
+                   });
+  return scores;
+}
+
+std::string RecommendPrimaryPlacement(
+    const std::vector<std::string>& candidate_sites,
+    const std::vector<std::string>& member_sites,
+    const std::vector<PlacementClient>& clients) {
+  std::vector<PlacementScore> ranked =
+      RankPrimaryPlacements(candidate_sites, member_sites, clients);
+  return ranked.empty() ? std::string() : ranked.front().site;
+}
+
+}  // namespace pileus::experiments

@@ -1,0 +1,58 @@
+// SLA-driven primary placement (paper Section 6.2): "given knowledge of the
+// SLAs being used by various clients, the system could make reasonable
+// re-configuration decisions. For example, Pileus might automatically move
+// the primary to a different datacenter in order to maximize the utility
+// delivered to its clients."
+//
+// This is the decision function of that automatic reconfigurator. Each
+// client contributes its SLA and its Monitor — the same measured latency /
+// availability / staleness evidence its own SelectTarget runs on — and every
+// candidate placement is scored by the weighted expected utility (Figure 8's
+// maxutil) the population would see if that site held the primary role.
+// Moving the role is then one GeoTestbed::TriggerFailover call away.
+
+#ifndef PILEUS_SRC_EXPERIMENTS_PLACEMENT_H_
+#define PILEUS_SRC_EXPERIMENTS_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/monitor.h"
+#include "src/core/sla.h"
+
+namespace pileus::experiments {
+
+// One client (or client population) the placement must serve.
+struct PlacementClient {
+  const core::Monitor* monitor = nullptr;  // Not owned. Measured evidence.
+  core::Sla sla;
+  double weight = 1.0;  // Relative size of this population.
+};
+
+struct PlacementScore {
+  std::string site;
+  // Weighted mean of each client's best expected utility under this
+  // placement (fresh-session floors, i.e. a new reader's first Get).
+  double utility = 0.0;
+};
+
+// Scores every candidate primary site against the client population,
+// descending by utility (ties keep the candidate order, so listing the
+// incumbent first biases against gratuitous moves). `member_sites` is the
+// full replica set; under candidate placement P exactly P is treated as
+// authoritative (strong-capable), the paper's evaluated single-primary
+// configuration.
+std::vector<PlacementScore> RankPrimaryPlacements(
+    const std::vector<std::string>& candidate_sites,
+    const std::vector<std::string>& member_sites,
+    const std::vector<PlacementClient>& clients);
+
+// The utility-maximizing placement; empty when there are no candidates.
+std::string RecommendPrimaryPlacement(
+    const std::vector<std::string>& candidate_sites,
+    const std::vector<std::string>& member_sites,
+    const std::vector<PlacementClient>& clients);
+
+}  // namespace pileus::experiments
+
+#endif  // PILEUS_SRC_EXPERIMENTS_PLACEMENT_H_

@@ -32,6 +32,8 @@ std::string_view FaultScenarioName(FaultScenario scenario) {
       return "crash-restart";
     case FaultScenario::kHandoff:
       return "handoff";
+    case FaultScenario::kFailover:
+      return "failover";
   }
   return "unknown";
 }
@@ -48,7 +50,8 @@ std::optional<FaultScenario> ParseFaultScenario(std::string_view name) {
 std::vector<FaultScenario> AllFaultScenarios() {
   return {FaultScenario::kNone,         FaultScenario::kPartition,
           FaultScenario::kDrops,        FaultScenario::kGray,
-          FaultScenario::kCrashRestart, FaultScenario::kHandoff};
+          FaultScenario::kCrashRestart, FaultScenario::kHandoff,
+          FaultScenario::kFailover};
 }
 
 core::Sla AuditSla() {
@@ -74,6 +77,9 @@ std::string ScenarioResult::Summary() const {
   }
   if (cache_served > 0) {
     os << ", " << cache_served << " cache-served";
+  }
+  if (failovers > 0) {
+    os << ", " << failovers << " failovers";
   }
   os << "; " << report.reads_checked << " reads, " << report.writes_checked
      << " writes, " << report.ranges_checked << " ranges, "
@@ -174,6 +180,30 @@ FaultSchedule BuildFaultSchedule(const ScenarioOptions& options,
       });
       break;
     }
+
+    case FaultScenario::kFailover: {
+      // Crash the PRIMARY mid-run. The lease coordinator must detect the
+      // death, fence the old epoch, and promote the sync replica with the
+      // highest durable timestamp without losing one acked write. The old
+      // primary restarts later and must rejoin as a fenced secondary of the
+      // new epoch (its stale-epoch Puts answered with kNotPrimary).
+      const std::string victim = testbed.primary_site();
+      schedule.emplace(n / 3,
+                       [&testbed, victim] { testbed.CrashNode(victim); });
+      schedule.emplace(n / 2, [&testbed, victim] {
+        (void)testbed.RestartNode(victim);
+      });
+      if (rng.NextBool(0.3)) {
+        // Seeded double failover: kill whoever holds the role by then (the
+        // first promotion must already have happened for this to differ).
+        schedule.emplace(3 * n / 4, [&testbed] {
+          if (testbed.failovers() > 0) {
+            testbed.CrashNode(testbed.primary_site());
+          }
+        });
+      }
+      break;
+    }
   }
   return schedule;
 }
@@ -222,7 +252,17 @@ ScenarioResult RunAuditScenario(const ScenarioOptions& options) {
   geo.seed = options.seed;
   geo.replication_period_us = options.replication_period_us;
   geo.durable_root = options.durable_root;
+  if (options.scenario == FaultScenario::kFailover) {
+    // The promotion target must hold the complete committed prefix, so the
+    // run needs at least one synchronous replica (Section 6.4) alongside the
+    // lease coordinator.
+    geo.sync_replica_count = 2;
+    geo.enable_failover = true;
+  }
   GeoTestbed testbed(geo);
+  if (geo.enable_failover) {
+    testbed.StartReconfiguration();
+  }
 
   audit::HistoryRecorder recorder;
   core::PileusClient::Options client_options;
@@ -338,8 +378,18 @@ ScenarioResult RunAuditScenario(const ScenarioOptions& options) {
   us->StopProbing();
   india->StopProbing();
   testbed.faults().ClearAll();
+  // A failover may still be in flight when the ops run out (detection is
+  // bound to virtual time, not op count); run the clock until the promotion
+  // lands so the ground-truth export below reads a live primary.
+  if (geo.enable_failover) {
+    for (int i = 0; i < 100 && testbed.IsNodeCrashed(testbed.primary_site());
+         ++i) {
+      testbed.env().RunFor(geo.failover_heartbeat_period_us);
+    }
+  }
   result.cache_served =
       us->client().cache_serves() + india->client().cache_serves();
+  result.failovers = testbed.failovers();
 
   bool contiguous = true;
   recorder.SetGroundTruth(

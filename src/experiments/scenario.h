@@ -34,11 +34,12 @@ enum class FaultScenario {
   kGray,           // Gray slowness episodes on random sites.
   kCrashRestart,   // Crash a secondary mid-run, restart it from its WAL.
   kHandoff,        // Serialize sessions and resume them on the other frontend.
+  kFailover,       // Crash the PRIMARY mid-run: lease-based live failover.
 };
 
 std::string_view FaultScenarioName(FaultScenario scenario);
 // Parses the names FaultScenarioName produces ("none", "partition", "drops",
-// "gray", "crash-restart", "handoff"); nullopt for anything else.
+// "gray", "crash-restart", "handoff", "failover"); nullopt for anything else.
 std::optional<FaultScenario> ParseFaultScenario(std::string_view name);
 std::vector<FaultScenario> AllFaultScenarios();
 
@@ -79,6 +80,7 @@ struct ScenarioResult {
   uint64_t sessions = 0;
   uint64_t handoffs = 0;
   uint64_t cache_served = 0;  // Gets answered by the frontends' caches.
+  uint64_t failovers = 0;     // Completed primary promotions (kFailover).
 
   bool ok() const { return report.ok(); }
   // One line: verdict, scenario, seed (the repro handle), op counts.

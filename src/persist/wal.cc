@@ -18,6 +18,7 @@ namespace {
 
 constexpr uint8_t kKindVersion = 1;
 constexpr uint8_t kKindHeartbeat = 2;
+constexpr uint8_t kKindConfig = 3;
 constexpr size_t kHeaderBytes = 1 + 4 + 4;
 // Sanity bound on a single record (a version is key+value+timestamp).
 constexpr uint32_t kMaxPayload = 256 * 1024 * 1024;
@@ -139,6 +140,12 @@ Status WriteAheadLog::AppendHeartbeat(const Timestamp& heartbeat) {
   return AppendRecord(kKindHeartbeat, EncodeHeartbeatPayload(heartbeat));
 }
 
+Status WriteAheadLog::AppendConfig(const reconfig::ConfigEpoch& config) {
+  Encoder enc;
+  reconfig::EncodeConfigEpoch(enc, config);
+  return AppendRecord(kKindConfig, enc.Release());
+}
+
 Status WriteAheadLog::Sync() {
   if (fd_ < 0) {
     return Status(StatusCode::kInternal, "WAL is not open");
@@ -170,7 +177,8 @@ void WriteAheadLog::Close() {
 Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
     const std::string& path,
     const std::function<void(const proto::ObjectVersion&)>& on_version,
-    const std::function<void(const Timestamp&)>& on_heartbeat) {
+    const std::function<void(const Timestamp&)>& on_heartbeat,
+    const std::function<void(const reconfig::ConfigEpoch&)>& on_config) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   ReplayStats stats;
   if (fd < 0) {
@@ -209,7 +217,8 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
     const uint8_t kind = p[0];
     const uint32_t len = DecodeFixed32(p + 1);
     const uint32_t crc = DecodeFixed32(p + 5);
-    if (kind != kKindVersion && kind != kKindHeartbeat) {
+    if (kind != kKindVersion && kind != kKindHeartbeat &&
+        kind != kKindConfig) {
       return Status(StatusCode::kCorruption,
                     "WAL record with unknown kind at offset " +
                         std::to_string(offset));
@@ -243,13 +252,21 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
       if (on_version) {
         on_version(version);
       }
-    } else {
+    } else if (kind == kKindHeartbeat) {
       Decoder dec(payload);
       Timestamp heartbeat;
       PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&heartbeat));
       ++stats.heartbeats;
       if (on_heartbeat) {
         on_heartbeat(heartbeat);
+      }
+    } else {
+      Decoder dec(payload);
+      reconfig::ConfigEpoch config;
+      PILEUS_RETURN_IF_ERROR(reconfig::DecodeConfigEpoch(dec, &config));
+      ++stats.configs;
+      if (on_config) {
+        on_config(config);
       }
     }
     offset += kHeaderBytes + len;

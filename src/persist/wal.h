@@ -7,7 +7,7 @@
 // on startup.
 //
 // On-disk record format (little-endian):
-//   1 byte  kind        (1 = version, 2 = heartbeat)
+//   1 byte  kind        (1 = version, 2 = heartbeat, 3 = config)
 //   4 bytes payload len
 //   4 bytes CRC-32 of payload
 //   N bytes payload     (codec-encoded)
@@ -26,6 +26,7 @@
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
 #include "src/proto/messages.h"
+#include "src/reconfig/config_epoch.h"
 
 namespace pileus::persist {
 
@@ -48,6 +49,9 @@ class WriteAheadLog {
   // Sync() (group-commit friendly).
   Status AppendVersion(const proto::ObjectVersion& version);
   Status AppendHeartbeat(const Timestamp& heartbeat);
+  // Journals an installed configuration (Section 6.2) so a restarted node
+  // rejoins under the config it last acknowledged, not its seed roles.
+  Status AppendConfig(const reconfig::ConfigEpoch& config);
 
   // fdatasync the log.
   Status Sync();
@@ -65,16 +69,19 @@ class WriteAheadLog {
   struct ReplayStats {
     uint64_t versions = 0;
     uint64_t heartbeats = 0;
+    uint64_t configs = 0;
     // A partial record at EOF was discarded (normal after a crash).
     bool tail_torn = false;
   };
 
-  // Streams every intact record through the callbacks (either may be null).
+  // Streams every intact record through the callbacks (any may be null).
   // Corruption before the final record fails with kCorruption.
   static Result<ReplayStats> Replay(
       const std::string& path,
       const std::function<void(const proto::ObjectVersion&)>& on_version,
-      const std::function<void(const Timestamp&)>& on_heartbeat);
+      const std::function<void(const Timestamp&)>& on_heartbeat,
+      const std::function<void(const reconfig::ConfigEpoch&)>& on_config =
+          nullptr);
 
   // Collects every intact version record in `path`, in log order
   // (heartbeats skipped). The audit harness uses this to cross-check a

@@ -9,8 +9,10 @@ namespace {
 
 // Bumped when any message body layout changes. Version 2 added the CRC-32
 // trailer so corrupted frames are rejected deterministically instead of
-// decoding into garbage field values.
-constexpr uint8_t kWireVersion = 2;
+// decoding into garbage field values. Version 3 added the configuration
+// piggyback (config_epoch + primary_hint) to data-path replies and the
+// ConfigRequest/ConfigReply control-plane pair (Section 6.2).
+constexpr uint8_t kWireVersion = 3;
 
 void EncodeObjectVersion(Encoder& enc, const ObjectVersion& v) {
   enc.PutLengthPrefixed(v.key);
@@ -37,6 +39,8 @@ void EncodeBody(Encoder& enc, const GetReply& m) {
   enc.PutTimestamp(m.value_timestamp);
   enc.PutTimestamp(m.high_timestamp);
   enc.PutBool(m.served_by_primary);
+  enc.PutVarint64(m.config_epoch);
+  enc.PutLengthPrefixed(m.primary_hint);
 }
 
 void EncodeBody(Encoder& enc, const PutRequest& m) {
@@ -48,6 +52,8 @@ void EncodeBody(Encoder& enc, const PutRequest& m) {
 void EncodeBody(Encoder& enc, const PutReply& m) {
   enc.PutTimestamp(m.timestamp);
   enc.PutTimestamp(m.high_timestamp);
+  enc.PutVarint64(m.config_epoch);
+  enc.PutLengthPrefixed(m.primary_hint);
 }
 
 void EncodeBody(Encoder& enc, const ProbeRequest& m) {
@@ -57,6 +63,8 @@ void EncodeBody(Encoder& enc, const ProbeRequest& m) {
 void EncodeBody(Encoder& enc, const ProbeReply& m) {
   enc.PutTimestamp(m.high_timestamp);
   enc.PutBool(m.is_primary);
+  enc.PutVarint64(m.config_epoch);
+  enc.PutLengthPrefixed(m.primary_hint);
 }
 
 void EncodeBody(Encoder& enc, const SyncRequest& m) {
@@ -72,6 +80,8 @@ void EncodeBody(Encoder& enc, const SyncReply& m) {
   }
   enc.PutTimestamp(m.heartbeat);
   enc.PutBool(m.has_more);
+  enc.PutVarint64(m.config_epoch);
+  enc.PutLengthPrefixed(m.primary_hint);
 }
 
 void EncodeBody(Encoder& enc, const GetAtRequest& m) {
@@ -122,6 +132,8 @@ void EncodeBody(Encoder& enc, const RangeReply& m) {
   enc.PutBool(m.truncated);
   enc.PutTimestamp(m.high_timestamp);
   enc.PutBool(m.served_by_primary);
+  enc.PutVarint64(m.config_epoch);
+  enc.PutLengthPrefixed(m.primary_hint);
 }
 
 void EncodeBody(Encoder& enc, const DeleteRequest& m) {
@@ -140,6 +152,22 @@ void EncodeBody(Encoder& enc, const StatsReply& m) {
 void EncodeBody(Encoder& enc, const ErrorReply& m) {
   enc.PutVarint64(static_cast<uint64_t>(m.code));
   enc.PutLengthPrefixed(m.message);
+  enc.PutVarint64(m.config_epoch);
+  enc.PutLengthPrefixed(m.primary_hint);
+}
+
+void EncodeBody(Encoder& enc, const ConfigRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutBool(m.install);
+  reconfig::EncodeConfigEpoch(enc, m.config);
+  enc.PutVarint64(static_cast<uint64_t>(m.lease_duration_us));
+}
+
+void EncodeBody(Encoder& enc, const ConfigReply& m) {
+  enc.PutBool(m.accepted);
+  reconfig::EncodeConfigEpoch(enc, m.config);
+  enc.PutTimestamp(m.durable_timestamp);
+  enc.PutTimestamp(m.high_timestamp);
 }
 
 Status DecodeBody(Decoder& dec, GetRequest* m) {
@@ -152,7 +180,9 @@ Status DecodeBody(Decoder& dec, GetReply* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->value));
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->value_timestamp));
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
-  return dec.GetBool(&m->served_by_primary);
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->served_by_primary));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
+  return dec.GetLengthPrefixedString(&m->primary_hint);
 }
 
 Status DecodeBody(Decoder& dec, PutRequest* m) {
@@ -163,7 +193,9 @@ Status DecodeBody(Decoder& dec, PutRequest* m) {
 
 Status DecodeBody(Decoder& dec, PutReply* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->timestamp));
-  return dec.GetTimestamp(&m->high_timestamp);
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
+  return dec.GetLengthPrefixedString(&m->primary_hint);
 }
 
 Status DecodeBody(Decoder& dec, ProbeRequest* m) {
@@ -172,7 +204,9 @@ Status DecodeBody(Decoder& dec, ProbeRequest* m) {
 
 Status DecodeBody(Decoder& dec, ProbeReply* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
-  return dec.GetBool(&m->is_primary);
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->is_primary));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
+  return dec.GetLengthPrefixedString(&m->primary_hint);
 }
 
 Status DecodeBody(Decoder& dec, SyncRequest* m) {
@@ -199,7 +233,9 @@ Status DecodeBody(Decoder& dec, SyncReply* m) {
     PILEUS_RETURN_IF_ERROR(DecodeObjectVersion(dec, &v));
   }
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->heartbeat));
-  return dec.GetBool(&m->has_more);
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->has_more));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
+  return dec.GetLengthPrefixedString(&m->primary_hint);
 }
 
 Status DecodeBody(Decoder& dec, GetAtRequest* m) {
@@ -270,7 +306,9 @@ Status DecodeBody(Decoder& dec, RangeReply* m) {
   }
   PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->truncated));
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
-  return dec.GetBool(&m->served_by_primary);
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->served_by_primary));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
+  return dec.GetLengthPrefixedString(&m->primary_hint);
 }
 
 Status DecodeBody(Decoder& dec, DeleteRequest* m) {
@@ -293,7 +331,29 @@ Status DecodeBody(Decoder& dec, ErrorReply* m) {
     return Status(StatusCode::kCorruption, "unknown status code");
   }
   m->code = static_cast<StatusCode>(code);
-  return dec.GetLengthPrefixedString(&m->message);
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->message));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
+  return dec.GetLengthPrefixedString(&m->primary_hint);
+}
+
+Status DecodeBody(Decoder& dec, ConfigRequest* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->install));
+  PILEUS_RETURN_IF_ERROR(reconfig::DecodeConfigEpoch(dec, &m->config));
+  uint64_t lease;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&lease));
+  if (lease > static_cast<uint64_t>(INT64_MAX)) {
+    return Status(StatusCode::kCorruption, "lease duration overflow");
+  }
+  m->lease_duration_us = static_cast<MicrosecondCount>(lease);
+  return Status::Ok();
+}
+
+Status DecodeBody(Decoder& dec, ConfigReply* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->accepted));
+  PILEUS_RETURN_IF_ERROR(reconfig::DecodeConfigEpoch(dec, &m->config));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->durable_timestamp));
+  return dec.GetTimestamp(&m->high_timestamp);
 }
 
 template <typename T>
@@ -349,6 +409,10 @@ MessageType TypeOf(const Message& message) {
           return MessageType::kStatsRequest;
         } else if constexpr (std::is_same_v<T, StatsReply>) {
           return MessageType::kStatsReply;
+        } else if constexpr (std::is_same_v<T, ConfigRequest>) {
+          return MessageType::kConfigRequest;
+        } else if constexpr (std::is_same_v<T, ConfigReply>) {
+          return MessageType::kConfigReply;
         } else {
           return MessageType::kErrorReply;
         }
@@ -394,6 +458,10 @@ std::string_view MessageTypeName(MessageType type) {
       return "StatsRequest";
     case MessageType::kStatsReply:
       return "StatsReply";
+    case MessageType::kConfigRequest:
+      return "ConfigRequest";
+    case MessageType::kConfigReply:
+      return "ConfigReply";
   }
   return "Unknown";
 }
@@ -477,6 +545,10 @@ Result<Message> DecodeMessage(std::string_view bytes) {
       return DecodeInto<StatsRequest>(dec);
     case MessageType::kStatsReply:
       return DecodeInto<StatsReply>(dec);
+    case MessageType::kConfigRequest:
+      return DecodeInto<ConfigRequest>(dec);
+    case MessageType::kConfigReply:
+      return DecodeInto<ConfigReply>(dec);
   }
   return Status(StatusCode::kCorruption, "unknown message type");
 }

@@ -32,6 +32,7 @@
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
+#include "src/reconfig/config_epoch.h"
 
 namespace pileus::proto {
 
@@ -54,6 +55,8 @@ enum class MessageType : uint8_t {
   kDeleteRequest = 16,  // Replied to with a PutReply (a delete is a write).
   kStatsRequest = 17,
   kStatsReply = 18,
+  kConfigRequest = 19,
+  kConfigReply = 20,
 };
 
 // One version of one object: the tablet-store tuple of Section 4.3.
@@ -81,6 +84,11 @@ struct GetReply {
   Timestamp high_timestamp;        // Node's high timestamp (Section 4.3).
   bool served_by_primary = false;  // Lets clients skip redundant strong reads
                                    // (Section 2.3 speculative pattern).
+  // Configuration piggyback (Section 6.2): the serving node's installed
+  // config epoch and that config's primary. 0/empty when the node never
+  // installed a config (legacy static placement).
+  uint64_t config_epoch = 0;
+  std::string primary_hint;
 };
 
 struct PutRequest {
@@ -92,6 +100,8 @@ struct PutRequest {
 struct PutReply {
   Timestamp timestamp;       // Update timestamp assigned by the primary.
   Timestamp high_timestamp;  // Primary's high timestamp after the Put.
+  uint64_t config_epoch = 0;  // Installed config epoch (0 = unconfigured).
+  std::string primary_hint;   // That config's primary.
 };
 
 struct ProbeRequest {
@@ -101,6 +111,8 @@ struct ProbeRequest {
 struct ProbeReply {
   Timestamp high_timestamp;
   bool is_primary = false;
+  uint64_t config_epoch = 0;  // Installed config epoch (0 = unconfigured).
+  std::string primary_hint;   // That config's primary.
 };
 
 struct SyncRequest {
@@ -116,6 +128,8 @@ struct SyncReply {
   // when `versions` is empty (idle-primary heartbeat, Section 4.3).
   Timestamp heartbeat;
   bool has_more = false;
+  uint64_t config_epoch = 0;  // Installed config epoch (0 = unconfigured).
+  std::string primary_hint;   // That config's primary.
 };
 
 struct GetAtRequest {
@@ -149,6 +163,11 @@ struct CommitReply {
 struct ErrorReply {
   StatusCode code = StatusCode::kInternal;
   std::string message;
+  // For kNotPrimary the epoch and primary of the node's installed config:
+  // enough for the client to redirect the write without a directory lookup.
+  // 0/empty on other errors or when the node never installed a config.
+  uint64_t config_epoch = 0;
+  std::string primary_hint;
 };
 
 // Deletes a key by writing a tombstone at the primary. Answered with a
@@ -173,6 +192,8 @@ struct RangeReply {
   // the tablets that served it.
   Timestamp high_timestamp;
   bool served_by_primary = false;
+  uint64_t config_epoch = 0;  // Installed config epoch (0 = unconfigured).
+  std::string primary_hint;   // That config's primary.
 };
 
 // Asks a server process for its telemetry in the given export format
@@ -187,11 +208,36 @@ struct StatsReply {
   std::string text;  // Rendered export in the requested format.
 };
 
+// Reconfiguration control plane (Section 6.2). A query reports the node's
+// installed config; an install asks it to adopt `config` (accepted when the
+// epoch is not older than the installed one - re-installing the current
+// epoch renews the primary's lease without touching roles). The coordinator
+// heartbeats members with installs and uses the replies' durable timestamps
+// to pick promotion targets.
+struct ConfigRequest {
+  std::string table;
+  bool install = false;
+  reconfig::ConfigEpoch config;  // Meaningful only for installs.
+  // Write lease granted to the config's primary, measured from receipt.
+  // 0 = no lease (the role never self-fences; used without a coordinator).
+  MicrosecondCount lease_duration_us = 0;
+};
+
+struct ConfigReply {
+  bool accepted = false;         // Install adopted (queries always accept).
+  reconfig::ConfigEpoch config;  // The node's installed config (post-op).
+  // Newest update timestamp this node has durably applied; drives the
+  // coordinator's promotion choice (highest durable tail wins).
+  Timestamp durable_timestamp;
+  Timestamp high_timestamp;
+};
+
 using Message =
     std::variant<GetRequest, GetReply, PutRequest, PutReply, ProbeRequest,
                  ProbeReply, SyncRequest, SyncReply, GetAtRequest, GetAtReply,
                  CommitRequest, CommitReply, ErrorReply, RangeRequest,
-                 RangeReply, DeleteRequest, StatsRequest, StatsReply>;
+                 RangeReply, DeleteRequest, StatsRequest, StatsReply,
+                 ConfigRequest, ConfigReply>;
 
 MessageType TypeOf(const Message& message);
 std::string_view MessageTypeName(MessageType type);

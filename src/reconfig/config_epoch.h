@@ -1,0 +1,55 @@
+// Epoch-stamped table configurations (paper Section 6.2).
+//
+// A ConfigEpoch makes "primary" a role instead of a node: it names the
+// member currently holding the primary role, the full storage membership,
+// and the synchronously-updated replicas, all under a monotonically
+// increasing epoch number. Storage nodes install configs and reject stale
+// ones; every reply they send is stamped with the installed epoch and the
+// primary's name so clients (and replication agents) learn about a
+// reconfiguration from ordinary traffic instead of an out-of-band channel.
+//
+// Epoch 0 is reserved for "unconfigured": a node that never installed a
+// config behaves exactly like the pre-reconfiguration system (static roles
+// assigned at tablet creation), which keeps single-node deployments and
+// existing tests unchanged.
+
+#ifndef PILEUS_SRC_RECONFIG_CONFIG_EPOCH_H_
+#define PILEUS_SRC_RECONFIG_CONFIG_EPOCH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/util/codec.h"
+
+namespace pileus::reconfig {
+
+struct ConfigEpoch {
+  uint64_t epoch = 0;   // 0 = unconfigured (legacy static placement).
+  std::string primary;  // Member currently holding the primary role.
+  // Every storage member, including the primary and any crashed members
+  // (membership survives a crash; only the roles move).
+  std::vector<std::string> members;
+  // Synchronously-updated replicas besides the primary (Section 6.4). These
+  // hold a complete prefix of the commit order at every instant, so they are
+  // both strong-read targets and the preferred promotion candidates.
+  std::vector<std::string> sync_members;
+
+  bool operator==(const ConfigEpoch&) const = default;
+
+  bool IsMember(std::string_view node) const;
+  bool IsSyncMember(std::string_view node) const;
+
+  // "epoch 3: primary=US members=[England,US,India] sync=[India]".
+  std::string ToString() const;
+};
+
+// Codec helpers shared by the wire format and the WAL config record.
+void EncodeConfigEpoch(Encoder& enc, const ConfigEpoch& config);
+Status DecodeConfigEpoch(Decoder& dec, ConfigEpoch* config);
+
+}  // namespace pileus::reconfig
+
+#endif  // PILEUS_SRC_RECONFIG_CONFIG_EPOCH_H_

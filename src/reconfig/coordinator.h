@@ -1,0 +1,114 @@
+// Lease-based failover coordinator (paper Section 6.2).
+//
+// The coordinator owns the table's ConfigEpoch and decides when the primary
+// role must move. It is a transport-free state machine in the style of
+// replication::ReplicationAgent: some driver (the deterministic simulator's
+// heartbeat events, or a timer thread under a real transport) sends each
+// member a config heartbeat every heartbeat_period and feeds the outcome
+// back through OnHeartbeatAck / OnHeartbeatMiss. A successful heartbeat to
+// the primary renews its write lease; a primary that misses
+// missed_heartbeats_to_fail consecutive heartbeats is declared dead, and by
+// then its lease - granted for exactly that long - has already expired, so
+// the old primary has fenced itself even if it is merely partitioned from
+// the coordinator rather than crashed. Only after that does
+// MaybePlanFailover produce a promotion plan: the next epoch, with the
+// reachable member holding the highest durable update timestamp as the new
+// primary. The driver installs the plan on the members (new primary first),
+// catches up the newly designated sync members, then commits via AdoptPlan.
+//
+// Split-brain safety rests on two facts: epochs are monotonic (a member
+// never accepts a config older than its installed one), and the lease
+// duration equals the detection threshold (the coordinator cannot promote
+// before the old primary's lease has run out under the same clock).
+
+#ifndef PILEUS_SRC_RECONFIG_COORDINATOR_H_
+#define PILEUS_SRC_RECONFIG_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/timestamp.h"
+#include "src/reconfig/config_epoch.h"
+
+namespace pileus::reconfig {
+
+class FailoverCoordinator {
+ public:
+  struct Options {
+    MicrosecondCount heartbeat_period_us = MillisecondsToMicroseconds(500);
+    // Consecutive missed heartbeats before the primary is declared dead.
+    int missed_heartbeats_to_fail = 3;
+    // How many sync members (besides the primary) each new config should
+    // designate, membership permitting.
+    int sync_member_target = 1;
+
+    // The write lease granted to the primary on every acked heartbeat. By
+    // construction it expires exactly when the coordinator would declare the
+    // primary dead, so promotion never overlaps a live lease.
+    MicrosecondCount lease_duration_us() const {
+      return heartbeat_period_us * missed_heartbeats_to_fail;
+    }
+  };
+
+  FailoverCoordinator(ConfigEpoch initial, Options options);
+
+  const ConfigEpoch& config() const { return config_; }
+  const Options& options() const { return options_; }
+  uint64_t failovers() const { return failovers_; }
+
+  // --- Heartbeat evidence (one call per member per round) ---
+
+  // `durable_timestamp` is the newest update timestamp the member reports as
+  // durably applied (its WAL tail); it drives the promotion choice.
+  void OnHeartbeatAck(const std::string& node, MicrosecondCount now_us,
+                      const Timestamp& durable_timestamp);
+  void OnHeartbeatMiss(const std::string& node, MicrosecondCount now_us);
+
+  struct Plan {
+    ConfigEpoch next;
+    std::string old_primary;     // The member losing the role.
+    Timestamp promoted_from;     // Durable timestamp of the promoted member.
+  };
+
+  // Produces a promotion plan once the primary has missed
+  // missed_heartbeats_to_fail consecutive heartbeats AND a promotable member
+  // exists (currently reachable and has reported a durable timestamp).
+  // Returns nullopt while the primary looks healthy or no candidate
+  // qualifies (the caller retries after the next round).
+  std::optional<Plan> MaybePlanFailover(MicrosecondCount now_us);
+
+  // A deliberate placement move (Section 6.2 SLA-driven reconfiguration):
+  // next epoch with `target` as primary. Returns nullopt when the target is
+  // not a member or already holds the role.
+  std::optional<Plan> PlanMove(const std::string& target);
+
+  // Commits `plan.next` as the current config after the driver installed it
+  // on the new primary. Resets the new primary's health so detection starts
+  // fresh in the new epoch.
+  void AdoptPlan(const Plan& plan);
+
+ private:
+  struct MemberHealth {
+    int consecutive_misses = 0;
+    MicrosecondCount last_ack_us = -1;
+    Timestamp durable = Timestamp::Zero();
+    bool ever_acked = false;
+  };
+
+  // Builds the epoch+1 config with `new_primary` in the role and fresh sync
+  // members chosen from the reachable survivors.
+  ConfigEpoch NextConfig(const std::string& new_primary) const;
+  bool Reachable(const std::string& node) const;
+
+  ConfigEpoch config_;
+  Options options_;
+  std::map<std::string, MemberHealth> health_;
+  uint64_t failovers_ = 0;
+};
+
+}  // namespace pileus::reconfig
+
+#endif  // PILEUS_SRC_RECONFIG_COORDINATOR_H_

@@ -36,6 +36,10 @@ void ReplicationAgent::EnableTelemetry(telemetry::MetricsRegistry* registry,
 bool ReplicationAgent::OnReply(const proto::SyncReply& reply) {
   target_->ApplySync(reply);
   versions_applied_ += reply.versions.size();
+  if (reply.config_epoch > last_config_epoch_) {
+    last_config_epoch_ = reply.config_epoch;
+    last_primary_hint_ = reply.primary_hint;
+  }
   if (!reply.has_more) {
     ++pulls_completed_;
   }

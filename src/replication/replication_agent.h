@@ -57,6 +57,13 @@ class ReplicationAgent {
   uint64_t pulls_completed() const { return pulls_completed_; }
   uint64_t versions_applied() const { return versions_applied_; }
 
+  // Config piggyback from the latest sync reply (Section 6.2): the source's
+  // installed epoch and that epoch's primary. Drivers use this to notice a
+  // failover and re-point the pull at the new primary. 0/empty until a
+  // configured source answers.
+  uint64_t last_config_epoch() const { return last_config_epoch_; }
+  const std::string& last_primary_hint() const { return last_primary_hint_; }
+
   // Registers pileus_replication_* metrics labeled with the table and the
   // given node label and feeds them on every OnReply: sync round trips,
   // versions applied, idle heartbeats, completed pulls, and a gauge holding
@@ -78,6 +85,9 @@ class ReplicationAgent {
   Options options_;
   uint64_t pulls_completed_ = 0;
   uint64_t versions_applied_ = 0;
+  // Newest config piggyback seen on a sync reply (monotonic in epoch).
+  uint64_t last_config_epoch_ = 0;
+  std::string last_primary_hint_;
   Instruments instruments_;
 };
 

@@ -19,6 +19,20 @@ proto::Message MakeError(const Status& status) {
   return MakeError(status.code(), status.message());
 }
 
+// The table a request addresses, empty for messages without one (replies,
+// stats). Used to look up the installed config for reply stamping.
+std::string_view TableOf(const proto::Message& request) {
+  return std::visit(
+      [](const auto& m) -> std::string_view {
+        if constexpr (requires { m.table; }) {
+          return m.table;
+        } else {
+          return {};
+        }
+      },
+      request);
+}
+
 }  // namespace
 
 StorageNode::StorageNode(std::string name, std::string site, Clock* clock)
@@ -66,6 +80,150 @@ void StorageNode::SetSyncReplicaForTable(std::string_view table,
   for (auto& tablet : it->second) {
     tablet->SetSyncReplica(is_sync);
   }
+}
+
+void StorageNode::InstallConfig(const reconfig::ConfigEpoch& config,
+                                std::string_view table,
+                                MicrosecondCount lease_expiry_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  InstallConfigLocked(config, table, lease_expiry_us);
+}
+
+std::optional<reconfig::ConfigEpoch> StorageNode::InstalledConfig(
+    std::string_view table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = configs_.find(table);
+  if (it == configs_.end()) {
+    return std::nullopt;
+  }
+  return it->second.config;
+}
+
+void StorageNode::ApplyConfigRolesLocked(const reconfig::ConfigEpoch& config,
+                                         std::string_view table) {
+  auto it = tablets_.find(table);
+  if (it == tablets_.end()) {
+    return;
+  }
+  const bool is_primary = config.primary == name_;
+  const bool is_sync = !is_primary && config.IsSyncMember(name_);
+  for (auto& tablet : it->second) {
+    tablet->SetPrimary(is_primary);
+    tablet->SetSyncReplica(is_sync);
+  }
+}
+
+bool StorageNode::InstallConfigLocked(const reconfig::ConfigEpoch& config,
+                                      std::string_view table,
+                                      MicrosecondCount lease_expiry_us) {
+  if (config.epoch == 0) {
+    return false;  // Epoch 0 means "unconfigured"; it is never installed.
+  }
+  auto it = configs_.find(table);
+  if (it == configs_.end()) {
+    TableConfig installed;
+    installed.config = config;
+    installed.lease_expiry_us = lease_expiry_us;
+    configs_.emplace(std::string(table), std::move(installed));
+    ApplyConfigRolesLocked(config, table);
+    return true;
+  }
+  TableConfig& installed = it->second;
+  if (config.epoch < installed.config.epoch) {
+    return false;  // Stale epoch: a fenced coordinator or delayed message.
+  }
+  const bool epoch_advanced = config.epoch > installed.config.epoch;
+  installed.config = config;
+  installed.lease_expiry_us = lease_expiry_us;
+  if (epoch_advanced) {
+    // Roles only move with the epoch; a same-epoch re-install is a lease
+    // renewal and must not disturb tablet state.
+    ApplyConfigRolesLocked(config, table);
+  }
+  return true;
+}
+
+Status StorageNode::CheckWritableLocked(std::string_view table) const {
+  auto it = configs_.find(table);
+  if (it == configs_.end()) {
+    return Status::Ok();  // Unconfigured: static tablet roles decide.
+  }
+  const TableConfig& installed = it->second;
+  if (installed.config.primary != name_) {
+    return Status(StatusCode::kNotPrimary,
+                  "node " + name_ + " is not the primary in epoch " +
+                      std::to_string(installed.config.epoch));
+  }
+  if (installed.lease_expiry_us != 0 &&
+      clock_->NowMicros() >= installed.lease_expiry_us) {
+    // The coordinator may already have promoted someone else; refusing here
+    // is what makes that promotion safe (self-fencing).
+    return Status(StatusCode::kNotPrimary,
+                  "node " + name_ + " holds an expired lease in epoch " +
+                      std::to_string(installed.config.epoch));
+  }
+  return Status::Ok();
+}
+
+void StorageNode::StampConfigLocked(std::string_view table,
+                                    proto::Message& reply) const {
+  auto it = configs_.find(table);
+  if (it == configs_.end()) {
+    return;
+  }
+  const reconfig::ConfigEpoch& config = it->second.config;
+  std::visit(
+      [&config](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::ErrorReply>) {
+          // Only a kNotPrimary rejection carries the redirect hint; other
+          // errors say nothing about placement.
+          if (m.code == StatusCode::kNotPrimary) {
+            m.config_epoch = config.epoch;
+            m.primary_hint = config.primary;
+          }
+        } else if constexpr (requires { m.config_epoch; }) {
+          m.config_epoch = config.epoch;
+          m.primary_hint = config.primary;
+        }
+      },
+      reply);
+}
+
+proto::Message StorageNode::HandleConfigLocked(
+    const proto::ConfigRequest& request) {
+  proto::ConfigReply reply;
+  if (request.install) {
+    const MicrosecondCount expiry =
+        request.lease_duration_us == 0 ||
+                request.config.primary != name_
+            ? 0
+            : clock_->NowMicros() + request.lease_duration_us;
+    reply.accepted = InstallConfigLocked(request.config, request.table, expiry);
+  } else {
+    reply.accepted = true;  // A query always succeeds.
+  }
+  if (auto it = configs_.find(request.table); it != configs_.end()) {
+    reply.config = it->second.config;
+  }
+  // Durable tail: the newest update timestamp across the table's tablets
+  // (writes are journaled before they are acknowledged, so the in-memory
+  // log tail is also the durable tail). Drives the promotion choice.
+  reply.high_timestamp = Timestamp::Max();
+  bool any = false;
+  if (auto it = tablets_.find(request.table); it != tablets_.end()) {
+    for (const auto& tablet : it->second) {
+      any = true;
+      reply.durable_timestamp = MaxTimestamp(
+          reply.durable_timestamp, tablet->update_log().LastTimestamp());
+      reply.high_timestamp =
+          std::min(reply.high_timestamp, tablet->high_timestamp());
+    }
+  }
+  if (!any) {
+    reply.high_timestamp = Timestamp::Zero();
+  }
+  return reply;
 }
 
 Tablet* StorageNode::FindTablet(std::string_view table, std::string_view key) {
@@ -158,6 +316,7 @@ void StorageNode::EnableTelemetry(telemetry::MetricsRegistry* registry) {
   instruments_.commits = counter("pileus_storage_commits_total");
   instruments_.other = counter("pileus_storage_other_requests_total");
   instruments_.errors = counter("pileus_storage_errors_total");
+  instruments_.not_primary = counter("pileus_storage_not_primary_total");
   instruments_.high_timestamp_us = registry->GetGauge(
       telemetry::WithLabels("pileus_storage_high_timestamp_us",
                             {{"node", name_}}));
@@ -194,8 +353,13 @@ void StorageNode::CountRequestLocked(const proto::Message& request,
   } else {
     instruments_.other->Increment();
   }
-  if (std::holds_alternative<proto::ErrorReply>(reply)) {
+  if (const auto* err = std::get_if<proto::ErrorReply>(&reply)) {
     instruments_.errors->Increment();
+    if (err->code == StatusCode::kNotPrimary) {
+      // Broken out separately: during a failover these are redirects, not
+      // failures, and the two must be distinguishable on a dashboard.
+      instruments_.not_primary->Increment();
+    }
   }
   if (!write_path) {
     return;
@@ -221,6 +385,9 @@ proto::Message StorageNode::Handle(const proto::Message& request) {
   std::lock_guard<std::mutex> lock(mu_);
   ++requests_served_;
   proto::Message reply = HandleLocked(request);
+  // Piggyback the installed config on everything we send back (Section 6.2):
+  // clients learn about a reconfiguration from ordinary traffic.
+  StampConfigLocked(TableOf(request), reply);
   CountRequestLocked(request, reply);
   return reply;
 }
@@ -240,6 +407,9 @@ proto::Message StorageNode::HandleLocked(const proto::Message& request) {
       return MakeError(StatusCode::kWrongNode,
                        "node " + name_ + " has no tablet for key");
     }
+    if (Status writable = CheckWritableLocked(put->table); !writable.ok()) {
+      return MakeError(writable);
+    }
     Result<proto::PutReply> reply = tablet->HandlePut(put->key, put->value);
     if (!reply.ok()) {
       return MakeError(reply.status());
@@ -251,6 +421,9 @@ proto::Message StorageNode::HandleLocked(const proto::Message& request) {
     if (tablet == nullptr) {
       return MakeError(StatusCode::kWrongNode,
                        "node " + name_ + " has no tablet for key");
+    }
+    if (Status writable = CheckWritableLocked(del->table); !writable.ok()) {
+      return MakeError(writable);
     }
     Result<proto::PutReply> reply = tablet->HandleDelete(del->key);
     if (!reply.ok()) {
@@ -340,11 +513,17 @@ proto::Message StorageNode::HandleLocked(const proto::Message& request) {
     }
     return tablet->HandleGetAt(get_at->key, get_at->snapshot);
   }
+  if (const auto* config = std::get_if<proto::ConfigRequest>(&request)) {
+    return HandleConfigLocked(*config);
+  }
   if (const auto* commit = std::get_if<proto::CommitRequest>(&request)) {
     if (commit->writes.empty()) {
       proto::CommitReply reply;
       reply.committed = true;
       return reply;  // Read-only transactions commit trivially.
+    }
+    if (Status writable = CheckWritableLocked(commit->table); !writable.ok()) {
+      return MakeError(writable);
     }
     // All writes must land in one tablet for atomic commit; multi-tablet
     // transactions are out of scope (as in the paper's prototype).

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/proto/messages.h"
+#include "src/reconfig/config_epoch.h"
 #include "src/storage/tablet.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/key_range.h"
@@ -41,6 +43,20 @@ class StorageNode {
   // reconfiguration and Section 6.4 sync replicas).
   void SetPrimaryForTable(std::string_view table, bool is_primary);
   void SetSyncReplicaForTable(std::string_view table, bool is_sync);
+
+  // Installs `config` for its table (normally done via a ConfigRequest; this
+  // entry point serves recovery, which replays WAL config records before the
+  // transport exists). Stale epochs are ignored. A `lease_expiry_us` of 0
+  // means the primary role never self-fences; recovery passes an expiry in
+  // the past so a restarted ex-primary stays fenced until re-leased.
+  void InstallConfig(const reconfig::ConfigEpoch& config,
+                     std::string_view table,
+                     MicrosecondCount lease_expiry_us = 0);
+
+  // The installed config for `table` (nullopt when unconfigured). Epoch 0
+  // never occurs here: installs of epoch-0 configs are rejected.
+  std::optional<reconfig::ConfigEpoch> InstalledConfig(
+      std::string_view table) const;
 
   // Generic dispatch: takes any request message, returns the matching reply
   // (or ErrorReply). This is what transports invoke.
@@ -84,7 +100,31 @@ class StorageNode {
   void EnableTelemetry(telemetry::MetricsRegistry* registry);
 
  private:
+  struct TableConfig {
+    reconfig::ConfigEpoch config;
+    // Virtual-clock instant past which this node, when it is the config's
+    // primary, stops accepting writes (lease fencing, Section 6.2).
+    // 0 = no lease.
+    MicrosecondCount lease_expiry_us = 0;
+  };
+
   proto::Message HandleLocked(const proto::Message& request);
+  proto::Message HandleConfigLocked(const proto::ConfigRequest& request);
+  // Applies tablet roles implied by `config` (primary iff named primary,
+  // sync replica iff listed and not primary). Called when an install raises
+  // the epoch.
+  void ApplyConfigRolesLocked(const reconfig::ConfigEpoch& config,
+                              std::string_view table);
+  bool InstallConfigLocked(const reconfig::ConfigEpoch& config,
+                           std::string_view table,
+                           MicrosecondCount lease_expiry_us);
+  // Non-ok when a write for `table` must be rejected: this node is not the
+  // installed config's primary, or its lease has expired (fenced). Both map
+  // to kNotPrimary so clients redirect instead of giving up.
+  Status CheckWritableLocked(std::string_view table) const;
+  // Stamps the reply's config_epoch/primary_hint fields (data-path replies
+  // and errors) from the table's installed config; no-op when unconfigured.
+  void StampConfigLocked(std::string_view table, proto::Message& reply) const;
   // Counts `request`/`reply` into the telemetry counters; no-op when
   // EnableTelemetry was never called. Called with mu_ held.
   void CountRequestLocked(const proto::Message& request,
@@ -101,6 +141,7 @@ class StorageNode {
     telemetry::Counter* commits = nullptr;
     telemetry::Counter* other = nullptr;
     telemetry::Counter* errors = nullptr;
+    telemetry::Counter* not_primary = nullptr;
     telemetry::Gauge* high_timestamp_us = nullptr;
     telemetry::Gauge* log_size = nullptr;
   };
@@ -112,6 +153,8 @@ class StorageNode {
   // table name -> tablets sorted by range begin.
   std::map<std::string, std::vector<std::unique_ptr<Tablet>>, std::less<>>
       tablets_;
+  // table name -> installed configuration (absent until the first install).
+  std::map<std::string, TableConfig, std::less<>> configs_;
   uint64_t requests_served_ = 0;
   Instruments instruments_;
 };

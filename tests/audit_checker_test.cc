@@ -462,7 +462,8 @@ TEST(AuditCheckerTest, StaleRangeScanUnderReadMyWritesFlagged) {
 
 TEST(AuditCheckerTest, FreshRangeScanPasses) {
   History h;
-  h.ground_truth = {V("a", "v1", 2000), V("b", "w1", 1000)};
+  // Ground truth is a commit log: ascending timestamp order, not key order.
+  h.ground_truth = {V("b", "w1", 1000), V("a", "v1", 2000)};
   OpRecord range;
   range.op = AuditOp::kRange;
   range.session_id = 1;

@@ -84,6 +84,27 @@ TEST(AuditScenarioTest, CrashRestartRecoversFromWalAndStaysClean) {
   EXPECT_GT(result.report.writes_checked, 50u) << result.Summary();
 }
 
+TEST(AuditScenarioTest, FailoverSweepPromotesAndStaysClean) {
+  for (const uint64_t seed : {3u, 11u}) {
+    ScenarioOptions options;
+    options.seed = seed;
+    options.scenario = FaultScenario::kFailover;
+    options.total_ops = 400;
+    options.key_count = 50;
+    options.durable_root = MakeTempDir();
+    const ScenarioResult result = RunAuditScenario(options);
+    EXPECT_TRUE(result.ok())
+        << result.Summary() << "\n" << result.report.ToString();
+    // The schedule crashes the primary mid-run, so the lease-based
+    // coordinator must have promoted at least once...
+    EXPECT_GE(result.failovers, 1u) << result.Summary();
+    // ...and the audited history (including the commit-order continuity
+    // check across the epochs) must stay spotless.
+    EXPECT_GT(result.report.reads_checked, 50u) << result.Summary();
+    EXPECT_GT(result.report.writes_checked, 50u) << result.Summary();
+  }
+}
+
 TEST(AuditScenarioTest, SameSeedIsReproducible) {
   ScenarioOptions options;
   options.seed = 9;

@@ -443,6 +443,136 @@ TEST(GeoTestbedTest, PrimaryFailureKillsPutsButNotWeakReads) {
   EXPECT_TRUE(result->found);
 }
 
+// --- Live reconfiguration (Section 6.2) ---
+
+TEST(GeoTestbedTest, TriggerFailoverMovesRoleAndRedirectsClients) {
+  GeoTestbedOptions options = FastGeoOptions();
+  options.sync_replica_count = 2;  // US holds the complete prefix: lossless.
+  GeoTestbed testbed(options);
+  PreloadKeys(testbed, 10);
+  testbed.StartReplication();
+  testbed.StartReconfiguration();
+  EXPECT_EQ(testbed.current_config().epoch, 1u);
+  EXPECT_EQ(testbed.current_config().primary, kEngland);
+
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  core::Session session =
+      client->client().BeginSession(core::ShoppingCartSla()).value();
+  ASSERT_TRUE(client->client().Put(session, "before", "v1").ok());
+
+  ASSERT_TRUE(testbed.TriggerFailover(kUs).ok());
+  EXPECT_EQ(testbed.primary_site(), kUs);
+  EXPECT_EQ(testbed.current_config().epoch, 2u);
+  EXPECT_EQ(testbed.failovers(), 1u);
+  EXPECT_TRUE(testbed.node(kUs)->FindTablet(kTableName, "")->is_primary());
+  EXPECT_FALSE(
+      testbed.node(kEngland)->FindTablet(kTableName, "")->is_primary());
+
+  // A write routed at the demoted primary bounces with the redirect payload.
+  proto::PutRequest put;
+  put.table = kTableName;
+  put.key = "direct";
+  put.value = "v";
+  proto::Message bounced = testbed.node(kEngland)->Handle(put);
+  const auto* err = std::get_if<proto::ErrorReply>(&bounced);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, StatusCode::kNotPrimary);
+  EXPECT_EQ(err->config_epoch, 2u);
+  EXPECT_EQ(err->primary_hint, kUs);
+
+  // The epoch-1 client redirects its next Put transparently and keeps its
+  // session guarantees across the epochs.
+  ASSERT_TRUE(client->client().Put(session, "after", "v2").ok());
+  Result<core::GetResult> new_write = client->client().Get(session, "after");
+  ASSERT_TRUE(new_write.ok());
+  EXPECT_EQ(new_write->value, "v2");
+  Result<core::GetResult> old_write = client->client().Get(session, "before");
+  ASSERT_TRUE(old_write.ok());
+  EXPECT_EQ(old_write->value, "v1");  // Read-my-writes spans the failover.
+}
+
+TEST(GeoTestbedTest, AutoFailoverPromotesSyncMemberOnPrimaryCrash) {
+  GeoTestbedOptions options = FastGeoOptions();
+  options.sync_replica_count = 2;  // England primary + US sync.
+  options.enable_failover = true;
+  GeoTestbed testbed(options);
+  PreloadKeys(testbed, 50);
+  testbed.StartReplication();
+  testbed.StartReconfiguration();
+
+  auto client = testbed.MakeClient(kUs, core::PileusClient::Options{});
+  core::Session session =
+      client->client().BeginSession(core::ShoppingCartSla()).value();
+  ASSERT_TRUE(client->client().Put(session, "acked", "v").ok());
+
+  testbed.CrashNode(kEngland);
+  // Detection needs missed_heartbeats_to_fail (3) periods of 500 ms; give
+  // the coordinator a few extra rounds.
+  testbed.env().RunFor(SecondsToMicroseconds(5));
+
+  EXPECT_GE(testbed.failovers(), 1u);
+  EXPECT_GE(testbed.current_config().epoch, 2u);
+  // The sync member holds the highest durable timestamp, so it wins.
+  EXPECT_EQ(testbed.primary_site(), kUs);
+  // No acked write lost: the promoted primary serves it...
+  EXPECT_TRUE(testbed.primary_node()
+                  ->FindTablet(kTableName, "")
+                  ->HandleGet("acked")
+                  .found);
+  // ...and accepts new writes in the new epoch.
+  proto::PutRequest put;
+  put.table = kTableName;
+  put.key = "post-failover";
+  put.value = "v";
+  EXPECT_TRUE(std::holds_alternative<proto::PutReply>(
+      testbed.primary_node()->Handle(put)));
+}
+
+TEST(GeoTestbedTest, RestartedExPrimaryRejoinsFencedAsSecondary) {
+  GeoTestbedOptions options = FastGeoOptions();
+  options.sync_replica_count = 2;
+  options.enable_failover = true;
+  GeoTestbed testbed(options);
+  PreloadKeys(testbed, 10);
+  testbed.StartReplication();
+  testbed.StartReconfiguration();
+
+  testbed.CrashNode(kEngland);
+  testbed.env().RunFor(SecondsToMicroseconds(5));
+  ASSERT_GE(testbed.failovers(), 1u);
+  const uint64_t epoch = testbed.current_config().epoch;
+
+  ASSERT_TRUE(testbed.RestartNode(kEngland).ok());
+  // The restarted ex-primary rejoins under the current epoch, demoted.
+  auto installed = testbed.node(kEngland)->InstalledConfig(kTableName);
+  ASSERT_TRUE(installed.has_value());
+  EXPECT_EQ(installed->epoch, epoch);
+  EXPECT_NE(installed->primary, kEngland);
+
+  proto::PutRequest put;
+  put.table = kTableName;
+  put.key = "stale-route";
+  put.value = "v";
+  proto::Message reply = testbed.node(kEngland)->Handle(put);
+  const auto* err = std::get_if<proto::ErrorReply>(&reply);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, StatusCode::kNotPrimary);
+  EXPECT_EQ(err->primary_hint, testbed.primary_site());
+
+  // As a plain secondary it catches up via replication.
+  proto::PutRequest fresh;
+  fresh.table = kTableName;
+  fresh.key = "fresh";
+  fresh.value = "v";
+  ASSERT_TRUE(std::holds_alternative<proto::PutReply>(
+      testbed.primary_node()->Handle(fresh)));
+  testbed.env().RunFor(SecondsToMicroseconds(25));
+  EXPECT_TRUE(testbed.node(kEngland)
+                  ->FindTablet(kTableName, "")
+                  ->HandleGet("fresh")
+                  .found);
+}
+
 TEST(GeoTestbedTest, RunsAreDeterministic) {
   auto run = [] {
     ComparisonOptions options;

@@ -189,9 +189,75 @@ TEST(MessagesTest, ErrorReplyRoundTrip) {
   ErrorReply err;
   err.code = StatusCode::kNotPrimary;
   err.message = "try the primary";
+  err.config_epoch = 7;
+  err.primary_hint = "US";
   const ErrorReply out = RoundTrip(err);
   EXPECT_EQ(out.code, StatusCode::kNotPrimary);
   EXPECT_EQ(out.message, "try the primary");
+  EXPECT_EQ(out.config_epoch, 7u);
+  EXPECT_EQ(out.primary_hint, "US");
+}
+
+TEST(MessagesTest, ConfigPiggybackRoundTrips) {
+  // Every reply that can carry the Section 6.2 piggyback preserves it.
+  GetReply get;
+  get.config_epoch = 3;
+  get.primary_hint = "India";
+  EXPECT_EQ(RoundTrip(get).config_epoch, 3u);
+  EXPECT_EQ(RoundTrip(get).primary_hint, "India");
+
+  PutReply put;
+  put.config_epoch = 4;
+  put.primary_hint = "US";
+  EXPECT_EQ(RoundTrip(put).config_epoch, 4u);
+  EXPECT_EQ(RoundTrip(put).primary_hint, "US");
+
+  ProbeReply probe;
+  probe.config_epoch = 5;
+  probe.primary_hint = "England";
+  EXPECT_EQ(RoundTrip(probe).config_epoch, 5u);
+  EXPECT_EQ(RoundTrip(probe).primary_hint, "England");
+
+  SyncReply sync;
+  sync.config_epoch = 6;
+  sync.primary_hint = "US";
+  EXPECT_EQ(RoundTrip(sync).config_epoch, 6u);
+  EXPECT_EQ(RoundTrip(sync).primary_hint, "US");
+
+  RangeReply range;
+  range.config_epoch = 7;
+  range.primary_hint = "India";
+  EXPECT_EQ(RoundTrip(range).config_epoch, 7u);
+  EXPECT_EQ(RoundTrip(range).primary_hint, "India");
+}
+
+TEST(MessagesTest, ConfigRequestReplyRoundTrip) {
+  ConfigRequest req;
+  req.table = "ycsb";
+  req.install = true;
+  req.config.epoch = 9;
+  req.config.primary = "US";
+  req.config.members = {"England", "US", "India"};
+  req.config.sync_members = {"India"};
+  req.lease_duration_us = 1500000;
+  const ConfigRequest out_req = RoundTrip(req);
+  EXPECT_EQ(out_req.table, "ycsb");
+  EXPECT_TRUE(out_req.install);
+  EXPECT_EQ(out_req.config, req.config);
+  EXPECT_EQ(out_req.lease_duration_us, 1500000);
+
+  ConfigReply reply;
+  reply.accepted = true;
+  reply.config = req.config;
+  reply.durable_timestamp = Timestamp{880, 2};
+  reply.high_timestamp = Timestamp{900, 0};
+  const ConfigReply out = RoundTrip(reply);
+  EXPECT_TRUE(out.accepted);
+  EXPECT_EQ(out.config, reply.config);
+  EXPECT_EQ(out.durable_timestamp, reply.durable_timestamp);
+  EXPECT_EQ(out.high_timestamp, reply.high_timestamp);
+  EXPECT_EQ(TypeOf(Message(req)), MessageType::kConfigRequest);
+  EXPECT_EQ(MessageTypeName(MessageType::kConfigReply), "ConfigReply");
 }
 
 TEST(MessagesTest, TypeOfMatchesAlternative) {

@@ -135,6 +135,57 @@ TEST_F(PersistTest, AppendReplayRoundTrip) {
   EXPECT_EQ(heartbeats[0], (Timestamp{5000, 0}));
 }
 
+TEST_F(PersistTest, ConfigRecordsReplayInLogOrder) {
+  reconfig::ConfigEpoch first;
+  first.epoch = 1;
+  first.primary = "England";
+  first.members = {"England", "US", "India"};
+  first.sync_members = {"US"};
+  reconfig::ConfigEpoch second = first;
+  second.epoch = 2;
+  second.primary = "US";
+  second.sync_members = {"India"};
+  {
+    auto wal = WriteAheadLog::Open(WalPath());
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->AppendConfig(first).ok());
+    ASSERT_TRUE(wal->AppendVersion(V("k", "v", 100)).ok());
+    ASSERT_TRUE(wal->AppendConfig(second).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+
+  std::vector<reconfig::ConfigEpoch> configs;
+  uint64_t versions = 0;
+  auto stats = WriteAheadLog::Replay(
+      WalPath(), [&](const proto::ObjectVersion&) { ++versions; }, nullptr,
+      [&](const reconfig::ConfigEpoch& config) { configs.push_back(config); });
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->configs, 2u);
+  EXPECT_EQ(versions, 1u);
+  ASSERT_EQ(configs.size(), 2u);
+  // A restarted node adopts the *last* journaled config; log order matters.
+  EXPECT_EQ(configs[0], first);
+  EXPECT_EQ(configs[1], second);
+}
+
+TEST_F(PersistTest, ConfigRecordsInvisibleToVersionReaders) {
+  {
+    auto wal = WriteAheadLog::Open(WalPath());
+    ASSERT_TRUE(wal.ok());
+    reconfig::ConfigEpoch config;
+    config.epoch = 5;
+    config.primary = "US";
+    config.members = {"US"};
+    ASSERT_TRUE(wal->AppendConfig(config).ok());
+    ASSERT_TRUE(wal->AppendVersion(V("k", "v", 100)).ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  auto versions = WriteAheadLog::ReadVersions(WalPath());
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions->size(), 1u);
+  EXPECT_EQ((*versions)[0].key, "k");
+}
+
 TEST_F(PersistTest, ReopenAppends) {
   {
     auto wal = WriteAheadLog::Open(WalPath());

@@ -121,6 +121,95 @@ INSTANTIATE_TEST_SUITE_P(
                  : std::string(core::ConsistencyName(param_info.param));
     });
 
+// Session guarantees across configuration epochs (Section 6.2): the primary
+// crashes mid-workload, the lease-based coordinator promotes the sync
+// member, and every claim the client made - before, during, and after the
+// epoch change - must still verify against the recomputed floors and the
+// *new* primary's commit order. Writes are allowed to fail inside the
+// unavailability window; everything that was acked must survive.
+TEST(FailoverProperty, SessionGuaranteesHoldAcrossEpochs) {
+  GeoTestbedOptions options =
+      pileus::testbed::FastGeoOptions(321, SecondsToMicroseconds(20));
+  options.sync_replica_count = 2;  // England primary + US sync member.
+  options.enable_failover = true;
+  GeoTestbed testbed(options);
+  testbed.StartReconfiguration();
+
+  audit::HistoryRecorder recorder;
+  core::PileusClient::Options client_options;
+  client_options.op_observer = &recorder;
+  // Tight write deadlines with retries: failed attempts burn virtual time,
+  // which is exactly when the coordinator's heartbeats detect the crash.
+  client_options.put_timeout_us = SecondsToMicroseconds(1);
+  client_options.put_max_attempts = 5;
+  client_options.monitor.probe_interval_us = SecondsToMicroseconds(1);
+  auto client = testbed.MakeClient(kUs, client_options);
+
+  // Preload through the client, not PreloadKeys: the sync fan-out is what
+  // lands the baseline on the sync member, and the promoted primary's log
+  // must contain these versions for the post-failover ground truth.
+  {
+    core::Session preload =
+        client->client().BeginSession(core::ShoppingCartSla()).value();
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(client->client()
+                      .Put(preload, workload::YcsbWorkload::KeyForIndex(i),
+                           "preload")
+                      .ok());
+    }
+  }
+  testbed.StartReplication();
+  client->StartProbing();
+
+  workload::WorkloadOptions workload_options;
+  workload_options.key_count = 200;
+  workload_options.ops_per_session = 80;
+  workload_options.seed = 29;
+  workload::YcsbWorkload workload(workload_options);
+
+  const core::Sla sla = core::ShoppingCartSla();  // Read-my-writes first.
+  std::optional<core::Session> session;
+  int failed_writes = 0;
+  for (int op_index = 0; op_index < 2000; ++op_index) {
+    if (op_index == 700) {
+      testbed.CrashNode(testbed.primary_site());
+    }
+    const workload::Operation op = workload.Next();
+    if (op.starts_new_session || !session.has_value()) {
+      session.emplace(std::move(client->client().BeginSession(sla)).value());
+    }
+    if (op.is_get) {
+      Result<core::GetResult> result = client->client().Get(*session, op.key);
+      ASSERT_TRUE(result.ok()) << op_index << ": " << result.status();
+    } else if (!client->client().Put(*session, op.key, op.value).ok()) {
+      ++failed_writes;  // Tolerated only inside the unavailability window.
+    }
+    testbed.env().RunFor(MillisecondsToMicroseconds(5));
+  }
+
+  // The coordinator must have promoted the sync member.
+  EXPECT_GE(testbed.failovers(), 1u);
+  EXPECT_GE(testbed.current_config().epoch, 2u);
+  EXPECT_NE(testbed.primary_site(), kEngland);
+  // The window is bounded: a handful of Puts at most, not the whole tail.
+  EXPECT_LT(failed_writes, 20);
+
+  // Ground truth comes from the *promoted* primary: its log must contain
+  // every acked write of both epochs, in a continuous commit order.
+  bool contiguous = true;
+  recorder.SetGroundTruth(
+      testbed.primary_node()->ExportTableLog(kTableName, &contiguous),
+      contiguous);
+  ASSERT_TRUE(contiguous);
+
+  const audit::AuditReport report =
+      audit::ConsistencyChecker().Check(recorder.Snapshot());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.reads_checked, 500u);
+  EXPECT_GT(report.writes_checked, 500u);
+  EXPECT_GT(report.claims_checked, 500u);
+}
+
 // The prefix-consistency property (Section 4.2): any node's store is always
 // a prefix of the primary's update sequence. Checked by sampling secondaries
 // mid-replication.

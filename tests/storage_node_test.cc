@@ -91,6 +91,121 @@ TEST_F(StorageNodeTest, MultipleTabletsRouteByRange) {
   EXPECT_EQ(node.TabletsForTable("t").size(), 4u);
 }
 
+// --- Configuration epochs (Section 6.2) ---
+
+reconfig::ConfigEpoch EpochWithPrimary(uint64_t epoch,
+                                       const std::string& primary) {
+  reconfig::ConfigEpoch config;
+  config.epoch = epoch;
+  config.primary = primary;
+  config.members = {"node-1", "node-2"};
+  return config;
+}
+
+TEST_F(StorageNodeTest, InstallConfigAdoptsAndStampsReplies) {
+  proto::ConfigRequest install;
+  install.table = "t";
+  install.install = true;
+  install.config = EpochWithPrimary(1, "node-1");
+  proto::Message reply = node_.Handle(install);
+  const auto* config_reply = std::get_if<proto::ConfigReply>(&reply);
+  ASSERT_NE(config_reply, nullptr);
+  EXPECT_TRUE(config_reply->accepted);
+  ASSERT_TRUE(node_.InstalledConfig("t").has_value());
+  EXPECT_EQ(node_.InstalledConfig("t")->epoch, 1u);
+
+  // Every data reply now carries the epoch piggyback.
+  proto::PutRequest put;
+  put.table = "t";
+  put.key = "k";
+  put.value = "v";
+  proto::Message put_msg = node_.Handle(put);
+  const auto* put_reply = std::get_if<proto::PutReply>(&put_msg);
+  ASSERT_NE(put_reply, nullptr);
+  EXPECT_EQ(put_reply->config_epoch, 1u);
+  EXPECT_EQ(put_reply->primary_hint, "node-1");
+}
+
+TEST_F(StorageNodeTest, StaleEpochInstallRejected) {
+  node_.InstallConfig(EpochWithPrimary(3, "node-1"), "t");
+
+  proto::ConfigRequest stale;
+  stale.table = "t";
+  stale.install = true;
+  stale.config = EpochWithPrimary(2, "node-2");
+  proto::Message reply = node_.Handle(stale);
+  const auto* config_reply = std::get_if<proto::ConfigReply>(&reply);
+  ASSERT_NE(config_reply, nullptr);
+  EXPECT_FALSE(config_reply->accepted);
+  EXPECT_EQ(config_reply->config.epoch, 3u);
+  EXPECT_EQ(node_.InstalledConfig("t")->primary, "node-1");
+}
+
+TEST_F(StorageNodeTest, NonPrimaryEpochRejectsPutsWithHint) {
+  node_.InstallConfig(EpochWithPrimary(2, "node-2"), "t");
+
+  proto::PutRequest put;
+  put.table = "t";
+  put.key = "k";
+  put.value = "v";
+  proto::Message reply = node_.Handle(put);
+  const auto* err = std::get_if<proto::ErrorReply>(&reply);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, StatusCode::kNotPrimary);
+  // The redirect payload: enough for the client to retry at the primary.
+  EXPECT_EQ(err->config_epoch, 2u);
+  EXPECT_EQ(err->primary_hint, "node-2");
+}
+
+TEST_F(StorageNodeTest, ExpiredLeaseFencesThenRenewalUnfences) {
+  proto::ConfigRequest install;
+  install.table = "t";
+  install.install = true;
+  install.config = EpochWithPrimary(1, "node-1");
+  install.lease_duration_us = 1000;
+  proto::Message installed = node_.Handle(install);
+  ASSERT_TRUE(std::get_if<proto::ConfigReply>(&installed)->accepted);
+
+  proto::PutRequest put;
+  put.table = "t";
+  put.key = "k";
+  put.value = "v";
+  EXPECT_TRUE(std::holds_alternative<proto::PutReply>(node_.Handle(put)));
+
+  // Past the lease the node self-fences even though it still holds the role.
+  clock_.AdvanceMicros(2000);
+  proto::Message fenced = node_.Handle(put);
+  const auto* err = std::get_if<proto::ErrorReply>(&fenced);
+  ASSERT_NE(err, nullptr);
+  EXPECT_EQ(err->code, StatusCode::kNotPrimary);
+
+  // A same-epoch re-install is a lease renewal: writable again, roles
+  // untouched.
+  proto::Message renewed = node_.Handle(install);
+  ASSERT_TRUE(std::get_if<proto::ConfigReply>(&renewed)->accepted);
+  EXPECT_TRUE(std::holds_alternative<proto::PutReply>(node_.Handle(put)));
+  EXPECT_EQ(node_.InstalledConfig("t")->epoch, 1u);
+}
+
+TEST_F(StorageNodeTest, ConfigQueryReportsDurableTimestamp) {
+  proto::PutRequest put;
+  put.table = "t";
+  put.key = "k";
+  put.value = "v";
+  proto::Message put_msg = node_.Handle(put);
+  const auto* put_reply = std::get_if<proto::PutReply>(&put_msg);
+  ASSERT_NE(put_reply, nullptr);
+
+  proto::ConfigRequest query;
+  query.table = "t";
+  proto::Message reply = node_.Handle(query);
+  const auto* config_reply = std::get_if<proto::ConfigReply>(&reply);
+  ASSERT_NE(config_reply, nullptr);
+  EXPECT_TRUE(config_reply->accepted);
+  EXPECT_EQ(config_reply->config.epoch, 0u);  // Never installed one.
+  EXPECT_EQ(config_reply->durable_timestamp, put_reply->timestamp);
+}
+
 TEST_F(StorageNodeTest, OverlappingTabletRejected) {
   Tablet::Options options;
   options.range = KeyRange{"a", "z"};
