@@ -1,0 +1,402 @@
+// Overload control: admission, utility-weighted shedding, graceful
+// degradation (DESIGN.md Section 11).
+//
+// Every storage node runs per-tenant admission at a deliberately small
+// capacity, and offered load ramps from half the aggregate capacity to 3x
+// past it. The measured Pileus client runs closed-loop on top; the excess
+// offered load is synthetic same-tenant traffic injected straight into the
+// nodes' Handle path (other frontends of the same application hammering the
+// same table), so the measured client's bucket genuinely saturates while
+// its own arrival rate stays bounded.
+//
+// What the ramp should show:
+//   - goodput (admitted ops/s across all nodes) grows with offered load
+//     until capacity, then PLATEAUS instead of collapsing: shed requests
+//     are rejected in O(1) with a retry_after hint rather than queued to
+//     death, so admitted work keeps flowing at the bucket rate;
+//   - the shed rate absorbs the overhang (offered - capacity);
+//   - admitted operations keep a bounded p99: the virtual queue is capped,
+//     so queue delay tops out at max_queue/rate instead of growing without
+//     bound;
+//   - the client degrades instead of erroring: lower subSLA ranks, retry
+//     budget capping its own retry storm, jittered backoff honoring the
+//     server's retry_after hints.
+//
+// Self-checks (the PR's acceptance criteria, enforced in CI's smoke run;
+// the process exits non-zero when any fails):
+//   1. goodput at >= 2x capacity stays within 20% of the peak goodput,
+//   2. p99 latency of admitted (successful) client ops stays bounded,
+//   3. zero acked writes are lost (every acked Put is in the primary's
+//      committed history),
+//   4. zero consistency violations: the full client history is audited
+//      offline, so every degraded read's claimed (downgraded) guarantee is
+//      verified like any other claim.
+//
+// PILEUS_BENCH_SMOKE=1 shrinks the per-step duration so CI can run the
+// bench end to end; the self-checks hold in both modes.
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/audit/checker.h"
+#include "src/audit/history.h"
+#include "src/core/sla.h"
+#include "src/experiments/geo_testbed.h"
+#include "src/experiments/runner.h"
+#include "src/experiments/tables.h"
+#include "src/proto/messages.h"
+#include "src/storage/admission.h"
+#include "src/storage/storage_node.h"
+#include "src/workload/ycsb.h"
+
+using namespace pileus;               // NOLINT
+using namespace pileus::experiments;  // NOLINT
+
+namespace {
+
+bool SmokeMode() {
+  const char* value = std::getenv("PILEUS_BENCH_SMOKE");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+// Per-node admitted-op rate. Small on purpose: overload must be reachable
+// within seconds of virtual time.
+constexpr double kNodeOpsPerSec = 50.0;
+constexpr int kKeyCount = 200;
+
+// The ramp, as multiples of aggregate capacity (3 storage nodes).
+constexpr double kLoadMultipliers[] = {0.5, 1.0, 1.5, 2.0, 3.0};
+
+MicrosecondCount StepDuration() {
+  return SecondsToMicroseconds(SmokeMode() ? 8 : 30);
+}
+
+// Three ranks so utility-weighted shedding has a gradient to work with:
+// strong reads are protected longest, the eventual tail sheds first.
+core::Sla BenchSla() {
+  return core::Sla()
+      .Add(core::Guarantee::Strong(), MillisecondsToMicroseconds(250), 1.0)
+      .Add(core::Guarantee::ReadMyWrites(), MillisecondsToMicroseconds(300),
+           0.5)
+      .Add(core::Guarantee::Eventual(), SecondsToMicroseconds(2), 0.05);
+}
+
+struct StepStats {
+  double offered_per_sec = 0;
+  double admitted_per_sec = 0;  // Goodput: admitted ops across all nodes.
+  double shed_per_sec = 0;
+  uint64_t client_ops = 0;
+  uint64_t client_ok = 0;
+  uint64_t client_failed = 0;
+  MicrosecondCount ok_p99_us = 0;  // p99 latency of successful client ops.
+  double avg_utility = 0;          // Delivered utility of successful Gets.
+};
+
+uint64_t AdmittedTotal(GeoTestbed& testbed) {
+  uint64_t total = 0;
+  for (const char* site : {kUs, kEngland, kIndia}) {
+    storage::StorageNode* node = testbed.node(site);
+    if (node != nullptr && node->admission() != nullptr) {
+      total += node->admission()->counters().admitted;
+    }
+  }
+  return total;
+}
+
+uint64_t ShedTotal(GeoTestbed& testbed) {
+  uint64_t total = 0;
+  for (const char* site : {kUs, kEngland, kIndia}) {
+    storage::StorageNode* node = testbed.node(site);
+    if (node != nullptr && node->admission() != nullptr) {
+      const storage::AdmissionController::Counters counters =
+          node->admission()->counters();
+      total += counters.shed_total() + counters.deadline_rejected;
+    }
+  }
+  return total;
+}
+
+MicrosecondCount Percentile99(std::vector<MicrosecondCount>* latencies) {
+  if (latencies->empty()) {
+    return 0;
+  }
+  std::sort(latencies->begin(), latencies->end());
+  const size_t index =
+      std::min(latencies->size() - 1,
+               static_cast<size_t>(0.99 * static_cast<double>(
+                                              latencies->size())));
+  return (*latencies)[index];
+}
+
+std::string FormatRate(double per_sec) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.0f/s", per_sec);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Overload control: admission, shedding, degradation "
+              "(DESIGN.md Section 11) ===\n\n");
+
+  GeoTestbedOptions testbed_options;
+  testbed_options.seed = 81;
+  testbed_options.replication_period_us = SecondsToMicroseconds(10);
+  storage::AdmissionOptions admission;
+  admission.tenant_ops_per_sec = kNodeOpsPerSec;
+  admission.tenant_burst_ops = 16;
+  admission.tenant_max_queue_ops = 32;
+  testbed_options.admission = admission;
+  GeoTestbed testbed(testbed_options);
+  testbed.StartReplication();
+
+  audit::HistoryRecorder recorder;
+  core::PileusClient::Options client_options;
+  client_options.seed = 81;
+  client_options.op_observer = &recorder;
+  client_options.monitor.latency_window.window_us = SecondsToMicroseconds(20);
+  // Backoff waits happen in virtual time, so retry_after hints are honored
+  // for real instead of being skipped.
+  auto* testbed_ptr = &testbed;
+  client_options.sleep_fn = [testbed_ptr](MicrosecondCount us) {
+    testbed_ptr->env().RunFor(us);
+  };
+  auto client = testbed.MakeClient(kUs, client_options);
+  client->StartProbing();
+
+  const core::Sla sla = BenchSla();
+  // Preload through the client so the audited ground truth contains the
+  // initial values (admission is live but the preload's closed-loop arrival
+  // rate sits well under one bucket's capacity).
+  std::vector<std::pair<std::string, Timestamp>> acked_writes;
+  {
+    Result<core::Session> preload = client->client().BeginSession(sla);
+    if (!preload.ok()) {
+      std::fprintf(stderr, "FAIL: preload session: %s\n",
+                   preload.status().ToString().c_str());
+      return 1;
+    }
+    const std::string value(100, 'o');
+    for (int i = 0; i < kKeyCount; ++i) {
+      Result<core::PutResult> put = client->client().Put(
+          *preload, workload::YcsbWorkload::KeyForIndex(i), value);
+      if (put.ok()) {
+        acked_writes.emplace_back(workload::YcsbWorkload::KeyForIndex(i),
+                                  put->timestamp);
+      }
+    }
+  }
+  // Warm-up: replication rounds + probes so monitors hold real estimates.
+  testbed.env().RunFor(2 * testbed_options.replication_period_us +
+                       SecondsToMicroseconds(1));
+
+  const double aggregate_capacity = 3 * kNodeOpsPerSec;
+  const std::array<const char*, 3> storage_sites = {kUs, kEngland, kIndia};
+  workload::WorkloadOptions workload_options;
+  workload_options.key_count = kKeyCount;
+  workload_options.seed = 81;
+  workload::YcsbWorkload workload(workload_options);
+  // The measured client's closed-loop pacing: ~25 ops/s offered when the
+  // system is healthy; the synthetic background supplies the rest.
+  const MicrosecondCount think_us = MillisecondsToMicroseconds(40);
+  const double client_offered_per_sec =
+      1e6 / static_cast<double>(think_us);
+
+  std::optional<core::Session> session;
+  std::vector<StepStats> steps;
+  uint64_t background_key = 0;
+
+  for (const double multiplier : kLoadMultipliers) {
+    const double offered = multiplier * aggregate_capacity;
+    const double background_per_node =
+        std::max(0.0, (offered - client_offered_per_sec) / 3.0);
+
+    const uint64_t admitted_before = AdmittedTotal(testbed);
+    const uint64_t shed_before = ShedTotal(testbed);
+    StepStats stats;
+    stats.offered_per_sec = offered;
+    std::vector<MicrosecondCount> ok_latencies;
+    double utility_sum = 0;
+    uint64_t utility_count = 0;
+
+    const MicrosecondCount step_start = testbed.env().NowMicros();
+    const MicrosecondCount step_end = step_start + StepDuration();
+    MicrosecondCount last_background = step_start;
+    double background_debt = 0;
+    while (testbed.env().NowMicros() < step_end) {
+      // Open-loop background arrivals: same tenant bucket (the table's
+      // default), low utility, straight into each node's Handle path.
+      const MicrosecondCount now = testbed.env().NowMicros();
+      background_debt += background_per_node *
+                         static_cast<double>(now - last_background) / 1e6;
+      last_background = now;
+      const int arrivals = static_cast<int>(background_debt);
+      background_debt -= arrivals;
+      for (int i = 0; i < arrivals; ++i) {
+        proto::GetRequest background;
+        background.table = kTableName;
+        background.key = workload::YcsbWorkload::KeyForIndex(
+            static_cast<int>(background_key++ % kKeyCount));
+        background.utility_micros = 100'000;  // Utility 0.1: sheds first.
+        for (const char* site : storage_sites) {
+          (void)testbed.node(site)->Handle(proto::Message(background));
+        }
+      }
+
+      const workload::Operation op = workload.Next();
+      if (op.starts_new_session || !session.has_value()) {
+        Result<core::Session> begun = client->client().BeginSession(sla);
+        if (!begun.ok()) {
+          continue;
+        }
+        session.emplace(std::move(begun).value());
+      }
+      ++stats.client_ops;
+      const MicrosecondCount op_start = testbed.env().NowMicros();
+      bool ok = false;
+      if (op.is_get) {
+        Result<core::GetResult> result =
+            client->client().Get(*session, op.key);
+        ok = result.ok();
+        if (ok) {
+          utility_sum += result->outcome.utility;
+          ++utility_count;
+        }
+      } else {
+        Result<core::PutResult> put =
+            client->client().Put(*session, op.key, op.value);
+        ok = put.ok();
+        if (ok) {
+          acked_writes.emplace_back(op.key, put->timestamp);
+        }
+      }
+      if (ok) {
+        ++stats.client_ok;
+        ok_latencies.push_back(testbed.env().NowMicros() - op_start);
+      } else {
+        ++stats.client_failed;
+      }
+      testbed.env().RunFor(think_us);
+    }
+
+    const double step_seconds =
+        static_cast<double>(testbed.env().NowMicros() - step_start) / 1e6;
+    stats.admitted_per_sec =
+        static_cast<double>(AdmittedTotal(testbed) - admitted_before) /
+        step_seconds;
+    stats.shed_per_sec =
+        static_cast<double>(ShedTotal(testbed) - shed_before) / step_seconds;
+    stats.ok_p99_us = Percentile99(&ok_latencies);
+    stats.avg_utility =
+        utility_count == 0 ? 0 : utility_sum / static_cast<double>(utility_count);
+    steps.push_back(stats);
+  }
+  client->StopProbing();
+
+  AsciiTable table({"Offered", "Goodput (admitted)", "Shed", "Client ops",
+                    "Client ok", "Client p99", "Avg utility"});
+  for (const StepStats& s : steps) {
+    table.AddRow({FormatRate(s.offered_per_sec),
+                  FormatRate(s.admitted_per_sec), FormatRate(s.shed_per_sec),
+                  std::to_string(s.client_ops), std::to_string(s.client_ok),
+                  FormatMs(s.ok_p99_us), FormatUtility(s.avg_utility)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expectation: goodput tracks offered load below capacity (%.0f/s\n"
+      "aggregate), then plateaus while the shed column absorbs the\n"
+      "overhang. Admitted ops keep a bounded p99 (the virtual queue is\n"
+      "capped), and the client trades utility for availability instead of\n"
+      "collapsing.\n\n",
+      aggregate_capacity);
+
+  bool ok = true;
+
+  // Self-check 1: goodput plateau. Past 2x capacity the admitted rate must
+  // stay within 20% of the best the ramp ever achieved - congestion
+  // collapse would show as goodput falling off a cliff here.
+  double peak_goodput = 0;
+  for (const StepStats& s : steps) {
+    peak_goodput = std::max(peak_goodput, s.admitted_per_sec);
+  }
+  for (const StepStats& s : steps) {
+    if (s.offered_per_sec >= 2 * aggregate_capacity &&
+        s.admitted_per_sec < 0.8 * peak_goodput) {
+      std::fprintf(stderr,
+                   "FAIL: goodput collapsed under overload: %.0f/s offered "
+                   "-> %.0f/s admitted (peak %.0f/s)\n",
+                   s.offered_per_sec, s.admitted_per_sec, peak_goodput);
+      ok = false;
+    }
+  }
+
+  // Self-check 2: bounded p99 for admitted ops. The bound covers the worst
+  // queue delay (max_queue/rate), the England round trip, and one
+  // retry_after-hinted backoff - far below the client's 10 s Put timeout,
+  // which is where an unbounded queue would land.
+  const MicrosecondCount p99_bound = SecondsToMicroseconds(3);
+  for (const StepStats& s : steps) {
+    if (s.client_ok > 0 && s.ok_p99_us > p99_bound) {
+      std::fprintf(stderr,
+                   "FAIL: admitted-op p99 unbounded at %.0f/s offered: %s\n",
+                   s.offered_per_sec, FormatMs(s.ok_p99_us).c_str());
+      ok = false;
+    }
+  }
+
+  // Self-check 3: zero acked-write loss. Writes are the last thing the
+  // controller sheds, and a shed write is a clean rejection, never a
+  // half-applied one.
+  bool contiguous = true;
+  const std::vector<proto::ObjectVersion> committed_log =
+      testbed.primary_node()->ExportTableLog(kTableName, &contiguous);
+  std::set<std::tuple<std::string, int64_t, uint32_t>> committed;
+  for (const proto::ObjectVersion& v : committed_log) {
+    committed.emplace(v.key, v.timestamp.physical_us, v.timestamp.sequence);
+  }
+  uint64_t acked_lost = 0;
+  for (const auto& [key, timestamp] : acked_writes) {
+    if (committed.count({key, timestamp.physical_us, timestamp.sequence}) ==
+        0) {
+      ++acked_lost;
+    }
+  }
+  if (acked_lost != 0) {
+    std::fprintf(stderr, "FAIL: %llu acked writes lost under overload\n",
+                 static_cast<unsigned long long>(acked_lost));
+    ok = false;
+  }
+
+  // Self-check 4: zero consistency violations. Every degraded read's
+  // claimed rank is audited against the primary's commit order, so "shed
+  // gracefully" can never mean "quietly weaker than claimed".
+  recorder.SetGroundTruth(committed_log, contiguous);
+  const audit::History history = recorder.Snapshot();
+  const audit::AuditReport report = audit::ConsistencyChecker().Check(history);
+  if (!report.ok()) {
+    std::fprintf(stderr, "FAIL: consistency audit under overload:\n%s\n",
+                 report.ToString().c_str());
+    ok = false;
+  }
+  std::printf("Audit: %llu reads, %llu writes, %llu claims checked, "
+              "%zu violations; %llu acked writes, %llu lost.\n",
+              static_cast<unsigned long long>(report.reads_checked),
+              static_cast<unsigned long long>(report.writes_checked),
+              static_cast<unsigned long long>(report.claims_checked),
+              report.violations.size(),
+              static_cast<unsigned long long>(acked_writes.size()),
+              static_cast<unsigned long long>(acked_lost));
+
+  std::printf("%s\n", ok ? "All overload self-checks passed."
+                         : "Overload self-checks FAILED.");
+  return ok ? 0 : 1;
+}

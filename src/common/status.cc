@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kOutOfRange:
       return "OUT_OF_RANGE";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

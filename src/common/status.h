@@ -32,7 +32,11 @@ enum class StatusCode : int {
   kInternal = 10,         // Invariant violation; indicates a bug.
   kCancelled = 11,        // Operation aborted by the caller.
   kOutOfRange = 12,       // Key outside every tablet's key range.
+  kOverloaded = 13,       // Admission control shed the request; retry later.
 };
+
+// Largest valid StatusCode value; wire decoders reject anything above it.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kOverloaded;
 
 // Human-readable name of a status code ("OK", "NOT_FOUND", ...).
 std::string_view StatusCodeName(StatusCode code);

@@ -69,6 +69,10 @@ PileusClient::PileusClient(TableView table, const Clock* clock,
       own_monitor_(clock, options_.monitor),
       monitor_(options_.shared_monitor != nullptr ? options_.shared_monitor
                                                    : &own_monitor_),
+      own_retry_budget_(options_.retry_budget),
+      retry_budget_(options_.shared_retry_budget != nullptr
+                        ? options_.shared_retry_budget
+                        : &own_retry_budget_),
       replica_views_(table_.MakeReplicaViews()),
       rng_(options_.seed),
       current_primary_index_(table_.primary_index) {
@@ -122,6 +126,12 @@ void PileusClient::InitInstruments() {
   }
   instruments_.cache_served_overflow =
       rank_counter("pileus_client_sla_cache_served_total", "8plus");
+  instruments_.overload_rejections =
+      counter("pileus_client_overload_rejections_total");
+  instruments_.retry_budget_denied =
+      counter("pileus_client_retry_budget_denied_total");
+  instruments_.degraded_cache_served =
+      counter("pileus_client_degraded_cache_served_total");
   instruments_.get_latency_us = registry->GetHistogram(
       telemetry::WithLabels("pileus_client_get_latency_us", {{"table", table}}));
   instruments_.put_latency_us = registry->GetHistogram(
@@ -352,8 +362,8 @@ void PileusClient::MaybeAdoptConfig() {
   }
 }
 
-void PileusClient::AbsorbReplyEvidence(int node_index, const TimedReply& timed,
-                                       bool record_latency) {
+int PileusClient::AbsorbReplyEvidence(int node_index, const TimedReply& timed,
+                                      bool record_latency) {
   const std::string& name = table_.replicas[node_index].name;
   // Latency evidence is useful even for timeouts (the sample equals the
   // deadline, pushing PNodeLat down for thresholds below it).
@@ -363,29 +373,59 @@ void PileusClient::AbsorbReplyEvidence(int node_index, const TimedReply& timed,
   if (!timed.reply.ok()) {
     // Transport-level failure (unreachable, reset, deadline with no answer).
     monitor_->RecordFailure(name);
-    return;
+    return -1;
   }
   const proto::Message& message = timed.reply.value();
   NoteReplyConfig(message);
   if (const auto* err = std::get_if<proto::ErrorReply>(&message)) {
+    if (err->code == StatusCode::kOverloaded) {
+      // The node is up but shedding: start its backoff window so selection
+      // discounts it, without denting PNodeUp (it did answer).
+      monitor_->RecordOverload(
+          name, static_cast<MicrosecondCount>(err->retry_after_ms) *
+                    kMicrosecondsPerMillisecond);
+      overload_rejections_.fetch_add(1, std::memory_order_relaxed);
+      if (instruments_.overload_rejections != nullptr) {
+        instruments_.overload_rejections->Increment();
+      }
+      return static_cast<int>(err->retry_after_ms);
+    }
     // The node answered, so it is up - unless it reported itself unavailable.
     if (err->code == StatusCode::kUnavailable) {
       monitor_->RecordFailure(name);
     } else {
       monitor_->RecordSuccess(name);
     }
-    return;
+    return -1;
   }
   monitor_->RecordSuccess(name);
   if (const auto* get = std::get_if<proto::GetReply>(&message)) {
     monitor_->RecordHighTimestamp(name, get->high_timestamp);
+    monitor_->RecordQueueDelay(name, get->queue_delay_us);
   } else if (const auto* put = std::get_if<proto::PutReply>(&message)) {
     monitor_->RecordHighTimestamp(name, put->high_timestamp);
+    monitor_->RecordQueueDelay(name, put->queue_delay_us);
   } else if (const auto* probe = std::get_if<proto::ProbeReply>(&message)) {
     monitor_->RecordHighTimestamp(name, probe->high_timestamp);
+    monitor_->RecordQueueDelay(name, probe->queue_delay_us);
   } else if (const auto* range = std::get_if<proto::RangeReply>(&message)) {
     monitor_->RecordHighTimestamp(name, range->high_timestamp);
+    monitor_->RecordQueueDelay(name, range->queue_delay_us);
   }
+  return -1;
+}
+
+MicrosecondCount PileusClient::JitteredBackoff(MicrosecondCount nominal_us,
+                                               int retry_after_ms) {
+  MicrosecondCount base = nominal_us;
+  if (retry_after_ms > 0) {
+    base = std::max(base, static_cast<MicrosecondCount>(retry_after_ms) *
+                              kMicrosecondsPerMillisecond);
+  }
+  // Full waits from synchronized clients would re-stampede a recovering
+  // node, so each waits a uniformly random 50-100% of the base.
+  return static_cast<MicrosecondCount>(static_cast<double>(base) *
+                                       (0.5 + 0.5 * rng_.NextDouble()));
 }
 
 void PileusClient::AdmitToCache(std::string_view key,
@@ -442,7 +482,8 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
   proto::GetRequest request;
   request.table = table_.table_name;
   request.key = std::string(key);
-  const proto::Message request_message = request;
+  request.tenant = options_.tenant;
+  request.deadline_us = deadline_us;
 
   GetOutcome outcome;
   outcome.messages_sent = 0;
@@ -508,6 +549,7 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
         if (!result.timestamp.IsZero()) {
           session.RecordGet(key, result.timestamp);
         }
+        retry_budget_->RecordSuccess();
         cache_serves_.fetch_add(1, std::memory_order_relaxed);
         if (instruments_.cache_served != nullptr) {
           instruments_.cache_served->Increment();
@@ -541,6 +583,15 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
     targets.push_back(PickFixedStrategyNode());
   }
 
+  // The admission context travels with the request: the subSLA rank this
+  // read aims for (its utility decides how early the server sheds it) and
+  // whether only an authoritative answer can satisfy it.
+  const int aim_rank = outcome.target_rank >= 0 ? outcome.target_rank : 0;
+  request.utility_micros = static_cast<uint32_t>(
+      std::min(sla[aim_rank].utility, 4000.0) * 1e6 + 0.5);
+  request.strong_read = sla[aim_rank].consistency.RequiresAuthoritative();
+  const proto::Message request_message = request;
+
   // --- Issue the read(s) ---
   std::vector<TimedReply> replies;
   if (targets.size() == 1) {
@@ -558,8 +609,14 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
   outcome.messages_sent += static_cast<int>(targets.size());
   messages_sent_ += targets.size();
 
+  bool overload_seen = false;
+  int last_retry_after_ms = -1;
   for (size_t i = 0; i < targets.size(); ++i) {
-    AbsorbReplyEvidence(targets[i], replies[i]);
+    const int hint = AbsorbReplyEvidence(targets[i], replies[i]);
+    if (hint >= 0) {
+      overload_seen = true;
+      last_retry_after_ms = std::max(last_retry_after_ms, hint);
+    }
   }
 
   // --- Pick the winning reply: best met subSLA, then lowest RTT ---
@@ -611,11 +668,27 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
       if (remaining <= 0) {
         break;
       }
-      TimedReply attempt =
-          table_.replicas[idx].connection->Call(request_message, remaining);
+      // Every extra attempt spends retry budget: a brown-out must not turn
+      // failed reads into an amplifying storm (DESIGN.md Section 11).
+      if (!retry_budget_->TryAcquire()) {
+        if (instruments_.retry_budget_denied != nullptr) {
+          instruments_.retry_budget_denied->Increment();
+        }
+        break;
+      }
+      // Deadline propagation: the server sees what is actually left, not the
+      // original budget, so it can shed reads its queue can no longer meet.
+      proto::GetRequest retry_request = request;
+      retry_request.deadline_us = remaining;
+      TimedReply attempt = table_.replicas[idx].connection->Call(
+          proto::Message(retry_request), remaining);
       ++outcome.messages_sent;
       ++messages_sent_;
-      AbsorbReplyEvidence(idx, attempt);
+      const int hint = AbsorbReplyEvidence(idx, attempt);
+      if (hint >= 0) {
+        overload_seen = true;
+        last_retry_after_ms = std::max(last_retry_after_ms, hint);
+      }
       if (!attempt.reply.ok()) {
         continue;
       }
@@ -640,17 +713,36 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
 
   // --- Optional fallback retry at the primary (Section 5.4 discussion) ---
   if (options_.fallback_to_primary_retry && winner_met < 0) {
-    const MicrosecondCount elapsed = clock_->NowMicros() - start_us;
-    const MicrosecondCount remaining = deadline_us - elapsed;
+    MicrosecondCount elapsed = clock_->NowMicros() - start_us;
+    MicrosecondCount remaining = deadline_us - elapsed;
     const bool primary_already_tried =
         std::find(targets.begin(), targets.end(), current_primary_index_) !=
         targets.end();
-    if (remaining > 0 && !primary_already_tried) {
+    // A retry_after hint is honored when the wait still fits inside the
+    // deadline: arriving after the primary's queue drained beats arriving
+    // during the drain and being shed again.
+    if (remaining > 0 && !primary_already_tried && last_retry_after_ms > 0 &&
+        options_.sleep_fn) {
+      const MicrosecondCount wait = JitteredBackoff(0, last_retry_after_ms);
+      if (wait < remaining) {
+        options_.sleep_fn(wait);
+        elapsed = clock_->NowMicros() - start_us;
+        remaining = deadline_us - elapsed;
+      }
+    }
+    if (remaining > 0 && !primary_already_tried &&
+        retry_budget_->TryAcquire()) {
+      proto::GetRequest retry_request = request;
+      retry_request.deadline_us = remaining;
       TimedReply retry = table_.replicas[current_primary_index_]
-                             .connection->Call(request_message, remaining);
+                             .connection->Call(proto::Message(retry_request),
+                                               remaining);
       ++outcome.messages_sent;
       ++messages_sent_;
-      AbsorbReplyEvidence(current_primary_index_, retry);
+      const int hint = AbsorbReplyEvidence(current_primary_index_, retry);
+      if (hint >= 0) {
+        overload_seen = true;
+      }
       if (retry.reply.ok()) {
         if (const auto* get_reply =
                 std::get_if<proto::GetReply>(&retry.reply.value())) {
@@ -675,6 +767,7 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
             if (!result.timestamp.IsZero()) {
               session.RecordGet(key, result.timestamp);
             }
+            retry_budget_->RecordSuccess();
             CountReadOutcome(outcome);
             EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla,
                           outcome, get_reply->high_timestamp, /*ok=*/true);
@@ -688,6 +781,67 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
   }
 
   if (winner < 0) {
+    // --- Degradation ladder's last rung (DESIGN.md Section 11) ---
+    // Every network attempt failed and at least one node said kOverloaded:
+    // serve from the cache at whatever (downgraded) rank the entry still
+    // meets, rather than surfacing failure. The claim is honest — it passes
+    // through the same DetermineMetRank (with the full elapsed time, so only
+    // ranks whose latency bound still holds qualify) and is audited like any
+    // network reply.
+    if (overload_seen && options_.degraded_cache_serve &&
+        options_.cache != nullptr &&
+        options_.strategy == ReadStrategy::kPileus) {
+      std::optional<cache::ClientCache::Entry> entry =
+          options_.cache->Lookup(table_.table_name, key);
+      if (entry.has_value() &&
+          entry->valid_through >= session.cache_floor()) {
+        proto::GetReply reply;
+        reply.found = !entry->is_tombstone;
+        reply.value = entry->value;
+        reply.value_timestamp = entry->timestamp;
+        reply.high_timestamp = entry->valid_through;
+        reply.served_by_primary = false;
+        const MicrosecondCount now_us = clock_->NowMicros();
+        const int met = DetermineMetRank(sla, session, key, reply,
+                                         now_us - start_us, now_us);
+        if (met >= 0) {
+          outcome.met_rank = met;
+          outcome.utility = sla[met].utility;
+          outcome.rtt_us = now_us - start_us;
+          outcome.node_index = -1;
+          outcome.node_name = std::string(kCacheNodeName);
+          outcome.from_cache = true;
+          outcome.retried = true;
+
+          GetResult result;
+          result.found = reply.found;
+          result.value = reply.value;
+          result.timestamp = reply.value_timestamp;
+          result.outcome = outcome;
+          if (!result.timestamp.IsZero()) {
+            session.RecordGet(key, result.timestamp);
+          }
+          degraded_cache_serves_.fetch_add(1, std::memory_order_relaxed);
+          cache_serves_.fetch_add(1, std::memory_order_relaxed);
+          if (instruments_.degraded_cache_served != nullptr) {
+            instruments_.degraded_cache_served->Increment();
+          }
+          if (instruments_.cache_served != nullptr) {
+            instruments_.cache_served->Increment();
+            (met < Instruments::kTrackedRanks
+                 ? instruments_.cache_served_by_rank[met]
+                 : instruments_.cache_served_overflow)
+                ->Increment();
+          }
+          CountReadOutcome(outcome);
+          EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla, outcome,
+                        reply.high_timestamp, /*ok=*/true);
+          EmitReadRecord(AuditOp::kGet, session, key, {}, start_us, sla,
+                         outcome, /*ok=*/true, &reply, nullptr);
+          return result;
+        }
+      }
+    }
     // Nothing usable came back inside the SLA's overall deadline.
     if (instruments_.get_errors != nullptr) {
       instruments_.get_errors->Increment();
@@ -725,6 +879,7 @@ Result<GetResult> PileusClient::DoGet(Session& session, std::string_view key,
   if (!result.timestamp.IsZero()) {
     session.RecordGet(key, result.timestamp);
   }
+  retry_budget_->RecordSuccess();
   CountReadOutcome(outcome);
   EmitReadTrace(telemetry::TraceOp::kGet, session, key, sla, outcome,
                 get_reply.high_timestamp, /*ok=*/true);
@@ -768,7 +923,7 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
   request.begin = std::string(begin);
   request.end = std::string(end);
   request.limit = limit;
-  const proto::Message request_message = request;
+  request.tenant = options_.tenant;
 
   const MinReadTimestampFn scan_min = [&session,
                                        this](const Guarantee& guarantee) {
@@ -802,6 +957,13 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
     order.push_back(PickFixedStrategyNode());
   }
 
+  // Admission context, as in DoGet: the targeted rank's utility and
+  // strong-read marker travel with the scan.
+  const int aim_rank = outcome.target_rank >= 0 ? outcome.target_rank : 0;
+  request.utility_micros = static_cast<uint32_t>(
+      std::min(sla[aim_rank].utility, 4000.0) * 1e6 + 0.5);
+  request.strong_read = sla[aim_rank].consistency.RequiresAuthoritative();
+
   for (size_t attempt = 0; attempt < order.size(); ++attempt) {
     const int node_index = order[attempt];
     const MicrosecondCount elapsed = clock_->NowMicros() - start_us;
@@ -809,8 +971,16 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
     if (remaining <= 0) {
       break;
     }
+    // Extra attempts spend retry budget, like every other retry path.
+    if (attempt > 0 && !retry_budget_->TryAcquire()) {
+      if (instruments_.retry_budget_denied != nullptr) {
+        instruments_.retry_budget_denied->Increment();
+      }
+      break;
+    }
+    request.deadline_us = remaining;  // Deadline propagation.
     TimedReply timed = table_.replicas[node_index].connection->Call(
-        request_message, remaining);
+        proto::Message(request), remaining);
     ++outcome.messages_sent;
     ++messages_sent_;
     AbsorbReplyEvidence(node_index, timed);
@@ -866,6 +1036,7 @@ Result<RangeResult> PileusClient::DoGetRange(Session& session,
                               range_reply->high_timestamp);
       }
     }
+    retry_budget_->RecordSuccess();
     CountReadOutcome(outcome);
     EmitReadTrace(telemetry::TraceOp::kRange, session, begin, sla, outcome,
                   range_reply->high_timestamp, /*ok=*/true);
@@ -922,22 +1093,34 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
   MicrosecondCount backoff = options_.put_backoff_initial_us;
   Status last(StatusCode::kUnavailable, "write never attempted");
   bool skip_backoff = false;
+  int pending_retry_after_ms = 0;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    if (attempt > 1 && !skip_backoff) {
-      // Jittered exponential backoff: full waits from synchronized clients
-      // would re-stampede a recovering primary, so each waits a uniformly
-      // random 50-100% of the nominal backoff.
-      const MicrosecondCount wait = static_cast<MicrosecondCount>(
-          static_cast<double>(backoff) * (0.5 + 0.5 * rng_.NextDouble()));
-      if (options_.sleep_fn) {
-        options_.sleep_fn(wait);
+    if (attempt > 1) {
+      // Every extra attempt — ordinary retries and kNotPrimary redirects
+      // alike — draws from the shared retry budget, so the attempt counter
+      // bounds one operation and the budget bounds the client as a whole.
+      if (!retry_budget_->TryAcquire()) {
+        if (instruments_.retry_budget_denied != nullptr) {
+          instruments_.retry_budget_denied->Increment();
+        }
+        break;
       }
-      backoff = std::min(
-          options_.put_backoff_max_us,
-          static_cast<MicrosecondCount>(static_cast<double>(backoff) *
-                                        options_.put_backoff_multiplier));
+      if (!skip_backoff) {
+        // Jittered exponential backoff stretched to any server retry_after
+        // hint: arriving after the queue drained beats being shed again.
+        const MicrosecondCount wait =
+            JitteredBackoff(backoff, pending_retry_after_ms);
+        if (options_.sleep_fn) {
+          options_.sleep_fn(wait);
+        }
+        backoff = std::min(
+            options_.put_backoff_max_us,
+            static_cast<MicrosecondCount>(static_cast<double>(backoff) *
+                                          options_.put_backoff_multiplier));
+      }
     }
     skip_backoff = false;
+    pending_retry_after_ms = 0;
     // Re-resolve the primary before every attempt: while this write was
     // backing off, probes or other traffic may have delivered a newer config
     // (the normal way a client discovers a failover when the old primary is
@@ -952,8 +1135,8 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
     }
     // Every attempt feeds the monitor: transport failures count against the
     // primary's PNodeUp / circuit breaker, successes repair them.
-    AbsorbReplyEvidence(current_primary_index_, timed,
-                        options_.record_put_latency);
+    const int hint = AbsorbReplyEvidence(current_primary_index_, timed,
+                                         options_.record_put_latency);
     if (!timed.reply.ok()) {
       last = timed.reply.status();
       PILEUS_LOG(kDebug) << op_name << " attempt " << attempt << "/"
@@ -965,6 +1148,13 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
       last = Status(err->code, err->message);
       if (err->code == StatusCode::kUnavailable) {
         continue;  // Node answered but cannot serve right now: retriable.
+      }
+      if (err->code == StatusCode::kOverloaded) {
+        // Shed by admission control: retriable, waiting out the hint first.
+        // Writes are shed only when the queue is truly full, so the queue
+        // draining is exactly what the hint predicts.
+        pending_retry_after_ms = hint;
+        continue;
       }
       if (err->code == StatusCode::kNotPrimary) {
         // The role moved (Section 6.2). The rejection carries the installed
@@ -1005,6 +1195,7 @@ Result<PutResult> PileusClient::DoWrite(const proto::Message& request,
                         std::string(op_name));
     }
     session.RecordPut(key, put_reply->timestamp);
+    retry_budget_->RecordSuccess();
     if (options_.cache != nullptr) {
       // Write-through with the assigned timestamp as its own bound. The
       // ack's heartbeat high timestamp must NOT serve as valid_through:
@@ -1048,6 +1239,8 @@ Result<PutResult> PileusClient::Put(Session& session, std::string_view key,
   request.table = table_.table_name;
   request.key = std::string(key);
   request.value = std::string(value);
+  request.tenant = options_.tenant;
+  request.deadline_us = options_.put_timeout_us;  // Deadline propagation.
   if (instruments_.puts != nullptr) {
     instruments_.puts->Increment();
   }

@@ -41,6 +41,7 @@
 #include "src/core/audit_hook.h"
 #include "src/core/connection.h"
 #include "src/core/monitor.h"
+#include "src/core/retry_budget.h"
 #include "src/core/selection.h"
 #include "src/core/session.h"
 #include "src/core/sla.h"
@@ -178,6 +179,28 @@ class PileusClient {
     // verification against the primary's commit order. Not owned; must
     // outlive the client.
     OpObserver* op_observer = nullptr;
+    // Overload control (DESIGN.md Section 11). `tenant` names the admission
+    // token bucket requests draw from at the server (empty = the table's
+    // default bucket); benches and multi-tenant deployments set it so one hot
+    // workload cannot starve another. Every request also carries the
+    // client's remaining deadline, and reads carry the targeted subSLA's
+    // utility, so the server can shed the least valuable work first.
+    std::string tenant;
+    // Retry-budget knobs (see RetryBudget). All retry traffic — Get
+    // availability retries, fallback reads, write retries, and kNotPrimary
+    // redirects — draws from one budget refilled only by successes, so a
+    // brown-out cannot turn this client into a retry storm.
+    RetryBudget::Options retry_budget;
+    // When set, retries draw from this budget instead of a private one (not
+    // owned; must outlive the client; internally synchronized). Share one
+    // instance across a tenant's clients for a per-tenant bound.
+    RetryBudget* shared_retry_budget = nullptr;
+    // Degradation ladder's last rung: when every network attempt failed but
+    // an overload rejection was seen, serve a Get from the client cache at
+    // whatever (downgraded) rank the entry still meets, instead of
+    // surfacing kUnavailable. The claimed rank is honest — it goes through
+    // the same DetermineMetRank as a network reply and is audited like one.
+    bool degraded_cache_serve = true;
     // Consistency-aware client cache (DESIGN.md "Client cache"): when set,
     // the cache joins SelectTarget as a zero-RTT pseudo-replica for Pileus
     // Gets and is filled read-through from every Get/GetRange reply and
@@ -231,6 +254,8 @@ class PileusClient {
 
   Monitor& monitor() { return *monitor_; }
   const Monitor& monitor() const { return *monitor_; }
+  RetryBudget& retry_budget() { return *retry_budget_; }
+  const RetryBudget& retry_budget() const { return *retry_budget_; }
   const TableView& table() const { return table_; }
   const Options& options() const { return options_; }
 
@@ -255,6 +280,14 @@ class PileusClient {
   uint64_t cache_serves() const {
     return cache_serves_.load(std::memory_order_relaxed);
   }
+  // kOverloaded rejections received across all operations.
+  uint64_t overload_rejections() const {
+    return overload_rejections_.load(std::memory_order_relaxed);
+  }
+  // Gets served from the cache by the degradation ladder's last rung.
+  uint64_t degraded_cache_serves() const {
+    return degraded_cache_serves_.load(std::memory_order_relaxed);
+  }
 
  private:
   Result<GetResult> DoGet(Session& session, std::string_view key,
@@ -271,9 +304,18 @@ class PileusClient {
   // Node choice for the fixed strategies.
   int PickFixedStrategyNode();
 
-  // Records latency/high-timestamp evidence from one reply into the monitor.
-  void AbsorbReplyEvidence(int node_index, const TimedReply& timed,
-                           bool record_latency = true);
+  // Records latency/high-timestamp evidence from one reply into the monitor,
+  // including overload rejections (backoff window + retry_after hint) and
+  // piggybacked queue delays. Returns the reply's kOverloaded retry_after_ms
+  // hint, or -1 when the reply was not an overload rejection.
+  int AbsorbReplyEvidence(int node_index, const TimedReply& timed,
+                          bool record_latency = true);
+
+  // Jittered wait before a retry: 50-100% of max(nominal backoff, the
+  // server's retry_after hint), so hints stretch the wait but synchronized
+  // clients still never re-stampede in lockstep (DESIGN.md Section 11).
+  MicrosecondCount JitteredBackoff(MicrosecondCount nominal_us,
+                                   int retry_after_ms);
 
   // Feeds a reply's config piggyback (epoch + primary hint) to the monitor.
   void NoteReplyConfig(const proto::Message& message);
@@ -326,6 +368,12 @@ class PileusClient {
     telemetry::Counter* cache_served = nullptr;
     std::array<telemetry::Counter*, kTrackedRanks> cache_served_by_rank{};
     telemetry::Counter* cache_served_overflow = nullptr;
+    // Overload control (DESIGN.md Section 11): kOverloaded rejections
+    // received, retries denied by an exhausted budget, and Gets the
+    // degradation ladder served from the cache after the network failed.
+    telemetry::Counter* overload_rejections = nullptr;
+    telemetry::Counter* retry_budget_denied = nullptr;
+    telemetry::Counter* degraded_cache_served = nullptr;
     telemetry::HistogramMetric* get_latency_us = nullptr;
     telemetry::HistogramMetric* put_latency_us = nullptr;
   };
@@ -354,6 +402,8 @@ class PileusClient {
   FanoutCaller* fanout_;  // Not owned; may be null.
   Monitor own_monitor_;
   Monitor* monitor_;  // own_monitor_ or Options::shared_monitor.
+  RetryBudget own_retry_budget_;
+  RetryBudget* retry_budget_;  // own_ or Options::shared_retry_budget.
   std::vector<ReplicaView> replica_views_;
   Random rng_;
   // Epoch-aware primary tracking (Section 6.2); see current_primary_index().
@@ -364,6 +414,8 @@ class PileusClient {
   std::atomic<uint64_t> puts_issued_{0};
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> cache_serves_{0};
+  std::atomic<uint64_t> overload_rejections_{0};
+  std::atomic<uint64_t> degraded_cache_serves_{0};
 };
 
 }  // namespace pileus::core

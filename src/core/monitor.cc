@@ -1,5 +1,7 @@
 #include "src/core/monitor.h"
 
+#include <algorithm>
+
 namespace pileus::core {
 
 Monitor::NodeState& Monitor::StateFor(std::string_view node) {
@@ -86,6 +88,55 @@ void Monitor::RecordFailure(std::string_view node) {
       state.breaker_open_until_us = now + options_.breaker_cooldown_us;
     }
   }
+}
+
+void Monitor::RecordOverload(std::string_view node,
+                             MicrosecondCount retry_after_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& state = StateFor(node);
+  const MicrosecondCount now = clock_->NowMicros();
+  const MicrosecondCount backoff = retry_after_us > 0
+                                       ? retry_after_us
+                                       : options_.default_overload_backoff_us;
+  state.overloaded_until_us = std::max(state.overloaded_until_us, now + backoff);
+  // The node answered (with a rejection), so this is contact — the prober
+  // need not also hammer it — but deliberately not a breaker-closing
+  // success: a half-open breaker should wait for a served reply.
+  state.last_contact_us = now;
+  ++overload_rejections_;
+}
+
+void Monitor::RecordQueueDelay(std::string_view node,
+                               MicrosecondCount delay_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeState& state = StateFor(node);
+  const double alpha = options_.queue_delay_alpha;
+  state.queue_delay_ewma_us =
+      alpha * static_cast<double>(delay_us) +
+      (1.0 - alpha) * state.queue_delay_ewma_us;
+}
+
+bool Monitor::IsOverloaded(std::string_view node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState* state = FindState(node);
+  return state != nullptr &&
+         clock_->NowMicros() < state->overloaded_until_us;
+}
+
+double Monitor::POverload(std::string_view node, double utility) const {
+  if (!IsOverloaded(node)) {
+    return 1.0;
+  }
+  const double u = std::clamp(utility, 0.0, 1.0);
+  return options_.overload_penalty + (1.0 - options_.overload_penalty) * u;
+}
+
+MicrosecondCount Monitor::QueueDelayUs(std::string_view node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const NodeState* state = FindState(node);
+  return state == nullptr
+             ? 0
+             : static_cast<MicrosecondCount>(state->queue_delay_ewma_us);
 }
 
 Monitor::BreakerState Monitor::BreakerLocked(const NodeState* state,
@@ -189,6 +240,9 @@ std::vector<Monitor::NodeSnapshot> Monitor::Snapshot() const {
                     : 1.0 - state.outcomes.FractionBelow(
                                 now, 1, /*empty_estimate=*/0.0);
     snap.consecutive_failures = state.consecutive_failures;
+    snap.overloaded = now < state.overloaded_until_us;
+    snap.queue_delay_us =
+        static_cast<MicrosecondCount>(state.queue_delay_ewma_us);
     out.push_back(std::move(snap));
   }
   return out;

@@ -59,6 +59,19 @@ class Monitor {
     // another full cooldown.
     int breaker_failure_threshold = 3;
     MicrosecondCount breaker_cooldown_us = SecondsToMicroseconds(5);
+    // Overload evidence (DESIGN.md Section 11). While a node is inside the
+    // backoff window of a kOverloaded rejection, non-authoritative subSLA
+    // utilities are scaled by POverload(): a rank with utility u keeps
+    //   overload_penalty + (1 - overload_penalty) * min(1, u)
+    // of its expected utility, so low-utility reads re-route to other
+    // replicas (or the cache) first while strong and high-utility reads
+    // stick with the node the server protects anyway.
+    double overload_penalty = 0.2;
+    // Backoff window applied when a rejection carries no retry_after hint.
+    MicrosecondCount default_overload_backoff_us =
+        100 * kMicrosecondsPerMillisecond;
+    // EWMA smoothing factor for server-reported queue delays.
+    double queue_delay_alpha = 0.3;
   };
 
   enum class BreakerState {
@@ -89,6 +102,17 @@ class Monitor {
   void RecordSuccess(std::string_view node);
   void RecordFailure(std::string_view node);
 
+  // Overload evidence (DESIGN.md Section 11). A kOverloaded rejection puts
+  // the node in a backoff window of `retry_after_us` (the reply's hint; 0
+  // falls back to default_overload_backoff_us) during which IsOverloaded()
+  // is true and POverload() discounts non-authoritative utilities. The node
+  // answered, so this neither trips the breaker nor dents PNodeUp.
+  void RecordOverload(std::string_view node, MicrosecondCount retry_after_us);
+
+  // Server-measured queue delay piggybacked on a reply; smoothed into an
+  // EWMA that selection subtracts from each rank's latency budget.
+  void RecordQueueDelay(std::string_view node, MicrosecondCount delay_us);
+
   // --- Probability estimates (Section 4.5) ---
 
   double PNodeLat(std::string_view node, MicrosecondCount latency_us) const;
@@ -107,6 +131,16 @@ class Monitor {
     return PNodeCons(node, min_read_timestamp) * PNodeLat(node, latency_us) *
            PNodeUp(node);
   }
+
+  // True while the node is inside an overload backoff window.
+  bool IsOverloaded(std::string_view node) const;
+
+  // Utility multiplier the degradation ladder applies to a non-authoritative
+  // subSLA with utility `utility` at this node: 1.0 when not overloaded.
+  double POverload(std::string_view node, double utility) const;
+
+  // Smoothed server-reported queue delay; 0 for unknown nodes.
+  MicrosecondCount QueueDelayUs(std::string_view node) const;
 
   // --- Introspection / probing support ---
 
@@ -153,6 +187,9 @@ class Monitor {
     double p_up = 1.0;
     BreakerState breaker = BreakerState::kClosed;
     int consecutive_failures = 0;
+    // Overload-control view (DESIGN.md Section 11).
+    bool overloaded = false;
+    MicrosecondCount queue_delay_us = 0;
   };
 
   // One NodeSnapshot per known node, sorted by node name.
@@ -166,6 +203,11 @@ class Monitor {
   uint64_t samples_recorded() const {
     std::lock_guard<std::mutex> lock(mu_);
     return samples_recorded_;
+  }
+
+  uint64_t overload_rejections() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return overload_rejections_;
   }
 
   const Options& options() const { return options_; }
@@ -183,6 +225,10 @@ class Monitor {
     // now >= t = half-open (awaiting a probation success).
     int consecutive_failures = 0;
     MicrosecondCount breaker_open_until_us = 0;
+    // Overload backoff window end (0 = not overloaded) and the smoothed
+    // server-reported queue delay.
+    MicrosecondCount overloaded_until_us = 0;
+    double queue_delay_ewma_us = 0.0;
 
     explicit NodeState(const SlidingWindow::Options& window)
         : latencies(window), outcomes(window) {}
@@ -200,6 +246,7 @@ class Monitor {
   std::map<std::string, NodeState, std::less<>> nodes_;
   uint64_t samples_recorded_ = 0;
   uint64_t breaker_trips_ = 0;
+  uint64_t overload_rejections_ = 0;
   // Newest config epoch/primary seen on any reply (0/empty = never).
   uint64_t config_epoch_ = 0;
   std::string config_primary_;

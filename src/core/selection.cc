@@ -23,8 +23,24 @@ double ExpectedUtility(const SubSla& sub, const ReplicaView& replica,
   if (p_cons == 0.0) {
     return 0.0;
   }
-  return p_cons * monitor.PNodeLat(replica.name, sub.latency_us) *
-         monitor.PNodeUp(replica.name) * sub.utility;
+  // Server-reported queue delay eats into the rank's latency budget: a node
+  // whose admission queue is already worth 40 ms cannot meet a 50 ms rank
+  // unless its RTTs fit in the remaining 10 ms.
+  const MicrosecondCount budget =
+      std::max<MicrosecondCount>(0,
+                                 sub.latency_us -
+                                     monitor.QueueDelayUs(replica.name));
+  double util = p_cons * monitor.PNodeLat(replica.name, budget) *
+                monitor.PNodeUp(replica.name) * sub.utility;
+  // Degradation ladder (DESIGN.md Section 11): while the node is shedding,
+  // non-authoritative ranks are discounted in proportion to how early the
+  // server would shed them, so low-utility reads re-route to secondaries or
+  // the cache first. Strong reads keep their full value — only an
+  // authoritative copy can serve them, and the server protects them longest.
+  if (!sub.consistency.RequiresAuthoritative()) {
+    util *= monitor.POverload(replica.name, sub.utility);
+  }
+  return util;
 }
 
 double ExpectedUtility(const SubSla& sub, const ReplicaView& replica,

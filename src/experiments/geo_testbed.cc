@@ -115,6 +115,23 @@ class SimConnection : public core::NodeConnection {
           Status(StatusCode::kTimeout, "simulated call deadline exceeded");
       return proto::Message{};
     }
+    if ((to_server.overload || to_client.overload) &&
+        proto::IsDataPathRequest(request)) {
+      // Overload fault (DESIGN.md Section 11): the node's (simulated)
+      // admission layer sheds the request with a fast rejection after a
+      // normal round trip — no serve-side work, control traffic untouched.
+      const MicrosecondCount reject_ow2 =
+          ScaleLatency(latency.SampleOneWay(node_site_, client_site_,
+                                            env_->rng()),
+                       to_client.latency_multiplier);
+      const MicrosecondCount total =
+          timeout_us > 0 ? std::min(ow1 + reject_ow2, timeout_us)
+                         : ow1 + reject_ow2;
+      env_->RunFor(total);
+      *total_rtt_us = total;
+      return proto::MakeOverloadedReply(
+          std::max(to_server.retry_after_ms, to_client.retry_after_ms));
+    }
     // Request transit (capped by the deadline; the request still reaches the
     // node - a timed-out Put may well have committed, as in real systems).
     env_->RunFor(timeout_us > 0 ? std::min(ow1, timeout_us) : ow1);
@@ -369,6 +386,9 @@ GeoTestbed::GeoTestbed(GeoTestbedOptions options)
     Status st = entry.node->AddTablet(kTableName, tablet_options);
     assert(st.ok());
     (void)st;
+    if (options_.admission.has_value()) {
+      entry.node->EnableAdmission(*options_.admission);
+    }
     nodes_.push_back(std::move(entry));
   }
   // Replication agents for every node (only non-authoritative ones pull).
@@ -811,6 +831,9 @@ Status GeoTestbed::RestartNode(const std::string& site) {
   if (!st.ok()) {
     return st;
   }
+  if (options_.admission.has_value()) {
+    entry->node->EnableAdmission(*options_.admission);
+  }
   storage::Tablet* tablet = entry->node->FindTablet(kTableName, "");
   std::optional<reconfig::ConfigEpoch> recovered_config;
   if (entry->wal.is_open()) {
@@ -876,6 +899,17 @@ proto::Message GeoTestbed::Serve(NodeEntry& entry,
   }
   proto::Message reply = entry.node->Handle(request);
 
+  // Admitted-but-queued requests genuinely take longer: the admission
+  // controller's measured queue delay joins the server-side delay, so
+  // overload shows up in virtual-time latencies, not just in counters.
+  std::visit(
+      [extra_delay_us](const auto& m) {
+        if constexpr (requires { m.queue_delay_us; }) {
+          *extra_delay_us += m.queue_delay_us;
+        }
+      },
+      reply);
+
   // Durability: journal every write this node just accepted, before the
   // reply (the ack) leaves. Extracted below for the sync fan-out as well.
   std::vector<proto::ObjectVersion> accepted_writes;
@@ -938,7 +972,7 @@ proto::Message GeoTestbed::Serve(NodeEntry& entry,
         latency.SampleOneWay(other.site_id, entry.site_id, env_.rng());
     slowest = std::max(slowest, rtt);
   }
-  *extra_delay_us = slowest;
+  *extra_delay_us += slowest;
   return reply;
 }
 

@@ -17,6 +17,7 @@
 #define PILEUS_SRC_EXPERIMENTS_GEO_TESTBED_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,11 @@ struct GeoTestbedOptions {
   // Optional: exports pileus_reconfig_* metrics (epoch gauge, failover
   // counter, crash-to-promotion latency histogram). Not owned.
   telemetry::MetricsRegistry* metrics = nullptr;
+  // Overload control (DESIGN.md Section 11): when set, every storage node
+  // runs per-tenant admission with these options. Measured queue delays are
+  // added to the serve-side virtual-time delay, so admitted-but-queued
+  // requests genuinely take longer and shed ones bounce fast.
+  std::optional<storage::AdmissionOptions> admission;
 };
 
 // A Pileus client running at some site of the testbed, with its connections,

@@ -14,6 +14,7 @@
 #include "src/core/client.h"
 #include "src/experiments/geo_testbed.h"
 #include "src/persist/wal.h"
+#include "src/storage/admission.h"
 #include "src/workload/ycsb.h"
 
 namespace pileus::experiments {
@@ -34,6 +35,8 @@ std::string_view FaultScenarioName(FaultScenario scenario) {
       return "handoff";
     case FaultScenario::kFailover:
       return "failover";
+    case FaultScenario::kOverload:
+      return "overload";
   }
   return "unknown";
 }
@@ -51,7 +54,7 @@ std::vector<FaultScenario> AllFaultScenarios() {
   return {FaultScenario::kNone,         FaultScenario::kPartition,
           FaultScenario::kDrops,        FaultScenario::kGray,
           FaultScenario::kCrashRestart, FaultScenario::kHandoff,
-          FaultScenario::kFailover};
+          FaultScenario::kFailover,     FaultScenario::kOverload};
 }
 
 core::Sla AuditSla() {
@@ -204,6 +207,35 @@ FaultSchedule BuildFaultSchedule(const ScenarioOptions& options,
       }
       break;
     }
+
+    case FaultScenario::kOverload: {
+      // Overload episodes: nodes shed data-path requests with kOverloaded
+      // plus a retry_after hint, as if another tenant had saturated their
+      // admission buckets. One episode hits a random secondary, so reads
+      // must degrade down the SLA ladder or re-route; one hits the primary,
+      // so writes and strong reads spend retry budget on jittered backoff.
+      // Real admission also runs on every node (see RunAuditScenario), so
+      // stamped queue delays feed the monitors throughout. Whatever rank a
+      // degraded read ends up claiming, the checker audits it like any
+      // other claim - a downgraded guarantee must still be a true one.
+      const std::array<std::string, 2> victims = {
+          rng.NextBool(0.5) ? kUs : kIndia, testbed.primary_site()};
+      for (const std::string& site : victims) {
+        const double probability = 0.5 + 0.35 * rng.NextDouble();
+        const uint32_t retry_after_ms =
+            static_cast<uint32_t>(20 + rng.NextUint64(101));
+        uint64_t start = 0;
+        uint64_t stop = 0;
+        pick_window(&start, &stop);
+        schedule.emplace(start,
+                         [&testbed, site, probability, retry_after_ms] {
+          testbed.faults().SetOverloadNode(site, probability, retry_after_ms);
+        });
+        schedule.emplace(
+            stop, [&testbed, site] { testbed.faults().RecoverNode(site); });
+      }
+      break;
+    }
   }
   return schedule;
 }
@@ -258,6 +290,17 @@ ScenarioResult RunAuditScenario(const ScenarioOptions& options) {
     // lease coordinator.
     geo.sync_replica_count = 2;
     geo.enable_failover = true;
+  }
+  if (options.scenario == FaultScenario::kOverload) {
+    // Run the real admission controller on every node alongside the injected
+    // shedding episodes: queue delays get stamped on replies and fed to the
+    // monitors, and genuine pressure sheds through the same kOverloaded path
+    // the injector simulates. The rate sits above the workload's sustained
+    // virtual-time op rate, so the bucket only queues during retry bursts.
+    storage::AdmissionOptions admission;
+    admission.tenant_ops_per_sec = 25;
+    admission.tenant_burst_ops = 16;
+    geo.admission = admission;
   }
   GeoTestbed testbed(geo);
   if (geo.enable_failover) {

@@ -35,11 +35,14 @@ enum class FaultScenario {
   kCrashRestart,   // Crash a secondary mid-run, restart it from its WAL.
   kHandoff,        // Serialize sessions and resume them on the other frontend.
   kFailover,       // Crash the PRIMARY mid-run: lease-based live failover.
+  kOverload,       // Admission-shedding episodes: degraded reads must still
+                   // honor their claimed (downgraded) guarantees.
 };
 
 std::string_view FaultScenarioName(FaultScenario scenario);
 // Parses the names FaultScenarioName produces ("none", "partition", "drops",
-// "gray", "crash-restart", "handoff", "failover"); nullopt for anything else.
+// "gray", "crash-restart", "handoff", "failover", "overload"); nullopt for
+// anything else.
 std::optional<FaultScenario> ParseFaultScenario(std::string_view name);
 std::vector<FaultScenario> AllFaultScenarios();
 

@@ -75,6 +75,19 @@ class InProcChannel : public Channel {
         static_cast<double>(one_way) * to_server.latency_multiplier);
     const MicrosecondCount reply_leg = static_cast<MicrosecondCount>(
         static_cast<double>(one_way) * to_client.latency_multiplier);
+    if ((to_server.overload || to_client.overload) &&
+        proto::IsDataPathRequest(request)) {
+      // Overload fault: the node's (simulated) admission controller sheds
+      // the request with a fast rejection after a normal round trip.
+      // Control traffic passes through, like the real controller's bypass.
+      if (timeout_us > 0 && request_leg + reply_leg > timeout_us) {
+        SleepMicros(timeout_us);
+        return Status(StatusCode::kTimeout, "inproc call deadline exceeded");
+      }
+      SleepMicros(request_leg + reply_leg);
+      return proto::MakeOverloadedReply(
+          std::max(to_server.retry_after_ms, to_client.retry_after_ms));
+    }
     if (timeout_us > 0 && request_leg + reply_leg > timeout_us) {
       // The round trip cannot complete inside the deadline; model the caller
       // waiting out its full timeout.

@@ -11,8 +11,33 @@ namespace {
 // trailer so corrupted frames are rejected deterministically instead of
 // decoding into garbage field values. Version 3 added the configuration
 // piggyback (config_epoch + primary_hint) to data-path replies and the
-// ConfigRequest/ConfigReply control-plane pair (Section 6.2).
-constexpr uint8_t kWireVersion = 3;
+// ConfigRequest/ConfigReply control-plane pair (Section 6.2). Version 4
+// added the admission-control fields: tenant/deadline/utility context on
+// data-path requests, queue_delay_us on data-path replies, and the
+// retry_after_ms hint on ErrorReply (DESIGN.md Section 11).
+constexpr uint8_t kWireVersion = 4;
+
+// Varint-encoded microsecond counts (deadlines, queue delays) share one
+// decode path so every site gets the same overflow check.
+Status DecodeMicros(Decoder& dec, MicrosecondCount* out) {
+  uint64_t raw;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&raw));
+  if (raw > static_cast<uint64_t>(INT64_MAX)) {
+    return Status(StatusCode::kCorruption, "microsecond count overflow");
+  }
+  *out = static_cast<MicrosecondCount>(raw);
+  return Status::Ok();
+}
+
+Status DecodeUint32(Decoder& dec, uint32_t* out, const char* what) {
+  uint64_t raw;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&raw));
+  if (raw > UINT32_MAX) {
+    return Status(StatusCode::kCorruption, what);
+  }
+  *out = static_cast<uint32_t>(raw);
+  return Status::Ok();
+}
 
 void EncodeObjectVersion(Encoder& enc, const ObjectVersion& v) {
   enc.PutLengthPrefixed(v.key);
@@ -31,6 +56,10 @@ Status DecodeObjectVersion(Decoder& dec, ObjectVersion* v) {
 void EncodeBody(Encoder& enc, const GetRequest& m) {
   enc.PutLengthPrefixed(m.table);
   enc.PutLengthPrefixed(m.key);
+  enc.PutLengthPrefixed(m.tenant);
+  enc.PutVarint64(static_cast<uint64_t>(m.deadline_us));
+  enc.PutVarint64(m.utility_micros);
+  enc.PutBool(m.strong_read);
 }
 
 void EncodeBody(Encoder& enc, const GetReply& m) {
@@ -41,12 +70,15 @@ void EncodeBody(Encoder& enc, const GetReply& m) {
   enc.PutBool(m.served_by_primary);
   enc.PutVarint64(m.config_epoch);
   enc.PutLengthPrefixed(m.primary_hint);
+  enc.PutVarint64(static_cast<uint64_t>(m.queue_delay_us));
 }
 
 void EncodeBody(Encoder& enc, const PutRequest& m) {
   enc.PutLengthPrefixed(m.table);
   enc.PutLengthPrefixed(m.key);
   enc.PutLengthPrefixed(m.value);
+  enc.PutLengthPrefixed(m.tenant);
+  enc.PutVarint64(static_cast<uint64_t>(m.deadline_us));
 }
 
 void EncodeBody(Encoder& enc, const PutReply& m) {
@@ -54,6 +86,7 @@ void EncodeBody(Encoder& enc, const PutReply& m) {
   enc.PutTimestamp(m.high_timestamp);
   enc.PutVarint64(m.config_epoch);
   enc.PutLengthPrefixed(m.primary_hint);
+  enc.PutVarint64(static_cast<uint64_t>(m.queue_delay_us));
 }
 
 void EncodeBody(Encoder& enc, const ProbeRequest& m) {
@@ -65,6 +98,7 @@ void EncodeBody(Encoder& enc, const ProbeReply& m) {
   enc.PutBool(m.is_primary);
   enc.PutVarint64(m.config_epoch);
   enc.PutLengthPrefixed(m.primary_hint);
+  enc.PutVarint64(static_cast<uint64_t>(m.queue_delay_us));
 }
 
 void EncodeBody(Encoder& enc, const SyncRequest& m) {
@@ -122,6 +156,10 @@ void EncodeBody(Encoder& enc, const RangeRequest& m) {
   enc.PutLengthPrefixed(m.begin);
   enc.PutLengthPrefixed(m.end);
   enc.PutVarint64(m.limit);
+  enc.PutLengthPrefixed(m.tenant);
+  enc.PutVarint64(static_cast<uint64_t>(m.deadline_us));
+  enc.PutVarint64(m.utility_micros);
+  enc.PutBool(m.strong_read);
 }
 
 void EncodeBody(Encoder& enc, const RangeReply& m) {
@@ -134,6 +172,7 @@ void EncodeBody(Encoder& enc, const RangeReply& m) {
   enc.PutBool(m.served_by_primary);
   enc.PutVarint64(m.config_epoch);
   enc.PutLengthPrefixed(m.primary_hint);
+  enc.PutVarint64(static_cast<uint64_t>(m.queue_delay_us));
 }
 
 void EncodeBody(Encoder& enc, const DeleteRequest& m) {
@@ -154,6 +193,7 @@ void EncodeBody(Encoder& enc, const ErrorReply& m) {
   enc.PutLengthPrefixed(m.message);
   enc.PutVarint64(m.config_epoch);
   enc.PutLengthPrefixed(m.primary_hint);
+  enc.PutVarint64(m.retry_after_ms);
 }
 
 void EncodeBody(Encoder& enc, const ConfigRequest& m) {
@@ -172,7 +212,12 @@ void EncodeBody(Encoder& enc, const ConfigReply& m) {
 
 Status DecodeBody(Decoder& dec, GetRequest* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
-  return dec.GetLengthPrefixedString(&m->key);
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->key));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->tenant));
+  PILEUS_RETURN_IF_ERROR(DecodeMicros(dec, &m->deadline_us));
+  PILEUS_RETURN_IF_ERROR(
+      DecodeUint32(dec, &m->utility_micros, "utility overflow"));
+  return dec.GetBool(&m->strong_read);
 }
 
 Status DecodeBody(Decoder& dec, GetReply* m) {
@@ -182,20 +227,24 @@ Status DecodeBody(Decoder& dec, GetReply* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
   PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->served_by_primary));
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
-  return dec.GetLengthPrefixedString(&m->primary_hint);
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->primary_hint));
+  return DecodeMicros(dec, &m->queue_delay_us);
 }
 
 Status DecodeBody(Decoder& dec, PutRequest* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
   PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->key));
-  return dec.GetLengthPrefixedString(&m->value);
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->value));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->tenant));
+  return DecodeMicros(dec, &m->deadline_us);
 }
 
 Status DecodeBody(Decoder& dec, PutReply* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->timestamp));
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
-  return dec.GetLengthPrefixedString(&m->primary_hint);
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->primary_hint));
+  return DecodeMicros(dec, &m->queue_delay_us);
 }
 
 Status DecodeBody(Decoder& dec, ProbeRequest* m) {
@@ -206,7 +255,8 @@ Status DecodeBody(Decoder& dec, ProbeReply* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
   PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->is_primary));
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
-  return dec.GetLengthPrefixedString(&m->primary_hint);
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->primary_hint));
+  return DecodeMicros(dec, &m->queue_delay_us);
 }
 
 Status DecodeBody(Decoder& dec, SyncRequest* m) {
@@ -291,7 +341,11 @@ Status DecodeBody(Decoder& dec, RangeRequest* m) {
     return Status(StatusCode::kCorruption, "range limit overflow");
   }
   m->limit = static_cast<uint32_t>(limit);
-  return Status::Ok();
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->tenant));
+  PILEUS_RETURN_IF_ERROR(DecodeMicros(dec, &m->deadline_us));
+  PILEUS_RETURN_IF_ERROR(
+      DecodeUint32(dec, &m->utility_micros, "utility overflow"));
+  return dec.GetBool(&m->strong_read);
 }
 
 Status DecodeBody(Decoder& dec, RangeReply* m) {
@@ -308,7 +362,8 @@ Status DecodeBody(Decoder& dec, RangeReply* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&m->high_timestamp));
   PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->served_by_primary));
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
-  return dec.GetLengthPrefixedString(&m->primary_hint);
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->primary_hint));
+  return DecodeMicros(dec, &m->queue_delay_us);
 }
 
 Status DecodeBody(Decoder& dec, DeleteRequest* m) {
@@ -327,13 +382,14 @@ Status DecodeBody(Decoder& dec, StatsReply* m) {
 Status DecodeBody(Decoder& dec, ErrorReply* m) {
   uint64_t code;
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&code));
-  if (code > static_cast<uint64_t>(StatusCode::kOutOfRange)) {
+  if (code > static_cast<uint64_t>(kMaxStatusCode)) {
     return Status(StatusCode::kCorruption, "unknown status code");
   }
   m->code = static_cast<StatusCode>(code);
   PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->message));
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
-  return dec.GetLengthPrefixedString(&m->primary_hint);
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->primary_hint));
+  return DecodeUint32(dec, &m->retry_after_ms, "retry_after overflow");
 }
 
 Status DecodeBody(Decoder& dec, ConfigRequest* m) {
@@ -418,6 +474,28 @@ MessageType TypeOf(const Message& message) {
         }
       },
       message);
+}
+
+bool IsDataPathRequest(const Message& message) {
+  switch (TypeOf(message)) {
+    case MessageType::kGetRequest:
+    case MessageType::kGetAtRequest:
+    case MessageType::kRangeRequest:
+    case MessageType::kPutRequest:
+    case MessageType::kDeleteRequest:
+    case MessageType::kCommitRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Message MakeOverloadedReply(uint32_t retry_after_ms) {
+  ErrorReply reply;
+  reply.code = StatusCode::kOverloaded;
+  reply.message = "request shed by overload fault injection";
+  reply.retry_after_ms = retry_after_ms;
+  return reply;
 }
 
 std::string_view MessageTypeName(MessageType type) {

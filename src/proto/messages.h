@@ -75,6 +75,19 @@ struct ObjectVersion {
 struct GetRequest {
   std::string table;
   std::string key;
+  // Admission-control context (DESIGN.md Section 11). `tenant` names the
+  // token bucket the request draws from (empty = the table's default bucket).
+  // `deadline_us` is the client's remaining latency budget; a node whose
+  // queue delay already exceeds it rejects instead of serving a useless
+  // reply. `utility_micros` is the utility of the subSLA rank the client is
+  // targeting, in millionths (1'000'000 = utility 1.0): under pressure the
+  // node sheds low-utility reads first. `strong_read` marks reads the client
+  // issued to meet an authoritative-only guarantee; they are protected until
+  // the queue is nearly full, like writes.
+  std::string tenant;
+  MicrosecondCount deadline_us = 0;  // 0 = no deadline.
+  uint32_t utility_micros = 1'000'000;
+  bool strong_read = false;
 };
 
 struct GetReply {
@@ -89,12 +102,21 @@ struct GetReply {
   // installed a config (legacy static placement).
   uint64_t config_epoch = 0;
   std::string primary_hint;
+  // Server-measured admission queue delay at serve time: how far behind its
+  // admitted-op budget the node was (DESIGN.md Section 11). Clients feed it
+  // to the monitor so selection can steer around queuing replicas before
+  // they start shedding.
+  MicrosecondCount queue_delay_us = 0;
 };
 
 struct PutRequest {
   std::string table;
   std::string key;
   std::string value;
+  // Admission-control context; see GetRequest. Writes carry no utility or
+  // strong-read marker because they are always shed last.
+  std::string tenant;
+  MicrosecondCount deadline_us = 0;  // 0 = no deadline.
 };
 
 struct PutReply {
@@ -102,6 +124,7 @@ struct PutReply {
   Timestamp high_timestamp;  // Primary's high timestamp after the Put.
   uint64_t config_epoch = 0;  // Installed config epoch (0 = unconfigured).
   std::string primary_hint;   // That config's primary.
+  MicrosecondCount queue_delay_us = 0;  // Admission queue delay at serve time.
 };
 
 struct ProbeRequest {
@@ -113,6 +136,9 @@ struct ProbeReply {
   bool is_primary = false;
   uint64_t config_epoch = 0;  // Installed config epoch (0 = unconfigured).
   std::string primary_hint;   // That config's primary.
+  // Current admission queue delay for the probed table's bucket, so monitors
+  // learn about building pressure even between data-path replies.
+  MicrosecondCount queue_delay_us = 0;
 };
 
 struct SyncRequest {
@@ -168,6 +194,10 @@ struct ErrorReply {
   // 0/empty on other errors or when the node never installed a config.
   uint64_t config_epoch = 0;
   std::string primary_hint;
+  // For kOverloaded: how long the shedding node expects to need before its
+  // queue drains below the rejected class's threshold. Clients back off at
+  // least this long before retrying the same node. 0 on other errors.
+  uint32_t retry_after_ms = 0;
 };
 
 // Deletes a key by writing a tombstone at the primary. Answered with a
@@ -183,6 +213,11 @@ struct RangeRequest {
   std::string begin;
   std::string end;
   uint32_t limit = 0;  // 0 = unlimited.
+  // Admission-control context; see GetRequest.
+  std::string tenant;
+  MicrosecondCount deadline_us = 0;  // 0 = no deadline.
+  uint32_t utility_micros = 1'000'000;
+  bool strong_read = false;
 };
 
 struct RangeReply {
@@ -194,6 +229,7 @@ struct RangeReply {
   bool served_by_primary = false;
   uint64_t config_epoch = 0;  // Installed config epoch (0 = unconfigured).
   std::string primary_hint;   // That config's primary.
+  MicrosecondCount queue_delay_us = 0;  // Admission queue delay at serve time.
 };
 
 // Asks a server process for its telemetry in the given export format
@@ -241,6 +277,16 @@ using Message =
 
 MessageType TypeOf(const Message& message);
 std::string_view MessageTypeName(MessageType type);
+
+// True for request types admission control governs (Get / GetAt / Range /
+// Put / Delete / Commit). Control traffic — probes, sync pulls, config,
+// stats — is exempt, so monitoring and replication keep working while a node
+// sheds load. Fault-injecting transports use this to decide which messages
+// an overload rule may shed (DESIGN.md Section 11).
+bool IsDataPathRequest(const Message& message);
+
+// The rejection an overloaded node answers a shed request with.
+Message MakeOverloadedReply(uint32_t retry_after_ms);
 
 // Serializes `message` (type tag + version + body) into a byte string.
 std::string EncodeMessage(const Message& message);

@@ -104,6 +104,14 @@ void FaultInjector::SetCorruption(std::string_view node, double probability) {
   SetNodeRule(node, rule);
 }
 
+void FaultInjector::SetOverloadNode(std::string_view node, double probability,
+                                    uint32_t retry_after_ms) {
+  FaultRule rule;
+  rule.overload_probability = std::clamp(probability, 0.0, 1.0);
+  rule.overload_retry_after_ms = retry_after_ms;
+  SetNodeRule(node, rule);
+}
+
 void FaultInjector::SetPartition(std::string_view from, std::string_view to,
                                  bool blocked) {
   FaultRule rule;
@@ -125,6 +133,12 @@ void FaultInjector::Combine(const FaultRule& rule, FaultDecision* decision,
   }
   if (rule.corrupt_probability > 0.0 && rng.NextBool(rule.corrupt_probability)) {
     decision->corrupt = true;
+  }
+  if (rule.overload_probability > 0.0 &&
+      rng.NextBool(rule.overload_probability)) {
+    decision->overload = true;
+    decision->retry_after_ms =
+        std::max(decision->retry_after_ms, rule.overload_retry_after_ms);
   }
   decision->latency_multiplier *= std::max(1.0, rule.latency_multiplier);
 }
@@ -154,8 +168,18 @@ FaultDecision FaultInjector::OnMessage(std::string_view from,
   if (decision.drop) {
     // A dropped message is only dropped; the other effects are moot.
     decision.corrupt = false;
+    decision.overload = false;
     decision.latency_multiplier = 1.0;
     messages_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return decision;
+  }
+  if (decision.overload) {
+    // A shed request is answered with a fast rejection, not served: the
+    // other effects are moot. The transport still decides whether the
+    // message is data-path (only those are shed), so the counter tracks
+    // decisions, not necessarily synthesized rejections.
+    decision.corrupt = false;
+    messages_overloaded_.fetch_add(1, std::memory_order_relaxed);
     return decision;
   }
   if (decision.corrupt) {

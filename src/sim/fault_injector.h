@@ -50,10 +50,17 @@ struct FaultRule {
   double corrupt_probability = 0.0;
   // Gray failure: messages take this many times longer (>= 1.0).
   double latency_multiplier = 1.0;
+  // Overload (DESIGN.md Section 11): this fraction of *data-path requests*
+  // is answered with a fast kOverloaded rejection carrying
+  // `overload_retry_after_ms`, as if the node's admission controller shed
+  // them. Control traffic (probes, sync, config) is never synthesized away,
+  // matching the real controller's bypass.
+  double overload_probability = 0.0;
+  uint32_t overload_retry_after_ms = 50;
 
   bool IsHealthy() const {
     return !block && drop_probability == 0.0 && corrupt_probability == 0.0 &&
-           latency_multiplier == 1.0;
+           latency_multiplier == 1.0 && overload_probability == 0.0;
   }
 };
 
@@ -62,6 +69,10 @@ struct FaultDecision {
   bool drop = false;
   bool corrupt = false;
   double latency_multiplier = 1.0;
+  // Answer with a synthesized kOverloaded rejection (data-path requests
+  // only; the transport decides what counts as data-path).
+  bool overload = false;
+  uint32_t retry_after_ms = 0;
 };
 
 class FaultInjector {
@@ -102,6 +113,11 @@ class FaultInjector {
   // Payload corruption on everything touching the node.
   void SetCorruption(std::string_view node, double probability);
 
+  // Overload: the node sheds this fraction of data-path requests with
+  // kOverloaded rejections hinting `retry_after_ms`.
+  void SetOverloadNode(std::string_view node, double probability,
+                       uint32_t retry_after_ms = 50);
+
   // Asymmetric partition: from -> to is blocked; the reverse direction is
   // untouched unless partitioned separately.
   void SetPartition(std::string_view from, std::string_view to, bool blocked);
@@ -132,6 +148,9 @@ class FaultInjector {
   uint64_t messages_slowed() const {
     return messages_slowed_.load(std::memory_order_relaxed);
   }
+  uint64_t messages_overloaded() const {
+    return messages_overloaded_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Folds `rule` into `decision`; returns true when the message is dropped
@@ -148,6 +167,7 @@ class FaultInjector {
   mutable std::atomic<uint64_t> messages_dropped_{0};
   mutable std::atomic<uint64_t> messages_corrupted_{0};
   mutable std::atomic<uint64_t> messages_slowed_{0};
+  mutable std::atomic<uint64_t> messages_overloaded_{0};
 };
 
 }  // namespace pileus::sim

@@ -296,6 +296,11 @@ std::vector<proto::ObjectVersion> StorageNode::ExportTableLog(
   return merged;
 }
 
+void StorageNode::EnableAdmission(AdmissionOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admission_ = std::make_unique<AdmissionController>(options);
+}
+
 void StorageNode::EnableTelemetry(telemetry::MetricsRegistry* registry) {
   std::lock_guard<std::mutex> lock(mu_);
   if (registry == nullptr) {
@@ -322,6 +327,19 @@ void StorageNode::EnableTelemetry(telemetry::MetricsRegistry* registry) {
                             {{"node", name_}}));
   instruments_.log_size = registry->GetGauge(
       telemetry::WithLabels("pileus_storage_update_log_size", {{"node", name_}}));
+  instruments_.admitted = counter("pileus_storage_admitted_total");
+  instruments_.shed_reads = registry->GetCounter(telemetry::WithLabels(
+      "pileus_storage_shed_total", {{"node", name_}, {"class", "read"}}));
+  instruments_.shed_strong_reads = registry->GetCounter(telemetry::WithLabels(
+      "pileus_storage_shed_total",
+      {{"node", name_}, {"class", "strong_read"}}));
+  instruments_.shed_writes = registry->GetCounter(telemetry::WithLabels(
+      "pileus_storage_shed_total", {{"node", name_}, {"class", "write"}}));
+  instruments_.deadline_rejected =
+      counter("pileus_storage_deadline_rejected_total");
+  instruments_.queue_delay_us = registry->GetHistogram(
+      telemetry::WithLabels("pileus_storage_queue_delay_us",
+                            {{"node", name_}}));
 }
 
 void StorageNode::CountRequestLocked(const proto::Message& request,
@@ -381,10 +399,112 @@ void StorageNode::CountRequestLocked(const proto::Message& request,
   instruments_.log_size->Set(log_entries);
 }
 
+std::optional<proto::Message> StorageNode::AdmitLocked(
+    const proto::Message& request, AdmitDecision* decision) {
+  AdmitClass cls;
+  std::string_view tenant;
+  double utility = admission_->options().utility_reference;
+  MicrosecondCount deadline_us = 0;
+  if (const auto* get = std::get_if<proto::GetRequest>(&request)) {
+    cls = get->strong_read ? AdmitClass::kStrongRead : AdmitClass::kRead;
+    tenant = get->tenant.empty() ? std::string_view(get->table) : get->tenant;
+    utility = get->utility_micros / 1e6;
+    deadline_us = get->deadline_us;
+  } else if (const auto* range = std::get_if<proto::RangeRequest>(&request)) {
+    cls = range->strong_read ? AdmitClass::kStrongRead : AdmitClass::kRead;
+    tenant =
+        range->tenant.empty() ? std::string_view(range->table) : range->tenant;
+    utility = range->utility_micros / 1e6;
+    deadline_us = range->deadline_us;
+  } else if (const auto* get_at = std::get_if<proto::GetAtRequest>(&request)) {
+    // Snapshot reads belong to transactions; treat them as full-utility
+    // reads under the table's default bucket.
+    cls = AdmitClass::kRead;
+    tenant = get_at->table;
+  } else if (const auto* put = std::get_if<proto::PutRequest>(&request)) {
+    cls = AdmitClass::kWrite;
+    tenant = put->tenant.empty() ? std::string_view(put->table) : put->tenant;
+    deadline_us = put->deadline_us;
+  } else if (const auto* del = std::get_if<proto::DeleteRequest>(&request)) {
+    cls = AdmitClass::kWrite;
+    tenant = del->table;
+  } else if (const auto* commit = std::get_if<proto::CommitRequest>(&request)) {
+    cls = AdmitClass::kWrite;
+    tenant = commit->table;
+  } else {
+    return std::nullopt;  // Control plane: never admitted, never shed.
+  }
+  *decision =
+      admission_->Admit(tenant, cls, utility, deadline_us, clock_->NowMicros());
+  if (decision->admitted) {
+    if (instruments_.admitted != nullptr) {
+      instruments_.admitted->Increment();
+      instruments_.queue_delay_us->Record(decision->queue_delay_us);
+    }
+    return std::nullopt;
+  }
+  if (instruments_.admitted != nullptr) {
+    if (decision->deadline_exceeded) {
+      instruments_.deadline_rejected->Increment();
+    } else {
+      switch (cls) {
+        case AdmitClass::kRead:
+          instruments_.shed_reads->Increment();
+          break;
+        case AdmitClass::kStrongRead:
+          instruments_.shed_strong_reads->Increment();
+          break;
+        case AdmitClass::kWrite:
+          instruments_.shed_writes->Increment();
+          break;
+      }
+    }
+  }
+  proto::ErrorReply err;
+  err.code = StatusCode::kOverloaded;
+  err.retry_after_ms = decision->retry_after_ms;
+  err.message = decision->deadline_exceeded
+                    ? "queue delay exceeds request deadline"
+                    : "node " + name_ + " shed " +
+                          std::string(AdmitClassName(cls));
+  return proto::Message(std::move(err));
+}
+
+void StorageNode::StampQueueDelayLocked(const proto::Message& request,
+                                        const AdmitDecision& decision,
+                                        proto::Message& reply) {
+  if (admission_ == nullptr) {
+    return;
+  }
+  MicrosecondCount delay = decision.queue_delay_us;
+  if (const auto* probe = std::get_if<proto::ProbeRequest>(&request)) {
+    // Probes bypass admission but still report pressure: monitors learn the
+    // bucket's current queue delay between data-path replies.
+    delay = admission_->CurrentQueueDelay(probe->table, clock_->NowMicros());
+  }
+  std::visit(
+      [delay](auto& m) {
+        if constexpr (requires { m.queue_delay_us; }) {
+          m.queue_delay_us = delay;
+        }
+      },
+      reply);
+}
+
 proto::Message StorageNode::Handle(const proto::Message& request) {
   std::lock_guard<std::mutex> lock(mu_);
   ++requests_served_;
+  AdmitDecision decision;
+  if (admission_ != nullptr) {
+    if (std::optional<proto::Message> rejection =
+            AdmitLocked(request, &decision)) {
+      StampConfigLocked(TableOf(request), *rejection);
+      CountRequestLocked(request, *rejection);
+      return std::move(*rejection);
+    }
+  }
   proto::Message reply = HandleLocked(request);
+  StampQueueDelayLocked(request, decision, reply);
   // Piggyback the installed config on everything we send back (Section 6.2):
   // clients learn about a reconfiguration from ordinary traffic.
   StampConfigLocked(TableOf(request), reply);

@@ -21,6 +21,7 @@
 #include "src/common/status.h"
 #include "src/proto/messages.h"
 #include "src/reconfig/config_epoch.h"
+#include "src/storage/admission.h"
 #include "src/storage/tablet.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/key_range.h"
@@ -99,6 +100,16 @@ class StorageNode {
   // and must outlive the node.
   void EnableTelemetry(telemetry::MetricsRegistry* registry);
 
+  // Puts every subsequent data-path request through per-tenant admission
+  // control (DESIGN.md Section 11). Control traffic — probes, sync pulls,
+  // config installs, stats — bypasses admission so monitoring and
+  // replication keep working while the node sheds load. Call again with
+  // different options to replace the controller (buckets reset).
+  void EnableAdmission(AdmissionOptions options);
+
+  // The active controller (nullptr when admission was never enabled).
+  AdmissionController* admission() { return admission_.get(); }
+
  private:
   struct TableConfig {
     reconfig::ConfigEpoch config;
@@ -129,6 +140,16 @@ class StorageNode {
   // EnableTelemetry was never called. Called with mu_ held.
   void CountRequestLocked(const proto::Message& request,
                           const proto::Message& reply);
+  // Runs `request` through the admission controller. Returns the rejection
+  // reply when the request was shed, nullopt when it was admitted (with the
+  // measured queue delay in `*decision`) or is control traffic.
+  std::optional<proto::Message> AdmitLocked(const proto::Message& request,
+                                            AdmitDecision* decision);
+  // Stamps the reply's queue_delay_us field: the admission decision's delay
+  // on data-path replies, the bucket's current delay on probe replies.
+  void StampQueueDelayLocked(const proto::Message& request,
+                             const AdmitDecision& decision,
+                             proto::Message& reply);
 
   struct Instruments {
     telemetry::Counter* gets = nullptr;
@@ -144,6 +165,13 @@ class StorageNode {
     telemetry::Counter* not_primary = nullptr;
     telemetry::Gauge* high_timestamp_us = nullptr;
     telemetry::Gauge* log_size = nullptr;
+    // Overload-control instruments (DESIGN.md Section 11).
+    telemetry::Counter* admitted = nullptr;
+    telemetry::Counter* shed_reads = nullptr;
+    telemetry::Counter* shed_strong_reads = nullptr;
+    telemetry::Counter* shed_writes = nullptr;
+    telemetry::Counter* deadline_rejected = nullptr;
+    telemetry::HistogramMetric* queue_delay_us = nullptr;
   };
 
   std::string name_;
@@ -157,6 +185,7 @@ class StorageNode {
   std::map<std::string, TableConfig, std::less<>> configs_;
   uint64_t requests_served_ = 0;
   Instruments instruments_;
+  std::unique_ptr<AdmissionController> admission_;
 };
 
 }  // namespace pileus::storage

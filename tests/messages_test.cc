@@ -42,6 +42,83 @@ TEST(MessagesTest, GetReplyRoundTrip) {
   EXPECT_TRUE(out.served_by_primary);
 }
 
+TEST(MessagesTest, AdmissionContextRoundTrip) {
+  // Wire v4: requests carry the tenant, remaining deadline, target-rank
+  // utility, and strong-read flag; replies carry the server-measured
+  // admission queue delay; rejections carry a retry_after hint.
+  GetRequest get;
+  get.table = "t";
+  get.key = "k";
+  get.tenant = "tenant-a";
+  get.deadline_us = 250'000;
+  get.utility_micros = 400'000;
+  get.strong_read = true;
+  const GetRequest get_out = RoundTrip(get);
+  EXPECT_EQ(get_out.tenant, "tenant-a");
+  EXPECT_EQ(get_out.deadline_us, 250'000);
+  EXPECT_EQ(get_out.utility_micros, 400'000u);
+  EXPECT_TRUE(get_out.strong_read);
+
+  PutRequest put;
+  put.table = "t";
+  put.key = "k";
+  put.tenant = "tenant-b";
+  put.deadline_us = 1'000'000;
+  const PutRequest put_out = RoundTrip(put);
+  EXPECT_EQ(put_out.tenant, "tenant-b");
+  EXPECT_EQ(put_out.deadline_us, 1'000'000);
+
+  RangeRequest range;
+  range.table = "t";
+  range.tenant = "tenant-c";
+  range.deadline_us = 42;
+  range.utility_micros = 100'000;
+  range.strong_read = false;
+  const RangeRequest range_out = RoundTrip(range);
+  EXPECT_EQ(range_out.tenant, "tenant-c");
+  EXPECT_EQ(range_out.deadline_us, 42);
+  EXPECT_EQ(range_out.utility_micros, 100'000u);
+  EXPECT_FALSE(range_out.strong_read);
+
+  GetReply get_reply;
+  get_reply.found = true;
+  get_reply.value = "v";
+  get_reply.queue_delay_us = 7'500;
+  EXPECT_EQ(RoundTrip(get_reply).queue_delay_us, 7'500);
+
+  PutReply put_reply;
+  put_reply.queue_delay_us = 123;
+  EXPECT_EQ(RoundTrip(put_reply).queue_delay_us, 123);
+
+  ErrorReply error;
+  error.code = StatusCode::kOverloaded;
+  error.message = "shed";
+  error.retry_after_ms = 45;
+  const ErrorReply error_out = RoundTrip(error);
+  EXPECT_EQ(error_out.code, StatusCode::kOverloaded);
+  EXPECT_EQ(error_out.retry_after_ms, 45u);
+}
+
+TEST(MessagesTest, DataPathClassification) {
+  // Data-path requests pass through admission; control traffic (probes,
+  // sync pulls, config installs, stats) must bypass it.
+  EXPECT_TRUE(IsDataPathRequest(Message(GetRequest{})));
+  EXPECT_TRUE(IsDataPathRequest(Message(PutRequest{})));
+  EXPECT_TRUE(IsDataPathRequest(Message(RangeRequest{})));
+  EXPECT_TRUE(IsDataPathRequest(Message(DeleteRequest{})));
+  EXPECT_FALSE(IsDataPathRequest(Message(ProbeRequest{})));
+  EXPECT_FALSE(IsDataPathRequest(Message(SyncRequest{})));
+  EXPECT_FALSE(IsDataPathRequest(Message(StatsRequest{})));
+}
+
+TEST(MessagesTest, MakeOverloadedReplyCarriesHint) {
+  const Message reply = MakeOverloadedReply(80);
+  const ErrorReply* error = std::get_if<ErrorReply>(&reply);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, StatusCode::kOverloaded);
+  EXPECT_EQ(error->retry_after_ms, 80u);
+}
+
 TEST(MessagesTest, GetReplyNotFoundRoundTrip) {
   GetReply in;
   in.found = false;

@@ -105,6 +105,14 @@ class InProcCluster {
 
   void PullNow() { puller_->PullNow(); }
   storage::StorageNode& local() { return local_; }
+  storage::StorageNode& primary() { return primary_; }
+
+  // Turns on per-tenant admission control on both nodes (DESIGN.md
+  // Section 11) so overload tests shed through the real controller.
+  void EnableAdmission(const storage::AdmissionOptions& options) {
+    primary_.EnableAdmission(options);
+    local_.EnableAdmission(options);
+  }
 
  private:
   storage::StorageNode primary_;

@@ -51,7 +51,7 @@ int Run(int argc, char** argv) {
   flags.DefineInt("num_seeds", 8, "seeds per scenario when sweeping");
   flags.DefineString("scenarios", "none,partition,crash-restart",
                      "comma-separated: none, partition, drops, gray, "
-                     "crash-restart, handoff, failover");
+                     "crash-restart, handoff, failover, overload");
   flags.DefineInt("ops", 600, "client operations per run");
   flags.DefineInt("keys", 100, "distinct keys in the workload");
   flags.DefineString("durable_root", "",

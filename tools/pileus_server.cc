@@ -74,6 +74,13 @@ int main(int argc, char** argv) {
   flags.DefineBool("verbose", false, "log at INFO level");
   flags.DefineInt("stats_period_s", 0,
                   "print a telemetry summary every N seconds (0 = off)");
+  flags.DefineInt("admit_ops_per_sec", 0,
+                  "per-tenant admission rate in ops/s (0 = admission off; "
+                  "in-memory nodes only)");
+  flags.DefineInt("admit_burst", 16,
+                  "admission bucket burst in ops (with --admit_ops_per_sec)");
+  flags.DefineInt("admit_queue", 32,
+                  "admission max backlog in ops (with --admit_ops_per_sec)");
   if (!flags.Parse(argc, argv)) {
     return 2;
   }
@@ -135,9 +142,31 @@ int main(int argc, char** argv) {
       return 1;
     }
     tablet = node->FindTablet(table, "");
+    if (flags.GetInt("admit_ops_per_sec") > 0) {
+      // Overload control (DESIGN.md Section 11): per-tenant token buckets
+      // with utility-weighted shedding. The shed/queue-delay counters show
+      // up in `pileus_cli stats` via the telemetry registry.
+      storage::AdmissionOptions admission;
+      admission.tenant_ops_per_sec =
+          static_cast<double>(flags.GetInt("admit_ops_per_sec"));
+      admission.tenant_burst_ops =
+          static_cast<double>(flags.GetInt("admit_burst"));
+      admission.tenant_max_queue_ops =
+          static_cast<double>(flags.GetInt("admit_queue"));
+      node->EnableAdmission(admission);
+      std::printf("admission: %lld ops/s per tenant (burst %lld, queue %lld)\n",
+                  static_cast<long long>(flags.GetInt("admit_ops_per_sec")),
+                  static_cast<long long>(flags.GetInt("admit_burst")),
+                  static_cast<long long>(flags.GetInt("admit_queue")));
+    }
     handler = [raw = node.get()](const proto::Message& m) {
       return raw->Handle(m);
     };
+  }
+  if (durable && flags.GetInt("admit_ops_per_sec") > 0) {
+    std::fprintf(stderr,
+                 "warning: --admit_ops_per_sec is ignored with --data_dir "
+                 "(admission runs on in-memory nodes only)\n");
   }
 
   // Scrape endpoint: a StatsRequest on the regular port answers with this
