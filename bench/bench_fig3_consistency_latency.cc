@@ -24,7 +24,9 @@
 #include "src/experiments/geo_testbed.h"
 #include "src/experiments/runner.h"
 #include "src/experiments/tables.h"
+#include "src/monitoring/aggregator.h"
 #include "src/telemetry/metrics.h"
+#include "src/workload/ycsb.h"
 
 namespace {
 
@@ -39,6 +41,110 @@ constexpr uint64_t kWarmupOps = 1000;
 bool SmokeMode() {
   const char* value = std::getenv("PILEUS_BENCH_SMOKE");
   return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+// --- Cold-start column (DESIGN.md Section 12) ---
+//
+// A brand-new client has an empty monitor: its optimistic "unknown nodes are
+// fast" estimate targets the strong subSLA at the far-away primary, misses
+// both latency bounds, and the first operation delivers zero utility. With a
+// fleet digest installed as a prior — and zero probes sent — the same client
+// ranks the SLA like a warmed-up one and takes the local eventual read.
+//
+// Per seeded trial: warm a probing client at the trial's site, feed its
+// monitor into an aggregator, then issue one Get each from two fresh clients
+// (digest installed vs nothing) and compare target ranks and first-op
+// utility. Self-checked: rank agreement with the warm client >= 90%, and the
+// prior-informed mean first-op utility must beat the no-prior baseline.
+
+struct ColdStartSiteStats {
+  uint64_t trials = 0;
+  double utility_prior_sum = 0.0;
+  double utility_noprior_sum = 0.0;
+};
+
+struct ColdStartResult {
+  uint64_t trials = 0;
+  uint64_t rank_agreements = 0;
+  double utility_prior_sum = 0.0;
+  double utility_noprior_sum = 0.0;
+  std::vector<ColdStartSiteStats> per_site;  // Parallel to the site list.
+};
+
+// The SLA the cold client ranks: strong within 100 ms (utility 1.0) vs
+// eventual within 200 ms (utility 0.5). Chosen so the primary's real RTT
+// from every non-England site breaks the strong bound: targeting it on
+// optimism costs the first op (from China the 307 ms round trip even breaks
+// the eventual bound), while the prior steers to the nearest replica.
+pileus::core::Sla ColdStartSla() {
+  return pileus::core::Sla()
+      .Add(Guarantee::Strong(), 100 * 1000, 1.0)
+      .Add(Guarantee::Eventual(), 200 * 1000, 0.5);
+}
+
+ColdStartResult RunColdStart(bool smoke, const std::vector<const char*>& sites,
+                             int preload_keys) {
+  ColdStartResult result;
+  result.per_site.resize(sites.size());
+  const uint64_t trials = smoke ? 8 : 40;
+  const pileus::core::Sla sla = ColdStartSla();
+  const std::string key = pileus::workload::YcsbWorkload::KeyForIndex(0);
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const size_t site_index = trial % sites.size();
+    const char* site = sites[site_index];
+    GeoTestbedOptions testbed_options;
+    testbed_options.seed = 5000 + trial;
+    GeoTestbed testbed(testbed_options);
+    PreloadKeys(testbed, preload_keys);
+    testbed.StartReplication();
+
+    // Warm reference: a probing client that has measured the fleet.
+    auto warm = testbed.MakeClient(site, {});
+    warm->StartProbing();
+    testbed.env().RunFor(pileus::SecondsToMicroseconds(12));
+    warm->StopProbing();
+
+    // The fleet digest, built from the warm client's report alone (one
+    // reporter is the degenerate fleet; the merge path is identical).
+    pileus::monitoring::MonitorAggregator aggregator(testbed.env().clock());
+    pileus::core::Monitor& warm_monitor = warm->client().monitor();
+    aggregator.Ingest(site, warm_monitor.state_version(),
+                      warm_monitor.BuildReportConditions());
+    const pileus::monitoring::ConditionDigest digest = aggregator.Digest();
+
+    auto with_prior = testbed.MakeClient(site, {});
+    auto no_prior = testbed.MakeClient(site, {});
+    with_prior->client().monitor().InstallDigest(digest);
+
+    // One first-op Get per client; none of the three sends a probe here.
+    auto first_get = [&](GeoClient& frontend) -> pileus::core::GetOutcome {
+      auto session = frontend.client().BeginSession(sla);
+      if (!session.ok()) {
+        return {};
+      }
+      auto got = frontend.client().Get(*session, key);
+      return got.ok() ? got->outcome : pileus::core::GetOutcome{};
+    };
+    const pileus::core::GetOutcome warm_outcome = first_get(*warm);
+    const pileus::core::GetOutcome prior_outcome = first_get(*with_prior);
+    const pileus::core::GetOutcome noprior_outcome = first_get(*no_prior);
+
+    if (with_prior->probes_sent() != 0 || no_prior->probes_sent() != 0) {
+      std::printf("FAIL: cold-start client sent probes\n");
+      std::exit(1);
+    }
+    ++result.trials;
+    if (prior_outcome.target_rank == warm_outcome.target_rank) {
+      ++result.rank_agreements;
+    }
+    result.utility_prior_sum += prior_outcome.utility;
+    result.utility_noprior_sum += noprior_outcome.utility;
+    ColdStartSiteStats& site_stats = result.per_site[site_index];
+    ++site_stats.trials;
+    site_stats.utility_prior_sum += prior_outcome.utility;
+    site_stats.utility_noprior_sum += noprior_outcome.utility;
+  }
+  return result;
 }
 
 }  // namespace
@@ -143,6 +249,65 @@ int main() {
 
   std::printf("Paper (ms):        strong 147/1/435/307, causal 146/1/431/306,\n"
               "                   bounded(30) 75/1/234/241, rmw 13/1/18/166,\n"
-              "                   monotonic 1/1/1/160, eventual 1/1/1/160\n");
+              "                   monotonic 1/1/1/160, eventual 1/1/1/160\n\n");
+
+  // --- Cold start: first-op utility with vs without a fleet digest ---
+  const ColdStartResult cold =
+      RunColdStart(smoke, kClientSites, smoke ? 200 : 1000);
+  const double agreement = cold.trials == 0
+                               ? 0.0
+                               : static_cast<double>(cold.rank_agreements) /
+                                     static_cast<double>(cold.trials);
+  const double mean_prior =
+      cold.trials == 0 ? 0.0
+                       : cold.utility_prior_sum /
+                             static_cast<double>(cold.trials);
+  const double mean_noprior =
+      cold.trials == 0 ? 0.0
+                       : cold.utility_noprior_sum /
+                             static_cast<double>(cold.trials);
+  std::printf("=== Cold start: zero-probe first op, fleet digest as prior "
+              "===%s\n", smoke ? " [smoke]" : "");
+  std::printf("  trials:                    %llu (sites round-robin)\n",
+              static_cast<unsigned long long>(cold.trials));
+  std::printf("  rank agreement vs warmed:  %.1f%%\n", 100.0 * agreement);
+  std::printf("  mean first-op utility:     %.3f with prior, %.3f without\n",
+              mean_prior, mean_noprior);
+  for (size_t i = 0; i < kClientSites.size(); ++i) {
+    const ColdStartSiteStats& s = cold.per_site[i];
+    if (s.trials == 0) {
+      continue;
+    }
+    std::printf("    %-10s %.3f with prior, %.3f without (%llu trials)\n",
+                kClientSites[i],
+                s.utility_prior_sum / static_cast<double>(s.trials),
+                s.utility_noprior_sum / static_cast<double>(s.trials),
+                static_cast<unsigned long long>(s.trials));
+  }
+
+  FILE* json = std::fopen("BENCH_coldstart.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\"trials\": %llu, \"rank_agreement\": %.4f, "
+                 "\"mean_first_op_utility_prior\": %.4f, "
+                 "\"mean_first_op_utility_noprior\": %.4f, "
+                 "\"smoke\": %s}\n",
+                 static_cast<unsigned long long>(cold.trials), agreement,
+                 mean_prior, mean_noprior, smoke ? "true" : "false");
+    std::fclose(json);
+  }
+
+  // Self-checks: the digest must make a cold client rank like a warmed one
+  // and lift first-op utility over the optimistic no-prior baseline.
+  if (agreement < 0.9) {
+    std::printf("FAIL: cold-start rank agreement %.1f%% below 90%%\n",
+                100.0 * agreement);
+    return 1;
+  }
+  if (mean_prior <= mean_noprior) {
+    std::printf("FAIL: prior did not improve first-op utility "
+                "(%.3f vs %.3f)\n", mean_prior, mean_noprior);
+    return 1;
+  }
   return 0;
 }

@@ -34,6 +34,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/timestamp.h"
+#include "src/monitoring/digest.h"
 #include "src/util/sliding_window.h"
 
 namespace pileus::core {
@@ -72,6 +73,22 @@ class Monitor {
         100 * kMicrosecondsPerMillisecond;
     // EWMA smoothing factor for server-reported queue delays.
     double queue_delay_alpha = 0.3;
+    // --- Fleet priors (DESIGN.md Section 12, paper Section 6.1) ---
+    // A pushed ConditionDigest seeds each covered node with a prior worth
+    // this many pseudo-samples when fresh. Local evidence wins as it
+    // accumulates: the blend weight of the prior is
+    //   k = prior_strength * max(0, 1 - prior_age / prior_ttl_us)
+    // against n real windowed samples, i.e. local/prior = n/(n+k).
+    double prior_strength = 8.0;
+    // A prior decays to zero influence once it is this old (the priors
+    // themselves have bounded staleness; a dead aggregator fades out).
+    MicrosecondCount prior_ttl_us = SecondsToMicroseconds(60);
+    // Probe suppression: while a node's prior is younger than this,
+    // NeedsProbe reports false (the fleet already measured the node), so
+    // probers skip the redundant round trip. Once the prior outgrows the
+    // window, normal probing resumes - stale priors re-trigger probes.
+    // Half-open circuit breakers always probe regardless.
+    MicrosecondCount prior_probe_suppress_us = SecondsToMicroseconds(15);
   };
 
   enum class BreakerState {
@@ -112,6 +129,35 @@ class Monitor {
   // Server-measured queue delay piggybacked on a reply; smoothed into an
   // EWMA that selection subtracts from each rank's latency budget.
   void RecordQueueDelay(std::string_view node, MicrosecondCount delay_us);
+
+  // --- Fleet priors (DESIGN.md Section 12) ---
+
+  // Installs a pushed fleet digest as this monitor's prior. Monotonic in
+  // digest.version: a stale or already-installed version is ignored (and
+  // false returned). Per covered node the digest seeds the latency /
+  // reachability / queue-delay estimates (blended against local samples;
+  // see Options::prior_strength) and advances the known high timestamp,
+  // which is safe because high timestamps only grow. Never counts as
+  // contact: probe suppression is driven by prior freshness alone.
+  bool InstallDigest(const monitoring::ConditionDigest& digest);
+
+  // Version of the installed digest (0 = never installed) and its age
+  // (-1 = never installed).
+  uint64_t digest_version() const;
+  MicrosecondCount digest_age_us() const;
+
+  // This monitor's condition report for the aggregator: one NodeCondition
+  // per node with *local* evidence (prior-only knowledge is excluded so
+  // pushed digests cannot echo back and self-reinforce). High-timestamp
+  // entries may reflect installed priors - harmless, since aggregation
+  // takes the max of a monotonic quantity.
+  std::vector<monitoring::NodeCondition> BuildReportConditions() const;
+
+  // Monotonic local-evidence version: bumps on every Record* call, never on
+  // InstallDigest. Reporters stamp it on MonitorReports as the sequence
+  // number, so the aggregator can reject duplicated or reordered reports
+  // (an unchanged version means "nothing new since my last report").
+  uint64_t state_version() const;
 
   // --- Probability estimates (Section 4.5) ---
 
@@ -190,6 +236,13 @@ class Monitor {
     // Overload-control view (DESIGN.md Section 11).
     bool overloaded = false;
     MicrosecondCount queue_delay_us = 0;
+    // Monotonic count of local samples ever recorded for this node
+    // (latency + reachability outcomes), unlike latency_samples which is
+    // windowed. Lets digest consumers order snapshots of the same node.
+    uint64_t total_samples = 0;
+    // Fleet-prior view (DESIGN.md Section 12).
+    bool has_prior = false;
+    MicrosecondCount prior_age_us = -1;
   };
 
   // One NodeSnapshot per known node, sorted by node name.
@@ -208,6 +261,17 @@ class Monitor {
   uint64_t overload_rejections() const {
     std::lock_guard<std::mutex> lock(mu_);
     return overload_rejections_;
+  }
+
+  uint64_t digests_installed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return digests_installed_;
+  }
+
+  // Probe round trips skipped because a fresh prior covered the node.
+  uint64_t probes_suppressed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return probes_suppressed_;
   }
 
   const Options& options() const { return options_; }
@@ -229,6 +293,15 @@ class Monitor {
     // server-reported queue delay.
     MicrosecondCount overloaded_until_us = 0;
     double queue_delay_ewma_us = 0.0;
+    bool has_queue_delay = false;
+    // Monotonic count of local samples ever recorded (latency + outcomes).
+    uint64_t total_samples = 0;
+    // Fleet prior for this node (DESIGN.md Section 12): the last installed
+    // digest's condition and when it arrived (-1 = none). Blending weight
+    // decays with age; see Options::prior_strength / prior_ttl_us.
+    bool has_prior = false;
+    monitoring::NodeCondition prior;
+    MicrosecondCount prior_installed_at_us = -1;
 
     explicit NodeState(const SlidingWindow::Options& window)
         : latencies(window), outcomes(window) {}
@@ -236,6 +309,15 @@ class Monitor {
 
   BreakerState BreakerLocked(const NodeState* state,
                              MicrosecondCount now_us) const;
+
+  // Pseudo-sample count the node's prior is worth at `now_us`: zero when
+  // absent or past prior_ttl_us, Options::prior_strength when brand new.
+  double PriorWeightLocked(const NodeState& state,
+                           MicrosecondCount now_us) const;
+  // The prior's latency CDF evaluated at `latency_us`: piecewise-linear
+  // through the digest's (p50, p95, p99) percentile points.
+  static double PriorFractionBelow(const monitoring::NodeCondition& prior,
+                                   MicrosecondCount latency_us);
 
   NodeState& StateFor(std::string_view node);
   const NodeState* FindState(std::string_view node) const;
@@ -247,6 +329,14 @@ class Monitor {
   uint64_t samples_recorded_ = 0;
   uint64_t breaker_trips_ = 0;
   uint64_t overload_rejections_ = 0;
+  // Local-evidence version (see state_version()).
+  uint64_t state_version_ = 0;
+  // Fleet-prior state (DESIGN.md Section 12).
+  uint64_t digest_version_ = 0;
+  MicrosecondCount digest_installed_at_us_ = -1;
+  uint64_t digests_installed_ = 0;
+  // Mutable: counted from the const NeedsProbe query path.
+  mutable uint64_t probes_suppressed_ = 0;
   // Newest config epoch/primary seen on any reply (0/empty = never).
   uint64_t config_epoch_ = 0;
   std::string config_primary_;

@@ -13,6 +13,7 @@
 #include "src/common/random.h"
 #include "src/core/client.h"
 #include "src/experiments/geo_testbed.h"
+#include "src/monitoring/aggregator.h"
 #include "src/persist/wal.h"
 #include "src/storage/admission.h"
 #include "src/workload/ycsb.h"
@@ -347,6 +348,33 @@ ScenarioResult RunAuditScenario(const ScenarioOptions& options) {
   testbed.StartReplication();
   us->StartProbing();
   india->StartProbing();
+
+  // Shared-monitoring aggregator (DESIGN.md Section 12): a periodic event
+  // plays the control plane — each frontend reports its monitor's local
+  // conditions, the aggregator merges them, and the fleet digest is pushed
+  // back into both monitors as a selection prior. Killed halfway through the
+  // op loop below, so the audit also covers the fall-back phase where priors
+  // age out and clients converge back to self-probed estimates.
+  std::optional<monitoring::MonitorAggregator> aggregator;
+  sim::PeriodicHandle aggregator_pump;
+  if (options.enable_aggregator) {
+    aggregator.emplace(testbed.env().clock());
+    aggregator_pump = testbed.env().SchedulePeriodic(
+        options.aggregator_period_us, options.aggregator_period_us,
+        [&aggregator, &frontends] {
+          for (GeoClient* fe : frontends) {
+            core::Monitor& monitor = fe->client().monitor();
+            aggregator->Ingest(std::string(fe->site()),
+                               monitor.state_version(),
+                               monitor.BuildReportConditions());
+          }
+          const monitoring::ConditionDigest digest = aggregator->Digest();
+          for (GeoClient* fe : frontends) {
+            fe->client().monitor().InstallDigest(digest);
+          }
+        });
+  }
+
   // Warm-up: a couple of replication rounds plus probe traffic, so monitors
   // hold real estimates before the recorded window starts.
   testbed.env().RunFor(2 * options.replication_period_us +
@@ -372,6 +400,12 @@ ScenarioResult RunAuditScenario(const ScenarioOptions& options) {
     const auto due = schedule.equal_range(i);
     for (auto it = due.first; it != due.second; ++it) {
       it->second();
+    }
+    if (options.enable_aggregator && i == options.total_ops / 2) {
+      // Aggregator dies mid-run: digests stop arriving, installed priors age
+      // past their TTL, and the monitors must carry selection on their own
+      // probing for the rest of the run without a single violation.
+      aggregator_pump.Cancel();
     }
 
     const workload::Operation op = workload.Next();

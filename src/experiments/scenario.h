@@ -64,6 +64,14 @@ struct ScenarioOptions {
   // their claims like any network read (DESIGN.md "Client cache").
   bool client_cache = false;
   uint64_t cache_capacity_bytes = uint64_t{4} << 20;
+  // Run a shared-monitoring aggregator alongside the workload (DESIGN.md
+  // Section 12): a periodic event collects both frontends' condition
+  // reports, merges them, and pushes the fleet digest back as selection
+  // priors. The aggregator is killed halfway through the run, so the audit
+  // covers both the prior-driven phase and the fall-back-to-self-probing
+  // phase — neither may produce a consistency violation.
+  bool enable_aggregator = false;
+  MicrosecondCount aggregator_period_us = SecondsToMicroseconds(5);
   // Defaults to AuditSla().
   std::optional<core::Sla> sla;
 };

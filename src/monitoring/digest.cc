@@ -1,0 +1,74 @@
+#include "src/monitoring/digest.h"
+
+namespace pileus::monitoring {
+
+void EncodeNodeCondition(Encoder& enc, const NodeCondition& c) {
+  enc.PutLengthPrefixed(c.node);
+  enc.PutVarint64(c.sample_count);
+  enc.PutVarint64(static_cast<uint64_t>(c.mean_latency_us));
+  enc.PutVarint64(static_cast<uint64_t>(c.p50_latency_us));
+  enc.PutVarint64(static_cast<uint64_t>(c.p95_latency_us));
+  enc.PutVarint64(static_cast<uint64_t>(c.p99_latency_us));
+  enc.PutTimestamp(c.high_timestamp);
+  enc.PutVarintSigned64(c.high_age_us);
+  enc.PutDouble(c.p_up);
+  enc.PutVarint64(static_cast<uint64_t>(c.queue_delay_us));
+  enc.PutBool(c.overloaded);
+}
+
+namespace {
+
+Status DecodeMicros(Decoder& dec, MicrosecondCount* out) {
+  uint64_t raw;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&raw));
+  if (raw > static_cast<uint64_t>(INT64_MAX)) {
+    return Status(StatusCode::kCorruption, "microsecond count overflow");
+  }
+  *out = static_cast<MicrosecondCount>(raw);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status DecodeNodeCondition(Decoder& dec, NodeCondition* c) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&c->node));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&c->sample_count));
+  PILEUS_RETURN_IF_ERROR(DecodeMicros(dec, &c->mean_latency_us));
+  PILEUS_RETURN_IF_ERROR(DecodeMicros(dec, &c->p50_latency_us));
+  PILEUS_RETURN_IF_ERROR(DecodeMicros(dec, &c->p95_latency_us));
+  PILEUS_RETURN_IF_ERROR(DecodeMicros(dec, &c->p99_latency_us));
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&c->high_timestamp));
+  int64_t high_age;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarintSigned64(&high_age));
+  c->high_age_us = high_age;
+  PILEUS_RETURN_IF_ERROR(dec.GetDouble(&c->p_up));
+  PILEUS_RETURN_IF_ERROR(DecodeMicros(dec, &c->queue_delay_us));
+  return dec.GetBool(&c->overloaded);
+}
+
+void EncodeConditionDigest(Encoder& enc, const ConditionDigest& d) {
+  enc.PutVarint64(d.version);
+  enc.PutVarint64(d.reports_merged);
+  enc.PutVarint64(d.nodes.size());
+  for (const NodeCondition& c : d.nodes) {
+    EncodeNodeCondition(enc, c);
+  }
+}
+
+Status DecodeConditionDigest(Decoder& dec, ConditionDigest* d) {
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&d->version));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&d->reports_merged));
+  uint64_t count;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  // Sanity cap: every condition entry needs several bytes on the wire.
+  if (count > dec.remaining()) {
+    return Status(StatusCode::kCorruption, "digest node count too big");
+  }
+  d->nodes.resize(count);
+  for (NodeCondition& c : d->nodes) {
+    PILEUS_RETURN_IF_ERROR(DecodeNodeCondition(dec, &c));
+  }
+  return Status::Ok();
+}
+
+}  // namespace pileus::monitoring

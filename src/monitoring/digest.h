@@ -1,0 +1,92 @@
+// Fleet condition digests (DESIGN.md Section 12, paper Section 6.1).
+//
+// A NodeCondition is the compact, transportable summary of everything one
+// observer (a client's Monitor or a storage node itself) knows about one
+// storage node: windowed latency percentiles, the last observed high
+// timestamp (as an age, so it survives crossing processes with different
+// clocks), reachability, and admission queue pressure. A ConditionDigest is
+// the aggregator's merged, versioned fleet view: clients install it as a
+// prior that seeds selection before they have probed anything.
+//
+// Times inside these structs are *ages* relative to the moment the struct
+// was built, never absolute clock readings: absolute microsecond counts are
+// meaningless across processes (the simulator's virtual clock starts at
+// zero; real processes use wall time). The receiver re-anchors ages against
+// its own clock on arrival.
+
+#ifndef PILEUS_SRC_MONITORING_DIGEST_H_
+#define PILEUS_SRC_MONITORING_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/timestamp.h"
+#include "src/util/codec.h"
+
+namespace pileus::monitoring {
+
+// One node's condition as summarized by one observer (or, inside a
+// ConditionDigest, merged across observers).
+struct NodeCondition {
+  std::string node;
+  // Latency samples behind the percentile fields. 0 means the observer has
+  // no latency evidence for the node (e.g. a storage node reporting its own
+  // staleness/queue state); the percentile fields are then meaningless and
+  // merge logic must skip them.
+  uint64_t sample_count = 0;
+  MicrosecondCount mean_latency_us = 0;
+  MicrosecondCount p50_latency_us = 0;
+  MicrosecondCount p95_latency_us = 0;
+  MicrosecondCount p99_latency_us = 0;
+  // Highest update timestamp the observer has seen the node acknowledge,
+  // and how old that observation was when this condition was built
+  // (-1 = never observed). High timestamps only grow, so a stale value is a
+  // safe underestimate of the node's real staleness bound.
+  Timestamp high_timestamp = Timestamp::Zero();
+  MicrosecondCount high_age_us = -1;
+  // Fraction of recent operations that got any answer (1.0 = fully up).
+  double p_up = 1.0;
+  // Smoothed server-reported admission queue delay.
+  MicrosecondCount queue_delay_us = 0;
+  // The observer saw the node inside an overload backoff window.
+  bool overloaded = false;
+
+  bool operator==(const NodeCondition&) const = default;
+};
+
+// The aggregator's merged fleet view. `version` is monotonic per aggregator
+// and bumps on every accepted report, so receivers can install digests
+// idempotently and reject reordered pushes.
+struct ConditionDigest {
+  uint64_t version = 0;
+  // Reports merged into this view since the aggregator started; purely
+  // observational (CLI / telemetry).
+  uint64_t reports_merged = 0;
+  std::vector<NodeCondition> nodes;  // Sorted by node name.
+
+  const NodeCondition* Find(std::string_view node) const {
+    for (const NodeCondition& c : nodes) {
+      if (c.node == node) {
+        return &c;
+      }
+    }
+    return nullptr;
+  }
+
+  bool operator==(const ConditionDigest&) const = default;
+};
+
+// Wire codec helpers, shared by the proto message bodies (wire v5) and any
+// future on-disk caching of digests.
+void EncodeNodeCondition(Encoder& enc, const NodeCondition& c);
+Status DecodeNodeCondition(Decoder& dec, NodeCondition* c);
+void EncodeConditionDigest(Encoder& enc, const ConditionDigest& d);
+Status DecodeConditionDigest(Decoder& dec, ConditionDigest* d);
+
+}  // namespace pileus::monitoring
+
+#endif  // PILEUS_SRC_MONITORING_DIGEST_H_

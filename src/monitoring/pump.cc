@@ -1,0 +1,79 @@
+#include "src/monitoring/pump.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/proto/messages.h"
+
+namespace pileus::monitoring {
+
+DigestPump::DigestPump(core::Monitor* monitor, net::Channel* channel,
+                       Options options)
+    : monitor_(monitor), channel_(channel), options_(std::move(options)) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void DigestPump::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+Status DigestPump::PumpOnce() {
+  proto::Message request;
+  if (options_.send_reports) {
+    proto::MonitorReport report;
+    report.reporter = options_.reporter;
+    report.seq = monitor_->state_version();
+    report.table = options_.table;
+    report.conditions = monitor_->BuildReportConditions();
+    request = std::move(report);
+    reports_sent_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    proto::DigestSubscribe subscribe;
+    subscribe.table = options_.table;
+    subscribe.have_version = monitor_->digest_version();
+    request = std::move(subscribe);
+  }
+  Result<proto::Message> reply =
+      channel_->Call(request, options_.call_timeout_us);
+  if (!reply.ok()) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return reply.status();
+  }
+  if (const auto* err = std::get_if<proto::ErrorReply>(&reply.value())) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status(err->code, err->message);
+  }
+  const auto* push = std::get_if<proto::DigestPush>(&reply.value());
+  if (push == nullptr) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status(StatusCode::kInternal,
+                  "unexpected reply type from aggregator");
+  }
+  if (push->has_digest && monitor_->InstallDigest(push->digest)) {
+    digests_installed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Ok();
+}
+
+void DigestPump::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    (void)PumpOnce();  // Failures are counted; the loop just retries.
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::microseconds(options_.period_us),
+                 [this] { return stop_; });
+  }
+}
+
+}  // namespace pileus::monitoring

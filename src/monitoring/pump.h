@@ -1,0 +1,92 @@
+// DigestPump: a client's connection to the shared-monitoring control plane
+// (DESIGN.md Section 12).
+//
+// Periodically ships the local Monitor's condition report to an aggregator
+// endpoint and installs the digest pushed back as the monitor's fleet
+// prior. Subscribe-only mode (Options::send_reports = false) is for clients
+// that want priors without contributing measurements - e.g. a brand-new
+// client warming up before its first operation.
+//
+// Aggregator death is survived by design: a failed round trip is counted
+// and retried next period, the monitor keeps its last digest, and as that
+// prior ages past Monitor::Options::prior_probe_suppress_us the normal
+// self-probing path resumes. No coordination needed - the prior-blending
+// weights decay to zero on their own.
+//
+// The deterministic simulation does not use this class (it schedules
+// virtual-time report/install events directly against the aggregator); the
+// pump is the real-time analogue, like ThreadedProber is for probing.
+
+#ifndef PILEUS_SRC_MONITORING_PUMP_H_
+#define PILEUS_SRC_MONITORING_PUMP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/core/monitor.h"
+#include "src/net/channel.h"
+
+namespace pileus::monitoring {
+
+class DigestPump {
+ public:
+  struct Options {
+    // Names this reporter at the aggregator (sequence numbers are tracked
+    // per reporter, so every process needs a distinct id).
+    std::string reporter = "client";
+    std::string table = "default";
+    MicrosecondCount period_us = SecondsToMicroseconds(5);
+    MicrosecondCount call_timeout_us = SecondsToMicroseconds(5);
+    // false = subscribe-only: install pushed digests, report nothing.
+    bool send_reports = true;
+  };
+
+  // Starts the background loop immediately. Neither pointer is owned; both
+  // must outlive the pump.
+  DigestPump(core::Monitor* monitor, net::Channel* channel, Options options);
+  ~DigestPump() { Stop(); }
+
+  DigestPump(const DigestPump&) = delete;
+  DigestPump& operator=(const DigestPump&) = delete;
+
+  void Stop();
+
+  // One synchronous report-or-subscribe round trip; the background loop
+  // calls this every period, and tests / cold-start paths call it directly
+  // for a deterministic first install.
+  Status PumpOnce();
+
+  uint64_t reports_sent() const {
+    return reports_sent_.load(std::memory_order_relaxed);
+  }
+  uint64_t digests_installed() const {
+    return digests_installed_.load(std::memory_order_relaxed);
+  }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  core::Monitor* monitor_;  // Not owned.
+  net::Channel* channel_;   // Not owned.
+  const Options options_;
+  std::atomic<uint64_t> reports_sent_{0};
+  std::atomic<uint64_t> digests_installed_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pileus::monitoring
+
+#endif  // PILEUS_SRC_MONITORING_PUMP_H_

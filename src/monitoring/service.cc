@@ -1,0 +1,73 @@
+#include "src/monitoring/service.h"
+
+#include <utility>
+
+namespace pileus::monitoring {
+
+AggregatorService::AggregatorService(MonitorAggregator* aggregator,
+                                     telemetry::MetricsRegistry* metrics)
+    : aggregator_(aggregator) {
+  if (metrics != nullptr) {
+    reports_ = metrics->GetCounter("pileus_aggregator_reports_total");
+    reports_rejected_ =
+        metrics->GetCounter("pileus_aggregator_reports_rejected_total");
+    subscribes_ = metrics->GetCounter("pileus_aggregator_subscribes_total");
+    pushes_ = metrics->GetCounter("pileus_aggregator_pushes_total");
+  }
+}
+
+std::optional<proto::Message> AggregatorService::MaybeHandle(
+    const proto::Message& request) {
+  if (const auto* report = std::get_if<proto::MonitorReport>(&request)) {
+    if (reports_ != nullptr) {
+      reports_->Increment();
+    }
+    if (!aggregator_->Ingest(report->reporter, report->seq,
+                             report->conditions) &&
+        reports_rejected_ != nullptr) {
+      reports_rejected_->Increment();
+    }
+    // Even a rejected (duplicate) report gets the current digest back: the
+    // reporter still wants fresh priors.
+    proto::DigestPush push;
+    push.digest = aggregator_->Digest();
+    push.has_digest = push.digest.version > 0;
+    if (push.has_digest && pushes_ != nullptr) {
+      pushes_->Increment();
+    }
+    return proto::Message(std::move(push));
+  }
+  if (const auto* sub = std::get_if<proto::DigestSubscribe>(&request)) {
+    if (subscribes_ != nullptr) {
+      subscribes_->Increment();
+    }
+    proto::DigestPush push;
+    ConditionDigest digest = aggregator_->Digest();
+    if (digest.version > sub->have_version) {
+      push.has_digest = true;
+      push.digest = std::move(digest);
+      if (pushes_ != nullptr) {
+        pushes_->Increment();
+      }
+    }
+    return proto::Message(std::move(push));
+  }
+  return std::nullopt;
+}
+
+net::Handler AggregatorService::Wrap(net::Handler inner) {
+  return [this, inner = std::move(inner)](const proto::Message& request) {
+    if (std::optional<proto::Message> reply = MaybeHandle(request)) {
+      return *std::move(reply);
+    }
+    if (inner) {
+      return inner(request);
+    }
+    proto::ErrorReply err;
+    err.code = StatusCode::kInvalidArgument;
+    err.message = "aggregator endpoint serves monitoring messages only";
+    return proto::Message(std::move(err));
+  };
+}
+
+}  // namespace pileus::monitoring

@@ -14,8 +14,11 @@ namespace {
 // ConfigRequest/ConfigReply control-plane pair (Section 6.2). Version 4
 // added the admission-control fields: tenant/deadline/utility context on
 // data-path requests, queue_delay_us on data-path replies, and the
-// retry_after_ms hint on ErrorReply (DESIGN.md Section 11).
-constexpr uint8_t kWireVersion = 4;
+// retry_after_ms hint on ErrorReply (DESIGN.md Section 11). Version 5
+// added the shared-monitoring control plane messages: MonitorReport /
+// DigestSubscribe / DigestPush carrying fleet ConditionDigests (DESIGN.md
+// Section 12).
+constexpr uint8_t kWireVersion = 5;
 
 // Varint-encoded microsecond counts (deadlines, queue delays) share one
 // decode path so every site gets the same overflow check.
@@ -208,6 +211,26 @@ void EncodeBody(Encoder& enc, const ConfigReply& m) {
   reconfig::EncodeConfigEpoch(enc, m.config);
   enc.PutTimestamp(m.durable_timestamp);
   enc.PutTimestamp(m.high_timestamp);
+}
+
+void EncodeBody(Encoder& enc, const MonitorReport& m) {
+  enc.PutLengthPrefixed(m.reporter);
+  enc.PutVarint64(m.seq);
+  enc.PutLengthPrefixed(m.table);
+  enc.PutVarint64(m.conditions.size());
+  for (const monitoring::NodeCondition& c : m.conditions) {
+    monitoring::EncodeNodeCondition(enc, c);
+  }
+}
+
+void EncodeBody(Encoder& enc, const DigestSubscribe& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutVarint64(m.have_version);
+}
+
+void EncodeBody(Encoder& enc, const DigestPush& m) {
+  enc.PutBool(m.has_digest);
+  monitoring::EncodeConditionDigest(enc, m.digest);
 }
 
 Status DecodeBody(Decoder& dec, GetRequest* m) {
@@ -412,6 +435,32 @@ Status DecodeBody(Decoder& dec, ConfigReply* m) {
   return dec.GetTimestamp(&m->high_timestamp);
 }
 
+Status DecodeBody(Decoder& dec, MonitorReport* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->reporter));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->seq));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  uint64_t count;
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  if (count > dec.remaining()) {
+    return Status(StatusCode::kCorruption, "report condition count too big");
+  }
+  m->conditions.resize(count);
+  for (monitoring::NodeCondition& c : m->conditions) {
+    PILEUS_RETURN_IF_ERROR(monitoring::DecodeNodeCondition(dec, &c));
+  }
+  return Status::Ok();
+}
+
+Status DecodeBody(Decoder& dec, DigestSubscribe* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  return dec.GetVarint64(&m->have_version);
+}
+
+Status DecodeBody(Decoder& dec, DigestPush* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->has_digest));
+  return monitoring::DecodeConditionDigest(dec, &m->digest);
+}
+
 template <typename T>
 Result<Message> DecodeInto(Decoder& dec) {
   T m;
@@ -469,6 +518,12 @@ MessageType TypeOf(const Message& message) {
           return MessageType::kConfigRequest;
         } else if constexpr (std::is_same_v<T, ConfigReply>) {
           return MessageType::kConfigReply;
+        } else if constexpr (std::is_same_v<T, MonitorReport>) {
+          return MessageType::kMonitorReport;
+        } else if constexpr (std::is_same_v<T, DigestSubscribe>) {
+          return MessageType::kDigestSubscribe;
+        } else if constexpr (std::is_same_v<T, DigestPush>) {
+          return MessageType::kDigestPush;
         } else {
           return MessageType::kErrorReply;
         }
@@ -540,6 +595,12 @@ std::string_view MessageTypeName(MessageType type) {
       return "ConfigRequest";
     case MessageType::kConfigReply:
       return "ConfigReply";
+    case MessageType::kMonitorReport:
+      return "MonitorReport";
+    case MessageType::kDigestSubscribe:
+      return "DigestSubscribe";
+    case MessageType::kDigestPush:
+      return "DigestPush";
   }
   return "Unknown";
 }
@@ -627,6 +688,12 @@ Result<Message> DecodeMessage(std::string_view bytes) {
       return DecodeInto<ConfigRequest>(dec);
     case MessageType::kConfigReply:
       return DecodeInto<ConfigReply>(dec);
+    case MessageType::kMonitorReport:
+      return DecodeInto<MonitorReport>(dec);
+    case MessageType::kDigestSubscribe:
+      return DecodeInto<DigestSubscribe>(dec);
+    case MessageType::kDigestPush:
+      return DecodeInto<DigestPush>(dec);
   }
   return Status(StatusCode::kCorruption, "unknown message type");
 }

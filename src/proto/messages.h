@@ -32,6 +32,7 @@
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
+#include "src/monitoring/digest.h"
 #include "src/reconfig/config_epoch.h"
 
 namespace pileus::proto {
@@ -57,6 +58,9 @@ enum class MessageType : uint8_t {
   kStatsReply = 18,
   kConfigRequest = 19,
   kConfigReply = 20,
+  kMonitorReport = 21,
+  kDigestSubscribe = 22,
+  kDigestPush = 23,
 };
 
 // One version of one object: the tablet-store tuple of Section 4.3.
@@ -268,12 +272,41 @@ struct ConfigReply {
   Timestamp high_timestamp;
 };
 
+// Shared-monitoring control plane (DESIGN.md Section 12, paper Section 6.1).
+// A reporter (client Monitor or storage node) ships its per-node condition
+// summaries to an aggregator; `seq` is the reporter's monotonic state
+// version, so duplicated or reordered reports are rejected instead of
+// regressing the merged fleet view. Answered with a DigestPush.
+struct MonitorReport {
+  std::string reporter;
+  uint64_t seq = 0;
+  std::string table;
+  std::vector<monitoring::NodeCondition> conditions;
+};
+
+// Asks the aggregator for the fleet digest when it is newer than
+// `have_version`. Answered with a DigestPush (has_digest = false when the
+// subscriber is already current).
+struct DigestSubscribe {
+  std::string table;
+  uint64_t have_version = 0;
+};
+
+// The aggregator's versioned fleet view, pushed in answer to reports and
+// subscriptions. Clients install it as a selection prior
+// (core::Monitor::InstallDigest).
+struct DigestPush {
+  bool has_digest = false;
+  monitoring::ConditionDigest digest;
+};
+
 using Message =
     std::variant<GetRequest, GetReply, PutRequest, PutReply, ProbeRequest,
                  ProbeReply, SyncRequest, SyncReply, GetAtRequest, GetAtReply,
                  CommitRequest, CommitReply, ErrorReply, RangeRequest,
                  RangeReply, DeleteRequest, StatsRequest, StatsReply,
-                 ConfigRequest, ConfigReply>;
+                 ConfigRequest, ConfigReply, MonitorReport, DigestSubscribe,
+                 DigestPush>;
 
 MessageType TypeOf(const Message& message);
 std::string_view MessageTypeName(MessageType type);

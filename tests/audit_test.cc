@@ -105,6 +105,30 @@ TEST(AuditScenarioTest, FailoverSweepPromotesAndStaysClean) {
   }
 }
 
+TEST(AuditScenarioTest, AggregatorPrimedSweepStaysCleanThroughItsDeath) {
+  // Shared-monitoring priors (DESIGN.md Section 12) feed every frontend's
+  // monitor for the first half of the run, then the aggregator pump dies
+  // mid-run. Neither phase may produce an audit violation: priors only
+  // steer selection, never the guarantees themselves.
+  for (const FaultScenario scenario :
+       {FaultScenario::kNone, FaultScenario::kPartition}) {
+    for (const uint64_t seed : {4u, 13u}) {
+      ScenarioOptions options;
+      options.seed = seed;
+      options.scenario = scenario;
+      options.total_ops = 300;
+      options.key_count = 50;
+      options.enable_aggregator = true;
+      options.durable_root = MakeTempDir();
+      const ScenarioResult result = RunAuditScenario(options);
+      EXPECT_TRUE(result.ok())
+          << result.Summary() << "\n" << result.report.ToString();
+      EXPECT_GT(result.report.reads_checked, 0u) << result.Summary();
+      EXPECT_GT(result.report.claims_checked, 0u) << result.Summary();
+    }
+  }
+}
+
 TEST(AuditScenarioTest, SameSeedIsReproducible) {
   ScenarioOptions options;
   options.seed = 9;

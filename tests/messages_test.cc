@@ -395,6 +395,97 @@ TEST(MessagesTest, TrailingBytesRejected) {
   EXPECT_EQ(DecodeMessage(bytes).status().code(), StatusCode::kCorruption);
 }
 
+TEST(MessagesTest, MonitorReportRoundTrip) {
+  // Wire v5: the shared-monitoring control plane (DESIGN.md Section 12).
+  MonitorReport in;
+  in.reporter = "frontend-us";
+  in.seq = 42;
+  in.table = "orders";
+  monitoring::NodeCondition cond;
+  cond.node = "England";
+  cond.sample_count = 17;
+  cond.mean_latency_us = 1500;
+  cond.p50_latency_us = 1200;
+  cond.p95_latency_us = 4000;
+  cond.p99_latency_us = 9000;
+  cond.high_timestamp = Timestamp{123456, 7};
+  cond.high_age_us = 2500;
+  cond.p_up = 0.875;
+  cond.queue_delay_us = 300;
+  cond.overloaded = true;
+  in.conditions.push_back(cond);
+  monitoring::NodeCondition never_seen;
+  never_seen.node = "China";
+  never_seen.high_age_us = -1;  // Signed sentinel must survive the wire.
+  in.conditions.push_back(never_seen);
+  const MonitorReport out = RoundTrip(in);
+  EXPECT_EQ(out.reporter, "frontend-us");
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.table, "orders");
+  ASSERT_EQ(out.conditions.size(), 2u);
+  EXPECT_EQ(out.conditions[0], cond);
+  EXPECT_EQ(out.conditions[1].high_age_us, -1);
+}
+
+TEST(MessagesTest, DigestSubscribeRoundTrip) {
+  DigestSubscribe in;
+  in.table = "t";
+  in.have_version = 9;
+  const DigestSubscribe out = RoundTrip(in);
+  EXPECT_EQ(out.table, "t");
+  EXPECT_EQ(out.have_version, 9u);
+}
+
+TEST(MessagesTest, DigestPushRoundTrip) {
+  DigestPush in;
+  in.has_digest = true;
+  in.digest.version = 12;
+  in.digest.reports_merged = 3;
+  monitoring::NodeCondition cond;
+  cond.node = "n1";
+  cond.sample_count = 5;
+  cond.p50_latency_us = 700;
+  cond.p95_latency_us = 1400;
+  cond.p99_latency_us = 2100;
+  cond.p_up = 0.5;
+  in.digest.nodes.push_back(cond);
+  const DigestPush out = RoundTrip(in);
+  EXPECT_TRUE(out.has_digest);
+  EXPECT_EQ(out.digest, in.digest);
+}
+
+TEST(MessagesTest, EmptyDigestPushRoundTrip) {
+  DigestPush in;  // has_digest = false: "you are already current".
+  const DigestPush out = RoundTrip(in);
+  EXPECT_FALSE(out.has_digest);
+  EXPECT_EQ(out.digest.version, 0u);
+}
+
+TEST(MessagesTest, MonitoringMessagesAreControlTraffic) {
+  // Reports and digests must keep flowing while a node sheds load, exactly
+  // like probes and sync pulls.
+  EXPECT_FALSE(IsDataPathRequest(Message(MonitorReport{})));
+  EXPECT_FALSE(IsDataPathRequest(Message(DigestSubscribe{})));
+  EXPECT_FALSE(IsDataPathRequest(Message(DigestPush{})));
+}
+
+TEST(MessagesTest, AbsurdConditionCountRejected) {
+  // Hand-craft a MonitorReport claiming 2^40 conditions.
+  std::string bytes;
+  bytes.push_back(static_cast<char>(MessageType::kMonitorReport));
+  bytes.push_back('\x05');  // Wire version.
+  bytes.push_back('\x01');  // reporter = "r"
+  bytes.push_back('r');
+  bytes.push_back('\x01');  // seq = 1
+  bytes.push_back('\x01');  // table = "t"
+  bytes.push_back('t');
+  for (int i = 0; i < 5; ++i) {
+    bytes.push_back('\x80');
+  }
+  bytes.push_back('\x10');
+  EXPECT_FALSE(DecodeMessage(bytes).ok());
+}
+
 TEST(MessagesTest, AbsurdSyncCountRejected) {
   // Hand-craft a SyncReply header claiming 2^40 versions.
   std::string bytes;

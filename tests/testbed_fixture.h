@@ -106,6 +106,7 @@ class InProcCluster {
   void PullNow() { puller_->PullNow(); }
   storage::StorageNode& local() { return local_; }
   storage::StorageNode& primary() { return primary_; }
+  net::InProcNetwork& network() { return network_; }
 
   // Turns on per-tenant admission control on both nodes (DESIGN.md
   // Section 11) so overload tests shed through the real controller.

@@ -1,0 +1,171 @@
+// pileus_aggregator: a standalone shared-monitoring aggregator daemon
+// (DESIGN.md Section 12).
+//
+// Listens for MonitorReport / DigestSubscribe messages and answers each with
+// a DigestPush carrying the merged fleet view. Optionally probes a set of
+// storage nodes itself so the digest has content before any client reports:
+//
+//   pileus_aggregator --port 7100 --probe_ports 7000,7001 --probe_table t
+//
+// Stops cleanly on SIGINT/SIGTERM.
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+#include "src/core/monitor.h"
+#include "src/monitoring/aggregator.h"
+#include "src/monitoring/service.h"
+#include "src/net/tcp.h"
+#include "src/telemetry/export.h"
+#include "src/telemetry/metrics.h"
+#include "tools/flags.h"
+
+using namespace pileus;  // NOLINT
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int /*signum*/) { g_stop.store(true); }
+
+std::vector<uint16_t> ParsePorts(const std::string& list) {
+  std::vector<uint16_t> ports;
+  size_t start = 0;
+  while (start < list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      comma = list.size();
+    }
+    const std::string token = list.substr(start, comma - start);
+    if (!token.empty()) {
+      ports.push_back(static_cast<uint16_t>(std::stoul(token)));
+    }
+    start = comma + 1;
+  }
+  return ports;
+}
+
+// One probe round trip against a storage node, recorded into the
+// aggregator's own monitor like a client prober would.
+void ProbeOnce(net::Channel& channel, std::string_view node,
+               const std::string& table, core::Monitor& monitor) {
+  proto::ProbeRequest request;
+  request.table = table;
+  const MicrosecondCount start = RealClock::Instance()->NowMicros();
+  Result<proto::Message> reply =
+      channel.Call(request, SecondsToMicroseconds(5));
+  const MicrosecondCount rtt = RealClock::Instance()->NowMicros() - start;
+  if (!reply.ok()) {
+    monitor.RecordFailure(node);
+    return;
+  }
+  const auto* probe = std::get_if<proto::ProbeReply>(&reply.value());
+  if (probe == nullptr) {
+    monitor.RecordFailure(node);
+    return;
+  }
+  monitor.RecordSuccess(node);
+  monitor.RecordLatency(node, rtt);
+  monitor.RecordHighTimestamp(node, probe->high_timestamp);
+  if (probe->queue_delay_us > 0) {
+    monitor.RecordQueueDelay(node, probe->queue_delay_us);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::FlagSet flags;
+  flags.DefineInt("port", 0, "TCP port to listen on (0 = ephemeral)");
+  flags.DefineString("probe_ports", "",
+                     "comma-separated storage-node ports this aggregator "
+                     "probes itself (empty = rely on client reports)");
+  flags.DefineString("probe_table", "default", "table to probe");
+  flags.DefineInt("probe_period_ms", 2000, "probe round period");
+  flags.DefineInt("stats_period_s", 0,
+                  "print a telemetry summary every N seconds (0 = off)");
+  flags.DefineBool("verbose", false, "log at INFO level");
+  if (!flags.Parse(argc, argv)) {
+    return 2;
+  }
+  if (flags.GetBool("verbose")) {
+    SetLogLevel(LogLevel::kInfo);
+  }
+
+  signal(SIGINT, HandleSignal);
+  signal(SIGTERM, HandleSignal);
+
+  monitoring::MonitorAggregator aggregator(RealClock::Instance());
+  monitoring::AggregatorService service(&aggregator,
+                                        &telemetry::MetricsRegistry::Default());
+
+  net::TcpServer server;
+  // A pure monitoring endpoint: non-monitoring messages get an ErrorReply.
+  if (Status st = server.Start(static_cast<uint16_t>(flags.GetInt("port")),
+                               service.Wrap(nullptr));
+      !st.ok()) {
+    std::fprintf(stderr, "failed to listen: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("aggregator on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  // Optional self-probing: the aggregator measures the fleet itself, so the
+  // digest is warm before the first client report arrives.
+  const std::vector<uint16_t> probe_ports =
+      ParsePorts(flags.GetString("probe_ports"));
+  std::vector<std::unique_ptr<net::TcpChannel>> channels;
+  std::vector<std::string> node_names;
+  channels.reserve(probe_ports.size());
+  for (uint16_t port : probe_ports) {
+    channels.push_back(std::make_unique<net::TcpChannel>(port));
+    node_names.push_back("127.0.0.1:" + std::to_string(port));
+  }
+  core::Monitor probe_monitor(RealClock::Instance());
+  const std::string probe_table = flags.GetString("probe_table");
+  const MicrosecondCount probe_period_us =
+      MillisecondsToMicroseconds(flags.GetInt("probe_period_ms"));
+  MicrosecondCount next_probe_us = 0;
+
+  const long long stats_period_s = flags.GetInt("stats_period_s");
+  MicrosecondCount next_stats_us =
+      stats_period_s > 0
+          ? RealClock::Instance()->NowMicros() +
+                SecondsToMicroseconds(stats_period_s)
+          : 0;
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!channels.empty() &&
+        RealClock::Instance()->NowMicros() >= next_probe_us) {
+      next_probe_us = RealClock::Instance()->NowMicros() + probe_period_us;
+      for (size_t i = 0; i < channels.size(); ++i) {
+        ProbeOnce(*channels[i], node_names[i], probe_table, probe_monitor);
+      }
+      aggregator.Ingest("aggregator-probe", probe_monitor.state_version(),
+                        probe_monitor.BuildReportConditions());
+    }
+    if (stats_period_s > 0 &&
+        RealClock::Instance()->NowMicros() >= next_stats_us) {
+      next_stats_us += SecondsToMicroseconds(stats_period_s);
+      std::printf(
+          "--- telemetry ---\n%s",
+          telemetry::ExportSummary(telemetry::MetricsRegistry::Default())
+              .c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("shutting down (digest v%llu, %llu reports)\n",
+              static_cast<unsigned long long>(aggregator.digest_version()),
+              static_cast<unsigned long long>(aggregator.reports_ingested()));
+  server.Stop();
+  return 0;
+}

@@ -61,6 +61,10 @@ int Run(int argc, char** argv) {
                    "the checker audits cache-served reads");
   flags.DefineInt("cache_bytes", 4 << 20,
                   "per-frontend cache capacity in bytes (with --cache)");
+  flags.DefineBool("aggregator", false,
+                   "run a shared-monitoring aggregator alongside the "
+                   "workload and kill it mid-run; priors and the fallback "
+                   "to self-probing are both audited");
   if (!flags.Parse(argc, argv)) {
     return 2;
   }
@@ -110,6 +114,7 @@ int Run(int argc, char** argv) {
       options.client_cache = flags.GetBool("cache");
       options.cache_capacity_bytes =
           static_cast<uint64_t>(flags.GetInt("cache_bytes"));
+      options.enable_aggregator = flags.GetBool("aggregator");
       // One subdirectory per run: WALs append, so runs must not share files.
       options.durable_root =
           durable_root + "/" +

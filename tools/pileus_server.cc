@@ -23,6 +23,8 @@
 
 #include "src/common/clock.h"
 #include "src/common/logging.h"
+#include "src/monitoring/aggregator.h"
+#include "src/monitoring/service.h"
 #include "src/net/tcp.h"
 #include "src/persist/durable_service.h"
 #include "src/persist/durable_tablet.h"
@@ -81,6 +83,12 @@ int main(int argc, char** argv) {
                   "admission bucket burst in ops (with --admit_ops_per_sec)");
   flags.DefineInt("admit_queue", 32,
                   "admission max backlog in ops (with --admit_ops_per_sec)");
+  flags.DefineBool("aggregator", false,
+                   "embed a shared-monitoring aggregator: MonitorReport / "
+                   "DigestSubscribe on this port (DESIGN.md Section 12)");
+  flags.DefineInt("self_report_period_ms", 5000,
+                  "aggregator self-report period (with --aggregator; "
+                  "in-memory nodes only)");
   if (!flags.Parse(argc, argv)) {
     return 2;
   }
@@ -184,6 +192,20 @@ int main(int argc, char** argv) {
     return inner(m);
   };
 
+  // Embedded shared-monitoring aggregator (DESIGN.md Section 12): monitoring
+  // messages on the regular port are routed to the aggregator; everything
+  // else falls through to the storage handler.
+  std::unique_ptr<monitoring::MonitorAggregator> aggregator;
+  std::unique_ptr<monitoring::AggregatorService> aggregator_service;
+  if (flags.GetBool("aggregator")) {
+    aggregator = std::make_unique<monitoring::MonitorAggregator>(
+        RealClock::Instance());
+    aggregator_service = std::make_unique<monitoring::AggregatorService>(
+        aggregator.get(), &telemetry::MetricsRegistry::Default());
+    handler = aggregator_service->Wrap(std::move(handler));
+    std::printf("aggregator: enabled (MonitorReport / DigestSubscribe)\n");
+  }
+
   // --- Transport ---
   net::TcpServer server;
   if (Status st = server.Start(static_cast<uint16_t>(flags.GetInt("port")),
@@ -244,8 +266,31 @@ int main(int argc, char** argv) {
           ? RealClock::Instance()->NowMicros() +
                 SecondsToMicroseconds(stats_period_s)
           : 0;
+  // Periodic self-report into the embedded aggregator: the node's own high
+  // timestamp and queue delay join the fleet digest even before any client
+  // reports. The in-memory path asks the StorageNode (which also knows its
+  // admission queue delay); the durable path reads the tablet directly.
+  const MicrosecondCount self_report_period_us = MillisecondsToMicroseconds(
+      flags.GetInt("self_report_period_ms"));
+  MicrosecondCount next_self_report_us = 0;
+  uint64_t self_report_seq = 0;
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (aggregator && tablet && self_report_period_us > 0 &&
+        RealClock::Instance()->NowMicros() >= next_self_report_us) {
+      next_self_report_us =
+          RealClock::Instance()->NowMicros() + self_report_period_us;
+      monitoring::NodeCondition cond;
+      if (node) {
+        cond = node->SelfCondition(table);
+      } else {
+        cond.node = flags.GetString("name");
+        cond.high_timestamp = tablet->high_timestamp();
+        cond.high_age_us = 0;  // Measured this instant.
+      }
+      aggregator->Ingest("self:" + flags.GetString("name"), ++self_report_seq,
+                         {std::move(cond)});
+    }
     if (stats_period_s > 0 &&
         RealClock::Instance()->NowMicros() >= next_stats_us) {
       next_stats_us += SecondsToMicroseconds(stats_period_s);
