@@ -1,0 +1,42 @@
+// Audit scenario over the real event-driven TCP transport.
+//
+// RunAuditScenario audits the client library on the deterministic simulator;
+// this variant audits the *deployment stack* instead: a durable primary with
+// WAL group commit served through TcpServer::StartAsync, an in-memory
+// secondary fed by a ThreadedPuller over a TcpChannel, and two PileusClient
+// frontends whose replicas are real sockets on loopback. Same seeded YCSB
+// workload, same HistoryRecorder, same offline ConsistencyChecker — so a
+// transport bug (a reply matched to the wrong pipelined request, an ack
+// released before its batch fsync, a stale read served after a reconnect)
+// surfaces as a consistency violation, not just a failed unit test.
+//
+// Wall-clock differences from the simulated runs:
+//  - Time is real: replication periods are compressed (see the .cc) so the
+//    secondary stays useful within a run that lasts fractions of a second.
+//  - Only transport-expressible scenarios are supported — see
+//    TcpScenarioSupports. Unsupported scenarios run as kNone.
+
+#ifndef PILEUS_SRC_EXPERIMENTS_TCP_SCENARIO_H_
+#define PILEUS_SRC_EXPERIMENTS_TCP_SCENARIO_H_
+
+#include "src/experiments/scenario.h"
+
+namespace pileus::experiments {
+
+// Scenarios the TCP testbed can express: kNone (healthy cluster),
+// kCrashRestart (the secondary's server and volatile state are destroyed
+// mid-run and rebuilt empty; replication must catch it up while clients keep
+// reading), and kHandoff (sessions serialized and resumed on the other
+// frontend, over distinct sockets).
+bool TcpScenarioSupports(FaultScenario scenario);
+
+// Runs the scenario over real sockets and audits the recorded history.
+// `options.durable_root` must be set: the primary journals through a
+// DurableTablet there and the run cross-checks the WAL against the exported
+// commit order. Uses options.seed / total_ops / key_count / ops_per_session /
+// client_cache / cache_capacity_bytes / sla; the aggregator knob is ignored.
+ScenarioResult RunTcpAuditScenario(const ScenarioOptions& options);
+
+}  // namespace pileus::experiments
+
+#endif  // PILEUS_SRC_EXPERIMENTS_TCP_SCENARIO_H_

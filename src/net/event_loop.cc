@@ -1,0 +1,307 @@
+#include "src/net/event_loop.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/prctl.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace pileus::net {
+
+namespace {
+
+constexpr int kMaxEpollEvents = 64;
+
+Status Errno(const char* what) {
+  return Status(StatusCode::kInternal,
+                std::string(what) + ": " + strerror(errno));
+}
+
+// epoll_wait with microsecond timeout resolution. Timers armed via RunAfter
+// carry microsecond deadlines; rounding the wait up to milliseconds turns
+// sub-millisecond timers into 1ms bursts, which matters for paced clients.
+// epoll_pwait2 (Linux 5.11+) takes a timespec; fall back to epoll_wait with
+// a ceil-to-ms timeout where it is unavailable.
+int EpollWaitUs(int epfd, struct epoll_event* events, int max_events,
+                MicrosecondCount timeout_us) {
+#if defined(SYS_epoll_pwait2)
+  static std::atomic<bool> pwait2_available{true};
+  if (pwait2_available.load(std::memory_order_relaxed)) {
+    struct timespec ts;
+    struct timespec* ts_ptr = nullptr;
+    if (timeout_us >= 0) {
+      ts.tv_sec = timeout_us / kMicrosecondsPerSecond;
+      ts.tv_nsec = (timeout_us % kMicrosecondsPerSecond) * 1000;
+      ts_ptr = &ts;
+    }
+    const int n = static_cast<int>(
+        ::syscall(SYS_epoll_pwait2, epfd, events, max_events, ts_ptr,
+                  nullptr, 0));
+    if (n >= 0 || errno != ENOSYS) {
+      return n;
+    }
+    pwait2_available.store(false, std::memory_order_relaxed);
+  }
+#endif
+  const int timeout_ms =
+      timeout_us < 0 ? -1 : static_cast<int>((timeout_us + 999) / 1000);
+  return ::epoll_wait(epfd, events, max_events, timeout_ms);
+}
+
+}  // namespace
+
+Status EventLoop::Start() {
+  if (running()) {
+    return Status::Ok();
+  }
+  UniqueFd epoll_fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd.valid()) {
+    return Errno("epoll_create1");
+  }
+  UniqueFd wakeup_fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wakeup_fd.valid()) {
+    return Errno("eventfd");
+  }
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_fd.get();
+  if (::epoll_ctl(epoll_fd.get(), EPOLL_CTL_ADD, wakeup_fd.get(), &ev) != 0) {
+    return Errno("epoll_ctl(wakeup)");
+  }
+  epoll_fd_ = std::move(epoll_fd);
+  wakeup_fd_ = std::move(wakeup_fd);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] {
+    // The kernel pads non-realtime timer waits by ~50us (timer slack) to
+    // batch wakeups; a reactor's timed waits want to be accurate, not
+    // power-efficient. Best effort.
+    (void)::prctl(PR_SET_TIMERSLACK, 1000 /* ns */, 0, 0, 0);
+    Loop();
+  });
+  return Status::Ok();
+}
+
+void EventLoop::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  Wakeup();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  running_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks_.clear();
+    pending_.clear();
+    while (!timers_.empty()) {
+      timers_.pop();
+    }
+  }
+  wakeup_fd_.Reset();
+  epoll_fd_.Reset();
+}
+
+void EventLoop::Wakeup() {
+  const uint64_t one = 1;
+  if (wakeup_fd_.valid()) {
+    // Best effort: EAGAIN just means the counter is already nonzero.
+    (void)!::write(wakeup_fd_.get(), &one, sizeof(one));
+  }
+}
+
+void EventLoop::RunInLoop(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire) ||
+        !running_.load(std::memory_order_acquire)) {
+      return;  // Dropped by contract.
+    }
+    pending_.push_back(std::move(fn));
+  }
+  // From the loop thread the next DrainTasksAndTimers pass (which runs
+  // before the next epoll wait) picks the task up; no eventfd poke needed.
+  if (!InLoopThread()) {
+    Wakeup();
+  }
+}
+
+void EventLoop::RunAfter(MicrosecondCount delay_us, std::function<void()> fn) {
+  const MicrosecondCount due =
+      RealClock::Instance()->NowMicros() + (delay_us > 0 ? delay_us : 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire) ||
+        !running_.load(std::memory_order_acquire)) {
+      return;
+    }
+    timers_.push(Timer{due, timer_seq_++, std::move(fn)});
+  }
+  // The loop recomputes its wait timeout from the heap after every callback
+  // pass, so a timer armed from the loop thread is already accounted for.
+  if (!InLoopThread()) {
+    Wakeup();
+  }
+}
+
+Status EventLoop::RegisterFd(int fd, uint32_t events, FdCallback callback) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks_[fd] = std::make_shared<FdCallback>(std::move(callback));
+  }
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks_.erase(fd);
+    return Errno("epoll_ctl(add)");
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::ModifyFd(int fd, uint32_t events) {
+  struct epoll_event ev;
+  memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Errno("epoll_ctl(mod)");
+  }
+  return Status::Ok();
+}
+
+void EventLoop::UnregisterFd(int fd) {
+  (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(fd);
+}
+
+MicrosecondCount EventLoop::DrainTasksAndTimers() {
+  std::vector<std::function<void()>> tasks;
+  std::vector<std::function<void()>> due;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks.swap(pending_);
+    const MicrosecondCount now = RealClock::Instance()->NowMicros();
+    while (!timers_.empty() && timers_.top().due_us <= now) {
+      due.push_back(std::move(const_cast<Timer&>(timers_.top()).fn));
+      timers_.pop();
+    }
+  }
+  for (auto& fn : tasks) {
+    fn();
+  }
+  for (auto& fn : due) {
+    fn();
+  }
+  // Compute the wait timeout only after running the callbacks: they may have
+  // queued follow-up tasks or armed new timers (loop-thread RunInLoop and
+  // RunAfter skip the eventfd poke and rely on exactly this recompute).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pending_.empty()) {
+    return 0;
+  }
+  if (timers_.empty()) {
+    return -1;
+  }
+  return std::max<MicrosecondCount>(
+      0, timers_.top().due_us - RealClock::Instance()->NowMicros());
+}
+
+void EventLoop::Loop() {
+  struct epoll_event events[kMaxEpollEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const MicrosecondCount timeout_us = DrainTasksAndTimers();
+    if (stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    const int n =
+        EpollWaitUs(epoll_fd_.get(), events, kMaxEpollEvents, timeout_us);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      PILEUS_LOG(kWarning) << "epoll_wait: " << strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_.get()) {
+        uint64_t drained;
+        (void)!::read(wakeup_fd_.get(), &drained, sizeof(drained));
+        continue;
+      }
+      // Copy the callback out so an unregister from inside a callback (a
+      // connection tearing itself down) cannot free it mid-call; a stale
+      // event for an fd unregistered earlier in this same batch is skipped.
+      std::shared_ptr<FdCallback> callback;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = callbacks_.find(fd);
+        if (it != callbacks_.end()) {
+          callback = it->second;
+        }
+      }
+      if (callback != nullptr) {
+        (*callback)(events[i].events);
+      }
+    }
+  }
+  // Final drain so a Stop() racing a RunInLoop has a last chance to run
+  // already-queued work (anything queued after this is dropped by contract).
+  DrainTasksAndTimers();
+}
+
+EventLoopPool::EventLoopPool(int loops) {
+  for (int i = 0; i < std::max(1, loops); ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+}
+
+Status EventLoopPool::Start() {
+  for (auto& loop : loops_) {
+    PILEUS_RETURN_IF_ERROR(loop->Start());
+  }
+  return Status::Ok();
+}
+
+void EventLoopPool::Stop() {
+  for (auto& loop : loops_) {
+    loop->Stop();
+  }
+}
+
+EventLoop* EventLoopPool::Next() {
+  const uint64_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  return loops_[i % loops_.size()].get();
+}
+
+EventLoopPool& SharedClientLoops() {
+  // Leaked on purpose (reachable static): client channels may live until
+  // process exit and the parked loop threads only touch pool-owned state.
+  static EventLoopPool* pool = [] {
+    auto* p = new EventLoopPool(2);
+    const Status status = p->Start();
+    if (!status.ok()) {
+      PILEUS_LOG(kError) << "client event loops failed to start: " << status;
+    }
+    return p;
+  }();
+  return *pool;
+}
+
+}  // namespace pileus::net

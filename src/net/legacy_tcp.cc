@@ -1,0 +1,213 @@
+#include "src/net/legacy_tcp.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/net/tcp.h"
+
+namespace pileus::net {
+
+namespace {
+
+constexpr MicrosecondCount kAcceptPollUs = 50 * 1000;
+
+}  // namespace
+
+Status LegacyTcpServer::Start(uint16_t port, Handler handler) {
+  handler_ = std::move(handler);
+  uint16_t bound = 0;
+  Result<UniqueFd> listen_fd = ListenTcp(port, &bound);
+  if (!listen_fd.ok()) {
+    return listen_fd.status();
+  }
+  listen_fd_ = std::move(listen_fd).value();
+  port_ = bound;
+  stopping_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void LegacyTcpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) {
+      accept_thread_.join();
+    }
+    return;
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  listen_fd_.Reset();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+void LegacyTcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_.get();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(kAcceptPollUs / 1000));
+    if (rc <= 0) {
+      continue;  // Timeout or EINTR; re-check the stop flag.
+    }
+    const int conn = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (conn < 0) {
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    connection_threads_.emplace_back(
+        [this, fd = UniqueFd(conn)]() mutable { ConnectionLoop(std::move(fd)); });
+  }
+}
+
+void LegacyTcpServer::ConnectionLoop(UniqueFd fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Short header timeout = cheap idle polling so Stop() is responsive;
+    // generous body timeout so a large in-flight frame is never abandoned
+    // (which would desynchronize the stream).
+    Result<std::string> frame =
+        ReadFrame(fd.get(), kAcceptPollUs, kMaxFrameBytes,
+                  SecondsToMicroseconds(30));
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kTimeout) {
+        continue;  // Idle connection; re-check the stop flag.
+      }
+      return;  // Closed or broken.
+    }
+    uint64_t request_id = 0;
+    std::string_view payload;
+    if (!SplitRequestId(frame.value(), &request_id, &payload).ok()) {
+      return;
+    }
+    Result<proto::Message> request = proto::DecodeMessage(payload);
+    proto::Message reply;
+    if (request.ok()) {
+      reply = handler_(request.value());
+    } else {
+      proto::ErrorReply err;
+      err.code = request.status().code();
+      err.message = request.status().message();
+      reply = err;
+    }
+    requests_handled_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteFrame(fd.get(), EncodeWithRequestId(request_id, reply)).ok()) {
+      return;
+    }
+  }
+}
+
+Status LegacyTcpChannel::EnsureConnected(MicrosecondCount timeout_us) {
+  if (fd_.valid()) {
+    return Status::Ok();
+  }
+  Result<UniqueFd> fd = ConnectTcp(port_, timeout_us);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  fd_ = std::move(fd).value();
+  ever_connected_ = true;
+  return Status::Ok();
+}
+
+Result<proto::Message> LegacyTcpChannel::Call(const proto::Message& request,
+                                              MicrosecondCount timeout_us) {
+  return CallLocked(request, timeout_us);
+}
+
+Result<proto::Message> LegacyTcpChannel::CallLocked(
+    const proto::Message& request, MicrosecondCount timeout_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Auto-reconnect: a server restart leaves this channel holding a dead
+  // socket, which surfaces as kUnavailable (ECONNRESET/EPIPE on write, EOF
+  // on read). One reconnect-and-resend attempt recovers transparently while
+  // deadline budget remains. Timeouts are NOT resent: after silence the
+  // budget is gone and the request may still be in flight.
+  const MicrosecondCount start_us = RealClock::Instance()->NowMicros();
+  Status last(StatusCode::kUnavailable, "tcp call never attempted");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    MicrosecondCount remaining = timeout_us;
+    if (timeout_us > 0) {
+      remaining = timeout_us - (RealClock::Instance()->NowMicros() - start_us);
+      if (remaining <= 0) {
+        return attempt == 0
+                   ? Status(StatusCode::kTimeout, "call deadline exceeded")
+                   : last;
+      }
+    }
+    Status st = EnsureConnected(remaining);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kTimeout) {
+        return st;
+      }
+      last = st;
+      continue;
+    }
+    const uint64_t id = next_request_id_++;
+    st = WriteFrame(fd_.get(), EncodeWithRequestId(id, request));
+    if (!st.ok()) {
+      fd_.Reset();
+      last = st;
+      continue;  // The peer never got the frame; safe to resend.
+    }
+    // Read until our id shows up; stale replies from timed-out calls on this
+    // connection are discarded.
+    while (true) {
+      if (timeout_us > 0) {
+        remaining =
+            timeout_us - (RealClock::Instance()->NowMicros() - start_us);
+        if (remaining <= 0) {
+          fd_.Reset();
+          return Status(StatusCode::kTimeout, "call deadline exceeded");
+        }
+      }
+      Result<std::string> frame = ReadFrame(fd_.get(), remaining);
+      if (!frame.ok()) {
+        fd_.Reset();
+        if (frame.status().code() == StatusCode::kTimeout) {
+          return frame.status();
+        }
+        last = frame.status();
+        break;  // Connection died mid-call; retry once on a fresh socket.
+      }
+      uint64_t reply_id = 0;
+      std::string_view payload;
+      st = SplitRequestId(frame.value(), &reply_id, &payload);
+      if (!st.ok()) {
+        // Framing is unrecoverable after a bad frame; fail the call rather
+        // than resend into a desynchronized stream.
+        fd_.Reset();
+        return st;
+      }
+      if (reply_id != id) {
+        PILEUS_LOG(kDebug) << "discarding stale reply id " << reply_id;
+        continue;
+      }
+      Result<proto::Message> reply = proto::DecodeMessage(payload);
+      if (!reply.ok()) {
+        fd_.Reset();
+        return reply.status();
+      }
+      return reply;
+    }
+  }
+  return last;
+}
+
+}  // namespace pileus::net

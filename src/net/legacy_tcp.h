@@ -1,0 +1,83 @@
+// The original thread-per-connection TCP transport, kept as the measured
+// baseline for bench_throughput (BENCH_throughput.json tracks the epoll
+// transport's speedup over this) and as a minimal reference implementation.
+//
+// Wire format is identical to the multiplexed transport in tcp.h (4-byte LE
+// length, 8-byte LE request id, encoded proto::Message), so the two
+// interoperate; the difference is purely execution model: one blocking
+// thread per accepted connection, and a client channel that serializes one
+// outstanding request per connection.
+
+#ifndef PILEUS_SRC_NET_LEGACY_TCP_H_
+#define PILEUS_SRC_NET_LEGACY_TCP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/channel.h"
+#include "src/net/socket_util.h"
+
+namespace pileus::net {
+
+class LegacyTcpServer {
+ public:
+  LegacyTcpServer() = default;
+  ~LegacyTcpServer() { Stop(); }
+
+  LegacyTcpServer(const LegacyTcpServer&) = delete;
+  LegacyTcpServer& operator=(const LegacyTcpServer&) = delete;
+
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts serving `handler` on one
+  // thread per accepted connection.
+  Status Start(uint16_t port, Handler handler);
+
+  // Stops accepting, closes connections, joins all threads. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t requests_handled() const {
+    return requests_handled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ConnectionLoop(UniqueFd fd);
+
+  Handler handler_;
+  UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+  std::atomic<uint64_t> requests_handled_{0};
+};
+
+// Channel over one TCP connection. Calls are serialized (one outstanding
+// request); the connection is re-established lazily after errors.
+class LegacyTcpChannel : public Channel {
+ public:
+  explicit LegacyTcpChannel(uint16_t port) : port_(port) {}
+
+  Result<proto::Message> Call(const proto::Message& request,
+                              MicrosecondCount timeout_us) override;
+
+ private:
+  Result<proto::Message> CallLocked(const proto::Message& request,
+                                    MicrosecondCount timeout_us);
+  Status EnsureConnected(MicrosecondCount timeout_us);
+
+  const uint16_t port_;
+  std::mutex mu_;
+  UniqueFd fd_;
+  uint64_t next_request_id_ = 1;
+  bool ever_connected_ = false;
+};
+
+}  // namespace pileus::net
+
+#endif  // PILEUS_SRC_NET_LEGACY_TCP_H_

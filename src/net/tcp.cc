@@ -1,39 +1,64 @@
 #include "src/net/tcp.h"
 
-#include <poll.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <condition_variable>
 #include <thread>
 #include <utility>
 
 #include "src/common/logging.h"
-
 #include "src/telemetry/metrics.h"
 
 namespace pileus::net {
 
 namespace {
 
-constexpr MicrosecondCount kAcceptPollUs = 50 * 1000;
+// Per-event read budget: keep parsing latency bounded on a loop thread; the
+// level-triggered epoll re-fires if more bytes are waiting.
+constexpr int kMaxReadsPerEvent = 16;
+constexpr size_t kReadChunk = 64 * 1024;
+constexpr int kMaxIov = 64;
+constexpr MicrosecondCount kDefaultConnectTimeoutUs = 5 * 1000 * 1000;
 
-// Process-wide TCP transport counters (connection churn and failed calls;
-// bytes/frames are counted at the framing layer in socket_util.cc).
+// Process-wide TCP transport counters. Bytes/frames share names with the
+// framing layer in socket_util.cc (the registry hands back the same counter
+// for the same name), so totals stay meaningful whichever transport moved
+// them; writev_calls vs frames_sent exposes the reply-coalescing factor.
 struct TcpMetrics {
   telemetry::Counter* connects;
   telemetry::Counter* reconnects;
   telemetry::Counter* connect_errors;
   telemetry::Counter* call_errors;
   telemetry::Counter* server_requests;
+  telemetry::Counter* bytes_sent;
+  telemetry::Counter* bytes_received;
+  telemetry::Counter* frames_sent;
+  telemetry::Counter* frames_received;
+  telemetry::Counter* writev_calls;
 
   TcpMetrics() {
-    telemetry::MetricsRegistry& registry = telemetry::MetricsRegistry::Default();
+    telemetry::MetricsRegistry& registry =
+        telemetry::MetricsRegistry::Default();
     connects = registry.GetCounter("pileus_net_tcp_connects_total");
     reconnects = registry.GetCounter("pileus_net_tcp_reconnects_total");
     connect_errors = registry.GetCounter("pileus_net_tcp_connect_errors_total");
     call_errors = registry.GetCounter("pileus_net_tcp_call_errors_total");
     server_requests =
         registry.GetCounter("pileus_net_tcp_server_requests_total");
+    bytes_sent = registry.GetCounter("pileus_net_bytes_sent_total");
+    bytes_received = registry.GetCounter("pileus_net_bytes_received_total");
+    frames_sent = registry.GetCounter("pileus_net_frames_sent_total");
+    frames_received = registry.GetCounter("pileus_net_frames_received_total");
+    writev_calls = registry.GetCounter("pileus_net_tcp_writev_calls_total");
   }
 };
 
@@ -42,165 +67,763 @@ TcpMetrics& Tcp() {
   return *metrics;
 }
 
-std::string EncodeWithId(uint64_t id, const proto::Message& message) {
-  std::string payload;
-  payload.reserve(8 + 64);
-  for (int i = 0; i < 8; ++i) {
-    payload.push_back(static_cast<char>(id >> (8 * i)));
-  }
-  payload += proto::EncodeMessage(message);
-  return payload;
+Status Errno(const char* what) {
+  return Status(StatusCode::kUnavailable,
+                std::string(what) + ": " + strerror(errno));
 }
 
-Status DecodeWithId(std::string_view payload, uint64_t* id,
-                    Result<proto::Message>* message) {
-  if (payload.size() < 8) {
-    return Status(StatusCode::kCorruption, "frame shorter than request id");
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   }
-  uint64_t out = 0;
+}
+
+void AppendLe32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void AppendLe64(std::string* out, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
-    out |= static_cast<uint64_t>(static_cast<unsigned char>(payload[i]))
-           << (8 * i);
+    out->push_back(static_cast<char>(v >> (8 * i)));
   }
-  *id = out;
-  *message = proto::DecodeMessage(payload.substr(8));
+}
+
+proto::Message DecodeErrorReply(const Status& status) {
+  proto::ErrorReply err;
+  err.code = status.code();
+  err.message = status.message();
+  return err;
+}
+
+// Reads until EAGAIN (bounded), feeding the parser. Returns false when the
+// connection is dead (EOF or a hard error).
+bool DrainSocketInto(int fd, FrameParser* parser) {
+  char buf[kReadChunk];
+  for (int i = 0; i < kMaxReadsPerEvent; ++i) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      Tcp().bytes_received->Increment(static_cast<uint64_t>(n));
+      parser->Feed(std::string_view(buf, static_cast<size_t>(n)));
+      if (static_cast<size_t>(n) < sizeof(buf)) {
+        return true;  // Socket drained.
+      }
+      continue;
+    }
+    if (n == 0) {
+      return false;  // Peer closed.
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return true;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;  // Budget spent; epoll re-fires (level-triggered).
+}
+
+// Writes as much of the frame deque as the socket accepts, coalescing queued
+// frames into single writev calls. `*head` tracks the partially-written
+// prefix of out->front(). Returns kOk with *blocked=true on EAGAIN.
+Status WritevQueue(int fd, std::deque<std::string>* out, size_t* head,
+                   size_t* queued_bytes, bool* blocked) {
+  *blocked = false;
+  while (!out->empty()) {
+    struct iovec iov[kMaxIov];
+    int iovcnt = 0;
+    size_t skip = *head;
+    for (const std::string& frame : *out) {
+      if (iovcnt == kMaxIov) {
+        break;
+      }
+      iov[iovcnt].iov_base = const_cast<char*>(frame.data()) + skip;
+      iov[iovcnt].iov_len = frame.size() - skip;
+      ++iovcnt;
+      skip = 0;
+    }
+    const ssize_t n = ::writev(fd, iov, iovcnt);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *blocked = true;
+        return Status::Ok();
+      }
+      return Errno("writev");
+    }
+    Tcp().writev_calls->Increment();
+    Tcp().bytes_sent->Increment(static_cast<uint64_t>(n));
+    size_t remaining = static_cast<size_t>(n);
+    while (remaining > 0 && !out->empty()) {
+      const size_t left = out->front().size() - *head;
+      if (remaining >= left) {
+        remaining -= left;
+        if (queued_bytes != nullptr) {
+          *queued_bytes -= out->front().size();
+        }
+        out->pop_front();
+        *head = 0;
+        Tcp().frames_sent->Increment();
+      } else {
+        *head += remaining;
+        remaining = 0;
+      }
+    }
+  }
   return Status::Ok();
 }
 
 }  // namespace
 
+// --- Codec ---
+
+std::string EncodeWithRequestId(uint64_t request_id,
+                                const proto::Message& message) {
+  std::string payload;
+  payload.reserve(8 + 64);
+  AppendLe64(&payload, request_id);
+  payload += proto::EncodeMessage(message);
+  return payload;
+}
+
+Status SplitRequestId(std::string_view frame, uint64_t* request_id,
+                      std::string_view* message_bytes) {
+  if (frame.size() < 8) {
+    return Status(StatusCode::kCorruption, "frame shorter than request id");
+  }
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<uint64_t>(static_cast<unsigned char>(frame[i]))
+          << (8 * i);
+  }
+  *request_id = id;
+  *message_bytes = frame.substr(8);
+  return Status::Ok();
+}
+
+std::string EncodeWireFrame(uint64_t request_id,
+                            const proto::Message& message) {
+  const std::string encoded = proto::EncodeMessage(message);
+  std::string frame;
+  frame.reserve(4 + 8 + encoded.size());
+  AppendLe32(&frame, static_cast<uint32_t>(8 + encoded.size()));
+  AppendLe64(&frame, request_id);
+  frame += encoded;
+  return frame;
+}
+
+void FrameParser::Feed(std::string_view bytes) {
+  if (!failed_.ok()) {
+    return;  // Stream already unrecoverable; drop everything.
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+Status FrameParser::Next(std::optional<Frame>* out) {
+  out->reset();
+  if (!failed_.ok()) {
+    return failed_;
+  }
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < 4) {
+    return Status::Ok();
+  }
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const uint32_t len = static_cast<uint32_t>(p[0]) |
+                       (static_cast<uint32_t>(p[1]) << 8) |
+                       (static_cast<uint32_t>(p[2]) << 16) |
+                       (static_cast<uint32_t>(p[3]) << 24);
+  if (len > max_frame_) {
+    failed_ = Status(StatusCode::kCorruption, "frame exceeds max size");
+    return failed_;
+  }
+  if (len < 8) {
+    failed_ = Status(StatusCode::kCorruption, "frame shorter than request id");
+    return failed_;
+  }
+  if (avail < 4 + static_cast<size_t>(len)) {
+    return Status::Ok();
+  }
+  Frame frame;
+  uint64_t id = 0;
+  for (int i = 0; i < 8; ++i) {
+    id |= static_cast<uint64_t>(p[4 + i]) << (8 * i);
+  }
+  frame.request_id = id;
+  frame.message_bytes.assign(buffer_, consumed_ + 12, len - 8);
+  consumed_ += 4 + static_cast<size_t>(len);
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > kReadChunk && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  *out = std::move(frame);
+  return Status::Ok();
+}
+
+// --- Server ---
+
+struct TcpServer::Connection
+    : std::enable_shared_from_this<TcpServer::Connection> {
+  Connection(TcpServer* owner, std::shared_ptr<EventLoopPool> loop_pool,
+             EventLoop* event_loop, uint64_t conn_key, UniqueFd sock,
+             const Options& opts)
+      : server(owner),
+        pool(std::move(loop_pool)),
+        loop(event_loop),
+        key(conn_key),
+        options(opts),
+        fd(std::move(sock)),
+        parser(opts.max_frame_bytes) {}
+
+  TcpServer* const server;  // Valid while the loops run; Stop() joins first.
+  // Keeps the loop object alive so a reply completing after Stop() can
+  // no-op against the (stopped) loop instead of touching freed memory.
+  const std::shared_ptr<EventLoopPool> pool;
+  EventLoop* const loop;
+  const uint64_t key;
+  const Options options;
+
+  std::mutex mu;
+  UniqueFd fd;
+  bool closed = false;
+  FrameParser parser;
+  std::deque<std::string> out;  // Encoded reply frames awaiting write.
+  size_t out_head = 0;
+  size_t out_bytes = 0;
+  bool want_write = false;
+  bool flush_scheduled = false;
+
+  void OnEvent(uint32_t events) {
+    std::vector<FrameParser::Frame> frames;
+    bool tear = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (closed || !fd.valid()) {
+        return;
+      }
+      if (events & (EPOLLERR | EPOLLHUP)) {
+        tear = true;
+      }
+      if (!tear && (events & EPOLLOUT)) {
+        tear = !FlushLocked().ok();
+      }
+      if (!tear && (events & EPOLLIN)) {
+        const bool alive = DrainSocketInto(fd.get(), &parser);
+        while (true) {
+          std::optional<FrameParser::Frame> frame;
+          if (!parser.Next(&frame).ok()) {
+            // Desynchronized stream: serve what parsed cleanly, then cut the
+            // connection (the peer cannot be answered reliably anymore).
+            tear = true;
+            break;
+          }
+          if (!frame.has_value()) {
+            break;
+          }
+          frames.push_back(std::move(*frame));
+        }
+        if (!alive) {
+          tear = true;
+        }
+      }
+    }
+    for (FrameParser::Frame& frame : frames) {
+      Tcp().frames_received->Increment();
+      Tcp().server_requests->Increment();
+      server->requests_handled_.fetch_add(1, std::memory_order_relaxed);
+      Result<proto::Message> request = proto::DecodeMessage(frame.message_bytes);
+      const uint64_t id = frame.request_id;
+      if (!request.ok()) {
+        SendReply(id, DecodeErrorReply(request.status()));
+        continue;
+      }
+      auto self = shared_from_this();
+      server->handler_(request.value(), [self, id](proto::Message reply) {
+        self->SendReply(id, reply);
+      });
+    }
+    if (tear) {
+      Teardown();
+    }
+  }
+
+  // Thread-safe: called inline by synchronous handlers on the loop thread
+  // and by async completions (group commit) from arbitrary threads. Replies
+  // are queued and flushed from the loop thread, so replies enqueued while
+  // one event batch is being handled coalesce into a single writev.
+  void SendReply(uint64_t request_id, const proto::Message& reply) {
+    enum class After { kNone, kTear, kSchedule };
+    After after = After::kNone;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (closed || !fd.valid()) {
+        return;  // Connection gone; the reply is dropped.
+      }
+      out.push_back(EncodeWireFrame(request_id, reply));
+      out_bytes += out.back().size();
+      if (out_bytes > options.max_write_queue_bytes) {
+        after = After::kTear;  // Peer stopped draining; cut it off.
+      } else if (!flush_scheduled) {
+        flush_scheduled = true;
+        after = After::kSchedule;
+      }
+    }
+    if (after == After::kTear) {
+      Teardown();
+    } else if (after == After::kSchedule) {
+      auto self = shared_from_this();
+      loop->RunInLoop([self] { self->FlushFromLoop(); });
+    }
+  }
+
+  void FlushFromLoop() {
+    bool tear = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      flush_scheduled = false;
+      if (closed || !fd.valid()) {
+        return;
+      }
+      tear = !FlushLocked().ok();
+    }
+    if (tear) {
+      Teardown();
+    }
+  }
+
+  Status FlushLocked() {
+    bool blocked = false;
+    const Status status =
+        WritevQueue(fd.get(), &out, &out_head, &out_bytes, &blocked);
+    if (!status.ok()) {
+      return status;
+    }
+    if (blocked && !want_write) {
+      want_write = true;
+      (void)loop->ModifyFd(fd.get(), EPOLLIN | EPOLLOUT);
+    } else if (!blocked && want_write) {
+      want_write = false;
+      (void)loop->ModifyFd(fd.get(), EPOLLIN);
+    }
+    return Status::Ok();
+  }
+
+  // Closes the socket and schedules removal from the server map. Safe from
+  // any thread; the map removal runs on the loop thread, where the server is
+  // guaranteed alive (Stop() joins the loops before the server dies).
+  void Teardown() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (closed) {
+        return;
+      }
+      closed = true;
+      if (fd.valid()) {
+        loop->UnregisterFd(fd.get());
+        fd.Reset();
+      }
+      out.clear();
+      out_bytes = 0;
+    }
+    auto self = shared_from_this();
+    loop->RunInLoop([self] { self->server->RemoveConnection(self->key); });
+  }
+};
+
 Status TcpServer::Start(uint16_t port, Handler handler) {
+  return Start(port, std::move(handler), Options{});
+}
+
+Status TcpServer::Start(uint16_t port, Handler handler, Options options) {
+  auto sync = std::make_shared<Handler>(std::move(handler));
+  return StartAsync(
+      port,
+      [sync](const proto::Message& request,
+             std::function<void(proto::Message)> done) {
+        done((*sync)(request));
+      },
+      options);
+}
+
+Status TcpServer::StartAsync(uint16_t port, AsyncHandler handler) {
+  return StartAsync(port, std::move(handler), Options{});
+}
+
+Status TcpServer::StartAsync(uint16_t port, AsyncHandler handler,
+                             Options options) {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status(StatusCode::kInvalidArgument, "server already started");
+  }
   handler_ = std::move(handler);
+  options_ = options;
+  if (options_.loop_threads < 1) {
+    options_.loop_threads = 1;
+  }
   uint16_t bound = 0;
   Result<UniqueFd> listen_fd = ListenTcp(port, &bound);
   if (!listen_fd.ok()) {
     return listen_fd.status();
   }
   listen_fd_ = std::move(listen_fd).value();
+  SetNonBlocking(listen_fd_.get());
   port_ = bound;
+  loops_ = std::make_shared<EventLoopPool>(options_.loop_threads);
+  Status status = loops_->Start();
+  if (status.ok()) {
+    status = loops_->loop(0)->RegisterFd(listen_fd_.get(), EPOLLIN,
+                                         [this](uint32_t) { OnAcceptable(); });
+  }
+  if (!status.ok()) {
+    loops_->Stop();
+    loops_.reset();
+    listen_fd_.Reset();
+    return status;
+  }
   stopping_.store(false, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
 void TcpServer::Stop() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) {
-      accept_thread_.join();
-    }
+  if (!started_.exchange(false)) {
     return;
   }
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
+  stopping_.store(true, std::memory_order_release);
+  if (loops_ != nullptr) {
+    loops_->loop(0)->UnregisterFd(listen_fd_.get());
+    // Close every connection first so an async reply arriving during
+    // shutdown drops at the closed check instead of queueing loop work.
+    std::vector<std::shared_ptr<Connection>> connections;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      connections.reserve(connections_.size());
+      for (auto& [key, conn] : connections_) {
+        connections.push_back(conn);
+      }
+      connections_.clear();
+    }
+    for (auto& conn : connections) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->closed = true;
+      if (conn->fd.valid()) {
+        conn->loop->UnregisterFd(conn->fd.get());
+        conn->fd.Reset();
+      }
+      conn->out.clear();
+      conn->out_bytes = 0;
+    }
+    loops_->Stop();
+    loops_.reset();  // Lingering connections keep the pool alive if needed.
   }
   listen_fd_.Reset();
-  std::vector<std::thread> threads;
+}
+
+size_t TcpServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_.size();
+}
+
+void TcpServer::OnAcceptable() {
+  while (true) {
+    const int raw = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (raw < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // EAGAIN or a transient error; epoll re-fires on new clients.
+    }
+    AdoptConnection(UniqueFd(raw));
+  }
+}
+
+void TcpServer::AdoptConnection(UniqueFd fd) {
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  EventLoop* loop = loops_->Next();
+  const uint64_t key =
+      next_connection_key_.fetch_add(1, std::memory_order_relaxed);
+  auto conn = std::make_shared<Connection>(this, loops_, loop, key,
+                                           std::move(fd), options_);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(connection_threads_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      return;  // Connection (and socket) dropped.
+    }
+    connections_[key] = conn;
   }
-  for (std::thread& t : threads) {
-    if (t.joinable()) {
-      t.join();
-    }
-  }
-}
-
-void TcpServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    struct pollfd pfd;
-    pfd.fd = listen_fd_.get();
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int rc = ::poll(&pfd, 1, static_cast<int>(kAcceptPollUs / 1000));
-    if (rc <= 0) {
-      continue;  // Timeout or EINTR; re-check the stop flag.
-    }
-    const int conn = ::accept(listen_fd_.get(), nullptr, nullptr);
-    if (conn < 0) {
-      continue;
-    }
-    std::lock_guard<std::mutex> lock(mu_);
-    connection_threads_.emplace_back(
-        [this, fd = UniqueFd(conn)]() mutable { ConnectionLoop(std::move(fd)); });
+  const int conn_fd = conn->fd.get();
+  const Status status = loop->RegisterFd(
+      conn_fd, EPOLLIN, [conn](uint32_t events) { conn->OnEvent(events); });
+  if (!status.ok()) {
+    PILEUS_LOG(kWarning) << "failed to register connection: " << status;
+    conn->Teardown();
   }
 }
 
-void TcpServer::ConnectionLoop(UniqueFd fd) {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    // Short header timeout = cheap idle polling so Stop() is responsive;
-    // generous body timeout so a large in-flight frame is never abandoned
-    // (which would desynchronize the stream).
-    Result<std::string> frame =
-        ReadFrame(fd.get(), kAcceptPollUs, 64 * 1024 * 1024,
-                  SecondsToMicroseconds(30));
-    if (!frame.ok()) {
-      if (frame.status().code() == StatusCode::kTimeout) {
-        continue;  // Idle connection; re-check the stop flag.
-      }
-      return;  // Closed or broken.
-    }
-    uint64_t request_id = 0;
-    Result<proto::Message> request{Status(StatusCode::kInternal, "")};
-    if (!DecodeWithId(frame.value(), &request_id, &request).ok()) {
-      return;
-    }
-    proto::Message reply;
-    if (request.ok()) {
-      reply = handler_(request.value());
-    } else {
-      proto::ErrorReply err;
-      err.code = request.status().code();
-      err.message = request.status().message();
-      reply = err;
-    }
-    requests_handled_.fetch_add(1, std::memory_order_relaxed);
-    Tcp().server_requests->Increment();
-    const std::string out = EncodeWithId(request_id, reply);
-    if (!WriteFrame(fd.get(), out).ok()) {
-      return;
-    }
-  }
+void TcpServer::RemoveConnection(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  connections_.erase(key);
 }
 
-Status TcpChannel::EnsureConnected(MicrosecondCount timeout_us) {
-  if (fd_.valid()) {
+// --- Client ---
+
+struct TcpChannel::State : std::enable_shared_from_this<TcpChannel::State> {
+  State(uint16_t server_port, EventLoop* pinned_loop)
+      : port(server_port),
+        loop(pinned_loop != nullptr ? pinned_loop
+                                    : SharedClientLoops().Next()) {}
+
+  using Completion = std::pair<AsyncCallback, Result<proto::Message>>;
+
+  const uint16_t port;
+  // From the shared client pool (never destroyed) or caller-pinned, in which
+  // case the caller keeps it alive past the channel.
+  EventLoop* const loop;
+
+  std::mutex mu;
+  UniqueFd fd;
+  bool closed = false;  // Channel destroyed.
+  bool ever_connected = false;
+  uint64_t next_id = 1;
+  FrameParser parser{kMaxFrameBytes};
+  std::unordered_map<uint64_t, AsyncCallback> pending;
+  std::deque<std::string> out;
+  size_t out_head = 0;
+  bool want_write = false;
+
+  Status EnsureConnectedLocked(MicrosecondCount timeout_us) {
+    if (fd.valid()) {
+      return Status::Ok();
+    }
+    Result<UniqueFd> conn = ConnectTcp(
+        port, timeout_us > 0 ? timeout_us : kDefaultConnectTimeoutUs);
+    if (!conn.ok()) {
+      Tcp().connect_errors->Increment();
+      return conn.status();
+    }
+    UniqueFd sock = std::move(conn).value();
+    SetNonBlocking(sock.get());
+    Tcp().connects->Increment();
+    if (ever_connected) {
+      Tcp().reconnects->Increment();
+    }
+    ever_connected = true;
+    parser.Reset();
+    out.clear();
+    out_head = 0;
+    want_write = false;
+    auto self = shared_from_this();
+    const Status status = loop->RegisterFd(
+        sock.get(), EPOLLIN, [self](uint32_t events) { self->OnEvent(events); });
+    if (!status.ok()) {
+      return status;
+    }
+    fd = std::move(sock);
     return Status::Ok();
   }
-  Result<UniqueFd> fd = ConnectTcp(port_, timeout_us);
-  if (!fd.ok()) {
-    Tcp().connect_errors->Increment();
-    return fd.status();
+
+  Status FlushLocked() {
+    bool blocked = false;
+    const Status status =
+        WritevQueue(fd.get(), &out, &out_head, nullptr, &blocked);
+    if (!status.ok()) {
+      return status;
+    }
+    if (blocked && !want_write) {
+      want_write = true;
+      (void)loop->ModifyFd(fd.get(), EPOLLIN | EPOLLOUT);
+    } else if (!blocked && want_write) {
+      want_write = false;
+      (void)loop->ModifyFd(fd.get(), EPOLLIN);
+    }
+    return Status::Ok();
   }
-  fd_ = std::move(fd).value();
-  (ever_connected_ ? Tcp().reconnects : Tcp().connects)->Increment();
-  ever_connected_ = true;
-  return Status::Ok();
+
+  // Drops the connection and moves every in-flight call into `done` with
+  // `status` — the fail-fast contract: pipelined callers learn about a dead
+  // connection immediately instead of serially timing out.
+  void FailAllLocked(const Status& status,
+                     std::vector<Completion>* done) {
+    if (fd.valid()) {
+      loop->UnregisterFd(fd.get());
+      fd.Reset();
+    }
+    out.clear();
+    out_head = 0;
+    want_write = false;
+    parser.Reset();
+    for (auto& [id, callback] : pending) {
+      Tcp().call_errors->Increment();
+      done->emplace_back(std::move(callback), Result<proto::Message>(status));
+    }
+    pending.clear();
+  }
+
+  void OnEvent(uint32_t events) {
+    std::vector<Completion> done;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (closed || !fd.valid()) {
+        // Stale dispatch for an fd already torn down.
+      } else if (events & (EPOLLERR | EPOLLHUP)) {
+        FailAllLocked(Status(StatusCode::kUnavailable, "connection reset"),
+                      &done);
+      } else {
+        if (events & EPOLLOUT) {
+          const Status status = FlushLocked();
+          if (!status.ok()) {
+            FailAllLocked(
+                Status(StatusCode::kUnavailable, status.message()), &done);
+          }
+        }
+        if (fd.valid() && (events & EPOLLIN)) {
+          const bool alive = DrainSocketInto(fd.get(), &parser);
+          while (fd.valid()) {
+            std::optional<FrameParser::Frame> frame;
+            const Status status = parser.Next(&frame);
+            if (!status.ok()) {
+              // Reply stream desynchronized: every in-flight call gets the
+              // corruption status (a reply cannot be attributed safely).
+              FailAllLocked(status, &done);
+              break;
+            }
+            if (!frame.has_value()) {
+              break;
+            }
+            Tcp().frames_received->Increment();
+            auto it = pending.find(frame->request_id);
+            if (it == pending.end()) {
+              // Reply to a call that already timed out; discard, keep going.
+              PILEUS_LOG(kDebug)
+                  << "discarding stale reply id " << frame->request_id;
+              continue;
+            }
+            done.emplace_back(std::move(it->second),
+                              proto::DecodeMessage(frame->message_bytes));
+            pending.erase(it);
+          }
+          if (!alive && fd.valid()) {
+            FailAllLocked(
+                Status(StatusCode::kUnavailable, "connection closed by peer"),
+                &done);
+          }
+        }
+      }
+    }
+    for (auto& [callback, result] : done) {
+      callback(std::move(result));
+    }
+  }
+
+  void HandleTimeout(uint64_t id) {
+    AsyncCallback callback;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      auto it = pending.find(id);
+      if (it == pending.end()) {
+        return;  // Completed (or failed) before the deadline.
+      }
+      callback = std::move(it->second);
+      pending.erase(it);
+    }
+    // The connection stays up: one slow request must not sink the other
+    // calls pipelined behind it. The eventual reply is discarded by id.
+    Tcp().call_errors->Increment();
+    callback(Result<proto::Message>(
+        Status(StatusCode::kTimeout, "call deadline exceeded")));
+  }
+
+  size_t InFlight() {
+    std::lock_guard<std::mutex> lock(mu);
+    return pending.size();
+  }
+};
+
+TcpChannel::TcpChannel(uint16_t port,
+                       MicrosecondCount artificial_one_way_delay_us,
+                       EventLoop* loop)
+    : state_(std::make_shared<State>(port, loop)),
+      artificial_delay_us_(artificial_one_way_delay_us) {}
+
+TcpChannel::~TcpChannel() {
+  std::vector<State::Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+    state_->FailAllLocked(
+        Status(StatusCode::kCancelled, "channel destroyed"), &done);
+  }
+  for (auto& [callback, result] : done) {
+    callback(std::move(result));
+  }
+}
+
+size_t TcpChannel::in_flight() const { return state_->InFlight(); }
+
+void TcpChannel::CallAsync(const proto::Message& request,
+                           MicrosecondCount timeout_us,
+                           AsyncCallback callback) {
+  std::shared_ptr<State> state = state_;
+  std::vector<State::Completion> done;
+  uint64_t id = 0;
+  bool sent = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->closed) {
+      done.emplace_back(
+          std::move(callback),
+          Result<proto::Message>(
+              Status(StatusCode::kCancelled, "channel destroyed")));
+    } else {
+      Status status = state->EnsureConnectedLocked(timeout_us);
+      if (!status.ok()) {
+        Tcp().call_errors->Increment();
+        done.emplace_back(std::move(callback),
+                          Result<proto::Message>(status));
+      } else {
+        id = state->next_id++;
+        state->pending.emplace(id, std::move(callback));
+        state->out.push_back(EncodeWireFrame(id, request));
+        status = state->FlushLocked();
+        if (!status.ok()) {
+          state->FailAllLocked(
+              Status(StatusCode::kUnavailable, status.message()), &done);
+        } else {
+          sent = true;
+        }
+      }
+    }
+  }
+  if (sent && timeout_us > 0) {
+    state->loop->RunAfter(timeout_us,
+                          [state, id] { state->HandleTimeout(id); });
+  }
+  for (auto& [cb, result] : done) {
+    cb(std::move(result));
+  }
 }
 
 Result<proto::Message> TcpChannel::Call(const proto::Message& request,
                                         MicrosecondCount timeout_us) {
-  Result<proto::Message> reply = CallLocked(request, timeout_us);
-  if (!reply.ok()) {
-    Tcp().call_errors->Increment();
-  }
-  return reply;
-}
-
-Result<proto::Message> TcpChannel::CallLocked(const proto::Message& request,
-                                              MicrosecondCount timeout_us) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (artificial_delay_us_ > 0) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(artificial_delay_us_));
+    std::this_thread::sleep_for(std::chrono::microseconds(artificial_delay_us_));
   }
-  // Auto-reconnect: a server restart leaves this channel holding a dead
-  // socket, which surfaces as kUnavailable (ECONNRESET/EPIPE on write, EOF
-  // on read). One reconnect-and-resend attempt recovers transparently while
-  // deadline budget remains. Timeouts are NOT resent: after silence the
-  // budget is gone and the request may still be in flight.
   const MicrosecondCount start_us = RealClock::Instance()->NowMicros();
   Status last(StatusCode::kUnavailable, "tcp call never attempted");
+  // One retry, mirroring the original transport: a server restart between
+  // calls leaves a dead socket whose first use fails kUnavailable; the frame
+  // never reached the new server, so a resend on a fresh connection is safe.
+  // Timeouts are not resent — after silence the request may still be live.
   for (int attempt = 0; attempt < 2; ++attempt) {
     MicrosecondCount remaining = timeout_us;
     if (timeout_us > 0) {
@@ -211,60 +834,38 @@ Result<proto::Message> TcpChannel::CallLocked(const proto::Message& request,
                    : last;
       }
     }
-    Status st = EnsureConnected(remaining);
-    if (!st.ok()) {
-      if (st.code() == StatusCode::kTimeout) {
-        return st;
-      }
-      last = st;
-      continue;
+    struct Waiter {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      Result<proto::Message> result{Status::Ok()};
+    };
+    auto waiter = std::make_shared<Waiter>();
+    CallAsync(request, remaining,
+              [waiter](Result<proto::Message> result) {
+                std::lock_guard<std::mutex> lock(waiter->mu);
+                waiter->result = std::move(result);
+                waiter->done = true;
+                waiter->cv.notify_one();
+              });
+    Result<proto::Message> result{Status::Ok()};
+    {
+      std::unique_lock<std::mutex> lock(waiter->mu);
+      waiter->cv.wait(lock, [&waiter] { return waiter->done; });
+      result = std::move(waiter->result);
     }
-    const uint64_t id = next_request_id_++;
-    st = WriteFrame(fd_.get(), EncodeWithId(id, request));
-    if (!st.ok()) {
-      fd_.Reset();
-      last = st;
-      continue;  // The peer never got the frame; safe to resend.
-    }
-    // Read until our id shows up; stale replies from timed-out calls on this
-    // connection are discarded.
-    while (true) {
-      if (timeout_us > 0) {
-        remaining =
-            timeout_us - (RealClock::Instance()->NowMicros() - start_us);
-        if (remaining <= 0) {
-          fd_.Reset();
-          return Status(StatusCode::kTimeout, "call deadline exceeded");
-        }
-      }
-      Result<std::string> frame = ReadFrame(fd_.get(), remaining);
-      if (!frame.ok()) {
-        fd_.Reset();
-        if (frame.status().code() == StatusCode::kTimeout) {
-          return frame.status();
-        }
-        last = frame.status();
-        break;  // Connection died mid-call; retry once on a fresh socket.
-      }
-      uint64_t reply_id = 0;
-      Result<proto::Message> reply{Status(StatusCode::kInternal, "")};
-      st = DecodeWithId(frame.value(), &reply_id, &reply);
-      if (!st.ok()) {
-        // Framing is unrecoverable after a bad frame; fail the call rather
-        // than resend into a desynchronized stream.
-        fd_.Reset();
-        return st;
-      }
-      if (reply_id != id) {
-        PILEUS_LOG(kDebug) << "discarding stale reply id " << reply_id;
-        continue;
-      }
+    if (result.ok()) {
       if (artificial_delay_us_ > 0) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(artificial_delay_us_));
       }
-      return reply;
+      return result;
     }
+    if (result.status().code() == StatusCode::kUnavailable) {
+      last = result.status();
+      continue;  // Retry once on a fresh connection.
+    }
+    return result;  // kTimeout, kCorruption, ...: not retryable here.
   }
   return last;
 }

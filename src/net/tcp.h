@@ -1,86 +1,215 @@
-// TCP transport: a framed request/reply server and a matching Channel.
+// TCP transport: an epoll-based multiplexed server and a pipelining Channel.
 //
 // Wire format per frame: 4-byte little-endian length, then an 8-byte
-// little-endian request id, then the encoded proto::Message. The server
-// echoes the request id in the reply frame so a client can detect stale
-// replies after a timeout. One accept thread; one thread per connection
-// (connection counts here are tiny: a handful of clients and replication
-// agents per node).
+// little-endian request id, then the encoded proto::Message (the same format
+// the original thread-per-connection transport used, see legacy_tcp.h — the
+// two interoperate). The request id is the multiplexing key: a client may
+// have many requests in flight on one connection and replies may complete in
+// any order; each reply frame echoes the id of the request it answers.
+//
+// Execution model (DESIGN.md "Async transport & group commit"):
+//  - TcpServer runs a small EventLoopPool; the listener and every accepted
+//    connection live on loop threads with nonblocking sockets.
+//  - Parse, handle, and reply are decoupled: frames are parsed on the loop
+//    thread, handed to the handler, and replies are appended to a
+//    per-connection write queue flushed with writev so pipelined replies
+//    coalesce into single syscalls. An AsyncHandler may complete on another
+//    thread entirely (WAL group commit acks ride this path).
+//  - TcpChannel::CallAsync sends without blocking and invokes a completion
+//    callback on a shared client event loop; the synchronous Channel::Call
+//    API is implemented on top of it.
 
 #ifndef PILEUS_SRC_NET_TCP_H_
 #define PILEUS_SRC_NET_TCP_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/net/channel.h"
+#include "src/net/event_loop.h"
 #include "src/net/socket_util.h"
 
 namespace pileus::net {
 
+// Frames above this are rejected as corruption (matches the old transport's
+// ReadFrame default).
+inline constexpr size_t kMaxFrameBytes = 64 * 1024 * 1024;
+
+// Server-side handler that may complete asynchronously: call `done` exactly
+// once with the reply, from any thread. The storage group-commit path holds
+// `done` until the WAL batch is synced.
+using AsyncHandler = std::function<void(
+    const proto::Message&, std::function<void(proto::Message)>)>;
+
+// --- Multiplexed frame codec ---
+
+// Builds the id+message payload (WITHOUT the 4-byte length prefix; pair with
+// WriteFrame) for one request or reply.
+std::string EncodeWithRequestId(uint64_t request_id,
+                                const proto::Message& message);
+// Splits a frame payload into the request id and the encoded message bytes;
+// kCorruption when shorter than the 8-byte id.
+Status SplitRequestId(std::string_view frame, uint64_t* request_id,
+                      std::string_view* message_bytes);
+// Builds a complete on-wire frame: 4-byte LE length + id + encoded message.
+std::string EncodeWireFrame(uint64_t request_id, const proto::Message& message);
+
+// Incremental parser for the multiplexed stream. Feed bytes as they arrive
+// (partial reads, split length prefixes — any fragmentation is fine); Next()
+// yields complete frames in order. Corruption (an absurd or runt length) is
+// sticky: the stream cannot be resynchronized and the connection must be
+// torn down.
+class FrameParser {
+ public:
+  struct Frame {
+    uint64_t request_id = 0;
+    std::string message_bytes;  // Encoded proto::Message.
+  };
+
+  explicit FrameParser(size_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  void Feed(std::string_view bytes);
+
+  // Fills `out` with the next complete frame, or nullopt when more bytes are
+  // needed. Returns kCorruption (sticky) on an invalid length prefix.
+  Status Next(std::optional<Frame>* out);
+
+  // Discards buffered bytes and clears a sticky failure (new connection).
+  void Reset() {
+    buffer_.clear();
+    consumed_ = 0;
+    failed_ = Status::Ok();
+  }
+
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  const size_t max_frame_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status failed_ = Status::Ok();
+};
+
+// --- Server ---
+
 class TcpServer {
  public:
+  struct Options {
+    // Reactor threads; connections are spread across them round-robin.
+    int loop_threads = 2;
+    size_t max_frame_bytes = kMaxFrameBytes;
+    // A peer that stops draining replies past this many queued bytes is cut
+    // off (prevents unbounded buffering under pipelined load).
+    size_t max_write_queue_bytes = 256 * 1024 * 1024;
+  };
+
   TcpServer() = default;
   ~TcpServer() { Stop(); }
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  // Binds 127.0.0.1:port (0 = ephemeral) and starts serving `handler` on
-  // background threads.
+  // Binds 127.0.0.1:port (0 = ephemeral) and serves `handler` on the event
+  // loops (the synchronous handler runs inline on a loop thread).
   Status Start(uint16_t port, Handler handler);
+  Status Start(uint16_t port, Handler handler, Options options);
+  // Same, but the handler may defer its reply (group commit, slow work).
+  Status StartAsync(uint16_t port, AsyncHandler handler);
+  Status StartAsync(uint16_t port, AsyncHandler handler, Options options);
 
-  // Stops accepting, closes connections, joins all threads. Idempotent.
+  // Stops the loops, closes all connections, joins all threads. Replies still
+  // pending in async handlers are dropped. Idempotent.
   void Stop();
 
   uint16_t port() const { return port_; }
   uint64_t requests_handled() const {
     return requests_handled_.load(std::memory_order_relaxed);
   }
+  size_t active_connections() const;
+
+  // The server's reactor pool; valid between Start and Stop. Lets an
+  // in-process client share the server's loop threads (single-threaded
+  // deterministic tests, benches on small machines).
+  EventLoopPool* loop_pool() { return loops_.get(); }
 
  private:
-  void AcceptLoop();
-  void ConnectionLoop(UniqueFd fd);
+  struct Connection;
 
-  Handler handler_;
+  void OnAcceptable();
+  void AdoptConnection(UniqueFd fd);
+  void RemoveConnection(uint64_t key);
+
+  AsyncHandler handler_;
+  Options options_;
+  std::shared_ptr<EventLoopPool> loops_;  // Shared with connections so late
+                                          // completions can no-op safely.
   UniqueFd listen_fd_;
   uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
-  std::thread accept_thread_;
-  std::mutex mu_;
-  std::vector<std::thread> connection_threads_;
   std::atomic<uint64_t> requests_handled_{0};
+  std::atomic<uint64_t> next_connection_key_{1};
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> connections_;
 };
 
-// Channel over one TCP connection. Calls are serialized (one outstanding
-// request); the connection is re-established lazily after errors. An optional
-// artificial one-way delay emulates WAN latency over loopback for the
-// examples.
+// --- Client ---
+
+// Channel over one TCP connection with request pipelining: any number of
+// calls may be in flight; replies are matched to callers by request id and
+// may complete out of order. The connection is established lazily and
+// re-established after errors. On disconnect every in-flight call fails
+// fast with kUnavailable. An optional artificial one-way delay emulates WAN
+// latency over loopback for the examples (applied on the synchronous path).
 class TcpChannel : public Channel {
  public:
-  explicit TcpChannel(uint16_t port,
-                      MicrosecondCount artificial_one_way_delay_us = 0)
-      : port_(port), artificial_delay_us_(artificial_one_way_delay_us) {}
+  using AsyncCallback = std::function<void(Result<proto::Message>)>;
 
+  // `loop` pins the channel to a specific event loop instead of the shared
+  // client pool; it must outlive the channel (and stay running for async
+  // completions to fire). The synchronous Call must then never be invoked
+  // from that loop's thread — it would wait on itself.
+  explicit TcpChannel(uint16_t port,
+                      MicrosecondCount artificial_one_way_delay_us = 0,
+                      EventLoop* loop = nullptr);
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  // Synchronous call, implemented over CallAsync. Retries once on a fresh
+  // connection when the failure is kUnavailable and deadline budget remains
+  // (a server restart mid-stream recovers transparently).
   Result<proto::Message> Call(const proto::Message& request,
                               MicrosecondCount timeout_us) override;
 
- private:
-  Result<proto::Message> CallLocked(const proto::Message& request,
-                                    MicrosecondCount timeout_us);
-  Status EnsureConnected(MicrosecondCount timeout_us);
+  // Pipelined send: returns immediately; `callback` runs exactly once — with
+  // the reply, kTimeout at the deadline (the connection stays up; a late
+  // reply is discarded), kUnavailable if the connection drops first, or
+  // kCorruption if the reply stream desynchronizes. The callback is invoked
+  // on a shared client event-loop thread (or inline on connect failure) and
+  // must not block.
+  void CallAsync(const proto::Message& request, MicrosecondCount timeout_us,
+                 AsyncCallback callback);
 
-  const uint16_t port_;
+  // Calls currently awaiting replies (tests / backpressure heuristics).
+  size_t in_flight() const;
+
+ private:
+  struct State;
+
+  std::shared_ptr<State> state_;
   const MicrosecondCount artificial_delay_us_;
-  std::mutex mu_;
-  UniqueFd fd_;
-  uint64_t next_request_id_ = 1;
-  // Telemetry: distinguishes first connects from reconnects after a reset.
-  bool ever_connected_ = false;
 };
 
 }  // namespace pileus::net

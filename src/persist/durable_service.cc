@@ -1,5 +1,9 @@
 #include "src/persist/durable_service.h"
 
+#include <condition_variable>
+
+#include "src/common/logging.h"
+
 namespace pileus::persist {
 
 namespace {
@@ -15,12 +19,112 @@ proto::Message MakeError(const Status& status) {
   return MakeError(status.code(), status.message());
 }
 
+// Requests whose successful reply implies a journaled state change.
+bool IsMutation(const proto::Message& request) {
+  return std::holds_alternative<proto::PutRequest>(request) ||
+         std::holds_alternative<proto::DeleteRequest>(request) ||
+         std::holds_alternative<proto::CommitRequest>(request);
+}
+
+bool IsError(const proto::Message& reply) {
+  return std::holds_alternative<proto::ErrorReply>(reply);
+}
+
 }  // namespace
 
+DurableStorageService::DurableStorageService(
+    std::string table, DurableTablet* tablet,
+    const GroupCommitConfig& group_commit)
+    : table_(std::move(table)), tablet_(tablet) {
+  if (!group_commit.enabled) {
+    return;
+  }
+  GroupCommitter::Options options;
+  options.max_batch = group_commit.max_batch;
+  options.max_delay_us = group_commit.max_delay_us;
+  committer_ = std::make_unique<GroupCommitter>(
+      [this] {
+        // Serialized against appends and checkpoints: the WAL object is only
+        // safe to touch under the service lock.
+        std::lock_guard<std::mutex> lock(mu_);
+        return tablet_->Sync();
+      },
+      options);
+  const Status status = committer_->Start();
+  if (!status.ok()) {
+    PILEUS_LOG(kError) << "group committer failed to start, falling back to "
+                          "inline sync: "
+                       << status;
+  }
+}
+
+DurableStorageService::~DurableStorageService() {
+  if (committer_ != nullptr) {
+    committer_->Stop();
+  }
+}
+
 proto::Message DurableStorageService::Handle(const proto::Message& request) {
+  if (committer_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    return HandleLocked(request);
+  }
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    proto::Message reply;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  HandleAsync(request, [waiter](proto::Message reply) {
+    std::lock_guard<std::mutex> lock(waiter->mu);
+    waiter->reply = std::move(reply);
+    waiter->done = true;
+    waiter->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&waiter] { return waiter->done; });
+  return std::move(waiter->reply);
+}
+
+void DurableStorageService::HandleAsync(
+    const proto::Message& request, std::function<void(proto::Message)> done) {
+  proto::Message reply;
+  bool defer = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    reply = HandleLocked(request);
+    // Only successful mutations wait for the durability barrier; their WAL
+    // append (made just above, under this lock) precedes the registration,
+    // so the batch fsync is guaranteed to cover it.
+    defer = committer_ != nullptr && IsMutation(request) && !IsError(reply);
+  }
+  if (!defer) {
+    done(std::move(reply));
+    return;
+  }
+  committer_->AckAfterSync(
+      [reply = std::move(reply), done = std::move(done)](
+          const Status& status) mutable {
+        if (status.ok()) {
+          done(std::move(reply));
+        } else {
+          // The write is applied in memory but its durability is unknown;
+          // refuse to ack it as committed.
+          done(MakeError(Status(StatusCode::kUnavailable,
+                                "wal sync failed: " + status.message())));
+        }
+      });
+}
+
+Status DurableStorageService::SyncNow() {
+  if (committer_ != nullptr) {
+    return committer_->SyncNow();
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  ++requests_served_;
-  return HandleLocked(request);
+  return tablet_->Sync();
 }
 
 proto::Message DurableStorageService::HandleLocked(

@@ -3,27 +3,68 @@
 // Mirrors StorageNode::Handle for a DurableTablet so a daemon can sit a
 // TcpServer (or any transport) directly on top of journaled storage. A
 // single mutex serializes requests, matching StorageNode's threading model.
+//
+// With group commit enabled, mutation acks (Put/Delete/Commit) are deferred:
+// the write is applied and appended to the WAL under the lock, but the reply
+// is released only after a GroupCommitter batch fsync covers it — so every
+// acked write survives a crash, at one fsync per batch instead of per write.
+// Reads still reply immediately (the in-memory tablet already reflects the
+// pending writes, which is exactly the sync_every_append=false memory state).
 
 #ifndef PILEUS_SRC_PERSIST_DURABLE_SERVICE_H_
 #define PILEUS_SRC_PERSIST_DURABLE_SERVICE_H_
 
+#include <atomic>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "src/persist/durable_tablet.h"
+#include "src/persist/group_commit.h"
 #include "src/proto/messages.h"
 
 namespace pileus::persist {
+
+// Group-commit knobs for DurableStorageService (namespace scope so it can be
+// brace-initialized at call sites).
+struct GroupCommitConfig {
+  bool enabled = false;
+  size_t max_batch = 64;
+  MicrosecondCount max_delay_us = 2000;
+};
 
 class DurableStorageService {
  public:
   // `tablet` is not owned and must outlive the service.
   DurableStorageService(std::string table, DurableTablet* tablet)
       : table_(std::move(table)), tablet_(tablet) {}
+  DurableStorageService(std::string table, DurableTablet* tablet,
+                        const GroupCommitConfig& group_commit);
+  ~DurableStorageService();
 
+  // Synchronous dispatch. When group commit is on, mutations block until
+  // their covering batch fsync completes.
   proto::Message Handle(const proto::Message& request);
 
-  uint64_t requests_served() const { return requests_served_; }
+  // Asynchronous dispatch for the event-driven transport: `done` is invoked
+  // exactly once — inline for reads and errors, from the committer thread
+  // for mutations under group commit. `done` must be thread-safe to call
+  // from another thread and must not block for long.
+  void HandleAsync(const proto::Message& request,
+                   std::function<void(proto::Message)> done);
+
+  // Forces a durability barrier covering everything applied so far (e.g.
+  // after a replication pull applied a batch of versions).
+  Status SyncNow();
+
+  // Null when group commit is disabled.
+  GroupCommitter* group_committer() { return committer_.get(); }
+
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
 
  private:
   proto::Message HandleLocked(const proto::Message& request);
@@ -31,7 +72,8 @@ class DurableStorageService {
   std::string table_;
   DurableTablet* tablet_;
   std::mutex mu_;
-  uint64_t requests_served_ = 0;
+  std::atomic<uint64_t> requests_served_{0};
+  std::unique_ptr<GroupCommitter> committer_;
 };
 
 }  // namespace pileus::persist

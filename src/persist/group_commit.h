@@ -1,0 +1,95 @@
+// WAL group commit: many concurrent writers share one fsync.
+//
+// The durable write path appends to the WAL under the service lock, then
+// registers an ack with the GroupCommitter instead of fsyncing inline. A
+// background committer thread runs one Sync() per batch — bounded by
+// max_batch acks or max_delay_us of waiting, whichever comes first — and
+// then releases every registered ack. Because each ack is registered only
+// AFTER its append reached the kernel, and the committer's sync happens
+// after registration, every acked write is on stable storage: the
+// zero-lost-acked-writes invariant of sync_every_append is preserved at a
+// fraction of the fsync count.
+//
+// A write that was appended but whose batch had not synced at crash time is
+// simply never acked — the client sees an unavailable/timeout and the replay
+// may or may not contain the write, both acceptable outcomes.
+
+#ifndef PILEUS_SRC_PERSIST_GROUP_COMMIT_H_
+#define PILEUS_SRC_PERSIST_GROUP_COMMIT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+
+namespace pileus::persist {
+
+class GroupCommitter {
+ public:
+  struct Options {
+    // Sync as soon as this many acks are waiting...
+    size_t max_batch = 64;
+    // ...or once the oldest waiting ack is this old.
+    MicrosecondCount max_delay_us = 2000;
+  };
+
+  // Performs the actual durability barrier (e.g. tablet->Sync() under the
+  // service lock). Runs on the committer thread only.
+  using SyncFn = std::function<Status()>;
+  // Receives the outcome of the covering sync. Runs on the committer thread;
+  // must not call back into the committer.
+  using AckFn = std::function<void(const Status&)>;
+
+  GroupCommitter(SyncFn sync, Options options)
+      : sync_(std::move(sync)), options_(options) {}
+  ~GroupCommitter() { Stop(); }
+
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  // Spawns the committer thread.
+  Status Start();
+
+  // Syncs and releases any remaining acks, then joins the thread. Idempotent.
+  void Stop();
+
+  // Registers `ack` to run after the next completed sync. The write being
+  // acked must already be appended (happens-before this call). If the
+  // committer is not running, syncs inline and acks immediately.
+  void AckAfterSync(AckFn ack);
+
+  // Forces a batch boundary now and blocks until that sync completes
+  // (replication pulls use this to cover an applied batch).
+  Status SyncNow();
+
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+  uint64_t acked() const { return acked_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  const SyncFn sync_;
+  const Options options_;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stopping_ = false;
+  bool kick_ = false;  // SyncNow: skip the batching delay.
+  std::vector<AckFn> queue_;
+  MicrosecondCount first_enqueue_us_ = 0;
+
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> acked_{0};
+};
+
+}  // namespace pileus::persist
+
+#endif  // PILEUS_SRC_PERSIST_GROUP_COMMIT_H_

@@ -1,18 +1,26 @@
 // Deterministic fuzzing of the decode paths: the wire codec, the message
-// decoder, and WAL replay must never crash or read out of bounds on
-// adversarial input - a storage node's parser is directly reachable from the
-// network.
+// decoder, the multiplexed FrameParser, and WAL replay must never crash or
+// read out of bounds on adversarial input - a storage node's parser is
+// directly reachable from the network.
 
 #include <gtest/gtest.h>
 
 #include <stdlib.h>
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/common/random.h"
+#include "src/net/tcp.h"
 #include "src/persist/wal.h"
 #include "src/proto/messages.h"
 #include "src/sim/fault_injector.h"
@@ -199,6 +207,196 @@ TEST(FuzzTest, DecoderPrimitivesNeverOverread) {
       }
     }
   }
+}
+
+// --- FrameParser: the multiplexed transport's stream reassembler ---
+
+// A valid pipelined batch: `count` wire frames back to back, as they would
+// sit in one TCP segment after writev coalescing.
+std::string PipelinedBatch(Random& rng, int count,
+                           std::vector<uint64_t>* ids) {
+  std::string batch;
+  for (int i = 0; i < count; ++i) {
+    const uint64_t id = rng.NextUint64();
+    if (ids != nullptr) {
+      ids->push_back(id);
+    }
+    proto::GetRequest request;
+    request.table = "t";
+    request.key = "key" + std::to_string(i) +
+                  std::string(rng.NextUint64(40), 'k');
+    batch += net::EncodeWireFrame(id, request);
+  }
+  return batch;
+}
+
+TEST(FuzzTest, FrameParserReassemblesArbitraryFragmentation) {
+  // Any split of the byte stream - mid length prefix, mid request id, mid
+  // payload, several frames per chunk - must reassemble to exactly the sent
+  // frames, ids intact and in order.
+  Random rng(0xF7A6);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<uint64_t> ids;
+    const std::string batch =
+        PipelinedBatch(rng, 1 + static_cast<int>(rng.NextUint64(6)), &ids);
+    net::FrameParser parser;
+    std::vector<net::FrameParser::Frame> frames;
+    size_t offset = 0;
+    while (offset < batch.size()) {
+      const size_t chunk = 1 + rng.NextUint64(9);
+      const size_t len = std::min(chunk, batch.size() - offset);
+      parser.Feed(std::string_view(batch).substr(offset, len));
+      offset += len;
+      std::optional<net::FrameParser::Frame> frame;
+      while (parser.Next(&frame).ok() && frame.has_value()) {
+        frames.push_back(std::move(*frame));
+        frame.reset();
+      }
+    }
+    ASSERT_EQ(frames.size(), ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(frames[i].request_id, ids[i]);
+      EXPECT_TRUE(proto::DecodeMessage(frames[i].message_bytes).ok());
+    }
+    EXPECT_EQ(parser.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FuzzTest, FrameParserRejectsAbsurdLengthsStickily) {
+  Random rng(0xABCD);
+  for (int round = 0; round < 200; ++round) {
+    net::FrameParser parser(64 * 1024);  // Small cap to hit fast.
+    // A length prefix far past the cap (sometimes the 4-byte maximum).
+    const uint32_t absurd =
+        rng.NextBool(0.3) ? 0xFFFFFFFFu
+                          : 64 * 1024 + 9 + static_cast<uint32_t>(
+                                                rng.NextUint64(1 << 20));
+    std::string prefix(4, '\0');
+    prefix[0] = static_cast<char>(absurd & 0xFF);
+    prefix[1] = static_cast<char>((absurd >> 8) & 0xFF);
+    prefix[2] = static_cast<char>((absurd >> 16) & 0xFF);
+    prefix[3] = static_cast<char>((absurd >> 24) & 0xFF);
+    parser.Feed(prefix);
+    std::optional<net::FrameParser::Frame> frame;
+    EXPECT_EQ(parser.Next(&frame).code(), StatusCode::kCorruption);
+    // Sticky: feeding perfectly valid frames afterwards cannot resync a
+    // stream whose framing is lost.
+    parser.Feed(PipelinedBatch(rng, 1, nullptr));
+    EXPECT_EQ(parser.Next(&frame).code(), StatusCode::kCorruption);
+    // A new connection resets cleanly.
+    parser.Reset();
+    parser.Feed(PipelinedBatch(rng, 1, nullptr));
+    EXPECT_TRUE(parser.Next(&frame).ok());
+    EXPECT_TRUE(frame.has_value());
+  }
+}
+
+TEST(FuzzTest, FrameParserSurvivesMutatedAndTruncatedBatches) {
+  // Byte flips and truncations of valid pipelined batches: every outcome is
+  // acceptable except a crash, a hang, or unbounded buffering - frames out
+  // (whose payloads may then fail DecodeMessage cleanly), a sticky
+  // kCorruption, or "need more bytes" on a truncated tail.
+  Random rng(0x7EAD);
+  for (int round = 0; round < 4000; ++round) {
+    std::string batch = PipelinedBatch(
+        rng, 1 + static_cast<int>(rng.NextUint64(5)), nullptr);
+    const int mutations = 1 + static_cast<int>(rng.NextUint64(4));
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng.NextUint64(3)) {
+        case 0:  // Byte flip (length prefixes included).
+          batch[rng.NextUint64(batch.size())] =
+              static_cast<char>(rng.NextUint64(256));
+          break;
+        case 1:  // Truncate: a pipelined batch cut mid-frame.
+          batch.resize(rng.NextUint64(batch.size() + 1));
+          break;
+        case 2:  // Garbage tail.
+          batch += RandomBytes(rng, 16);
+          break;
+      }
+      if (batch.empty()) {
+        break;
+      }
+    }
+    net::FrameParser parser(1 << 20);
+    size_t offset = 0;
+    bool corrupt = false;
+    while (offset < batch.size() && !corrupt) {
+      const size_t len =
+          std::min<size_t>(1 + rng.NextUint64(64), batch.size() - offset);
+      parser.Feed(std::string_view(batch).substr(offset, len));
+      offset += len;
+      std::optional<net::FrameParser::Frame> frame;
+      Status status;
+      while ((status = parser.Next(&frame)).ok() && frame.has_value()) {
+        (void)proto::DecodeMessage(frame->message_bytes);
+        frame.reset();
+      }
+      if (!status.ok()) {
+        EXPECT_EQ(status.code(), StatusCode::kCorruption);
+        corrupt = true;  // Sticky by contract; connection would tear down.
+      }
+    }
+    // Whatever happened, the parser never buffered more than it was fed.
+    EXPECT_LE(parser.buffered_bytes(), batch.size());
+  }
+}
+
+TEST(FuzzTest, LiveServerSurvivesRawSocketGarbage) {
+  // Adversarial peers against a real listening TcpServer: random bytes,
+  // absurd length prefixes, and valid-but-truncated pipelined batches, each
+  // followed by an abrupt close. The server must tear those connections
+  // down cleanly and keep serving well-formed clients throughout.
+  net::TcpServer server;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [](const proto::Message&) {
+                           return proto::Message(proto::PutReply{});
+                         })
+                  .ok());
+  Random rng(0x5AFE);
+  for (int round = 0; round < 60; ++round) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    struct sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    std::string payload;
+    switch (rng.NextUint64(3)) {
+      case 0:  // Pure garbage.
+        payload = RandomBytes(rng, 256);
+        break;
+      case 1: {  // Absurd length prefix, then garbage.
+        payload = std::string("\xff\xff\xff\xff", 4) + RandomBytes(rng, 64);
+        break;
+      }
+      case 2: {  // Valid batch cut mid-frame: the server waits, we hang up.
+        std::string batch = PipelinedBatch(rng, 3, nullptr);
+        payload = batch.substr(0, 1 + rng.NextUint64(batch.size()));
+        break;
+      }
+    }
+    if (!payload.empty()) {
+      (void)!::write(fd, payload.data(), payload.size());
+    }
+    ::close(fd);
+
+    if (round % 10 == 0) {
+      // The server is still alive and correct for a real client.
+      net::TcpChannel channel(server.port());
+      Result<proto::Message> reply =
+          channel.Call(proto::PutRequest{}, SecondsToMicroseconds(5));
+      ASSERT_TRUE(reply.ok()) << "round " << round << ": " << reply.status();
+    }
+  }
+  net::TcpChannel channel(server.port());
+  EXPECT_TRUE(channel.Call(proto::PutRequest{}, SecondsToMicroseconds(5))
+                  .ok());
 }
 
 TEST(FuzzTest, WalReplaySurvivesGarbageFiles) {

@@ -1,0 +1,299 @@
+// Stress tests for the event-driven TCP transport: many concurrent
+// pipelining clients, server kills mid-stream, reconnects, and shared-channel
+// thrash. Sized to stay meaningful under ThreadSanitizer (the CI tsan job
+// runs this binary): enough concurrency to expose races, op counts small
+// enough that the instrumented run finishes in seconds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/net/tcp.h"
+
+namespace pileus::net {
+namespace {
+
+proto::Message Echo(const proto::Message& request) {
+  if (const auto* get = std::get_if<proto::GetRequest>(&request)) {
+    proto::GetReply reply;
+    reply.found = true;
+    reply.value = "echo:" + get->key;
+    return reply;
+  }
+  proto::ErrorReply err;
+  err.code = StatusCode::kInvalidArgument;
+  return err;
+}
+
+// One client worker: issues `total` pipelined Gets keeping up to `depth` in
+// flight, tagging each request so a cross-wired reply (the bug pipelining
+// multiplexing exists to prevent) is detected, not just counted.
+struct PipelineWorker {
+  std::mutex mu;
+  std::condition_variable cv;
+  int issued = 0;
+  int completed = 0;
+  int mismatches = 0;
+  int errors = 0;
+
+  void Run(TcpChannel& channel, const std::string& tag, int total,
+           int depth) {
+    std::unique_lock<std::mutex> lock(mu);
+    while (completed < total) {
+      while (issued < total && issued - completed < depth) {
+        const std::string key = tag + ":" + std::to_string(issued);
+        ++issued;
+        proto::GetRequest request;
+        request.key = key;
+        lock.unlock();
+        channel.CallAsync(
+            request, SecondsToMicroseconds(30),
+            [this, key](Result<proto::Message> reply) {
+              std::lock_guard<std::mutex> inner(mu);
+              ++completed;
+              if (!reply.ok()) {
+                ++errors;
+              } else if (std::get<proto::GetReply>(reply.value()).value !=
+                         "echo:" + key) {
+                ++mismatches;
+              }
+              cv.notify_all();
+            });
+        lock.lock();
+      }
+      cv.wait(lock, [&] {
+        return completed == total ||
+               (issued < total && issued - completed < depth);
+      });
+    }
+  }
+};
+
+TEST(NetStressTest, SixteenPipeliningClientsHammerOneServer) {
+  TcpServer server;
+  ASSERT_TRUE(server.Start(0, Echo).ok());
+
+  constexpr int kClients = 16;
+  constexpr int kOpsEach = 100;
+  constexpr int kDepth = 8;
+  std::vector<std::unique_ptr<PipelineWorker>> workers;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    workers.push_back(std::make_unique<PipelineWorker>());
+    threads.emplace_back([&server, worker = workers.back().get(), c] {
+      TcpChannel channel(server.port());
+      worker->Run(channel, "c" + std::to_string(c), kOpsEach, kDepth);
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const auto& worker : workers) {
+    EXPECT_EQ(worker->completed, kOpsEach);
+    EXPECT_EQ(worker->errors, 0);
+    EXPECT_EQ(worker->mismatches, 0);
+  }
+  EXPECT_EQ(server.requests_handled(),
+            static_cast<uint64_t>(kClients * kOpsEach));
+}
+
+TEST(NetStressTest, ServerKilledMidStreamClientsReconnectAndFinish) {
+  auto server = std::make_unique<TcpServer>();
+  ASSERT_TRUE(server->Start(0, Echo).ok());
+  const uint16_t port = server->port();
+
+  // Clients run sync Calls in a loop across the outage. During the outage
+  // calls may fail (kUnavailable, or kTimeout for one caught mid-teardown) -
+  // but never wedge, never crash, and never return a wrong payload. After
+  // the restart every client must complete a successful call again.
+  constexpr int kClients = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> restarted{false};
+  std::atomic<int> wrong_payloads{0};
+  std::atomic<int> ok_after_restart{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TcpChannel channel(port);
+      int i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        proto::GetRequest request;
+        request.key = std::to_string(c) + ":" + std::to_string(i++);
+        Result<proto::Message> reply =
+            channel.Call(request, MillisecondsToMicroseconds(500));
+        if (reply.ok()) {
+          if (std::get<proto::GetReply>(reply.value()).value !=
+              "echo:" + request.key) {
+            ++wrong_payloads;
+          } else if (restarted.load(std::memory_order_acquire)) {
+            ++ok_after_restart;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server->Stop();  // Mid-stream: clients hold connected sockets.
+  server.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  server = std::make_unique<TcpServer>();
+  ASSERT_TRUE(server->Start(port, Echo).ok());
+  restarted.store(true, std::memory_order_release);
+
+  // Run until every client proved it reconnected (bounded by a deadline so
+  // a wedged client fails the assertion instead of hanging the test).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (ok_after_restart.load() < kClients &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(wrong_payloads.load(), 0);
+  EXPECT_GE(ok_after_restart.load(), kClients);
+}
+
+TEST(NetStressTest, SharedChannelMixedSyncAndAsyncCallers) {
+  // One channel, many threads: pipelined CallAsync racing synchronous Call
+  // on the same connection. Every call completes exactly once with the
+  // payload it asked for.
+  TcpServer server;
+  ASSERT_TRUE(server.Start(0, Echo).ok());
+  TcpChannel channel(server.port());
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsEach = 50;
+  std::atomic<int> failures{0};
+  std::atomic<int> async_done{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsEach; ++i) {
+        proto::GetRequest request;
+        request.key = std::to_string(t) + ":" + std::to_string(i);
+        if (t % 2 == 0) {
+          Result<proto::Message> reply =
+              channel.Call(request, SecondsToMicroseconds(30));
+          if (!reply.ok() ||
+              std::get<proto::GetReply>(reply.value()).value !=
+                  "echo:" + request.key) {
+            ++failures;
+          }
+        } else {
+          channel.CallAsync(request, SecondsToMicroseconds(30),
+                            [&, key = request.key](
+                                Result<proto::Message> reply) {
+                              if (!reply.ok() ||
+                                  std::get<proto::GetReply>(reply.value())
+                                          .value != "echo:" + key) {
+                                ++failures;
+                              }
+                              ++async_done;
+                            });
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const int async_expected = kThreads / 2 * kOpsEach;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (async_done.load() < async_expected &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(async_done.load(), async_expected);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(channel.in_flight(), 0u);
+}
+
+TEST(NetStressTest, StopWithDeferredRepliesInFlightDropsNoCallback) {
+  // An async server that parks a slice of requests and never answers them;
+  // Stop() while they are parked must still complete every client callback
+  // exactly once (kUnavailable), even as other replies are in the write
+  // queues. Exercises the teardown path racing handler completions.
+  struct Parked {
+    std::mutex mu;
+    std::vector<std::function<void(proto::Message)>> held;
+  };
+  auto parked = std::make_shared<Parked>();
+  TcpServer server;
+  std::atomic<int> seen{0};
+  ASSERT_TRUE(server
+                  .StartAsync(0,
+                              [parked, &seen](
+                                  const proto::Message& request,
+                                  std::function<void(proto::Message)> done) {
+                                if (seen.fetch_add(1) % 4 == 0) {
+                                  std::lock_guard<std::mutex> lock(
+                                      parked->mu);
+                                  parked->held.push_back(std::move(done));
+                                  return;  // Never answered.
+                                }
+                                done(Echo(request));
+                              })
+                  .ok());
+
+  constexpr int kClients = 4;
+  constexpr int kOpsEach = 32;
+  std::atomic<int> completions{0};
+  std::vector<std::unique_ptr<TcpChannel>> channels;
+  for (int c = 0; c < kClients; ++c) {
+    channels.push_back(std::make_unique<TcpChannel>(server.port()));
+    for (int i = 0; i < kOpsEach; ++i) {
+      proto::GetRequest request;
+      request.key = std::to_string(c) + ":" + std::to_string(i);
+      channels.back()->CallAsync(request, SecondsToMicroseconds(30),
+                                 [&completions](Result<proto::Message>) {
+                                   ++completions;
+                                 });
+    }
+  }
+  // Let a healthy chunk land, then pull the rug with replies still parked.
+  const auto arm_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (seen.load() < kClients * kOpsEach / 2 &&
+         std::chrono::steady_clock::now() < arm_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (completions.load() < kClients * kOpsEach &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(completions.load(), kClients * kOpsEach);
+  for (const auto& channel : channels) {
+    EXPECT_EQ(channel->in_flight(), 0u);
+  }
+  // The parked `done` closures die with the server; invoking one after Stop
+  // would be a use-after-free in a sloppy design - here they are inert
+  // because the connection owner is shared and checks its own liveness.
+  {
+    std::lock_guard<std::mutex> lock(parked->mu);
+    if (!parked->held.empty()) {
+      parked->held.front()(proto::GetReply{});  // Must be a safe no-op.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pileus::net

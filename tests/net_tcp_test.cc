@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -198,6 +200,237 @@ TEST(TcpTest, ArtificialDelayEmulatesWan) {
   ASSERT_TRUE(channel.Call(proto::GetRequest{}, 0).ok());
   EXPECT_GE(RealClock::Instance()->NowMicros() - start,
             MillisecondsToMicroseconds(40));
+}
+
+// --- Pipelining: the multiplexing guarantees CallAsync documents ---
+
+// Collects async completions and lets the test thread block until N arrived.
+struct CompletionLog {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::pair<std::string, Result<proto::Message>>> done;
+
+  void Record(std::string tag, Result<proto::Message> reply) {
+    std::lock_guard<std::mutex> lock(mu);
+    done.emplace_back(std::move(tag), std::move(reply));
+    cv.notify_all();
+  }
+  bool WaitFor(size_t n, MicrosecondCount budget_us) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::microseconds(budget_us),
+                       [&] { return done.size() >= n; });
+  }
+};
+
+TEST(TcpPipelineTest, OutOfOrderRepliesMapToTheRightRequest) {
+  // The server parks every request and, once all four are in, answers them
+  // in REVERSE arrival order. Only the request-id multiplexing can route
+  // each reply to its caller; position on the wire says the opposite.
+  constexpr int kCalls = 4;
+  struct Parked {
+    std::mutex mu;
+    std::vector<std::pair<std::string, std::function<void(proto::Message)>>>
+        waiting;
+  };
+  auto parked = std::make_shared<Parked>();
+  TcpServer server;
+  ASSERT_TRUE(server
+                  .StartAsync(0,
+                              [parked](const proto::Message& request,
+                                       std::function<void(proto::Message)>
+                                           done) {
+                                const auto& get =
+                                    std::get<proto::GetRequest>(request);
+                                std::lock_guard<std::mutex> lock(parked->mu);
+                                parked->waiting.emplace_back(get.key,
+                                                             std::move(done));
+                                if (parked->waiting.size() == kCalls) {
+                                  for (int i = kCalls - 1; i >= 0; --i) {
+                                    proto::GetReply reply;
+                                    reply.found = true;
+                                    reply.value =
+                                        "echo:" + parked->waiting[i].first;
+                                    parked->waiting[i].second(reply);
+                                  }
+                                }
+                              })
+                  .ok());
+  TcpChannel channel(server.port());
+  CompletionLog log;
+  for (int i = 0; i < kCalls; ++i) {
+    proto::GetRequest request;
+    request.key = "k" + std::to_string(i);
+    channel.CallAsync(request, SecondsToMicroseconds(10),
+                      [&log, key = request.key](Result<proto::Message> reply) {
+                        log.Record(key, std::move(reply));
+                      });
+  }
+  ASSERT_TRUE(log.WaitFor(kCalls, SecondsToMicroseconds(15)));
+  // Every caller got the reply for ITS OWN key...
+  for (const auto& [key, reply] : log.done) {
+    ASSERT_TRUE(reply.ok()) << key << ": " << reply.status();
+    EXPECT_EQ(std::get<proto::GetReply>(reply.value()).value, "echo:" + key);
+  }
+  // ...and the completions genuinely arrived out of issue order.
+  EXPECT_EQ(log.done.front().first, "k" + std::to_string(kCalls - 1));
+  EXPECT_EQ(log.done.back().first, "k0");
+}
+
+TEST(TcpPipelineTest, DisconnectFailsInFlightCallsFast) {
+  // A server that parks requests forever; stopping it must fail every
+  // in-flight call promptly with kUnavailable - no waiting out the 10 s
+  // deadline, no dropped callbacks.
+  struct Parked {
+    std::mutex mu;
+    std::vector<std::function<void(proto::Message)>> waiting;
+  };
+  auto parked = std::make_shared<Parked>();
+  TcpServer server;
+  ASSERT_TRUE(server
+                  .StartAsync(0,
+                              [parked](const proto::Message&,
+                                       std::function<void(proto::Message)>
+                                           done) {
+                                std::lock_guard<std::mutex> lock(parked->mu);
+                                parked->waiting.push_back(std::move(done));
+                              })
+                  .ok());
+  TcpChannel channel(server.port());
+  constexpr int kCalls = 3;
+  CompletionLog log;
+  for (int i = 0; i < kCalls; ++i) {
+    channel.CallAsync(proto::GetRequest{}, SecondsToMicroseconds(10),
+                      [&log](Result<proto::Message> reply) {
+                        log.Record("", std::move(reply));
+                      });
+  }
+  // Wait until the server has parked all three, so the frames are known to
+  // be past the client's send queue.
+  for (int i = 0; i < 1000; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(parked->mu);
+      if (parked->waiting.size() == kCalls) {
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(channel.in_flight(), static_cast<size_t>(kCalls));
+
+  const MicrosecondCount stop_start = RealClock::Instance()->NowMicros();
+  server.Stop();
+  ASSERT_TRUE(log.WaitFor(kCalls, SecondsToMicroseconds(5)));
+  const MicrosecondCount elapsed =
+      RealClock::Instance()->NowMicros() - stop_start;
+  for (const auto& [tag, reply] : log.done) {
+    ASSERT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_LT(elapsed, SecondsToMicroseconds(5));
+  EXPECT_EQ(channel.in_flight(), 0u);
+}
+
+TEST(TcpPipelineTest, LateReplyAfterTimeoutIsDiscarded) {
+  // A reply that arrives after the caller's deadline must be dropped
+  // silently: the timed-out call completed exactly once (kTimeout), the
+  // connection stays up, and the next call reuses it without desync.
+  struct Parked {
+    std::mutex mu;
+    std::function<void(proto::Message)> done;
+  };
+  auto parked = std::make_shared<Parked>();
+  std::atomic<int> requests_seen{0};
+  TcpServer server;
+  ASSERT_TRUE(
+      server
+          .StartAsync(0,
+                      [parked, &requests_seen](
+                          const proto::Message& request,
+                          std::function<void(proto::Message)> done) {
+                        if (requests_seen.fetch_add(1) == 0) {
+                          std::lock_guard<std::mutex> lock(parked->mu);
+                          parked->done = std::move(done);  // Hold the first.
+                          return;
+                        }
+                        done(Echo(request));
+                      })
+          .ok());
+  TcpChannel channel(server.port());
+  CompletionLog log;
+  channel.CallAsync(proto::GetRequest{}, MillisecondsToMicroseconds(100),
+                    [&log](Result<proto::Message> reply) {
+                      log.Record("first", std::move(reply));
+                    });
+  ASSERT_TRUE(log.WaitFor(1, SecondsToMicroseconds(5)));
+  EXPECT_EQ(log.done[0].second.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(channel.in_flight(), 0u);
+
+  // Now release the parked reply: it lands with a request id nobody is
+  // waiting on and must be discarded, not crash or complete anyone twice.
+  {
+    std::lock_guard<std::mutex> lock(parked->mu);
+    ASSERT_TRUE(parked->done != nullptr);
+    proto::GetReply late;
+    late.value = "too-late";
+    parked->done(late);
+  }
+  // Same connection still healthy for the next exchange.
+  proto::GetRequest request;
+  request.key = "fresh";
+  Result<proto::Message> reply =
+      channel.Call(request, SecondsToMicroseconds(5));
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(std::get<proto::GetReply>(reply.value()).value, "echo:fresh");
+  EXPECT_EQ(log.done.size(), 1u);  // The timed-out call never fired again.
+}
+
+TEST(TcpPipelineTest, PipelinedWritesToStorageNodeApplyInOrder) {
+  // Session guarantees ride on write order: frames pipelined on one
+  // connection must be parsed and applied in send order, so the last Put
+  // wins and timestamps ascend with issue order.
+  storage::StorageNode node("n", "s", RealClock::Instance());
+  storage::Tablet::Options options;
+  options.is_primary = true;
+  ASSERT_TRUE(node.AddTablet("t", options).ok());
+  TcpServer server;
+  ASSERT_TRUE(server
+                  .Start(0,
+                         [&](const proto::Message& request) {
+                           return node.Handle(request);
+                         })
+                  .ok());
+  TcpChannel channel(server.port());
+
+  constexpr int kWrites = 100;
+  CompletionLog log;
+  for (int i = 0; i < kWrites; ++i) {
+    proto::PutRequest put;
+    put.table = "t";
+    put.key = "k";
+    put.value = "v" + std::to_string(i);
+    channel.CallAsync(put, SecondsToMicroseconds(10),
+                      [&log, tag = put.value](Result<proto::Message> reply) {
+                        log.Record(tag, std::move(reply));
+                      });
+  }
+  ASSERT_TRUE(log.WaitFor(kWrites, SecondsToMicroseconds(15)));
+  Timestamp previous = Timestamp::Zero();
+  // Completions arrive in server apply order here (the sync handler replies
+  // in place), so the acked timestamps must strictly ascend.
+  for (const auto& [tag, reply] : log.done) {
+    ASSERT_TRUE(reply.ok()) << tag << ": " << reply.status();
+    const Timestamp ts = std::get<proto::PutReply>(reply.value()).timestamp;
+    EXPECT_GT(ts, previous) << tag;
+    previous = ts;
+  }
+
+  proto::GetRequest get;
+  get.table = "t";
+  get.key = "k";
+  Result<proto::Message> got = channel.Call(get, SecondsToMicroseconds(5));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::get<proto::GetReply>(got.value()).value,
+            "v" + std::to_string(kWrites - 1));
 }
 
 TEST(TcpTest, ServesRealStorageNode) {

@@ -8,11 +8,16 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/persist/durable_tablet.h"
+#include "src/persist/group_commit.h"
 #include "src/persist/wal.h"
 #include "src/util/crc32.h"
 
@@ -502,6 +507,135 @@ TEST_F(PersistTest, CorruptCheckpointIsRejected) {
   auto reopened = DurableTablet::Open(options, &clock);
   ASSERT_FALSE(reopened.ok());
   EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+// --- GroupCommitter unit tests ---
+//
+// The committer's contract (group_commit.h): an ack registered after its
+// append runs only once a covering sync has completed, many acks share one
+// sync, and a failed sync reports failure to every waiting ack instead of
+// acking success for data that never reached disk.
+
+TEST(GroupCommitTest, ManyAcksShareFewSyncs) {
+  // A deliberately slow SyncFn makes registrations pile up behind the
+  // in-progress barrier, so the next sync covers the whole backlog. 32 acks
+  // must not cost anywhere near 32 syncs.
+  std::atomic<int> sync_calls{0};
+  GroupCommitter::Options options;
+  options.max_batch = 64;
+  options.max_delay_us = 50'000;
+  GroupCommitter committer(
+      [&sync_calls] {
+        ++sync_calls;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return Status::Ok();
+      },
+      options);
+  ASSERT_TRUE(committer.Start().ok());
+
+  constexpr int kAcks = 32;
+  std::atomic<int> acked_ok{0};
+  std::atomic<int> acked_failed{0};
+  for (int i = 0; i < kAcks; ++i) {
+    committer.AckAfterSync([&](const Status& status) {
+      if (status.ok()) {
+        ++acked_ok;
+      } else {
+        ++acked_failed;
+      }
+    });
+  }
+  ASSERT_TRUE(committer.SyncNow().ok());
+  committer.Stop();
+
+  EXPECT_EQ(acked_ok.load(), kAcks);
+  EXPECT_EQ(acked_failed.load(), 0);
+  // 32 registered acks + SyncNow's own barrier ack.
+  EXPECT_EQ(committer.acked(), static_cast<uint64_t>(kAcks) + 1);
+  EXPECT_GE(committer.syncs(), 1u);
+  // Registering 32 acks takes microseconds; each sync takes 10ms. Even with
+  // maximal scheduler malice the backlog drains in a handful of batches.
+  EXPECT_LE(committer.syncs(), 6u);
+  EXPECT_LT(committer.syncs(), committer.acked());
+}
+
+TEST(GroupCommitTest, SyncFailureIsReportedToEveryWaitingAck) {
+  // If fdatasync fails, acking success would tell clients their writes are
+  // durable when they are not. Every ack in the failed batch must see the
+  // error.
+  GroupCommitter::Options options;
+  options.max_batch = 1000;
+  options.max_delay_us = SecondsToMicroseconds(10);
+  GroupCommitter committer(
+      [] { return Status(StatusCode::kUnavailable, "disk gone"); }, options);
+  ASSERT_TRUE(committer.Start().ok());
+
+  std::mutex mu;
+  std::vector<Status> outcomes;
+  for (int i = 0; i < 5; ++i) {
+    committer.AckAfterSync([&](const Status& status) {
+      std::lock_guard<std::mutex> lock(mu);
+      outcomes.push_back(status);
+    });
+  }
+  EXPECT_FALSE(committer.SyncNow().ok());
+  committer.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(outcomes.size(), 5u);
+  for (const Status& status : outcomes) {
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(GroupCommitTest, StopReleasesPendingAcksAfterAFinalSync) {
+  // Acks registered just before shutdown must not be dropped: Stop() runs
+  // one last covering sync and releases them, so a daemon draining its
+  // request queue never strands a client reply.
+  std::atomic<int> sync_calls{0};
+  GroupCommitter::Options options;
+  options.max_batch = 1000;
+  options.max_delay_us = SecondsToMicroseconds(10);  // Never fires on its own.
+  GroupCommitter committer(
+      [&sync_calls] {
+        ++sync_calls;
+        return Status::Ok();
+      },
+      options);
+  ASSERT_TRUE(committer.Start().ok());
+
+  std::atomic<int> released{0};
+  for (int i = 0; i < 7; ++i) {
+    committer.AckAfterSync([&](const Status& status) {
+      EXPECT_TRUE(status.ok());
+      ++released;
+    });
+  }
+  committer.Stop();
+  EXPECT_EQ(released.load(), 7);
+  EXPECT_GE(sync_calls.load(), 1);
+  EXPECT_EQ(committer.acked(), 7u);
+}
+
+TEST(GroupCommitTest, AckWithoutRunningCommitterSyncsInline) {
+  // Before Start() (or after Stop()) there is no committer thread to defer
+  // to, so AckAfterSync degrades to sync-then-ack inline rather than parking
+  // the ack forever.
+  std::atomic<int> sync_calls{0};
+  GroupCommitter committer(
+      [&sync_calls] {
+        ++sync_calls;
+        return Status::Ok();
+      },
+      GroupCommitter::Options{});
+
+  bool acked = false;
+  committer.AckAfterSync([&acked](const Status& status) {
+    EXPECT_TRUE(status.ok());
+    acked = true;
+  });
+  EXPECT_TRUE(acked);
+  EXPECT_EQ(sync_calls.load(), 1);
 }
 
 }  // namespace

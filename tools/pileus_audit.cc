@@ -8,6 +8,11 @@
 //   pileus_audit                        # default sweep: 8 seeds x 3 scenarios
 //   pileus_audit --seed 42              # one seed across the scenario list
 //   pileus_audit --seed 42 --scenarios crash-restart   # one exact run
+//   pileus_audit --transport tcp        # same audit over real sockets: the
+//                                       # epoll transport, a durable primary
+//                                       # with WAL group commit, replication
+//                                       # pulls over TCP (wall-clock time, so
+//                                       # runs are seeded but not bit-exact)
 //
 // Exits non-zero when any run reports a violation.
 
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "src/experiments/scenario.h"
+#include "src/experiments/tcp_scenario.h"
 #include "tools/flags.h"
 
 namespace pileus {
@@ -25,6 +31,7 @@ namespace {
 
 using experiments::FaultScenario;
 using experiments::RunAuditScenario;
+using experiments::RunTcpAuditScenario;
 using experiments::ScenarioOptions;
 using experiments::ScenarioResult;
 
@@ -49,9 +56,15 @@ int Run(int argc, char** argv) {
   tools::FlagSet flags;
   flags.DefineInt("seed", 0, "run only this seed (0 = sweep 1..num_seeds)");
   flags.DefineInt("num_seeds", 8, "seeds per scenario when sweeping");
-  flags.DefineString("scenarios", "none,partition,crash-restart",
+  flags.DefineString("scenarios", "",
                      "comma-separated: none, partition, drops, gray, "
-                     "crash-restart, handoff, failover, overload");
+                     "crash-restart, handoff, failover, overload "
+                     "(default: none,partition,crash-restart on sim; "
+                     "none,crash-restart,handoff on tcp)");
+  flags.DefineString("transport", "sim",
+                     "sim = deterministic simulator testbed; tcp = real "
+                     "sockets on loopback (epoll transport, durable primary "
+                     "with WAL group commit, replication pulls over TCP)");
   flags.DefineInt("ops", 600, "client operations per run");
   flags.DefineInt("keys", 100, "distinct keys in the workload");
   flags.DefineString("durable_root", "",
@@ -69,11 +82,30 @@ int Run(int argc, char** argv) {
     return 2;
   }
 
+  const std::string transport = flags.GetString("transport");
+  if (transport != "sim" && transport != "tcp") {
+    std::fprintf(stderr, "--transport must be 'sim' or 'tcp'\n");
+    return 2;
+  }
+  const bool tcp = transport == "tcp";
+
+  std::string scenario_list = flags.GetString("scenarios");
+  if (scenario_list.empty()) {
+    scenario_list =
+        tcp ? "none,crash-restart,handoff" : "none,partition,crash-restart";
+  }
   std::vector<FaultScenario> scenarios;
-  for (const std::string& name : SplitCommas(flags.GetString("scenarios"))) {
+  for (const std::string& name : SplitCommas(scenario_list)) {
     const auto scenario = experiments::ParseFaultScenario(name);
     if (!scenario.has_value()) {
       std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+      return 2;
+    }
+    if (tcp && !experiments::TcpScenarioSupports(*scenario)) {
+      std::fprintf(stderr,
+                   "scenario '%s' is not expressible over the tcp transport "
+                   "(supported: none, crash-restart, handoff)\n",
+                   name.c_str());
       return 2;
     }
     scenarios.push_back(*scenario);
@@ -120,7 +152,8 @@ int Run(int argc, char** argv) {
           durable_root + "/" +
           std::string(experiments::FaultScenarioName(scenario)) + "_" +
           std::to_string(seed);
-      const ScenarioResult result = RunAuditScenario(options);
+      const ScenarioResult result =
+          tcp ? RunTcpAuditScenario(options) : RunAuditScenario(options);
       ++runs;
       std::printf("%s\n", result.Summary().c_str());
       if (!result.ok()) {

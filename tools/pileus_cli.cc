@@ -11,6 +11,7 @@
 // Talks the raw storage protocol over TCP and pretty-prints replies,
 // including the node's high timestamp so operators can eyeball staleness.
 
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -70,6 +71,9 @@ int main(int argc, char** argv) {
   flags.DefineString("format", "summary",
                      "stats: server export format (summary | prometheus | json)");
   flags.DefineInt("probes", 5, "stats: probes used for the local node view");
+  flags.DefineInt("pipeline", 0,
+                  "bench: ops kept in flight on the channel (0 = serial "
+                  "synchronous loop; pipelined mode ignores --cache_bytes)");
   flags.DefineInt("cache_bytes", 0,
                   "bench: client-side cache capacity in bytes (0 = no cache); "
                   "cache telemetry is printed in --format afterwards");
@@ -312,6 +316,92 @@ int main(int argc, char** argv) {
 
   if (command == "bench" && args.size() == 2) {
     const long n = std::strtol(args[1].c_str(), nullptr, 10);
+    if (const long depth = flags.GetInt("pipeline"); depth > 0) {
+      // Pipelined closed loop: keep `depth` requests in flight; every
+      // completion issues the next op from the event-loop thread. Ops
+      // alternate Put/Get over the same rotating key set as the serial loop.
+      struct BenchState {
+        std::mutex mu;
+        std::condition_variable cv;
+        long next_op = 0;
+        long completed = 0;
+        bool failed = false;
+        Status failure;
+        Histogram put_latency, get_latency;
+      };
+      auto state = std::make_shared<BenchState>();
+      const long total_ops = 2 * n;
+      auto issue = std::make_shared<std::function<void()>>();
+      *issue = [&channel, state, issue, total_ops, table]() {
+        long op;
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (state->failed || state->next_op >= total_ops) {
+            return;
+          }
+          op = state->next_op++;
+        }
+        proto::Message request;
+        const std::string key = "bench:" + std::to_string((op / 2) % 1000);
+        if (op % 2 == 0) {
+          proto::PutRequest put;
+          put.table = table;
+          put.key = key;
+          put.value = "v" + std::to_string(op / 2);
+          request = put;
+        } else {
+          proto::GetRequest get;
+          get.table = table;
+          get.key = key;
+          request = get;
+        }
+        const MicrosecondCount start = RealClock::Instance()->NowMicros();
+        channel.CallAsync(
+            request, SecondsToMicroseconds(30),
+            [state, issue, op, start](Result<proto::Message> reply) {
+              {
+                std::lock_guard<std::mutex> lock(state->mu);
+                ++state->completed;
+                if (reply.ok()) {
+                  (op % 2 == 0 ? state->put_latency : state->get_latency)
+                      .Record(RealClock::Instance()->NowMicros() - start);
+                } else if (!state->failed) {
+                  state->failed = true;
+                  state->failure = reply.status();
+                }
+              }
+              (*issue)();
+              state->cv.notify_all();
+            });
+      };
+      const MicrosecondCount bench_start = RealClock::Instance()->NowMicros();
+      for (long i = 0; i < depth && i < total_ops; ++i) {
+        (*issue)();
+      }
+      {
+        std::unique_lock<std::mutex> lock(state->mu);
+        // Done when every issued op completed AND no more will be issued
+        // (all ops dispatched, or the first failure stopped the loop).
+        state->cv.wait(lock, [&state, total_ops] {
+          return state->completed == state->next_op &&
+                 (state->failed || state->next_op >= total_ops);
+        });
+      }
+      *issue = nullptr;  // Break the self-reference cycle.
+      if (state->failed) {
+        return Fail(state->failure);
+      }
+      const double elapsed_s =
+          static_cast<double>(RealClock::Instance()->NowMicros() -
+                              bench_start) /
+          1e6;
+      std::printf("pipelined depth %ld: %ld ops in %.3f s (%.0f ops/s)\n",
+                  depth, total_ops, elapsed_s,
+                  elapsed_s > 0 ? total_ops / elapsed_s : 0.0);
+      PrintLatencyLine("put us:", state->put_latency);
+      PrintLatencyLine("get us:", state->get_latency);
+      return 0;
+    }
     // Optional client-side cache: writes fill it through (the Put ack's
     // assigned timestamp bounds both the version and its validity), reads
     // check it first and skip the round trip on a hit. Its counters live in
