@@ -32,6 +32,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kOverloaded:
       return "OVERLOADED";
+    case StatusCode::kWrongTablet:
+      return "WRONG_TABLET";
   }
   return "UNKNOWN";
 }

@@ -33,10 +33,12 @@ enum class StatusCode : int {
   kCancelled = 11,        // Operation aborted by the caller.
   kOutOfRange = 12,       // Key outside every tablet's key range.
   kOverloaded = 13,       // Admission control shed the request; retry later.
+  kWrongTablet = 14,      // Key's tablet lives elsewhere; refresh the tablet
+                          // map (the rejection carries the owner as a hint).
 };
 
 // Largest valid StatusCode value; wire decoders reject anything above it.
-inline constexpr StatusCode kMaxStatusCode = StatusCode::kOverloaded;
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kWrongTablet;
 
 // Human-readable name of a status code ("OK", "NOT_FOUND", ...).
 std::string_view StatusCodeName(StatusCode code);

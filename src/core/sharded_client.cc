@@ -1,6 +1,8 @@
 #include "src/core/sharded_client.h"
 
 #include <algorithm>
+#include <utility>
+#include <variant>
 
 namespace pileus::core {
 
@@ -45,7 +47,140 @@ Result<std::unique_ptr<ShardedClient>> ShardedClient::Create(
   return std::unique_ptr<ShardedClient>(new ShardedClient(std::move(owned)));
 }
 
+Result<std::unique_ptr<ShardedClient>> ShardedClient::CreateDynamic(
+    tablets::TabletMap initial, const Clock* clock,
+    PileusClient::Options options, DynamicOptions dynamic,
+    FanoutCaller* fanout) {
+  if (!dynamic.connect) {
+    return Status(StatusCode::kInvalidArgument,
+                  "dynamic mode needs a connection factory");
+  }
+  if (initial.table.empty() || initial.tablets.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty initial tablet map");
+  }
+  auto client = std::unique_ptr<ShardedClient>(
+      new ShardedClient(std::vector<OwnedShard>{}));
+  client->clock_ = clock;
+  client->client_options_ = options;
+  client->fanout_ = fanout;
+  client->dynamic_ = std::move(dynamic);
+  if (options.shared_retry_budget != nullptr) {
+    client->refresh_budget_ = options.shared_retry_budget;
+  } else {
+    // One budget across refreshes AND the per-shard clients' own retry
+    // paths, so the total retry amplification stays bounded per client.
+    client->own_refresh_budget_ =
+        std::make_unique<RetryBudget>(options.retry_budget);
+    client->refresh_budget_ = client->own_refresh_budget_.get();
+    client->client_options_.shared_retry_budget = client->refresh_budget_;
+  }
+  PILEUS_RETURN_IF_ERROR(client->AdoptMap(std::move(initial)));
+  if (client->shards_.empty()) {
+    return Status(StatusCode::kUnavailable,
+                  "no tablet in the initial map has a connectable primary");
+  }
+  return client;
+}
+
+std::shared_ptr<NodeConnection> ShardedClient::ConnectTo(
+    const std::string& node) {
+  auto it = connections_.find(node);
+  if (it != connections_.end()) {
+    return it->second;
+  }
+  std::shared_ptr<NodeConnection> connection = dynamic_.connect(node);
+  if (connection != nullptr) {
+    connections_[node] = connection;
+  }
+  return connection;
+}
+
+Status ShardedClient::AdoptMap(tablets::TabletMap map) {
+  // Sorted, non-overlapping ranges with a member primary each; unlike the
+  // server-side install we tolerate coverage gaps (a client may only be
+  // able to use part of a mid-churn map).
+  std::vector<OwnedShard> owned;
+  for (const tablets::TabletInfo& info : map.tablets) {
+    if (info.range.IsEmpty() || info.config.primary.empty() ||
+        !info.config.IsMember(info.config.primary)) {
+      continue;
+    }
+    if (!owned.empty() && !owned.back().range.end.empty() &&
+        info.range.begin < owned.back().range.end) {
+      return Status(StatusCode::kInvalidArgument,
+                    "tablet map ranges overlap at " + info.range.ToString());
+    }
+    TableView view;
+    view.table_name = map.table;
+    bool primary_connected = false;
+    for (const std::string& member : info.config.members) {
+      std::shared_ptr<NodeConnection> connection = ConnectTo(member);
+      if (connection == nullptr) {
+        continue;
+      }
+      Replica replica;
+      replica.name = member;
+      replica.authoritative = member == info.config.primary ||
+                              info.config.IsSyncMember(member);
+      replica.connection = std::move(connection);
+      if (member == info.config.primary) {
+        view.primary_index = static_cast<int>(view.replicas.size());
+        primary_connected = true;
+      }
+      view.replicas.push_back(std::move(replica));
+    }
+    if (!primary_connected) {
+      continue;  // Keys of this range stay unrouteable until a refresh.
+    }
+    OwnedShard entry;
+    entry.range = info.range;
+    entry.client = std::make_unique<PileusClient>(std::move(view), clock_,
+                                                  client_options_, fanout_);
+    owned.push_back(std::move(entry));
+  }
+  shards_ = std::move(owned);
+  map_ = std::move(map);
+  return Status::Ok();
+}
+
+Status ShardedClient::RefreshTabletMap() {
+  if (!dynamic()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "static shard list cannot be refreshed");
+  }
+  proto::TabletMapRequest query;
+  query.table = map_.table;
+  query.have_version = map_.version;
+  const proto::Message request = query;
+
+  // Any node will do — maps spread to every member on publish — so take the
+  // first connected node that answers.
+  Status last(StatusCode::kUnavailable, "no node answered the map query");
+  for (auto& [name, connection] : connections_) {
+    TimedReply timed =
+        connection->Call(request, dynamic_.refresh_timeout_us);
+    if (!timed.reply.ok()) {
+      last = timed.reply.status();
+      continue;
+    }
+    const auto* reply = std::get_if<proto::TabletMapReply>(&timed.reply.value());
+    if (reply == nullptr) {
+      continue;
+    }
+    if (!reply->has_map || reply->map.version <= map_.version) {
+      return Status::Ok();  // Nobody (reached) knows a newer map.
+    }
+    PILEUS_RETURN_IF_ERROR(AdoptMap(reply->map));
+    ++map_refreshes_;
+    return Status::Ok();
+  }
+  return last;
+}
+
 Result<Session> ShardedClient::BeginSession(const Sla& default_sla) const {
+  if (shards_.empty()) {
+    return Status(StatusCode::kUnavailable, "no routable shards");
+  }
   return shards_.front().client->BeginSession(default_sla);
 }
 
@@ -57,36 +192,87 @@ uint64_t ShardedClient::cache_serves() const {
   return total;
 }
 
-PileusClient* ShardedClient::ShardFor(std::string_view key) {
-  // Shards are sorted by begin and tile the keyspace: the owner is the last
-  // shard whose begin <= key.
+ShardedClient::OwnedShard* ShardedClient::OwnedShardFor(std::string_view key) {
+  // Shards are sorted by begin: the only candidate is the last shard whose
+  // begin <= key. In static mode the shards tile the keyspace, so the
+  // candidate always contains the key; a dynamic map may have gaps.
   auto it = std::upper_bound(
       shards_.begin(), shards_.end(), key,
       [](std::string_view k, const OwnedShard& shard) {
         return k < shard.range.begin;
       });
-  // upper_bound returns the first shard with begin > key; step back.
+  if (it == shards_.begin()) {
+    return nullptr;
+  }
   --it;
-  return it->client.get();
+  return it->range.Contains(key) ? &*it : nullptr;
+}
+
+PileusClient* ShardedClient::ShardFor(std::string_view key) {
+  OwnedShard* shard = OwnedShardFor(key);
+  return shard == nullptr ? nullptr : shard->client.get();
+}
+
+template <typename T, typename Fn>
+Result<T> ShardedClient::RouteOp(std::string_view key, Fn&& op) {
+  for (int attempt = 0;; ++attempt) {
+    OwnedShard* shard = OwnedShardFor(key);
+    if (shard != nullptr) {
+      Result<T> result = op(*shard->client);
+      if (result.ok()) {
+        return result;
+      }
+      // A kWrongTablet fence means the server knows a newer map; in dynamic
+      // mode kUnavailable is worth one refresh too (reads surface a fenced
+      // replica set as plain unavailability). Both spend a retry token.
+      const StatusCode code = result.status().code();
+      const bool refreshable =
+          dynamic() && (code == StatusCode::kWrongTablet ||
+                        code == StatusCode::kUnavailable);
+      if (!refreshable || attempt >= dynamic_.max_map_refresh_attempts ||
+          !refresh_budget_->TryAcquire()) {
+        return result;
+      }
+      if (!RefreshTabletMap().ok()) {
+        return result;  // The original failure is the useful one.
+      }
+      continue;
+    }
+    // Unrouteable key: never misroute, never walk off the shard list — the
+    // stale-map remedy is a refresh, the honest answer is kUnavailable.
+    if (!dynamic() || attempt >= dynamic_.max_map_refresh_attempts ||
+        !refresh_budget_->TryAcquire() || !RefreshTabletMap().ok()) {
+      return Status(StatusCode::kUnavailable,
+                    "no shard covers key '" + std::string(key) +
+                        "' (tablet map v" + std::to_string(map_.version) +
+                        ")");
+    }
+  }
 }
 
 Result<GetResult> ShardedClient::Get(Session& session, std::string_view key) {
-  return ShardFor(key)->Get(session, key);
+  return RouteOp<GetResult>(
+      key, [&](PileusClient& client) { return client.Get(session, key); });
 }
 
 Result<GetResult> ShardedClient::Get(Session& session, std::string_view key,
                                      const Sla& sla) {
-  return ShardFor(key)->Get(session, key, sla);
+  return RouteOp<GetResult>(key, [&](PileusClient& client) {
+    return client.Get(session, key, sla);
+  });
 }
 
 Result<PutResult> ShardedClient::Put(Session& session, std::string_view key,
                                      std::string_view value) {
-  return ShardFor(key)->Put(session, key, value);
+  return RouteOp<PutResult>(key, [&](PileusClient& client) {
+    return client.Put(session, key, value);
+  });
 }
 
 Result<PutResult> ShardedClient::Delete(Session& session,
                                         std::string_view key) {
-  return ShardFor(key)->Delete(session, key);
+  return RouteOp<PutResult>(
+      key, [&](PileusClient& client) { return client.Delete(session, key); });
 }
 
 Result<RangeResult> ShardedClient::GetRange(Session& session,

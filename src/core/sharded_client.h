@@ -12,15 +12,32 @@
 // trivially, and session-wide guarantees (causal) rely on the paper's
 // approximately-synchronized-clocks assumption when tablets have different
 // primary sites (update timestamps from different primaries are compared).
+//
+// Two routing modes:
+//   - Static (Create): a fixed shard list that must tile the keyspace,
+//     matching the paper's manually configured prototype.
+//   - Dynamic (CreateDynamic): shards derive from a versioned
+//     tablets::TabletMap (DESIGN.md Section 14). The server fences requests
+//     that land on a node the current map routes elsewhere (kWrongTablet);
+//     the client reacts by fetching a newer map and retrying, spending the
+//     same retry budget as every other retry path. A dynamic map may have
+//     gaps while the client is behind (a mid-churn map it could only
+//     partially connect to), so lookups can miss: unrouteable keys fail
+//     with kUnavailable after a refresh attempt — never an out-of-range
+//     crash or a misrouted request.
 
 #ifndef PILEUS_SRC_CORE_SHARDED_CLIENT_H_
 #define PILEUS_SRC_CORE_SHARDED_CLIENT_H_
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/core/client.h"
+#include "src/tablets/tablet_map.h"
 #include "src/util/key_range.h"
 
 namespace pileus::core {
@@ -41,6 +58,31 @@ class ShardedClient {
       std::vector<Shard> shards, const Clock* clock,
       PileusClient::Options options, FanoutCaller* fanout = nullptr);
 
+  struct DynamicOptions {
+    // Connection factory for nodes named by a tablet map (required). May
+    // return nullptr for nodes it cannot reach; a tablet whose primary is
+    // unconnectable is left out of the routing table (its keys are
+    // unrouteable until a refresh succeeds).
+    std::function<std::shared_ptr<NodeConnection>(const std::string& node)>
+        connect;
+    // Refresh-and-retry cycles one operation may spend on kWrongTablet (or
+    // unrouteable-key) outcomes before the error is surfaced. Each cycle
+    // also costs a token from the retry budget.
+    int max_map_refresh_attempts = 2;
+    MicrosecondCount refresh_timeout_us = SecondsToMicroseconds(5);
+  };
+
+  // Dynamic mode: builds the routing table from `initial` (fetched from any
+  // storage node via a TabletMapRequest, or seeded by the deployment) and
+  // keeps it fresh by re-fetching whenever an operation is fenced with
+  // kWrongTablet. Unlike Create, the map's ranges need not tile the
+  // keyspace. Not safe for concurrent operations: a refresh rebuilds the
+  // per-shard clients in place.
+  static Result<std::unique_ptr<ShardedClient>> CreateDynamic(
+      tablets::TabletMap initial, const Clock* clock,
+      PileusClient::Options options, DynamicOptions dynamic,
+      FanoutCaller* fanout = nullptr);
+
   Result<Session> BeginSession(const Sla& default_sla) const;
 
   Result<GetResult> Get(Session& session, std::string_view key);
@@ -58,8 +100,23 @@ class ShardedClient {
   Result<RangeResult> GetRange(Session& session, std::string_view begin,
                                std::string_view end, uint32_t limit);
 
-  // The per-shard client owning `key` (never null after Create succeeded).
+  // The per-shard client owning `key`. Never null for a client built with
+  // Create (static shards tile the keyspace); may be null in dynamic mode
+  // when the current map does not cover the key.
   PileusClient* ShardFor(std::string_view key);
+
+  // --- Dynamic-mode surface (no-ops / zeros in static mode) ---
+
+  bool dynamic() const { return static_cast<bool>(dynamic_.connect); }
+  // Version of the routing map in use (0 in static mode).
+  uint64_t map_version() const { return map_.version; }
+  const tablets::TabletMap& tablet_map() const { return map_; }
+  // Fetches the newest map any connected node knows and rebuilds the
+  // routing table if it is newer than ours. Ok with no change when every
+  // reachable node is at our version.
+  Status RefreshTabletMap();
+  // Successful refreshes that adopted a newer map.
+  uint64_t map_refreshes() const { return map_refreshes_; }
 
   size_t shard_count() const { return shards_.size(); }
   PileusClient& shard_client(size_t index) { return *shards_[index].client; }
@@ -75,10 +132,32 @@ class ShardedClient {
     std::unique_ptr<PileusClient> client;
   };
 
-  explicit ShardedClient(std::vector<OwnedShard> shards)
+  ShardedClient(std::vector<OwnedShard> shards)
       : shards_(std::move(shards)) {}
 
+  // The owning shard, or nullptr when no known range contains `key`.
+  OwnedShard* OwnedShardFor(std::string_view key);
+  // Rebuilds shards_ from `map`, connecting members on demand (cached).
+  // Entries whose primary cannot be connected are skipped.
+  Status AdoptMap(tablets::TabletMap map);
+  std::shared_ptr<NodeConnection> ConnectTo(const std::string& node);
+  // Runs `op` against the owning shard with refresh-and-retry on
+  // kWrongTablet / unrouteable keys (dynamic mode).
+  template <typename T, typename Fn>
+  Result<T> RouteOp(std::string_view key, Fn&& op);
+
   std::vector<OwnedShard> shards_;  // Sorted by range begin.
+
+  // Dynamic-mode state (inert in static mode).
+  const Clock* clock_ = nullptr;
+  PileusClient::Options client_options_;
+  FanoutCaller* fanout_ = nullptr;
+  DynamicOptions dynamic_;
+  tablets::TabletMap map_;
+  std::map<std::string, std::shared_ptr<NodeConnection>> connections_;
+  std::unique_ptr<RetryBudget> own_refresh_budget_;
+  RetryBudget* refresh_budget_ = nullptr;
+  uint64_t map_refreshes_ = 0;
 };
 
 }  // namespace pileus::core

@@ -1,0 +1,730 @@
+#include "src/experiments/tablet_churn.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <variant>
+
+#include "src/cache/client_cache.h"
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/core/sharded_client.h"
+#include "src/persist/wal.h"
+#include "src/storage/storage_node.h"
+#include "src/tablets/coordinator.h"
+#include "src/tablets/rebalancer.h"
+
+namespace pileus::experiments {
+
+namespace {
+
+constexpr const char* kChurnTable = "churn";
+constexpr MicrosecondCount kRttUs = MillisecondsToMicroseconds(2);
+constexpr MicrosecondCount kThinkUs = MillisecondsToMicroseconds(2);
+
+std::string KeyName(int index) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "k%04d", index);
+  return buffer;
+}
+
+// mkdir -p: best effort, components may already exist.
+void MakeDirectories(const std::string& path) {
+  for (size_t slash = path.find('/', 1); slash != std::string::npos;
+       slash = path.find('/', slash + 1)) {
+    ::mkdir(path.substr(0, slash).c_str(), 0755);
+  }
+  ::mkdir(path.c_str(), 0755);
+}
+
+// One storage node "process": the node object is volatile state (destroyed
+// on crash), the WAL is its disk.
+struct NodeSlot {
+  std::string name;
+  std::unique_ptr<storage::StorageNode> node;
+  persist::WriteAheadLog wal;  // Open only for kCrashRestart runs.
+  bool unreachable = false;    // Partitioned away from everyone.
+  bool crashed = false;
+};
+
+// Direct call into a slot's node, advancing the shared manual clock by the
+// RTT. A crashed or partitioned slot answers kUnavailable after the same
+// delay (the caller's timeout experience is immaterial to the audit). Acked
+// writes are journaled to the slot's WAL before the ack leaves, like a
+// durable server would.
+class ChurnConnection : public core::NodeConnection {
+ public:
+  ChurnConnection(NodeSlot* slot, ManualClock* clock)
+      : slot_(slot), clock_(clock) {}
+
+  core::TimedReply Call(const proto::Message& request,
+                        MicrosecondCount /*timeout*/) override {
+    clock_->AdvanceMicros(kRttUs);
+    if (slot_->crashed || slot_->unreachable || slot_->node == nullptr) {
+      return core::TimedReply(
+          Status(StatusCode::kUnavailable, "node " + slot_->name + " is down"),
+          kRttUs);
+    }
+    proto::Message reply = slot_->node->Handle(request);
+    JournalAckedWrite(request, reply);
+    return core::TimedReply(std::move(reply), kRttUs);
+  }
+
+ private:
+  void JournalAckedWrite(const proto::Message& request,
+                         const proto::Message& reply) {
+    if (!slot_->wal.is_open()) {
+      return;
+    }
+    const auto* ack = std::get_if<proto::PutReply>(&reply);
+    if (ack == nullptr) {
+      return;
+    }
+    proto::ObjectVersion version;
+    if (const auto* put = std::get_if<proto::PutRequest>(&request)) {
+      version.key = put->key;
+      version.value = put->value;
+    } else if (const auto* del = std::get_if<proto::DeleteRequest>(&request)) {
+      version.key = del->key;
+      version.is_tombstone = true;
+    } else {
+      return;
+    }
+    version.timestamp = ack->timestamp;
+    (void)slot_->wal.AppendVersion(version);
+    (void)slot_->wal.Sync();
+  }
+
+  NodeSlot* slot_;      // Not owned; outlives the connection.
+  ManualClock* clock_;  // Not owned.
+};
+
+// The fault windows, fixed up front from the seed so runs reproduce.
+struct FaultPlan {
+  uint64_t partition_start = 0, partition_end = 0;  // [start, end) op index.
+  uint64_t crash_at = 0, restart_at = 0;
+  std::string victim;  // Chosen lazily for kCrashRestart (needs the map).
+};
+
+class ChurnWorld {
+ public:
+  ChurnWorld(const TabletChurnOptions& options, TabletChurnResult* result)
+      : options_(options), result_(result), clock_(SecondsToMicroseconds(100)),
+        rng_(options.seed) {}
+
+  Status Build() {
+    if (options_.scenario != FaultScenario::kNone &&
+        options_.scenario != FaultScenario::kPartition &&
+        options_.scenario != FaultScenario::kCrashRestart) {
+      return Status(StatusCode::kInvalidArgument,
+                    std::string("tablet-churn does not support scenario '") +
+                        std::string(FaultScenarioName(options_.scenario)) +
+                        "'");
+    }
+    const bool durable = options_.scenario == FaultScenario::kCrashRestart;
+    if (durable && options_.durable_root.empty()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "crash-restart churn needs a durable_root");
+    }
+    if (options_.node_count < 2) {
+      return Status(StatusCode::kInvalidArgument, "need at least two nodes");
+    }
+    if (durable) {
+      MakeDirectories(options_.durable_root);
+    }
+
+    slots_.reserve(static_cast<size_t>(options_.node_count));
+    for (int i = 0; i < options_.node_count; ++i) {
+      auto slot = std::make_unique<NodeSlot>();
+      slot->name = "n" + std::to_string(i + 1);
+      slot->node = std::make_unique<storage::StorageNode>(slot->name,
+                                                          slot->name, &clock_);
+      if (durable) {
+        Result<persist::WriteAheadLog> wal = persist::WriteAheadLog::Open(
+            options_.durable_root + "/" + slot->name + ".wal");
+        PILEUS_RETURN_IF_ERROR(wal.status());
+        slot->wal = std::move(wal).value();
+      }
+      slots_.push_back(std::move(slot));
+    }
+
+    // Two seed tablets split at the key-space midpoint, on the first two
+    // nodes; churn takes it from there.
+    const std::string midpoint = KeyName(options_.key_count / 2);
+    tablets::TabletMap initial;
+    initial.table = kChurnTable;
+    initial.version = 1;
+    initial.tablets.push_back(MakeEntry(KeyRange{"", midpoint}, Slot(0).name));
+    initial.tablets.push_back(MakeEntry(KeyRange{midpoint, ""}, Slot(1).name));
+    for (const tablets::TabletInfo& info : initial.tablets) {
+      storage::Tablet::Options tablet_options;
+      tablet_options.range = info.range;
+      tablet_options.is_primary = true;
+      PILEUS_RETURN_IF_ERROR(
+          FindSlot(info.config.primary)->node->AddTablet(kChurnTable,
+                                                         tablet_options));
+    }
+
+    tablets::TabletCoordinator::Options coord_options;
+    coord_options.reachable = [this](const std::string& name) {
+      const NodeSlot* slot = FindSlot(name);
+      return slot != nullptr && !slot->unreachable && !slot->crashed;
+    };
+    coordinator_ = std::make_unique<tablets::TabletCoordinator>(
+        initial, &clock_, std::move(coord_options));
+    for (auto& slot : slots_) {
+      coordinator_->RegisterNode(slot->node.get());
+    }
+    PILEUS_RETURN_IF_ERROR(coordinator_->PublishMap());
+
+    tablets::Rebalancer::Options policy;
+    policy.split_threshold_bytes = 2048;
+    rebalancer_ = std::make_unique<tablets::Rebalancer>(policy);
+
+    if (options_.client_cache) {
+      cache::ClientCache::Options cache_options;
+      cache_options.capacity_bytes = options_.cache_capacity_bytes;
+      cache_ = std::make_unique<cache::ClientCache>(cache_options);
+    }
+
+    core::PileusClient::Options client_options;
+    client_options.op_observer = &recorder_;
+    client_options.cache = cache_.get();
+    client_options.seed = options_.seed;
+    // Backoffs advance virtual time, like the simulator's RunFor adapter.
+    client_options.sleep_fn = [this](MicrosecondCount us) {
+      clock_.AdvanceMicros(us);
+    };
+    core::ShardedClient::DynamicOptions dynamic;
+    dynamic.connect =
+        [this](const std::string& name) -> std::shared_ptr<core::NodeConnection> {
+      NodeSlot* slot = FindSlot(name);
+      if (slot == nullptr) {
+        return nullptr;
+      }
+      // Always connectable — a down node fails at call time, so the routing
+      // table keeps the entry and ops fail fast instead of going unrouted.
+      return std::make_shared<ChurnConnection>(slot, &clock_);
+    };
+    Result<std::unique_ptr<core::ShardedClient>> client =
+        core::ShardedClient::CreateDynamic(coordinator_->map(), &clock_,
+                                           client_options, std::move(dynamic));
+    PILEUS_RETURN_IF_ERROR(client.status());
+    client_ = std::move(client).value();
+
+    PlanFaults();
+    return Status::Ok();
+  }
+
+  Status Run() {
+    const core::Sla sla = options_.sla.value_or(AuditSla());
+    Result<core::Session> session = client_->BeginSession(sla);
+    PILEUS_RETURN_IF_ERROR(session.status());
+    ++result_->sessions;
+
+    // Preload every key through the client so the WALs and the committed
+    // logs hold the full history from the first op.
+    for (int i = 0; i < options_.key_count; ++i) {
+      DoPut(*session, KeyName(i), "seed-" + std::to_string(i));
+      clock_.AdvanceMicros(kThinkUs);
+    }
+
+    int churn_step = 0;
+    for (uint64_t op = 0; op < options_.total_ops; ++op) {
+      ApplyFaults(op);
+      if (options_.churn_period_ops > 0 && op > 0 &&
+          op % static_cast<uint64_t>(options_.churn_period_ops) == 0) {
+        ChurnStep(churn_step++);
+      }
+      if (options_.ops_per_session > 0 &&
+          op % static_cast<uint64_t>(options_.ops_per_session) == 0 &&
+          op > 0) {
+        Result<core::Session> next = client_->BeginSession(sla);
+        if (next.ok()) {
+          session = std::move(next);
+          ++result_->sessions;
+        }
+      }
+
+      const std::string key =
+          KeyName(static_cast<int>(rng_.NextUint64(
+              static_cast<uint64_t>(options_.key_count))));
+      const double r = rng_.NextDouble();
+      if (r < 0.45) {
+        ++result_->ops_attempted;
+        if (!client_->Get(*session, key).ok()) {
+          ++result_->ops_failed;
+        }
+      } else if (r < 0.85) {
+        DoPut(*session, key, "v-" + std::to_string(op));
+      } else if (r < 0.90) {
+        ++result_->ops_attempted;
+        Result<core::PutResult> deleted = client_->Delete(*session, key);
+        if (deleted.ok()) {
+          acked_.emplace_back(key, deleted.value().timestamp);
+          ++result_->acked_writes;
+        } else {
+          ++result_->ops_failed;
+        }
+      } else {
+        ++result_->ops_attempted;
+        const std::string end = KeyName(
+            std::min(options_.key_count,
+                     static_cast<int>(rng_.NextUint64(static_cast<uint64_t>(
+                         options_.key_count))) + 4));
+        const std::string begin = std::min(key, end);
+        if (!client_->GetRange(*session, begin, std::max(key, end), 8).ok()) {
+          ++result_->ops_failed;
+        }
+      }
+      clock_.AdvanceMicros(kThinkUs);
+    }
+
+    HealAll();
+    return Status::Ok();
+  }
+
+  void Audit() {
+    // Ground truth: each range's committed log, exported from its final
+    // primary, merged into one ascending-timestamp sequence. A key lives in
+    // exactly one tablet at a time, so per-key order is exact.
+    std::vector<proto::ObjectVersion> truth;
+    bool complete = true;
+    for (const tablets::TabletInfo& info : coordinator_->map().tablets) {
+      NodeSlot* slot = FindSlot(info.config.primary);
+      if (slot == nullptr || slot->node == nullptr) {
+        complete = false;
+        continue;
+      }
+      storage::StorageNode* node = slot->node.get();
+      const KeyRange range = info.range;
+      bool contiguous = true;
+      std::vector<proto::ObjectVersion> piece = node->WithLock(
+          [&]() -> std::vector<proto::ObjectVersion> {
+            const storage::Tablet* tablet =
+                node->FindTablet(kChurnTable, range.begin);
+            if (tablet == nullptr) {
+              return {};
+            }
+            return tablet->ExportCommittedVersions(&contiguous);
+          });
+      complete = complete && contiguous;
+      truth.insert(truth.end(), piece.begin(), piece.end());
+    }
+    std::stable_sort(truth.begin(), truth.end(),
+                     [](const proto::ObjectVersion& a,
+                        const proto::ObjectVersion& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+
+    // Zero lost acked writes: every write the client saw succeed must be in
+    // the merged logs, across every split, migration, and restart.
+    std::set<std::pair<std::string, Timestamp>> committed;
+    for (const proto::ObjectVersion& version : truth) {
+      committed.emplace(version.key, version.timestamp);
+    }
+    for (const auto& [key, timestamp] : acked_) {
+      if (committed.count({key, timestamp}) == 0) {
+        ++result_->lost_acked_writes;
+        if (result_->lost_write_details.size() < 10) {
+          std::ostringstream os;
+          os << "acked write " << key << "@" << timestamp
+             << " missing from committed logs";
+          result_->lost_write_details.push_back(os.str());
+        }
+      }
+    }
+
+    recorder_.SetGroundTruth(std::move(truth), complete);
+    result_->history = recorder_.Snapshot();
+    result_->report = audit::ConsistencyChecker().Check(result_->history);
+    result_->splits = coordinator_->splits();
+    result_->migrations = coordinator_->migrations();
+    result_->migration_failures = coordinator_->migration_failures();
+    result_->map_refreshes = client_->map_refreshes();
+    result_->final_tablets = coordinator_->map().tablets.size();
+    result_->final_map_version = coordinator_->map().version;
+  }
+
+ private:
+  tablets::TabletInfo MakeEntry(KeyRange range, const std::string& primary) {
+    tablets::TabletInfo info;
+    info.range = std::move(range);
+    info.config.epoch = 1;
+    info.config.primary = primary;
+    info.config.members = {primary};
+    return info;
+  }
+
+  NodeSlot& Slot(size_t index) { return *slots_[index]; }
+  NodeSlot* FindSlot(const std::string& name) {
+    for (auto& slot : slots_) {
+      if (slot->name == name) {
+        return slot.get();
+      }
+    }
+    return nullptr;
+  }
+
+  void DoPut(core::Session& session, const std::string& key,
+             const std::string& value) {
+    ++result_->ops_attempted;
+    Result<core::PutResult> put = client_->Put(session, key, value);
+    if (put.ok()) {
+      acked_.emplace_back(key, put.value().timestamp);
+      ++result_->acked_writes;
+    } else {
+      ++result_->ops_failed;
+    }
+  }
+
+  void PlanFaults() {
+    const uint64_t n = options_.total_ops;
+    if (options_.scenario == FaultScenario::kPartition) {
+      plan_.partition_start = n * 3 / 10;
+      plan_.partition_end = n * 6 / 10;
+      plan_.victim =
+          Slot(rng_.NextUint64(slots_.size())).name;
+    } else if (options_.scenario == FaultScenario::kCrashRestart) {
+      plan_.crash_at = n * 4 / 10;
+      plan_.restart_at = n * 7 / 10;
+      // Victim chosen at crash time: a node that owns at least one tablet,
+      // so the crash actually interrupts serving.
+    }
+  }
+
+  void ApplyFaults(uint64_t op) {
+    if (options_.scenario == FaultScenario::kPartition) {
+      NodeSlot* victim = FindSlot(plan_.victim);
+      if (op == plan_.partition_start && victim != nullptr) {
+        victim->unreachable = true;
+      } else if (op == plan_.partition_end && victim != nullptr) {
+        victim->unreachable = false;
+        (void)coordinator_->PublishMap();  // Catch the healed node up.
+      }
+    } else if (options_.scenario == FaultScenario::kCrashRestart) {
+      if (op == plan_.crash_at) {
+        plan_.victim = PickOwningNode();
+        NodeSlot* victim = FindSlot(plan_.victim);
+        if (victim != nullptr) {
+          Crash(*victim);
+        }
+      } else if (op == plan_.restart_at) {
+        NodeSlot* victim = FindSlot(plan_.victim);
+        if (victim != nullptr && victim->crashed) {
+          (void)Restart(*victim);
+        }
+      }
+    }
+  }
+
+  std::string PickOwningNode() {
+    const tablets::TabletMap& map = coordinator_->map();
+    std::vector<std::string> owners;
+    for (const tablets::TabletInfo& info : map.tablets) {
+      if (std::find(owners.begin(), owners.end(), info.config.primary) ==
+          owners.end()) {
+        owners.push_back(info.config.primary);
+      }
+    }
+    if (owners.empty()) {
+      return Slot(0).name;
+    }
+    return owners[rng_.NextUint64(owners.size())];
+  }
+
+  void Crash(NodeSlot& slot) {
+    // Volatile state dies with the process; the WAL is the disk. The
+    // coordinator's reachability hook keeps it from touching the dead node.
+    slot.crashed = true;
+    slot.node.reset();
+  }
+
+  Status Restart(NodeSlot& slot) {
+    slot.node =
+        std::make_unique<storage::StorageNode>(slot.name, slot.name, &clock_);
+    // Recreate the tablets the current map assigns this node, as plain
+    // secondaries first — promotion after replay seeds each timestamp
+    // allocator above everything recovered.
+    for (const tablets::TabletInfo& info : coordinator_->map().tablets) {
+      if (info.config.primary != slot.name) {
+        continue;
+      }
+      storage::Tablet::Options tablet_options;
+      tablet_options.range = info.range;
+      tablet_options.is_primary = false;
+      PILEUS_RETURN_IF_ERROR(
+          slot.node->AddTablet(kChurnTable, tablet_options));
+    }
+    if (slot.wal.is_open()) {
+      storage::StorageNode* node = slot.node.get();
+      Result<persist::WriteAheadLog::ReplayStats> replayed =
+          persist::WriteAheadLog::Replay(
+              slot.wal.path(),
+              [node](const proto::ObjectVersion& version) {
+                // Keys of ranges this node no longer owns (migrated away
+                // before the crash) have no tablet here: skip them. The
+                // high-timestamp guard drops re-journaled duplicates from a
+                // range that migrated away and back.
+                storage::Tablet* tablet =
+                    node->FindTablet(kChurnTable, version.key);
+                if (tablet != nullptr &&
+                    tablet->high_timestamp() < version.timestamp) {
+                  tablet->ApplyReplicatedPut(version);
+                }
+              },
+              [](const Timestamp&) {}, [](const reconfig::ConfigEpoch&) {});
+      PILEUS_RETURN_IF_ERROR(replayed.status());
+    }
+    // Adopt the live map (promoting this node's primaries) and rejoin the
+    // control plane; the replaced member gets a fresh TabletManager.
+    slot.node->InstallTabletMap(coordinator_->map());
+    slot.crashed = false;
+    coordinator_->RegisterNode(slot.node.get());
+    return Status::Ok();
+  }
+
+  void HealAll() {
+    for (auto& slot : slots_) {
+      if (slot->crashed) {
+        (void)Restart(*slot);
+      }
+      slot->unreachable = false;
+    }
+    (void)coordinator_->PublishMap();
+  }
+
+  // After a successful migration the target's copy is the only one, but its
+  // catch-up arrived via direct Sync pulls that bypassed the connection's
+  // journaling. Persist the transferred history so a later crash of the
+  // target cannot lose pre-migration acked writes.
+  void JournalTabletExport(const std::string& node_name,
+                           const KeyRange& range) {
+    NodeSlot* slot = FindSlot(node_name);
+    if (slot == nullptr || !slot->wal.is_open() || slot->node == nullptr) {
+      return;
+    }
+    storage::StorageNode* node = slot->node.get();
+    std::vector<proto::ObjectVersion> versions = node->WithLock(
+        [&]() -> std::vector<proto::ObjectVersion> {
+          const storage::Tablet* tablet =
+              node->FindTablet(kChurnTable, range.begin);
+          if (tablet == nullptr) {
+            return {};
+          }
+          return tablet->ExportCommittedVersions(nullptr);
+        });
+    for (const proto::ObjectVersion& version : versions) {
+      (void)slot->wal.AppendVersion(version);
+    }
+    (void)slot->wal.Sync();
+  }
+
+  Status Migrate(const std::string& range_begin, const std::string& to) {
+    const tablets::TabletInfo* entry = nullptr;
+    for (const tablets::TabletInfo& info : coordinator_->map().tablets) {
+      if (info.range.begin == range_begin) {
+        entry = &info;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      return Status(StatusCode::kNotFound, "no tablet at " + range_begin);
+    }
+    const KeyRange range = entry->range;  // Copy: the call mutates the map.
+    Status moved = coordinator_->ExecuteMigration(range_begin, to);
+    if (moved.ok()) {
+      JournalTabletExport(to, range);
+    }
+    return moved;
+  }
+
+  // The node with the fewest primary tablets (migration destination),
+  // excluding `not_this`; empty when no reachable candidate exists.
+  std::string CoolestNode(const std::string& not_this) {
+    std::map<std::string, int> primaries;
+    for (auto& slot : slots_) {
+      if (!slot->crashed && !slot->unreachable) {
+        primaries[slot->name] = 0;
+      }
+    }
+    for (const tablets::TabletInfo& info : coordinator_->map().tablets) {
+      auto it = primaries.find(info.config.primary);
+      if (it != primaries.end()) {
+        ++it->second;
+      }
+    }
+    std::string best;
+    int best_count = 0;
+    for (const auto& [name, count] : primaries) {
+      if (name == not_this) {
+        continue;
+      }
+      if (best.empty() || count < best_count) {
+        best = name;
+        best_count = count;
+      }
+    }
+    return best;
+  }
+
+  void ChurnStep(int step) {
+    switch (step % 3) {
+      case 0: {  // Split the biggest reachable tablet at its median.
+        std::vector<tablets::TabletLoad> loads = coordinator_->SampleLoads();
+        std::sort(loads.begin(), loads.end(),
+                  [](const tablets::TabletLoad& a,
+                     const tablets::TabletLoad& b) {
+                    return a.size_bytes > b.size_bytes;
+                  });
+        for (const tablets::TabletLoad& load : loads) {
+          NodeSlot* slot = FindSlot(load.primary);
+          if (slot == nullptr || slot->crashed || slot->unreachable) {
+            continue;
+          }
+          storage::StorageNode* node = slot->node.get();
+          const KeyRange range = load.range;
+          std::optional<std::string> median = node->WithLock(
+              [&]() -> std::optional<std::string> {
+                const storage::Tablet* tablet =
+                    node->FindTablet(kChurnTable, range.begin);
+                return tablet == nullptr ? std::nullopt : tablet->MedianKey();
+              });
+          if (median.has_value() && range.IsSplittable(*median)) {
+            (void)coordinator_->ExecuteSplit(*median);
+            break;
+          }
+        }
+        break;
+      }
+      case 1: {  // Migrate a round-robin tablet to the coolest node.
+        const tablets::TabletMap& map = coordinator_->map();
+        if (map.tablets.empty()) {
+          break;
+        }
+        for (size_t probe = 0; probe < map.tablets.size(); ++probe) {
+          const tablets::TabletInfo& info =
+              map.tablets[(migrate_cursor_ + probe) % map.tablets.size()];
+          NodeSlot* from = FindSlot(info.config.primary);
+          if (from == nullptr || from->crashed || from->unreachable) {
+            continue;
+          }
+          const std::string to = CoolestNode(info.config.primary);
+          if (to.empty()) {
+            continue;
+          }
+          const std::string begin = info.range.begin;
+          migrate_cursor_ =
+              (migrate_cursor_ + probe + 1) % map.tablets.size();
+          (void)Migrate(begin, to);
+          break;
+        }
+        break;
+      }
+      case 2: {  // One planner round, executed through the journaling hook.
+        std::vector<tablets::TabletLoad> loads = coordinator_->SampleLoads();
+        for (tablets::TabletLoad& load : loads) {
+          if (load.size_bytes <=
+              rebalancer_->options().split_threshold_bytes) {
+            continue;
+          }
+          NodeSlot* slot = FindSlot(load.primary);
+          if (slot == nullptr || slot->crashed || slot->unreachable) {
+            continue;
+          }
+          storage::StorageNode* node = slot->node.get();
+          const KeyRange range = load.range;
+          std::optional<std::string> median = node->WithLock(
+              [&]() -> std::optional<std::string> {
+                const storage::Tablet* tablet =
+                    node->FindTablet(kChurnTable, range.begin);
+                return tablet == nullptr ? std::nullopt : tablet->MedianKey();
+              });
+          if (median.has_value()) {
+            load.split_key = *std::move(median);
+          }
+        }
+        std::vector<std::string> nodes;
+        for (auto& slot : slots_) {
+          if (!slot->crashed && !slot->unreachable) {
+            nodes.push_back(slot->name);
+          }
+        }
+        for (const tablets::RebalanceAction& action :
+             rebalancer_->Plan(loads, nodes)) {
+          if (action.kind == tablets::RebalanceAction::Kind::kSplit) {
+            (void)coordinator_->ExecuteSplit(action.split_key);
+          } else {
+            (void)Migrate(action.range.begin, action.to);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  const TabletChurnOptions& options_;
+  TabletChurnResult* result_;
+  ManualClock clock_;
+  Random rng_;
+  std::vector<std::unique_ptr<NodeSlot>> slots_;
+  std::unique_ptr<tablets::TabletCoordinator> coordinator_;
+  std::unique_ptr<tablets::Rebalancer> rebalancer_;
+  std::unique_ptr<cache::ClientCache> cache_;
+  std::unique_ptr<core::ShardedClient> client_;
+  audit::HistoryRecorder recorder_;
+  std::vector<std::pair<std::string, Timestamp>> acked_;
+  FaultPlan plan_;
+  size_t migrate_cursor_ = 0;
+};
+
+}  // namespace
+
+std::string TabletChurnResult::Summary() const {
+  std::ostringstream os;
+  os << (ok() ? "PASS" : "FAIL") << " scenario=tablet-churn/"
+     << FaultScenarioName(scenario) << " seed=" << seed << ": ";
+  if (!setup.ok()) {
+    os << "setup failed: " << setup.message();
+    return os.str();
+  }
+  os << ops_attempted << " ops (" << ops_failed << " failed), " << sessions
+     << " sessions, " << splits << " splits, " << migrations << " migrations ("
+     << migration_failures << " failed), " << map_refreshes
+     << " map refreshes, " << final_tablets << " tablets @ map v"
+     << final_map_version << "; " << acked_writes << " acked writes ("
+     << lost_acked_writes << " lost); " << report.reads_checked << " reads, "
+     << report.writes_checked << " writes, " << report.ranges_checked
+     << " ranges, " << report.claims_checked << " claims checked";
+  if (!ok()) {
+    os << "; " << report.violations.size() << " violation"
+       << (report.violations.size() == 1 ? "" : "s")
+       << " (reproduce with --seed " << seed << " --scenarios tablet-churn)";
+  }
+  return os.str();
+}
+
+TabletChurnResult RunTabletChurnScenario(const TabletChurnOptions& options) {
+  TabletChurnResult result;
+  result.seed = options.seed;
+  result.scenario = options.scenario;
+  ChurnWorld world(options, &result);
+  result.setup = world.Build();
+  if (!result.setup.ok()) {
+    return result;
+  }
+  result.setup = world.Run();
+  if (!result.setup.ok()) {
+    return result;
+  }
+  world.Audit();
+  return result;
+}
+
+}  // namespace pileus::experiments

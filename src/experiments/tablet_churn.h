@@ -1,0 +1,92 @@
+// Tablet-churn audit scenario (DESIGN.md Section 14).
+//
+// The Fig-10 GeoTestbed hosts one static whole-keyspace tablet, so it cannot
+// express splits or migrations. This runner builds its own world: a small
+// fleet of storage nodes, a TabletCoordinator owning the table's TabletMap,
+// and a dynamic ShardedClient that discovers ownership changes through
+// kWrongTablet fences and map refreshes. A seeded workload runs while the
+// coordinator continuously splits hot tablets, live-migrates ranges between
+// nodes, and executes rebalancer plans — optionally under a network
+// partition or a crash + WAL-restart of a node.
+//
+// Afterwards the per-tablet committed logs (exported from each range's final
+// primary) merge into one ground truth; the ConsistencyChecker audits every
+// recorded op against it, and the runner separately verifies that every
+// acked write survived the churn (zero lost acked writes).
+
+#ifndef PILEUS_SRC_EXPERIMENTS_TABLET_CHURN_H_
+#define PILEUS_SRC_EXPERIMENTS_TABLET_CHURN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/audit/checker.h"
+#include "src/audit/history.h"
+#include "src/common/status.h"
+#include "src/core/sla.h"
+#include "src/experiments/scenario.h"
+
+namespace pileus::experiments {
+
+struct TabletChurnOptions {
+  uint64_t seed = 1;
+  // Which fault runs underneath the churn. Supported: kNone, kPartition
+  // (one node unreachable for a mid-run window), kCrashRestart (a
+  // tablet-owning node crashes mid-run and recovers from its WAL).
+  FaultScenario scenario = FaultScenario::kNone;
+  uint64_t total_ops = 600;
+  int key_count = 120;
+  int node_count = 4;
+  int ops_per_session = 40;
+  // A churn action (split / migration / rebalance round, rotating) fires
+  // every this many workload ops.
+  int churn_period_ops = 40;
+  // Per-node WALs live here; required for kCrashRestart (the crashed node
+  // recovers from its WAL), ignored otherwise.
+  std::string durable_root;
+  // Give the client a consistency-aware cache so cache-served reads enter
+  // the audited history (mirrors ScenarioOptions::client_cache).
+  bool client_cache = false;
+  uint64_t cache_capacity_bytes = uint64_t{4} << 20;
+  // Defaults to AuditSla().
+  std::optional<core::Sla> sla;
+};
+
+struct TabletChurnResult {
+  uint64_t seed = 0;
+  FaultScenario scenario = FaultScenario::kNone;
+  // Non-ok when the world could not even be built (bad options); the audit
+  // fields below are meaningless then.
+  Status setup = Status::Ok();
+  audit::AuditReport report;
+  audit::History history;
+  uint64_t ops_attempted = 0;
+  uint64_t ops_failed = 0;  // Op returned an error (fine under churn/faults).
+  uint64_t sessions = 0;
+  // Churn executed (coordinator counters at the end of the run).
+  uint64_t splits = 0;
+  uint64_t migrations = 0;
+  uint64_t migration_failures = 0;
+  uint64_t map_refreshes = 0;  // Client-side map adoptions after fences.
+  uint64_t final_tablets = 0;
+  uint64_t final_map_version = 0;
+  // Acked-write durability: every Put/Delete the client saw succeed must
+  // appear in the merged committed logs, across every split and migration.
+  uint64_t acked_writes = 0;
+  uint64_t lost_acked_writes = 0;
+  std::vector<std::string> lost_write_details;
+
+  bool ok() const {
+    return setup.ok() && report.ok() && lost_acked_writes == 0;
+  }
+  // One line: verdict, scenario, seed, op/churn counts — the repro handle.
+  std::string Summary() const;
+};
+
+TabletChurnResult RunTabletChurnScenario(const TabletChurnOptions& options);
+
+}  // namespace pileus::experiments
+
+#endif  // PILEUS_SRC_EXPERIMENTS_TABLET_CHURN_H_

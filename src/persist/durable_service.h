@@ -20,10 +20,12 @@
 #include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/persist/durable_tablet.h"
 #include "src/persist/group_commit.h"
 #include "src/proto/messages.h"
+#include "src/tablets/tablet_map.h"
 
 namespace pileus::persist {
 
@@ -59,6 +61,24 @@ class DurableStorageService {
   // after a replication pull applied a batch of versions).
   Status SyncNow();
 
+  // Turns on dynamic-tablet support (DESIGN.md Section 14) for this durable
+  // node: TabletMapRequest is answered with a synthesized version-0 view of
+  // the hosted tablets, and its split_key admin verb splits through
+  // DurableTablet::Split (child checkpoint fsynced before the WAL split
+  // record — no acked write is ever lost across a crash mid-split).
+  //
+  // Child tablets live in numbered subdirectories (`<dir>/child-<n>`) of the
+  // tablet that spawned them; this call re-opens, recursively, every child
+  // recorded by earlier splits and routes key-addressed requests across the
+  // resulting set. `base_options` must be the options `tablet` was opened
+  // with (children inherit everything but directory and range).
+  Status EnableDynamicTablets(const DurableTablet::Options& base_options,
+                              Clock* clock);
+
+  // Hosted tablets (1 until a split happens; parent plus split-off
+  // children afterwards), sorted by range begin.
+  size_t tablet_count() const;
+
   // Null when group commit is disabled.
   GroupCommitter* group_committer() { return committer_.get(); }
 
@@ -67,13 +87,39 @@ class DurableStorageService {
   }
 
  private:
+  // One hosted durable tablet. The parent (slot 0 at enable time) is the
+  // caller-owned tablet_; split children are owned here.
+  struct Slot {
+    DurableTablet* tablet = nullptr;
+    std::unique_ptr<DurableTablet> owned;  // Null for the parent.
+    std::string directory;
+    uint64_t children_spawned = 0;  // Names the next child subdirectory.
+  };
+
   proto::Message HandleLocked(const proto::Message& request);
+  proto::Message HandleTabletMapLocked(const proto::TabletMapRequest& request);
+  // The hosted tablet owning `key`; tablet_ when dynamic tablets are off.
+  // Never null: the hosted ranges tile the parent's original range.
+  DurableTablet* RouteLocked(std::string_view key);
+  // Splits the hosted tablet owning `split_key` at that key.
+  Status SplitLocked(std::string_view split_key);
+  // Version-0 map view of the hosted tablets (display/CLI only; nodes
+  // reject installing v0 maps, so nothing can route off it persistently).
+  tablets::TabletMap SynthesizeMapLocked() const;
+  // Everything in every hosted WAL, to stable storage.
+  Status SyncAllLocked();
+  void SortSlotsLocked();
 
   std::string table_;
   DurableTablet* tablet_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::atomic<uint64_t> requests_served_{0};
   std::unique_ptr<GroupCommitter> committer_;
+  // Dynamic-tablet state (empty/false until EnableDynamicTablets).
+  bool dynamic_tablets_ = false;
+  DurableTablet::Options base_options_;
+  Clock* clock_ = nullptr;
+  std::vector<Slot> slots_;  // Sorted by range begin.
 };
 
 }  // namespace pileus::persist

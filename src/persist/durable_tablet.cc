@@ -23,13 +23,14 @@ Status Errno(const char* what, const std::string& path) {
                 std::string(what) + " '" + path + "': " + strerror(errno));
 }
 
-// Checkpoint payload: varint version count, versions, then the tablet's high
-// timestamp. File: magic + fixed32 length + fixed32 crc + payload, written
-// to a temp file and renamed into place.
-std::string EncodeCheckpoint(const storage::Tablet& tablet) {
+// Checkpoint payload: varint version count, versions, the tablet's high
+// timestamp, then the tablet's key range (appended by the dynamic-tablet
+// work; checkpoints written before it simply end after the timestamp, and
+// the decoder treats the range as optional). File: magic + fixed32 length +
+// fixed32 crc + payload, written to a temp file and renamed into place.
+std::string EncodeCheckpoint(const std::vector<proto::ObjectVersion>& versions,
+                             const Timestamp& high, const KeyRange& range) {
   Encoder enc;
-  const std::vector<proto::ObjectVersion> versions =
-      tablet.store().LatestVersionsAfter(Timestamp::Zero());
   enc.PutVarint64(versions.size());
   for (const proto::ObjectVersion& v : versions) {
     enc.PutLengthPrefixed(v.key);
@@ -37,8 +38,23 @@ std::string EncodeCheckpoint(const storage::Tablet& tablet) {
     enc.PutTimestamp(v.timestamp);
     enc.PutBool(v.is_tombstone);
   }
-  enc.PutTimestamp(tablet.high_timestamp());
+  enc.PutTimestamp(high);
+  enc.PutLengthPrefixed(range.begin);
+  enc.PutLengthPrefixed(range.end);
   return enc.Release();
+}
+
+// Wraps a checkpoint payload in its framing (magic + length + crc).
+std::string FrameCheckpoint(const std::string& payload) {
+  std::string file;
+  file.reserve(12 + payload.size());
+  file.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  Encoder header;
+  header.PutFixed32(static_cast<uint32_t>(payload.size()));
+  header.PutFixed32(Crc32(payload));
+  file.append(header.buffer());
+  file.append(payload);
+  return file;
 }
 
 Status WriteFileAtomically(const std::string& path,
@@ -74,13 +90,24 @@ Status WriteFileAtomically(const std::string& path,
   return Status::Ok();
 }
 
-// Loads a checkpoint into `tablet`; missing file is fine (fresh tablet).
-Result<uint64_t> LoadCheckpoint(const std::string& path,
-                                storage::Tablet* tablet) {
+struct CheckpointData {
+  std::vector<proto::ObjectVersion> versions;
+  Timestamp high = Timestamp::Zero();
+  // The range the tablet owned when the checkpoint was written. Absent from
+  // pre-split-era checkpoints; when present it overrides the caller's
+  // configured range (a split may have shrunk the tablet since the caller's
+  // seed options were written down).
+  bool has_range = false;
+  KeyRange range;
+};
+
+// Loads a checkpoint; a missing file yields empty data (fresh tablet).
+Result<CheckpointData> LoadCheckpoint(const std::string& path) {
+  CheckpointData data;
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     if (errno == ENOENT) {
-      return uint64_t{0};
+      return data;
     }
     return Errno("open", path);
   }
@@ -126,42 +153,54 @@ Result<uint64_t> LoadCheckpoint(const std::string& path,
   Decoder dec(payload);
   uint64_t count = 0;
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&count));
+  data.versions.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     proto::ObjectVersion version;
     PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&version.key));
     PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&version.value));
     PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&version.timestamp));
     PILEUS_RETURN_IF_ERROR(dec.GetBool(&version.is_tombstone));
-    tablet->ApplyReplicatedPut(version);
+    data.versions.push_back(std::move(version));
   }
-  Timestamp high;
-  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&high));
-  proto::SyncReply heartbeat_only;
-  heartbeat_only.heartbeat = high;
-  tablet->ApplySync(heartbeat_only);
-  return count;
+  PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&data.high));
+  if (dec.remaining() > 0) {
+    PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&data.range.begin));
+    PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&data.range.end));
+    data.has_range = true;
+  }
+  return data;
 }
 
 }  // namespace
 
 Result<std::unique_ptr<DurableTablet>> DurableTablet::Open(Options options,
                                                            Clock* clock) {
-  // Recover into a *secondary* tablet so replay never allocates timestamps;
-  // promotion afterwards seeds the allocator above everything recovered.
-  storage::Tablet::Options recovery_options = options.tablet;
-  recovery_options.is_primary = false;
-  auto tablet =
-      std::make_unique<storage::Tablet>(recovery_options, clock);
-
   RecoveryInfo recovery;
   const std::string checkpoint_path = options.directory + "/checkpoint.db";
   const std::string wal_path = options.directory + "/wal.log";
 
-  Result<uint64_t> loaded = LoadCheckpoint(checkpoint_path, tablet.get());
+  Result<CheckpointData> loaded = LoadCheckpoint(checkpoint_path);
   if (!loaded.ok()) {
     return loaded.status();
   }
-  recovery.checkpoint_versions = loaded.value();
+  recovery.checkpoint_versions = loaded->versions.size();
+
+  // Recover into a *secondary* tablet so replay never allocates timestamps;
+  // promotion afterwards seeds the allocator above everything recovered. The
+  // checkpoint's recorded range (when present) wins over the caller's seed
+  // options: a split may have shrunk this tablet since those were written.
+  storage::Tablet::Options recovery_options = options.tablet;
+  recovery_options.is_primary = false;
+  if (loaded->has_range) {
+    recovery_options.range = loaded->range;
+  }
+  auto tablet = std::make_unique<storage::Tablet>(recovery_options, clock);
+  for (const proto::ObjectVersion& version : loaded->versions) {
+    tablet->ApplyReplicatedPut(version);
+  }
+  proto::SyncReply checkpoint_heartbeat;
+  checkpoint_heartbeat.heartbeat = loaded->high;
+  tablet->ApplySync(checkpoint_heartbeat);
 
   Result<WriteAheadLog::ReplayStats> replayed = WriteAheadLog::Replay(
       wal_path,
@@ -172,6 +211,16 @@ Result<std::unique_ptr<DurableTablet>> DurableTablet::Open(Options options,
         proto::SyncReply heartbeat_only;
         heartbeat_only.heartbeat = heartbeat;
         tablet->ApplySync(heartbeat_only);
+      },
+      /*on_config=*/nullptr,
+      [&tablet, &recovery](const std::string& split_key) {
+        // The data above the key already lives in the child directory whose
+        // checkpoint preceded this record; shrink the parent and drop the
+        // extracted half.
+        if (tablet->range().IsSplittable(split_key)) {
+          (void)tablet->Split(split_key);
+        }
+        recovery.split_keys.push_back(split_key);
       });
   if (!replayed.ok()) {
     return replayed.status();
@@ -179,6 +228,10 @@ Result<std::unique_ptr<DurableTablet>> DurableTablet::Open(Options options,
   recovery.wal_versions = replayed->versions;
   recovery.wal_heartbeats = replayed->heartbeats;
   recovery.wal_tail_torn = replayed->tail_torn;
+
+  // Keep the stored options in sync with what recovery actually produced so
+  // later checkpoints journal the effective (post-split) range.
+  options.tablet.range = tablet->range();
 
   if (options.tablet.is_primary) {
     tablet->SetPrimary(true);
@@ -268,22 +321,72 @@ Status DurableTablet::Checkpoint() {
         0};
     (void)tablet_->CollectTombstones(horizon);
   }
-  const std::string payload = EncodeCheckpoint(*tablet_);
-  std::string file;
-  file.reserve(12 + payload.size());
-  file.append(kCheckpointMagic, sizeof(kCheckpointMagic));
-  Encoder header;
-  header.PutFixed32(static_cast<uint32_t>(payload.size()));
-  header.PutFixed32(Crc32(payload));
-  file.append(header.buffer());
-  file.append(payload);
-  PILEUS_RETURN_IF_ERROR(WriteFileAtomically(CheckpointPath(), file));
+  const std::string payload = EncodeCheckpoint(
+      tablet_->store().LatestVersionsAfter(Timestamp::Zero()),
+      tablet_->high_timestamp(), tablet_->range());
+  PILEUS_RETURN_IF_ERROR(
+      WriteFileAtomically(CheckpointPath(), FrameCheckpoint(payload)));
   PILEUS_RETURN_IF_ERROR(wal_.Reset());
   // Everything up to the checkpointed high timestamp is durable in the
   // snapshot; the in-memory replication log no longer needs it (laggards
   // fall back to a full-state transfer).
   tablet_->CompactLog(tablet_->high_timestamp());
   return Status::Ok();
+}
+
+Result<std::unique_ptr<DurableTablet>> DurableTablet::Split(
+    std::string_view split_key, const std::string& child_directory) {
+  if (!tablet_->range().IsSplittable(split_key)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "split key " + std::string(split_key) +
+                      " is not strictly inside " +
+                      tablet_->range().ToString());
+  }
+
+  // Step 1: make the child's half durable in its own directory BEFORE the
+  // parent journals the split. Until the split record lands, the parent
+  // still owns the full range and the child directory is an orphan — so a
+  // crash anywhere in between loses nothing.
+  KeyRange child_range{std::string(split_key), tablet_->range().end};
+  std::vector<proto::ObjectVersion> child_versions;
+  for (proto::ObjectVersion& v :
+       tablet_->store().LatestVersionsAfter(Timestamp::Zero())) {
+    if (v.key >= split_key) {
+      child_versions.push_back(std::move(v));
+    }
+  }
+  const std::string child_payload = EncodeCheckpoint(
+      child_versions, tablet_->high_timestamp(), child_range);
+  PILEUS_RETURN_IF_ERROR(WriteFileAtomically(
+      child_directory + "/checkpoint.db", FrameCheckpoint(child_payload)));
+
+  // Step 2: commit the split on the parent. From here on, parent recovery
+  // replays the record and shrinks to [begin, split_key).
+  PILEUS_RETURN_IF_ERROR(wal_.AppendSplit(split_key));
+  PILEUS_RETURN_IF_ERROR(wal_.Sync());
+
+  // Step 3: split the in-memory tablet; the upper sibling keeps the parent's
+  // roles, high timestamp, and update-log suffix for its half.
+  Result<std::unique_ptr<storage::Tablet>> upper = tablet_->Split(split_key);
+  if (!upper.ok()) {
+    return upper.status();
+  }
+  options_.tablet.range = tablet_->range();
+
+  Options child_options = options_;
+  child_options.directory = child_directory;
+  child_options.tablet.range = (*upper)->range();
+  child_options.tablet.is_primary = (*upper)->is_primary();
+  child_options.tablet.is_sync_replica = (*upper)->is_sync_replica();
+
+  Result<WriteAheadLog> child_wal =
+      WriteAheadLog::Open(child_directory + "/wal.log");
+  if (!child_wal.ok()) {
+    return child_wal.status();
+  }
+  return std::unique_ptr<DurableTablet>(
+      new DurableTablet(std::move(child_options), std::move(upper).value(),
+                        std::move(child_wal).value(), RecoveryInfo{}));
 }
 
 Status DurableTablet::MaybeAutoCheckpoint() {

@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
@@ -46,6 +47,12 @@ class DurableTablet {
     uint64_t wal_versions = 0;
     uint64_t wal_heartbeats = 0;
     bool wal_tail_torn = false;
+    // Split records replayed from the WAL, in log order. Each shrank this
+    // tablet to [begin, key); the data at or above the key lives in a child
+    // directory whose checkpoint was made durable before the record was
+    // written. Callers that discover tablets per-directory use these to know
+    // which child directories this parent has legitimately spawned.
+    std::vector<std::string> split_keys;
   };
 
   // Opens (or creates) the durable tablet, replaying any existing state.
@@ -69,6 +76,22 @@ class DurableTablet {
 
   // Writes a fresh snapshot (atomically) and truncates the WAL.
   Status Checkpoint();
+
+  // Splits this durable tablet at `split_key` (DESIGN.md Section 14). The
+  // returned child owns [split_key, end) rooted at `child_directory` (must
+  // exist and be empty); this tablet shrinks to [begin, split_key).
+  //
+  // Crash ordering — no acked write is ever lost:
+  //   1. The child's checkpoint (every version at or above the key, plus the
+  //      parent's high timestamp) is written and fsynced into the child
+  //      directory.
+  //   2. Only then is a split record appended to the parent WAL and synced.
+  // A crash before step 2 leaves the parent owning its full range and the
+  // child directory an ignorable orphan (it is not in any replayed split
+  // record); a crash after it recovers the parent shrunk and the child
+  // complete from its own checkpoint.
+  Result<std::unique_ptr<DurableTablet>> Split(
+      std::string_view split_key, const std::string& child_directory);
 
   // Forces the WAL to stable storage.
   Status Sync() { return wal_.Sync(); }

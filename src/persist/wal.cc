@@ -19,6 +19,7 @@ namespace {
 constexpr uint8_t kKindVersion = 1;
 constexpr uint8_t kKindHeartbeat = 2;
 constexpr uint8_t kKindConfig = 3;
+constexpr uint8_t kKindSplit = 4;
 constexpr size_t kHeaderBytes = 1 + 4 + 4;
 // Sanity bound on a single record (a version is key+value+timestamp).
 constexpr uint32_t kMaxPayload = 256 * 1024 * 1024;
@@ -146,6 +147,12 @@ Status WriteAheadLog::AppendConfig(const reconfig::ConfigEpoch& config) {
   return AppendRecord(kKindConfig, enc.Release());
 }
 
+Status WriteAheadLog::AppendSplit(std::string_view split_key) {
+  Encoder enc;
+  enc.PutLengthPrefixed(split_key);
+  return AppendRecord(kKindSplit, enc.Release());
+}
+
 Status WriteAheadLog::Sync() {
   if (fd_ < 0) {
     return Status(StatusCode::kInternal, "WAL is not open");
@@ -178,7 +185,8 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
     const std::string& path,
     const std::function<void(const proto::ObjectVersion&)>& on_version,
     const std::function<void(const Timestamp&)>& on_heartbeat,
-    const std::function<void(const reconfig::ConfigEpoch&)>& on_config) {
+    const std::function<void(const reconfig::ConfigEpoch&)>& on_config,
+    const std::function<void(const std::string&)>& on_split) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   ReplayStats stats;
   if (fd < 0) {
@@ -218,7 +226,7 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
     const uint32_t len = DecodeFixed32(p + 1);
     const uint32_t crc = DecodeFixed32(p + 5);
     if (kind != kKindVersion && kind != kKindHeartbeat &&
-        kind != kKindConfig) {
+        kind != kKindConfig && kind != kKindSplit) {
       return Status(StatusCode::kCorruption,
                     "WAL record with unknown kind at offset " +
                         std::to_string(offset));
@@ -260,13 +268,21 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
       if (on_heartbeat) {
         on_heartbeat(heartbeat);
       }
-    } else {
+    } else if (kind == kKindConfig) {
       Decoder dec(payload);
       reconfig::ConfigEpoch config;
       PILEUS_RETURN_IF_ERROR(reconfig::DecodeConfigEpoch(dec, &config));
       ++stats.configs;
       if (on_config) {
         on_config(config);
+      }
+    } else {
+      Decoder dec(payload);
+      std::string split_key;
+      PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&split_key));
+      ++stats.splits;
+      if (on_split) {
+        on_split(split_key);
       }
     }
     offset += kHeaderBytes + len;

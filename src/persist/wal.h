@@ -7,7 +7,7 @@
 // on startup.
 //
 // On-disk record format (little-endian):
-//   1 byte  kind        (1 = version, 2 = heartbeat, 3 = config)
+//   1 byte  kind        (1 = version, 2 = heartbeat, 3 = config, 4 = split)
 //   4 bytes payload len
 //   4 bytes CRC-32 of payload
 //   N bytes payload     (codec-encoded)
@@ -52,6 +52,12 @@ class WriteAheadLog {
   // Journals an installed configuration (Section 6.2) so a restarted node
   // rejoins under the config it last acknowledged, not its seed roles.
   Status AppendConfig(const reconfig::ConfigEpoch& config);
+  // Journals a tablet split at `split_key` (DESIGN.md Section 14). Written
+  // AFTER the upper child's checkpoint is durable: replay shrinks this log's
+  // tablet to [begin, split_key) from the record onward, so a crash before
+  // the record leaves the parent owning the full range and a crash after it
+  // finds the upper half safe in the child's own directory.
+  Status AppendSplit(std::string_view split_key);
 
   // fdatasync the log.
   Status Sync();
@@ -70,6 +76,7 @@ class WriteAheadLog {
     uint64_t versions = 0;
     uint64_t heartbeats = 0;
     uint64_t configs = 0;
+    uint64_t splits = 0;
     // A partial record at EOF was discarded (normal after a crash).
     bool tail_torn = false;
   };
@@ -81,7 +88,8 @@ class WriteAheadLog {
       const std::function<void(const proto::ObjectVersion&)>& on_version,
       const std::function<void(const Timestamp&)>& on_heartbeat,
       const std::function<void(const reconfig::ConfigEpoch&)>& on_config =
-          nullptr);
+          nullptr,
+      const std::function<void(const std::string&)>& on_split = nullptr);
 
   // Collects every intact version record in `path`, in log order
   // (heartbeats skipped). The audit harness uses this to cross-check a

@@ -17,8 +17,11 @@ namespace {
 // retry_after_ms hint on ErrorReply (DESIGN.md Section 11). Version 5
 // added the shared-monitoring control plane messages: MonitorReport /
 // DigestSubscribe / DigestPush carrying fleet ConditionDigests (DESIGN.md
-// Section 12).
-constexpr uint8_t kWireVersion = 5;
+// Section 12). Version 6 added the dynamic-tablet control plane: the
+// TabletMapRequest/TabletMapReply pair, the optional key-range filter on
+// SyncRequest (migration catch-up pulls), and the map_version hint on
+// ErrorReply for kWrongTablet fences (DESIGN.md Section 14).
+constexpr uint8_t kWireVersion = 6;
 
 // Varint-encoded microsecond counts (deadlines, queue delays) share one
 // decode path so every site gets the same overflow check.
@@ -108,6 +111,9 @@ void EncodeBody(Encoder& enc, const SyncRequest& m) {
   enc.PutLengthPrefixed(m.table);
   enc.PutTimestamp(m.after);
   enc.PutVarint64(m.max_versions);
+  enc.PutBool(m.has_range);
+  enc.PutLengthPrefixed(m.range_begin);
+  enc.PutLengthPrefixed(m.range_end);
 }
 
 void EncodeBody(Encoder& enc, const SyncReply& m) {
@@ -197,6 +203,7 @@ void EncodeBody(Encoder& enc, const ErrorReply& m) {
   enc.PutVarint64(m.config_epoch);
   enc.PutLengthPrefixed(m.primary_hint);
   enc.PutVarint64(m.retry_after_ms);
+  enc.PutVarint64(m.map_version);
 }
 
 void EncodeBody(Encoder& enc, const ConfigRequest& m) {
@@ -231,6 +238,20 @@ void EncodeBody(Encoder& enc, const DigestSubscribe& m) {
 void EncodeBody(Encoder& enc, const DigestPush& m) {
   enc.PutBool(m.has_digest);
   monitoring::EncodeConditionDigest(enc, m.digest);
+}
+
+void EncodeBody(Encoder& enc, const TabletMapRequest& m) {
+  enc.PutLengthPrefixed(m.table);
+  enc.PutVarint64(m.have_version);
+  enc.PutBool(m.install);
+  tablets::EncodeTabletMap(enc, m.map);
+  enc.PutLengthPrefixed(m.split_key);
+}
+
+void EncodeBody(Encoder& enc, const TabletMapReply& m) {
+  enc.PutBool(m.accepted);
+  enc.PutBool(m.has_map);
+  tablets::EncodeTabletMap(enc, m.map);
 }
 
 Status DecodeBody(Decoder& dec, GetRequest* m) {
@@ -291,7 +312,9 @@ Status DecodeBody(Decoder& dec, SyncRequest* m) {
     return Status(StatusCode::kCorruption, "max_versions overflow");
   }
   m->max_versions = static_cast<uint32_t>(max_versions);
-  return Status::Ok();
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->has_range));
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->range_begin));
+  return dec.GetLengthPrefixedString(&m->range_end);
 }
 
 Status DecodeBody(Decoder& dec, SyncReply* m) {
@@ -412,7 +435,9 @@ Status DecodeBody(Decoder& dec, ErrorReply* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->message));
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->config_epoch));
   PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->primary_hint));
-  return DecodeUint32(dec, &m->retry_after_ms, "retry_after overflow");
+  PILEUS_RETURN_IF_ERROR(
+      DecodeUint32(dec, &m->retry_after_ms, "retry_after overflow"));
+  return dec.GetVarint64(&m->map_version);
 }
 
 Status DecodeBody(Decoder& dec, ConfigRequest* m) {
@@ -459,6 +484,20 @@ Status DecodeBody(Decoder& dec, DigestSubscribe* m) {
 Status DecodeBody(Decoder& dec, DigestPush* m) {
   PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->has_digest));
   return monitoring::DecodeConditionDigest(dec, &m->digest);
+}
+
+Status DecodeBody(Decoder& dec, TabletMapRequest* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&m->table));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&m->have_version));
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->install));
+  PILEUS_RETURN_IF_ERROR(tablets::DecodeTabletMap(dec, &m->map));
+  return dec.GetLengthPrefixedString(&m->split_key);
+}
+
+Status DecodeBody(Decoder& dec, TabletMapReply* m) {
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->accepted));
+  PILEUS_RETURN_IF_ERROR(dec.GetBool(&m->has_map));
+  return tablets::DecodeTabletMap(dec, &m->map);
 }
 
 template <typename T>
@@ -524,6 +563,10 @@ MessageType TypeOf(const Message& message) {
           return MessageType::kDigestSubscribe;
         } else if constexpr (std::is_same_v<T, DigestPush>) {
           return MessageType::kDigestPush;
+        } else if constexpr (std::is_same_v<T, TabletMapRequest>) {
+          return MessageType::kTabletMapRequest;
+        } else if constexpr (std::is_same_v<T, TabletMapReply>) {
+          return MessageType::kTabletMapReply;
         } else {
           return MessageType::kErrorReply;
         }
@@ -601,6 +644,10 @@ std::string_view MessageTypeName(MessageType type) {
       return "DigestSubscribe";
     case MessageType::kDigestPush:
       return "DigestPush";
+    case MessageType::kTabletMapRequest:
+      return "TabletMapRequest";
+    case MessageType::kTabletMapReply:
+      return "TabletMapReply";
   }
   return "Unknown";
 }
@@ -694,6 +741,10 @@ Result<Message> DecodeMessage(std::string_view bytes) {
       return DecodeInto<DigestSubscribe>(dec);
     case MessageType::kDigestPush:
       return DecodeInto<DigestPush>(dec);
+    case MessageType::kTabletMapRequest:
+      return DecodeInto<TabletMapRequest>(dec);
+    case MessageType::kTabletMapReply:
+      return DecodeInto<TabletMapReply>(dec);
   }
   return Status(StatusCode::kCorruption, "unknown message type");
 }

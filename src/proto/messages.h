@@ -34,6 +34,7 @@
 #include "src/common/timestamp.h"
 #include "src/monitoring/digest.h"
 #include "src/reconfig/config_epoch.h"
+#include "src/tablets/tablet_map.h"
 
 namespace pileus::proto {
 
@@ -61,6 +62,8 @@ enum class MessageType : uint8_t {
   kMonitorReport = 21,
   kDigestSubscribe = 22,
   kDigestPush = 23,
+  kTabletMapRequest = 24,
+  kTabletMapReply = 25,
 };
 
 // One version of one object: the tablet-store tuple of Section 4.3.
@@ -149,6 +152,12 @@ struct SyncRequest {
   std::string table;
   Timestamp after;          // Send versions with timestamp > after.
   uint32_t max_versions = 0;  // 0 = unlimited.
+  // Optional key-range filter (wire v6): a migration catch-up pull wants
+  // exactly one tablet's versions, not the whole table. Empty range with
+  // has_range=false preserves the whole-table pull.
+  bool has_range = false;
+  std::string range_begin;
+  std::string range_end;
 };
 
 struct SyncReply {
@@ -202,6 +211,11 @@ struct ErrorReply {
   // queue drains below the rejected class's threshold. Clients back off at
   // least this long before retrying the same node. 0 on other errors.
   uint32_t retry_after_ms = 0;
+  // For kWrongTablet: the version of the tablet map installed on the fencing
+  // node, so the client knows whether a TabletMapRequest will teach it
+  // anything new. `primary_hint` then names the fenced range's owner. 0 on
+  // other errors (wire v6).
+  uint64_t map_version = 0;
 };
 
 // Deletes a key by writing a tombstone at the primary. Answered with a
@@ -300,13 +314,41 @@ struct DigestPush {
   monitoring::ConditionDigest digest;
 };
 
+// Tablet-map control plane (DESIGN.md Section 14). Asks a storage node (or
+// the coordinator) for its installed tablet map when it is newer than
+// `have_version`; answered with a TabletMapReply. Control traffic: exempt
+// from admission, so fenced clients can always re-route.
+struct TabletMapRequest {
+  std::string table;
+  uint64_t have_version = 0;
+  // Install request (coordinator → storage node): adopt `map` when it is not
+  // older than the installed one. Queries leave this false.
+  bool install = false;
+  tablets::TabletMap map;  // Meaningful only for installs.
+  // Admin verb (pileus_cli): when non-empty, split the hosted tablet
+  // containing this key before answering. Purely local — a
+  // coordinator-managed fleet splits through its coordinator instead, which
+  // also retiles the map.
+  std::string split_key;
+};
+
+struct TabletMapReply {
+  // For installs: the map was adopted (or already installed). Queries always
+  // accept.
+  bool accepted = false;
+  // False when the node has no map newer than `have_version` (the map field
+  // is then default-constructed).
+  bool has_map = false;
+  tablets::TabletMap map;
+};
+
 using Message =
     std::variant<GetRequest, GetReply, PutRequest, PutReply, ProbeRequest,
                  ProbeReply, SyncRequest, SyncReply, GetAtRequest, GetAtReply,
                  CommitRequest, CommitReply, ErrorReply, RangeRequest,
                  RangeReply, DeleteRequest, StatsRequest, StatsReply,
                  ConfigRequest, ConfigReply, MonitorReport, DigestSubscribe,
-                 DigestPush>;
+                 DigestPush, TabletMapRequest, TabletMapReply>;
 
 MessageType TypeOf(const Message& message);
 std::string_view MessageTypeName(MessageType type);

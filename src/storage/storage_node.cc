@@ -99,6 +99,227 @@ std::optional<reconfig::ConfigEpoch> StorageNode::InstalledConfig(
   return it->second.config;
 }
 
+bool StorageNode::InstallTabletMap(const tablets::TabletMap& map) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InstallTabletMapLocked(map);
+}
+
+std::optional<tablets::TabletMap> StorageNode::InstalledTabletMap(
+    std::string_view table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tablet_maps_.find(table);
+  if (it == tablet_maps_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool StorageNode::InstallTabletMapLocked(const tablets::TabletMap& map) {
+  if (map.version == 0 || !map.Validate().ok()) {
+    return false;
+  }
+  auto it = tablet_maps_.find(map.table);
+  if (it != tablet_maps_.end() && map.version < it->second.version) {
+    return false;  // Stale map: a fenced coordinator or delayed install.
+  }
+  if (it == tablet_maps_.end()) {
+    tablet_maps_.emplace(map.table, map);
+  } else {
+    it->second = map;
+  }
+  // Roles follow the map immediately, including on a same-version
+  // re-install (idempotent): the migration cutover relies on the source
+  // being demoted the instant it adopts the map that moves its range.
+  ApplyTabletMapRolesLocked(map);
+  RefreshTabletGaugesLocked();
+  return true;
+}
+
+void StorageNode::ApplyTabletMapRolesLocked(const tablets::TabletMap& map) {
+  auto it = tablets_.find(map.table);
+  if (it == tablets_.end()) {
+    return;
+  }
+  for (auto& tablet : it->second) {
+    const tablets::TabletInfo* entry = map.OwnerOf(tablet->range().begin);
+    if (entry == nullptr) {
+      continue;
+    }
+    const bool is_primary = entry->config.primary == name_;
+    tablet->SetPrimary(is_primary);
+    tablet->SetSyncReplica(!is_primary && entry->config.IsSyncMember(name_));
+  }
+}
+
+std::optional<proto::Message> StorageNode::CheckTabletRoutingLocked(
+    std::string_view table, std::string_view key, bool write) const {
+  auto it = tablet_maps_.find(table);
+  if (it == tablet_maps_.end()) {
+    return std::nullopt;  // No map installed: static placement decides.
+  }
+  const tablets::TabletMap& map = it->second;
+  const tablets::TabletInfo* entry = map.OwnerOf(key);
+  if (entry == nullptr) {
+    return std::nullopt;  // Map does not cover the key; fall through.
+  }
+  const bool member = entry->config.IsMember(name_);
+  if (member && (!write || entry->config.primary == name_)) {
+    return std::nullopt;
+  }
+  proto::ErrorReply err;
+  err.code = StatusCode::kWrongTablet;
+  err.message = member ? "tablet " + entry->range.ToString() +
+                             " writes go to primary " + entry->config.primary
+                       : "tablet " + entry->range.ToString() +
+                             " is not served by node " + name_;
+  err.config_epoch = entry->config.epoch;
+  err.primary_hint = entry->config.primary;
+  err.map_version = map.version;
+  return proto::Message(std::move(err));
+}
+
+Status StorageNode::SplitTablet(std::string_view table,
+                                std::string_view split_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SplitTabletLocked(table, split_key);
+}
+
+Status StorageNode::SplitTabletLocked(std::string_view table,
+                                      std::string_view split_key) {
+  auto it = tablets_.find(table);
+  if (it == tablets_.end()) {
+    return Status(StatusCode::kNotFound,
+                  "node " + name_ + " hosts no tablets of table");
+  }
+  for (auto& tablet : it->second) {
+    if (!tablet->range().Contains(split_key)) {
+      continue;
+    }
+    Result<std::unique_ptr<Tablet>> upper = tablet->Split(split_key);
+    if (!upper.ok()) {
+      return upper.status();
+    }
+    it->second.push_back(std::move(upper).value());
+    std::sort(it->second.begin(), it->second.end(),
+              [](const std::unique_ptr<Tablet>& a,
+                 const std::unique_ptr<Tablet>& b) {
+                return a->range().begin < b->range().begin;
+              });
+    RefreshTabletGaugesLocked();
+    return Status::Ok();
+  }
+  return Status(StatusCode::kNotFound,
+                "no hosted tablet contains the split key");
+}
+
+Status StorageNode::RemoveTablet(std::string_view table,
+                                 const KeyRange& range) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tablets_.find(table);
+  if (it == tablets_.end()) {
+    return Status(StatusCode::kNotFound,
+                  "node " + name_ + " hosts no tablets of table");
+  }
+  for (auto t = it->second.begin(); t != it->second.end(); ++t) {
+    if ((*t)->range() == range) {
+      it->second.erase(t);
+      if (it->second.empty()) {
+        tablets_.erase(it);
+      }
+      RefreshTabletGaugesLocked();
+      return Status::Ok();
+    }
+  }
+  return Status(StatusCode::kNotFound,
+                "node " + name_ + " hosts no tablet " + range.ToString());
+}
+
+std::vector<StorageNode::LocalTabletStat> StorageNode::LocalTabletStats(
+    std::string_view table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<LocalTabletStat> out;
+  auto it = tablets_.find(table);
+  if (it == tablets_.end()) {
+    return out;
+  }
+  out.reserve(it->second.size());
+  for (const auto& tablet : it->second) {
+    LocalTabletStat stat;
+    stat.range = tablet->range();
+    stat.is_primary = tablet->is_primary();
+    stat.is_sync_replica = tablet->is_sync_replica();
+    stat.size_bytes = tablet->ApproximateBytes();
+    stat.ops_total = tablet->ops_total();
+    stat.high_timestamp = tablet->high_timestamp();
+    out.push_back(std::move(stat));
+  }
+  return out;
+}
+
+proto::Message StorageNode::HandleTabletMapLocked(
+    const proto::TabletMapRequest& request) {
+  proto::TabletMapReply reply;
+  reply.accepted =
+      request.install ? InstallTabletMapLocked(request.map) : true;
+  if (!request.split_key.empty()) {
+    // Admin split (pileus_cli): split the hosted tablet locally. The map a
+    // coordinator owns is not retiled here — standalone nodes show the new
+    // tablets through the synthesized view below.
+    const Status split = SplitTabletLocked(request.table, request.split_key);
+    if (!split.ok()) {
+      proto::ErrorReply error;
+      error.code = split.code();
+      error.message = split.message();
+      return error;
+    }
+  }
+  auto installed = tablet_maps_.find(request.table);
+  if (installed != tablet_maps_.end()) {
+    if (installed->second.version > request.have_version) {
+      reply.has_map = true;
+      reply.map = installed->second;
+      // Refresh the advisory load stats for ranges hosted here, so the map
+      // a client or the CLI fetches reflects live sizes.
+      auto hosted = tablets_.find(request.table);
+      if (hosted != tablets_.end()) {
+        for (tablets::TabletInfo& entry : reply.map.tablets) {
+          for (const auto& tablet : hosted->second) {
+            if (tablet->range() == entry.range) {
+              entry.size_bytes = tablet->ApproximateBytes();
+            }
+          }
+        }
+      }
+    }
+    return reply;
+  }
+  // No installed map: synthesize a display-only view (version 0) from the
+  // hosted tablets so the CLI can render static deployments too. Clients
+  // must not route off it (InstallTabletMap rejects version 0).
+  auto hosted = tablets_.find(request.table);
+  if (hosted == tablets_.end() || hosted->second.empty()) {
+    return reply;
+  }
+  reply.has_map = true;
+  reply.map.table = std::string(request.table);
+  reply.map.version = 0;
+  const auto config_it = configs_.find(request.table);
+  for (const auto& tablet : hosted->second) {
+    tablets::TabletInfo entry;
+    entry.range = tablet->range();
+    if (config_it != configs_.end()) {
+      entry.config = config_it->second.config;
+    } else {
+      entry.config.primary = tablet->is_primary() ? name_ : "";
+      entry.config.members = {name_};
+    }
+    entry.size_bytes = tablet->ApproximateBytes();
+    entry.ops_per_sec = 0;
+    reply.map.tablets.push_back(std::move(entry));
+  }
+  return reply;
+}
+
 void StorageNode::ApplyConfigRolesLocked(const reconfig::ConfigEpoch& config,
                                          std::string_view table) {
   auto it = tablets_.find(table);
@@ -363,6 +584,29 @@ void StorageNode::EnableTelemetry(telemetry::MetricsRegistry* registry) {
   instruments_.queue_delay_us = registry->GetHistogram(
       telemetry::WithLabels("pileus_storage_queue_delay_us",
                             {{"node", name_}}));
+  instruments_.tablet_ops = counter("pileus_tablet_ops_total");
+  instruments_.wrong_tablet = counter("pileus_tablet_wrong_tablet_total");
+  instruments_.tablet_count = registry->GetGauge(
+      telemetry::WithLabels("pileus_tablet_count", {{"node", name_}}));
+  instruments_.tablet_bytes = registry->GetGauge(
+      telemetry::WithLabels("pileus_tablet_bytes", {{"node", name_}}));
+  RefreshTabletGaugesLocked();
+}
+
+void StorageNode::RefreshTabletGaugesLocked() {
+  if (instruments_.tablet_count == nullptr) {
+    return;
+  }
+  int64_t count = 0;
+  int64_t bytes = 0;
+  for (const auto& [table, list] : tablets_) {
+    count += static_cast<int64_t>(list.size());
+    for (const auto& tablet : list) {
+      bytes += static_cast<int64_t>(tablet->ApproximateBytes());
+    }
+  }
+  instruments_.tablet_count->Set(count);
+  instruments_.tablet_bytes->Set(bytes);
 }
 
 void StorageNode::CountRequestLocked(const proto::Message& request,
@@ -394,12 +638,20 @@ void StorageNode::CountRequestLocked(const proto::Message& request,
   } else {
     instruments_.other->Increment();
   }
+  if (proto::IsDataPathRequest(request)) {
+    instruments_.tablet_ops->Increment();
+  }
   if (const auto* err = std::get_if<proto::ErrorReply>(&reply)) {
     instruments_.errors->Increment();
     if (err->code == StatusCode::kNotPrimary) {
       // Broken out separately: during a failover these are redirects, not
       // failures, and the two must be distinguishable on a dashboard.
       instruments_.not_primary->Increment();
+    }
+    if (err->code == StatusCode::kWrongTablet) {
+      // Fences are redirects too: a burst here during a migration is
+      // expected, a steady rate afterwards means stale client maps.
+      instruments_.wrong_tablet->Increment();
     }
   }
   if (!write_path) {
@@ -420,6 +672,7 @@ void StorageNode::CountRequestLocked(const proto::Message& request,
   }
   instruments_.high_timestamp_us->Set(any ? high.physical_us : 0);
   instruments_.log_size->Set(log_entries);
+  RefreshTabletGaugesLocked();
 }
 
 std::optional<proto::Message> StorageNode::AdmitLocked(
@@ -537,6 +790,10 @@ proto::Message StorageNode::Handle(const proto::Message& request) {
 
 proto::Message StorageNode::HandleLocked(const proto::Message& request) {
   if (const auto* get = std::get_if<proto::GetRequest>(&request)) {
+    if (auto fence = CheckTabletRoutingLocked(get->table, get->key,
+                                              /*write=*/false)) {
+      return std::move(*fence);
+    }
     const Tablet* tablet = FindTablet(get->table, get->key);
     if (tablet == nullptr) {
       return MakeError(StatusCode::kWrongNode,
@@ -545,6 +802,10 @@ proto::Message StorageNode::HandleLocked(const proto::Message& request) {
     return tablet->HandleGet(get->key);
   }
   if (const auto* put = std::get_if<proto::PutRequest>(&request)) {
+    if (auto fence =
+            CheckTabletRoutingLocked(put->table, put->key, /*write=*/true)) {
+      return std::move(*fence);
+    }
     Tablet* tablet = FindTablet(put->table, put->key);
     if (tablet == nullptr) {
       return MakeError(StatusCode::kWrongNode,
@@ -560,6 +821,10 @@ proto::Message StorageNode::HandleLocked(const proto::Message& request) {
     return std::move(reply).value();
   }
   if (const auto* del = std::get_if<proto::DeleteRequest>(&request)) {
+    if (auto fence =
+            CheckTabletRoutingLocked(del->table, del->key, /*write=*/true)) {
+      return std::move(*fence);
+    }
     Tablet* tablet = FindTablet(del->table, del->key);
     if (tablet == nullptr) {
       return MakeError(StatusCode::kWrongNode,
@@ -575,6 +840,27 @@ proto::Message StorageNode::HandleLocked(const proto::Message& request) {
     return std::move(reply).value();
   }
   if (const auto* range = std::get_if<proto::RangeRequest>(&request)) {
+    if (auto map_it = tablet_maps_.find(range->table);
+        map_it != tablet_maps_.end()) {
+      // A scan is only as trustworthy as its weakest tablet: fence the whole
+      // request if any overlapping range is assigned elsewhere.
+      const KeyRange wanted{range->begin, range->end};
+      for (const tablets::TabletInfo& entry : map_it->second.tablets) {
+        if (!entry.range.Overlaps(wanted)) {
+          continue;
+        }
+        if (!entry.config.IsMember(name_)) {
+          proto::ErrorReply err;
+          err.code = StatusCode::kWrongTablet;
+          err.message = "tablet " + entry.range.ToString() +
+                        " is not served by node " + name_;
+          err.config_epoch = entry.config.epoch;
+          err.primary_hint = entry.config.primary;
+          err.map_version = map_it->second.version;
+          return proto::Message(std::move(err));
+        }
+      }
+    }
     auto it = tablets_.find(range->table);
     if (it == tablets_.end() || it->second.empty()) {
       return MakeError(StatusCode::kWrongNode,
@@ -646,9 +932,25 @@ proto::Message StorageNode::HandleLocked(const proto::Message& request) {
       return MakeError(StatusCode::kNotFound,
                        "node " + name_ + " hosts no tablets of table");
     }
+    if (sync->has_range) {
+      // Per-tablet pull (migration catch-up / multi-tablet replication):
+      // serve from the tablet owning the range's begin. Sync is control
+      // traffic and is deliberately never fenced by the tablet map — the
+      // migration drain pulls from a source that is already fenced.
+      Tablet* tablet = FindTablet(sync->table, sync->range_begin);
+      if (tablet == nullptr) {
+        return MakeError(StatusCode::kNotFound,
+                         "node " + name_ + " hosts no tablet for range");
+      }
+      return tablet->HandleSync(sync->after, sync->max_versions);
+    }
     return it->second.front()->HandleSync(sync->after, sync->max_versions);
   }
   if (const auto* get_at = std::get_if<proto::GetAtRequest>(&request)) {
+    if (auto fence = CheckTabletRoutingLocked(get_at->table, get_at->key,
+                                              /*write=*/false)) {
+      return std::move(*fence);
+    }
     const Tablet* tablet = FindTablet(get_at->table, get_at->key);
     if (tablet == nullptr) {
       return MakeError(StatusCode::kWrongNode,
@@ -659,11 +961,18 @@ proto::Message StorageNode::HandleLocked(const proto::Message& request) {
   if (const auto* config = std::get_if<proto::ConfigRequest>(&request)) {
     return HandleConfigLocked(*config);
   }
+  if (const auto* tablet_map = std::get_if<proto::TabletMapRequest>(&request)) {
+    return HandleTabletMapLocked(*tablet_map);
+  }
   if (const auto* commit = std::get_if<proto::CommitRequest>(&request)) {
     if (commit->writes.empty()) {
       proto::CommitReply reply;
       reply.committed = true;
       return reply;  // Read-only transactions commit trivially.
+    }
+    if (auto fence = CheckTabletRoutingLocked(
+            commit->table, commit->writes.front().key, /*write=*/true)) {
+      return std::move(*fence);
     }
     if (Status writable = CheckWritableLocked(commit->table); !writable.ok()) {
       return MakeError(writable);

@@ -23,6 +23,7 @@
 #include "src/reconfig/config_epoch.h"
 #include "src/storage/admission.h"
 #include "src/storage/tablet.h"
+#include "src/tablets/tablet_map.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/key_range.h"
 
@@ -58,6 +59,40 @@ class StorageNode {
   // never occurs here: installs of epoch-0 configs are rejected.
   std::optional<reconfig::ConfigEpoch> InstalledConfig(
       std::string_view table) const;
+
+  // --- Dynamic tablets (DESIGN.md Section 14) ---
+
+  // Installs a tablet map version-monotonically (also reachable via a
+  // TabletMapRequest with install=true). Adopting a map applies the
+  // per-tablet roles it implies to hosted tablets — the migration cutover
+  // demotes/fences the source and promotes the target through exactly this
+  // path — and turns on kWrongTablet fencing: data-path requests for ranges
+  // the map assigns elsewhere are rejected with the owner as a hint.
+  // Returns false for version-0, invalid, or stale maps.
+  bool InstallTabletMap(const tablets::TabletMap& map);
+
+  // The installed tablet map (nullopt when none was ever installed).
+  std::optional<tablets::TabletMap> InstalledTabletMap(
+      std::string_view table) const;
+
+  // Splits the hosted tablet containing `split_key` in two at that key.
+  // Purely local: the caller (coordinator) owns publishing the new map.
+  Status SplitTablet(std::string_view table, std::string_view split_key);
+
+  // Removes the hosted tablet with exactly this range (migration source
+  // cleanup after the handoff drained).
+  Status RemoveTablet(std::string_view table, const KeyRange& range);
+
+  // Per-tablet load snapshot for the rebalancer and the CLI.
+  struct LocalTabletStat {
+    KeyRange range;
+    bool is_primary = false;
+    bool is_sync_replica = false;
+    uint64_t size_bytes = 0;
+    uint64_t ops_total = 0;  // Cumulative; the sampler turns this into ops/s.
+    Timestamp high_timestamp;
+  };
+  std::vector<LocalTabletStat> LocalTabletStats(std::string_view table) const;
 
   // Generic dispatch: takes any request message, returns the matching reply
   // (or ErrorReply). This is what transports invoke.
@@ -131,6 +166,18 @@ class StorageNode {
 
   proto::Message HandleLocked(const proto::Message& request);
   proto::Message HandleConfigLocked(const proto::ConfigRequest& request);
+  proto::Message HandleTabletMapLocked(const proto::TabletMapRequest& request);
+  Status SplitTabletLocked(std::string_view table, std::string_view split_key);
+  bool InstallTabletMapLocked(const tablets::TabletMap& map);
+  // Applies the roles the map assigns this node to hosted tablets whose
+  // range matches a map entry (primary iff named primary, sync replica iff
+  // listed; a non-member is demoted outright).
+  void ApplyTabletMapRolesLocked(const tablets::TabletMap& map);
+  // The kWrongTablet fence: non-null when the installed tablet map assigns
+  // `key`'s range to other nodes (or, for writes, to another primary). The
+  // rejection carries the owning primary and the map version as hints.
+  std::optional<proto::Message> CheckTabletRoutingLocked(
+      std::string_view table, std::string_view key, bool write) const;
   // Applies tablet roles implied by `config` (primary iff named primary,
   // sync replica iff listed and not primary). Called when an install raises
   // the epoch.
@@ -182,7 +229,15 @@ class StorageNode {
     telemetry::Counter* shed_writes = nullptr;
     telemetry::Counter* deadline_rejected = nullptr;
     telemetry::HistogramMetric* queue_delay_us = nullptr;
+    // Dynamic-tablet instruments (DESIGN.md Section 14).
+    telemetry::Counter* tablet_ops = nullptr;
+    telemetry::Counter* wrong_tablet = nullptr;
+    telemetry::Gauge* tablet_count = nullptr;
+    telemetry::Gauge* tablet_bytes = nullptr;
   };
+
+  // Refreshes the tablet count/bytes gauges; no-op without telemetry.
+  void RefreshTabletGaugesLocked();
 
   std::string name_;
   std::string site_;
@@ -193,6 +248,8 @@ class StorageNode {
       tablets_;
   // table name -> installed configuration (absent until the first install).
   std::map<std::string, TableConfig, std::less<>> configs_;
+  // table name -> installed tablet map (absent until the first install).
+  std::map<std::string, tablets::TabletMap, std::less<>> tablet_maps_;
   uint64_t requests_served_ = 0;
   Instruments instruments_;
   std::unique_ptr<AdmissionController> admission_;

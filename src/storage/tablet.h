@@ -11,6 +11,8 @@
 #ifndef PILEUS_SRC_STORAGE_TABLET_H_
 #define PILEUS_SRC_STORAGE_TABLET_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -53,6 +55,28 @@ class Tablet {
   // timestamps stay strictly increasing across the role change.
   void SetPrimary(bool is_primary);
   void SetSyncReplica(bool is_sync) { options_.is_sync_replica = is_sync; }
+
+  // --- Load stats and splits (DESIGN.md Section 14) ---
+
+  // Data-path operations served since creation (reads and writes alike);
+  // the manager samples this to derive ops/s for the rebalancer.
+  uint64_t ops_total() const { return ops_total_; }
+
+  // Retained user bytes; drives size-based split decisions.
+  uint64_t ApproximateBytes() const { return store_.ApproximateBytes(); }
+
+  // A pivot splitting the key population roughly in half, restricted to keys
+  // strictly interior to this tablet's range. nullopt when no such pivot
+  // exists (too few keys).
+  std::optional<std::string> MedianKey() const;
+
+  // Splits this tablet at `split_key`: this tablet shrinks to
+  // [begin, split_key) and the returned sibling owns [split_key, end). Both
+  // children keep the parent's roles, high timestamp, and timestamp
+  // allocator floor, and they partition the parent's update-log suffix by
+  // key — so replication pulls and audits against either child see exactly
+  // the versions the parent would have served for that half.
+  Result<std::unique_ptr<Tablet>> Split(std::string_view split_key);
 
   // --- Request handlers (storage nodes know nothing about SLAs) ---
 
@@ -129,6 +153,8 @@ class Tablet {
   UpdateLog update_log_;
   Timestamp high_timestamp_ = Timestamp::Zero();
   Timestamp last_assigned_ = Timestamp::Zero();
+  // Data-path ops served; mutable because reads are logically const.
+  mutable uint64_t ops_total_ = 0;
 };
 
 }  // namespace pileus::storage

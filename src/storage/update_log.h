@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <string_view>
 #include <vector>
 
 #include "src/common/timestamp.h"
@@ -48,6 +49,13 @@ class UpdateLog {
   // false if truncation removed older entries, i.e. the copy is not the
   // complete committed history.
   std::vector<proto::ObjectVersion> Export(bool* contiguous = nullptr) const;
+
+  // Tablet split (DESIGN.md Section 14): moves entries with key >= split_key
+  // into a new log, preserving timestamp order on both sides. The two logs
+  // jointly re-tile this log's suffix, and both inherit the truncation
+  // point, so replication pulls against either child stay exactly as
+  // contiguous as they were against the parent.
+  UpdateLog ExtractUpper(std::string_view split_key);
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }

@@ -9,12 +9,21 @@ VersionedStore::VersionedStore(Options options) : options_(options) {
   assert(options_.history_limit >= 1);
 }
 
+namespace {
+
+uint64_t VersionBytes(const proto::ObjectVersion& v) {
+  return v.key.size() + v.value.size();
+}
+
+}  // namespace
+
 bool VersionedStore::Apply(const proto::ObjectVersion& version) {
   auto it = chains_.find(version.key);
   if (it == chains_.end()) {
     Chain chain;
     chain.versions.push_back(version);
     chains_.emplace(version.key, std::move(chain));
+    bytes_ += VersionBytes(version);
     return true;
   }
   Chain& chain = it->second;
@@ -26,7 +35,9 @@ bool VersionedStore::Apply(const proto::ObjectVersion& version) {
     return true;  // Exact duplicate; idempotent.
   }
   chain.versions.insert(chain.versions.begin(), version);
+  bytes_ += VersionBytes(version);
   if (chain.versions.size() > options_.history_limit) {
+    bytes_ -= VersionBytes(chain.versions.back());
     chain.versions.pop_back();
     chain.pruned = true;
   }
@@ -90,6 +101,9 @@ size_t VersionedStore::CollectTombstones(const Timestamp& horizon) {
   for (auto it = chains_.begin(); it != chains_.end();) {
     const proto::ObjectVersion& latest = it->second.versions.front();
     if (latest.is_tombstone && latest.timestamp < horizon) {
+      for (const proto::ObjectVersion& v : it->second.versions) {
+        bytes_ -= VersionBytes(v);
+      }
       it = chains_.erase(it);
       ++collected;
     } else {
@@ -97,6 +111,32 @@ size_t VersionedStore::CollectTombstones(const Timestamp& horizon) {
     }
   }
   return collected;
+}
+
+std::optional<std::string> VersionedStore::MedianKey() const {
+  if (chains_.size() < 2) {
+    return std::nullopt;
+  }
+  auto mid = std::next(chains_.begin(), chains_.size() / 2);
+  if (mid->first == chains_.begin()->first) {
+    return std::nullopt;
+  }
+  return mid->first;
+}
+
+VersionedStore VersionedStore::ExtractUpper(std::string_view split_key) {
+  VersionedStore upper(options_);
+  auto it = chains_.lower_bound(split_key);
+  while (it != chains_.end()) {
+    for (const proto::ObjectVersion& v : it->second.versions) {
+      const uint64_t sz = VersionBytes(v);
+      bytes_ -= sz;
+      upper.bytes_ += sz;
+    }
+    auto node = chains_.extract(it++);
+    upper.chains_.insert(std::move(node));
+  }
+  return upper;
 }
 
 std::vector<proto::ObjectVersion> VersionedStore::ScanRange(

@@ -76,6 +76,21 @@ class VersionedStore {
 
   size_t key_count() const { return chains_.size(); }
 
+  // Retained user bytes (key + value over every retained version), maintained
+  // incrementally so it is O(1) to read. Drives split thresholds and the
+  // pileus_tablet_bytes gauge.
+  uint64_t ApproximateBytes() const { return bytes_; }
+
+  // The middle key of the store (a split pivot yielding two halves of about
+  // equal key count). nullopt when the store has fewer than two keys or the
+  // middle key equals the first key (nothing strictly interior to split at).
+  std::optional<std::string> MedianKey() const;
+
+  // Moves every chain with key >= split_key into a new store with the same
+  // options; this store keeps the lower half. The split side of a tablet
+  // split (DESIGN.md Section 14).
+  VersionedStore ExtractUpper(std::string_view split_key);
+
  private:
   struct Chain {
     // Newest first.
@@ -86,6 +101,7 @@ class VersionedStore {
 
   Options options_;
   std::map<std::string, Chain, std::less<>> chains_;
+  uint64_t bytes_ = 0;
 };
 
 }  // namespace pileus::storage

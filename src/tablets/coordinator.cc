@@ -1,0 +1,394 @@
+#include "src/tablets/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace pileus::tablets {
+
+namespace {
+
+// The map entry whose range begins exactly at `begin` (tablet identity for
+// control operations), or nullptr.
+TabletInfo* EntryBeginningAt(TabletMap& map, std::string_view begin) {
+  for (TabletInfo& info : map.tablets) {
+    if (info.range.begin == begin) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TabletCoordinator::TabletCoordinator(TabletMap initial, Clock* clock,
+                                     Options options)
+    : map_(std::move(initial)), clock_(clock), options_(std::move(options)) {
+  assert(map_.Validate().ok() && "coordinator seeded with an invalid map");
+  map_.version = std::max<uint64_t>(map_.version, 1);
+}
+
+void TabletCoordinator::RegisterNode(storage::StorageNode* node) {
+  Member member;
+  member.node = node;
+  member.manager =
+      std::make_unique<TabletManager>(node, options_.manager, clock_);
+  members_[node->name()] = std::move(member);
+}
+
+void TabletCoordinator::EnableTelemetry(telemetry::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    splits_counter_ = nullptr;
+    migrations_counter_ = nullptr;
+    migration_failures_counter_ = nullptr;
+    migration_window_us_ = nullptr;
+    return;
+  }
+  const auto labeled = [&](std::string_view base) {
+    return telemetry::WithLabels(base, {{"table", map_.table}});
+  };
+  splits_counter_ = registry->GetCounter(labeled("pileus_tablet_splits_total"));
+  migrations_counter_ =
+      registry->GetCounter(labeled("pileus_tablet_migrations_total"));
+  migration_failures_counter_ =
+      registry->GetCounter(labeled("pileus_tablet_migration_failures_total"));
+  migration_window_us_ =
+      registry->GetHistogram(labeled("pileus_tablet_migration_window_us"));
+}
+
+TabletCoordinator::Member* TabletCoordinator::FindMember(
+    const std::string& name) {
+  auto it = members_.find(name);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+Status TabletCoordinator::InstallOn(storage::StorageNode* node,
+                                    const TabletMap& map) {
+  if (!node->InstallTabletMap(map)) {
+    return Status(StatusCode::kInternal,
+                  node->name() + " refused tablet map v" +
+                      std::to_string(map.version) + " for " + map.table);
+  }
+  return Status::Ok();
+}
+
+Status TabletCoordinator::PublishMap() {
+  Status first_refusal = Status::Ok();
+  for (auto& [name, member] : members_) {
+    if (!Reachable(name)) {
+      continue;  // Next publish (or a fence-driven refresh) catches it up.
+    }
+    const Status status = InstallOn(member.node, map_);
+    if (!status.ok() && first_refusal.ok()) {
+      first_refusal = status;
+    }
+  }
+  return first_refusal;
+}
+
+Status TabletCoordinator::ExecuteSplit(std::string_view split_key) {
+  const TabletInfo* entry = map_.OwnerOf(split_key);
+  if (entry == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no tablet covers key '" + std::string(split_key) + "'");
+  }
+  if (!entry->range.IsSplittable(split_key)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "split key '" + std::string(split_key) +
+                      "' is not strictly inside " + entry->range.ToString());
+  }
+
+  // Split every reachable member's copy; the primary is mandatory (its copy
+  // feeds replication for both children). A partitioned secondary keeps its
+  // unsplit tablet, which is harmless: it covers both children's keys, and
+  // routing is governed by the map, not by tablet boundaries.
+  Member* primary = FindMember(entry->config.primary);
+  if (primary == nullptr || !Reachable(entry->config.primary)) {
+    return Status(StatusCode::kUnavailable,
+                  "primary " + entry->config.primary + " unreachable");
+  }
+  PILEUS_RETURN_IF_ERROR(
+      primary->node->SplitTablet(map_.table, split_key));
+  for (const std::string& name : entry->config.members) {
+    if (name == entry->config.primary) {
+      continue;
+    }
+    Member* member = FindMember(name);
+    if (member != nullptr && Reachable(name)) {
+      (void)member->node->SplitTablet(map_.table, split_key);
+    }
+  }
+
+  // Retile the entry; both children inherit the parent's config. Size/ops
+  // are advisory, so a rough halving holds until the next sample.
+  TabletMap next = map_;
+  next.version = map_.version + 1;
+  for (size_t i = 0; i < next.tablets.size(); ++i) {
+    if (next.tablets[i].range != entry->range) {
+      continue;
+    }
+    TabletInfo lower = next.tablets[i];
+    TabletInfo upper = next.tablets[i];
+    lower.range.end = std::string(split_key);
+    upper.range.begin = std::string(split_key);
+    lower.size_bytes /= 2;
+    upper.size_bytes -= lower.size_bytes;
+    lower.ops_per_sec /= 2;
+    upper.ops_per_sec -= lower.ops_per_sec;
+    next.tablets[i] = std::move(lower);
+    next.tablets.insert(next.tablets.begin() + static_cast<long>(i) + 1,
+                        std::move(upper));
+    break;
+  }
+  map_ = std::move(next);
+  ++splits_;
+  if (splits_counter_ != nullptr) {
+    splits_counter_->Increment();
+  }
+  return PublishMap();
+}
+
+Status TabletCoordinator::CatchUp(storage::StorageNode* source,
+                                  storage::StorageNode* target,
+                                  const KeyRange& range, int max_rounds) {
+  for (int round = 0; max_rounds <= 0 || round < max_rounds; ++round) {
+    proto::SyncRequest pull;
+    pull.table = map_.table;
+    pull.max_versions = options_.catchup_batch;
+    pull.has_range = true;
+    pull.range_begin = range.begin;
+    pull.range_end = range.end;
+    pull.after = target->WithLock([&] {
+      const storage::Tablet* tablet =
+          target->FindTablet(map_.table, range.begin);
+      return tablet == nullptr ? Timestamp::Zero() : tablet->high_timestamp();
+    });
+
+    const proto::Message reply = source->Handle(pull);
+    const auto* sync = std::get_if<proto::SyncReply>(&reply);
+    if (sync == nullptr) {
+      const auto* error = std::get_if<proto::ErrorReply>(&reply);
+      return Status(StatusCode::kUnavailable,
+                    "catch-up pull from " + source->name() + " failed: " +
+                        (error != nullptr ? error->message : "bad reply"));
+    }
+    target->WithLock([&] {
+      storage::Tablet* tablet = target->FindTablet(map_.table, range.begin);
+      if (tablet != nullptr) {
+        tablet->ApplySync(*sync);
+      }
+    });
+    if (!sync->has_more) {
+      return Status::Ok();
+    }
+  }
+  // Pre-cutover catch-up only: the source is still taking writes, so a
+  // never-converging pull is expected under heavy load. The caller fences
+  // the source and drains the (now finite) remainder.
+  return Status::Ok();
+}
+
+Status TabletCoordinator::ExecuteMigration(std::string_view range_begin,
+                                           const std::string& to) {
+  TabletInfo* entry = EntryBeginningAt(map_, range_begin);
+  if (entry == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "no tablet begins at '" + std::string(range_begin) + "'");
+  }
+  const std::string from = entry->config.primary;
+  const KeyRange range = entry->range;
+  if (from == to) {
+    return Status(StatusCode::kInvalidArgument,
+                  to + " already holds the primary for " + range.ToString());
+  }
+  Member* source = FindMember(from);
+  Member* target = FindMember(to);
+  if (source == nullptr || target == nullptr) {
+    return Status(StatusCode::kNotFound, "unregistered migration endpoint");
+  }
+  if (!Reachable(from) || !Reachable(to)) {
+    return Status(StatusCode::kUnavailable, "migration endpoint unreachable");
+  }
+
+  // Phase 1: target starts a secondary copy and catches up while the source
+  // keeps serving. No unavailability, no map change yet — aborting here
+  // just leaves a stray secondary we remove.
+  const bool target_hosts = target->node->WithLock([&] {
+    return target->node->FindTablet(map_.table, range.begin) != nullptr;
+  });
+  if (!target_hosts) {
+    storage::Tablet::Options tablet_options;
+    tablet_options.range = range;
+    tablet_options.is_primary = false;
+    PILEUS_RETURN_IF_ERROR(target->node->AddTablet(map_.table, tablet_options));
+  }
+  Status caught_up = CatchUp(source->node, target->node, range,
+                             options_.max_catchup_rounds);
+  if (!caught_up.ok()) {
+    if (!target_hosts) {
+      (void)target->node->RemoveTablet(map_.table, range);
+    }
+    ++migration_failures_;
+    if (migration_failures_counter_ != nullptr) {
+      migration_failures_counter_->Increment();
+    }
+    return caught_up;
+  }
+
+  // Phase 2: cutover. Install the next map on the SOURCE first — demoting
+  // and fencing it opens the write-unavailability window.
+  TabletMap next = map_;
+  next.version = map_.version + 1;
+  TabletInfo* next_entry = EntryBeginningAt(next, range_begin);
+  next_entry->config.epoch += 1;
+  next_entry->config.primary = to;
+  std::replace(next_entry->config.members.begin(),
+               next_entry->config.members.end(), from, to);
+  if (!next_entry->config.IsMember(to)) {
+    next_entry->config.members.push_back(to);
+  }
+  next_entry->config.sync_members.erase(
+      std::remove(next_entry->config.sync_members.begin(),
+                  next_entry->config.sync_members.end(), from),
+      next_entry->config.sync_members.end());
+
+  const MicrosecondCount window_start_us = clock_->NowMicros();
+  const Status fenced = InstallOn(source->node, next);
+  if (!fenced.ok()) {
+    if (!target_hosts) {
+      (void)target->node->RemoveTablet(map_.table, range);
+    }
+    ++migration_failures_;
+    if (migration_failures_counter_ != nullptr) {
+      migration_failures_counter_->Increment();
+    }
+    return fenced;
+  }
+  // Point of no return: the source is fenced under version+1, so the
+  // coordinator must adopt that version whatever happens next.
+  map_ = next;
+
+  // Phase 3: drain the last acked writes (Sync is never fenced), then
+  // promote the target by installing the map there.
+  Status drained = CatchUp(source->node, target->node, range, /*max_rounds=*/0);
+  if (drained.ok()) {
+    drained = InstallOn(target->node, map_);
+  }
+  if (!drained.ok()) {
+    // Roll back under yet another epoch: re-fence to the old primary so the
+    // range regains a writable owner. Nothing acked was dropped — the
+    // source never discarded its copy.
+    TabletMap rollback = map_;
+    rollback.version = map_.version + 1;
+    TabletInfo* rb = EntryBeginningAt(rollback, range_begin);
+    rb->config.epoch += 1;
+    rb->config.primary = from;
+    std::replace(rb->config.members.begin(), rb->config.members.end(), to,
+                 from);
+    map_ = std::move(rollback);
+    (void)InstallOn(source->node, map_);
+    (void)target->node->RemoveTablet(map_.table, range);
+    (void)PublishMap();
+    ++migration_failures_;
+    if (migration_failures_counter_ != nullptr) {
+      migration_failures_counter_->Increment();
+    }
+    return drained;
+  }
+  const MicrosecondCount window_us = clock_->NowMicros() - window_start_us;
+  if (migration_window_us_ != nullptr) {
+    migration_window_us_->Record(window_us);
+  }
+
+  // The range is writable again; cleanup and fan-out are off the window.
+  (void)source->node->RemoveTablet(map_.table, range);
+  ++migrations_;
+  if (migrations_counter_ != nullptr) {
+    migrations_counter_->Increment();
+  }
+  return PublishMap();
+}
+
+std::vector<TabletLoad> TabletCoordinator::SampleLoads() {
+  // One Sample() per reachable node, keyed back to map entries by range
+  // begin. Stats stick to the entry whose primary reported them.
+  std::map<std::string, TabletManager::TabletStat, std::less<>> by_begin;
+  for (auto& [name, member] : members_) {
+    if (!Reachable(name)) {
+      continue;
+    }
+    for (TabletManager::TabletStat& stat : member.manager->Sample(map_.table)) {
+      if (stat.is_primary) {
+        by_begin[stat.range.begin] = std::move(stat);
+      }
+    }
+  }
+  std::vector<TabletLoad> loads;
+  for (TabletInfo& info : map_.tablets) {
+    auto it = by_begin.find(info.range.begin);
+    if (it == by_begin.end()) {
+      continue;  // Primary unreachable (or mid-churn); skip this round.
+    }
+    TabletLoad load;
+    load.range = info.range;
+    load.primary = info.config.primary;
+    load.size_bytes = it->second.size_bytes;
+    load.ops_per_sec = it->second.ops_per_sec;
+    // Refresh the map's advisory stats for the CLI and map queries.
+    info.size_bytes = load.size_bytes;
+    info.ops_per_sec = load.ops_per_sec;
+    loads.push_back(std::move(load));
+  }
+  return loads;
+}
+
+std::vector<RebalanceAction> TabletCoordinator::RunRebalanceRound(
+    const Rebalancer& rebalancer) {
+  std::vector<TabletLoad> loads = SampleLoads();
+
+  // Attach split pivots for tablets over the planner's thresholds.
+  const Rebalancer::Options& policy = rebalancer.options();
+  for (TabletLoad& load : loads) {
+    const bool over_size = policy.split_threshold_bytes > 0 &&
+                           load.size_bytes > policy.split_threshold_bytes;
+    const bool over_ops = policy.split_threshold_ops_per_sec > 0 &&
+                          load.ops_per_sec > policy.split_threshold_ops_per_sec;
+    if (!over_size && !over_ops) {
+      continue;
+    }
+    Member* primary = FindMember(load.primary);
+    if (primary == nullptr || !Reachable(load.primary)) {
+      continue;
+    }
+    storage::StorageNode* node = primary->node;
+    const KeyRange& range = load.range;
+    std::optional<std::string> median = node->WithLock(
+        [&]() -> std::optional<std::string> {
+          const storage::Tablet* tablet =
+              node->FindTablet(map_.table, range.begin);
+          return tablet == nullptr ? std::nullopt : tablet->MedianKey();
+        });
+    if (median.has_value()) {
+      load.split_key = *std::move(median);
+    }
+  }
+
+  std::vector<std::string> nodes;
+  for (const auto& [name, member] : members_) {
+    if (Reachable(name)) {
+      nodes.push_back(name);
+    }
+  }
+  std::vector<RebalanceAction> actions = rebalancer.Plan(loads, nodes);
+  for (const RebalanceAction& action : actions) {
+    if (action.kind == RebalanceAction::Kind::kSplit) {
+      (void)ExecuteSplit(action.split_key);
+    } else {
+      (void)ExecuteMigration(action.range.begin, action.to);
+    }
+  }
+  return actions;
+}
+
+}  // namespace pileus::tablets

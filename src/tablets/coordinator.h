@@ -1,0 +1,143 @@
+// Tablet coordinator: the single writer of a table's TabletMap
+// (DESIGN.md Section 14).
+//
+// The coordinator owns the authoritative map — which key range lives where,
+// under which per-tablet ConfigEpoch — and executes the operations that
+// change it: splits and live migrations. Storage nodes install each new map
+// version monotonically and fence misrouted requests with kWrongTablet, so
+// correctness never depends on every node (or any client) having the latest
+// map; stale parties are redirected by the fences.
+//
+// Live migration reuses the Section 6.2 epoch/fencing machinery per tablet:
+//   1. The target starts a secondary copy and catches up via ranged Sync
+//      pulls while the source keeps serving (no unavailability yet).
+//   2. Cutover: the new map (epoch+1, target as primary) is installed on the
+//      SOURCE first, which demotes it and fences writes for the range —
+//      this instant opens the write-unavailability window.
+//   3. A final drain pull (Sync is control traffic, never fenced) moves the
+//      last acked writes, then the map is installed on the target, which
+//      promotes it — closing the window. Promotion seeds the timestamp
+//      allocator above everything transferred, so update timestamps stay
+//      strictly increasing across the move.
+// A failure after cutover rolls forward or back under yet another epoch;
+// in every interleaving at most one node accepts writes for the range and
+// no acked write is dropped.
+//
+// Like reconfig::FailoverCoordinator, this is an in-process control plane:
+// it drives registered StorageNodes directly (the experiment runner models
+// partitions through the `reachable` hook) rather than owning a transport.
+
+#ifndef PILEUS_SRC_TABLETS_COORDINATOR_H_
+#define PILEUS_SRC_TABLETS_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/storage/storage_node.h"
+#include "src/tablets/manager.h"
+#include "src/tablets/rebalancer.h"
+#include "src/tablets/tablet_map.h"
+#include "src/telemetry/metrics.h"
+
+namespace pileus::tablets {
+
+class TabletCoordinator {
+ public:
+  struct Options {
+    // Reachability oracle consulted before touching a node; null = always
+    // reachable. The churn runner wires this to its partition model.
+    std::function<bool(const std::string& node)> reachable;
+    // Versions per catch-up pull and the cap on pre-cutover rounds (the
+    // final post-fence drain is not capped: the source is fenced, so the
+    // remainder is finite).
+    uint32_t catchup_batch = 512;
+    int max_catchup_rounds = 256;
+    // Split thresholds handed to each registered node's TabletManager.
+    TabletManager::Options manager;
+  };
+
+  // `initial` must validate; its version is bumped to at least 1.
+  TabletCoordinator(TabletMap initial, Clock* clock, Options options);
+  TabletCoordinator(TabletMap initial, Clock* clock)
+      : TabletCoordinator(std::move(initial), clock, Options()) {}
+
+  const TabletMap& map() const { return map_; }
+  const std::string& table() const { return map_.table; }
+
+  // Registers a node the coordinator may place tablets on. Not owned; must
+  // outlive the coordinator.
+  void RegisterNode(storage::StorageNode* node);
+
+  // Registers pileus_tablet_{splits,migrations,migration_failures}_total and
+  // the pileus_tablet_migration_window_us histogram (the fence-to-promote
+  // write-unavailability window). The registry is not owned.
+  void EnableTelemetry(telemetry::MetricsRegistry* registry);
+
+  // Installs the current map on every registered, reachable node. Returns
+  // the first install refusal (a refusal means a node claims a newer map —
+  // a split coordinator brain, which should be loud); unreachable nodes are
+  // skipped silently and caught up by the next publish.
+  Status PublishMap();
+
+  // Splits the tablet containing `split_key` at that key on every reachable
+  // member (the primary must be reachable), then publishes the map with the
+  // entry retiled into [begin, key) and [key, end).
+  Status ExecuteSplit(std::string_view split_key);
+
+  // Live-migrates the tablet whose range begins at `range_begin` so that
+  // `to` becomes its primary (replacing the current primary in the member
+  // set). See the file comment for the protocol and its crash story.
+  Status ExecuteMigration(std::string_view range_begin, const std::string& to);
+
+  // One policy tick: samples per-tablet load from every reachable node,
+  // refreshes the map's advisory stats, asks `rebalancer` for a plan, and
+  // executes it. Returns the actions attempted (telemetry counts failures).
+  std::vector<RebalanceAction> RunRebalanceRound(const Rebalancer& rebalancer);
+
+  // Per-tablet loads as last sampled (rebalancer input; exposed for tests).
+  std::vector<TabletLoad> SampleLoads();
+
+  uint64_t splits() const { return splits_; }
+  uint64_t migrations() const { return migrations_; }
+  uint64_t migration_failures() const { return migration_failures_; }
+
+ private:
+  struct Member {
+    storage::StorageNode* node = nullptr;  // Not owned.
+    std::unique_ptr<TabletManager> manager;
+  };
+
+  bool Reachable(const std::string& node) const {
+    return !options_.reachable || options_.reachable(node);
+  }
+  Member* FindMember(const std::string& name);
+  // Pulls `range` versions from `source` into `target`'s secondary tablet
+  // until the source has no more (or `max_rounds` pre-cutover rounds pass).
+  Status CatchUp(storage::StorageNode* source, storage::StorageNode* target,
+                 const KeyRange& range, int max_rounds);
+  // Installs `map` on one node, requiring acceptance.
+  Status InstallOn(storage::StorageNode* node, const TabletMap& map);
+
+  TabletMap map_;
+  Clock* clock_;  // Not owned.
+  Options options_;
+  std::map<std::string, Member> members_;
+  uint64_t splits_ = 0;
+  uint64_t migrations_ = 0;
+  uint64_t migration_failures_ = 0;
+  telemetry::Counter* splits_counter_ = nullptr;
+  telemetry::Counter* migrations_counter_ = nullptr;
+  telemetry::Counter* migration_failures_counter_ = nullptr;
+  telemetry::HistogramMetric* migration_window_us_ = nullptr;
+};
+
+}  // namespace pileus::tablets
+
+#endif  // PILEUS_SRC_TABLETS_COORDINATOR_H_

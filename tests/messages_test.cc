@@ -469,11 +469,92 @@ TEST(MessagesTest, MonitoringMessagesAreControlTraffic) {
   EXPECT_FALSE(IsDataPathRequest(Message(DigestPush{})));
 }
 
+TEST(MessagesTest, TabletMapRequestRoundTrip) {
+  // Wire v6: the dynamic-tablet map exchange (DESIGN.md Section 14).
+  TabletMapRequest in;
+  in.table = "orders";
+  in.have_version = 7;
+  in.install = true;
+  in.map.table = "orders";
+  in.map.version = 8;
+  tablets::TabletInfo left;
+  left.range = KeyRange{"", "m"};
+  left.config.epoch = 3;
+  left.config.primary = "alpha";
+  left.config.members = {"alpha", "beta"};
+  left.config.sync_members = {"beta"};
+  left.size_bytes = 4096;
+  left.ops_per_sec = 120;
+  tablets::TabletInfo right;
+  right.range = KeyRange{"m", ""};
+  right.config.epoch = 5;
+  right.config.primary = "beta";
+  right.config.members = {"beta"};
+  in.map.tablets = {left, right};
+  in.split_key = "q";
+  const TabletMapRequest out = RoundTrip(in);
+  EXPECT_EQ(out.table, "orders");
+  EXPECT_EQ(out.have_version, 7u);
+  EXPECT_TRUE(out.install);
+  EXPECT_EQ(out.map, in.map);
+  EXPECT_EQ(out.split_key, "q");
+}
+
+TEST(MessagesTest, TabletMapReplyRoundTrip) {
+  TabletMapReply in;
+  in.accepted = true;
+  in.has_map = true;
+  in.map.table = "t";
+  in.map.version = 12;
+  tablets::TabletInfo whole;
+  whole.range = KeyRange::All();
+  whole.config.epoch = 1;
+  whole.config.primary = "n1";
+  whole.config.members = {"n1"};
+  in.map.tablets = {whole};
+  const TabletMapReply out = RoundTrip(in);
+  EXPECT_TRUE(out.accepted);
+  EXPECT_TRUE(out.has_map);
+  EXPECT_EQ(out.map, in.map);
+}
+
+TEST(MessagesTest, ErrorReplyCarriesTabletHints) {
+  // A kWrongTablet fence redirects the client: the owning primary and the
+  // fencing node's map version ride on the error.
+  ErrorReply in;
+  in.code = StatusCode::kWrongTablet;
+  in.message = "tablet moved";
+  in.primary_hint = "gamma";
+  in.map_version = 9;
+  const ErrorReply out = RoundTrip(in);
+  EXPECT_EQ(out.code, StatusCode::kWrongTablet);
+  EXPECT_EQ(out.primary_hint, "gamma");
+  EXPECT_EQ(out.map_version, 9u);
+}
+
+TEST(MessagesTest, RangedSyncRoundTrip) {
+  // Wire v6: migration catch-up pulls ask for one tablet's range only.
+  SyncRequest in;
+  in.table = "t";
+  in.after = Timestamp{100, 1};
+  in.max_versions = 64;
+  in.has_range = true;
+  in.range_begin = "k100";
+  in.range_end = "k200";
+  const SyncRequest out = RoundTrip(in);
+  EXPECT_TRUE(out.has_range);
+  EXPECT_EQ(out.range_begin, "k100");
+  EXPECT_EQ(out.range_end, "k200");
+  EXPECT_EQ(out.max_versions, 64u);
+}
+
 TEST(MessagesTest, AbsurdConditionCountRejected) {
   // Hand-craft a MonitorReport claiming 2^40 conditions.
   std::string bytes;
   bytes.push_back(static_cast<char>(MessageType::kMonitorReport));
-  bytes.push_back('\x05');  // Wire version.
+  bytes.push_back('\x06');  // Wire version (must be current: a stale
+                            // version byte would trip the version check
+                            // before the count guard this test is about).
   bytes.push_back('\x01');  // reporter = "r"
   bytes.push_back('r');
   bytes.push_back('\x01');  // seq = 1
@@ -490,7 +571,8 @@ TEST(MessagesTest, AbsurdSyncCountRejected) {
   // Hand-craft a SyncReply header claiming 2^40 versions.
   std::string bytes;
   bytes.push_back(static_cast<char>(MessageType::kSyncReply));
-  bytes.push_back('\x01');  // Wire version.
+  bytes.push_back('\x06');  // Wire version (current, so the count guard —
+                            // not the version check — does the rejecting).
   // Varint for 2^40.
   for (int i = 0; i < 5; ++i) {
     bytes.push_back('\x80');

@@ -4,10 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
 
 #include "src/common/clock.h"
 #include "src/core/sharded_client.h"
 #include "src/storage/storage_node.h"
+#include "src/tablets/tablet_map.h"
 
 namespace pileus::core {
 namespace {
@@ -288,6 +293,195 @@ TEST_F(ShardedClientTest, OneCacheSpansAllShards) {
 
   EXPECT_EQ(client_->cache_serves(), 2u);
   EXPECT_EQ(cache.Stats().entries, 2u);
+}
+
+// --- Dynamic mode: map-driven routing, fence-triggered refresh ---
+
+class DynamicShardedClientTest : public ::testing::Test {
+ protected:
+  DynamicShardedClientTest() : clock_(SecondsToMicroseconds(1000)) {
+    node_a_ = std::make_unique<storage::StorageNode>("A", "site-a", &clock_);
+    node_b_ = std::make_unique<storage::StorageNode>("B", "site-b", &clock_);
+  }
+
+  void AddTablet(storage::StorageNode& node, const KeyRange& range,
+                 bool is_primary) {
+    storage::Tablet::Options options;
+    options.range = range;
+    options.is_primary = is_primary;
+    ASSERT_TRUE(node.AddTablet("t", options).ok());
+  }
+
+  tablets::TabletInfo Entry(std::string begin, std::string end,
+                            uint64_t epoch, std::string primary) {
+    tablets::TabletInfo info;
+    info.range.begin = std::move(begin);
+    info.range.end = std::move(end);
+    info.config.epoch = epoch;
+    info.config.primary = primary;
+    info.config.members = {std::move(primary)};
+    return info;
+  }
+
+  void BuildDynamic(tablets::TabletMap initial) {
+    ShardedClient::DynamicOptions dynamic;
+    dynamic.connect =
+        [this](const std::string& name) -> std::shared_ptr<NodeConnection> {
+      storage::StorageNode* node =
+          name == "A" ? node_a_.get() : (name == "B" ? node_b_.get() : nullptr);
+      if (node == nullptr) {
+        return nullptr;
+      }
+      return std::make_shared<DirectConnection>(node, &clock_, 1 * kMs);
+    };
+    Result<std::unique_ptr<ShardedClient>> created = ShardedClient::CreateDynamic(
+        std::move(initial), &clock_, PileusClient::Options{},
+        std::move(dynamic));
+    ASSERT_TRUE(created.ok()) << created.status();
+    client_ = std::move(created).value();
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<storage::StorageNode> node_a_;
+  std::unique_ptr<storage::StorageNode> node_b_;
+  std::unique_ptr<ShardedClient> client_;
+};
+
+TEST_F(DynamicShardedClientTest, WrongTabletFenceTriggersMapRefresh) {
+  // A starts as primary for the whole keyspace (two tablets); B holds a
+  // secondary of the upper range.
+  AddTablet(*node_a_, KeyRange{"", "m"}, /*is_primary=*/true);
+  AddTablet(*node_a_, KeyRange{"m", ""}, /*is_primary=*/true);
+  AddTablet(*node_b_, KeyRange{"m", ""}, /*is_primary=*/false);
+
+  tablets::TabletMap v1;
+  v1.table = "t";
+  v1.version = 1;
+  v1.tablets.push_back(Entry("", "m", 1, "A"));
+  v1.tablets.push_back(Entry("m", "", 1, "A"));
+  BuildDynamic(v1);
+  ASSERT_EQ(client_->map_version(), 1u);
+
+  // The upper range migrates to B behind the client's back: the nodes adopt
+  // map v2 (A demotes and fences, B promotes), the client still holds v1.
+  tablets::TabletMap v2 = v1;
+  v2.version = 2;
+  v2.tablets[1] = Entry("m", "", 2, "B");
+  ASSERT_TRUE(node_a_->InstallTabletMap(v2));
+  ASSERT_TRUE(node_b_->InstallTabletMap(v2));
+
+  // The client's first write to the moved range is fenced with kWrongTablet,
+  // refreshes its map from the fencing node, and retries against B — the
+  // caller sees one clean success, not an error.
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "zebra", "high").ok());
+  EXPECT_EQ(client_->map_version(), 2u);
+  EXPECT_EQ(client_->map_refreshes(), 1u);
+  EXPECT_TRUE(node_b_->FindTablet("t", "zebra")->HandleGet("zebra").found);
+  EXPECT_FALSE(node_a_->FindTablet("t", "zebra")->HandleGet("zebra").found);
+
+  // Writes to the unmoved range still land on A with no further refresh.
+  ASSERT_TRUE(client_->Put(session, "apple", "low").ok());
+  EXPECT_EQ(client_->map_refreshes(), 1u);
+  EXPECT_TRUE(node_a_->FindTablet("t", "apple")->HandleGet("apple").found);
+}
+
+TEST_F(DynamicShardedClientTest, UnrouteableKeyReturnsUnavailable) {
+  // The initial map covers only the lower half — dynamic mode tolerates the
+  // gap, but keys inside it must fail honestly instead of misrouting.
+  AddTablet(*node_a_, KeyRange{"", "m"}, /*is_primary=*/true);
+  tablets::TabletMap partial;
+  partial.table = "t";
+  partial.version = 1;
+  partial.tablets.push_back(Entry("", "m", 1, "A"));
+  BuildDynamic(partial);
+
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "apple", "low").ok());
+
+  const Result<GetResult> gap = client_->Get(session, "zebra");
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.status().code(), StatusCode::kUnavailable);
+  const Result<PutResult> gap_put = client_->Put(session, "zebra", "v");
+  ASSERT_FALSE(gap_put.ok());
+  EXPECT_EQ(gap_put.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(DynamicShardedClientTest, UnrouteableKeyRecoversAfterMapFillsGap) {
+  AddTablet(*node_a_, KeyRange{"", "m"}, /*is_primary=*/true);
+  AddTablet(*node_a_, KeyRange{"m", ""}, /*is_primary=*/true);
+  tablets::TabletMap partial;
+  partial.table = "t";
+  partial.version = 1;
+  partial.tablets.push_back(Entry("", "m", 1, "A"));
+  BuildDynamic(partial);
+
+  // The full map lands on the node; the client learns it through the
+  // unrouteable-key refresh path rather than a fence.
+  tablets::TabletMap full = partial;
+  full.version = 2;
+  full.tablets.push_back(Entry("m", "", 1, "A"));
+  ASSERT_TRUE(node_a_->InstallTabletMap(full));
+
+  Session session = client_->BeginSession(ShoppingCartSla()).value();
+  ASSERT_TRUE(client_->Put(session, "zebra", "high").ok());
+  EXPECT_EQ(client_->map_version(), 2u);
+  EXPECT_EQ(client_->map_refreshes(), 1u);
+  EXPECT_EQ(client_->Get(session, "zebra")->value, "high");
+}
+
+TEST_F(DynamicShardedClientTest, RoutingTableFuzz) {
+  // Random gappy tilings: for every probe key, ShardFor must agree exactly
+  // with the map's own OwnerOf — present iff some tablet covers the key,
+  // and never a neighbouring shard (no misrouting off a gap edge).
+  AddTablet(*node_a_, KeyRange::All(), /*is_primary=*/true);
+  std::mt19937_64 rng(20260808);
+  const auto random_key = [&] {
+    std::string key(1 + rng() % 5, 'a');
+    for (char& c : key) {
+      c = static_cast<char>('a' + rng() % 26);
+    }
+    return key;
+  };
+  for (int trial = 0; trial < 40; ++trial) {
+    std::set<std::string> boundaries;
+    const size_t count = 2 + rng() % 6;
+    while (boundaries.size() < count) {
+      boundaries.insert(random_key());
+    }
+    std::vector<std::string> sorted(boundaries.begin(), boundaries.end());
+    // Walk the gaps between consecutive boundaries (plus the unbounded
+    // flanks) and keep each resulting range with probability 1/2.
+    tablets::TabletMap map;
+    map.table = "t";
+    map.version = 1;
+    std::string begin = "";
+    for (size_t i = 0; i <= sorted.size(); ++i) {
+      const std::string end = i < sorted.size() ? sorted[i] : "";
+      if ((begin != end || end.empty()) && rng() % 2 == 0) {
+        map.tablets.push_back(Entry(begin, end, 1, "A"));
+      }
+      begin = end;
+    }
+    if (map.tablets.empty()) {
+      map.tablets.push_back(Entry("", "", 1, "A"));
+    }
+    BuildDynamic(map);
+    ASSERT_EQ(client_->shard_count(),
+              static_cast<size_t>(map.tablets.size()));
+    for (int probe = 0; probe < 100; ++probe) {
+      const std::string key = probe == 0 ? std::string() : random_key();
+      const tablets::TabletInfo* owner = map.OwnerOf(key);
+      PileusClient* shard = client_->ShardFor(key);
+      if (owner == nullptr) {
+        EXPECT_EQ(shard, nullptr) << "misroute of uncovered key '" << key
+                                  << "' in trial " << trial;
+      } else {
+        ASSERT_NE(shard, nullptr) << "covered key '" << key
+                                  << "' unrouteable in trial " << trial;
+      }
+    }
+  }
 }
 
 }  // namespace

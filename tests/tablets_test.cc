@@ -1,0 +1,568 @@
+// Tests for the dynamic-tablet subsystem (DESIGN.md Section 14): the
+// versioned TabletMap and its codec, per-node load sampling, the rebalance
+// planner, map installation and kWrongTablet fencing on storage nodes, and
+// the coordinator's split and live-migration protocols including rollback.
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/clock.h"
+#include "src/proto/messages.h"
+#include "src/storage/storage_node.h"
+#include "src/tablets/coordinator.h"
+#include "src/tablets/manager.h"
+#include "src/tablets/rebalancer.h"
+#include "src/tablets/tablet_map.h"
+#include "src/util/codec.h"
+
+namespace pileus::tablets {
+namespace {
+
+constexpr const char* kTable = "accounts";
+
+TabletInfo MakeInfo(std::string begin, std::string end, uint64_t epoch,
+                    std::string primary,
+                    std::vector<std::string> members = {}) {
+  TabletInfo info;
+  info.range.begin = std::move(begin);
+  info.range.end = std::move(end);
+  info.config.epoch = epoch;
+  if (members.empty()) {
+    members = {primary};
+  }
+  info.config.primary = std::move(primary);
+  info.config.members = std::move(members);
+  return info;
+}
+
+TabletMap TwoTabletMap() {
+  TabletMap map;
+  map.table = kTable;
+  map.version = 3;
+  map.tablets.push_back(MakeInfo("", "m", 1, "alpha"));
+  map.tablets.push_back(MakeInfo("m", "", 2, "beta", {"beta", "gamma"}));
+  return map;
+}
+
+// --- TabletMap: validation, ownership, codec ---
+
+TEST(TabletMapTest, ValidMapValidates) {
+  EXPECT_TRUE(TwoTabletMap().Validate().ok());
+}
+
+TEST(TabletMapTest, EmptyMapIsInvalid) {
+  TabletMap map;
+  map.table = kTable;
+  map.version = 1;
+  EXPECT_FALSE(map.Validate().ok());
+}
+
+TEST(TabletMapTest, GapBetweenRangesIsInvalid) {
+  TabletMap map = TwoTabletMap();
+  map.tablets[1].range.begin = "n";  // [ "", "m") then ["n", "") — gap at "m".
+  EXPECT_FALSE(map.Validate().ok());
+}
+
+TEST(TabletMapTest, OverlapIsInvalid) {
+  TabletMap map = TwoTabletMap();
+  map.tablets[1].range.begin = "l";  // Overlaps ["", "m").
+  EXPECT_FALSE(map.Validate().ok());
+}
+
+TEST(TabletMapTest, MustStartAtLowestKeyAndEndUnbounded) {
+  TabletMap starts_late = TwoTabletMap();
+  starts_late.tablets[0].range.begin = "a";
+  EXPECT_FALSE(starts_late.Validate().ok());
+
+  TabletMap ends_early = TwoTabletMap();
+  ends_early.tablets[1].range.end = "z";
+  EXPECT_FALSE(ends_early.Validate().ok());
+}
+
+TEST(TabletMapTest, PrimaryMustBeMember) {
+  TabletMap map = TwoTabletMap();
+  map.tablets[0].config.primary = "stranger";
+  EXPECT_FALSE(map.Validate().ok());
+}
+
+TEST(TabletMapTest, OwnerOfRespectsHalfOpenBounds) {
+  const TabletMap map = TwoTabletMap();
+  ASSERT_NE(map.OwnerOf(""), nullptr);
+  EXPECT_EQ(map.OwnerOf("")->config.primary, "alpha");
+  EXPECT_EQ(map.OwnerOf("lzz")->config.primary, "alpha");
+  // The split key itself belongs to the upper sibling (begin inclusive).
+  EXPECT_EQ(map.OwnerOf("m")->config.primary, "beta");
+  EXPECT_EQ(map.OwnerOf("zzz")->config.primary, "beta");
+}
+
+TEST(TabletMapTest, OwnerOfEmptyMapIsNull) {
+  TabletMap map;
+  map.table = kTable;
+  EXPECT_EQ(map.OwnerOf("k"), nullptr);
+}
+
+TEST(TabletMapTest, CodecRoundTripPreservesEverything) {
+  TabletMap map = TwoTabletMap();
+  map.tablets[0].size_bytes = 123456;
+  map.tablets[0].ops_per_sec = 789;
+  map.tablets[1].config.sync_members = {"gamma"};
+
+  Encoder enc;
+  EncodeTabletMap(enc, map);
+  Decoder dec(enc.buffer());
+  TabletMap decoded;
+  ASSERT_TRUE(DecodeTabletMap(dec, &decoded).ok());
+  EXPECT_EQ(decoded, map);
+}
+
+// --- TabletManager: sampling and split proposals ---
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  ManagerTest() : clock_(1'000'000), node_("alpha", "dc1", &clock_) {
+    storage::Tablet::Options options;
+    options.range = KeyRange::All();
+    options.is_primary = true;
+    EXPECT_TRUE(node_.AddTablet(kTable, options).ok());
+  }
+
+  void PutKeys(int count, int offset = 0) {
+    for (int i = 0; i < count; ++i) {
+      proto::PutRequest put;
+      put.table = kTable;
+      put.key = "key" + std::to_string(offset + i);
+      put.value = "value";
+      ASSERT_TRUE(std::holds_alternative<proto::PutReply>(node_.Handle(put)));
+      clock_.AdvanceMicros(10);
+    }
+  }
+
+  ManualClock clock_;
+  storage::StorageNode node_;
+};
+
+TEST_F(ManagerTest, FirstSampleHasNoRateBaseline) {
+  TabletManager manager(&node_, TabletManager::Options{}, &clock_);
+  PutKeys(100);
+  const std::vector<TabletManager::TabletStat> stats = manager.Sample(kTable);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].ops_per_sec, 0u) << "no previous sample to diff against";
+  EXPECT_EQ(stats[0].ops_total, 100u);
+  EXPECT_TRUE(stats[0].is_primary);
+}
+
+TEST_F(ManagerTest, SecondSampleDerivesRateFromCounterDelta) {
+  TabletManager manager(&node_, TabletManager::Options{}, &clock_);
+  (void)manager.Sample(kTable);  // Establish the baseline.
+  PutKeys(100);
+  clock_.AdvanceMicros(1'000'000 - 100 * 10);  // Exactly 1s since baseline.
+  const std::vector<TabletManager::TabletStat> stats = manager.Sample(kTable);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].ops_per_sec, 100u);
+}
+
+TEST_F(ManagerTest, BackToBackSampleReusesPreviousRate) {
+  TabletManager manager(&node_, TabletManager::Options{}, &clock_);
+  (void)manager.Sample(kTable);
+  PutKeys(50);
+  clock_.AdvanceMicros(1'000'000 - 50 * 10);
+  const uint64_t rate = manager.Sample(kTable)[0].ops_per_sec;
+  EXPECT_EQ(rate, 50u);
+  // A re-sample < 1ms later must not divide the tiny delta by ~0.
+  const std::vector<TabletManager::TabletStat> again = manager.Sample(kTable);
+  EXPECT_EQ(again[0].ops_per_sec, rate);
+}
+
+TEST_F(ManagerTest, SplitCandidatesRequireThresholdAndPivot) {
+  TabletManager::Options options;
+  options.split_threshold_bytes = 0;
+  options.split_threshold_ops_per_sec = 10;
+  TabletManager manager(&node_, options, &clock_);
+  (void)manager.Sample(kTable);
+  PutKeys(100);
+  clock_.AdvanceMicros(1'000'000 - 100 * 10);
+  (void)manager.Sample(kTable);
+
+  const std::vector<TabletManager::SplitProposal> proposals =
+      manager.SplitCandidates(kTable);
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_FALSE(proposals[0].split_key.empty());
+  EXPECT_TRUE(proposals[0].range.IsSplittable(proposals[0].split_key));
+}
+
+TEST_F(ManagerTest, ColdTabletProposesNoSplit) {
+  TabletManager::Options options;
+  options.split_threshold_bytes = 0;
+  options.split_threshold_ops_per_sec = 1'000'000;
+  TabletManager manager(&node_, options, &clock_);
+  (void)manager.Sample(kTable);
+  PutKeys(20);
+  clock_.AdvanceMicros(1'000'000);
+  (void)manager.Sample(kTable);
+  EXPECT_TRUE(manager.SplitCandidates(kTable).empty());
+}
+
+// --- Rebalancer: pure planning policy ---
+
+TabletLoad MakeLoad(std::string begin, std::string end, std::string primary,
+                    uint64_t ops, std::string split_key = "") {
+  TabletLoad load;
+  load.range.begin = std::move(begin);
+  load.range.end = std::move(end);
+  load.primary = std::move(primary);
+  load.ops_per_sec = ops;
+  load.split_key = std::move(split_key);
+  return load;
+}
+
+TEST(RebalancerTest, SplitsPlannedBeforeMoves) {
+  Rebalancer::Options options;
+  options.split_threshold_bytes = 0;
+  options.split_threshold_ops_per_sec = 100;
+  options.imbalance_ratio = 1.2;
+  options.max_actions_per_round = 2;
+  const Rebalancer rebalancer(options);
+
+  // n1 is both over the split threshold and the hottest node.
+  const std::vector<TabletLoad> loads = {
+      MakeLoad("", "m", "n1", 500, "g"),
+      MakeLoad("m", "", "n2", 10),
+  };
+  const std::vector<RebalanceAction> actions =
+      rebalancer.Plan(loads, {"n1", "n2"});
+  ASSERT_FALSE(actions.empty());
+  EXPECT_EQ(actions[0].kind, RebalanceAction::Kind::kSplit);
+  EXPECT_EQ(actions[0].split_key, "g");
+  // The tablet being split must not also be planned as a move this round.
+  for (const RebalanceAction& action : actions) {
+    if (action.kind == RebalanceAction::Kind::kMove) {
+      EXPECT_NE(action.range.begin, "");
+    }
+  }
+}
+
+TEST(RebalancerTest, HotTabletWithoutPivotCannotSplit) {
+  Rebalancer::Options options;
+  options.split_threshold_bytes = 0;
+  options.split_threshold_ops_per_sec = 100;
+  const Rebalancer rebalancer(options);
+  const std::vector<TabletLoad> loads = {MakeLoad("", "", "n1", 500)};
+  for (const RebalanceAction& action : rebalancer.Plan(loads, {"n1", "n2"})) {
+    EXPECT_NE(action.kind, RebalanceAction::Kind::kSplit);
+  }
+}
+
+TEST(RebalancerTest, BalancedLoadPlansNothing) {
+  Rebalancer::Options options;
+  options.split_threshold_bytes = 0;
+  options.split_threshold_ops_per_sec = 0;  // Splitting disabled.
+  options.imbalance_ratio = 1.5;
+  const Rebalancer rebalancer(options);
+  const std::vector<TabletLoad> loads = {
+      MakeLoad("", "m", "n1", 100),
+      MakeLoad("m", "", "n2", 110),
+  };
+  EXPECT_TRUE(rebalancer.Plan(loads, {"n1", "n2"}).empty())
+      << "spread below imbalance_ratio must not trigger migration";
+}
+
+TEST(RebalancerTest, ImbalanceMovesHottestMovableTabletToCoolestNode) {
+  Rebalancer::Options options;
+  options.split_threshold_bytes = 0;
+  options.split_threshold_ops_per_sec = 0;
+  options.imbalance_ratio = 1.5;
+  const Rebalancer rebalancer(options);
+  const std::vector<TabletLoad> loads = {
+      MakeLoad("", "f", "n1", 300),
+      MakeLoad("f", "m", "n1", 200),
+      MakeLoad("m", "", "n2", 10),
+  };
+  // n3 holds nothing and is the coolest — this is how an empty node fills.
+  const std::vector<RebalanceAction> actions =
+      rebalancer.Plan(loads, {"n1", "n2", "n3"});
+  ASSERT_FALSE(actions.empty());
+  EXPECT_EQ(actions[0].kind, RebalanceAction::Kind::kMove);
+  EXPECT_EQ(actions[0].from, "n1");
+  EXPECT_EQ(actions[0].to, "n3");
+  EXPECT_EQ(actions[0].range.begin, "");  // The 300 ops/s tablet.
+}
+
+TEST(RebalancerTest, MoveThatWouldSwapTheHotspotIsRejected) {
+  Rebalancer::Options options;
+  options.split_threshold_bytes = 0;
+  options.split_threshold_ops_per_sec = 0;
+  options.imbalance_ratio = 1.2;
+  const Rebalancer rebalancer(options);
+  // One giant tablet: moving it would just relocate the problem.
+  const std::vector<TabletLoad> loads = {
+      MakeLoad("", "m", "n1", 1000),
+      MakeLoad("m", "", "n2", 10),
+  };
+  EXPECT_TRUE(rebalancer.Plan(loads, {"n1", "n2"}).empty());
+}
+
+TEST(RebalancerTest, ActionBudgetCapsTheRound) {
+  Rebalancer::Options options;
+  options.split_threshold_bytes = 0;
+  options.split_threshold_ops_per_sec = 10;
+  options.max_actions_per_round = 1;
+  const Rebalancer rebalancer(options);
+  const std::vector<TabletLoad> loads = {
+      MakeLoad("", "f", "n1", 500, "c"),
+      MakeLoad("f", "m", "n1", 400, "h"),
+      MakeLoad("m", "", "n2", 300, "r"),
+  };
+  EXPECT_EQ(rebalancer.Plan(loads, {"n1", "n2"}).size(), 1u);
+}
+
+// --- StorageNode: map installation and kWrongTablet fencing ---
+
+class NodeMapTest : public ::testing::Test {
+ protected:
+  NodeMapTest() : clock_(1'000'000), node_("alpha", "dc1", &clock_) {
+    storage::Tablet::Options options;
+    options.range = KeyRange::All();
+    options.is_primary = true;
+    EXPECT_TRUE(node_.AddTablet(kTable, options).ok());
+  }
+
+  ManualClock clock_;
+  storage::StorageNode node_;
+};
+
+TEST_F(NodeMapTest, InstallIsVersionMonotonic) {
+  TabletMap map = TwoTabletMap();
+  map.tablets[0].config.primary = "alpha";
+  map.tablets[0].config.members = {"alpha"};
+  EXPECT_TRUE(node_.InstallTabletMap(map));
+
+  TabletMap stale = map;
+  stale.version = map.version - 1;
+  EXPECT_FALSE(node_.InstallTabletMap(stale));
+  EXPECT_EQ(node_.InstalledTabletMap(kTable)->version, map.version);
+
+  // Same-version re-install is idempotent (the cutover relies on it).
+  EXPECT_TRUE(node_.InstallTabletMap(map));
+
+  TabletMap newer = map;
+  newer.version = map.version + 5;
+  EXPECT_TRUE(node_.InstallTabletMap(newer));
+  EXPECT_EQ(node_.InstalledTabletMap(kTable)->version, newer.version);
+}
+
+TEST_F(NodeMapTest, VersionZeroAndInvalidMapsAreRejected) {
+  TabletMap zero = TwoTabletMap();
+  zero.version = 0;
+  EXPECT_FALSE(node_.InstallTabletMap(zero));
+
+  TabletMap invalid = TwoTabletMap();
+  invalid.tablets.pop_back();  // No longer tiles the keyspace.
+  EXPECT_FALSE(node_.InstallTabletMap(invalid));
+  EXPECT_FALSE(node_.InstalledTabletMap(kTable).has_value());
+}
+
+TEST_F(NodeMapTest, MisroutedRequestFencedWithOwnerHint) {
+  // The map assigns ["m", "") to beta; alpha must fence requests for it.
+  TabletMap map = TwoTabletMap();
+  map.tablets[0].config.primary = "alpha";
+  map.tablets[0].config.members = {"alpha"};
+  ASSERT_TRUE(node_.InstallTabletMap(map));
+
+  proto::PutRequest put;
+  put.table = kTable;
+  put.key = "zebra";
+  put.value = "v";
+  const proto::Message reply = node_.Handle(put);
+  const auto* error = std::get_if<proto::ErrorReply>(&reply);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, StatusCode::kWrongTablet);
+  EXPECT_EQ(error->primary_hint, "beta");
+  EXPECT_EQ(error->map_version, map.version);
+
+  // Keys the map assigns here still serve normally.
+  put.key = "apple";
+  EXPECT_TRUE(std::holds_alternative<proto::PutReply>(node_.Handle(put)));
+}
+
+// --- TabletCoordinator: split, migration, rollback ---
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  CoordinatorTest() : clock_(1'000'000) {
+    TabletMap initial;
+    initial.table = kTable;
+    initial.version = 1;
+    TabletInfo info = MakeInfo("", "", 1, "alpha");
+    initial.tablets.push_back(info);
+
+    alpha_ = std::make_unique<storage::StorageNode>("alpha", "dc1", &clock_);
+    beta_ = std::make_unique<storage::StorageNode>("beta", "dc1", &clock_);
+    storage::Tablet::Options options;
+    options.range = KeyRange::All();
+    options.is_primary = true;
+    EXPECT_TRUE(alpha_->AddTablet(kTable, options).ok());
+
+    TabletCoordinator::Options coordinator_options;
+    coordinator_options.reachable = [this](const std::string& node) {
+      return unreachable_.count(node) == 0;
+    };
+    coordinator_ = std::make_unique<TabletCoordinator>(
+        std::move(initial), &clock_, std::move(coordinator_options));
+    coordinator_->RegisterNode(alpha_.get());
+    coordinator_->RegisterNode(beta_.get());
+    EXPECT_TRUE(coordinator_->PublishMap().ok());
+  }
+
+  void PutKey(storage::StorageNode& node, const std::string& key) {
+    proto::PutRequest put;
+    put.table = kTable;
+    put.key = key;
+    put.value = "v:" + key;
+    ASSERT_TRUE(std::holds_alternative<proto::PutReply>(node.Handle(put)))
+        << key;
+    clock_.AdvanceMicros(10);
+  }
+
+  std::optional<std::string> GetValue(storage::StorageNode& node,
+                                      const std::string& key) {
+    proto::GetRequest get;
+    get.table = kTable;
+    get.key = key;
+    const proto::Message reply = node.Handle(get);
+    const auto* got = std::get_if<proto::GetReply>(&reply);
+    if (got == nullptr || !got->found) {
+      return std::nullopt;
+    }
+    return got->value;
+  }
+
+  ManualClock clock_;
+  std::set<std::string> unreachable_;
+  std::unique_ptr<storage::StorageNode> alpha_;
+  std::unique_ptr<storage::StorageNode> beta_;
+  std::unique_ptr<TabletCoordinator> coordinator_;
+};
+
+TEST_F(CoordinatorTest, ExecuteSplitRetilesAndPublishes) {
+  PutKey(*alpha_, "apple");
+  PutKey(*alpha_, "zebra");
+  ASSERT_TRUE(coordinator_->ExecuteSplit("m").ok());
+
+  const TabletMap& map = coordinator_->map();
+  EXPECT_EQ(map.version, 2u);
+  ASSERT_EQ(map.tablets.size(), 2u);
+  EXPECT_EQ(map.tablets[0].range.end, "m");
+  EXPECT_EQ(map.tablets[1].range.begin, "m");
+  EXPECT_TRUE(map.Validate().ok());
+  EXPECT_EQ(coordinator_->splits(), 1u);
+
+  // The node adopted the published map and still serves both halves.
+  EXPECT_EQ(alpha_->InstalledTabletMap(kTable)->version, 2u);
+  EXPECT_EQ(alpha_->LocalTabletStats(kTable).size(), 2u);
+  EXPECT_EQ(GetValue(*alpha_, "apple"), "v:apple");
+  EXPECT_EQ(GetValue(*alpha_, "zebra"), "v:zebra");
+}
+
+TEST_F(CoordinatorTest, SplitAtRangeBoundaryRejected) {
+  const Status status = coordinator_->ExecuteSplit("");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(coordinator_->map().version, 1u);
+}
+
+TEST_F(CoordinatorTest, MigrationMovesDataAndFencesTheSource) {
+  for (int i = 0; i < 20; ++i) {
+    PutKey(*alpha_, "key" + std::to_string(i));
+  }
+  ASSERT_TRUE(coordinator_->ExecuteMigration("", "beta").ok());
+  EXPECT_EQ(coordinator_->migrations(), 1u);
+
+  const TabletMap& map = coordinator_->map();
+  ASSERT_EQ(map.tablets.size(), 1u);
+  EXPECT_EQ(map.tablets[0].config.primary, "beta");
+  EXPECT_EQ(map.tablets[0].config.epoch, 2u);
+
+  // Every acked write survived the move and the new primary serves it.
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(GetValue(*beta_, key), "v:" + key) << key;
+  }
+  // New writes land on beta; alpha (which dropped the tablet) fences.
+  PutKey(*beta_, "after-move");
+  proto::PutRequest put;
+  put.table = kTable;
+  put.key = "rejected";
+  put.value = "v";
+  const proto::Message reply = alpha_->Handle(put);
+  const auto* error = std::get_if<proto::ErrorReply>(&reply);
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->code, StatusCode::kWrongTablet);
+  EXPECT_EQ(error->primary_hint, "beta");
+}
+
+TEST_F(CoordinatorTest, MigrationToUnreachableTargetFailsCleanly) {
+  PutKey(*alpha_, "kept");
+  unreachable_.insert("beta");
+  const Status status = coordinator_->ExecuteMigration("", "beta");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(coordinator_->migration_failures(), 0u)
+      << "rejected before any phase ran";
+  EXPECT_EQ(coordinator_->migrations(), 0u);
+  // Nothing changed: alpha still primary, still serving.
+  EXPECT_EQ(coordinator_->map().tablets[0].config.primary, "alpha");
+  EXPECT_EQ(GetValue(*alpha_, "kept"), "v:kept");
+}
+
+TEST_F(CoordinatorTest, MigrationToSelfRejected) {
+  EXPECT_EQ(coordinator_->ExecuteMigration("", "alpha").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CoordinatorTest, MigrationOfUnknownRangeRejected) {
+  EXPECT_EQ(coordinator_->ExecuteMigration("nope", "beta").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CoordinatorTest, RebalanceRoundSplitsThenMovesUnderHotspot) {
+  // Prime the rate baselines, then drive traffic so alpha's single tablet
+  // is far over a tiny threshold.
+  (void)coordinator_->SampleLoads();
+  for (int i = 0; i < 60; ++i) {
+    PutKey(*alpha_, "key" + std::to_string(i));
+  }
+  clock_.AdvanceMicros(1'000'000);
+
+  Rebalancer::Options policy;
+  policy.split_threshold_bytes = 0;
+  policy.split_threshold_ops_per_sec = 5;
+  policy.imbalance_ratio = 1.2;
+  const Rebalancer rebalancer(policy);
+
+  // Round 1 must split the only (hot) tablet; later rounds can move pieces.
+  const std::vector<RebalanceAction> first =
+      coordinator_->RunRebalanceRound(rebalancer);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first[0].kind, RebalanceAction::Kind::kSplit);
+  EXPECT_GE(coordinator_->splits(), 1u);
+  EXPECT_EQ(coordinator_->map().tablets.size(), 2u);
+  EXPECT_TRUE(coordinator_->map().Validate().ok());
+
+  // All data is still served by the current map's owners.
+  for (int i = 0; i < 60; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const TabletInfo* owner = coordinator_->map().OwnerOf(key);
+    ASSERT_NE(owner, nullptr);
+    storage::StorageNode& node =
+        owner->config.primary == "alpha" ? *alpha_ : *beta_;
+    EXPECT_EQ(GetValue(node, key), "v:" + key) << key;
+  }
+}
+
+}  // namespace
+}  // namespace pileus::tablets

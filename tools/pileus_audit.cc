@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/experiments/scenario.h"
+#include "src/experiments/tablet_churn.h"
 #include "src/experiments/tcp_scenario.h"
 #include "tools/flags.h"
 
@@ -31,9 +32,12 @@ namespace {
 
 using experiments::FaultScenario;
 using experiments::RunAuditScenario;
+using experiments::RunTabletChurnScenario;
 using experiments::RunTcpAuditScenario;
 using experiments::ScenarioOptions;
 using experiments::ScenarioResult;
+using experiments::TabletChurnOptions;
+using experiments::TabletChurnResult;
 
 std::vector<std::string> SplitCommas(const std::string& list) {
   std::vector<std::string> out;
@@ -58,7 +62,9 @@ int Run(int argc, char** argv) {
   flags.DefineInt("num_seeds", 8, "seeds per scenario when sweeping");
   flags.DefineString("scenarios", "",
                      "comma-separated: none, partition, drops, gray, "
-                     "crash-restart, handoff, failover, overload "
+                     "crash-restart, handoff, failover, overload, "
+                     "tablet-churn (concurrent splits + live migrations, "
+                     "swept under none/partition/crash-restart sub-faults) "
                      "(default: none,partition,crash-restart on sim; "
                      "none,crash-restart,handoff on tcp)");
   flags.DefineString("transport", "sim",
@@ -95,7 +101,18 @@ int Run(int argc, char** argv) {
         tcp ? "none,crash-restart,handoff" : "none,partition,crash-restart";
   }
   std::vector<FaultScenario> scenarios;
+  bool churn = false;
   for (const std::string& name : SplitCommas(scenario_list)) {
+    if (name == "tablet-churn") {
+      if (tcp) {
+        std::fprintf(stderr,
+                     "tablet-churn runs on its own in-process world and is "
+                     "not expressible over the tcp transport\n");
+        return 2;
+      }
+      churn = true;
+      continue;
+    }
     const auto scenario = experiments::ParseFaultScenario(name);
     if (!scenario.has_value()) {
       std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
@@ -110,7 +127,7 @@ int Run(int argc, char** argv) {
     }
     scenarios.push_back(*scenario);
   }
-  if (scenarios.empty()) {
+  if (scenarios.empty() && !churn) {
     std::fprintf(stderr, "no scenarios selected\n");
     return 2;
   }
@@ -171,6 +188,47 @@ int Run(int argc, char** argv) {
                 "    op #%zu: %s\n", violation.related_op_index,
                 audit::DescribeOp(result.history.ops[violation.related_op_index])
                     .c_str());
+          }
+        }
+      }
+    }
+  }
+  if (churn) {
+    // Dynamic-tablet churn: splits, live migrations, and rebalancer rounds
+    // run concurrently with the workload, swept under each sub-fault.
+    const FaultScenario sub_faults[] = {FaultScenario::kNone,
+                                        FaultScenario::kPartition,
+                                        FaultScenario::kCrashRestart};
+    for (const FaultScenario fault : sub_faults) {
+      for (const uint64_t seed : seeds) {
+        TabletChurnOptions options;
+        options.seed = seed;
+        options.scenario = fault;
+        options.total_ops = static_cast<uint64_t>(flags.GetInt("ops"));
+        options.key_count = static_cast<int>(flags.GetInt("keys"));
+        options.client_cache = flags.GetBool("cache");
+        options.cache_capacity_bytes =
+            static_cast<uint64_t>(flags.GetInt("cache_bytes"));
+        options.durable_root =
+            durable_root + "/tablet-churn_" +
+            std::string(experiments::FaultScenarioName(fault)) + "_" +
+            std::to_string(seed);
+        const TabletChurnResult result = RunTabletChurnScenario(options);
+        ++runs;
+        std::printf("%s\n", result.Summary().c_str());
+        if (!result.ok()) {
+          ++failures;
+          std::printf("%s\n", result.report.ToString().c_str());
+          for (const auto& detail : result.lost_write_details) {
+            std::printf("    %s\n", detail.c_str());
+          }
+          for (const auto& violation : result.report.violations) {
+            if (violation.op_index < result.history.ops.size()) {
+              std::printf(
+                  "    op #%zu: %s\n", violation.op_index,
+                  audit::DescribeOp(result.history.ops[violation.op_index])
+                      .c_str());
+            }
           }
         }
       }

@@ -4,6 +4,10 @@
 //   pileus_cli --port 7000 get mykey
 //   pileus_cli --port 7000 probe
 //   pileus_cli --port 7000 sync            # dump versions above --after
+//   pileus_cli --port 7000 tablets         # live tablet map (table or JSON)
+//   pileus_cli --port 7000 tablets split m # split the tablet holding "m"
+//   pileus_cli --port 7000 tablets handoff 7001 backup
+//                                          # live-migrate primaryship
 //   pileus_cli --port 7000 bench 1000      # tiny put/get latency check
 //   pileus_cli --port 7000 --cache_bytes 1048576 bench 1000
 //                                          # ... with a client-side cache
@@ -11,16 +15,19 @@
 // Talks the raw storage protocol over TCP and pretty-prints replies,
 // including the node's high timestamp so operators can eyeball staleness.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "src/cache/client_cache.h"
 #include "src/common/clock.h"
 #include "src/core/monitor.h"
 #include "src/net/tcp.h"
 #include "src/proto/messages.h"
+#include "src/tablets/tablet_map.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/histogram.h"
@@ -46,6 +53,109 @@ Result<proto::Message> Call(net::TcpChannel& channel,
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JoinMembers(const std::vector<std::string>& members) {
+  std::string out;
+  for (const std::string& m : members) {
+    if (!out.empty()) {
+      out += ",";
+    }
+    out += m;
+  }
+  return out;
+}
+
+// Fetches the node's current tablet map. Nodes that never installed one
+// synthesize a version-0 view from their hosted tablets, so this works
+// against a plain `pileus_server` too.
+Result<tablets::TabletMap> FetchTabletMap(net::TcpChannel& channel,
+                                          const std::string& table,
+                                          const std::string& split_key = "") {
+  proto::TabletMapRequest request;
+  request.table = table;
+  request.have_version = 0;
+  request.split_key = split_key;
+  Result<proto::Message> reply = Call(channel, request);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  const auto* map_reply = std::get_if<proto::TabletMapReply>(&reply.value());
+  if (map_reply == nullptr) {
+    return Status(StatusCode::kInternal,
+                  "unexpected reply type for tablet map");
+  }
+  if (!map_reply->has_map) {
+    return Status(StatusCode::kNotFound,
+                  "node hosts no tablets for table '" + table + "'");
+  }
+  return map_reply->map;
+}
+
+void PrintTabletMap(const tablets::TabletMap& map, bool json) {
+  if (json) {
+    std::printf("{\"table\": \"%s\", \"version\": %llu, \"tablets\": [",
+                JsonEscape(map.table).c_str(),
+                static_cast<unsigned long long>(map.version));
+    for (size_t i = 0; i < map.tablets.size(); ++i) {
+      const tablets::TabletInfo& t = map.tablets[i];
+      std::printf(
+          "%s{\"begin\": \"%s\", \"end\": \"%s\", \"epoch\": %llu, "
+          "\"primary\": \"%s\", \"members\": [",
+          i == 0 ? "" : ", ", JsonEscape(t.range.begin).c_str(),
+          JsonEscape(t.range.end).c_str(),
+          static_cast<unsigned long long>(t.config.epoch),
+          JsonEscape(t.config.primary).c_str());
+      for (size_t j = 0; j < t.config.members.size(); ++j) {
+        std::printf("%s\"%s\"", j == 0 ? "" : ", ",
+                    JsonEscape(t.config.members[j]).c_str());
+      }
+      std::printf("], \"size_bytes\": %llu, \"ops_per_sec\": %llu}",
+                  static_cast<unsigned long long>(t.size_bytes),
+                  static_cast<unsigned long long>(t.ops_per_sec));
+    }
+    std::printf("]}\n");
+    return;
+  }
+  std::printf("table '%s': map v%llu, %zu tablet%s\n", map.table.c_str(),
+              static_cast<unsigned long long>(map.version),
+              map.tablets.size(), map.tablets.size() == 1 ? "" : "s");
+  std::printf("%-28s %6s %-12s %-24s %10s %8s\n", "RANGE", "EPOCH", "PRIMARY",
+              "MEMBERS", "BYTES", "OPS/S");
+  for (const tablets::TabletInfo& t : map.tablets) {
+    std::string range = "['" + t.range.begin + "', ";
+    range += t.range.end.empty() ? "\xE2\x88\x9E)" : "'" + t.range.end + "')";
+    std::printf("%-28s %6llu %-12s %-24s %10llu %8llu\n", range.c_str(),
+                static_cast<unsigned long long>(t.config.epoch),
+                t.config.primary.empty() ? "-" : t.config.primary.c_str(),
+                JoinMembers(t.config.members).c_str(),
+                static_cast<unsigned long long>(t.size_bytes),
+                static_cast<unsigned long long>(t.ops_per_sec));
+  }
 }
 
 // "put us:  p50=... p95=... p99=..." — quantiles from the log-bucketed
@@ -85,7 +195,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: pileus_cli [flags] put KEY VALUE | get KEY | del KEY | "
                  "range BEGIN [END] | probe | sync | stats | digest | "
-                 "bench N\n");
+                 "tablets [split KEY | handoff PORT NAME] | bench N\n");
     return 2;
   }
   net::TcpChannel channel(static_cast<uint16_t>(flags.GetInt("port")));
@@ -311,6 +421,135 @@ int main(int argc, char** argv) {
           c.p_up, static_cast<long long>(c.queue_delay_us),
           c.overloaded ? "  [overloaded]" : "");
     }
+    return 0;
+  }
+
+  if (command == "tablets" && args.size() == 1) {
+    Result<tablets::TabletMap> map = FetchTabletMap(channel, table);
+    if (!map.ok()) {
+      return Fail(map.status());
+    }
+    PrintTabletMap(map.value(), flags.GetString("format") == "json");
+    return 0;
+  }
+
+  if (command == "tablets" && args.size() == 3 && args[1] == "split") {
+    // Admin split: the server splits the hosted tablet containing KEY at KEY
+    // (durable servers journal a WAL split record first) and answers with
+    // the resulting map view.
+    Result<tablets::TabletMap> map = FetchTabletMap(channel, table, args[2]);
+    if (!map.ok()) {
+      return Fail(map.status());
+    }
+    std::printf("split at '%s' ok\n", args[2].c_str());
+    PrintTabletMap(map.value(), flags.GetString("format") == "json");
+    return 0;
+  }
+
+  if (command == "tablets" && args.size() == 4 && args[1] == "handoff") {
+    // CLI-coordinated live migration of the whole table's tablets from this
+    // node (the --port source) to a second pileus_server that already
+    // replicates from it (--role secondary --primary_port SOURCE):
+    //
+    //   1. Build the next map: version+1, every epoch+1, primary=TARGET.
+    //   2. Install on the SOURCE first — it fences (kWrongTablet /
+    //      kNotPrimary) immediately: the write-unavailability window opens.
+    //   3. Poll the target until its replication pulls drain the remaining
+    //      tail (high timestamp catches up to the source's fenced high).
+    //   4. Install on the TARGET — it promotes: the window closes.
+    const uint16_t target_port =
+        static_cast<uint16_t>(std::strtol(args[2].c_str(), nullptr, 10));
+    const std::string& target_name = args[3];
+    net::TcpChannel target(target_port);
+
+    Result<tablets::TabletMap> base = FetchTabletMap(channel, table);
+    if (!base.ok()) {
+      return Fail(base.status());
+    }
+    tablets::TabletMap next = base.value();
+    next.version = next.version + 1;  // v0 view -> v1: first real map.
+    for (tablets::TabletInfo& t : next.tablets) {
+      t.config.epoch += 1;
+      t.config.primary = target_name;
+      if (!t.config.IsMember(target_name)) {
+        t.config.members.push_back(target_name);
+      }
+    }
+    if (Status valid = next.Validate(); !valid.ok()) {
+      return Fail(valid);
+    }
+
+    proto::TabletMapRequest install;
+    install.table = table;
+    install.install = true;
+    install.map = next;
+    const MicrosecondCount fence_us = RealClock::Instance()->NowMicros();
+    Result<proto::Message> fenced = Call(channel, install);
+    if (!fenced.ok()) {
+      return Fail(fenced.status());
+    }
+    if (!std::get<proto::TabletMapReply>(fenced.value()).accepted) {
+      return Fail(Status(StatusCode::kInternal,
+                         "source rejected the handoff map as stale"));
+    }
+
+    // Drain target: the source's high water mark measured AFTER the fence.
+    // A live primary advertises a clock-fresh high that keeps advancing; the
+    // fenced (demoted) source reports its frozen high — exactly the last
+    // commit the target must replicate before it may take over.
+    proto::ProbeRequest probe;
+    probe.table = table;
+    Result<proto::Message> source_probe = Call(channel, probe);
+    if (!source_probe.ok()) {
+      return Fail(source_probe.status());
+    }
+    const Timestamp drain_to =
+        std::get<proto::ProbeReply>(source_probe.value()).high_timestamp;
+    std::printf("source fenced at map v%llu (drain target %s)\n",
+                static_cast<unsigned long long>(next.version),
+                drain_to.ToString().c_str());
+
+    // Drain: the target's periodic pulls (--pull_period_ms) bring it up to
+    // the fenced high. 30 s is generous for any sane pull period.
+    const MicrosecondCount deadline =
+        RealClock::Instance()->NowMicros() + SecondsToMicroseconds(30);
+    bool drained = false;
+    while (RealClock::Instance()->NowMicros() < deadline) {
+      Result<proto::Message> target_probe = Call(target, probe);
+      if (target_probe.ok() &&
+          std::get<proto::ProbeReply>(target_probe.value()).high_timestamp >=
+              drain_to) {
+        drained = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!drained) {
+      return Fail(Status(
+          StatusCode::kTimeout,
+          "target never caught up to " + drain_to.ToString() +
+              "; is it replicating from this node (--role secondary "
+              "--primary_port)? The source stays fenced — reinstall the old "
+              "map to roll back."));
+    }
+
+    Result<proto::Message> promoted = Call(target, install);
+    if (!promoted.ok()) {
+      return Fail(promoted.status());
+    }
+    if (!std::get<proto::TabletMapReply>(promoted.value()).accepted) {
+      return Fail(Status(StatusCode::kInternal,
+                         "target rejected the handoff map as stale"));
+    }
+    const MicrosecondCount window_us =
+        RealClock::Instance()->NowMicros() - fence_us;
+    std::printf(
+        "handoff complete: '%s' now primary for %zu tablet%s at map v%llu "
+        "(write-unavailability window %.1f ms)\n",
+        target_name.c_str(), next.tablets.size(),
+        next.tablets.size() == 1 ? "" : "s",
+        static_cast<unsigned long long>(next.version),
+        MicrosecondsToMilliseconds(window_us));
     return 0;
   }
 

@@ -152,6 +152,18 @@ int main(int argc, char** argv) {
     group_commit.max_delay_us = flags.GetInt("group_commit_delay_us");
     durable_service = std::make_unique<persist::DurableStorageService>(
         table, durable.get(), group_commit);
+    // Dynamic tablets (DESIGN.md Section 14): serve the tablet-map view and
+    // CLI splits, re-opening any children recorded by earlier splits.
+    if (Status dynamic = durable_service->EnableDynamicTablets(
+            options, RealClock::Instance());
+        !dynamic.ok()) {
+      std::fprintf(stderr, "dynamic tablets: %s\n",
+                   dynamic.ToString().c_str());
+      return 1;
+    }
+    if (const size_t hosted = durable_service->tablet_count(); hosted > 1) {
+      std::printf("hosting %zu tablets (recovered split children)\n", hosted);
+    }
     if (group_commit.enabled) {
       std::printf("group commit: batch %lld, delay %lld us\n",
                   static_cast<long long>(flags.GetInt("group_commit_batch")),
