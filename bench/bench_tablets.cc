@@ -21,9 +21,18 @@
 //      pileus_tablet_migration_window_us histogram) stays under a bound
 //      and is recorded exactly once per migration — the fenced drain is
 //      finite, so windows must not stretch with the ops pushed through.
+//   3. Coordinator kill (DESIGN.md Section 15): a durable coordinator dies
+//      at the worst crash point — mid-cutover, range fenced on the source —
+//      and a standby waits out the lease, replays the intent log, and
+//      resumes the migration. Write unavailability for the migrating range
+//      stays under lease + drain budget, and every other range serves
+//      writes uninterrupted throughout.
 //
-// PILEUS_BENCH_SMOKE=1 shrinks the op counts; the self-checks hold in both
-// modes.
+// Writes BENCH_tablets.json (cwd) so the numbers are trackable across
+// commits. PILEUS_BENCH_SMOKE=1 shrinks the op counts; the self-checks
+// hold in both modes.
+
+#include <stdlib.h>
 
 #include <algorithm>
 #include <atomic>
@@ -37,6 +46,7 @@
 #include "src/common/clock.h"
 #include "src/common/random.h"
 #include "src/proto/messages.h"
+#include "src/sim/fault_injector.h"
 #include "src/storage/storage_node.h"
 #include "src/tablets/coordinator.h"
 #include "src/tablets/rebalancer.h"
@@ -89,6 +99,8 @@ std::string KeyName(int index) {
 
 struct World {
   std::unique_ptr<TickingClock> clock;
+  std::unique_ptr<sim::FaultInjector> injector;
+  tablets::TabletMap initial;  // Seed map, kept for standby Recover().
   std::vector<std::unique_ptr<storage::StorageNode>> nodes;
   std::unique_ptr<tablets::TabletCoordinator> coordinator;
   std::unique_ptr<telemetry::MetricsRegistry> registry;
@@ -103,9 +115,14 @@ struct World {
   }
 };
 
-World BuildWorld() {
+// With `intent_log_path` empty the coordinator is the plain in-memory one;
+// otherwise it boots durably via Recover() under `lease_us` leases, wired
+// to the world's fault injector so crash points can kill it mid-protocol.
+World BuildWorld(const std::string& intent_log_path = "",
+                 MicrosecondCount lease_us = 0) {
   World world;
   world.clock = std::make_unique<TickingClock>(/*tick_us=*/2);
+  world.injector = std::make_unique<sim::FaultInjector>();
   tablets::TabletMap initial;
   initial.table = kTable;
   initial.version = 1;
@@ -129,8 +146,25 @@ World BuildWorld() {
     initial.tablets.push_back(std::move(info));
     world.nodes.push_back(std::move(node));
   }
-  world.coordinator = std::make_unique<tablets::TabletCoordinator>(
-      std::move(initial), world.clock.get());
+  world.initial = initial;
+  if (intent_log_path.empty()) {
+    world.coordinator = std::make_unique<tablets::TabletCoordinator>(
+        std::move(initial), world.clock.get());
+  } else {
+    tablets::TabletCoordinator::Options options;
+    options.intent_log_path = intent_log_path;
+    options.coordinator_name = "coord-a";
+    options.lease_duration_us = lease_us;
+    options.fault_injector = world.injector.get();
+    auto recovered = tablets::TabletCoordinator::Recover(
+        std::move(initial), world.clock.get(), options);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "Recover: %s\n",
+                   recovered.status().ToString().c_str());
+      std::exit(1);
+    }
+    world.coordinator = std::move(*recovered);
+  }
   world.registry = std::make_unique<telemetry::MetricsRegistry>();
   world.coordinator->EnableTelemetry(world.registry.get());
   for (auto& node : world.nodes) {
@@ -207,6 +241,177 @@ WorkloadResult RunWorkload(World& world, uint64_t ops, bool hot,
       ++result.ops;
       ++result.ops_by_node[node->name()];
     }
+  }
+  return result;
+}
+
+// --- Coordinator kill (DESIGN.md Section 15) ---
+
+constexpr MicrosecondCount kLeaseUs = 100'000;       // Virtual lease term.
+constexpr MicrosecondCount kDrainBudgetUs = 50'000;  // Same bound as phase 4.
+
+struct KillPhaseResult {
+  bool ok = false;
+  int64_t unavailability_us = 0;       // Crash to first accepted hot write.
+  uint64_t standby_wait_attempts = 0;  // Recover() calls fenced by the lease.
+  uint64_t hot_probe_attempts = 0;     // Migrating-range writes in the window.
+  uint64_t hot_probe_failures = 0;     // All must fail: the range is fenced.
+  uint64_t cold_probe_writes = 0;      // Other-range writes in the window.
+  uint64_t cold_probe_failures = 0;    // Must be zero: uninterrupted service.
+};
+
+bool ProbePut(storage::StorageNode* node, const std::string& key,
+              const std::string& value) {
+  proto::PutRequest put;
+  put.table = kTable;
+  put.key = key;
+  put.value = value;
+  proto::Message request = put;
+  return !std::holds_alternative<proto::ErrorReply>(node->Handle(request));
+}
+
+// A durable coordinator dies at the worst crash point of a live migration —
+// the source just fenced the range, the target is not yet promoted — and a
+// standby must wait out the lease before it may replay the intent log and
+// resume the cutover. The whole down window is probed: writes to the
+// migrating range must fail (no split brain), writes to every other range
+// must keep landing.
+KillPhaseResult RunCoordinatorKillPhase(bool smoke) {
+  KillPhaseResult result;
+  char tmpl[] = "/tmp/pileus_bench_tablets.XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::fprintf(stderr, "coordinator kill: mkdtemp failed\n");
+    return result;
+  }
+  const std::string log_path = std::string(tmpl) + "/coordinator.intents";
+  World world = BuildWorld(log_path, kLeaseUs);
+
+  // Seed data so the cutover drain has records to pull.
+  (void)RunWorkload(world, smoke ? 500 : 2'000, /*hot=*/false, /*seed=*/7);
+
+  const std::string hot_begin = KeyName(kHotBegin);
+  if (Status renewed = world.coordinator->RenewLease(); !renewed.ok()) {
+    std::fprintf(stderr, "coordinator kill: RenewLease: %s\n",
+                 renewed.ToString().c_str());
+    return result;
+  }
+  world.injector->ArmCrashPoint("tablets.migration.after_fence");
+  const Status migrate = world.coordinator->ExecuteMigration(hot_begin, "n4");
+  if (migrate.code() != StatusCode::kCancelled) {
+    std::fprintf(stderr,
+                 "coordinator kill: expected the crash point to fire, got %s\n",
+                 migrate.ToString().c_str());
+    return result;
+  }
+  const tablets::TabletMap fenced = world.coordinator->map();
+  const MicrosecondCount crash_us = world.clock->NowMicros();
+  world.coordinator.reset();  // kill -9: only the intent log survives.
+
+  tablets::TabletCoordinator::Options standby;
+  standby.intent_log_path = log_path;
+  standby.coordinator_name = "coord-b";
+  standby.lease_duration_us = kLeaseUs;
+  std::unique_ptr<tablets::TabletCoordinator> successor;
+  for (uint64_t i = 0; i < 500'000 && successor == nullptr; ++i) {
+    auto attempt = tablets::TabletCoordinator::Recover(
+        world.initial, world.clock.get(), standby);
+    if (attempt.ok()) {
+      successor = std::move(*attempt);
+      break;
+    }
+    ++result.standby_wait_attempts;
+    // Probe the data plane while the control plane is down.
+    for (const tablets::TabletInfo& info : fenced.tablets) {
+      const std::string key =
+          info.range.begin.empty() ? KeyName(0) : info.range.begin;
+      storage::StorageNode* node = world.NodeNamed(info.config.primary);
+      const bool served =
+          node != nullptr && ProbePut(node, key, "probe");
+      if (info.range.begin == hot_begin) {
+        ++result.hot_probe_attempts;
+        if (!served) {
+          ++result.hot_probe_failures;
+        }
+      } else {
+        ++result.cold_probe_writes;
+        if (!served) {
+          ++result.cold_probe_failures;
+        }
+      }
+    }
+  }
+  if (successor == nullptr) {
+    std::fprintf(stderr, "coordinator kill: standby never took over\n");
+    return result;
+  }
+  world.coordinator = std::move(successor);
+  for (auto& node : world.nodes) {
+    world.coordinator->RegisterNode(node.get());
+  }
+  if (Status done = world.coordinator->CompleteRecovery(); !done.ok()) {
+    std::fprintf(stderr, "coordinator kill: CompleteRecovery: %s\n",
+                 done.ToString().c_str());
+    return result;
+  }
+
+  // The resumed cutover must have promoted the target; the first accepted
+  // write to the migrating range closes the unavailability window.
+  const tablets::TabletInfo* owner =
+      world.coordinator->map().OwnerOf(hot_begin);
+  storage::StorageNode* new_primary =
+      owner == nullptr ? nullptr : world.NodeNamed(owner->config.primary);
+  if (owner == nullptr || owner->config.primary != "n4" ||
+      new_primary == nullptr ||
+      !ProbePut(new_primary, hot_begin, "post-recovery")) {
+    std::fprintf(stderr,
+                 "coordinator kill: migration did not resume to the target\n");
+    return result;
+  }
+  result.unavailability_us = world.clock->NowMicros() - crash_us;
+
+  result.ok = true;
+  if (world.coordinator->migrations() != 1 ||
+      world.coordinator->pending_intent().has_value()) {
+    std::fprintf(stderr,
+                 "FAIL: standby finished %llu migrations (want 1), pending "
+                 "intent %s\n",
+                 static_cast<unsigned long long>(
+                     world.coordinator->migrations()),
+                 world.coordinator->pending_intent().has_value() ? "set"
+                                                                 : "clear");
+    result.ok = false;
+  }
+  if (result.standby_wait_attempts == 0) {
+    std::fprintf(stderr,
+                 "FAIL: the standby never waited — the lease did not fence "
+                 "the takeover\n");
+    result.ok = false;
+  }
+  if (result.hot_probe_attempts == 0 ||
+      result.hot_probe_failures != result.hot_probe_attempts) {
+    std::fprintf(stderr,
+                 "FAIL: the fenced range accepted writes during the down "
+                 "window (%llu of %llu rejected) — split brain\n",
+                 static_cast<unsigned long long>(result.hot_probe_failures),
+                 static_cast<unsigned long long>(result.hot_probe_attempts));
+    result.ok = false;
+  }
+  if (result.cold_probe_writes == 0 || result.cold_probe_failures != 0) {
+    std::fprintf(stderr,
+                 "FAIL: other ranges did not serve uninterrupted (%llu of "
+                 "%llu probes failed)\n",
+                 static_cast<unsigned long long>(result.cold_probe_failures),
+                 static_cast<unsigned long long>(result.cold_probe_writes));
+    result.ok = false;
+  }
+  if (result.unavailability_us <= 0 ||
+      result.unavailability_us > kLeaseUs + kDrainBudgetUs) {
+    std::fprintf(stderr,
+                 "FAIL: write unavailability %lld us exceeds the lease + "
+                 "drain budget %lld us\n",
+                 static_cast<long long>(result.unavailability_us),
+                 static_cast<long long>(kLeaseUs + kDrainBudgetUs));
+    result.ok = false;
   }
   return result;
 }
@@ -343,6 +548,77 @@ int main() {
                  hotspot.Throughput(), balanced.Throughput());
     ok = false;
   }
+
+  // Phase 5: kill the coordinator mid-cutover; a standby resumes from the
+  // intent log after the lease runs out.
+  const KillPhaseResult kill = RunCoordinatorKillPhase(smoke);
+  std::printf("coordinator kill:    unavailability %lld us (bound %lld us), "
+              "%llu lease-fenced takeover attempts, hot probes %llu/%llu "
+              "rejected, cold probes %llu/%llu served\n",
+              static_cast<long long>(kill.unavailability_us),
+              static_cast<long long>(kLeaseUs + kDrainBudgetUs),
+              static_cast<unsigned long long>(kill.standby_wait_attempts),
+              static_cast<unsigned long long>(kill.hot_probe_failures),
+              static_cast<unsigned long long>(kill.hot_probe_attempts),
+              static_cast<unsigned long long>(kill.cold_probe_writes -
+                                              kill.cold_probe_failures),
+              static_cast<unsigned long long>(kill.cold_probe_writes));
+  ok = ok && kill.ok;
+
+  // --- BENCH_tablets.json ---
+  FILE* json = std::fopen("BENCH_tablets.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(json,
+                 "  \"balanced_ops_per_sec\": %.0f,\n"
+                 "  \"hotspot_static_ops_per_sec\": %.0f,\n"
+                 "  \"hotspot_rebalanced_ops_per_sec\": %.0f,\n"
+                 "  \"recovery_fraction\": %.3f,\n",
+                 balanced.Throughput(), hotspot.Throughput(),
+                 rebalanced.Throughput(),
+                 rebalanced.Throughput() / balanced.Throughput());
+    std::fprintf(json,
+                 "  \"splits\": %llu,\n  \"migrations\": %llu,\n"
+                 "  \"migration_failures\": %llu,\n  \"map_version\": %llu,\n"
+                 "  \"tablets\": %zu,\n",
+                 static_cast<unsigned long long>(world.coordinator->splits()),
+                 static_cast<unsigned long long>(
+                     world.coordinator->migrations()),
+                 static_cast<unsigned long long>(
+                     world.coordinator->migration_failures()),
+                 static_cast<unsigned long long>(
+                     world.coordinator->map().version),
+                 world.coordinator->map().tablets.size());
+    std::fprintf(json,
+                 "  \"migration_window_us\": {\"n\": %llu, \"p50\": %lld, "
+                 "\"max\": %lld, \"bound\": %lld},\n",
+                 static_cast<unsigned long long>(windows.count()),
+                 static_cast<long long>(windows.Quantile(0.5)),
+                 static_cast<long long>(windows.max()),
+                 static_cast<long long>(kWindowBoundUs));
+    std::fprintf(json,
+                 "  \"coordinator_kill\": {\"lease_us\": %lld, "
+                 "\"drain_budget_us\": %lld, \"unavailability_us\": %lld, "
+                 "\"bound_us\": %lld, \"standby_wait_attempts\": %llu, "
+                 "\"hot_probes_rejected\": %llu, \"hot_probes\": %llu, "
+                 "\"cold_probes_served\": %llu, \"cold_probes\": %llu, "
+                 "\"ok\": %s},\n",
+                 static_cast<long long>(kLeaseUs),
+                 static_cast<long long>(kDrainBudgetUs),
+                 static_cast<long long>(kill.unavailability_us),
+                 static_cast<long long>(kLeaseUs + kDrainBudgetUs),
+                 static_cast<unsigned long long>(kill.standby_wait_attempts),
+                 static_cast<unsigned long long>(kill.hot_probe_failures),
+                 static_cast<unsigned long long>(kill.hot_probe_attempts),
+                 static_cast<unsigned long long>(kill.cold_probe_writes -
+                                                 kill.cold_probe_failures),
+                 static_cast<unsigned long long>(kill.cold_probe_writes),
+                 kill.ok ? "true" : "false");
+    std::fprintf(json, "  \"pass\": %s\n}\n", ok ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_tablets.json\n");
+  }
+
   std::printf("%s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

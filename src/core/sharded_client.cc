@@ -148,6 +148,35 @@ Status ShardedClient::RefreshTabletMap() {
     return Status(StatusCode::kInvalidArgument,
                   "static shard list cannot be refreshed");
   }
+  return RefreshShared(/*charge_budget=*/false);
+}
+
+Status ShardedClient::RefreshShared(bool charge_budget) {
+  std::unique_lock<std::mutex> lock(refresh_mu_);
+  if (refresh_in_flight_) {
+    // Join the in-flight fetch: its answer is as fresh as one we would
+    // issue now, so share it instead of racing a duplicate query (and, on
+    // the retry path, spending a duplicate budget token).
+    ++map_refreshes_coalesced_;
+    const uint64_t generation = refresh_generation_;
+    refresh_cv_.wait(lock, [&] { return refresh_generation_ != generation; });
+    return last_refresh_status_;
+  }
+  if (charge_budget && !refresh_budget_->TryAcquire()) {
+    return Status(StatusCode::kOverloaded, "retry budget exhausted");
+  }
+  refresh_in_flight_ = true;
+  lock.unlock();
+  const Status status = FetchTabletMap();
+  lock.lock();
+  refresh_in_flight_ = false;
+  last_refresh_status_ = status;
+  ++refresh_generation_;
+  refresh_cv_.notify_all();
+  return status;
+}
+
+Status ShardedClient::FetchTabletMap() {
   proto::TabletMapRequest query;
   query.table = map_.table;
   query.have_version = map_.version;
@@ -229,11 +258,10 @@ Result<T> ShardedClient::RouteOp(std::string_view key, Fn&& op) {
       const bool refreshable =
           dynamic() && (code == StatusCode::kWrongTablet ||
                         code == StatusCode::kUnavailable);
-      if (!refreshable || attempt >= dynamic_.max_map_refresh_attempts ||
-          !refresh_budget_->TryAcquire()) {
+      if (!refreshable || attempt >= dynamic_.max_map_refresh_attempts) {
         return result;
       }
-      if (!RefreshTabletMap().ok()) {
+      if (!RefreshShared(/*charge_budget=*/true).ok()) {
         return result;  // The original failure is the useful one.
       }
       continue;
@@ -241,7 +269,7 @@ Result<T> ShardedClient::RouteOp(std::string_view key, Fn&& op) {
     // Unrouteable key: never misroute, never walk off the shard list — the
     // stale-map remedy is a refresh, the honest answer is kUnavailable.
     if (!dynamic() || attempt >= dynamic_.max_map_refresh_attempts ||
-        !refresh_budget_->TryAcquire() || !RefreshTabletMap().ok()) {
+        !RefreshShared(/*charge_budget=*/true).ok()) {
       return Status(StatusCode::kUnavailable,
                     "no shard covers key '" + std::string(key) +
                         "' (tablet map v" + std::to_string(map_.version) +

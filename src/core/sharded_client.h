@@ -29,9 +29,12 @@
 #ifndef PILEUS_SRC_CORE_SHARDED_CLIENT_H_
 #define PILEUS_SRC_CORE_SHARDED_CLIENT_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -113,10 +116,18 @@ class ShardedClient {
   const tablets::TabletMap& tablet_map() const { return map_; }
   // Fetches the newest map any connected node knows and rebuilds the
   // routing table if it is newer than ours. Ok with no change when every
-  // reachable node is at our version.
+  // reachable node is at our version. Single-flight: callers arriving while
+  // a fetch is in flight wait for it and share its outcome instead of
+  // issuing their own query (RefreshTabletMap is safe to call concurrently
+  // even though the data path is not).
   Status RefreshTabletMap();
   // Successful refreshes that adopted a newer map.
   uint64_t map_refreshes() const { return map_refreshes_; }
+  // Refresh calls that piggybacked on an in-flight fetch (each saved one
+  // map query and, on the retry path, one retry-budget token).
+  uint64_t map_refreshes_coalesced() const {
+    return map_refreshes_coalesced_.load(std::memory_order_relaxed);
+  }
 
   size_t shard_count() const { return shards_.size(); }
   PileusClient& shard_client(size_t index) { return *shards_[index].client; }
@@ -141,6 +152,12 @@ class ShardedClient {
   // Entries whose primary cannot be connected are skipped.
   Status AdoptMap(tablets::TabletMap map);
   std::shared_ptr<NodeConnection> ConnectTo(const std::string& node);
+  // Single-flight core behind RefreshTabletMap: joiners wait out the
+  // in-flight fetch for free; the fetcher pays a retry-budget token when
+  // `charge_budget` is set (the RouteOp retry path).
+  Status RefreshShared(bool charge_budget);
+  // The actual map query + adopt (exactly one caller at a time).
+  Status FetchTabletMap();
   // Runs `op` against the owning shard with refresh-and-retry on
   // kWrongTablet / unrouteable keys (dynamic mode).
   template <typename T, typename Fn>
@@ -158,6 +175,17 @@ class ShardedClient {
   std::unique_ptr<RetryBudget> own_refresh_budget_;
   RetryBudget* refresh_budget_ = nullptr;
   uint64_t map_refreshes_ = 0;
+
+  // Single-flight refresh state. refresh_generation_ bumps when a fetch
+  // completes so joiners know theirs is done (not a later one).
+  std::mutex refresh_mu_;
+  std::condition_variable refresh_cv_;
+  bool refresh_in_flight_ = false;
+  uint64_t refresh_generation_ = 0;
+  Status last_refresh_status_;
+  // Atomic so tests (and metrics scrapes) can read it while a refresh is
+  // still parked on the condition variable; writes stay under refresh_mu_.
+  std::atomic<uint64_t> map_refreshes_coalesced_{0};
 };
 
 }  // namespace pileus::core

@@ -16,6 +16,7 @@
 #include "src/common/random.h"
 #include "src/core/sharded_client.h"
 #include "src/persist/wal.h"
+#include "src/sim/fault_injector.h"
 #include "src/storage/storage_node.h"
 #include "src/tablets/coordinator.h"
 #include "src/tablets/rebalancer.h"
@@ -128,14 +129,16 @@ class ChurnWorld {
                         "'");
     }
     const bool durable = options_.scenario == FaultScenario::kCrashRestart;
-    if (durable && options_.durable_root.empty()) {
+    if ((durable || options_.coordinator_kill) &&
+        options_.durable_root.empty()) {
       return Status(StatusCode::kInvalidArgument,
-                    "crash-restart churn needs a durable_root");
+                    "crash-restart / coordinator-kill churn needs a "
+                    "durable_root");
     }
     if (options_.node_count < 2) {
       return Status(StatusCode::kInvalidArgument, "need at least two nodes");
     }
-    if (durable) {
+    if (durable || options_.coordinator_kill) {
       MakeDirectories(options_.durable_root);
     }
 
@@ -171,17 +174,17 @@ class ChurnWorld {
                                                          tablet_options));
     }
 
-    tablets::TabletCoordinator::Options coord_options;
-    coord_options.reachable = [this](const std::string& name) {
-      const NodeSlot* slot = FindSlot(name);
-      return slot != nullptr && !slot->unreachable && !slot->crashed;
-    };
-    coordinator_ = std::make_unique<tablets::TabletCoordinator>(
-        initial, &clock_, std::move(coord_options));
-    for (auto& slot : slots_) {
-      coordinator_->RegisterNode(slot->node.get());
+    initial_map_ = initial;
+    if (options_.coordinator_kill) {
+      PILEUS_RETURN_IF_ERROR(RecoverCoordinator());
+    } else {
+      coordinator_ = std::make_unique<tablets::TabletCoordinator>(
+          initial, &clock_, MakeCoordinatorOptions());
+      for (auto& slot : slots_) {
+        coordinator_->RegisterNode(slot->node.get());
+      }
+      PILEUS_RETURN_IF_ERROR(coordinator_->PublishMap());
     }
-    PILEUS_RETURN_IF_ERROR(coordinator_->PublishMap());
 
     tablets::Rebalancer::Options policy;
     policy.split_threshold_bytes = 2048;
@@ -238,9 +241,24 @@ class ChurnWorld {
     int churn_step = 0;
     for (uint64_t op = 0; op < options_.total_ops; ++op) {
       ApplyFaults(op);
+      if (options_.coordinator_kill) {
+        PILEUS_RETURN_IF_ERROR(DriveCoordinatorKill(op));
+      }
       if (options_.churn_period_ops > 0 && op > 0 &&
           op % static_cast<uint64_t>(options_.churn_period_ops) == 0) {
         ChurnStep(churn_step++);
+        if (coordinator_ != nullptr &&
+            injector_.crash_points_fired() > kills_taken_) {
+          // The armed crash point fired mid-phase: the coordinator process
+          // is gone. Only its intent log survives; the data plane keeps
+          // serving whatever the partially-executed operation left behind.
+          kills_taken_ = injector_.crash_points_fired();
+          coordinator_.reset();
+          coordinator_down_until_ =
+              op + static_cast<uint64_t>(
+                       std::max(options_.coordinator_down_ops, 0));
+          ++result_->coordinator_kills;
+        }
       }
       if (options_.ops_per_session > 0 &&
           op % static_cast<uint64_t>(options_.ops_per_session) == 0 &&
@@ -286,6 +304,9 @@ class ChurnWorld {
       clock_.AdvanceMicros(kThinkUs);
     }
 
+    if (coordinator_ == nullptr) {
+      PILEUS_RETURN_IF_ERROR(RecoverCoordinator());
+    }
     HealAll();
     return Status::Ok();
   }
@@ -305,14 +326,29 @@ class ChurnWorld {
       storage::StorageNode* node = slot->node.get();
       const KeyRange range = info.range;
       bool contiguous = true;
+      // The node's tablets may be finer than the map's range (children of a
+      // split abandoned at recovery) or coarser (an unsplit copy on a healed
+      // member), so union every overlapping tablet's log and keep only the
+      // range's own keys.
       std::vector<proto::ObjectVersion> piece = node->WithLock(
           [&]() -> std::vector<proto::ObjectVersion> {
-            const storage::Tablet* tablet =
-                node->FindTablet(kChurnTable, range.begin);
-            if (tablet == nullptr) {
-              return {};
+            std::vector<proto::ObjectVersion> merged;
+            for (storage::Tablet* tablet :
+                 node->TabletsForTable(kChurnTable)) {
+              if (!tablet->range().Overlaps(range)) {
+                continue;
+              }
+              bool tablet_contiguous = true;
+              std::vector<proto::ObjectVersion> exported =
+                  tablet->ExportCommittedVersions(&tablet_contiguous);
+              contiguous = contiguous && tablet_contiguous;
+              for (proto::ObjectVersion& version : exported) {
+                if (range.Contains(version.key)) {
+                  merged.push_back(std::move(version));
+                }
+              }
             }
-            return tablet->ExportCommittedVersions(&contiguous);
+            return merged;
           });
       complete = complete && contiguous;
       truth.insert(truth.end(), piece.begin(), piece.end());
@@ -372,6 +408,72 @@ class ChurnWorld {
     return nullptr;
   }
 
+  tablets::TabletCoordinator::Options MakeCoordinatorOptions() {
+    tablets::TabletCoordinator::Options coord_options;
+    coord_options.reachable = [this](const std::string& name) {
+      const NodeSlot* slot = FindSlot(name);
+      return slot != nullptr && !slot->unreachable && !slot->crashed;
+    };
+    if (options_.coordinator_kill) {
+      coord_options.intent_log_path =
+          options_.durable_root + "/coordinator.intents";
+      coord_options.fault_injector = &injector_;
+    }
+    return coord_options;
+  }
+
+  // One coordinator (re)start from the durable intent log: replay, take the
+  // lease under the next epoch, finish or roll back the in-flight
+  // operation, republish.
+  Status RecoverCoordinator() {
+    Result<std::unique_ptr<tablets::TabletCoordinator>> recovered =
+        tablets::TabletCoordinator::Recover(initial_map_, &clock_,
+                                            MakeCoordinatorOptions());
+    PILEUS_RETURN_IF_ERROR(recovered.status());
+    coordinator_ = std::move(*recovered);
+    for (auto& slot : slots_) {
+      if (slot->node != nullptr && !slot->crashed) {
+        coordinator_->RegisterNode(slot->node.get());
+      }
+    }
+    PILEUS_RETURN_IF_ERROR(coordinator_->CompleteRecovery());
+    if (result_->coordinator_kills > result_->coordinator_recoveries) {
+      ++result_->coordinator_recoveries;
+    }
+    return Status::Ok();
+  }
+
+  // The full crash-point matrix, cycled starting at a seed-dependent offset
+  // so a seed sweep covers every phase boundary.
+  const std::string& NextKillPoint() {
+    if (kill_points_.empty()) {
+      kill_points_ = tablets::TabletCoordinator::SplitCrashPoints();
+      const std::vector<std::string>& migration =
+          tablets::TabletCoordinator::MigrationCrashPoints();
+      kill_points_.insert(kill_points_.end(), migration.begin(),
+                          migration.end());
+      kill_cursor_ = options_.seed % kill_points_.size();
+    }
+    return kill_points_[kill_cursor_++ % kill_points_.size()];
+  }
+
+  // Coordinator-kill driver: while the coordinator is dead, bring the
+  // standby up once the down window passes; while it is alive, arm a crash
+  // point at the planned kill ops so the next churn action dies mid-phase.
+  Status DriveCoordinatorKill(uint64_t op) {
+    if (coordinator_ == nullptr) {
+      if (op >= coordinator_down_until_) {
+        PILEUS_RETURN_IF_ERROR(RecoverCoordinator());
+      }
+      return Status::Ok();
+    }
+    const uint64_t n = options_.total_ops;
+    if (op == n * 25 / 100 || op == n * 55 / 100 || op == n * 80 / 100) {
+      injector_.ArmCrashPoint(NextKillPoint());
+    }
+    return Status::Ok();
+  }
+
   void DoPut(core::Session& session, const std::string& key,
              const std::string& value) {
     ++result_->ops_attempted;
@@ -406,7 +508,9 @@ class ChurnWorld {
         victim->unreachable = true;
       } else if (op == plan_.partition_end && victim != nullptr) {
         victim->unreachable = false;
-        (void)coordinator_->PublishMap();  // Catch the healed node up.
+        if (coordinator_ != nullptr) {
+          (void)coordinator_->PublishMap();  // Catch the healed node up.
+        }
       }
     } else if (options_.scenario == FaultScenario::kCrashRestart) {
       if (op == plan_.crash_at) {
@@ -417,7 +521,9 @@ class ChurnWorld {
         }
       } else if (op == plan_.restart_at) {
         NodeSlot* victim = FindSlot(plan_.victim);
-        if (victim != nullptr && victim->crashed) {
+        // With the coordinator also down, defer to HealAll: the restart
+        // sequence needs the live map to rebuild the node's tablets.
+        if (victim != nullptr && victim->crashed && coordinator_ != nullptr) {
           (void)Restart(*victim);
         }
       }
@@ -575,6 +681,9 @@ class ChurnWorld {
   }
 
   void ChurnStep(int step) {
+    if (coordinator_ == nullptr) {
+      return;  // Control plane is dead; the data plane runs on.
+    }
     switch (step % 3) {
       case 0: {  // Split the biggest reachable tablet at its median.
         std::vector<tablets::TabletLoad> loads = coordinator_->SampleLoads();
@@ -682,13 +791,22 @@ class ChurnWorld {
   std::vector<std::pair<std::string, Timestamp>> acked_;
   FaultPlan plan_;
   size_t migrate_cursor_ = 0;
+
+  // Coordinator-kill state (inert unless options_.coordinator_kill).
+  sim::FaultInjector injector_;
+  tablets::TabletMap initial_map_;
+  std::vector<std::string> kill_points_;
+  size_t kill_cursor_ = 0;
+  uint64_t kills_taken_ = 0;
+  uint64_t coordinator_down_until_ = 0;
 };
 
 }  // namespace
 
 std::string TabletChurnResult::Summary() const {
   std::ostringstream os;
-  os << (ok() ? "PASS" : "FAIL") << " scenario=tablet-churn/"
+  const char* name = coordinator_kill ? "tablet-churn-kill" : "tablet-churn";
+  os << (ok() ? "PASS" : "FAIL") << " scenario=" << name << "/"
      << FaultScenarioName(scenario) << " seed=" << seed << ": ";
   if (!setup.ok()) {
     os << "setup failed: " << setup.message();
@@ -698,14 +816,20 @@ std::string TabletChurnResult::Summary() const {
      << " sessions, " << splits << " splits, " << migrations << " migrations ("
      << migration_failures << " failed), " << map_refreshes
      << " map refreshes, " << final_tablets << " tablets @ map v"
-     << final_map_version << "; " << acked_writes << " acked writes ("
+     << final_map_version << "; ";
+  if (coordinator_kills > 0 || coordinator_recoveries > 0) {
+    os << coordinator_kills << " coordinator kills ("
+       << coordinator_recoveries << " recovered); ";
+  }
+  os << acked_writes << " acked writes ("
      << lost_acked_writes << " lost); " << report.reads_checked << " reads, "
      << report.writes_checked << " writes, " << report.ranges_checked
      << " ranges, " << report.claims_checked << " claims checked";
   if (!ok()) {
     os << "; " << report.violations.size() << " violation"
        << (report.violations.size() == 1 ? "" : "s")
-       << " (reproduce with --seed " << seed << " --scenarios tablet-churn)";
+       << " (reproduce with --seed " << seed << " --scenarios " << name
+       << ")";
   }
   return os.str();
 }
@@ -714,6 +838,7 @@ TabletChurnResult RunTabletChurnScenario(const TabletChurnOptions& options) {
   TabletChurnResult result;
   result.seed = options.seed;
   result.scenario = options.scenario;
+  result.coordinator_kill = options.coordinator_kill;
   ChurnWorld world(options, &result);
   result.setup = world.Build();
   if (!result.setup.ok()) {

@@ -44,8 +44,16 @@ struct TabletChurnOptions {
   // every this many workload ops.
   int churn_period_ops = 40;
   // Per-node WALs live here; required for kCrashRestart (the crashed node
-  // recovers from its WAL), ignored otherwise.
+  // recovers from its WAL) and for coordinator_kill (the coordinator's
+  // intent log), ignored otherwise.
   std::string durable_root;
+  // Run the coordinator durably (intent log in durable_root) and kill it
+  // mid-operation at rotating protocol crash points; a standby recovers
+  // from the intent log after coordinator_down_ops workload ops
+  // (DESIGN.md Section 15). The audit bar is unchanged: zero violations,
+  // zero lost acked writes.
+  bool coordinator_kill = false;
+  int coordinator_down_ops = 30;
   // Give the client a consistency-aware cache so cache-served reads enter
   // the audited history (mirrors ScenarioOptions::client_cache).
   bool client_cache = false;
@@ -57,6 +65,7 @@ struct TabletChurnOptions {
 struct TabletChurnResult {
   uint64_t seed = 0;
   FaultScenario scenario = FaultScenario::kNone;
+  bool coordinator_kill = false;  // Echoed from the options for the summary.
   // Non-ok when the world could not even be built (bad options); the audit
   // fields below are meaningless then.
   Status setup = Status::Ok();
@@ -72,6 +81,10 @@ struct TabletChurnResult {
   uint64_t map_refreshes = 0;  // Client-side map adoptions after fences.
   uint64_t final_tablets = 0;
   uint64_t final_map_version = 0;
+  // Coordinator-kill runs: crash-point kills taken and successful standby
+  // recoveries (equal when the run ends healthy).
+  uint64_t coordinator_kills = 0;
+  uint64_t coordinator_recoveries = 0;
   // Acked-write durability: every Put/Delete the client saw succeed must
   // appear in the merged committed logs, across every split and migration.
   uint64_t acked_writes = 0;

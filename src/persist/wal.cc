@@ -1,16 +1,10 @@
 #include "src/persist/wal.h"
 
-#include <errno.h>
-#include <fcntl.h>
-#include <string.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <utility>
 #include <vector>
 
+#include "src/persist/record_log.h"
 #include "src/util/codec.h"
-#include "src/util/crc32.h"
 
 namespace pileus::persist {
 
@@ -20,43 +14,6 @@ constexpr uint8_t kKindVersion = 1;
 constexpr uint8_t kKindHeartbeat = 2;
 constexpr uint8_t kKindConfig = 3;
 constexpr uint8_t kKindSplit = 4;
-constexpr size_t kHeaderBytes = 1 + 4 + 4;
-// Sanity bound on a single record (a version is key+value+timestamp).
-constexpr uint32_t kMaxPayload = 256 * 1024 * 1024;
-
-Status Errno(const char* what, const std::string& path) {
-  return Status(StatusCode::kUnavailable,
-                std::string(what) + " '" + path + "': " + strerror(errno));
-}
-
-uint32_t DecodeFixed32(const unsigned char* p) {
-  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-         (static_cast<uint32_t>(p[2]) << 16) |
-         (static_cast<uint32_t>(p[3]) << 24);
-}
-
-void EncodeFixed32(uint32_t v, char* out) {
-  out[0] = static_cast<char>(v);
-  out[1] = static_cast<char>(v >> 8);
-  out[2] = static_cast<char>(v >> 16);
-  out[3] = static_cast<char>(v >> 24);
-}
-
-Status WriteAll(int fd, const char* data, size_t len,
-                const std::string& path) {
-  size_t done = 0;
-  while (done < len) {
-    const ssize_t n = ::write(fd, data + done, len - done);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return Errno("write", path);
-    }
-    done += static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
 
 std::string EncodeVersionPayload(const proto::ObjectVersion& version) {
   Encoder enc;
@@ -90,96 +47,46 @@ std::string EncodeHeartbeatPayload(const Timestamp& heartbeat) {
 
 WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
   if (this != &other) {
-    Close();
-    path_ = std::move(other.path_);
-    fd_ = other.fd_;
-    bytes_written_ = other.bytes_written_;
-    other.fd_ = -1;
-    other.bytes_written_ = 0;
+    log_ = std::move(other.log_);
   }
   return *this;
 }
 
 Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-  if (fd < 0) {
-    return Errno("open", path);
+  Result<RecordLog> log = RecordLog::Open(path);
+  if (!log.ok()) {
+    return log.status();
   }
   WriteAheadLog wal;
-  wal.path_ = path;
-  wal.fd_ = fd;
-  struct stat st;
-  if (::fstat(fd, &st) == 0) {
-    wal.bytes_written_ = static_cast<uint64_t>(st.st_size);
-  }
+  wal.log_ = std::move(*log);
   return wal;
 }
 
-Status WriteAheadLog::AppendRecord(uint8_t kind, std::string_view payload) {
-  if (fd_ < 0) {
-    return Status(StatusCode::kInternal, "WAL is not open");
-  }
-  std::string record;
-  record.reserve(kHeaderBytes + payload.size());
-  record.push_back(static_cast<char>(kind));
-  char fixed[4];
-  EncodeFixed32(static_cast<uint32_t>(payload.size()), fixed);
-  record.append(fixed, 4);
-  EncodeFixed32(Crc32(payload), fixed);
-  record.append(fixed, 4);
-  record.append(payload);
-  PILEUS_RETURN_IF_ERROR(WriteAll(fd_, record.data(), record.size(), path_));
-  bytes_written_ += record.size();
-  return Status::Ok();
-}
-
 Status WriteAheadLog::AppendVersion(const proto::ObjectVersion& version) {
-  return AppendRecord(kKindVersion, EncodeVersionPayload(version));
+  return log_.Append(kKindVersion, EncodeVersionPayload(version));
 }
 
 Status WriteAheadLog::AppendHeartbeat(const Timestamp& heartbeat) {
-  return AppendRecord(kKindHeartbeat, EncodeHeartbeatPayload(heartbeat));
+  return log_.Append(kKindHeartbeat, EncodeHeartbeatPayload(heartbeat));
 }
 
 Status WriteAheadLog::AppendConfig(const reconfig::ConfigEpoch& config) {
   Encoder enc;
   reconfig::EncodeConfigEpoch(enc, config);
-  return AppendRecord(kKindConfig, enc.Release());
+  return log_.Append(kKindConfig, enc.Release());
 }
 
 Status WriteAheadLog::AppendSplit(std::string_view split_key) {
   Encoder enc;
   enc.PutLengthPrefixed(split_key);
-  return AppendRecord(kKindSplit, enc.Release());
+  return log_.Append(kKindSplit, enc.Release());
 }
 
-Status WriteAheadLog::Sync() {
-  if (fd_ < 0) {
-    return Status(StatusCode::kInternal, "WAL is not open");
-  }
-  if (::fdatasync(fd_) != 0) {
-    return Errno("fdatasync", path_);
-  }
-  return Status::Ok();
-}
+Status WriteAheadLog::Sync() { return log_.Sync(); }
 
-Status WriteAheadLog::Reset() {
-  if (fd_ < 0) {
-    return Status(StatusCode::kInternal, "WAL is not open");
-  }
-  if (::ftruncate(fd_, 0) != 0) {
-    return Errno("ftruncate", path_);
-  }
-  bytes_written_ = 0;
-  return Status::Ok();
-}
+Status WriteAheadLog::Reset() { return log_.Reset(); }
 
-void WriteAheadLog::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
-}
+void WriteAheadLog::Close() { log_.Close(); }
 
 Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
     const std::string& path,
@@ -187,106 +94,52 @@ Result<WriteAheadLog::ReplayStats> WriteAheadLog::Replay(
     const std::function<void(const Timestamp&)>& on_heartbeat,
     const std::function<void(const reconfig::ConfigEpoch&)>& on_config,
     const std::function<void(const std::string&)>& on_split) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
   ReplayStats stats;
-  if (fd < 0) {
-    if (errno == ENOENT) {
-      return stats;  // No log yet: empty history.
-    }
-    return Errno("open", path);
+  Result<RecordLog::ReplayStats> raw = RecordLog::Replay(
+      path,
+      [&](uint8_t kind, std::string_view payload) -> Status {
+        if (kind == kKindVersion) {
+          proto::ObjectVersion version;
+          PILEUS_RETURN_IF_ERROR(DecodeVersionPayload(payload, &version));
+          ++stats.versions;
+          if (on_version) {
+            on_version(version);
+          }
+        } else if (kind == kKindHeartbeat) {
+          Decoder dec(payload);
+          Timestamp heartbeat;
+          PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&heartbeat));
+          ++stats.heartbeats;
+          if (on_heartbeat) {
+            on_heartbeat(heartbeat);
+          }
+        } else if (kind == kKindConfig) {
+          Decoder dec(payload);
+          reconfig::ConfigEpoch config;
+          PILEUS_RETURN_IF_ERROR(reconfig::DecodeConfigEpoch(dec, &config));
+          ++stats.configs;
+          if (on_config) {
+            on_config(config);
+          }
+        } else {
+          Decoder dec(payload);
+          std::string split_key;
+          PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&split_key));
+          ++stats.splits;
+          if (on_split) {
+            on_split(split_key);
+          }
+        }
+        return Status::Ok();
+      },
+      [](uint8_t kind) {
+        return kind == kKindVersion || kind == kKindHeartbeat ||
+               kind == kKindConfig || kind == kKindSplit;
+      });
+  if (!raw.ok()) {
+    return raw.status();
   }
-
-  std::string contents;
-  char buf[64 * 1024];
-  while (true) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      ::close(fd);
-      return Errno("read", path);
-    }
-    if (n == 0) {
-      break;
-    }
-    contents.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-
-  size_t offset = 0;
-  while (offset < contents.size()) {
-    if (contents.size() - offset < kHeaderBytes) {
-      stats.tail_torn = true;  // Partial header at EOF.
-      break;
-    }
-    const auto* p =
-        reinterpret_cast<const unsigned char*>(contents.data() + offset);
-    const uint8_t kind = p[0];
-    const uint32_t len = DecodeFixed32(p + 1);
-    const uint32_t crc = DecodeFixed32(p + 5);
-    if (kind != kKindVersion && kind != kKindHeartbeat &&
-        kind != kKindConfig && kind != kKindSplit) {
-      return Status(StatusCode::kCorruption,
-                    "WAL record with unknown kind at offset " +
-                        std::to_string(offset));
-    }
-    if (len > kMaxPayload) {
-      return Status(StatusCode::kCorruption,
-                    "WAL record with absurd length at offset " +
-                        std::to_string(offset));
-    }
-    if (contents.size() - offset - kHeaderBytes < len) {
-      stats.tail_torn = true;  // Partial payload at EOF.
-      break;
-    }
-    const std::string_view payload(contents.data() + offset + kHeaderBytes,
-                                   len);
-    if (Crc32(payload) != crc) {
-      // A bad checksum on the *last* record is a torn tail; earlier it is
-      // real corruption.
-      if (offset + kHeaderBytes + len == contents.size()) {
-        stats.tail_torn = true;
-        break;
-      }
-      return Status(StatusCode::kCorruption,
-                    "WAL record with bad checksum at offset " +
-                        std::to_string(offset));
-    }
-    if (kind == kKindVersion) {
-      proto::ObjectVersion version;
-      PILEUS_RETURN_IF_ERROR(DecodeVersionPayload(payload, &version));
-      ++stats.versions;
-      if (on_version) {
-        on_version(version);
-      }
-    } else if (kind == kKindHeartbeat) {
-      Decoder dec(payload);
-      Timestamp heartbeat;
-      PILEUS_RETURN_IF_ERROR(dec.GetTimestamp(&heartbeat));
-      ++stats.heartbeats;
-      if (on_heartbeat) {
-        on_heartbeat(heartbeat);
-      }
-    } else if (kind == kKindConfig) {
-      Decoder dec(payload);
-      reconfig::ConfigEpoch config;
-      PILEUS_RETURN_IF_ERROR(reconfig::DecodeConfigEpoch(dec, &config));
-      ++stats.configs;
-      if (on_config) {
-        on_config(config);
-      }
-    } else {
-      Decoder dec(payload);
-      std::string split_key;
-      PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&split_key));
-      ++stats.splits;
-      if (on_split) {
-        on_split(split_key);
-      }
-    }
-    offset += kHeaderBytes + len;
-  }
+  stats.tail_torn = raw->tail_torn;
   return stats;
 }
 

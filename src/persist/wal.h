@@ -25,6 +25,7 @@
 
 #include "src/common/status.h"
 #include "src/common/timestamp.h"
+#include "src/persist/record_log.h"
 #include "src/proto/messages.h"
 #include "src/reconfig/config_epoch.h"
 
@@ -43,7 +44,7 @@ class WriteAheadLog {
   // Opens (creating if needed) the log at `path` for appending.
   static Result<WriteAheadLog> Open(const std::string& path);
 
-  bool is_open() const { return fd_ >= 0; }
+  bool is_open() const { return log_.is_open(); }
 
   // Appends one record; data reaches the kernel but is not fsynced until
   // Sync() (group-commit friendly).
@@ -67,8 +68,8 @@ class WriteAheadLog {
 
   void Close();
 
-  uint64_t bytes_written() const { return bytes_written_; }
-  const std::string& path() const { return path_; }
+  uint64_t bytes_written() const { return log_.bytes_written(); }
+  const std::string& path() const { return log_.path(); }
 
   // --- Recovery ---
 
@@ -98,11 +99,9 @@ class WriteAheadLog {
       const std::string& path);
 
  private:
-  Status AppendRecord(uint8_t kind, std::string_view payload);
-
-  std::string path_;
-  int fd_ = -1;
-  uint64_t bytes_written_ = 0;
+  // Record framing/recovery lives in RecordLog (shared with the coordinator
+  // intent log); this class owns only the typed payload codecs.
+  RecordLog log_;
 };
 
 }  // namespace pileus::persist

@@ -122,6 +122,14 @@ bool StorageNode::InstallTabletMapLocked(const tablets::TabletMap& map) {
   if (it != tablet_maps_.end() && map.version < it->second.version) {
     return false;  // Stale map: a fenced coordinator or delayed install.
   }
+  // Coordinator-epoch fence (DESIGN.md Section 15): once a map from
+  // coordinator epoch E is installed, a deposed coordinator at a lower
+  // (non-legacy) epoch is refused outright — version monotonicity alone
+  // cannot fence it, because both coordinators mint plausible versions.
+  if (it != tablet_maps_.end() && map.coordinator_epoch != 0 &&
+      map.coordinator_epoch < it->second.coordinator_epoch) {
+    return false;
+  }
   if (it == tablet_maps_.end()) {
     tablet_maps_.emplace(map.table, map);
   } else {
@@ -933,16 +941,56 @@ proto::Message StorageNode::HandleLocked(const proto::Message& request) {
                        "node " + name_ + " hosts no tablets of table");
     }
     if (sync->has_range) {
-      // Per-tablet pull (migration catch-up / multi-tablet replication):
-      // serve from the tablet owning the range's begin. Sync is control
-      // traffic and is deliberately never fenced by the tablet map — the
-      // migration drain pulls from a source that is already fenced.
-      Tablet* tablet = FindTablet(sync->table, sync->range_begin);
-      if (tablet == nullptr) {
+      // Per-tablet pull (migration catch-up / multi-tablet replication).
+      // Sync is control traffic and is deliberately never fenced by the
+      // tablet map — the migration drain pulls from a source that is
+      // already fenced. The node's tablets may be finer than the requested
+      // range (e.g. children of a split the map never adopted), so every
+      // overlapping tablet contributes and the merged heartbeat is the
+      // lowest bound any contributor guarantees complete.
+      const KeyRange wanted{sync->range_begin, sync->range_end};
+      std::vector<proto::SyncReply> parts;
+      for (const auto& tablet : it->second) {
+        if (tablet->range().Overlaps(wanted)) {
+          parts.push_back(tablet->HandleSync(sync->after, sync->max_versions));
+        }
+      }
+      if (parts.empty()) {
         return MakeError(StatusCode::kNotFound,
                          "node " + name_ + " hosts no tablet for range");
       }
-      return tablet->HandleSync(sync->after, sync->max_versions);
+      if (parts.size() == 1) {
+        return std::move(parts.front());
+      }
+      proto::SyncReply merged;
+      Timestamp bound = parts.front().heartbeat;
+      for (const proto::SyncReply& part : parts) {
+        if (part.heartbeat < bound) {
+          bound = part.heartbeat;
+        }
+        merged.has_more = merged.has_more || part.has_more;
+      }
+      for (proto::SyncReply& part : parts) {
+        for (proto::ObjectVersion& version : part.versions) {
+          if (!wanted.Contains(version.key) && !wanted.IsEmpty()) {
+            continue;  // A coarser tablet may spill neighbouring keys.
+          }
+          if (version.timestamp <= bound) {
+            merged.versions.push_back(std::move(version));
+          } else {
+            // Complete only up to `bound`: re-pulled next round once every
+            // contributor has caught up past it.
+            merged.has_more = true;
+          }
+        }
+      }
+      std::sort(merged.versions.begin(), merged.versions.end(),
+                [](const proto::ObjectVersion& a,
+                   const proto::ObjectVersion& b) {
+                  return a.timestamp < b.timestamp;
+                });
+      merged.heartbeat = bound;
+      return merged;
     }
     return it->second.front()->HandleSync(sync->after, sync->max_versions);
   }

@@ -1,0 +1,144 @@
+// Durable coordinator intent log (DESIGN.md Section 15).
+//
+// The TabletCoordinator journals an intent record before every phase of a
+// split or migration that has externally visible effects, and a full map
+// record when the operation commits. A restarted (or failed-over)
+// coordinator replays the log and knows exactly how far the crashed writer
+// got:
+//
+//   - a live intent in phase kSplitPrepare / kMigrationPrepare means no map
+//     change happened yet — recovery re-runs or abandons the phase, both of
+//     which are idempotent;
+//   - a live intent in phase kMigrationCutover means the fenced map *may*
+//     have reached the source — recovery deterministically rebuilds that
+//     map from the committed map plus the intent fields and drives the
+//     migration forward (or rolls it back under the intent's pre-assigned
+//     rollback epoch), so no crash leaves the range fenced;
+//   - a map record commits (clears) the preceding intent.
+//
+// The log also carries coordinator lease records: the leadership epoch, the
+// holder's name, and the lease expiry. A standby coordinator reads the last
+// lease, waits it out, and takes over under epoch+1; every map it publishes
+// is stamped with that epoch so storage nodes fence the deposed writer.
+//
+// Framing and torn-tail recovery come from persist::RecordLog — the same
+// machinery (and byte format) as the tablet WAL.
+
+#ifndef PILEUS_SRC_TABLETS_INTENT_LOG_H_
+#define PILEUS_SRC_TABLETS_INTENT_LOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/persist/record_log.h"
+#include "src/tablets/tablet_map.h"
+#include "src/util/codec.h"
+#include "src/util/key_range.h"
+
+namespace pileus::tablets {
+
+// How far a tablet operation got; the recovery decision table in
+// DESIGN.md Section 15 keys off this.
+enum class IntentPhase : uint8_t {
+  // Split journaled; node-side tablet splits may have started (idempotent:
+  // recovery skips members already hosting a child at the split key).
+  kSplitPrepare = 1,
+  // Migration target is building a secondary copy; no map change yet.
+  kMigrationPrepare = 2,
+  // The fenced map (next_version/next_epoch, primary = to) may have reached
+  // the source. The write-unavailability window may be open.
+  kMigrationCutover = 3,
+  // The rollback map (next_version+1 / next_epoch+1, primary = from) may be
+  // partially installed.
+  kMigrationRollback = 4,
+};
+
+std::string_view IntentPhaseName(IntentPhase phase);
+
+// One in-flight tablet operation, with everything recovery needs to rebuild
+// the exact map the crashed coordinator was installing.
+struct TabletIntent {
+  uint64_t intent_id = 0;
+  IntentPhase phase = IntentPhase::kSplitPrepare;
+  std::string table;
+  KeyRange range;         // The tablet being operated on (pre-op range).
+  std::string split_key;  // Splits only.
+  std::string from;       // Migrations only: outgoing primary...
+  std::string to;         // ...and incoming primary.
+  // The map version / tablet epoch this intent installs on success. A
+  // rollback uses next_version+1 / next_epoch+1, pre-assigned here so a
+  // re-run after recovery never burns an extra epoch.
+  uint64_t next_version = 0;
+  uint64_t next_epoch = 0;
+  // The target already hosted the range before the migration (recovery must
+  // not delete a pre-existing replica when aborting).
+  bool target_hosted = false;
+  uint64_t coordinator_epoch = 0;
+  MicrosecondCount started_us = 0;
+
+  bool operator==(const TabletIntent&) const = default;
+};
+
+// Coordinator leadership lease as journaled.
+struct CoordinatorLease {
+  uint64_t epoch = 0;  // 0 = no coordinator has ever led.
+  std::string holder;
+  MicrosecondCount expiry_us = 0;
+
+  bool operator==(const CoordinatorLease&) const = default;
+};
+
+// Codec helpers (exposed for round-trip tests).
+void EncodeTabletIntent(Encoder& enc, const TabletIntent& intent);
+Status DecodeTabletIntent(Decoder& dec, TabletIntent* intent);
+void EncodeCoordinatorLease(Encoder& enc, const CoordinatorLease& lease);
+Status DecodeCoordinatorLease(Decoder& dec, CoordinatorLease* lease);
+
+class IntentLog {
+ public:
+  IntentLog() = default;
+  IntentLog(IntentLog&&) noexcept = default;
+  IntentLog& operator=(IntentLog&&) noexcept = default;
+
+  // Opens (creating if needed) the log for appending. `injector` (not
+  // owned, may be null) arms the "persist.intent_log." crash points in the
+  // durability path.
+  static Result<IntentLog> Open(const std::string& path,
+                                sim::FaultInjector* injector = nullptr);
+
+  bool is_open() const { return log_.is_open(); }
+  const std::string& path() const { return log_.path(); }
+
+  // Each writer appends and fsyncs before returning: an intent (or lease,
+  // or commit) either survives any later crash or was never acted on.
+  Status WriteLease(const CoordinatorLease& lease);
+  Status WriteIntent(const TabletIntent& intent);
+  // Journals the full committed map, clearing any live intent on replay.
+  Status CommitMap(const TabletMap& map);
+
+  struct RecoveredState {
+    // Last committed map; version 0 when the log never committed one.
+    TabletMap map;
+    // The in-flight operation, if the last intent was never committed.
+    std::optional<TabletIntent> intent;
+    // Last journaled lease (epoch 0 when no coordinator ever led).
+    CoordinatorLease lease;
+    uint64_t next_intent_id = 1;
+    bool tail_torn = false;
+  };
+
+  // Replays the log at `path`. A torn tail (crash mid-append) is discarded;
+  // corruption before the tail is loud, mirroring the WAL.
+  static Result<RecoveredState> Recover(const std::string& path);
+
+ private:
+  persist::RecordLog log_;
+};
+
+}  // namespace pileus::tablets
+
+#endif  // PILEUS_SRC_TABLETS_INTENT_LOG_H_

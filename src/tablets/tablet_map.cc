@@ -90,6 +90,7 @@ Status DecodeTabletInfo(Decoder& dec, TabletInfo* info) {
 void EncodeTabletMap(Encoder& enc, const TabletMap& map) {
   enc.PutLengthPrefixed(map.table);
   enc.PutVarint64(map.version);
+  enc.PutVarint64(map.coordinator_epoch);
   enc.PutVarint64(map.tablets.size());
   for (const TabletInfo& t : map.tablets) {
     EncodeTabletInfo(enc, t);
@@ -99,6 +100,7 @@ void EncodeTabletMap(Encoder& enc, const TabletMap& map) {
 Status DecodeTabletMap(Decoder& dec, TabletMap* map) {
   PILEUS_RETURN_IF_ERROR(dec.GetLengthPrefixedString(&map->table));
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&map->version));
+  PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&map->coordinator_epoch));
   uint64_t count;
   PILEUS_RETURN_IF_ERROR(dec.GetVarint64(&count));
   // Sanity cap: every tablet entry occupies multiple bytes on the wire.

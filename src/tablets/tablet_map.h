@@ -51,6 +51,11 @@ struct TabletMap {
   // 0 = "no map": a node that never installed one keeps legacy whole-table
   // routing, mirroring epoch 0 in reconfig::ConfigEpoch.
   uint64_t version = 0;
+  // Epoch of the coordinator that published this map (DESIGN.md Section 15).
+  // 0 = legacy/unfenced (an in-memory coordinator); a durable coordinator
+  // stamps its leadership epoch so nodes can refuse installs from a deposed
+  // coordinator even when its map version looks plausible.
+  uint64_t coordinator_epoch = 0;
   std::vector<TabletInfo> tablets;  // Sorted by range.begin, tiling keyspace.
 
   bool operator==(const TabletMap&) const = default;

@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -428,6 +432,95 @@ TEST_F(DynamicShardedClientTest, UnrouteableKeyRecoversAfterMapFillsGap) {
   EXPECT_EQ(client_->map_version(), 2u);
   EXPECT_EQ(client_->map_refreshes(), 1u);
   EXPECT_EQ(client_->Get(session, "zebra")->value, "high");
+}
+
+// Passes requests straight through to the node but holds every tablet-map
+// fetch at a gate until released, so concurrent refreshes demonstrably pile
+// up behind one in-flight query.
+class GatedMapConnection : public NodeConnection {
+ public:
+  explicit GatedMapConnection(storage::StorageNode* node) : node_(node) {}
+
+  TimedReply Call(const proto::Message& request,
+                  MicrosecondCount /*timeout*/) override {
+    if (std::holds_alternative<proto::TabletMapRequest>(request)) {
+      fetches_.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return open_; });
+    }
+    return TimedReply(node_->Handle(request), 0);
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  int fetches() const { return fetches_.load(); }
+
+ private:
+  storage::StorageNode* node_;
+  std::atomic<int> fetches_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST_F(DynamicShardedClientTest, ConcurrentRefreshesShareOneFetch) {
+  AddTablet(*node_a_, KeyRange{"", "m"}, /*is_primary=*/true);
+  AddTablet(*node_a_, KeyRange{"m", ""}, /*is_primary=*/true);
+  tablets::TabletMap v1;
+  v1.table = "t";
+  v1.version = 1;
+  v1.tablets.push_back(Entry("", "m", 1, "A"));
+  v1.tablets.push_back(Entry("m", "", 1, "A"));
+
+  auto gated = std::make_shared<GatedMapConnection>(node_a_.get());
+  ShardedClient::DynamicOptions dynamic;
+  dynamic.connect =
+      [gated](const std::string& name) -> std::shared_ptr<NodeConnection> {
+    return name == "A" ? gated : nullptr;
+  };
+  Result<std::unique_ptr<ShardedClient>> created =
+      ShardedClient::CreateDynamic(v1, &clock_, PileusClient::Options{},
+                                   std::move(dynamic));
+  ASSERT_TRUE(created.ok()) << created.status();
+  client_ = std::move(created).value();
+
+  // A newer map waits on the node; every concurrent refresh wants it.
+  tablets::TabletMap v2 = v1;
+  v2.version = 2;
+  ASSERT_TRUE(node_a_->InstallTabletMap(v2));
+
+  constexpr int kCallers = 4;
+  std::vector<Status> results(kCallers);
+  std::vector<std::thread> callers;
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back(
+        [this, &results, i] { results[i] = client_->RefreshTabletMap(); });
+  }
+  // Exactly one caller reaches the (gated) wire; the other three must
+  // register as joiners on the same fetch before we let it finish.
+  while (gated->fetches() < 1) {
+    std::this_thread::yield();
+  }
+  while (client_->map_refreshes_coalesced() < kCallers - 1) {
+    std::this_thread::yield();
+  }
+  gated->Open();
+  for (std::thread& caller : callers) {
+    caller.join();
+  }
+
+  for (int i = 0; i < kCallers; ++i) {
+    EXPECT_TRUE(results[i].ok()) << "caller " << i << ": " << results[i];
+  }
+  EXPECT_EQ(gated->fetches(), 1);  // One wire query served all four callers.
+  EXPECT_EQ(client_->map_version(), 2u);
+  EXPECT_EQ(client_->map_refreshes(), 1u);
+  EXPECT_EQ(client_->map_refreshes_coalesced(),
+            static_cast<uint64_t>(kCallers - 1));
 }
 
 TEST_F(DynamicShardedClientTest, RoutingTableFuzz) {

@@ -1,7 +1,15 @@
-// Tests for the dynamic-tablet subsystem (DESIGN.md Section 14): the
-// versioned TabletMap and its codec, per-node load sampling, the rebalance
-// planner, map installation and kWrongTablet fencing on storage nodes, and
-// the coordinator's split and live-migration protocols including rollback.
+// Tests for the dynamic-tablet subsystem (DESIGN.md Sections 14 and 15):
+// the versioned TabletMap and its codec, per-node load sampling, the
+// rebalance planner, map installation and kWrongTablet fencing on storage
+// nodes, the coordinator's split and live-migration protocols including
+// rollback, the durable intent log, coordinator crash recovery (a
+// crash-point torture matrix over every phase boundary), and lease-based
+// coordinator failover.
+
+#include <fcntl.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <memory>
@@ -15,8 +23,10 @@
 
 #include "src/common/clock.h"
 #include "src/proto/messages.h"
+#include "src/sim/fault_injector.h"
 #include "src/storage/storage_node.h"
 #include "src/tablets/coordinator.h"
+#include "src/tablets/intent_log.h"
 #include "src/tablets/manager.h"
 #include "src/tablets/rebalancer.h"
 #include "src/tablets/tablet_map.h"
@@ -110,6 +120,7 @@ TEST(TabletMapTest, OwnerOfEmptyMapIsNull) {
 
 TEST(TabletMapTest, CodecRoundTripPreservesEverything) {
   TabletMap map = TwoTabletMap();
+  map.coordinator_epoch = 9;
   map.tablets[0].size_bytes = 123456;
   map.tablets[0].ops_per_sec = 789;
   map.tablets[1].config.sync_members = {"gamma"};
@@ -368,6 +379,34 @@ TEST_F(NodeMapTest, VersionZeroAndInvalidMapsAreRejected) {
   EXPECT_FALSE(node_.InstalledTabletMap(kTable).has_value());
 }
 
+TEST_F(NodeMapTest, OlderCoordinatorEpochRejectedEvenWithNewerVersion) {
+  TabletMap map = TwoTabletMap();
+  map.tablets[0].config.primary = "alpha";
+  map.tablets[0].config.members = {"alpha"};
+  map.coordinator_epoch = 5;
+  ASSERT_TRUE(node_.InstallTabletMap(map));
+
+  // A deposed coordinator may have a higher map version (it was mid-flight
+  // when it lost the lease); the epoch fence must still reject it.
+  TabletMap deposed = map;
+  deposed.version = map.version + 1;
+  deposed.coordinator_epoch = 4;
+  EXPECT_FALSE(node_.InstallTabletMap(deposed));
+  EXPECT_EQ(node_.InstalledTabletMap(kTable)->version, map.version);
+
+  // Epoch 0 marks a legacy (pre-Section-15) coordinator: never fenced.
+  TabletMap legacy = map;
+  legacy.version = map.version + 1;
+  legacy.coordinator_epoch = 0;
+  EXPECT_TRUE(node_.InstallTabletMap(legacy));
+
+  // A successor's higher epoch installs fine at any version.
+  TabletMap successor = legacy;
+  successor.version = legacy.version + 1;
+  successor.coordinator_epoch = 6;
+  EXPECT_TRUE(node_.InstallTabletMap(successor));
+}
+
 TEST_F(NodeMapTest, MisroutedRequestFencedWithOwnerHint) {
   // The map assigns ["m", "") to beta; alpha must fence requests for it.
   TabletMap map = TwoTabletMap();
@@ -562,6 +601,563 @@ TEST_F(CoordinatorTest, RebalanceRoundSplitsThenMovesUnderHotspot) {
         owner->config.primary == "alpha" ? *alpha_ : *beta_;
     EXPECT_EQ(GetValue(node, key), "v:" + key) << key;
   }
+}
+
+// --- IntentLog: codec, replay, torn tails (DESIGN.md Section 15) ---
+
+TabletIntent SampleIntent() {
+  TabletIntent intent;
+  intent.intent_id = 7;
+  intent.phase = IntentPhase::kMigrationCutover;
+  intent.table = kTable;
+  intent.range.begin = "g";
+  intent.range.end = "t";
+  intent.split_key = "m";
+  intent.from = "alpha";
+  intent.to = "beta";
+  intent.next_version = 4;
+  intent.next_epoch = 3;
+  intent.target_hosted = true;
+  intent.coordinator_epoch = 2;
+  intent.started_us = 1'234'567;
+  return intent;
+}
+
+class IntentLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/pileus_intent_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    (void)::system(cmd.c_str());
+  }
+
+  std::string LogPath() const { return dir_ + "/intents.log"; }
+
+  off_t FileSize(const std::string& path) {
+    struct stat st;
+    EXPECT_EQ(::stat(path.c_str(), &st), 0);
+    return st.st_size;
+  }
+
+  // Flips one byte at `offset` (simulating on-disk corruption).
+  void CorruptByte(const std::string& path, off_t offset) {
+    const int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    char b;
+    ASSERT_EQ(::pread(fd, &b, 1, offset), 1);
+    b = static_cast<char>(b ^ 0xff);
+    ASSERT_EQ(::pwrite(fd, &b, 1, offset), 1);
+    ::close(fd);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(IntentLogTest, IntentCodecRoundTripPreservesEverything) {
+  const TabletIntent intent = SampleIntent();
+  Encoder enc;
+  EncodeTabletIntent(enc, intent);
+  Decoder dec(enc.buffer());
+  TabletIntent decoded;
+  ASSERT_TRUE(DecodeTabletIntent(dec, &decoded).ok());
+  EXPECT_EQ(decoded, intent);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST_F(IntentLogTest, IntentCodecRejectsUnknownPhase) {
+  Encoder enc;
+  EncodeTabletIntent(enc, SampleIntent());
+  std::string bytes(enc.buffer());
+  bytes[1] = 99;  // The phase byte follows the one-byte intent id varint.
+  Decoder dec(bytes);
+  TabletIntent decoded;
+  EXPECT_EQ(DecodeTabletIntent(dec, &decoded).code(), StatusCode::kCorruption);
+}
+
+TEST_F(IntentLogTest, LeaseCodecRoundTrip) {
+  CoordinatorLease lease;
+  lease.epoch = 11;
+  lease.holder = "coord-b";
+  lease.expiry_us = 99'000'000;
+  Encoder enc;
+  EncodeCoordinatorLease(enc, lease);
+  Decoder dec(enc.buffer());
+  CoordinatorLease decoded;
+  ASSERT_TRUE(DecodeCoordinatorLease(dec, &decoded).ok());
+  EXPECT_EQ(decoded, lease);
+}
+
+TEST_F(IntentLogTest, RecoverReplaysLeaseIntentAndCommit) {
+  CoordinatorLease lease;
+  lease.epoch = 3;
+  lease.holder = "coord-a";
+  lease.expiry_us = 5'000'000;
+  const TabletIntent intent = SampleIntent();
+  {
+    Result<IntentLog> log = IntentLog::Open(LogPath());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->WriteLease(lease).ok());
+    ASSERT_TRUE(log->WriteIntent(intent).ok());
+  }
+  Result<IntentLog::RecoveredState> state = IntentLog::Recover(LogPath());
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->lease, lease);
+  ASSERT_TRUE(state->intent.has_value());
+  EXPECT_EQ(*state->intent, intent);
+  EXPECT_EQ(state->next_intent_id, intent.intent_id + 1);
+  EXPECT_EQ(state->map.version, 0u) << "no map was ever committed";
+  EXPECT_FALSE(state->tail_torn);
+
+  // A committed map supersedes (clears) the live intent.
+  TabletMap map = TwoTabletMap();
+  {
+    Result<IntentLog> log = IntentLog::Open(LogPath());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->CommitMap(map).ok());
+  }
+  state = IntentLog::Recover(LogPath());
+  ASSERT_TRUE(state.ok());
+  EXPECT_FALSE(state->intent.has_value());
+  EXPECT_EQ(state->map, map);
+  EXPECT_EQ(state->next_intent_id, intent.intent_id + 1)
+      << "intent ids never regress, even across commits";
+}
+
+TEST_F(IntentLogTest, TornTailDiscardsOnlyTheLastRecord) {
+  CoordinatorLease lease;
+  lease.epoch = 1;
+  lease.holder = "coord-a";
+  {
+    Result<IntentLog> log = IntentLog::Open(LogPath());
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->WriteLease(lease).ok());
+    ASSERT_TRUE(log->WriteIntent(SampleIntent()).ok());
+  }
+  // Chop one byte off the tail: a crash mid-append of the intent record.
+  ASSERT_EQ(::truncate(LogPath().c_str(), FileSize(LogPath()) - 1), 0);
+  Result<IntentLog::RecoveredState> state = IntentLog::Recover(LogPath());
+  ASSERT_TRUE(state.ok());
+  EXPECT_TRUE(state->tail_torn);
+  EXPECT_FALSE(state->intent.has_value()) << "the torn intent never happened";
+  EXPECT_EQ(state->lease, lease) << "records before the tear are kept";
+}
+
+TEST_F(IntentLogTest, CorruptionBeforeTheTailIsLoud) {
+  {
+    Result<IntentLog> log = IntentLog::Open(LogPath());
+    ASSERT_TRUE(log.ok());
+    CoordinatorLease lease;
+    lease.epoch = 1;
+    lease.holder = "coord-a";
+    ASSERT_TRUE(log->WriteLease(lease).ok());
+    ASSERT_TRUE(log->WriteIntent(SampleIntent()).ok());
+    ASSERT_TRUE(log->CommitMap(TwoTabletMap()).ok());
+  }
+  // Flip a payload byte of the FIRST record (header is 9 bytes). With
+  // records after it this cannot be a torn tail: recovery must refuse to
+  // silently skip it.
+  CorruptByte(LogPath(), 10);
+  EXPECT_EQ(IntentLog::Recover(LogPath()).status().code(),
+            StatusCode::kCorruption);
+}
+
+// --- Durable coordinator: crash-point torture matrix, rollback
+// idempotency, lease failover (DESIGN.md Section 15) ---
+
+class DurableCoordinatorTest : public ::testing::Test {
+ protected:
+  DurableCoordinatorTest() : clock_(1'000'000) {}
+
+  void SetUp() override {
+    char tmpl[] = "/tmp/pileus_durable_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + dir_ + "'";
+    (void)::system(cmd.c_str());
+  }
+
+  TabletMap SeedMap() {
+    TabletMap map;
+    map.table = kTable;
+    map.version = 1;
+    map.tablets.push_back(MakeInfo("", "", 1, "alpha"));
+    return map;
+  }
+
+  // Fresh fleet: alpha hosts the whole keyspace as primary, beta is empty.
+  void FreshNodes() {
+    alpha_ = std::make_unique<storage::StorageNode>("alpha", "dc1", &clock_);
+    beta_ = std::make_unique<storage::StorageNode>("beta", "dc1", &clock_);
+    storage::Tablet::Options options;
+    options.range = KeyRange::All();
+    options.is_primary = true;
+    ASSERT_TRUE(alpha_->AddTablet(kTable, options).ok());
+  }
+
+  TabletCoordinator::Options DurableOptions(const std::string& log_path) {
+    TabletCoordinator::Options options;
+    options.intent_log_path = log_path;
+    options.fault_injector = &injector_;
+    return options;
+  }
+
+  // One coordinator (re)start: replay the log, take the lease, register the
+  // fleet. CompleteRecovery is left to the caller so tests can crash it.
+  std::unique_ptr<TabletCoordinator> RecoverCoordinator(
+      const std::string& log_path, bool register_beta = true) {
+    Result<std::unique_ptr<TabletCoordinator>> recovered =
+        TabletCoordinator::Recover(SeedMap(), &clock_,
+                                   DurableOptions(log_path));
+    if (!recovered.ok()) {
+      ADD_FAILURE() << "Recover failed: " << recovered.status().message();
+      return nullptr;
+    }
+    std::unique_ptr<TabletCoordinator> coordinator = std::move(*recovered);
+    coordinator->RegisterNode(alpha_.get());
+    if (register_beta) {
+      coordinator->RegisterNode(beta_.get());
+    }
+    return coordinator;
+  }
+
+  storage::StorageNode& NodeNamed(const std::string& name) {
+    return name == "alpha" ? *alpha_ : *beta_;
+  }
+
+  void PutKey(storage::StorageNode& node, const std::string& key) {
+    proto::PutRequest put;
+    put.table = kTable;
+    put.key = key;
+    put.value = "v:" + key;
+    ASSERT_TRUE(std::holds_alternative<proto::PutReply>(node.Handle(put)))
+        << key;
+    clock_.AdvanceMicros(10);
+  }
+
+  std::optional<std::string> GetValue(storage::StorageNode& node,
+                                      const std::string& key) {
+    proto::GetRequest get;
+    get.table = kTable;
+    get.key = key;
+    const proto::Message reply = node.Handle(get);
+    const auto* got = std::get_if<proto::GetReply>(&reply);
+    if (got == nullptr || !got->found) {
+      return std::nullopt;
+    }
+    return got->value;
+  }
+
+  // The ISSUE's convergence bar, asserted after every recovery: a valid
+  // tiling, zero lost acked writes, and no range left fenced (each range
+  // accepts a probe write on its current primary).
+  void ExpectConverged(TabletCoordinator& coordinator,
+                       const std::vector<std::string>& keys) {
+    const TabletMap& map = coordinator.map();
+    ASSERT_TRUE(map.Validate().ok());
+    for (const std::string& key : keys) {
+      const TabletInfo* owner = map.OwnerOf(key);
+      ASSERT_NE(owner, nullptr) << key;
+      EXPECT_EQ(GetValue(NodeNamed(owner->config.primary), key), "v:" + key)
+          << key;
+    }
+    for (const TabletInfo& info : map.tablets) {
+      proto::PutRequest probe;
+      probe.table = kTable;
+      probe.key = info.range.begin;  // begin is inclusive: always in range.
+      probe.value = "probe";
+      const proto::Message reply =
+          NodeNamed(info.config.primary).Handle(probe);
+      EXPECT_TRUE(std::holds_alternative<proto::PutReply>(reply))
+          << "range " << info.range.ToString() << " is still fenced on "
+          << info.config.primary;
+    }
+  }
+
+  ManualClock clock_;
+  sim::FaultInjector injector_;
+  std::string dir_;
+  std::unique_ptr<storage::StorageNode> alpha_;
+  std::unique_ptr<storage::StorageNode> beta_;
+};
+
+TEST_F(DurableCoordinatorTest, SplitCrashMatrixRecoversEverywhere) {
+  int index = 0;
+  for (const std::string& point : TabletCoordinator::SplitCrashPoints()) {
+    SCOPED_TRACE(point);
+    FreshNodes();
+    const std::string log_path =
+        dir_ + "/split" + std::to_string(index++) + ".log";
+    std::unique_ptr<TabletCoordinator> coordinator =
+        RecoverCoordinator(log_path);
+    ASSERT_NE(coordinator, nullptr);
+    ASSERT_TRUE(coordinator->CompleteRecovery().ok());
+    const uint64_t epoch_before = coordinator->coordinator_epoch();
+
+    std::vector<std::string> keys = {"apple", "zebra"};
+    for (int i = 0; i < 6; ++i) {
+      keys.push_back("key" + std::to_string(i));
+    }
+    for (const std::string& key : keys) {
+      PutKey(*alpha_, key);
+    }
+
+    injector_.ArmCrashPoint(point);
+    const Status crashed = coordinator->ExecuteSplit("m");
+    ASSERT_EQ(crashed.code(), StatusCode::kCancelled) << crashed.message();
+    coordinator.reset();  // The process dies; only the intent log survives.
+
+    coordinator = RecoverCoordinator(log_path);
+    ASSERT_NE(coordinator, nullptr);
+    ASSERT_TRUE(coordinator->CompleteRecovery().ok());
+    EXPECT_GT(coordinator->coordinator_epoch(), epoch_before);
+    ExpectConverged(*coordinator, keys);
+  }
+}
+
+// Recovery while the split's primary is partitioned away: the standby must
+// come up healthy (a split fences nothing — the intent is abandoned, not
+// replayed forever), and a later coordinator can retry the split once the
+// partition heals.
+TEST_F(DurableCoordinatorTest, SplitIntentWithPartitionedPrimaryIsAbandoned) {
+  FreshNodes();
+  const std::string log_path = dir_ + "/split_partitioned.log";
+  std::unique_ptr<TabletCoordinator> coordinator =
+      RecoverCoordinator(log_path);
+  ASSERT_NE(coordinator, nullptr);
+  ASSERT_TRUE(coordinator->CompleteRecovery().ok());
+
+  std::vector<std::string> keys = {"apple", "mango", "zebra"};
+  for (const std::string& key : keys) {
+    PutKey(*alpha_, key);
+  }
+
+  // Die with the intent journaled but the split not yet executed.
+  injector_.ArmCrashPoint("tablets.split.after_intent");
+  ASSERT_EQ(coordinator->ExecuteSplit("m").code(), StatusCode::kCancelled);
+  coordinator.reset();
+
+  // The standby recovers while alpha (the range's primary) is unreachable.
+  TabletCoordinator::Options partitioned = DurableOptions(log_path);
+  partitioned.reachable = [](const std::string& name) {
+    return name != "alpha";
+  };
+  Result<std::unique_ptr<TabletCoordinator>> standby =
+      TabletCoordinator::Recover(SeedMap(), &clock_, partitioned);
+  ASSERT_TRUE(standby.ok()) << standby.status().message();
+  coordinator = std::move(*standby);
+  coordinator->RegisterNode(alpha_.get());
+  coordinator->RegisterNode(beta_.get());
+  const Status recovered = coordinator->CompleteRecovery();
+  ASSERT_TRUE(recovered.ok()) << recovered.message();
+  EXPECT_FALSE(coordinator->pending_intent().has_value());
+  EXPECT_EQ(coordinator->map().tablets.size(), 1u);  // Abandoned, not run.
+  coordinator.reset();
+
+  // After the partition heals, a fresh coordinator sees no stuck intent and
+  // can run the split to completion.
+  coordinator = RecoverCoordinator(log_path);
+  ASSERT_NE(coordinator, nullptr);
+  ASSERT_TRUE(coordinator->CompleteRecovery().ok());
+  EXPECT_FALSE(coordinator->pending_intent().has_value());
+  ASSERT_TRUE(coordinator->ExecuteSplit("m").ok());
+  EXPECT_EQ(coordinator->map().tablets.size(), 2u);
+  ExpectConverged(*coordinator, keys);
+}
+
+TEST_F(DurableCoordinatorTest, MigrationCrashMatrixRecoversEverywhere) {
+  int index = 0;
+  for (const std::string& point : TabletCoordinator::MigrationCrashPoints()) {
+    SCOPED_TRACE(point);
+    FreshNodes();
+    const std::string log_path =
+        dir_ + "/migration" + std::to_string(index++) + ".log";
+    std::unique_ptr<TabletCoordinator> coordinator =
+        RecoverCoordinator(log_path);
+    ASSERT_NE(coordinator, nullptr);
+    ASSERT_TRUE(coordinator->CompleteRecovery().ok());
+
+    std::vector<std::string> keys;
+    for (int i = 0; i < 12; ++i) {
+      keys.push_back("key" + std::to_string(i));
+    }
+    for (const std::string& key : keys) {
+      PutKey(*alpha_, key);
+    }
+
+    const bool rollback_point = point.rfind("tablets.rollback.", 0) == 0;
+    if (rollback_point) {
+      // The rollback arms only run when a migration cannot go forward.
+      // Manufacture that: crash at the fence, then recover WITHOUT the
+      // target registered — recovery must roll back, and the armed
+      // rollback point kills the coordinator a second time mid-rollback.
+      injector_.ArmCrashPoint("tablets.migration.after_fence");
+      ASSERT_EQ(coordinator->ExecuteMigration("", "beta").code(),
+                StatusCode::kCancelled);
+      coordinator.reset();
+      injector_.ArmCrashPoint(point);
+      coordinator = RecoverCoordinator(log_path, /*register_beta=*/false);
+      ASSERT_NE(coordinator, nullptr);
+      ASSERT_EQ(coordinator->CompleteRecovery().code(),
+                StatusCode::kCancelled);
+      coordinator.reset();
+    } else {
+      injector_.ArmCrashPoint(point);
+      const Status crashed = coordinator->ExecuteMigration("", "beta");
+      ASSERT_EQ(crashed.code(), StatusCode::kCancelled) << crashed.message();
+      coordinator.reset();
+    }
+
+    coordinator = RecoverCoordinator(log_path);
+    ASSERT_NE(coordinator, nullptr);
+    ASSERT_TRUE(coordinator->CompleteRecovery().ok());
+    EXPECT_FALSE(coordinator->pending_intent().has_value());
+    ExpectConverged(*coordinator, keys);
+
+    if (rollback_point) {
+      // The re-run rollback must land on the intent's PRE-ASSIGNED
+      // version/epoch (next+1) — replaying it never burns extra epochs.
+      ASSERT_EQ(coordinator->map().tablets.size(), 1u);
+      EXPECT_EQ(coordinator->map().tablets[0].config.primary, "alpha");
+      EXPECT_EQ(coordinator->map().tablets[0].config.epoch, 3u);
+      EXPECT_EQ(coordinator->map().version, 3u);
+    }
+  }
+}
+
+TEST_F(DurableCoordinatorTest, ReplayedCompletedRollbackIsANoOp) {
+  FreshNodes();
+  const std::string log_path = dir_ + "/idempotent.log";
+
+  // State on disk: the committed map already shows the rollback (primary
+  // back on alpha, version/epoch at the rollback's pre-assigned next+1)
+  // but the rollback intent is still live in the log.
+  TabletMap rolled = SeedMap();
+  rolled.version = 3;
+  rolled.tablets[0].config.epoch = 3;
+  TabletIntent intent;
+  intent.intent_id = 1;
+  intent.phase = IntentPhase::kMigrationRollback;
+  intent.table = kTable;
+  intent.range = KeyRange::All();
+  intent.from = "alpha";
+  intent.to = "beta";
+  intent.next_version = 2;
+  intent.next_epoch = 2;
+  {
+    Result<IntentLog> log = IntentLog::Open(log_path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->CommitMap(rolled).ok());
+    ASSERT_TRUE(log->WriteIntent(intent).ok());
+  }
+
+  std::unique_ptr<TabletCoordinator> coordinator =
+      RecoverCoordinator(log_path);
+  ASSERT_NE(coordinator, nullptr);
+  ASSERT_TRUE(coordinator->CompleteRecovery().ok());
+  // The regression: a replayed no-op rollback must not burn another map
+  // version or tablet epoch (and counts no new failure).
+  EXPECT_EQ(coordinator->map().version, 3u);
+  EXPECT_EQ(coordinator->map().tablets[0].config.epoch, 3u);
+  EXPECT_EQ(coordinator->map().tablets[0].config.primary, "alpha");
+  EXPECT_EQ(coordinator->migration_failures(), 0u);
+}
+
+TEST_F(DurableCoordinatorTest, StandbyWaitsOutTheLeaseThenFencesTheDeposed) {
+  FreshNodes();
+  const std::string log_path = dir_ + "/lease.log";
+
+  TabletCoordinator::Options options_a = DurableOptions(log_path);
+  options_a.coordinator_name = "coord-a";
+  options_a.lease_duration_us = SecondsToMicroseconds(10);
+  Result<std::unique_ptr<TabletCoordinator>> recovered_a =
+      TabletCoordinator::Recover(SeedMap(), &clock_, options_a);
+  ASSERT_TRUE(recovered_a.ok());
+  std::unique_ptr<TabletCoordinator> a = std::move(*recovered_a);
+  a->RegisterNode(alpha_.get());
+  a->RegisterNode(beta_.get());
+  ASSERT_TRUE(a->CompleteRecovery().ok());
+  EXPECT_TRUE(a->IsLeader());
+  PutKey(*alpha_, "kept");
+
+  // While coord-a's lease is live, a standby under another name must wait.
+  TabletCoordinator::Options options_b = DurableOptions(log_path);
+  options_b.coordinator_name = "coord-b";
+  options_b.lease_duration_us = SecondsToMicroseconds(10);
+  EXPECT_EQ(
+      TabletCoordinator::Recover(SeedMap(), &clock_, options_b).status().code(),
+      StatusCode::kUnavailable);
+
+  // After expiry the standby takes over under the next coordinator epoch.
+  clock_.AdvanceMicros(SecondsToMicroseconds(11));
+  Result<std::unique_ptr<TabletCoordinator>> recovered_b =
+      TabletCoordinator::Recover(SeedMap(), &clock_, options_b);
+  ASSERT_TRUE(recovered_b.ok());
+  std::unique_ptr<TabletCoordinator> b = std::move(*recovered_b);
+  b->RegisterNode(alpha_.get());
+  b->RegisterNode(beta_.get());
+  ASSERT_TRUE(b->CompleteRecovery().ok());
+  EXPECT_EQ(b->coordinator_epoch(), a->coordinator_epoch() + 1);
+  EXPECT_TRUE(b->IsLeader());
+
+  // The deposed coordinator refuses mutations locally...
+  EXPECT_FALSE(a->IsLeader());
+  EXPECT_EQ(a->ExecuteSplit("m").code(), StatusCode::kNotPrimary);
+  EXPECT_EQ(a->ExecuteMigration("", "beta").code(), StatusCode::kNotPrimary);
+  EXPECT_TRUE(a->RunRebalanceRound(Rebalancer(Rebalancer::Options{})).empty());
+  // ...and even if it tried to republish, the nodes fence its stale epoch.
+  EXPECT_FALSE(a->PublishMap().ok());
+  // The takeover lost nothing and the new leader can still mutate.
+  EXPECT_EQ(GetValue(*alpha_, "kept"), "v:kept");
+  EXPECT_TRUE(b->ExecuteSplit("m").ok());
+}
+
+TEST_F(DurableCoordinatorTest, SameNameRetakesItsOwnLeaseImmediately) {
+  FreshNodes();
+  const std::string log_path = dir_ + "/restart.log";
+  TabletCoordinator::Options options = DurableOptions(log_path);
+  options.lease_duration_us = SecondsToMicroseconds(10);
+
+  Result<std::unique_ptr<TabletCoordinator>> first =
+      TabletCoordinator::Recover(SeedMap(), &clock_, options);
+  ASSERT_TRUE(first.ok());
+  const uint64_t first_epoch = (*first)->coordinator_epoch();
+  first->reset();  // kill -9; no clock advance — the lease is still live.
+
+  Result<std::unique_ptr<TabletCoordinator>> second =
+      TabletCoordinator::Recover(SeedMap(), &clock_, options);
+  ASSERT_TRUE(second.ok()) << "a restart must not wait out its own lease";
+  EXPECT_EQ((*second)->coordinator_epoch(), first_epoch + 1);
+}
+
+TEST_F(DurableCoordinatorTest, ExpiredLeaseBlocksMutationsUntilRenewed) {
+  FreshNodes();
+  const std::string log_path = dir_ + "/renew.log";
+  TabletCoordinator::Options options = DurableOptions(log_path);
+  options.lease_duration_us = SecondsToMicroseconds(5);
+  Result<std::unique_ptr<TabletCoordinator>> recovered =
+      TabletCoordinator::Recover(SeedMap(), &clock_, options);
+  ASSERT_TRUE(recovered.ok());
+  std::unique_ptr<TabletCoordinator> coordinator = std::move(*recovered);
+  coordinator->RegisterNode(alpha_.get());
+  coordinator->RegisterNode(beta_.get());
+  ASSERT_TRUE(coordinator->CompleteRecovery().ok());
+
+  clock_.AdvanceMicros(SecondsToMicroseconds(6));
+  EXPECT_FALSE(coordinator->IsLeader());
+  EXPECT_EQ(coordinator->ExecuteSplit("m").code(), StatusCode::kNotPrimary);
+  EXPECT_EQ(coordinator->map().version, 1u) << "no mutation happened";
+
+  ASSERT_TRUE(coordinator->RenewLease().ok());
+  EXPECT_TRUE(coordinator->IsLeader());
+  EXPECT_TRUE(coordinator->ExecuteSplit("m").ok());
 }
 
 }  // namespace

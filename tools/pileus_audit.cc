@@ -64,7 +64,10 @@ int Run(int argc, char** argv) {
                      "comma-separated: none, partition, drops, gray, "
                      "crash-restart, handoff, failover, overload, "
                      "tablet-churn (concurrent splits + live migrations, "
-                     "swept under none/partition/crash-restart sub-faults) "
+                     "swept under none/partition/crash-restart sub-faults), "
+                     "tablet-churn-kill (same churn with a durable "
+                     "coordinator killed at rotating protocol crash points "
+                     "and recovered from its intent log) "
                      "(default: none,partition,crash-restart on sim; "
                      "none,crash-restart,handoff on tcp)");
   flags.DefineString("transport", "sim",
@@ -102,15 +105,17 @@ int Run(int argc, char** argv) {
   }
   std::vector<FaultScenario> scenarios;
   bool churn = false;
+  bool churn_kill = false;
   for (const std::string& name : SplitCommas(scenario_list)) {
-    if (name == "tablet-churn") {
+    if (name == "tablet-churn" || name == "tablet-churn-kill") {
       if (tcp) {
         std::fprintf(stderr,
-                     "tablet-churn runs on its own in-process world and is "
-                     "not expressible over the tcp transport\n");
+                     "%s runs on its own in-process world and is "
+                     "not expressible over the tcp transport\n",
+                     name.c_str());
         return 2;
       }
-      churn = true;
+      (name == "tablet-churn" ? churn : churn_kill) = true;
       continue;
     }
     const auto scenario = experiments::ParseFaultScenario(name);
@@ -127,7 +132,7 @@ int Run(int argc, char** argv) {
     }
     scenarios.push_back(*scenario);
   }
-  if (scenarios.empty() && !churn) {
+  if (scenarios.empty() && !churn && !churn_kill) {
     std::fprintf(stderr, "no scenarios selected\n");
     return 2;
   }
@@ -193,41 +198,51 @@ int Run(int argc, char** argv) {
       }
     }
   }
-  if (churn) {
+  if (churn || churn_kill) {
     // Dynamic-tablet churn: splits, live migrations, and rebalancer rounds
-    // run concurrently with the workload, swept under each sub-fault.
+    // run concurrently with the workload, swept under each sub-fault. The
+    // kill variant additionally runs the coordinator durably and kills it
+    // at rotating protocol crash points mid-operation; a standby recovers
+    // from the intent log (DESIGN.md Section 15).
     const FaultScenario sub_faults[] = {FaultScenario::kNone,
                                         FaultScenario::kPartition,
                                         FaultScenario::kCrashRestart};
-    for (const FaultScenario fault : sub_faults) {
-      for (const uint64_t seed : seeds) {
-        TabletChurnOptions options;
-        options.seed = seed;
-        options.scenario = fault;
-        options.total_ops = static_cast<uint64_t>(flags.GetInt("ops"));
-        options.key_count = static_cast<int>(flags.GetInt("keys"));
-        options.client_cache = flags.GetBool("cache");
-        options.cache_capacity_bytes =
-            static_cast<uint64_t>(flags.GetInt("cache_bytes"));
-        options.durable_root =
-            durable_root + "/tablet-churn_" +
-            std::string(experiments::FaultScenarioName(fault)) + "_" +
-            std::to_string(seed);
-        const TabletChurnResult result = RunTabletChurnScenario(options);
-        ++runs;
-        std::printf("%s\n", result.Summary().c_str());
-        if (!result.ok()) {
-          ++failures;
-          std::printf("%s\n", result.report.ToString().c_str());
-          for (const auto& detail : result.lost_write_details) {
-            std::printf("    %s\n", detail.c_str());
-          }
-          for (const auto& violation : result.report.violations) {
-            if (violation.op_index < result.history.ops.size()) {
-              std::printf(
-                  "    op #%zu: %s\n", violation.op_index,
-                  audit::DescribeOp(result.history.ops[violation.op_index])
-                      .c_str());
+    for (const bool kill : {false, true}) {
+      if (kill ? !churn_kill : !churn) {
+        continue;
+      }
+      const char* variant = kill ? "tablet-churn-kill" : "tablet-churn";
+      for (const FaultScenario fault : sub_faults) {
+        for (const uint64_t seed : seeds) {
+          TabletChurnOptions options;
+          options.seed = seed;
+          options.scenario = fault;
+          options.coordinator_kill = kill;
+          options.total_ops = static_cast<uint64_t>(flags.GetInt("ops"));
+          options.key_count = static_cast<int>(flags.GetInt("keys"));
+          options.client_cache = flags.GetBool("cache");
+          options.cache_capacity_bytes =
+              static_cast<uint64_t>(flags.GetInt("cache_bytes"));
+          options.durable_root =
+              durable_root + "/" + variant + "_" +
+              std::string(experiments::FaultScenarioName(fault)) + "_" +
+              std::to_string(seed);
+          const TabletChurnResult result = RunTabletChurnScenario(options);
+          ++runs;
+          std::printf("%s\n", result.Summary().c_str());
+          if (!result.ok()) {
+            ++failures;
+            std::printf("%s\n", result.report.ToString().c_str());
+            for (const auto& detail : result.lost_write_details) {
+              std::printf("    %s\n", detail.c_str());
+            }
+            for (const auto& violation : result.report.violations) {
+              if (violation.op_index < result.history.ops.size()) {
+                std::printf(
+                    "    op #%zu: %s\n", violation.op_index,
+                    audit::DescribeOp(result.history.ops[violation.op_index])
+                        .c_str());
+              }
             }
           }
         }

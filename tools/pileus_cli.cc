@@ -8,6 +8,12 @@
 //   pileus_cli --port 7000 tablets split m # split the tablet holding "m"
 //   pileus_cli --port 7000 tablets handoff 7001 backup
 //                                          # live-migrate primaryship
+//   pileus_cli --intent_log DIR/coordinator.intents tablets
+//                                          # durable coordinator state after
+//                                          # a kill -9: committed map, lease
+//                                          # holder, and any in-flight
+//                                          # split/migration intent (phase,
+//                                          # epoch, elapsed); no TCP needed
 //   pileus_cli --port 7000 bench 1000      # tiny put/get latency check
 //   pileus_cli --port 7000 --cache_bytes 1048576 bench 1000
 //                                          # ... with a client-side cache
@@ -27,6 +33,7 @@
 #include "src/core/monitor.h"
 #include "src/net/tcp.h"
 #include "src/proto/messages.h"
+#include "src/tablets/intent_log.h"
 #include "src/tablets/tablet_map.h"
 #include "src/telemetry/export.h"
 #include "src/telemetry/metrics.h"
@@ -116,29 +123,38 @@ Result<tablets::TabletMap> FetchTabletMap(net::TcpChannel& channel,
   return map_reply->map;
 }
 
+// Prints the map as a JSON object (no trailing newline) so it can stand
+// alone or nest inside a larger document (the --intent_log view).
+void PrintTabletMapJson(const tablets::TabletMap& map) {
+  std::printf("{\"table\": \"%s\", \"version\": %llu, ",
+              JsonEscape(map.table).c_str(),
+              static_cast<unsigned long long>(map.version));
+  std::printf("\"coordinator_epoch\": %llu, \"tablets\": [",
+              static_cast<unsigned long long>(map.coordinator_epoch));
+  for (size_t i = 0; i < map.tablets.size(); ++i) {
+    const tablets::TabletInfo& t = map.tablets[i];
+    std::printf(
+        "%s{\"begin\": \"%s\", \"end\": \"%s\", \"epoch\": %llu, "
+        "\"primary\": \"%s\", \"members\": [",
+        i == 0 ? "" : ", ", JsonEscape(t.range.begin).c_str(),
+        JsonEscape(t.range.end).c_str(),
+        static_cast<unsigned long long>(t.config.epoch),
+        JsonEscape(t.config.primary).c_str());
+    for (size_t j = 0; j < t.config.members.size(); ++j) {
+      std::printf("%s\"%s\"", j == 0 ? "" : ", ",
+                  JsonEscape(t.config.members[j]).c_str());
+    }
+    std::printf("], \"size_bytes\": %llu, \"ops_per_sec\": %llu}",
+                static_cast<unsigned long long>(t.size_bytes),
+                static_cast<unsigned long long>(t.ops_per_sec));
+  }
+  std::printf("]}");
+}
+
 void PrintTabletMap(const tablets::TabletMap& map, bool json) {
   if (json) {
-    std::printf("{\"table\": \"%s\", \"version\": %llu, \"tablets\": [",
-                JsonEscape(map.table).c_str(),
-                static_cast<unsigned long long>(map.version));
-    for (size_t i = 0; i < map.tablets.size(); ++i) {
-      const tablets::TabletInfo& t = map.tablets[i];
-      std::printf(
-          "%s{\"begin\": \"%s\", \"end\": \"%s\", \"epoch\": %llu, "
-          "\"primary\": \"%s\", \"members\": [",
-          i == 0 ? "" : ", ", JsonEscape(t.range.begin).c_str(),
-          JsonEscape(t.range.end).c_str(),
-          static_cast<unsigned long long>(t.config.epoch),
-          JsonEscape(t.config.primary).c_str());
-      for (size_t j = 0; j < t.config.members.size(); ++j) {
-        std::printf("%s\"%s\"", j == 0 ? "" : ", ",
-                    JsonEscape(t.config.members[j]).c_str());
-      }
-      std::printf("], \"size_bytes\": %llu, \"ops_per_sec\": %llu}",
-                  static_cast<unsigned long long>(t.size_bytes),
-                  static_cast<unsigned long long>(t.ops_per_sec));
-    }
-    std::printf("]}\n");
+    PrintTabletMapJson(map);
+    std::printf("\n");
     return;
   }
   std::printf("table '%s': map v%llu, %zu tablet%s\n", map.table.c_str(),
@@ -156,6 +172,99 @@ void PrintTabletMap(const tablets::TabletMap& map, bool json) {
                 static_cast<unsigned long long>(t.size_bytes),
                 static_cast<unsigned long long>(t.ops_per_sec));
   }
+}
+
+// `tablets` with --intent_log: replays the durable coordinator state from
+// disk — no TCP, no running server, exactly what an operator has after a
+// kill -9 — and shows the committed map, the lease, and any in-flight
+// split/migration intent with its phase, epochs, and elapsed time.
+int ShowIntentLog(const std::string& path, bool json) {
+  Result<tablets::IntentLog::RecoveredState> recovered =
+      tablets::IntentLog::Recover(path);
+  if (!recovered.ok()) {
+    return Fail(recovered.status());
+  }
+  const tablets::IntentLog::RecoveredState& state = recovered.value();
+  const MicrosecondCount now = RealClock::Instance()->NowMicros();
+  const bool lease_expired =
+      state.lease.expiry_us != 0 && now >= state.lease.expiry_us;
+  if (json) {
+    std::printf(
+        "{\"lease\": {\"epoch\": %llu, \"holder\": \"%s\", "
+        "\"expiry_us\": %lld, \"expired\": %s}, \"in_flight\": ",
+        static_cast<unsigned long long>(state.lease.epoch),
+        JsonEscape(state.lease.holder).c_str(),
+        static_cast<long long>(state.lease.expiry_us),
+        lease_expired ? "true" : "false");
+    if (state.intent.has_value()) {
+      const tablets::TabletIntent& in = *state.intent;
+      std::printf(
+          "{\"intent_id\": %llu, \"phase\": \"%s\", \"table\": \"%s\", "
+          "\"begin\": \"%s\", \"end\": \"%s\", \"split_key\": \"%s\", "
+          "\"from\": \"%s\", \"to\": \"%s\", \"next_version\": %llu, "
+          "\"next_epoch\": %llu, \"coordinator_epoch\": %llu, "
+          "\"started_us\": %lld, \"elapsed_us\": %lld}",
+          static_cast<unsigned long long>(in.intent_id),
+          std::string(tablets::IntentPhaseName(in.phase)).c_str(),
+          JsonEscape(in.table).c_str(), JsonEscape(in.range.begin).c_str(),
+          JsonEscape(in.range.end).c_str(), JsonEscape(in.split_key).c_str(),
+          JsonEscape(in.from).c_str(), JsonEscape(in.to).c_str(),
+          static_cast<unsigned long long>(in.next_version),
+          static_cast<unsigned long long>(in.next_epoch),
+          static_cast<unsigned long long>(in.coordinator_epoch),
+          static_cast<long long>(in.started_us),
+          static_cast<long long>(now - in.started_us));
+    } else {
+      std::printf("null");
+    }
+    std::printf(", \"tail_torn\": %s, \"map\": ",
+                state.tail_torn ? "true" : "false");
+    if (state.map.version > 0) {
+      PrintTabletMapJson(state.map);
+    } else {
+      std::printf("null");
+    }
+    std::printf("}\n");
+    return 0;
+  }
+  std::printf("coordinator lease: epoch %llu held by '%s'%s\n",
+              static_cast<unsigned long long>(state.lease.epoch),
+              state.lease.holder.c_str(),
+              state.lease.expiry_us == 0
+                  ? " (no expiry)"
+                  : (lease_expired ? " (EXPIRED — standby may take over)"
+                                   : " (live)"));
+  if (state.intent.has_value()) {
+    const tablets::TabletIntent& in = *state.intent;
+    std::string op = std::string(tablets::IntentPhaseName(in.phase));
+    if (!in.split_key.empty()) {
+      op += " at '" + in.split_key + "'";
+    }
+    if (!in.to.empty()) {
+      op += " '" + in.from + "' -> '" + in.to + "'";
+    }
+    std::string range = "['" + in.range.begin + "', ";
+    range += in.range.end.empty() ? "+inf)" : "'" + in.range.end + "')";
+    std::printf(
+        "IN FLIGHT: intent #%llu %s on %s — installs map "
+        "v%llu / epoch %llu under coordinator epoch %llu, running %.1f ms\n",
+        static_cast<unsigned long long>(in.intent_id), op.c_str(),
+        range.c_str(), static_cast<unsigned long long>(in.next_version),
+        static_cast<unsigned long long>(in.next_epoch),
+        static_cast<unsigned long long>(in.coordinator_epoch),
+        MicrosecondsToMilliseconds(now - in.started_us));
+  } else {
+    std::printf("no in-flight operation (last intent committed)\n");
+  }
+  if (state.tail_torn) {
+    std::printf("note: torn tail record discarded (crash mid-append)\n");
+  }
+  if (state.map.version > 0) {
+    PrintTabletMap(state.map, /*json=*/false);
+  } else {
+    std::printf("no committed map (coordinator never booted durably)\n");
+  }
+  return 0;
 }
 
 // "put us:  p50=... p95=... p99=..." — quantiles from the log-bucketed
@@ -187,6 +296,10 @@ int main(int argc, char** argv) {
   flags.DefineInt("cache_bytes", 0,
                   "bench: client-side cache capacity in bytes (0 = no cache); "
                   "cache telemetry is printed in --format afterwards");
+  flags.DefineString("intent_log", "",
+                     "tablets: read the durable coordinator state (committed "
+                     "map, lease, in-flight intent) from this intent log "
+                     "instead of a server — works after a coordinator crash");
   if (!flags.Parse(argc, argv)) {
     return 2;
   }
@@ -422,6 +535,12 @@ int main(int argc, char** argv) {
           c.overloaded ? "  [overloaded]" : "");
     }
     return 0;
+  }
+
+  if (command == "tablets" && args.size() == 1 &&
+      !flags.GetString("intent_log").empty()) {
+    return ShowIntentLog(flags.GetString("intent_log"),
+                         flags.GetString("format") == "json");
   }
 
   if (command == "tablets" && args.size() == 1) {
